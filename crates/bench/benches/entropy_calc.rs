@@ -1,0 +1,38 @@
+//! Throughput of the successor-entropy analyses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgcache_entropy::{filtered_entropy, successor_sequence_entropy};
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+use std::hint::black_box;
+
+const EVENTS: usize = 20_000;
+
+fn bench_entropy(c: &mut Criterion) {
+    let trace = SynthConfig::profile(WorkloadProfile::Users)
+        .events(EVENTS)
+        .seed(3)
+        .build()
+        .expect("profile is valid")
+        .generate();
+    let files = trace.file_sequence();
+    let mut group = c.benchmark_group("successor_entropy");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for k in [1usize, 4, 12, 20] {
+        group.bench_with_input(BenchmarkId::new("k", k), &files, |b, files| {
+            b.iter(|| successor_sequence_entropy(black_box(files), k).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("filtered_entropy");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for cap in [10usize, 500] {
+        group.bench_with_input(BenchmarkId::new("filter", cap), &trace, |b, t| {
+            b.iter(|| filtered_entropy(black_box(t), cap, 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entropy);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Throughput of the metadata path: successor-table updates, group
+//! construction and the replacement-policy evaluation loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgcache_successor::eval::evaluate_replacement;
+use fgcache_successor::{
+    DecayedSuccessorList, GroupBuilder, LfuSuccessorList, LruSuccessorList, SuccessorTable,
+};
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+use fgcache_trace::Trace;
+use std::hint::black_box;
+
+const EVENTS: usize = 20_000;
+
+fn workload() -> Trace {
+    SynthConfig::profile(WorkloadProfile::Server)
+        .events(EVENTS)
+        .seed(7)
+        .build()
+        .expect("profile is valid")
+        .generate()
+}
+
+fn bench_table_record(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("successor_record");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.bench_function("lru_cap8", |b| {
+        b.iter(|| {
+            let mut t = SuccessorTable::new(LruSuccessorList::new(8).unwrap());
+            for f in trace.files() {
+                t.record(black_box(f));
+            }
+            t.transitions()
+        });
+    });
+    group.bench_function("lfu_cap8", |b| {
+        b.iter(|| {
+            let mut t = SuccessorTable::new(LfuSuccessorList::new(8).unwrap());
+            for f in trace.files() {
+                t.record(black_box(f));
+            }
+            t.transitions()
+        });
+    });
+    group.bench_function("decayed_cap8", |b| {
+        b.iter(|| {
+            let mut t = SuccessorTable::new(DecayedSuccessorList::new(8, 0.9).unwrap());
+            for f in trace.files() {
+                t.record(black_box(f));
+            }
+            t.transitions()
+        });
+    });
+    group.finish();
+}
+
+fn bench_group_build(c: &mut Criterion) {
+    let trace = workload();
+    let mut table = SuccessorTable::new(LruSuccessorList::new(8).unwrap());
+    for f in trace.files() {
+        table.record(f);
+    }
+    let hot: Vec<_> = trace.file_sequence().into_iter().take(256).collect();
+    let mut group = c.benchmark_group("group_build");
+    for g in [2usize, 5, 10, 20] {
+        let builder = GroupBuilder::new(g).unwrap();
+        group.throughput(Throughput::Elements(hot.len() as u64));
+        group.bench_with_input(BenchmarkId::new("g", g), &hot, |b, hot| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &f in hot {
+                    total += builder.build(&table, black_box(f)).len();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_replacement_eval(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("replacement_eval");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.bench_function("lru_cap4", |b| {
+        b.iter(|| evaluate_replacement(&trace, LruSuccessorList::new(4).unwrap()).misses);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table_record,
+    bench_group_build,
+    bench_replacement_eval
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Throughput of the three trace IO formats and the workload generator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+use fgcache_trace::{io, Trace};
+use std::hint::black_box;
+
+const EVENTS: usize = 20_000;
+
+fn workload() -> Trace {
+    SynthConfig::profile(WorkloadProfile::Workstation)
+        .events(EVENTS)
+        .seed(1)
+        .build()
+        .expect("profile is valid")
+        .generate()
+}
+
+fn bench_io(c: &mut Criterion) {
+    let trace = workload();
+    let mut text = Vec::new();
+    io::write_text(&trace, &mut text).unwrap();
+    let mut json = Vec::new();
+    io::write_json(&trace, &mut json).unwrap();
+    let mut bin = Vec::new();
+    io::write_binary(&trace, &mut bin).unwrap();
+
+    let mut group = c.benchmark_group("trace_io");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.bench_function("write_text", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(text.len());
+            io::write_text(black_box(&trace), &mut buf).unwrap();
+            buf.len()
+        });
+    });
+    group.bench_function("read_text", |b| {
+        b.iter(|| io::read_text(black_box(text.as_slice())).unwrap().len());
+    });
+    group.bench_function("write_binary", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(bin.len());
+            io::write_binary(black_box(&trace), &mut buf).unwrap();
+            buf.len()
+        });
+    });
+    group.bench_function("read_binary", |b| {
+        b.iter(|| io::read_binary(black_box(bin.as_slice())).unwrap().len());
+    });
+    group.bench_function("read_json", |b| {
+        b.iter(|| io::read_json(black_box(json.as_slice())).unwrap().len());
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for profile in WorkloadProfile::ALL {
+        group.bench_function(profile.name(), |b| {
+            let gen = SynthConfig::profile(profile)
+                .events(EVENTS)
+                .seed(9)
+                .build()
+                .expect("profile is valid");
+            b.iter(|| gen.generate().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_io, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! Ablation studies for the design choices the paper makes (and the ones
+//! it defers to future work):
+//!
+//! 1. **Group-member insertion position** (head vs tail) across cache
+//!    sizes — the paper claims placement "was found to have little effect
+//!    if the cache is several times the group size" (§3).
+//! 2. **Successor-list capacity** — how much metadata is actually needed
+//!    (§4.4 says "only a very small number of successors").
+//! 3. **Server metadata source** — miss-stream-only vs piggy-backed full
+//!    client statistics (§4.3).
+//! 4. **Group sizes beyond 10** — does group construction ever start
+//!    polluting the cache?
+//! 5. **Hybrid recency/frequency successor scoring** — the paper's stated
+//!    future work, swept over the decay factor (1.0 = pure frequency).
+//! 6. **Predictor comparison** — successor chaining vs the
+//!    Griffioen–Appleton probability graph at equal group size.
+//! 7. **I/O cost model** — latency-vs-bandwidth pricing of group
+//!    fetching under remote and LAN regimes (the §1 motivation and the
+//!    §6 note that practical group sizes depend on the medium).
+
+use fgcache_bench::{emit, standard_trace};
+use fgcache_cache::{Cache, LruCache};
+use fgcache_core::{AggregatingCacheBuilder, InsertionPolicy, MetadataSource};
+use fgcache_sim::cost::{cost_sweep, cost_table, CostModel};
+use fgcache_sim::report::{fmt2, pct, Table};
+use fgcache_sim::successors::{successor_eval, ReplacementScheme, SuccessorEvalConfig};
+use fgcache_successor::ProbabilityGraph;
+use fgcache_trace::synth::WorkloadProfile;
+use fgcache_trace::Trace;
+use fgcache_types::FileId;
+
+fn run_client(trace: &Trace, capacity: usize, g: usize, policy: InsertionPolicy) -> u64 {
+    let mut cache = AggregatingCacheBuilder::new(capacity)
+        .group_size(g)
+        .insertion_policy(policy)
+        .build()
+        .expect("valid config");
+    for ev in trace.events() {
+        cache.handle_access(ev.file);
+    }
+    cache.demand_fetches()
+}
+
+fn ablate_insertion_position(trace: &Trace) -> Table {
+    let mut t = Table::new(
+        "ablation 1: group-member insertion position (g = 5, server workload)",
+        ["capacity", "cap/g", "tail fetches", "head fetches", "delta"],
+    );
+    for capacity in [5usize, 10, 25, 50, 150, 400] {
+        let tail = run_client(trace, capacity, 5, InsertionPolicy::Tail);
+        let head = run_client(trace, capacity, 5, InsertionPolicy::Head);
+        let delta = (head as f64 - tail as f64) / tail as f64;
+        t.push_row([
+            capacity.to_string(),
+            format!("{}x", capacity / 5),
+            tail.to_string(),
+            head.to_string(),
+            format!("{:+.1}%", delta * 100.0),
+        ]);
+    }
+    t
+}
+
+fn ablate_successor_capacity(trace: &Trace) -> Table {
+    let mut t = Table::new(
+        "ablation 2: successor-list capacity (g = 5, cache = 300)",
+        ["list capacity", "demand fetches", "metadata entries"],
+    );
+    for cap in [1usize, 2, 3, 4, 6, 8, 12, 16] {
+        let mut cache = AggregatingCacheBuilder::new(300)
+            .group_size(5)
+            .successor_capacity(cap)
+            .build()
+            .expect("valid config");
+        for ev in trace.events() {
+            cache.handle_access(ev.file);
+        }
+        t.push_row([
+            cap.to_string(),
+            cache.demand_fetches().to_string(),
+            cache.metadata_entries().to_string(),
+        ]);
+    }
+    t
+}
+
+fn ablate_metadata_source(trace: &Trace) -> Table {
+    let mut t = Table::new(
+        "ablation 3: server metadata source (filter = 200, server = 300, g = 5)",
+        ["source", "server hit rate", "server requests"],
+    );
+    for (label, cooperative) in [("miss stream only", false), ("piggy-backed full stream", true)] {
+        let mut filter = LruCache::new(200);
+        let mut server = AggregatingCacheBuilder::new(300)
+            .group_size(5)
+            .metadata_source(if cooperative {
+                MetadataSource::External
+            } else {
+                MetadataSource::Requests
+            })
+            .build()
+            .expect("valid config");
+        for ev in trace.events() {
+            if cooperative {
+                server.observe_metadata(ev.file);
+            }
+            if filter.access(ev.file).is_miss() {
+                server.handle_access(ev.file);
+            }
+        }
+        let stats = Cache::stats(&server);
+        t.push_row([
+            label.to_string(),
+            pct(stats.hit_rate()),
+            stats.accesses.to_string(),
+        ]);
+    }
+    t
+}
+
+fn ablate_large_groups(trace: &Trace) -> Table {
+    let mut t = Table::new(
+        "ablation 4: group sizes beyond the paper's 10 (cache = 300)",
+        ["group size", "demand fetches", "files/fetch", "prefetch accuracy"],
+    );
+    for g in [1usize, 5, 10, 15, 20, 30] {
+        let mut cache = AggregatingCacheBuilder::new(300)
+            .group_size(g)
+            .build()
+            .expect("valid config");
+        for ev in trace.events() {
+            cache.handle_access(ev.file);
+        }
+        t.push_row([
+            g.to_string(),
+            cache.demand_fetches().to_string(),
+            fmt2(cache.group_stats().mean_group_size()),
+            pct(Cache::stats(&cache).speculative_accuracy()),
+        ]);
+    }
+    t
+}
+
+fn ablate_decay(trace: &Trace) -> Table {
+    let mut t = Table::new(
+        "ablation 5: hybrid recency/frequency successor scoring (list capacity = 4)",
+        ["decay", "P(miss future successor)"],
+    );
+    let mut schemes = vec![ReplacementScheme::Lru, ReplacementScheme::Lfu];
+    for d in [1.0f64, 0.99, 0.9, 0.7, 0.5, 0.2] {
+        schemes.push(ReplacementScheme::Decayed(d));
+    }
+    let points = successor_eval(
+        trace,
+        &SuccessorEvalConfig {
+            capacities: vec![4],
+            schemes,
+        },
+    )
+    .expect("valid config");
+    for p in points {
+        t.push_row([p.scheme, fmt2(p.miss_probability)]);
+    }
+    t
+}
+
+fn ablate_predictors(trace: &Trace) -> Table {
+    let mut t = Table::new(
+        "ablation 6: predictor comparison (cache = 300, g = 5)",
+        ["predictor", "demand fetches", "metadata entries"],
+    );
+    // Plain LRU baseline.
+    let lru = run_client(trace, 300, 1, InsertionPolicy::Tail);
+    t.push_row(["plain lru".to_string(), lru.to_string(), "0".to_string()]);
+    // Aggregating cache.
+    let mut agg = AggregatingCacheBuilder::new(300)
+        .group_size(5)
+        .build()
+        .expect("valid config");
+    for ev in trace.events() {
+        agg.handle_access(ev.file);
+    }
+    t.push_row([
+        "successor chains (paper)".to_string(),
+        agg.demand_fetches().to_string(),
+        agg.metadata_entries().to_string(),
+    ]);
+    // Griffioen–Appleton probability graph at equal group size.
+    let mut pg = ProbabilityGraph::new(4, 0.05).expect("valid config");
+    let mut cache = LruCache::new(300);
+    let mut fetches = 0u64;
+    for ev in trace.events() {
+        pg.record(ev.file);
+        if cache.access(ev.file).is_miss() {
+            fetches += 1;
+            let members: Vec<FileId> = pg.group_for(ev.file, 5).members().to_vec();
+            cache.insert_speculative_batch(&members);
+        }
+    }
+    t.push_row([
+        "probability graph (G&A '94)".to_string(),
+        fetches.to_string(),
+        pg.edge_count().to_string(),
+    ]);
+    t
+}
+
+fn ablate_cost(trace: &Trace) -> Result<(Table, Table), Box<dyn std::error::Error>> {
+    let sizes = [1usize, 2, 5, 10, 20];
+    let remote = cost_sweep(trace, 300, &sizes, CostModel::remote())?;
+    let lan = cost_sweep(trace, 300, &sizes, CostModel::lan())?;
+    Ok((
+        cost_table(
+            "ablation 7a: I/O cost, remote regime (request = 10x transfer)",
+            &remote,
+        ),
+        cost_table(
+            "ablation 7b: I/O cost, LAN regime (request = 2x transfer)",
+            &lan,
+        ),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = standard_trace(WorkloadProfile::Server);
+    let workstation = standard_trace(WorkloadProfile::Workstation);
+    emit("ablation1_insertion", &ablate_insertion_position(&server))?;
+    emit("ablation2_successor_capacity", &ablate_successor_capacity(&server))?;
+    emit("ablation3_metadata_source", &ablate_metadata_source(&workstation))?;
+    emit("ablation4_large_groups", &ablate_large_groups(&server))?;
+    emit("ablation5_decay", &ablate_decay(&workstation))?;
+    emit("ablation6_predictors", &ablate_predictors(&workstation))?;
+    let (remote, lan) = ablate_cost(&workstation)?;
+    emit("ablation7a_cost_remote", &remote)?;
+    emit("ablation7b_cost_lan", &lan)?;
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Runs every figure reproduction in paper order. Equivalent to running
+//! `repro_fig3`, `repro_fig4`, `repro_fig5`, `repro_fig7`, `repro_fig8`
+//! and `repro_headline` back to back; see each binary's docs for the
+//! expected shapes.
+
+use std::process::Command;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = std::env::current_exe()?;
+    let dir = exe.parent().expect("binary lives in a directory");
+    for bin in [
+        "repro_fig3",
+        "repro_fig4",
+        "repro_fig5",
+        "repro_fig7",
+        "repro_fig8",
+        "repro_headline",
+    ] {
+        let path = dir.join(bin);
+        eprintln!("=== {bin} ===");
+        let status = Command::new(&path).status()?;
+        if !status.success() {
+            return Err(format!("{bin} failed with {status}").into());
+        }
+    }
+    Ok(())
+}

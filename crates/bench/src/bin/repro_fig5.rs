@@ -1,0 +1,25 @@
+//! Reproduces **Figure 5**: likelihood of a successor replacement policy
+//! evicting a future successor, vs the per-file successor list capacity
+//! (1–10), for Oracle / LRU / LFU, on the workstation and server
+//! workloads.
+//!
+//! Expected shape (paper): miss probability falls steeply with the first
+//! few entries; LRU is consistently at or below LFU; both approach the
+//! oracle by a handful of entries.
+
+use fgcache_bench::{emit, standard_trace};
+use fgcache_sim::successors::{miss_probability_table, successor_eval, SuccessorEvalConfig};
+use fgcache_trace::synth::WorkloadProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for profile in [WorkloadProfile::Workstation, WorkloadProfile::Server] {
+        let trace = standard_trace(profile);
+        let points = successor_eval(&trace, &SuccessorEvalConfig::paper())?;
+        let table = miss_probability_table(
+            &format!("Figure 5 ({}): P(miss future successor)", profile),
+            &points,
+        );
+        emit(&format!("fig5_{profile}"), &table)?;
+    }
+    Ok(())
+}

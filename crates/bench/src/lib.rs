@@ -1,0 +1,100 @@
+//! Shared plumbing for the figure-reproduction binaries and benches.
+//!
+//! Every `repro_*` binary in this crate regenerates one table or figure
+//! of the paper's evaluation at a standard scale, prints it as an aligned
+//! table and writes a CSV under `results/`. All runs are deterministic:
+//! fixed seed, fixed event counts.
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `repro_fig3` | Figure 3 — client demand fetches vs capacity per group size |
+//! | `repro_fig4` | Figure 4 — server hit rate vs intervening-filter capacity |
+//! | `repro_fig5` | Figure 5 — P(miss future successor) vs list capacity |
+//! | `repro_fig7` | Figure 7 — successor entropy vs symbol length, 4 workloads |
+//! | `repro_fig8` | Figure 8 — filtered successor entropy vs symbol length |
+//! | `repro_headline` | §1/§6 headline claims summary |
+//! | `repro_all` | all of the above, in order |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use fgcache_sim::Table;
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+use fgcache_trace::Trace;
+
+/// Standard trace length for figure reproduction (large enough for the
+/// paper-scale fetch counts, small enough to run all figures in minutes).
+pub const STANDARD_EVENTS: usize = 150_000;
+
+/// Fixed seed for all figure reproductions.
+pub const STANDARD_SEED: u64 = 20020702; // ICDCS 2002, Vienna
+
+/// Generates the standard trace for a workload profile.
+///
+/// # Panics
+///
+/// Panics if the built-in profile configuration fails validation (a bug).
+pub fn standard_trace(profile: WorkloadProfile) -> Trace {
+    SynthConfig::profile(profile)
+        .events(STANDARD_EVENTS)
+        .seed(STANDARD_SEED)
+        .build()
+        .expect("built-in profiles are valid")
+        .generate()
+}
+
+/// Generates a reduced-scale trace (for smoke tests of the binaries).
+///
+/// # Panics
+///
+/// Panics if the built-in profile configuration fails validation (a bug).
+pub fn small_trace(profile: WorkloadProfile) -> Trace {
+    SynthConfig::profile(profile)
+        .events(20_000)
+        .seed(STANDARD_SEED)
+        .build()
+        .expect("built-in profiles are valid")
+        .generate()
+}
+
+/// Prints a table to stdout and writes its CSV under `results/<name>.csv`
+/// (directory created on demand). Returns the CSV path.
+///
+/// # Errors
+///
+/// Returns an error if the results directory or file cannot be written.
+pub fn emit(name: &str, table: &Table) -> std::io::Result<PathBuf> {
+    println!("{table}");
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    f.write_all(table.to_csv().as_bytes())?;
+    println!("[csv written to {}]\n", path.display());
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_traces_have_standard_length() {
+        let t = small_trace(WorkloadProfile::Server);
+        assert_eq!(t.len(), 20_000);
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let mut table = Table::new("t", ["a"]);
+        table.push_row(["1"]);
+        let path = emit("unit_test_emit", &table).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a\n"));
+        std::fs::remove_file(path).ok();
+    }
+}

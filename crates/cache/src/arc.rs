@@ -1,0 +1,276 @@
+//! ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+//!
+//! ARC balances recency (list `T1`) against frequency (list `T2`) using
+//! two ghost lists (`B1`, `B2`) to learn, online, how much capacity each
+//! deserves. Included as the strongest single-level baseline: even an
+//! adaptive policy cannot recover locality that an intervening cache has
+//! filtered away, which is the gap grouping fills.
+
+use std::collections::HashMap;
+
+use fgcache_types::{AccessOutcome, FileId};
+
+use crate::list::LruList;
+use crate::{Cache, CacheStats};
+
+/// An ARC cache of [`FileId`]s.
+///
+/// ```
+/// use fgcache_cache::{ArcCache, Cache};
+/// use fgcache_types::FileId;
+///
+/// let mut c = ArcCache::new(4);
+/// c.access(FileId(1));
+/// c.access(FileId(1)); // promoted to the frequency side
+/// for i in 10..14 { c.access(FileId(i)); }
+/// // ARC adapts; the twice-accessed file tends to survive the scan.
+/// assert!(c.len() <= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArcCache {
+    capacity: usize,
+    p: usize,
+    t1: LruList,
+    t2: LruList,
+    b1: LruList,
+    b2: LruList,
+    speculative: HashMap<FileId, bool>,
+    stats: CacheStats,
+}
+
+impl ArcCache {
+    /// Creates an ARC cache holding at most `capacity` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be greater than zero");
+        ArcCache {
+            capacity,
+            p: 0,
+            t1: LruList::new(),
+            t2: LruList::new(),
+            b1: LruList::new(),
+            b2: LruList::new(),
+            speculative: HashMap::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The adaptive target size of the recency list `T1` (diagnostic).
+    pub fn recency_target(&self) -> usize {
+        self.p
+    }
+
+    /// Moves the appropriate victim from T1/T2 to its ghost list.
+    fn replace(&mut self, about_to_enter_from_b2: bool) {
+        let t1_len = self.t1.len();
+        if t1_len >= 1 && (t1_len > self.p || (about_to_enter_from_b2 && t1_len == self.p)) {
+            if let Some(victim) = self.t1.pop_back() {
+                self.speculative.remove(&victim);
+                self.b1.push_front(victim);
+                self.stats.record_eviction();
+            }
+        } else if let Some(victim) = self.t2.pop_back() {
+            self.speculative.remove(&victim);
+            self.b2.push_front(victim);
+            self.stats.record_eviction();
+        } else if let Some(victim) = self.t1.pop_back() {
+            // T2 empty; fall back to T1.
+            self.speculative.remove(&victim);
+            self.b1.push_front(victim);
+            self.stats.record_eviction();
+        }
+    }
+
+    fn resident(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+}
+
+impl Cache for ArcCache {
+    fn access(&mut self, file: FileId) -> AccessOutcome {
+        // Case I: hit in T1 or T2 → move to MRU of T2.
+        if self.t1.remove(file) || self.t2.remove(file) {
+            self.t2.push_front(file);
+            let was_spec = self
+                .speculative
+                .insert(file, false)
+                .expect("resident file tracked");
+            self.stats.record_hit(was_spec);
+            return AccessOutcome::Hit;
+        }
+        self.stats.record_miss();
+        let c = self.capacity;
+        if self.b1.contains(file) {
+            // Case II: ghost hit in B1 — favour recency.
+            let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+            self.p = (self.p + delta).min(c);
+            self.replace(false);
+            self.b1.remove(file);
+            self.t2.push_front(file);
+            self.speculative.insert(file, false);
+            return AccessOutcome::Miss;
+        }
+        if self.b2.contains(file) {
+            // Case III: ghost hit in B2 — favour frequency.
+            let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+            self.p = self.p.saturating_sub(delta);
+            self.replace(true);
+            self.b2.remove(file);
+            self.t2.push_front(file);
+            self.speculative.insert(file, false);
+            return AccessOutcome::Miss;
+        }
+        // Case IV: brand-new file.
+        if self.t1.len() + self.b1.len() == c {
+            if self.t1.len() < c {
+                self.b1.pop_back();
+                self.replace(false);
+            } else if let Some(victim) = self.t1.pop_back() {
+                // B1 empty and T1 full: plain eviction without ghost entry.
+                self.speculative.remove(&victim);
+                self.stats.record_eviction();
+            }
+        } else {
+            let total = self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len();
+            if total >= c {
+                if total == 2 * c {
+                    self.b2.pop_back();
+                }
+                if self.resident() >= c {
+                    self.replace(false);
+                }
+            }
+        }
+        self.t1.push_front(file);
+        self.speculative.insert(file, false);
+        AccessOutcome::Miss
+    }
+
+    fn insert_speculative(&mut self, file: FileId) -> bool {
+        if self.speculative.contains_key(&file) {
+            return false;
+        }
+        if self.resident() >= self.capacity {
+            self.replace(false);
+        }
+        // Eviction end of the recency list: lowest priority ARC offers.
+        self.b1.remove(file);
+        self.b2.remove(file);
+        self.t1.push_back(file);
+        self.speculative.insert(file, true);
+        self.stats.record_speculative_insert();
+        true
+    }
+
+    fn contains(&self, file: FileId) -> bool {
+        self.speculative.contains_key(&file)
+    }
+
+    fn len(&self) -> usize {
+        self.resident()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "arc"
+    }
+
+    fn clear(&mut self) {
+        self.t1.clear();
+        self.t2.clear();
+        self.b1.clear();
+        self.b2.clear();
+        self.speculative.clear();
+        self.p = 0;
+        self.stats = CacheStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::check_cache_conformance;
+
+    #[test]
+    fn conformance() {
+        check_cache_conformance(ArcCache::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be greater than zero")]
+    fn zero_capacity_panics() {
+        let _ = ArcCache::new(0);
+    }
+
+    #[test]
+    fn rereference_promotes_to_t2() {
+        let mut c = ArcCache::new(4);
+        c.access(FileId(1));
+        assert!(c.t1.contains(FileId(1)));
+        c.access(FileId(1));
+        assert!(c.t2.contains(FileId(1)));
+        assert!(!c.t1.contains(FileId(1)));
+    }
+
+    #[test]
+    fn ghost_hit_adapts_p() {
+        let mut c = ArcCache::new(2);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        c.access(FileId(3)); // evicts 1 → B1
+        let p_before = c.recency_target();
+        c.access(FileId(1)); // B1 ghost hit → p grows
+        assert!(c.recency_target() >= p_before);
+        assert!(c.contains(FileId(1)));
+    }
+
+    #[test]
+    fn residency_bounded_under_mixed_churn() {
+        let mut c = ArcCache::new(6);
+        for i in 0..1000u64 {
+            c.access(FileId(i % 17));
+            assert!(c.len() <= 6, "len {} at step {i}", c.len());
+        }
+        // Ghost lists stay bounded too (|T1|+|B1| ≤ c, total ≤ 2c).
+        assert!(c.t1.len() + c.b1.len() <= 6);
+        assert!(c.t1.len() + c.t2.len() + c.b1.len() + c.b2.len() <= 12);
+    }
+
+    #[test]
+    fn frequency_side_survives_scan() {
+        let mut c = ArcCache::new(8);
+        // Build frequency: touch a small set repeatedly.
+        for _ in 0..10 {
+            for i in 0..3 {
+                c.access(FileId(i));
+            }
+        }
+        // Long one-shot scan.
+        for i in 100..160 {
+            c.access(FileId(i));
+        }
+        let survivors = (0..3).filter(|&i| c.contains(FileId(i))).count();
+        assert!(survivors >= 1, "ARC lost the whole hot set to a scan");
+    }
+
+    #[test]
+    fn speculative_is_first_victim() {
+        let mut c = ArcCache::new(2);
+        c.access(FileId(1));
+        c.insert_speculative(FileId(9));
+        c.access(FileId(2)); // needs a slot: speculative tail of T1 goes
+        assert!(!c.contains(FileId(9)));
+        assert!(c.contains(FileId(1)));
+        assert!(c.contains(FileId(2)));
+    }
+}

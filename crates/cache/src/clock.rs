@@ -1,0 +1,220 @@
+//! CLOCK (second-chance) cache.
+//!
+//! The classic one-bit approximation of LRU used by real VM and buffer
+//! pool implementations: entries sit on a circular list; a hit sets the
+//! entry's reference bit; the eviction hand sweeps, clearing bits, and
+//! evicts the first entry found with a cleared bit.
+
+use std::collections::HashMap;
+
+use fgcache_types::{AccessOutcome, FileId};
+
+use crate::{Cache, CacheStats};
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    file: FileId,
+    referenced: bool,
+    speculative: bool,
+}
+
+/// A CLOCK cache of [`FileId`]s.
+///
+/// Speculative inserts enter with a cleared reference bit, so the hand
+/// evicts them before any recently-referenced entry.
+///
+/// ```
+/// use fgcache_cache::{Cache, ClockCache};
+/// use fgcache_types::FileId;
+///
+/// let mut c = ClockCache::new(2);
+/// c.access(FileId(1));
+/// c.access(FileId(2));
+/// c.access(FileId(1)); // sets 1's reference bit
+/// c.access(FileId(3)); // sweep clears 1, evicts 2
+/// assert!(c.contains(FileId(1)));
+/// assert!(!c.contains(FileId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClockCache {
+    capacity: usize,
+    slots: Vec<Slot>,
+    hand: usize,
+    index: HashMap<FileId, usize>,
+    stats: CacheStats,
+}
+
+impl ClockCache {
+    /// Creates a CLOCK cache holding at most `capacity` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be greater than zero");
+        ClockCache {
+            capacity,
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            hand: 0,
+            index: HashMap::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Sweeps the hand to a victim slot, evicts its occupant and returns
+    /// the freed slot index.
+    fn evict_one(&mut self) -> usize {
+        debug_assert!(!self.slots.is_empty());
+        loop {
+            let slot = &mut self.slots[self.hand];
+            if slot.referenced {
+                slot.referenced = false;
+                self.hand = (self.hand + 1) % self.slots.len();
+            } else {
+                let victim = slot.file;
+                self.index.remove(&victim);
+                self.stats.record_eviction();
+                let idx = self.hand;
+                self.hand = (self.hand + 1) % self.slots.len();
+                return idx;
+            }
+        }
+    }
+
+    fn place(&mut self, file: FileId, referenced: bool, speculative: bool) {
+        let slot = Slot {
+            file,
+            referenced,
+            speculative,
+        };
+        if self.slots.len() < self.capacity {
+            self.slots.push(slot);
+            self.index.insert(file, self.slots.len() - 1);
+        } else {
+            let idx = self.evict_one();
+            self.slots[idx] = slot;
+            self.index.insert(file, idx);
+        }
+    }
+}
+
+impl Cache for ClockCache {
+    fn access(&mut self, file: FileId) -> AccessOutcome {
+        if let Some(&idx) = self.index.get(&file) {
+            let slot = &mut self.slots[idx];
+            let was_speculative = std::mem::replace(&mut slot.speculative, false);
+            slot.referenced = true;
+            self.stats.record_hit(was_speculative);
+            AccessOutcome::Hit
+        } else {
+            self.stats.record_miss();
+            // New entries start with a cleared bit: the second chance must
+            // be earned by a re-reference, keeping one-shot scans evictable.
+            self.place(file, false, false);
+            AccessOutcome::Miss
+        }
+    }
+
+    fn insert_speculative(&mut self, file: FileId) -> bool {
+        if self.index.contains_key(&file) {
+            return false;
+        }
+        self.place(file, false, true);
+        self.stats.record_speculative_insert();
+        true
+    }
+
+    fn contains(&self, file: FileId) -> bool {
+        self.index.contains_key(&file)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.index.clear();
+        self.hand = 0;
+        self.stats = CacheStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::check_cache_conformance;
+
+    #[test]
+    fn conformance() {
+        check_cache_conformance(ClockCache::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be greater than zero")]
+    fn zero_capacity_panics() {
+        let _ = ClockCache::new(0);
+    }
+
+    #[test]
+    fn referenced_entries_get_second_chance() {
+        let mut c = ClockCache::new(2);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        c.access(FileId(1)); // ref bit on 1
+        c.access(FileId(3)); // hand clears 1, evicts 2
+        assert!(c.contains(FileId(1)));
+        assert!(c.contains(FileId(3)));
+        assert!(!c.contains(FileId(2)));
+    }
+
+    #[test]
+    fn speculative_entries_evicted_before_referenced() {
+        let mut c = ClockCache::new(3);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        c.insert_speculative(FileId(9)); // cleared ref bit
+        c.access(FileId(1)); // refresh
+        c.access(FileId(2)); // refresh
+        c.access(FileId(3)); // should evict 9 first
+        assert!(!c.contains(FileId(9)));
+        assert!(c.contains(FileId(1)));
+        assert!(c.contains(FileId(2)));
+    }
+
+    #[test]
+    fn sweep_makes_progress_when_all_referenced() {
+        let mut c = ClockCache::new(3);
+        for i in 1..=3 {
+            c.access(FileId(i));
+        }
+        // All referenced; a new insert must still succeed.
+        c.access(FileId(4));
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(FileId(4)));
+    }
+
+    #[test]
+    fn index_and_slots_in_sync() {
+        let mut c = ClockCache::new(4);
+        for i in 0..40 {
+            c.access(FileId(i % 9));
+        }
+        assert_eq!(c.index.len(), c.slots.len().min(4));
+        for (&file, &idx) in &c.index {
+            assert_eq!(c.slots[idx].file, file);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! First-in-first-out cache.
+//!
+//! A deliberately simple baseline: residency order is insertion order and
+//! hits do not refresh anything. Useful as a lower bound when studying how
+//! much recency information is worth.
+
+use std::collections::{HashMap, VecDeque};
+
+use fgcache_types::{AccessOutcome, FileId};
+
+use crate::{Cache, CacheStats};
+
+/// A FIFO cache of [`FileId`]s.
+///
+/// Speculative inserts are queued at the *front* (evicted first), mirroring
+/// the "lowest retention priority" contract of
+/// [`Cache::insert_speculative`].
+///
+/// ```
+/// use fgcache_cache::{Cache, FifoCache};
+/// use fgcache_types::FileId;
+///
+/// let mut c = FifoCache::new(2);
+/// c.access(FileId(1));
+/// c.access(FileId(2));
+/// c.access(FileId(1)); // hit, but does NOT refresh insertion order
+/// c.access(FileId(3)); // evicts 1 (oldest insertion)
+/// assert!(!c.contains(FileId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoCache {
+    capacity: usize,
+    // Front = next eviction victim.
+    queue: VecDeque<FileId>,
+    resident: HashMap<FileId, bool>, // value: still speculative?
+    stats: CacheStats,
+}
+
+impl FifoCache {
+    /// Creates a FIFO cache holding at most `capacity` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be greater than zero");
+        FifoCache {
+            capacity,
+            queue: VecDeque::with_capacity(capacity.min(1 << 20)),
+            resident: HashMap::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn evict_front(&mut self) {
+        if let Some(victim) = self.queue.pop_front() {
+            self.resident.remove(&victim);
+            self.stats.record_eviction();
+        }
+    }
+}
+
+impl Cache for FifoCache {
+    fn access(&mut self, file: FileId) -> AccessOutcome {
+        if let Some(spec) = self.resident.get_mut(&file) {
+            let was_speculative = std::mem::replace(spec, false);
+            self.stats.record_hit(was_speculative);
+            AccessOutcome::Hit
+        } else {
+            self.stats.record_miss();
+            if self.resident.len() == self.capacity {
+                self.evict_front();
+            }
+            self.queue.push_back(file);
+            self.resident.insert(file, false);
+            AccessOutcome::Miss
+        }
+    }
+
+    fn insert_speculative(&mut self, file: FileId) -> bool {
+        if self.resident.contains_key(&file) {
+            return false;
+        }
+        if self.resident.len() == self.capacity {
+            self.evict_front();
+        }
+        self.queue.push_front(file);
+        self.resident.insert(file, true);
+        self.stats.record_speculative_insert();
+        true
+    }
+
+    fn contains(&self, file: FileId) -> bool {
+        self.resident.contains_key(&file)
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn clear(&mut self) {
+        self.queue.clear();
+        self.resident.clear();
+        self.stats = CacheStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::check_cache_conformance;
+
+    #[test]
+    fn conformance() {
+        check_cache_conformance(FifoCache::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be greater than zero")]
+    fn zero_capacity_panics() {
+        let _ = FifoCache::new(0);
+    }
+
+    #[test]
+    fn hit_does_not_refresh() {
+        let mut c = FifoCache::new(2);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        assert!(c.access(FileId(1)).is_hit());
+        c.access(FileId(3)); // still evicts 1
+        assert!(!c.contains(FileId(1)));
+        assert!(c.contains(FileId(2)));
+    }
+
+    #[test]
+    fn speculative_evicted_first() {
+        let mut c = FifoCache::new(2);
+        c.access(FileId(1));
+        c.insert_speculative(FileId(9));
+        c.access(FileId(2)); // evicts 9 (front of queue)
+        assert!(!c.contains(FileId(9)));
+        assert!(c.contains(FileId(1)));
+    }
+
+    #[test]
+    fn eviction_strictly_in_insertion_order() {
+        let mut c = FifoCache::new(3);
+        for i in 1..=3 {
+            c.access(FileId(i));
+        }
+        for i in 4..=6 {
+            c.access(FileId(i));
+            assert!(!c.contains(FileId(i - 3)), "expected {} evicted", i - 3);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Intervening-cache filtering.
+//!
+//! A file server never sees the raw workload: client caches absorb hits
+//! and forward only misses. The paper's §4.3 and §4.5 study how this
+//! *filtering* destroys the locality that LRU/LFU depend on, while
+//! successor relationships survive. [`miss_stream`] produces the filtered
+//! workload; [`FilterCache`] is the same thing as a reusable adapter.
+
+use fgcache_types::{AccessEvent, FileId};
+
+use crate::{Cache, CacheStats};
+
+/// Runs `trace`'s events through `cache` and collects the **miss stream**:
+/// the sub-trace of events that missed in the intervening cache,
+/// renumbered consecutively (see [`Trace::filtered`]).
+///
+/// ```
+/// use fgcache_cache::{filter::miss_stream, LruCache};
+/// use fgcache_trace::Trace;
+/// use fgcache_types::FileId;
+///
+/// let trace = Trace::from_files([1, 2, 1, 3, 1]);
+/// let mut client = LruCache::new(2);
+/// let misses = miss_stream(&mut client, &trace);
+/// // 1 and 2 miss cold; the second "1" hits; 3 misses; the last "1" hits.
+/// assert_eq!(misses.file_sequence(), vec![FileId(1), FileId(2), FileId(3)]);
+/// ```
+///
+/// [`Trace::filtered`]: fgcache_trace::Trace::filtered
+pub fn miss_stream<C: Cache + ?Sized>(
+    cache: &mut C,
+    trace: &fgcache_trace::Trace,
+) -> fgcache_trace::Trace {
+    trace.filtered(|ev| cache.access(ev.file).is_miss())
+}
+
+/// An intervening cache as a stream adapter: feed events in, get the
+/// misses out one at a time. Useful when the downstream consumer (e.g. a
+/// server cache) must react *during* the pass rather than after it.
+#[derive(Debug, Clone)]
+pub struct FilterCache<C> {
+    inner: C,
+    forwarded: u64,
+}
+
+impl<C: Cache> FilterCache<C> {
+    /// Wraps an inner cache as a filter.
+    pub fn new(inner: C) -> Self {
+        FilterCache {
+            inner,
+            forwarded: 0,
+        }
+    }
+
+    /// Offers one event to the filter; returns `Some(event)` if it missed
+    /// (i.e. would be forwarded to the server), `None` if absorbed.
+    pub fn offer(&mut self, ev: &AccessEvent) -> Option<AccessEvent> {
+        if self.inner.access(ev.file).is_miss() {
+            self.forwarded += 1;
+            Some(*ev)
+        } else {
+            None
+        }
+    }
+
+    /// Offers a bare file id; returns `true` if it missed (forwarded).
+    pub fn offer_file(&mut self, file: FileId) -> bool {
+        let missed = self.inner.access(file).is_miss();
+        if missed {
+            self.forwarded += 1;
+        }
+        missed
+    }
+
+    /// Number of events forwarded (missed) so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Statistics of the underlying cache.
+    pub fn stats(&self) -> &CacheStats {
+        self.inner.stats()
+    }
+
+    /// Shared access to the wrapped cache.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the adapter, returning the wrapped cache.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LruCache;
+    use fgcache_trace::Trace;
+
+    #[test]
+    fn miss_stream_is_subset_in_order() {
+        let trace = Trace::from_files([5, 6, 5, 7, 5, 6]);
+        let mut cache = LruCache::new(2);
+        let misses = miss_stream(&mut cache, &trace);
+        assert!(misses.len() <= trace.len());
+        // Every miss-stream file appears in the original.
+        let originals: Vec<FileId> = trace.file_sequence();
+        for f in misses.files() {
+            assert!(originals.contains(&f));
+        }
+        // Count agrees with the cache's stats.
+        assert_eq!(misses.len() as u64, cache.stats().misses);
+    }
+
+    #[test]
+    fn huge_filter_absorbs_repeats() {
+        let trace = Trace::from_files([1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        let mut cache = LruCache::new(100);
+        let misses = miss_stream(&mut cache, &trace);
+        assert_eq!(misses.len(), 3); // only cold misses escape
+    }
+
+    #[test]
+    fn tiny_filter_forwards_nearly_everything() {
+        let trace = Trace::from_files([1, 2, 1, 2, 1, 2]);
+        let mut cache = LruCache::new(1);
+        let misses = miss_stream(&mut cache, &trace);
+        assert_eq!(misses.len(), 6); // alternation defeats a 1-entry cache
+    }
+
+    #[test]
+    fn filter_cache_offer_matches_miss_stream() {
+        let trace = Trace::from_files([4, 4, 5, 4, 6]);
+        let mut batch_cache = LruCache::new(2);
+        let expected = miss_stream(&mut batch_cache, &trace);
+
+        let mut filter = FilterCache::new(LruCache::new(2));
+        let streamed: Trace = trace
+            .events()
+            .iter()
+            .filter_map(|ev| filter.offer(ev))
+            .collect();
+        assert_eq!(streamed, expected);
+        assert_eq!(filter.forwarded(), expected.len() as u64);
+    }
+
+    #[test]
+    fn offer_file_counts() {
+        let mut filter = FilterCache::new(LruCache::new(2));
+        assert!(filter.offer_file(FileId(1)));
+        assert!(!filter.offer_file(FileId(1)));
+        assert_eq!(filter.forwarded(), 1);
+        assert_eq!(filter.stats().hits, 1);
+        let inner = filter.into_inner();
+        assert!(inner.contains(FileId(1)));
+    }
+}

@@ -1,0 +1,255 @@
+//! Least-frequently-used cache.
+//!
+//! The paper's server-side baseline (Figure 4 compares LRU, LFU and the
+//! aggregating cache). Eviction removes the entry with the lowest access
+//! count, breaking ties by least-recent use — the common "LFU with LRU
+//! tie-break" formulation. Frequencies are not decayed; this matches the
+//! paper's use of plain frequency counts as the foil to recency.
+
+use std::collections::{BTreeSet, HashMap};
+
+use fgcache_types::{AccessOutcome, FileId};
+
+use crate::{Cache, CacheStats};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    freq: u64,
+    stamp: u64,
+    speculative: bool,
+}
+
+/// An LFU cache of [`FileId`]s with LRU tie-breaking.
+///
+/// Speculative inserts enter with frequency 0, below any demand-fetched
+/// entry (frequency ≥ 1), so unconfirmed group members are evicted first.
+///
+/// ```
+/// use fgcache_cache::{Cache, LfuCache};
+/// use fgcache_types::FileId;
+///
+/// let mut c = LfuCache::new(2);
+/// c.access(FileId(1));
+/// c.access(FileId(1)); // freq(1) = 2
+/// c.access(FileId(2)); // freq(2) = 1
+/// c.access(FileId(3)); // evicts 2 (lowest frequency)
+/// assert!(c.contains(FileId(1)));
+/// assert!(!c.contains(FileId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LfuCache {
+    capacity: usize,
+    entries: HashMap<FileId, Entry>,
+    // Ordered mirror of `entries` for O(log n) victim selection:
+    // (freq, stamp, file) — the first element is the eviction victim.
+    order: BTreeSet<(u64, u64, FileId)>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl LfuCache {
+    /// Creates an LFU cache holding at most `capacity` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be greater than zero");
+        LfuCache {
+            capacity,
+            entries: HashMap::new(),
+            order: BTreeSet::new(),
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The current access count of `file`, if resident.
+    pub fn frequency(&self, file: FileId) -> Option<u64> {
+        self.entries.get(&file).map(|e| e.freq)
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn evict_min(&mut self) {
+        if let Some(&(freq, stamp, file)) = self.order.iter().next() {
+            self.order.remove(&(freq, stamp, file));
+            self.entries.remove(&file);
+            self.stats.record_eviction();
+        }
+    }
+
+    fn insert_entry(&mut self, file: FileId, freq: u64, speculative: bool) {
+        let stamp = self.tick();
+        self.entries.insert(
+            file,
+            Entry {
+                freq,
+                stamp,
+                speculative,
+            },
+        );
+        self.order.insert((freq, stamp, file));
+    }
+}
+
+impl Cache for LfuCache {
+    fn access(&mut self, file: FileId) -> AccessOutcome {
+        if let Some(entry) = self.entries.get(&file).copied() {
+            self.order.remove(&(entry.freq, entry.stamp, file));
+            let stamp = self.tick();
+            let updated = Entry {
+                freq: entry.freq + 1,
+                stamp,
+                speculative: false,
+            };
+            self.entries.insert(file, updated);
+            self.order.insert((updated.freq, stamp, file));
+            self.stats.record_hit(entry.speculative);
+            AccessOutcome::Hit
+        } else {
+            self.stats.record_miss();
+            if self.entries.len() == self.capacity {
+                self.evict_min();
+            }
+            self.insert_entry(file, 1, false);
+            AccessOutcome::Miss
+        }
+    }
+
+    fn insert_speculative(&mut self, file: FileId) -> bool {
+        if self.entries.contains_key(&file) {
+            return false;
+        }
+        if self.entries.len() == self.capacity {
+            self.evict_min();
+        }
+        self.insert_entry(file, 0, true);
+        self.stats.record_speculative_insert();
+        true
+    }
+
+    fn contains(&self, file: FileId) -> bool {
+        self.entries.contains_key(&file)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.clock = 0;
+        self.stats = CacheStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::check_cache_conformance;
+
+    #[test]
+    fn conformance() {
+        check_cache_conformance(LfuCache::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be greater than zero")]
+    fn zero_capacity_panics() {
+        let _ = LfuCache::new(0);
+    }
+
+    #[test]
+    fn evicts_lowest_frequency() {
+        let mut c = LfuCache::new(2);
+        c.access(FileId(1));
+        c.access(FileId(1));
+        c.access(FileId(2));
+        c.access(FileId(3));
+        assert!(c.contains(FileId(1)));
+        assert!(c.contains(FileId(3)));
+        assert!(!c.contains(FileId(2)));
+    }
+
+    #[test]
+    fn tie_break_is_lru() {
+        let mut c = LfuCache::new(2);
+        c.access(FileId(1)); // freq 1, older
+        c.access(FileId(2)); // freq 1, newer
+        c.access(FileId(3)); // tie at freq 1 → evict 1 (older)
+        assert!(!c.contains(FileId(1)));
+        assert!(c.contains(FileId(2)));
+    }
+
+    #[test]
+    fn frequency_accessor() {
+        let mut c = LfuCache::new(4);
+        c.access(FileId(5));
+        c.access(FileId(5));
+        c.access(FileId(5));
+        assert_eq!(c.frequency(FileId(5)), Some(3));
+        assert_eq!(c.frequency(FileId(6)), None);
+    }
+
+    #[test]
+    fn speculative_entries_evicted_before_demand() {
+        let mut c = LfuCache::new(2);
+        c.access(FileId(1));
+        c.insert_speculative(FileId(9)); // freq 0
+        c.access(FileId(2)); // evicts the freq-0 speculative entry
+        assert!(!c.contains(FileId(9)));
+        assert!(c.contains(FileId(1)));
+        assert!(c.contains(FileId(2)));
+    }
+
+    #[test]
+    fn speculative_hit_starts_frequency() {
+        let mut c = LfuCache::new(2);
+        c.insert_speculative(FileId(9));
+        assert!(c.access(FileId(9)).is_hit());
+        assert_eq!(c.frequency(FileId(9)), Some(1));
+        assert_eq!(c.stats().speculative_hits, 1);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_scan() {
+        let mut c = LfuCache::new(3);
+        for _ in 0..10 {
+            c.access(FileId(0));
+        }
+        for i in 1..20 {
+            c.access(FileId(i));
+        }
+        assert!(c.contains(FileId(0)), "frequent file was evicted");
+    }
+
+    #[test]
+    fn order_and_entries_stay_in_sync() {
+        let mut c = LfuCache::new(3);
+        for i in 0..50 {
+            c.access(FileId(i % 7));
+        }
+        assert_eq!(c.order.len(), c.entries.len());
+        for (&(f, s, file), _) in c.order.iter().zip(0..) {
+            let e = c.entries[&file];
+            assert_eq!((e.freq, e.stamp), (f, s));
+        }
+    }
+}

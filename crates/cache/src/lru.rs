@@ -1,0 +1,432 @@
+//! Least-recently-used cache over an intrusive doubly-linked list.
+//!
+//! This is the workhorse of the workspace: the paper's client caches, the
+//! intervening filter caches and the residency structure of the
+//! aggregating cache are all LRU. The implementation keeps nodes in a slab
+//! (`Vec`) with index links, giving O(1) access, insertion at either end
+//! and eviction without any unsafe code.
+
+use std::collections::HashMap;
+
+use fgcache_types::{AccessOutcome, FileId};
+
+use crate::{Cache, CacheStats};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    file: FileId,
+    prev: usize,
+    next: usize,
+    speculative: bool,
+}
+
+/// An LRU cache of [`FileId`]s.
+///
+/// Demand accesses promote to the MRU head; speculative inserts go to the
+/// LRU tail ("appended to the end" — paper §3), so unconfirmed group
+/// members never displace confirmed working-set entries' priority.
+///
+/// ```
+/// use fgcache_cache::{Cache, LruCache};
+/// use fgcache_types::FileId;
+///
+/// let mut c = LruCache::new(3);
+/// c.access(FileId(1));
+/// c.access(FileId(2));
+/// c.insert_speculative(FileId(3));
+/// // The speculative entry is the first to go.
+/// c.access(FileId(4));
+/// assert!(!c.contains(FileId(3)));
+/// assert!(c.contains(FileId(1)) && c.contains(FileId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<FileId, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Creates an LRU cache holding at most `capacity` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be greater than zero");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Returns the resident files from most- to least-recently used.
+    pub fn iter_mru(&self) -> IterMru<'_> {
+        IterMru {
+            cache: self,
+            cursor: self.head,
+        }
+    }
+
+    /// The file currently at the MRU head, if any.
+    pub fn mru(&self) -> Option<FileId> {
+        (self.head != NIL).then(|| self.nodes[self.head].file)
+    }
+
+    /// The file currently at the LRU tail (the next eviction victim), if
+    /// any.
+    pub fn lru(&self) -> Option<FileId> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].file)
+    }
+
+    fn alloc(&mut self, file: FileId, speculative: bool) -> usize {
+        let node = Node {
+            file,
+            prev: NIL,
+            next: NIL,
+            speculative,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_head(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn push_tail(&mut self, idx: usize) {
+        self.nodes[idx].next = NIL;
+        self.nodes[idx].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail].next = idx;
+        }
+        self.tail = idx;
+        if self.head == NIL {
+            self.head = idx;
+        }
+    }
+
+    /// Moves `file` to the MRU head **without** recording an access or
+    /// clearing its speculative flag. Returns whether the file was
+    /// resident.
+    ///
+    /// Used by the aggregating cache's head-insertion ablation, where
+    /// speculative group members are placed directly below the requested
+    /// file instead of at the tail.
+    pub fn promote_to_head(&mut self, file: FileId) -> bool {
+        match self.map.get(&file).copied() {
+            Some(idx) => {
+                self.detach(idx);
+                self.push_head(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts the LRU tail entry, returning its file.
+    fn evict_tail(&mut self) -> Option<FileId> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let file = self.nodes[idx].file;
+        self.detach(idx);
+        self.map.remove(&file);
+        self.free.push(idx);
+        self.stats.record_eviction();
+        Some(file)
+    }
+}
+
+impl Cache for LruCache {
+    fn access(&mut self, file: FileId) -> AccessOutcome {
+        if let Some(&idx) = self.map.get(&file) {
+            let was_speculative = std::mem::replace(&mut self.nodes[idx].speculative, false);
+            self.detach(idx);
+            self.push_head(idx);
+            self.stats.record_hit(was_speculative);
+            AccessOutcome::Hit
+        } else {
+            self.stats.record_miss();
+            if self.map.len() == self.capacity {
+                self.evict_tail();
+            }
+            let idx = self.alloc(file, false);
+            self.push_head(idx);
+            self.map.insert(file, idx);
+            AccessOutcome::Miss
+        }
+    }
+
+    fn insert_speculative(&mut self, file: FileId) -> bool {
+        if self.map.contains_key(&file) {
+            return false;
+        }
+        if self.map.len() == self.capacity {
+            self.evict_tail();
+        }
+        let idx = self.alloc(file, true);
+        self.push_tail(idx);
+        self.map.insert(file, idx);
+        self.stats.record_speculative_insert();
+        true
+    }
+
+    /// Appends the batch at the LRU tail in `files` order (first member of
+    /// the batch is evicted last among the batch), making room for the
+    /// whole batch **before** inserting so batch members never evict each
+    /// other.
+    fn insert_speculative_batch(&mut self, files: &[FileId]) {
+        let fresh: Vec<FileId> = {
+            let mut seen = std::collections::HashSet::new();
+            files
+                .iter()
+                .copied()
+                .filter(|f| !self.map.contains_key(f) && seen.insert(*f))
+                .take(self.capacity)
+                .collect()
+        };
+        let needed = (self.map.len() + fresh.len()).saturating_sub(self.capacity);
+        for _ in 0..needed {
+            self.evict_tail();
+        }
+        for file in fresh {
+            let idx = self.alloc(file, true);
+            self.push_tail(idx);
+            self.map.insert(file, idx);
+            self.stats.record_speculative_insert();
+        }
+    }
+
+    fn contains(&self, file: FileId) -> bool {
+        self.map.contains_key(&file)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.stats = CacheStats::new();
+    }
+}
+
+/// Iterator over resident files from MRU to LRU, produced by
+/// [`LruCache::iter_mru`].
+#[derive(Debug)]
+pub struct IterMru<'a> {
+    cache: &'a LruCache,
+    cursor: usize,
+}
+
+impl Iterator for IterMru<'_> {
+    type Item = FileId;
+
+    fn next(&mut self) -> Option<FileId> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.cache.nodes[self.cursor];
+        self.cursor = node.next;
+        Some(node.file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::check_cache_conformance;
+
+    fn files(c: &LruCache) -> Vec<u64> {
+        c.iter_mru().map(|f| f.as_u64()).collect()
+    }
+
+    #[test]
+    fn conformance() {
+        check_cache_conformance(LruCache::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be greater than zero")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::new(0);
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let mut c = LruCache::new(3);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        c.access(FileId(3));
+        c.access(FileId(1)); // refresh 1; LRU is now 2
+        c.access(FileId(4)); // evicts 2
+        assert!(!c.contains(FileId(2)));
+        assert_eq!(files(&c), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn mru_and_lru_accessors() {
+        let mut c = LruCache::new(3);
+        assert_eq!(c.mru(), None);
+        assert_eq!(c.lru(), None);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        assert_eq!(c.mru(), Some(FileId(2)));
+        assert_eq!(c.lru(), Some(FileId(1)));
+    }
+
+    #[test]
+    fn speculative_goes_to_tail() {
+        let mut c = LruCache::new(3);
+        c.access(FileId(1));
+        c.insert_speculative(FileId(9));
+        assert_eq!(c.lru(), Some(FileId(9)));
+        assert_eq!(c.mru(), Some(FileId(1)));
+    }
+
+    #[test]
+    fn speculative_hit_promotes_to_head() {
+        let mut c = LruCache::new(3);
+        c.access(FileId(1));
+        c.insert_speculative(FileId(9));
+        assert!(c.access(FileId(9)).is_hit());
+        assert_eq!(c.mru(), Some(FileId(9)));
+        assert_eq!(c.stats().speculative_hits, 1);
+    }
+
+    #[test]
+    fn batch_members_do_not_evict_each_other() {
+        let mut c = LruCache::new(4);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        c.access(FileId(3));
+        c.access(FileId(4));
+        // Batch of 3 into a full cache of 4: evicts the 3 LRU entries
+        // (1, 2, 3), keeps the whole batch.
+        c.insert_speculative_batch(&[FileId(10), FileId(11), FileId(12)]);
+        assert_eq!(c.len(), 4);
+        assert!(c.contains(FileId(4)));
+        assert!(c.contains(FileId(10)));
+        assert!(c.contains(FileId(11)));
+        assert!(c.contains(FileId(12)));
+    }
+
+    #[test]
+    fn batch_order_determines_eviction_order() {
+        let mut c = LruCache::new(3);
+        c.insert_speculative_batch(&[FileId(1), FileId(2), FileId(3)]);
+        // Tail is the last batch member.
+        assert_eq!(c.lru(), Some(FileId(3)));
+        c.access(FileId(4)); // evicts 3
+        assert!(!c.contains(FileId(3)));
+        assert!(c.contains(FileId(1)));
+    }
+
+    #[test]
+    fn batch_skips_resident_and_duplicates() {
+        let mut c = LruCache::new(5);
+        c.access(FileId(1));
+        c.insert_speculative_batch(&[FileId(1), FileId(2), FileId(2), FileId(3)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().speculative_inserts, 2);
+    }
+
+    #[test]
+    fn batch_larger_than_capacity_keeps_prefix() {
+        let mut c = LruCache::new(2);
+        c.insert_speculative_batch(&[FileId(1), FileId(2), FileId(3), FileId(4)]);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(FileId(1)));
+        assert!(c.contains(FileId(2)));
+    }
+
+    #[test]
+    fn capacity_one_behaves() {
+        let mut c = LruCache::new(1);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        assert!(!c.contains(FileId(1)));
+        assert!(c.contains(FileId(2)));
+        assert_eq!(c.len(), 1);
+        assert!(c.access(FileId(2)).is_hit());
+    }
+
+    #[test]
+    fn slab_reuse_after_eviction() {
+        let mut c = LruCache::new(2);
+        for i in 0..100 {
+            c.access(FileId(i));
+        }
+        // Slab should not grow beyond capacity + O(1).
+        assert!(c.nodes.len() <= 3, "slab grew to {}", c.nodes.len());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iter_mru_full_order() {
+        let mut c = LruCache::new(4);
+        for i in [1, 2, 3] {
+            c.access(FileId(i));
+        }
+        c.access(FileId(2));
+        assert_eq!(files(&c), vec![2, 3, 1]);
+    }
+}

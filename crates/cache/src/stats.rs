@@ -1,0 +1,146 @@
+//! Cache statistics accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by every [`Cache`](crate::Cache) implementation.
+///
+/// The paper's two headline metrics derive directly from these: the number
+/// of *demand fetches* a client performs equals `misses` (Figure 3), and a
+/// server cache's *hit rate* is [`CacheStats::hit_rate`] (Figure 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand accesses processed.
+    pub accesses: u64,
+    /// Demand accesses that found the file resident.
+    pub hits: u64,
+    /// Demand accesses that required a fetch.
+    pub misses: u64,
+    /// Files inserted speculatively (group members).
+    pub speculative_inserts: u64,
+    /// Demand hits whose entry was still speculative (i.e. the prefetch
+    /// paid off before the entry was demand-accessed or evicted).
+    pub speculative_hits: u64,
+    /// Files evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Fraction of accesses that hit; 0 when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of accesses that missed; 0 when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of speculative inserts that were later demand-hit while
+    /// still speculative — the prefetch *accuracy*; 0 when nothing was
+    /// inserted speculatively.
+    pub fn speculative_accuracy(&self) -> f64 {
+        if self.speculative_inserts == 0 {
+            0.0
+        } else {
+            self.speculative_hits as f64 / self.speculative_inserts as f64
+        }
+    }
+
+    pub(crate) fn record_hit(&mut self, was_speculative: bool) {
+        self.accesses += 1;
+        self.hits += 1;
+        if was_speculative {
+            self.speculative_hits += 1;
+        }
+    }
+
+    pub(crate) fn record_miss(&mut self) {
+        self.accesses += 1;
+        self.misses += 1;
+    }
+
+    pub(crate) fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    pub(crate) fn record_speculative_insert(&mut self) {
+        self.speculative_inserts += 1;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses {} hits {} ({:.1}%) misses {} spec-ins {} spec-hits {} evictions {}",
+            self.accesses,
+            self.hits,
+            self.hit_rate() * 100.0,
+            self.misses,
+            self.speculative_inserts,
+            self.speculative_hits,
+            self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_rates() {
+        let s = CacheStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.speculative_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let mut s = CacheStats::new();
+        s.record_hit(false);
+        s.record_hit(true);
+        s.record_miss();
+        s.record_miss();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.speculative_hits, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculative_accuracy() {
+        let mut s = CacheStats::new();
+        s.record_speculative_insert();
+        s.record_speculative_insert();
+        s.record_hit(true);
+        assert!((s.speculative_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut s = CacheStats::new();
+        s.record_miss();
+        let text = s.to_string();
+        assert!(text.contains("accesses 1"));
+        assert!(text.contains("misses 1"));
+    }
+}

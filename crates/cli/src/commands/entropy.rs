@@ -1,0 +1,84 @@
+//! `fgcache entropy` — successor-entropy analysis (figures 7/8).
+
+use std::error::Error;
+
+use fgcache_entropy::{analyze, entropy_profile, filtered_entropy_profile};
+use fgcache_trace::Trace;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub(crate) fn report(
+    trace: &Trace,
+    max_k: usize,
+    filter: Option<usize>,
+) -> Result<String, Box<dyn Error>> {
+    let ks: Vec<usize> = (1..=max_k.max(1)).collect();
+    let mut out = String::new();
+    let files = trace.file_sequence();
+    let profile = match filter {
+        Some(capacity) => {
+            out.push_str(&format!(
+                "successor entropy of the miss stream behind an LRU filter of {capacity} files\n"
+            ));
+            filtered_entropy_profile(trace, capacity, &ks)?
+        }
+        None => {
+            out.push_str("successor entropy of the raw access stream\n");
+            entropy_profile(&files, &ks)?
+        }
+    };
+    out.push_str(" k   bits\n");
+    for (k, h) in profile {
+        out.push_str(&format!("{k:>2}  {h:5.2}\n"));
+    }
+    if filter.is_none() {
+        let analysis = analyze(&files, 1)?;
+        out.push_str(&format!(
+            "\nrepeating files {} | singleton files {} | top unpredictable contexts:\n",
+            analysis.repeating_files, analysis.singleton_files
+        ));
+        for e in analysis.per_file.iter().take(5) {
+            out.push_str(&format!(
+                "  {}  weight {:.3}  H {:.2} bits  ({} successors over {} transitions)\n",
+                e.file, e.weight, e.conditional_entropy, e.distinct_successors, e.transitions
+            ));
+        }
+    }
+    Ok(out)
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&["format", "max-k", "filter"])?;
+    let path = args.require_positional(0, "trace")?;
+    let trace = load_trace(path, args.flag("format"))?;
+    let max_k = args.flag_or("max-k", 8usize)?;
+    let filter = match args.flag("filter") {
+        Some(raw) => Some(raw.parse().map_err(|_| "invalid --filter")?),
+        None => None,
+    };
+    print!("{}", report(&trace, max_k, filter)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_report_lists_all_k() {
+        let trace = Trace::from_files([1, 2, 3].repeat(30));
+        let text = report(&trace, 4, None).unwrap();
+        assert!(text.contains(" 1   0.00"));
+        assert!(text.contains(" 4 "));
+        assert!(text.contains("repeating files"));
+    }
+
+    #[test]
+    fn filtered_report_mentions_filter() {
+        let trace = Trace::from_files([1, 2, 3, 4].repeat(30));
+        let text = report(&trace, 2, Some(2)).unwrap();
+        assert!(text.contains("LRU filter of 2 files"));
+    }
+}

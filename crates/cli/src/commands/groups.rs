@@ -1,0 +1,86 @@
+//! `fgcache groups` — show the strongest dynamic groups of a trace.
+
+use std::error::Error;
+
+use fgcache_successor::{GroupBuilder, LruSuccessorList, RelationshipGraph, SuccessorTable};
+use fgcache_trace::Trace;
+use fgcache_types::FileId;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub(crate) fn report(
+    trace: &Trace,
+    group_size: usize,
+    top: usize,
+    successors: usize,
+) -> Result<String, Box<dyn Error>> {
+    let mut graph = RelationshipGraph::new();
+    let mut table = SuccessorTable::new(LruSuccessorList::new(successors)?);
+    for f in trace.files() {
+        graph.record(f);
+        table.record(f);
+    }
+    let builder = GroupBuilder::new(group_size)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "relationship graph: {} files, {} edges, {} successor entries tracked\n\n",
+        graph.node_count(),
+        graph.edge_count(),
+        table.metadata_entries(),
+    ));
+    out.push_str(&format!("strongest {top} edges:\n"));
+    for (from, to, w) in graph.top_edges(top) {
+        out.push_str(&format!("  {from} -> {to}  ({w}x)\n"));
+    }
+    out.push_str(&format!(
+        "\ngroups of {group_size} for the {top} hottest files:\n"
+    ));
+    let mut hot: Vec<(FileId, u64)> = trace
+        .file_sequence()
+        .into_iter()
+        .fold(std::collections::HashMap::new(), |mut m, f| {
+            *m.entry(f).or_insert(0u64) += 1;
+            m
+        })
+        .into_iter()
+        .collect();
+    hot.sort_by_key(|&(f, c)| (std::cmp::Reverse(c), f));
+    for (f, count) in hot.into_iter().take(top) {
+        let group = builder.build(&table, f);
+        out.push_str(&format!("  {f} ({count} accesses): {group}\n"));
+    }
+    Ok(out)
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&["format", "group-size", "top", "successors"])?;
+    let path = args.require_positional(0, "trace")?;
+    let trace = load_trace(path, args.flag("format"))?;
+    let group_size = args.flag_or("group-size", 5usize)?;
+    let top = args.flag_or("top", 10usize)?;
+    let successors = args.flag_or("successors", 8usize)?;
+    print!("{}", report(&trace, group_size, top, successors)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shows_groups() {
+        let trace = Trace::from_files([1, 2, 3].repeat(20));
+        let text = report(&trace, 3, 3, 4).unwrap();
+        assert!(text.contains("relationship graph: 3 files"));
+        assert!(text.contains("f1"));
+        assert!(text.contains("[f1 f2 f3]"));
+    }
+
+    #[test]
+    fn zero_group_size_rejected() {
+        let trace = Trace::from_files([1, 2]);
+        assert!(report(&trace, 0, 3, 4).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Subcommand implementations.
+//!
+//! Each module exposes `run(tokens) -> Result<(), Box<dyn Error>>` and a
+//! pure core function that returns its report as a `String`, so the logic
+//! is unit-testable without spawning processes.
+
+pub mod entropy;
+pub mod gen;
+pub mod groups;
+pub mod simulate;
+pub mod stats;
+pub mod two_level;
+
+use std::error::Error;
+use std::fs::File;
+use std::path::Path;
+
+use fgcache_trace::{io, Trace};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TraceFormat {
+    Text,
+    Json,
+    Binary,
+}
+
+/// Loads a trace from `path`, auto-detecting the format by extension
+/// (`.json`, `.bin`, else text) unless `format` overrides it (`"text"`,
+/// `"json"` or `"bin"`).
+pub(crate) fn load_trace(path: &str, format: Option<&str>) -> Result<Trace, Box<dyn Error>> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let fmt = match format {
+        Some("json") => TraceFormat::Json,
+        Some("text") => TraceFormat::Text,
+        Some("bin" | "binary") => TraceFormat::Binary,
+        Some(other) => return Err(format!("unknown --format {other:?} (text|json|bin)").into()),
+        None => {
+            let ext = Path::new(path).extension().and_then(|e| e.to_str());
+            match ext {
+                Some(e) if e.eq_ignore_ascii_case("json") => TraceFormat::Json,
+                Some(e) if e.eq_ignore_ascii_case("bin") => TraceFormat::Binary,
+                _ => TraceFormat::Text,
+            }
+        }
+    };
+    let trace = match fmt {
+        TraceFormat::Json => io::read_json(file)?,
+        TraceFormat::Text => io::read_text(file)?,
+        TraceFormat::Binary => io::read_binary(file)?,
+    };
+    Ok(trace)
+}

@@ -1,0 +1,115 @@
+//! `fgcache simulate` — run one cache over a trace.
+
+use std::error::Error;
+
+use fgcache_cache::{Cache, PolicyKind};
+use fgcache_core::AggregatingCacheBuilder;
+use fgcache_trace::Trace;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub(crate) fn simulate(
+    trace: &Trace,
+    policy: &str,
+    capacity: usize,
+    group: usize,
+    successors: usize,
+) -> Result<String, Box<dyn Error>> {
+    let mut out = String::new();
+    if policy == "agg" {
+        let mut cache = AggregatingCacheBuilder::new(capacity)
+            .group_size(group)
+            .successor_capacity(successors)
+            .build()?;
+        for ev in trace.events() {
+            cache.handle_access(ev.file);
+        }
+        let stats = Cache::stats(&cache);
+        out.push_str(&format!(
+            "aggregating cache: capacity {capacity}, group size {group}, successors {successors}\n"
+        ));
+        out.push_str(&format!("accesses          {}\n", stats.accesses));
+        out.push_str(&format!("demand fetches    {}\n", cache.demand_fetches()));
+        out.push_str(&format!(
+            "hit rate          {:.1}%\n",
+            stats.hit_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "files transferred {} ({:.2} per fetch)\n",
+            cache.group_stats().files_transferred,
+            cache.group_stats().mean_group_size()
+        ));
+        out.push_str(&format!(
+            "prefetch accuracy {:.1}%\n",
+            stats.speculative_accuracy() * 100.0
+        ));
+        out.push_str(&format!(
+            "metadata entries  {}\n",
+            cache.metadata_entries()
+        ));
+    } else {
+        let kind: PolicyKind = policy.parse()?;
+        let mut cache = kind.build(capacity);
+        for ev in trace.events() {
+            cache.access(ev.file);
+        }
+        let stats = cache.stats();
+        out.push_str(&format!("{kind} cache: capacity {capacity}\n"));
+        out.push_str(&format!("accesses       {}\n", stats.accesses));
+        out.push_str(&format!("misses         {}\n", stats.misses));
+        out.push_str(&format!(
+            "hit rate       {:.1}%\n",
+            stats.hit_rate() * 100.0
+        ));
+        out.push_str(&format!("evictions      {}\n", stats.evictions));
+    }
+    Ok(out)
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&["format", "policy", "capacity", "group", "successors"])?;
+    let path = args.require_positional(0, "trace")?;
+    let trace = load_trace(path, args.flag("format"))?;
+    let capacity: usize = args.require_flag("capacity")?;
+    let policy = args.flag("policy").unwrap_or("agg");
+    let group = args.flag_or("group", 5usize)?;
+    let successors = args.flag_or("successors", 8usize)?;
+    print!("{}", simulate(&trace, policy, capacity, group, successors)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::from_files((0..500u64).map(|i| i % 17))
+    }
+
+    #[test]
+    fn plain_policy_report() {
+        let text = simulate(&trace(), "lru", 10, 5, 8).unwrap();
+        assert!(text.contains("lru cache: capacity 10"));
+        assert!(text.contains("accesses       500"));
+    }
+
+    #[test]
+    fn aggregating_report() {
+        let text = simulate(&trace(), "agg", 10, 3, 4).unwrap();
+        assert!(text.contains("aggregating cache"));
+        assert!(text.contains("demand fetches"));
+        assert!(text.contains("metadata entries"));
+    }
+
+    #[test]
+    fn bad_policy_rejected() {
+        assert!(simulate(&trace(), "belady", 10, 3, 4).is_err());
+    }
+
+    #[test]
+    fn bad_group_rejected() {
+        assert!(simulate(&trace(), "agg", 2, 5, 4).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! `fgcache stats` — summarise a trace.
+
+use std::error::Error;
+
+use fgcache_trace::stats::TraceStats;
+use fgcache_trace::Trace;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+pub(crate) fn report(trace: &Trace) -> String {
+    let s = TraceStats::compute(trace);
+    let mut out = String::new();
+    out.push_str(&format!("events            {}\n", s.events));
+    out.push_str(&format!("unique files      {}\n", s.unique_files));
+    out.push_str(&format!("clients           {}\n", s.clients));
+    out.push_str(&format!(
+        "kinds             R {} / W {} / C {} / D {}\n",
+        s.reads, s.writes, s.creates, s.deletes
+    ));
+    out.push_str(&format!(
+        "repeat fraction   {:.1}%\n",
+        s.repeat_fraction() * 100.0
+    ));
+    out.push_str(&format!(
+        "mutation fraction {:.1}%\n",
+        s.mutation_fraction() * 100.0
+    ));
+    out.push_str(&format!("singleton files   {}\n", s.singleton_files));
+    out.push_str(&format!("hottest file hits {}\n", s.max_file_accesses));
+    out.push_str(&format!(
+        "top-1% share      {:.1}%\n",
+        s.top_percent_share * 100.0
+    ));
+    out
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&["format"])?;
+    let path = args.require_positional(0, "trace")?;
+    let trace = load_trace(path, args.flag("format"))?;
+    print!("{}", report(&trace));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_key_lines() {
+        let trace = Trace::from_files([1, 2, 1, 3]);
+        let text = report(&trace);
+        assert!(text.contains("events            4"));
+        assert!(text.contains("unique files      3"));
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(&["/nonexistent/trace.txt".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn missing_positional_is_reported() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.to_string().contains("<trace>"));
+    }
+}

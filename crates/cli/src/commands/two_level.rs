@@ -1,0 +1,106 @@
+//! `fgcache two-level` — client filter + server cache (figure 4).
+
+use std::error::Error;
+
+use fgcache_cache::PolicyKind;
+use fgcache_sim::server::{hit_rate_table, two_level_sweep, ServerScheme, TwoLevelConfig};
+use fgcache_trace::Trace;
+
+use crate::args::Args;
+use crate::commands::load_trace;
+
+fn parse_scheme(raw: &str) -> Result<ServerScheme, Box<dyn Error>> {
+    if let Some(g) = raw.strip_prefix('g') {
+        if let Ok(group_size) = g.parse::<usize>() {
+            return Ok(ServerScheme::Aggregating { group_size });
+        }
+    }
+    let kind: PolicyKind = raw.parse()?;
+    Ok(ServerScheme::Policy(kind))
+}
+
+pub(crate) fn report(
+    trace: &Trace,
+    filters: &[usize],
+    server: usize,
+    schemes: &[ServerScheme],
+) -> Result<String, Box<dyn Error>> {
+    let config = TwoLevelConfig {
+        filter_capacities: filters.to_vec(),
+        server_capacity: server,
+        schemes: schemes.to_vec(),
+        successor_capacity: 8,
+    };
+    let points = two_level_sweep(trace, &config)?;
+    Ok(hit_rate_table(
+        &format!("server hit rate (server cache = {server})"),
+        &points,
+    )
+    .render())
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&["format", "filter", "server", "scheme"])?;
+    let path = args.require_positional(0, "trace")?;
+    let trace = load_trace(path, args.flag("format"))?;
+    let server: usize = args.flag_or("server", 300usize)?;
+    let filters: Vec<usize> = match args.flag("filter") {
+        Some(raw) => raw
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "invalid --filter (comma-separated capacities)")?,
+        None => vec![50, 100, 200, 300, 400, 500],
+    };
+    let schemes: Vec<ServerScheme> = match args.flag("scheme") {
+        Some(raw) => raw
+            .split(',')
+            .map(|p| parse_scheme(p.trim()))
+            .collect::<Result<_, _>>()?,
+        None => vec![
+            ServerScheme::Aggregating { group_size: 5 },
+            ServerScheme::Policy(PolicyKind::Lru),
+            ServerScheme::Policy(PolicyKind::Lfu),
+        ],
+    };
+    print!("{}", report(&trace, &filters, server, &schemes)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_parsing() {
+        assert!(matches!(
+            parse_scheme("g7").unwrap(),
+            ServerScheme::Aggregating { group_size: 7 }
+        ));
+        assert!(matches!(
+            parse_scheme("lru").unwrap(),
+            ServerScheme::Policy(PolicyKind::Lru)
+        ));
+        assert!(parse_scheme("gX").is_err());
+        assert!(parse_scheme("nope").is_err());
+    }
+
+    #[test]
+    fn report_renders_table() {
+        let trace = Trace::from_files((0..800u64).map(|i| i % 37));
+        let text = report(
+            &trace,
+            &[10, 20],
+            30,
+            &[
+                ServerScheme::Policy(PolicyKind::Lru),
+                ServerScheme::Aggregating { group_size: 3 },
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("g3"));
+        assert!(text.contains("lru"));
+        assert!(text.contains("10"));
+    }
+}

@@ -1,0 +1,66 @@
+//! `fgcache` — command-line interface to the fgcache workspace.
+//!
+//! ```text
+//! fgcache gen       --profile server --events 100000 --seed 1 --out trace.txt
+//! fgcache stats     trace.txt
+//! fgcache entropy   trace.txt [--max-k 20] [--filter CAPACITY]
+//! fgcache simulate  trace.txt --capacity 300 [--policy lru|lfu|fifo|clock|2q|mq|arc|agg] [--group 5]
+//! fgcache two-level trace.txt --filter 200 --server 300 [--scheme g5|lru|lfu|...]
+//! fgcache groups    trace.txt [--group-size 5] [--top 10]
+//! ```
+//!
+//! Traces are read in the text format (`seq client kind file` per line) or
+//! JSON (`--format json`).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fgcache — group-based management of distributed file caches (ICDCS 2002)
+
+USAGE:
+    fgcache <COMMAND> [ARGS]
+
+COMMANDS:
+    gen        generate a synthetic workload trace
+    stats      summarise a trace
+    entropy    successor-entropy analysis (figures 7/8)
+    simulate   run one cache over a trace
+    two-level  client filter + server cache simulation (figure 4)
+    groups     show the strongest dynamic groups of a trace
+    help       print this message
+
+Run `fgcache <COMMAND> --help` semantics: every command validates its
+flags and reports unknown ones.
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<String> = argv.collect();
+    let result = match command.as_str() {
+        "gen" => commands::gen::run(&rest),
+        "stats" => commands::stats::run(&rest),
+        "entropy" => commands::entropy::run(&rest),
+        "simulate" => commands::simulate::run(&rest),
+        "two-level" => commands::two_level::run(&rest),
+        "groups" => commands::groups::run(&rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The aggregating cache implementation.
+
+use std::fmt;
+
+use fgcache_cache::{Cache, CacheStats, LruCache};
+use fgcache_successor::{GroupBuilder, LruSuccessorList, SuccessorTable};
+use fgcache_types::{AccessOutcome, FileId};
+use serde::{Deserialize, Serialize};
+
+/// Where speculative group members are placed in the LRU order.
+///
+/// The paper appends them to the tail and reports that "exact placement of
+/// the remaining group members was found to have little effect if the
+/// cache is several times the group size" — [`InsertionPolicy::Head`]
+/// exists to reproduce that ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum InsertionPolicy {
+    /// Append group members at the LRU tail (the paper's choice).
+    #[default]
+    Tail,
+    /// Insert group members directly below the requested file at the MRU
+    /// head (aggressive placement).
+    Head,
+}
+
+impl fmt::Display for InsertionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InsertionPolicy::Tail => "tail",
+            InsertionPolicy::Head => "head",
+        })
+    }
+}
+
+/// Where the successor table gets its observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MetadataSource {
+    /// Every request handled by this cache feeds the table (client
+    /// deployment on the raw stream, or an uncooperative server on the
+    /// miss stream).
+    #[default]
+    Requests,
+    /// The table is fed externally via
+    /// [`AggregatingCache::observe_metadata`] (piggy-backed client
+    /// statistics at the server); handled requests do *not* feed it.
+    External,
+}
+
+impl fmt::Display for MetadataSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MetadataSource::Requests => "requests",
+            MetadataSource::External => "external",
+        })
+    }
+}
+
+/// Counters describing the group-fetch behaviour of an
+/// [`AggregatingCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupFetchStats {
+    /// Demand fetches performed (equals cache misses).
+    pub demand_fetches: u64,
+    /// Total files transferred across all group fetches (requested +
+    /// speculative members actually brought in).
+    pub files_transferred: u64,
+    /// Speculative members that were already resident and therefore not
+    /// re-fetched.
+    pub members_already_resident: u64,
+}
+
+impl GroupFetchStats {
+    /// Mean number of files per demand fetch (≥ 1); 0 with no fetches.
+    pub fn mean_group_size(&self) -> f64 {
+        if self.demand_fetches == 0 {
+            0.0
+        } else {
+            self.files_transferred as f64 / self.demand_fetches as f64
+        }
+    }
+}
+
+/// The aggregating cache: LRU residency + successor-driven group fetching.
+///
+/// Construct via [`AggregatingCacheBuilder`](crate::AggregatingCacheBuilder).
+/// With `group_size == 1` the cache degenerates to plain LRU, which is how
+/// the experiments obtain their baseline from identical code paths.
+#[derive(Debug, Clone)]
+pub struct AggregatingCache {
+    cache: LruCache,
+    table: SuccessorTable<LruSuccessorList>,
+    builder: GroupBuilder,
+    insertion: InsertionPolicy,
+    metadata: MetadataSource,
+    accesses: u64,
+    group_stats: GroupFetchStats,
+}
+
+impl AggregatingCache {
+    pub(crate) fn from_parts(
+        cache: LruCache,
+        table: SuccessorTable<LruSuccessorList>,
+        builder: GroupBuilder,
+        insertion: InsertionPolicy,
+        metadata: MetadataSource,
+    ) -> Self {
+        AggregatingCache {
+            cache,
+            table,
+            builder,
+            insertion,
+            metadata,
+            accesses: 0,
+            group_stats: GroupFetchStats::default(),
+        }
+    }
+
+    /// Handles one demand request.
+    ///
+    /// Updates the successor table (when the metadata source is
+    /// [`MetadataSource::Requests`]), then serves the request: a hit
+    /// refreshes LRU position; a miss performs a *group fetch* — the
+    /// requested file enters at the MRU head and the group's speculative
+    /// members are inserted per the configured [`InsertionPolicy`].
+    pub fn handle_access(&mut self, file: FileId) -> AccessOutcome {
+        self.accesses += 1;
+        if self.metadata == MetadataSource::Requests {
+            self.table.record(file);
+        }
+        if self.cache.contains(file) {
+            return self.cache.access(file);
+        }
+        // Demand miss → group fetch.
+        self.group_stats.demand_fetches += 1;
+        let group = self.builder.build(&self.table, file);
+        let outcome = self.cache.access(file); // inserts requested at MRU
+        self.group_stats.files_transferred += 1;
+        let mut members: Vec<FileId> = group
+            .members()
+            .iter()
+            .copied()
+            .filter(|f| {
+                let resident = self.cache.contains(*f);
+                if resident {
+                    self.group_stats.members_already_resident += 1;
+                }
+                !resident
+            })
+            .collect();
+        // A group never displaces its own requested file, so at most
+        // capacity − 1 speculative members enter.
+        members.truncate(self.cache.capacity().saturating_sub(1));
+        self.group_stats.files_transferred += members.len() as u64;
+        match self.insertion {
+            InsertionPolicy::Tail => self.cache.insert_speculative_batch(&members),
+            InsertionPolicy::Head => {
+                // Place members directly below the requested file: promote
+                // least-confident first, then re-assert the requested file
+                // at the MRU head.
+                for &m in members.iter().rev() {
+                    self.cache.insert_speculative(m);
+                    self.cache.promote_to_head(m);
+                }
+                self.cache.promote_to_head(file);
+            }
+        }
+        outcome
+    }
+
+    /// Feeds one access observation into the successor table without
+    /// touching the cache — piggy-backed client statistics arriving at a
+    /// server-deployed aggregating cache.
+    pub fn observe_metadata(&mut self, file: FileId) {
+        self.table.record(file);
+    }
+
+    /// Demand fetches performed so far (the paper's Figure 3 metric;
+    /// equal to the miss count).
+    pub fn demand_fetches(&self) -> u64 {
+        self.group_stats.demand_fetches
+    }
+
+    /// Demand hit rate over all handled requests.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.stats().hit_rate()
+    }
+
+    /// Requests handled.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Group-fetch statistics.
+    pub fn group_stats(&self) -> &GroupFetchStats {
+        &self.group_stats
+    }
+
+    /// The configured group size `g`.
+    pub fn group_size(&self) -> usize {
+        self.builder.group_size()
+    }
+
+    /// The successor table (for inspection and analysis).
+    pub fn successor_table(&self) -> &SuccessorTable<LruSuccessorList> {
+        &self.table
+    }
+
+    /// Metadata footprint: total successor entries tracked.
+    pub fn metadata_entries(&self) -> usize {
+        self.table.metadata_entries()
+    }
+}
+
+impl Cache for AggregatingCache {
+    fn access(&mut self, file: FileId) -> AccessOutcome {
+        self.handle_access(file)
+    }
+
+    fn insert_speculative(&mut self, file: FileId) -> bool {
+        self.cache.insert_speculative(file)
+    }
+
+    fn contains(&self, file: FileId) -> bool {
+        self.cache.contains(file)
+    }
+
+    fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    fn name(&self) -> &'static str {
+        "agg"
+    }
+
+    fn clear(&mut self) {
+        self.table = self.table.fresh_like();
+        self.cache.clear();
+        self.accesses = 0;
+        self.group_stats = GroupFetchStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AggregatingCacheBuilder;
+
+    fn agg(capacity: usize, g: usize) -> AggregatingCache {
+        AggregatingCacheBuilder::new(capacity)
+            .group_size(g)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn group_size_one_equals_plain_lru() {
+        let mut plain = LruCache::new(4);
+        let mut a = agg(4, 1);
+        let seq: Vec<u64> = (0..200).map(|i| [1, 2, 3, 1, 4, 5, 1, 2][(i % 8) as usize]).collect();
+        for &id in &seq {
+            let expected = plain.access(FileId(id));
+            let got = a.handle_access(FileId(id));
+            assert_eq!(expected, got, "diverged at file {id}");
+        }
+        assert_eq!(plain.stats().misses, a.demand_fetches());
+    }
+
+    #[test]
+    fn grouping_reduces_fetches_on_repetitive_workload() {
+        let seq: Vec<u64> = (0..400).map(|i| (i % 20) as u64).collect();
+        let run = |g: usize| {
+            let mut a = agg(10, g); // cache smaller than the 20-file loop
+            for &id in &seq {
+                a.handle_access(FileId(id));
+            }
+            a.demand_fetches()
+        };
+        let lru = run(1);
+        let g5 = run(5);
+        assert!(
+            g5 < lru / 2,
+            "g5 fetches {g5} not well below LRU fetches {lru}"
+        );
+    }
+
+    #[test]
+    fn requested_file_is_mru_members_at_tail() {
+        let mut a = agg(10, 3);
+        for id in [1u64, 2, 3, 1, 2, 3] {
+            a.handle_access(FileId(id));
+        }
+        // Access a cold file with a known chain 1→2→3.
+        let mut a2 = agg(10, 3);
+        for id in [1u64, 2, 3, 1, 2, 3] {
+            a2.observe_metadata(FileId(id));
+        }
+        // metadata external; no residency yet
+        assert_eq!(a2.len(), 0);
+    }
+
+    #[test]
+    fn miss_triggers_group_prefetch() {
+        let mut a = AggregatingCacheBuilder::new(10)
+            .group_size(3)
+            .metadata_source(MetadataSource::External)
+            .build()
+            .unwrap();
+        for id in [1u64, 2, 3, 1, 2, 3] {
+            a.observe_metadata(FileId(id));
+        }
+        assert!(a.handle_access(FileId(1)).is_miss());
+        // Group {1,2,3} fetched: 2 and 3 now resident.
+        assert!(a.contains(FileId(2)));
+        assert!(a.contains(FileId(3)));
+        assert!(a.handle_access(FileId(2)).is_hit());
+        assert_eq!(a.stats().speculative_hits, 1);
+        assert_eq!(a.group_stats().files_transferred, 3);
+    }
+
+    #[test]
+    fn already_resident_members_not_transferred() {
+        let mut a = AggregatingCacheBuilder::new(10)
+            .group_size(3)
+            .metadata_source(MetadataSource::External)
+            .build()
+            .unwrap();
+        for id in [1u64, 2, 1, 2] {
+            a.observe_metadata(FileId(id));
+        }
+        a.handle_access(FileId(1)); // fetches group {1, 2}
+        assert!(a.contains(FileId(2)));
+        // Teach 3 → 2, then request 3: its group member 2 is already
+        // resident and must not be transferred again.
+        for id in [3u64, 2, 3, 2] {
+            a.observe_metadata(FileId(id));
+        }
+        let before = a.group_stats().files_transferred;
+        a.handle_access(FileId(3));
+        let transferred = a.group_stats().files_transferred - before;
+        assert_eq!(transferred, 1, "only the requested file moves");
+        assert!(a.group_stats().members_already_resident > 0);
+    }
+
+    #[test]
+    fn head_insertion_policy_works() {
+        let mut a = AggregatingCacheBuilder::new(10)
+            .group_size(3)
+            .insertion_policy(InsertionPolicy::Head)
+            .build()
+            .unwrap();
+        for id in [1u64, 2, 3, 1, 2, 3, 1] {
+            a.handle_access(FileId(id));
+        }
+        assert!(a.len() <= 10);
+        assert!(a.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn mean_group_size_bounded_by_g() {
+        let mut a = agg(50, 5);
+        for i in 0..500u64 {
+            a.handle_access(FileId(i % 25));
+        }
+        let mean = a.group_stats().mean_group_size();
+        assert!((1.0..=5.0).contains(&mean), "mean group size {mean}");
+    }
+
+    #[test]
+    fn cache_trait_roundtrip() {
+        let mut a = agg(4, 2);
+        assert_eq!(a.name(), "agg");
+        assert_eq!(a.capacity(), 4);
+        assert!(a.access(FileId(1)).is_miss());
+        assert!(a.contains(FileId(1)));
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.accesses(), 0);
+        assert_eq!(a.metadata_entries(), 0);
+    }
+
+    #[test]
+    fn metadata_footprint_is_bounded() {
+        let mut a = AggregatingCacheBuilder::new(16)
+            .group_size(4)
+            .successor_capacity(3)
+            .build()
+            .unwrap();
+        for i in 0..2000u64 {
+            a.handle_access(FileId(i % 100));
+        }
+        // ≤ 100 files × 3 successors.
+        assert!(a.metadata_entries() <= 300);
+        assert_eq!(a.successor_table().tracked_files(), 100);
+    }
+}

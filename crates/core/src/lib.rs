@@ -1,0 +1,56 @@
+//! The **aggregating cache** — the paper's primary contribution (§3).
+//!
+//! An aggregating cache is an LRU cache that, on every demand miss,
+//! fetches a *group* of files instead of one: the requested file plus up
+//! to `g − 1` predicted companions, found by chaining most-likely
+//! immediate successors from a tiny per-file successor table. The
+//! requested file enters at the MRU head; the speculative members are
+//! appended at the LRU tail so that wrong guesses cost almost nothing
+//! ("this avoids assigning a high priority to unconfirmed successors").
+//!
+//! The same component serves both of the paper's deployments:
+//!
+//! * **Client cache** (§4.2 / Figure 3) — sits on the raw access stream;
+//!   every access feeds the successor table (stats are piggy-backed to
+//!   wherever the table lives), and each miss becomes a *group* fetch from
+//!   the server. The metric is demand fetches:
+//!   [`AggregatingCache::demand_fetches`].
+//! * **Server cache** (§4.3 / Figure 4) — sits behind an intervening
+//!   client cache and sees only the *miss stream*; with no client
+//!   cooperation its table is built from exactly the requests it receives
+//!   ([`MetadataSource::Requests`]). With cooperating clients, piggy-backed
+//!   full-stream statistics can be fed via
+//!   [`AggregatingCache::observe_metadata`] ([`MetadataSource::External`]).
+//!
+//! The type implements [`Cache`](fgcache_cache::Cache), so it drops into
+//! any simulation slot a plain policy fits — including as the server side
+//! of a two-level system.
+//!
+//! # Examples
+//!
+//! ```
+//! use fgcache_core::AggregatingCacheBuilder;
+//! use fgcache_types::FileId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut agg = AggregatingCacheBuilder::new(100).group_size(5).build()?;
+//! // A repetitive workload: after one round, groups prefetch the rest.
+//! for _ in 0..50 {
+//!     for id in 0..10u64 {
+//!         agg.handle_access(FileId(id));
+//!     }
+//! }
+//! assert!(agg.hit_rate() > 0.9);
+//! assert!(agg.demand_fetches() < 50); // far fewer fetches than accesses
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregating;
+mod builder;
+
+pub use aggregating::{AggregatingCache, GroupFetchStats, InsertionPolicy, MetadataSource};
+pub use builder::{AggregatingCacheBuilder, DEFAULT_SUCCESSOR_CAPACITY};

@@ -1,0 +1,142 @@
+//! Property-based tests for the aggregating cache.
+
+use fgcache_cache::{Cache, LruCache};
+use fgcache_core::{AggregatingCacheBuilder, InsertionPolicy, MetadataSource};
+use fgcache_types::FileId;
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..40, 0..500)
+}
+
+proptest! {
+    #[test]
+    fn group_size_one_is_bit_identical_to_lru(
+        capacity in 1usize..20,
+        files in workload(),
+    ) {
+        let mut agg = AggregatingCacheBuilder::new(capacity)
+            .group_size(1)
+            .build()
+            .unwrap();
+        let mut lru = LruCache::new(capacity);
+        for &f in &files {
+            let a = agg.handle_access(FileId(f));
+            let b = lru.access(FileId(f));
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(agg.demand_fetches(), lru.stats().misses);
+        prop_assert_eq!(Cache::stats(&agg).hits, lru.stats().hits);
+        prop_assert_eq!(agg.len(), lru.len());
+    }
+
+    #[test]
+    fn capacity_and_accounting_invariants(
+        capacity in 2usize..30,
+        g in 1usize..6,
+        files in workload(),
+    ) {
+        prop_assume!(g <= capacity);
+        let mut agg = AggregatingCacheBuilder::new(capacity)
+            .group_size(g)
+            .build()
+            .unwrap();
+        for &f in &files {
+            agg.handle_access(FileId(f));
+            prop_assert!(agg.len() <= capacity);
+            // The just-requested file is always resident afterwards.
+            prop_assert!(agg.contains(FileId(f)));
+        }
+        let stats = Cache::stats(&agg);
+        prop_assert_eq!(stats.accesses, files.len() as u64);
+        prop_assert_eq!(stats.misses, agg.demand_fetches());
+        prop_assert_eq!(agg.accesses(), files.len() as u64);
+        // Transfers: at least one file per fetch, at most g per fetch.
+        let gs = agg.group_stats();
+        prop_assert!(gs.files_transferred >= gs.demand_fetches);
+        prop_assert!(gs.files_transferred <= gs.demand_fetches * g as u64);
+    }
+
+    #[test]
+    fn grouping_never_increases_demand_fetches_vs_lru_beyond_slack(
+        files in prop::collection::vec(0u64..15, 0..400),
+    ) {
+        // On arbitrary (even adversarial) workloads, grouping may waste
+        // bandwidth but its *demand fetch* count stays within a modest
+        // factor of LRU's: speculative members sit at the tail and can
+        // only displace entries LRU would also have evicted soon.
+        let capacity = 12;
+        let mut lru = AggregatingCacheBuilder::new(capacity).group_size(1).build().unwrap();
+        let mut agg = AggregatingCacheBuilder::new(capacity).group_size(4).build().unwrap();
+        for &f in &files {
+            lru.handle_access(FileId(f));
+            agg.handle_access(FileId(f));
+        }
+        prop_assert!(
+            agg.demand_fetches() <= lru.demand_fetches() + files.len() as u64 / 4,
+            "agg {} vs lru {}",
+            agg.demand_fetches(),
+            lru.demand_fetches()
+        );
+    }
+
+    #[test]
+    fn insertion_policies_agree_on_hit_miss_counts_for_disjoint_groups(
+        files in prop::collection::vec(0u64..40, 0..300),
+    ) {
+        // Head vs tail placement must keep all invariants; totals may
+        // differ slightly but both must stay capacity-bounded and sound.
+        for policy in [InsertionPolicy::Tail, InsertionPolicy::Head] {
+            let mut agg = AggregatingCacheBuilder::new(16)
+                .group_size(4)
+                .insertion_policy(policy)
+                .build()
+                .unwrap();
+            for &f in &files {
+                agg.handle_access(FileId(f));
+                prop_assert!(agg.len() <= 16);
+            }
+            let s = Cache::stats(&agg);
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+        }
+    }
+
+    #[test]
+    fn external_metadata_mode_never_learns_from_requests(
+        files in prop::collection::vec(0u64..20, 1..200),
+    ) {
+        let mut agg = AggregatingCacheBuilder::new(16)
+            .group_size(4)
+            .metadata_source(MetadataSource::External)
+            .build()
+            .unwrap();
+        for &f in &files {
+            agg.handle_access(FileId(f));
+        }
+        // No observe_metadata calls were made, so the table stays empty
+        // and every group is a singleton.
+        prop_assert_eq!(agg.metadata_entries(), 0);
+        prop_assert_eq!(
+            agg.group_stats().files_transferred,
+            agg.group_stats().demand_fetches
+        );
+    }
+
+    #[test]
+    fn clear_restores_pristine_state(files in prop::collection::vec(0u64..20, 1..200)) {
+        let mut agg = AggregatingCacheBuilder::new(8).group_size(3).build().unwrap();
+        for &f in &files {
+            agg.handle_access(FileId(f));
+        }
+        agg.clear();
+        prop_assert_eq!(agg.len(), 0);
+        prop_assert_eq!(agg.demand_fetches(), 0);
+        prop_assert_eq!(agg.metadata_entries(), 0);
+        prop_assert_eq!(agg.accesses(), 0);
+        // Behaves like a fresh cache afterwards.
+        let mut fresh = AggregatingCacheBuilder::new(8).group_size(3).build().unwrap();
+        for &f in &files {
+            prop_assert_eq!(agg.handle_access(FileId(f)), fresh.handle_access(FileId(f)));
+        }
+    }
+}

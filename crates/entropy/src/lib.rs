@@ -1,0 +1,389 @@
+//! Successor entropy — the paper's predictability metric (§4.5).
+//!
+//! The *successor entropy* `H_S` of an access sequence is the
+//! access-weighted conditional entropy of each file's immediate-successor
+//! distribution (Equation 2):
+//!
+//! ```text
+//! H_S = Σ_i  Pr(f_i) · H(f_i)          over files f_i appearing > once
+//! H(f_i) = − Σ_j Pr(s_ij | f_i) · log2 Pr(s_ij | f_i)
+//! ```
+//!
+//! where `Pr(f_i)` is the fraction of *all* access events that referred to
+//! `f_i` and `Pr(s_ij | f_i)` the fraction of accesses following `f_i`
+//! that were of successor symbol `s_ij`. Files occurring only once are
+//! excluded so that a non-repeating workload cannot masquerade as
+//! predictable; their occurrences still inflate their predecessors'
+//! conditional entropy. Lower values mean a more predictable workload.
+//!
+//! A *successor symbol* is, in general, the **sequence of the next `k`
+//! accesses** (Figure 6). The paper's finding is that `k = 1` — single
+//! file successors — is consistently the most predictable choice
+//! (Figure 7), and that this holds under intervening-cache filtering
+//! (Figure 8), which [`filtered_entropy`] reproduces.
+//!
+//! # Examples
+//!
+//! ```
+//! use fgcache_entropy::successor_entropy;
+//! use fgcache_types::FileId;
+//!
+//! // A perfectly repetitive sequence is perfectly predictable.
+//! let seq: Vec<FileId> = [1u64, 2, 3].repeat(100).into_iter().map(FileId).collect();
+//! assert_eq!(successor_entropy(&seq), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use fgcache_cache::{filter::miss_stream, Cache, LruCache};
+use fgcache_trace::Trace;
+use fgcache_types::{FileId, ValidationError};
+use serde::{Deserialize, Serialize};
+
+/// Successor entropy with single-file successor symbols (`k = 1`), in
+/// bits. Returns 0 for sequences shorter than two accesses.
+pub fn successor_entropy(files: &[FileId]) -> f64 {
+    successor_sequence_entropy(files, 1).expect("k = 1 is always valid")
+}
+
+/// Successor entropy with successor symbols of `k` consecutive accesses,
+/// in bits (Equation 2 generalised per Figure 6).
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if `k` is zero.
+pub fn successor_sequence_entropy(files: &[FileId], k: usize) -> Result<f64, ValidationError> {
+    Ok(analyze(files, k)?.entropy)
+}
+
+/// Per-file detail of a successor-entropy computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileEntropy {
+    /// The file acting as the prediction context.
+    pub file: FileId,
+    /// `Pr(f_i)` — the file's share of all access events.
+    pub weight: f64,
+    /// `H(f_i)` — conditional entropy of its successor symbols, in bits.
+    pub conditional_entropy: f64,
+    /// Number of distinct successor symbols observed after this file.
+    pub distinct_successors: usize,
+    /// Number of transitions (successor observations) from this file.
+    pub transitions: u64,
+}
+
+/// Full result of a successor-entropy analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropyAnalysis {
+    /// The successor symbol length `k`.
+    pub symbol_length: usize,
+    /// The access-weighted successor entropy `H_S`, in bits.
+    pub entropy: f64,
+    /// Number of events in the analysed sequence.
+    pub events: usize,
+    /// Files included in the average (those appearing more than once).
+    pub repeating_files: usize,
+    /// Files excluded (single occurrence).
+    pub singleton_files: usize,
+    /// Per-file breakdown for the included files, sorted by descending
+    /// contribution (`weight × conditional_entropy`).
+    pub per_file: Vec<FileEntropy>,
+}
+
+/// Computes the full successor-entropy analysis for symbol length `k`.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if `k` is zero.
+pub fn analyze(files: &[FileId], k: usize) -> Result<EntropyAnalysis, ValidationError> {
+    if k == 0 {
+        return Err(ValidationError::new(
+            "k",
+            "successor symbol length must be at least 1",
+        ));
+    }
+    let n = files.len();
+    let mut occurrences: HashMap<FileId, u64> = HashMap::new();
+    for &f in files {
+        *occurrences.entry(f).or_insert(0) += 1;
+    }
+    // successor-symbol counts per predecessor
+    let mut successors: HashMap<FileId, HashMap<&[FileId], u64>> = HashMap::new();
+    if n > k {
+        for i in 0..(n - k) {
+            let pred = files[i];
+            let symbol = &files[i + 1..=i + k];
+            *successors
+                .entry(pred)
+                .or_default()
+                .entry(symbol)
+                .or_insert(0) += 1;
+        }
+    }
+    let mut per_file = Vec::new();
+    let mut total = 0.0;
+    let singleton_files = occurrences.values().filter(|&&c| c == 1).count();
+    let repeating_files = occurrences.len() - singleton_files;
+    for (&file, &count) in &occurrences {
+        if count <= 1 {
+            continue;
+        }
+        let Some(symbols) = successors.get(&file) else {
+            continue;
+        };
+        let transitions: u64 = symbols.values().sum();
+        if transitions == 0 {
+            continue;
+        }
+        let mut h = 0.0;
+        for &c in symbols.values() {
+            let p = c as f64 / transitions as f64;
+            h -= p * p.log2();
+        }
+        let weight = count as f64 / n as f64;
+        total += weight * h;
+        per_file.push(FileEntropy {
+            file,
+            weight,
+            conditional_entropy: h,
+            distinct_successors: symbols.len(),
+            transitions,
+        });
+    }
+    per_file.sort_by(|a, b| {
+        let ca = a.weight * a.conditional_entropy;
+        let cb = b.weight * b.conditional_entropy;
+        cb.partial_cmp(&ca)
+            .expect("entropy contributions are finite")
+            .then(a.file.cmp(&b.file))
+    });
+    Ok(EntropyAnalysis {
+        symbol_length: k,
+        entropy: total,
+        events: n,
+        repeating_files,
+        singleton_files,
+        per_file,
+    })
+}
+
+/// Successor entropy of a file sequence at each symbol length in `ks` —
+/// the data series of Figure 7.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if any `k` is zero.
+pub fn entropy_profile(
+    files: &[FileId],
+    ks: &[usize],
+) -> Result<Vec<(usize, f64)>, ValidationError> {
+    ks.iter()
+        .map(|&k| Ok((k, successor_sequence_entropy(files, k)?)))
+        .collect()
+}
+
+/// Successor entropy of the **miss stream** of `trace` after filtering
+/// through an intervening LRU cache of `filter_capacity` files, at symbol
+/// length `k` — one point of Figure 8.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if `k` is zero.
+///
+/// # Panics
+///
+/// Panics if `filter_capacity` is zero (the LRU cache validates it).
+pub fn filtered_entropy(
+    trace: &Trace,
+    filter_capacity: usize,
+    k: usize,
+) -> Result<f64, ValidationError> {
+    let mut cache = LruCache::new(filter_capacity);
+    let stream = miss_stream(&mut cache, trace);
+    successor_sequence_entropy(&stream.file_sequence(), k)
+}
+
+/// The full Figure 8 series for one filter capacity: entropy at every
+/// symbol length in `ks`, computed on a single filtered pass.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if any `k` is zero.
+///
+/// # Panics
+///
+/// Panics if `filter_capacity` is zero (the LRU cache validates it).
+pub fn filtered_entropy_profile(
+    trace: &Trace,
+    filter_capacity: usize,
+    ks: &[usize],
+) -> Result<Vec<(usize, f64)>, ValidationError> {
+    let mut cache = LruCache::new(filter_capacity);
+    let stream = miss_stream(&mut cache, trace);
+    let files = stream.file_sequence();
+    entropy_profile(&files, ks)
+}
+
+/// Convenience: hit rate of an LRU filter of `filter_capacity` over
+/// `trace` — callers often want both the filtered entropy and how much
+/// the filter absorbed.
+///
+/// # Panics
+///
+/// Panics if `filter_capacity` is zero (the LRU cache validates it).
+pub fn filter_absorption(trace: &Trace, filter_capacity: usize) -> f64 {
+    let mut cache = LruCache::new(filter_capacity);
+    let _ = miss_stream(&mut cache, trace);
+    cache.stats().hit_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(ids: &[u64]) -> Vec<FileId> {
+        ids.iter().copied().map(FileId).collect()
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        assert!(successor_sequence_entropy(&seq(&[1, 2]), 0).is_err());
+        assert!(analyze(&seq(&[1, 2]), 0).is_err());
+        assert!(entropy_profile(&seq(&[1, 2]), &[1, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_and_tiny_sequences() {
+        assert_eq!(successor_entropy(&[]), 0.0);
+        assert_eq!(successor_entropy(&seq(&[1])), 0.0);
+        assert_eq!(successor_entropy(&seq(&[1, 2])), 0.0);
+    }
+
+    #[test]
+    fn deterministic_sequence_has_zero_entropy() {
+        let s: Vec<FileId> = seq(&[1, 2, 3, 4]).repeat(50);
+        assert_eq!(successor_entropy(&s), 0.0);
+        assert_eq!(successor_sequence_entropy(&s, 5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn two_equally_likely_successors_give_one_bit_conditional() {
+        // 1 is followed by 2 and by 3 equally often: H(1) = 1 bit.
+        let s: Vec<FileId> = seq(&[1, 2, 1, 3]).repeat(100);
+        let analysis = analyze(&s, 1).unwrap();
+        let f1 = analysis
+            .per_file
+            .iter()
+            .find(|e| e.file == FileId(1))
+            .unwrap();
+        assert!((f1.conditional_entropy - 1.0).abs() < 0.02);
+        assert_eq!(f1.distinct_successors, 2);
+        // Weighted: Pr(1) = 0.5, others deterministic → H_S ≈ 0.5.
+        assert!(
+            (analysis.entropy - 0.5).abs() < 0.05,
+            "{}",
+            analysis.entropy
+        );
+    }
+
+    #[test]
+    fn singletons_do_not_lower_entropy() {
+        // Non-repeating workload: every file occurs once → excluded, so
+        // the metric reports 0 with zero repeating files rather than
+        // "perfectly predictable" via fake determinism.
+        let s: Vec<FileId> = (0..1000u64).map(FileId).collect();
+        let analysis = analyze(&s, 1).unwrap();
+        assert_eq!(analysis.entropy, 0.0);
+        assert_eq!(analysis.repeating_files, 0);
+        assert_eq!(analysis.singleton_files, 1000);
+        assert!(analysis.per_file.is_empty());
+    }
+
+    #[test]
+    fn singletons_inflate_predecessor_entropy() {
+        // 1 is followed by a fresh file every time: H(1) = log2(#runs).
+        let mut ids = Vec::new();
+        for i in 0..8u64 {
+            ids.push(1);
+            ids.push(100 + i);
+        }
+        let analysis = analyze(&seq(&ids), 1).unwrap();
+        let f1 = analysis
+            .per_file
+            .iter()
+            .find(|e| e.file == FileId(1))
+            .unwrap();
+        assert!((f1.conditional_entropy - 3.0).abs() < 1e-9); // log2(8)
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_of_alphabet() {
+        let s: Vec<FileId> = seq(&[1, 2, 3, 4, 5, 3, 2, 4, 1, 5, 2, 3]).repeat(20);
+        let h = successor_entropy(&s);
+        assert!(h >= 0.0);
+        assert!(h <= (5f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn longer_symbols_never_reduce_entropy_on_noisy_sequence() {
+        let s: Vec<FileId> = seq(&[1, 2, 3, 1, 2, 4, 1, 3, 2, 1, 4, 3]).repeat(30);
+        let profile = entropy_profile(&s, &[1, 2, 3, 4, 6]).unwrap();
+        for pair in profile.windows(2) {
+            // Finite-sample edge effects (one fewer window per extra k)
+            // permit microscopic decreases; the trend must still hold.
+            assert!(
+                pair[1].1 >= pair[0].1 - 0.01,
+                "entropy decreased from k={} ({}) to k={} ({})",
+                pair[0].0,
+                pair[0].1,
+                pair[1].0,
+                pair[1].1
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_entropy_runs_and_is_finite() {
+        let trace = Trace::from_files((0..500u64).map(|i| i % 23));
+        let h = filtered_entropy(&trace, 5, 1).unwrap();
+        assert!(h.is_finite() && h >= 0.0);
+        let profile = filtered_entropy_profile(&trace, 5, &[1, 2, 3]).unwrap();
+        assert_eq!(profile.len(), 3);
+    }
+
+    #[test]
+    fn huge_filter_absorbs_everything_after_cold_start() {
+        let trace = Trace::from_files([1, 2, 3].repeat(100));
+        let absorption = filter_absorption(&trace, 1000);
+        assert!(absorption > 0.95);
+        // Miss stream is just the 3 cold misses → too short to repeat.
+        let h = filtered_entropy(&trace, 1000, 1).unwrap();
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn analysis_weights_sum_to_repeating_share() {
+        let s: Vec<FileId> = seq(&[1, 1, 2, 3, 2, 9]);
+        let analysis = analyze(&s, 1).unwrap();
+        let weight_sum: f64 = analysis.per_file.iter().map(|e| e.weight).sum();
+        // 1 and 2 repeat (weights 2/6 + 2/6); 3 and 9 are singletons.
+        assert!(weight_sum <= 1.0);
+        assert!((weight_sum - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_file_sorted_by_contribution() {
+        let s: Vec<FileId> = seq(&[1, 2, 1, 3, 1, 4, 1, 2, 5, 6, 5, 6]).repeat(10);
+        let analysis = analyze(&s, 1).unwrap();
+        let contributions: Vec<f64> = analysis
+            .per_file
+            .iter()
+            .map(|e| e.weight * e.conditional_entropy)
+            .collect();
+        for pair in contributions.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for successor entropy.
+
+use fgcache_entropy::{
+    analyze, entropy_profile, filtered_entropy, successor_entropy, successor_sequence_entropy,
+};
+use fgcache_trace::Trace;
+use fgcache_types::FileId;
+use proptest::prelude::*;
+
+fn files(max: u64, len: usize) -> impl Strategy<Value = Vec<FileId>> {
+    prop::collection::vec((0..max).prop_map(FileId), 0..len)
+}
+
+proptest! {
+    #[test]
+    fn entropy_is_finite_and_nonnegative(seq in files(30, 400), k in 1usize..6) {
+        let h = successor_sequence_entropy(&seq, k).unwrap();
+        prop_assert!(h.is_finite());
+        prop_assert!(h >= 0.0);
+    }
+
+    #[test]
+    fn entropy_bounded_by_alphabet(seq in files(16, 400)) {
+        // H_S is a weighted average of conditional entropies, each of
+        // which is at most log2(#distinct successor symbols) <= log2(16).
+        let h = successor_entropy(&seq);
+        prop_assert!(h <= 4.0 + 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn constant_sequence_has_zero_entropy(len in 2usize..200, f in 0u64..5) {
+        let seq = vec![FileId(f); len];
+        prop_assert_eq!(successor_entropy(&seq), 0.0);
+    }
+
+    #[test]
+    fn entropy_invariant_under_relabelling(seq in files(10, 300), k in 1usize..4) {
+        // Renaming file ids must not change the entropy.
+        let relabelled: Vec<FileId> = seq.iter().map(|f| FileId(f.as_u64() * 7 + 1000)).collect();
+        let a = successor_sequence_entropy(&seq, k).unwrap();
+        let b = successor_sequence_entropy(&relabelled, k).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repetition_reduces_entropy_contribution(seq in files(8, 60)) {
+        // Repeating the whole sequence many times converges H toward the
+        // "steady" conditional structure; it must never become negative
+        // and stays bounded.
+        let repeated: Vec<FileId> = seq
+            .iter()
+            .cycle()
+            .take(seq.len() * 10)
+            .copied()
+            .collect();
+        let h = successor_entropy(&repeated);
+        prop_assert!(h >= 0.0 && h.is_finite());
+    }
+
+    #[test]
+    fn analysis_consistent_with_entropy(seq in files(12, 300), k in 1usize..4) {
+        let a = analyze(&seq, k).unwrap();
+        let direct = successor_sequence_entropy(&seq, k).unwrap();
+        prop_assert!((a.entropy - direct).abs() < 1e-12);
+        // Recomputing the weighted sum from the per-file breakdown agrees.
+        let recomputed: f64 = a
+            .per_file
+            .iter()
+            .map(|e| e.weight * e.conditional_entropy)
+            .sum();
+        prop_assert!((recomputed - a.entropy).abs() < 1e-9);
+        for e in &a.per_file {
+            prop_assert!(e.weight > 0.0 && e.weight <= 1.0);
+            prop_assert!(e.conditional_entropy >= 0.0);
+            prop_assert!(e.distinct_successors as u64 <= e.transitions);
+        }
+    }
+
+    #[test]
+    fn profile_matches_pointwise_calls(seq in files(10, 200)) {
+        let ks = [1usize, 2, 3];
+        let profile = entropy_profile(&seq, &ks).unwrap();
+        for (k, h) in profile {
+            let direct = successor_sequence_entropy(&seq, k).unwrap();
+            prop_assert!((h - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filtered_entropy_is_finite(
+        ids in prop::collection::vec(0u64..25, 0..300),
+        cap in 1usize..20,
+        k in 1usize..4,
+    ) {
+        let trace = Trace::from_files(ids);
+        let h = filtered_entropy(&trace, cap, k).unwrap();
+        prop_assert!(h.is_finite() && h >= 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Placement of files on a linear storage medium.
+//!
+//! A [`Layout`] assigns every file of a history trace a distinct slot on
+//! a one-dimensional medium (a simplified disk surface). Strategies:
+//!
+//! * [`Layout::hashed`] — arbitrary (hash-order) placement: the "no
+//!   optimisation" baseline.
+//! * [`Layout::by_frequency`] — hottest files first, the classic
+//!   frequency-ordered placement of Staelin & García-Molina.
+//! * [`Layout::organ_pipe`] — hottest file in the centre, alternating
+//!   outwards (Wong 1980), optimal for *independent* accesses.
+//! * [`Layout::grouped`] — files laid out by the relationship graph's
+//!   covering groups (hottest groups first, members adjacent): the
+//!   paper's future-work proposal. Groups capture *dependence*, which
+//!   the frequency placements ignore.
+
+use std::collections::HashMap;
+
+use fgcache_successor::RelationshipGraph;
+use fgcache_trace::Trace;
+use fgcache_types::FileId;
+
+/// A placement of files onto distinct slots `0..n` of a linear medium.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    slots: HashMap<FileId, usize>,
+}
+
+impl Layout {
+    /// Builds a layout from an explicit ordering (slot 0 first).
+    ///
+    /// Duplicate files keep their first position.
+    pub fn from_order(order: impl IntoIterator<Item = FileId>) -> Self {
+        let mut slots = HashMap::new();
+        let mut next = 0usize;
+        for f in order {
+            slots.entry(f).or_insert_with(|| {
+                let s = next;
+                next += 1;
+                s
+            });
+        }
+        Layout { slots }
+    }
+
+    /// Arbitrary placement: files sorted by a cheap id-scrambling hash.
+    /// Deterministic, but uncorrelated with access behaviour.
+    pub fn hashed(history: &Trace) -> Self {
+        let mut files: Vec<FileId> = distinct(history);
+        files.sort_by_key(|f| f.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Layout::from_order(files)
+    }
+
+    /// Frequency placement: hottest files at the lowest slots.
+    pub fn by_frequency(history: &Trace) -> Self {
+        let counts = access_counts(history);
+        let mut files: Vec<FileId> = counts.keys().copied().collect();
+        files.sort_by_key(|f| (std::cmp::Reverse(counts[f]), *f));
+        Layout::from_order(files)
+    }
+
+    /// Organ-pipe placement: hottest file in the centre of the medium,
+    /// subsequent files alternating left and right.
+    pub fn organ_pipe(history: &Trace) -> Self {
+        let counts = access_counts(history);
+        let mut files: Vec<FileId> = counts.keys().copied().collect();
+        files.sort_by_key(|f| (std::cmp::Reverse(counts[f]), *f));
+        let n = files.len();
+        let mut order: Vec<Option<FileId>> = vec![None; n];
+        let centre = n / 2;
+        let mut offset = 0usize;
+        let mut left = true;
+        for f in files {
+            let pos = loop {
+                let candidate = if left {
+                    centre.checked_sub(offset)
+                } else {
+                    let p = centre + offset;
+                    (p < n).then_some(p)
+                };
+                // Alternate sides; grow the offset after a right placement.
+                if left {
+                    left = false;
+                } else {
+                    left = true;
+                    offset += 1;
+                }
+                if let Some(p) = candidate {
+                    if order[p].is_none() {
+                        break p;
+                    }
+                }
+            };
+            order[pos] = Some(f);
+        }
+        Layout::from_order(order.into_iter().flatten())
+    }
+
+    /// Group-based placement via **transitive successor chains** (paper
+    /// §3/§6): build the relationship graph from the history, then
+    /// repeatedly start from the hottest unplaced file and greedily walk
+    /// its strongest unplaced successor, laying each walk out
+    /// contiguously. Files that are accessed together thus become storage
+    /// neighbours, which frequency-only placements — built on an
+    /// independence assumption — cannot achieve.
+    ///
+    /// `group_size` caps the chain-walk fan-out considered at each step
+    /// (how many ranked successors are tried before the walk ends); the
+    /// chains themselves run as long as the graph supports.
+    pub fn grouped(history: &Trace, group_size: usize) -> Self {
+        let mut graph = RelationshipGraph::new();
+        graph.record_sequence(history.files());
+        let counts = access_counts(history);
+        let mut by_heat: Vec<FileId> = distinct(history);
+        by_heat.sort_by_key(|f| (std::cmp::Reverse(counts[f]), *f));
+        let mut placed: std::collections::HashSet<FileId> = std::collections::HashSet::new();
+        let mut order: Vec<FileId> = Vec::new();
+        for &seed in &by_heat {
+            if placed.contains(&seed) {
+                continue;
+            }
+            // Walk the chain from this seed.
+            let mut current = seed;
+            loop {
+                placed.insert(current);
+                order.push(current);
+                let next = graph
+                    .successors_ranked(current)
+                    .into_iter()
+                    .take(group_size.max(1))
+                    .map(|(f, _)| f)
+                    .find(|f| !placed.contains(f));
+                match next {
+                    Some(f) => current = f,
+                    None => break,
+                }
+            }
+        }
+        Layout::from_order(order)
+    }
+
+    /// The slot of `file`, if placed.
+    pub fn slot(&self, file: FileId) -> Option<usize> {
+        self.slots.get(&file).copied()
+    }
+
+    /// Number of placed files.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if no files are placed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+fn distinct(history: &Trace) -> Vec<FileId> {
+    let mut files: Vec<FileId> = history.files().collect();
+    files.sort_unstable();
+    files.dedup();
+    files
+}
+
+fn access_counts(history: &Trace) -> HashMap<FileId, u64> {
+    let mut counts = HashMap::new();
+    for f in history.files() {
+        *counts.entry(f).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> Trace {
+        Trace::from_files([1u64, 2, 3, 1, 2, 3, 9, 1, 2].to_vec())
+    }
+
+    #[test]
+    fn from_order_assigns_consecutive_slots() {
+        let l = Layout::from_order([FileId(5), FileId(7), FileId(5), FileId(9)]);
+        assert_eq!(l.slot(FileId(5)), Some(0));
+        assert_eq!(l.slot(FileId(7)), Some(1));
+        assert_eq!(l.slot(FileId(9)), Some(2));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.slot(FileId(1)), None);
+    }
+
+    #[test]
+    fn all_strategies_place_every_distinct_file() {
+        let h = history();
+        for layout in [
+            Layout::hashed(&h),
+            Layout::by_frequency(&h),
+            Layout::organ_pipe(&h),
+            Layout::grouped(&h, 3),
+        ] {
+            assert_eq!(layout.len(), 4);
+            for f in [1u64, 2, 3, 9] {
+                assert!(layout.slot(FileId(f)).is_some(), "f{f} unplaced");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_distinct_and_dense() {
+        let h = history();
+        for layout in [
+            Layout::hashed(&h),
+            Layout::by_frequency(&h),
+            Layout::organ_pipe(&h),
+            Layout::grouped(&h, 2),
+        ] {
+            let mut slots: Vec<usize> = [1u64, 2, 3, 9]
+                .iter()
+                .map(|&f| layout.slot(FileId(f)).unwrap())
+                .collect();
+            slots.sort_unstable();
+            assert_eq!(slots, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn frequency_orders_hot_first() {
+        let h = history();
+        let l = Layout::by_frequency(&h);
+        // Counts: 1×3, 2×3, 3×2, 9×1; ties broken by id.
+        assert_eq!(l.slot(FileId(1)), Some(0));
+        assert_eq!(l.slot(FileId(2)), Some(1));
+        assert_eq!(l.slot(FileId(3)), Some(2));
+        assert_eq!(l.slot(FileId(9)), Some(3));
+    }
+
+    #[test]
+    fn organ_pipe_puts_hottest_in_centre() {
+        let h = Trace::from_files((0..100u64).flat_map(|i| vec![0; 5].into_iter().chain([i])));
+        let l = Layout::organ_pipe(&h);
+        let n = l.len();
+        let hot = l.slot(FileId(0)).unwrap();
+        assert!(
+            (hot as i64 - (n / 2) as i64).unsigned_abs() <= 1,
+            "hot file at {hot} of {n}"
+        );
+    }
+
+    #[test]
+    fn grouped_places_related_files_adjacently() {
+        let h = Trace::from_files([1u64, 2, 3, 1, 2, 3, 1, 2, 3].to_vec());
+        let l = Layout::grouped(&h, 3);
+        let s1 = l.slot(FileId(1)).unwrap() as i64;
+        let s2 = l.slot(FileId(2)).unwrap() as i64;
+        let s3 = l.slot(FileId(3)).unwrap() as i64;
+        assert!((s1 - s2).abs() <= 2 && (s2 - s3).abs() <= 2, "{s1} {s2} {s3}");
+    }
+
+    #[test]
+    fn empty_history_gives_empty_layouts() {
+        let h = Trace::default();
+        assert!(Layout::hashed(&h).is_empty());
+        assert!(Layout::by_frequency(&h).is_empty());
+        assert!(Layout::organ_pipe(&h).is_empty());
+        assert!(Layout::grouped(&h, 4).is_empty());
+    }
+}

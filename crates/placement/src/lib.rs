@@ -1,0 +1,37 @@
+//! Future-work extensions: **group-based data placement** and **mobile
+//! file hoarding** (paper §6).
+//!
+//! The paper's conclusions name two follow-on applications of dynamic
+//! grouping beyond caching:
+//!
+//! * *"the use of grouping in optimizing data placement for different
+//!   storage scenarios"* — [`layout`] places files on a linear storage
+//!   medium and [`seek`] replays a trace against a layout, measuring head
+//!   movement. Baselines: random placement and the frequency-based
+//!   placements of Staelin & García-Molina / Wong (organ-pipe), versus
+//!   placement by the covering groups of the relationship graph.
+//! * *"the effectiveness of our model for improving mobile file hoarding
+//!   applications"* (the Seer line of work) — [`hoard`] builds a bounded
+//!   hoard set from history and measures how much of a future disconnected
+//!   period it satisfies, comparing frequency-ranked hoards against
+//!   group-closure hoards.
+//!
+//! # Examples
+//!
+//! ```
+//! use fgcache_placement::{layout::Layout, seek};
+//! use fgcache_trace::Trace;
+//!
+//! let history = Trace::from_files([1, 2, 3].repeat(50));
+//! let grouped = Layout::grouped(&history, 3);
+//! let random = Layout::hashed(&history);
+//! // Files accessed together are adjacent, so the head barely moves.
+//! assert!(seek::mean_seek(&grouped, &history) <= seek::mean_seek(&random, &history));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hoard;
+pub mod layout;
+pub mod seek;

@@ -1,0 +1,134 @@
+//! Head-movement cost of replaying a trace against a [`Layout`].
+//!
+//! The cost model is deliberately simple (the paper's own placement
+//! discussion is qualitative): the medium is one-dimensional, the head
+//! sits at the slot of the last accessed file, and serving an access
+//! costs the absolute slot distance. Files absent from the layout (e.g.
+//! created after the layout was computed) are charged a full end-to-end
+//! sweep — the worst case for a file "appended at the end".
+
+use fgcache_trace::Trace;
+
+use crate::layout::Layout;
+
+/// Summary of a seek-cost replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekReport {
+    /// Accesses replayed.
+    pub accesses: u64,
+    /// Total head movement, in slots.
+    pub total_distance: u64,
+    /// Accesses to files missing from the layout.
+    pub unplaced: u64,
+}
+
+impl SeekReport {
+    /// Mean head movement per access; 0 for an empty replay.
+    pub fn mean(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_distance as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Replays `trace` against `layout` and reports head movement.
+pub fn replay(layout: &Layout, trace: &Trace) -> SeekReport {
+    let span = layout.len().max(1) as u64;
+    let mut head: Option<usize> = None;
+    let mut total = 0u64;
+    let mut unplaced = 0u64;
+    for file in trace.files() {
+        match layout.slot(file) {
+            Some(slot) => {
+                if let Some(pos) = head {
+                    total += (pos as i64 - slot as i64).unsigned_abs();
+                }
+                head = Some(slot);
+            }
+            None => {
+                unplaced += 1;
+                total += span; // full sweep to the "new file" region
+                head = Some(layout.len().saturating_sub(1));
+            }
+        }
+    }
+    SeekReport {
+        accesses: trace.len() as u64,
+        total_distance: total,
+        unplaced,
+    }
+}
+
+/// Convenience: the mean head movement of replaying `trace` on `layout`.
+pub fn mean_seek(layout: &Layout, trace: &Trace) -> f64 {
+    replay(layout, trace).mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcache_types::FileId;
+
+    #[test]
+    fn empty_replay() {
+        let layout = Layout::from_order([FileId(1)]);
+        let r = replay(&layout, &Trace::default());
+        assert_eq!(r.accesses, 0);
+        assert_eq!(r.mean(), 0.0);
+    }
+
+    #[test]
+    fn adjacent_files_cost_one() {
+        let layout = Layout::from_order([FileId(1), FileId(2)]);
+        let trace = Trace::from_files([1, 2, 1, 2]);
+        let r = replay(&layout, &trace);
+        assert_eq!(r.total_distance, 3); // 1→2→1→2 after free first seek
+        assert_eq!(r.unplaced, 0);
+    }
+
+    #[test]
+    fn far_files_cost_distance() {
+        let layout = Layout::from_order((0..11u64).map(FileId));
+        let trace = Trace::from_files([0, 10, 0]);
+        let r = replay(&layout, &trace);
+        assert_eq!(r.total_distance, 20);
+    }
+
+    #[test]
+    fn repeats_cost_nothing() {
+        let layout = Layout::from_order([FileId(4), FileId(5)]);
+        let trace = Trace::from_files([4, 4, 4, 4]);
+        assert_eq!(replay(&layout, &trace).total_distance, 0);
+    }
+
+    #[test]
+    fn unplaced_files_charged_full_sweep() {
+        let layout = Layout::from_order([FileId(1), FileId(2)]);
+        let trace = Trace::from_files([1, 99]);
+        let r = replay(&layout, &trace);
+        assert_eq!(r.unplaced, 1);
+        assert_eq!(r.total_distance, 2); // span of the 2-slot layout
+    }
+
+    #[test]
+    fn grouped_beats_hashed_on_sequential_working_sets() {
+        // Two activities of 6 files each, replayed many times.
+        let mut ids = Vec::new();
+        for _ in 0..50 {
+            ids.extend(10..16u64);
+            ids.extend(20..26u64);
+        }
+        let history = Trace::from_files(ids.clone());
+        let future = Trace::from_files(ids);
+        let grouped = Layout::grouped(&history, 6);
+        let hashed = Layout::hashed(&history);
+        assert!(
+            mean_seek(&grouped, &future) < mean_seek(&hashed, &future),
+            "grouped {} vs hashed {}",
+            mean_seek(&grouped, &future),
+            mean_seek(&hashed, &future)
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Figure 3: client-side aggregating cache — demand fetches as a function
+//! of cache capacity, one series per group size.
+//!
+//! Group size 1 *is* the LRU baseline (identical code path, no grouping),
+//! so the baseline and treatment are measured by the same machinery.
+
+use fgcache_core::AggregatingCacheBuilder;
+use fgcache_trace::Trace;
+use fgcache_types::ValidationError;
+use serde::{Deserialize, Serialize};
+
+use crate::parallel::parallel_map;
+use crate::report::Table;
+
+/// Parameter grid for the client sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientSweepConfig {
+    /// Client cache capacities to test (the x-axis; paper: 100–800).
+    pub capacities: Vec<usize>,
+    /// Group sizes, one series each (paper: 1, 2, 3, 5, 7, 10).
+    pub group_sizes: Vec<usize>,
+    /// Per-file successor list capacity.
+    pub successor_capacity: usize,
+}
+
+impl ClientSweepConfig {
+    /// The paper's Figure 3 grid.
+    pub fn paper() -> Self {
+        ClientSweepConfig {
+            capacities: vec![100, 200, 300, 400, 500, 600, 700, 800],
+            group_sizes: vec![1, 2, 3, 5, 7, 10],
+            successor_capacity: 8,
+        }
+    }
+
+    /// A reduced grid for quick runs and tests.
+    pub fn quick() -> Self {
+        ClientSweepConfig {
+            capacities: vec![100, 300, 500],
+            group_sizes: vec![1, 5],
+            successor_capacity: 8,
+        }
+    }
+}
+
+/// One measured point of the client sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientSweepPoint {
+    /// Client cache capacity (files).
+    pub capacity: usize,
+    /// Group size `g` (1 = plain LRU).
+    pub group_size: usize,
+    /// Demand fetches performed (the paper's y-axis; equals misses).
+    pub demand_fetches: u64,
+    /// Demand hit rate.
+    pub hit_rate: f64,
+    /// Accesses driven.
+    pub accesses: u64,
+    /// Fraction of speculative inserts that were later demand-hit.
+    pub speculative_accuracy: f64,
+    /// Mean files transferred per demand fetch.
+    pub mean_group_size: f64,
+}
+
+/// Runs the Figure 3 sweep: every `(capacity, group_size)` combination
+/// over `trace`, in parallel, returning points in grid order (capacity
+/// major, group size minor).
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if the grid is empty or any parameter is
+/// invalid (zero capacity or group size, group larger than cache).
+pub fn client_sweep(
+    trace: &Trace,
+    config: &ClientSweepConfig,
+) -> Result<Vec<ClientSweepPoint>, ValidationError> {
+    if config.capacities.is_empty() {
+        return Err(ValidationError::new("capacities", "must not be empty"));
+    }
+    if config.group_sizes.is_empty() {
+        return Err(ValidationError::new("group_sizes", "must not be empty"));
+    }
+    let mut grid = Vec::new();
+    for &capacity in &config.capacities {
+        for &g in &config.group_sizes {
+            // Validate every point up front so the parallel phase cannot
+            // fail.
+            AggregatingCacheBuilder::new(capacity)
+                .group_size(g)
+                .successor_capacity(config.successor_capacity)
+                .build()?;
+            grid.push((capacity, g));
+        }
+    }
+    let successor_capacity = config.successor_capacity;
+    Ok(parallel_map(&grid, |&(capacity, g)| {
+        let mut cache = AggregatingCacheBuilder::new(capacity)
+            .group_size(g)
+            .successor_capacity(successor_capacity)
+            .build()
+            .expect("validated above");
+        for ev in trace.events() {
+            cache.handle_access(ev.file);
+        }
+        ClientSweepPoint {
+            capacity,
+            group_size: g,
+            demand_fetches: cache.demand_fetches(),
+            hit_rate: cache.hit_rate(),
+            accesses: cache.accesses(),
+            speculative_accuracy: fgcache_cache::Cache::stats(&cache).speculative_accuracy(),
+            mean_group_size: cache.group_stats().mean_group_size(),
+        }
+    }))
+}
+
+/// Renders sweep results in the paper's Figure 3 layout: one row per
+/// capacity, one column per group size, cells = demand fetches.
+pub fn fetches_table(title: &str, points: &[ClientSweepPoint]) -> Table {
+    let mut group_sizes: Vec<usize> = points.iter().map(|p| p.group_size).collect();
+    group_sizes.sort_unstable();
+    group_sizes.dedup();
+    let mut capacities: Vec<usize> = points.iter().map(|p| p.capacity).collect();
+    capacities.sort_unstable();
+    capacities.dedup();
+    let mut columns = vec!["capacity".to_string()];
+    for g in &group_sizes {
+        columns.push(if *g == 1 {
+            "lru".to_string()
+        } else {
+            format!("g{g}")
+        });
+    }
+    let mut table = Table::new(title, columns);
+    for &cap in &capacities {
+        let mut row = vec![cap.to_string()];
+        for &g in &group_sizes {
+            let cell = points
+                .iter()
+                .find(|p| p.capacity == cap && p.group_size == g)
+                .map(|p| p.demand_fetches.to_string())
+                .unwrap_or_default();
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+
+    fn server_trace(events: usize) -> Trace {
+        // High repeat rates mean only ~1 in 5 events advances the
+        // inter-file sequence; scale event counts accordingly.
+        SynthConfig::profile(WorkloadProfile::Server)
+            .events(events)
+            .seed(42)
+            .build()
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let t = Trace::from_files([1, 2]);
+        let cfg = ClientSweepConfig {
+            capacities: vec![],
+            group_sizes: vec![1],
+            successor_capacity: 4,
+        };
+        assert!(client_sweep(&t, &cfg).is_err());
+        let cfg = ClientSweepConfig {
+            capacities: vec![10],
+            group_sizes: vec![],
+            successor_capacity: 4,
+        };
+        assert!(client_sweep(&t, &cfg).is_err());
+    }
+
+    #[test]
+    fn invalid_point_rejected_up_front() {
+        let t = Trace::from_files([1, 2]);
+        let cfg = ClientSweepConfig {
+            capacities: vec![2],
+            group_sizes: vec![5], // group larger than cache
+            successor_capacity: 4,
+        };
+        assert!(client_sweep(&t, &cfg).is_err());
+    }
+
+    #[test]
+    fn sweep_covers_grid_in_order() {
+        let t = server_trace(3_000);
+        let cfg = ClientSweepConfig {
+            capacities: vec![50, 100],
+            group_sizes: vec![1, 3],
+            successor_capacity: 4,
+        };
+        let points = client_sweep(&t, &cfg).unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!((points[0].capacity, points[0].group_size), (50, 1));
+        assert_eq!((points[3].capacity, points[3].group_size), (100, 3));
+        for p in &points {
+            assert_eq!(p.accesses, 3_000);
+            assert!(p.demand_fetches <= p.accesses);
+        }
+    }
+
+    #[test]
+    fn grouping_beats_lru_on_predictable_workload() {
+        let t = server_trace(40_000);
+        let cfg = ClientSweepConfig {
+            capacities: vec![150],
+            group_sizes: vec![1, 5],
+            successor_capacity: 8,
+        };
+        let points = client_sweep(&t, &cfg).unwrap();
+        let lru = points.iter().find(|p| p.group_size == 1).unwrap();
+        let g5 = points.iter().find(|p| p.group_size == 5).unwrap();
+        assert!(
+            (g5.demand_fetches as f64) < 0.7 * lru.demand_fetches as f64,
+            "g5 {} vs lru {}",
+            g5.demand_fetches,
+            lru.demand_fetches
+        );
+    }
+
+    #[test]
+    fn bigger_caches_never_fetch_more() {
+        let t = server_trace(5_000);
+        let cfg = ClientSweepConfig {
+            capacities: vec![50, 200, 800],
+            group_sizes: vec![1],
+            successor_capacity: 4,
+        };
+        let points = client_sweep(&t, &cfg).unwrap();
+        assert!(points[0].demand_fetches >= points[1].demand_fetches);
+        assert!(points[1].demand_fetches >= points[2].demand_fetches);
+    }
+
+    #[test]
+    fn table_layout() {
+        let t = server_trace(2_000);
+        let cfg = ClientSweepConfig {
+            capacities: vec![50, 100],
+            group_sizes: vec![1, 2],
+            successor_capacity: 4,
+        };
+        let points = client_sweep(&t, &cfg).unwrap();
+        let table = fetches_table("fig3", &points);
+        let text = table.render();
+        assert!(text.contains("lru"));
+        assert!(text.contains("g2"));
+        assert_eq!(table.row_count(), 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! A simple I/O cost model for group fetching.
+//!
+//! The paper's motivation for grouping is latency: every remote fetch
+//! pays a per-request round trip, so fetching `g` related files in one
+//! request amortises it — at the price of transferring speculative files
+//! that may never be used. This module quantifies that trade:
+//!
+//! ```text
+//! total_time = demand_fetches × request_latency
+//!            + files_transferred × transfer_time
+//! ```
+//!
+//! which is the standard first-order model for fixed-size whole-file
+//! transfers over a network with per-request overhead. With
+//! `request_latency ≫ transfer_time` (the distributed-file-system regime
+//! the paper targets), grouping wins decisively; as transfer cost grows,
+//! large groups stop paying.
+
+use fgcache_core::AggregatingCacheBuilder;
+use fgcache_trace::Trace;
+use fgcache_types::ValidationError;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{fmt2, Table};
+
+/// Per-operation costs, in arbitrary time units (only ratios matter).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed cost of one fetch request (round-trip latency + server
+    /// request handling).
+    pub request_latency: f64,
+    /// Cost of transferring one file's data.
+    pub transfer_time: f64,
+}
+
+impl CostModel {
+    /// A distributed-file-system-like regime: a request round trip costs
+    /// ten file transfers (small files, wide-area or congested links).
+    pub fn remote() -> Self {
+        CostModel {
+            request_latency: 10.0,
+            transfer_time: 1.0,
+        }
+    }
+
+    /// A local-area regime: round trip worth two transfers.
+    pub fn lan() -> Self {
+        CostModel {
+            request_latency: 2.0,
+            transfer_time: 1.0,
+        }
+    }
+
+    /// Validates the model (both costs finite and non-negative, not both
+    /// zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        for (name, v) in [
+            ("request_latency", self.request_latency),
+            ("transfer_time", self.transfer_time),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ValidationError::new(name, "must be finite and >= 0"));
+            }
+        }
+        if self.request_latency == 0.0 && self.transfer_time == 0.0 {
+            return Err(ValidationError::new(
+                "cost model",
+                "at least one cost must be positive",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total I/O time for a run that made `fetches` requests moving
+    /// `files` files.
+    pub fn total(&self, fetches: u64, files: u64) -> f64 {
+        fetches as f64 * self.request_latency + files as f64 * self.transfer_time
+    }
+}
+
+/// Measured I/O cost of one aggregating-cache run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostPoint {
+    /// Group size `g` (1 = plain LRU).
+    pub group_size: usize,
+    /// Demand fetches (requests issued).
+    pub demand_fetches: u64,
+    /// Files transferred (requested + speculative).
+    pub files_transferred: u64,
+    /// Total time under the cost model.
+    pub total_time: f64,
+}
+
+/// Replays `trace` through aggregating caches of each group size and
+/// prices the runs under `model`.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if the model is invalid, `group_sizes`
+/// is empty, or a group size exceeds `capacity`.
+pub fn cost_sweep(
+    trace: &Trace,
+    capacity: usize,
+    group_sizes: &[usize],
+    model: CostModel,
+) -> Result<Vec<CostPoint>, ValidationError> {
+    model.validate()?;
+    if group_sizes.is_empty() {
+        return Err(ValidationError::new("group_sizes", "must not be empty"));
+    }
+    let mut points = Vec::with_capacity(group_sizes.len());
+    for &g in group_sizes {
+        let mut cache = AggregatingCacheBuilder::new(capacity).group_size(g).build()?;
+        for ev in trace.events() {
+            cache.handle_access(ev.file);
+        }
+        let stats = cache.group_stats();
+        points.push(CostPoint {
+            group_size: g,
+            demand_fetches: stats.demand_fetches,
+            files_transferred: stats.files_transferred,
+            total_time: model.total(stats.demand_fetches, stats.files_transferred),
+        });
+    }
+    Ok(points)
+}
+
+/// Renders a cost sweep as a table, normalising times to the `g = 1` row
+/// when present.
+pub fn cost_table(title: &str, points: &[CostPoint]) -> Table {
+    let baseline = points
+        .iter()
+        .find(|p| p.group_size == 1)
+        .map(|p| p.total_time);
+    let mut t = Table::new(
+        title,
+        ["group", "fetches", "files moved", "total time", "vs lru"],
+    );
+    for p in points {
+        let rel = baseline
+            .filter(|b| *b > 0.0)
+            .map(|b| format!("{:+.1}%", (p.total_time / b - 1.0) * 100.0))
+            .unwrap_or_default();
+        t.push_row([
+            if p.group_size == 1 {
+                "lru".to_string()
+            } else {
+                format!("g{}", p.group_size)
+            },
+            p.demand_fetches.to_string(),
+            p.files_transferred.to_string(),
+            fmt2(p.total_time),
+            rel,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+
+    fn trace() -> Trace {
+        SynthConfig::profile(WorkloadProfile::Server)
+            .events(20_000)
+            .seed(8)
+            .build()
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(CostModel::remote().validate().is_ok());
+        assert!(CostModel {
+            request_latency: -1.0,
+            transfer_time: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel {
+            request_latency: f64::NAN,
+            transfer_time: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel {
+            request_latency: 0.0,
+            transfer_time: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn total_is_linear() {
+        let m = CostModel {
+            request_latency: 10.0,
+            transfer_time: 2.0,
+        };
+        assert_eq!(m.total(3, 7), 44.0);
+        assert_eq!(m.total(0, 0), 0.0);
+    }
+
+    #[test]
+    fn sweep_validates_inputs() {
+        let t = trace();
+        assert!(cost_sweep(&t, 100, &[], CostModel::remote()).is_err());
+        assert!(cost_sweep(&t, 4, &[9], CostModel::remote()).is_err());
+        let bad = CostModel {
+            request_latency: -1.0,
+            transfer_time: 0.0,
+        };
+        assert!(cost_sweep(&t, 100, &[1], bad).is_err());
+    }
+
+    #[test]
+    fn grouping_wins_when_latency_dominates() {
+        let t = trace();
+        let points = cost_sweep(&t, 300, &[1, 5], CostModel::remote()).unwrap();
+        let lru = points.iter().find(|p| p.group_size == 1).unwrap();
+        let g5 = points.iter().find(|p| p.group_size == 5).unwrap();
+        assert!(
+            g5.total_time < lru.total_time,
+            "g5 {} vs lru {}",
+            g5.total_time,
+            lru.total_time
+        );
+        // ...even though it moves more data.
+        assert!(g5.files_transferred > lru.files_transferred);
+    }
+
+    #[test]
+    fn pure_bandwidth_model_penalises_grouping() {
+        // With zero request latency, every speculative transfer is pure
+        // overhead, so LRU must be at least as cheap.
+        let t = trace();
+        let model = CostModel {
+            request_latency: 0.0,
+            transfer_time: 1.0,
+        };
+        let points = cost_sweep(&t, 300, &[1, 10], model).unwrap();
+        let lru = points.iter().find(|p| p.group_size == 1).unwrap();
+        let g10 = points.iter().find(|p| p.group_size == 10).unwrap();
+        assert!(lru.total_time <= g10.total_time);
+    }
+
+    #[test]
+    fn table_renders_relative_column() {
+        let t = trace();
+        let points = cost_sweep(&t, 200, &[1, 5], CostModel::lan()).unwrap();
+        let table = cost_table("cost", &points);
+        let text = table.render();
+        assert!(text.contains("vs lru"));
+        assert!(text.contains('%'));
+    }
+}

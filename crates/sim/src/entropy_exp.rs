@@ -1,0 +1,193 @@
+//! Figures 7 and 8: successor entropy versus successor-sequence length,
+//! for raw workloads and for workloads filtered through intervening LRU
+//! caches.
+
+use fgcache_entropy::{entropy_profile, filtered_entropy_profile};
+use fgcache_trace::Trace;
+use fgcache_types::ValidationError;
+use serde::{Deserialize, Serialize};
+
+use crate::parallel::parallel_map;
+use crate::report::{fmt2, Table};
+
+/// One labelled entropy series: `(symbol length, entropy in bits)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropySeries {
+    /// Series label (workload name, or `filter=N`).
+    pub label: String,
+    /// `(k, H_S)` pairs in ascending `k`.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Figure 7: successor entropy of each labelled trace at every symbol
+/// length in `ks`.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if any `k` is zero.
+pub fn entropy_sweep(
+    traces: &[(String, &Trace)],
+    ks: &[usize],
+) -> Result<Vec<EntropySeries>, ValidationError> {
+    for &k in ks {
+        if k == 0 {
+            return Err(ValidationError::new("ks", "symbol lengths must be >= 1"));
+        }
+    }
+    let results = parallel_map(traces, |(label, trace)| {
+        let files = trace.file_sequence();
+        let points = entropy_profile(&files, ks).expect("ks validated above");
+        EntropySeries {
+            label: label.clone(),
+            points,
+        }
+    });
+    Ok(results)
+}
+
+/// Figure 8: successor entropy of `trace`'s miss stream for each
+/// intervening LRU filter capacity, at every symbol length in `ks`.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if any `k` is zero or any filter
+/// capacity is zero.
+pub fn filtered_entropy_sweep(
+    trace: &Trace,
+    filter_capacities: &[usize],
+    ks: &[usize],
+) -> Result<Vec<EntropySeries>, ValidationError> {
+    for &k in ks {
+        if k == 0 {
+            return Err(ValidationError::new("ks", "symbol lengths must be >= 1"));
+        }
+    }
+    for &cap in filter_capacities {
+        if cap == 0 {
+            return Err(ValidationError::new(
+                "filter_capacities",
+                "must all be greater than zero",
+            ));
+        }
+    }
+    let results = parallel_map(filter_capacities, |&cap| {
+        let points = filtered_entropy_profile(trace, cap, ks).expect("validated above");
+        EntropySeries {
+            label: format!("filter={cap}"),
+            points,
+        }
+    });
+    Ok(results)
+}
+
+/// Renders entropy series as a table: one row per symbol length, one
+/// column per series.
+pub fn entropy_table(title: &str, series: &[EntropySeries]) -> Table {
+    let mut columns = vec!["k".to_string()];
+    columns.extend(series.iter().map(|s| s.label.clone()));
+    let mut table = Table::new(title, columns);
+    let ks: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|&(k, _)| k).collect())
+        .unwrap_or_default();
+    for &k in &ks {
+        let mut row = vec![k.to_string()];
+        for s in series {
+            let cell = s
+                .points
+                .iter()
+                .find(|&&(pk, _)| pk == k)
+                .map(|&(_, h)| fmt2(h))
+                .unwrap_or_default();
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+
+    fn trace(profile: WorkloadProfile) -> Trace {
+        SynthConfig::profile(profile)
+            .events(6_000)
+            .seed(3)
+            .build()
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn validation() {
+        let t = trace(WorkloadProfile::Server);
+        assert!(entropy_sweep(&[("x".into(), &t)], &[0]).is_err());
+        assert!(filtered_entropy_sweep(&t, &[10], &[0]).is_err());
+        assert!(filtered_entropy_sweep(&t, &[0], &[1]).is_err());
+    }
+
+    #[test]
+    fn server_is_most_predictable_workload() {
+        let server = trace(WorkloadProfile::Server);
+        let users = trace(WorkloadProfile::Users);
+        let series = entropy_sweep(
+            &[("server".into(), &server), ("users".into(), &users)],
+            &[1],
+        )
+        .unwrap();
+        let h = |label: &str| {
+            series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .points[0]
+                .1
+        };
+        assert!(
+            h("server") < h("users"),
+            "server {} vs users {}",
+            h("server"),
+            h("users")
+        );
+        // Paper: server successor entropy is "significantly less than one
+        // bit" at k = 1.
+        assert!(h("server") < 1.0, "server entropy {}", h("server"));
+    }
+
+    #[test]
+    fn entropy_rises_with_symbol_length() {
+        let t = trace(WorkloadProfile::Workstation);
+        let series = entropy_sweep(&[("w".into(), &t)], &[1, 2, 4, 8]).unwrap();
+        let pts = &series[0].points;
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1 - 1e-9,
+                "entropy fell between k={} and k={}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_sweep_produces_one_series_per_capacity() {
+        let t = trace(WorkloadProfile::Users);
+        let series = filtered_entropy_sweep(&t, &[1, 10, 100], &[1, 2]).unwrap();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].label, "filter=1");
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+        }
+    }
+
+    #[test]
+    fn table_layout() {
+        let t = trace(WorkloadProfile::Server);
+        let series = entropy_sweep(&[("server".into(), &t)], &[1, 2]).unwrap();
+        let table = entropy_table("fig7", &series);
+        assert_eq!(table.row_count(), 2);
+        assert!(table.render().contains("server"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's headline claims (§1 abstract / §6 conclusions) as one
+//! reproducible summary table:
+//!
+//! * grouping cuts client LRU demand fetches by 50–60 %;
+//! * for intervening client caches below ~200 files, the aggregating
+//!   server cache improves hit rates by 20 to over 1200 %;
+//! * for larger client caches it still delivers 30–60 % hit rates where
+//!   plain LRU collapses toward zero.
+
+use fgcache_trace::Trace;
+use fgcache_types::ValidationError;
+use serde::{Deserialize, Serialize};
+
+use crate::client::{client_sweep, ClientSweepConfig};
+use crate::report::{pct, Table};
+use crate::server::{two_level_sweep, ServerScheme, TwoLevelConfig};
+use fgcache_cache::PolicyKind;
+
+/// Headline numbers for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineRow {
+    /// Workload label.
+    pub workload: String,
+    /// Client cache capacity used for the fetch-reduction comparison.
+    pub client_capacity: usize,
+    /// Demand fetches with plain LRU (group size 1).
+    pub lru_fetches: u64,
+    /// Demand fetches with groups of five.
+    pub g5_fetches: u64,
+    /// Relative reduction in demand fetches, `1 − g5/lru`.
+    pub fetch_reduction: f64,
+    /// Server hit rate (plain LRU) behind a small intervening cache.
+    pub small_filter_lru_hit: f64,
+    /// Server hit rate (aggregating g5) behind a small intervening cache.
+    pub small_filter_g5_hit: f64,
+    /// Server hit rate (plain LRU) behind a large intervening cache.
+    pub large_filter_lru_hit: f64,
+    /// Server hit rate (aggregating g5) behind a large intervening cache.
+    pub large_filter_g5_hit: f64,
+}
+
+impl HeadlineRow {
+    /// Relative server hit-rate gain behind the small filter,
+    /// `(g5 − lru)/lru`; `None` when the LRU hit rate is (near) zero and
+    /// the ratio is unbounded.
+    pub fn small_filter_gain(&self) -> Option<f64> {
+        if self.small_filter_lru_hit < 1e-6 {
+            None
+        } else {
+            Some((self.small_filter_g5_hit - self.small_filter_lru_hit) / self.small_filter_lru_hit)
+        }
+    }
+}
+
+/// The complete headline summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineSummary {
+    /// One row per workload.
+    pub rows: Vec<HeadlineRow>,
+    /// Client capacity used for the fetch comparison.
+    pub client_capacity: usize,
+    /// Small intervening-filter capacity.
+    pub small_filter: usize,
+    /// Large intervening-filter capacity.
+    pub large_filter: usize,
+    /// Server cache capacity.
+    pub server_capacity: usize,
+}
+
+impl HeadlineSummary {
+    /// Renders the summary as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "headline (client cache {}, server cache {}, filters {}/{})",
+                self.client_capacity, self.server_capacity, self.small_filter, self.large_filter
+            ),
+            [
+                "workload",
+                "lru fetches",
+                "g5 fetches",
+                "reduction",
+                "srv lru (small)",
+                "srv g5 (small)",
+                "gain",
+                "srv lru (large)",
+                "srv g5 (large)",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row([
+                r.workload.clone(),
+                r.lru_fetches.to_string(),
+                r.g5_fetches.to_string(),
+                pct(r.fetch_reduction),
+                pct(r.small_filter_lru_hit),
+                pct(r.small_filter_g5_hit),
+                r.small_filter_gain()
+                    .map(|g| format!("{:+.0}%", g * 100.0))
+                    .unwrap_or_else(|| "∞".to_string()),
+                pct(r.large_filter_lru_hit),
+                pct(r.large_filter_g5_hit),
+            ]);
+        }
+        t
+    }
+}
+
+/// Computes the headline summary over the given labelled traces, with the
+/// paper's canonical parameters: client cache 300, server cache 300,
+/// small/large filters 100/450, group size 5.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if any underlying sweep rejects its
+/// parameters (never, for the built-in constants, unless a trace is
+/// pathological).
+pub fn headline_summary(
+    traces: &[(String, &Trace)],
+) -> Result<HeadlineSummary, ValidationError> {
+    let client_capacity = 300;
+    let small_filter = 100;
+    let large_filter = 450;
+    let server_capacity = 300;
+    let mut rows = Vec::with_capacity(traces.len());
+    for (label, trace) in traces {
+        let client_points = client_sweep(
+            trace,
+            &ClientSweepConfig {
+                capacities: vec![client_capacity],
+                group_sizes: vec![1, 5],
+                successor_capacity: 8,
+            },
+        )?;
+        let lru_fetches = client_points
+            .iter()
+            .find(|p| p.group_size == 1)
+            .expect("grid contains g1")
+            .demand_fetches;
+        let g5_fetches = client_points
+            .iter()
+            .find(|p| p.group_size == 5)
+            .expect("grid contains g5")
+            .demand_fetches;
+        let server_points = two_level_sweep(
+            trace,
+            &TwoLevelConfig {
+                filter_capacities: vec![small_filter, large_filter],
+                server_capacity,
+                schemes: vec![
+                    ServerScheme::Aggregating { group_size: 5 },
+                    ServerScheme::Policy(PolicyKind::Lru),
+                ],
+                successor_capacity: 8,
+            },
+        )?;
+        let hit = |filter: usize, scheme: &str| {
+            server_points
+                .iter()
+                .find(|p| p.filter_capacity == filter && p.scheme == scheme)
+                .expect("grid covers all points")
+                .server_hit_rate
+        };
+        rows.push(HeadlineRow {
+            workload: label.clone(),
+            client_capacity,
+            lru_fetches,
+            g5_fetches,
+            fetch_reduction: if lru_fetches == 0 {
+                0.0
+            } else {
+                1.0 - g5_fetches as f64 / lru_fetches as f64
+            },
+            small_filter_lru_hit: hit(small_filter, "lru"),
+            small_filter_g5_hit: hit(small_filter, "g5"),
+            large_filter_lru_hit: hit(large_filter, "lru"),
+            large_filter_g5_hit: hit(large_filter, "g5"),
+        });
+    }
+    Ok(HeadlineSummary {
+        rows,
+        client_capacity,
+        small_filter,
+        large_filter,
+        server_capacity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+
+    #[test]
+    fn summary_shapes_match_paper_direction() {
+        let trace = SynthConfig::profile(WorkloadProfile::Server)
+            .events(60_000)
+            .seed(2)
+            .build()
+            .unwrap()
+            .generate();
+        let summary = headline_summary(&[("server".into(), &trace)]).unwrap();
+        let row = &summary.rows[0];
+        assert!(row.fetch_reduction > 0.3, "reduction {}", row.fetch_reduction);
+        assert!(
+            row.small_filter_g5_hit > row.small_filter_lru_hit,
+            "g5 {} vs lru {}",
+            row.small_filter_g5_hit,
+            row.small_filter_lru_hit
+        );
+        assert!(row.large_filter_g5_hit > row.large_filter_lru_hit);
+        let table = summary.table();
+        assert!(table.render().contains("server"));
+    }
+
+    #[test]
+    fn gain_is_none_when_lru_hits_zero() {
+        let row = HeadlineRow {
+            workload: "x".into(),
+            client_capacity: 300,
+            lru_fetches: 10,
+            g5_fetches: 5,
+            fetch_reduction: 0.5,
+            small_filter_lru_hit: 0.0,
+            small_filter_g5_hit: 0.4,
+            large_filter_lru_hit: 0.0,
+            large_filter_g5_hit: 0.3,
+        };
+        assert!(row.small_filter_gain().is_none());
+    }
+}

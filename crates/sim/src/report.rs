@@ -1,0 +1,192 @@
+//! Plain-text and CSV tabulation of experiment results.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned table, rendered as text or CSV.
+///
+/// ```
+/// use fgcache_sim::Table;
+///
+/// let mut t = Table::new("demo", ["x", "y"]);
+/// t.push_row(["1", "2"]);
+/// let text = t.render();
+/// assert!(text.contains("demo"));
+/// assert!(t.to_csv().starts_with("x,y\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new<S, I>(title: impl Into<String>, columns: I) -> Self
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = S>,
+    {
+        Table {
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with
+    /// empty cells; longer rows are truncated.
+    pub fn push_row<S, I>(&mut self, cells: I)
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = S>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.columns.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned text (what the `repro_*` binaries
+    /// print).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header row first). Cells containing
+    /// commas or quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with 2 decimal places (common in reports).
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", ["name", "v"]);
+        t.push_row(["a", "1000"]);
+        t.push_row(["long-name", "2"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains("name"));
+        // All data lines have equal length thanks to padding.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.push_row(["only"]);
+        t.push_row(["x", "y", "z"]);
+        assert_eq!(t.row_count(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().nth(1).unwrap(), "only,");
+        assert_eq!(csv.lines().nth(2).unwrap(), "x,y");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", ["a"]);
+        t.push_row(["x,y"]);
+        t.push_row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(fmt2(1.2345), "1.23");
+        assert_eq!(pct(0.4567), "45.7%");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = Table::new("x", ["c"]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

@@ -1,0 +1,313 @@
+//! Figure 4: server-side caching behind an intervening client cache.
+//!
+//! The client is a plain LRU cache of varying capacity (the *filter*);
+//! the server cache has fixed capacity and sees only the client's miss
+//! stream. We compare plain replacement policies against an aggregating
+//! server cache that tracks successors *of the miss stream only* (no
+//! client cooperation — paper §4.3).
+
+use fgcache_cache::{Cache, LruCache, PolicyKind};
+use fgcache_core::AggregatingCacheBuilder;
+use fgcache_trace::Trace;
+use fgcache_types::ValidationError;
+use serde::{Deserialize, Serialize};
+
+use crate::parallel::parallel_map;
+use crate::report::{pct, Table};
+
+/// A server cache scheme under test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServerScheme {
+    /// A plain replacement policy (demand fetching only).
+    Policy(PolicyKind),
+    /// An aggregating cache fetching groups of `group_size` from server
+    /// storage, with successor metadata built from the requests it sees.
+    Aggregating {
+        /// Group size `g` for server-side group retrieval.
+        group_size: usize,
+    },
+}
+
+impl ServerScheme {
+    /// Stable label used in tables (`lru`, `lfu`, …, `g5`).
+    pub fn label(&self) -> String {
+        match self {
+            ServerScheme::Policy(kind) => kind.name().to_string(),
+            ServerScheme::Aggregating { group_size } => format!("g{group_size}"),
+        }
+    }
+}
+
+/// Parameter grid for the two-level sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoLevelConfig {
+    /// Intervening client (filter) capacities — the x-axis (paper:
+    /// 50–500).
+    pub filter_capacities: Vec<usize>,
+    /// Fixed server cache capacity (paper: 300).
+    pub server_capacity: usize,
+    /// Server schemes to compare (paper: g5, LRU, LFU).
+    pub schemes: Vec<ServerScheme>,
+    /// Successor list capacity for aggregating schemes.
+    pub successor_capacity: usize,
+}
+
+impl TwoLevelConfig {
+    /// The paper's Figure 4 grid.
+    pub fn paper() -> Self {
+        TwoLevelConfig {
+            filter_capacities: vec![50, 100, 150, 200, 250, 300, 350, 400, 450, 500],
+            server_capacity: 300,
+            schemes: vec![
+                ServerScheme::Aggregating { group_size: 5 },
+                ServerScheme::Policy(PolicyKind::Lru),
+                ServerScheme::Policy(PolicyKind::Lfu),
+            ],
+            successor_capacity: 8,
+        }
+    }
+
+    /// A reduced grid for quick runs and tests.
+    pub fn quick() -> Self {
+        TwoLevelConfig {
+            filter_capacities: vec![50, 300],
+            server_capacity: 300,
+            schemes: vec![
+                ServerScheme::Aggregating { group_size: 5 },
+                ServerScheme::Policy(PolicyKind::Lru),
+            ],
+            successor_capacity: 8,
+        }
+    }
+}
+
+/// One measured point of the two-level sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoLevelPoint {
+    /// Intervening client cache capacity.
+    pub filter_capacity: usize,
+    /// Scheme label (see [`ServerScheme::label`]).
+    pub scheme: String,
+    /// Server cache hit rate over the requests that reached it.
+    pub server_hit_rate: f64,
+    /// Requests that reached the server (client misses).
+    pub server_accesses: u64,
+    /// Client cache hit rate (same for every scheme at a given filter
+    /// size; reported for context).
+    pub client_hit_rate: f64,
+}
+
+/// Runs the Figure 4 sweep over `trace`.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if the grid is empty, the server
+/// capacity is zero, any filter capacity is zero, or an aggregating
+/// scheme's group size is invalid.
+pub fn two_level_sweep(
+    trace: &Trace,
+    config: &TwoLevelConfig,
+) -> Result<Vec<TwoLevelPoint>, ValidationError> {
+    if config.filter_capacities.is_empty() {
+        return Err(ValidationError::new(
+            "filter_capacities",
+            "must not be empty",
+        ));
+    }
+    if config.schemes.is_empty() {
+        return Err(ValidationError::new("schemes", "must not be empty"));
+    }
+    if config.server_capacity == 0 {
+        return Err(ValidationError::new(
+            "server_capacity",
+            "must be greater than zero",
+        ));
+    }
+    for &cap in &config.filter_capacities {
+        if cap == 0 {
+            return Err(ValidationError::new(
+                "filter_capacities",
+                "must all be greater than zero",
+            ));
+        }
+    }
+    for scheme in &config.schemes {
+        if let ServerScheme::Aggregating { group_size } = scheme {
+            AggregatingCacheBuilder::new(config.server_capacity)
+                .group_size(*group_size)
+                .successor_capacity(config.successor_capacity)
+                .build()?;
+        }
+    }
+    let mut grid = Vec::new();
+    for &filter in &config.filter_capacities {
+        for scheme in &config.schemes {
+            grid.push((filter, *scheme));
+        }
+    }
+    let server_capacity = config.server_capacity;
+    let successor_capacity = config.successor_capacity;
+    Ok(parallel_map(&grid, |&(filter_capacity, scheme)| {
+        let mut client = LruCache::new(filter_capacity);
+        let mut server: Box<dyn Cache + Send> = match scheme {
+            ServerScheme::Policy(kind) => kind.build(server_capacity),
+            ServerScheme::Aggregating { group_size } => Box::new(
+                AggregatingCacheBuilder::new(server_capacity)
+                    .group_size(group_size)
+                    .successor_capacity(successor_capacity)
+                    .build()
+                    .expect("validated above"),
+            ),
+        };
+        for ev in trace.events() {
+            if client.access(ev.file).is_miss() {
+                server.access(ev.file);
+            }
+        }
+        TwoLevelPoint {
+            filter_capacity,
+            scheme: scheme.label(),
+            server_hit_rate: server.stats().hit_rate(),
+            server_accesses: server.stats().accesses,
+            client_hit_rate: client.stats().hit_rate(),
+        }
+    }))
+}
+
+/// Renders the sweep in the paper's Figure 4 layout: one row per filter
+/// capacity, one column per scheme, cells = server hit rate.
+pub fn hit_rate_table(title: &str, points: &[TwoLevelPoint]) -> Table {
+    let mut schemes: Vec<String> = points.iter().map(|p| p.scheme.clone()).collect();
+    schemes.dedup();
+    schemes.sort();
+    schemes.dedup();
+    let mut filters: Vec<usize> = points.iter().map(|p| p.filter_capacity).collect();
+    filters.sort_unstable();
+    filters.dedup();
+    let mut columns = vec!["filter".to_string()];
+    columns.extend(schemes.iter().cloned());
+    let mut table = Table::new(title, columns);
+    for &f in &filters {
+        let mut row = vec![f.to_string()];
+        for s in &schemes {
+            let cell = points
+                .iter()
+                .find(|p| p.filter_capacity == f && &p.scheme == s)
+                .map(|p| pct(p.server_hit_rate))
+                .unwrap_or_default();
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+
+    fn trace(profile: WorkloadProfile, events: usize) -> Trace {
+        SynthConfig::profile(profile)
+            .events(events)
+            .seed(7)
+            .build()
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn validation() {
+        let t = Trace::from_files([1, 2]);
+        let mut cfg = TwoLevelConfig::quick();
+        cfg.filter_capacities.clear();
+        assert!(two_level_sweep(&t, &cfg).is_err());
+        let mut cfg = TwoLevelConfig::quick();
+        cfg.schemes.clear();
+        assert!(two_level_sweep(&t, &cfg).is_err());
+        let mut cfg = TwoLevelConfig::quick();
+        cfg.server_capacity = 0;
+        assert!(two_level_sweep(&t, &cfg).is_err());
+        let mut cfg = TwoLevelConfig::quick();
+        cfg.filter_capacities = vec![0];
+        assert!(two_level_sweep(&t, &cfg).is_err());
+        let mut cfg = TwoLevelConfig::quick();
+        cfg.schemes = vec![ServerScheme::Aggregating { group_size: 0 }];
+        assert!(two_level_sweep(&t, &cfg).is_err());
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(ServerScheme::Policy(PolicyKind::Lru).label(), "lru");
+        assert_eq!(ServerScheme::Aggregating { group_size: 5 }.label(), "g5");
+    }
+
+    #[test]
+    fn server_sees_only_misses() {
+        let t = trace(WorkloadProfile::Workstation, 4_000);
+        let cfg = TwoLevelConfig {
+            filter_capacities: vec![100],
+            server_capacity: 100,
+            schemes: vec![ServerScheme::Policy(PolicyKind::Lru)],
+            successor_capacity: 4,
+        };
+        let points = two_level_sweep(&t, &cfg).unwrap();
+        let p = &points[0];
+        // Server accesses = client misses = (1 − client hit rate) × events.
+        let expected = ((1.0 - p.client_hit_rate) * 4_000.0).round() as u64;
+        assert_eq!(p.server_accesses, expected);
+    }
+
+    #[test]
+    fn aggregating_beats_lru_when_filter_matches_server() {
+        let t = trace(WorkloadProfile::Server, 12_000);
+        let cfg = TwoLevelConfig {
+            filter_capacities: vec![300],
+            server_capacity: 300,
+            schemes: vec![
+                ServerScheme::Aggregating { group_size: 5 },
+                ServerScheme::Policy(PolicyKind::Lru),
+            ],
+            successor_capacity: 8,
+        };
+        let points = two_level_sweep(&t, &cfg).unwrap();
+        let agg = points.iter().find(|p| p.scheme == "g5").unwrap();
+        let lru = points.iter().find(|p| p.scheme == "lru").unwrap();
+        assert!(
+            agg.server_hit_rate > lru.server_hit_rate,
+            "agg {} <= lru {}",
+            agg.server_hit_rate,
+            lru.server_hit_rate
+        );
+    }
+
+    #[test]
+    fn bigger_filters_starve_plain_server_cache() {
+        let t = trace(WorkloadProfile::Workstation, 10_000);
+        let cfg = TwoLevelConfig {
+            filter_capacities: vec![50, 500],
+            server_capacity: 300,
+            schemes: vec![ServerScheme::Policy(PolicyKind::Lru)],
+            successor_capacity: 4,
+        };
+        let points = two_level_sweep(&t, &cfg).unwrap();
+        let small = points.iter().find(|p| p.filter_capacity == 50).unwrap();
+        let big = points.iter().find(|p| p.filter_capacity == 500).unwrap();
+        assert!(
+            big.server_hit_rate < small.server_hit_rate,
+            "hit rate did not degrade: {} vs {}",
+            small.server_hit_rate,
+            big.server_hit_rate
+        );
+    }
+
+    #[test]
+    fn table_layout() {
+        let t = trace(WorkloadProfile::Users, 2_000);
+        let points = two_level_sweep(&t, &TwoLevelConfig::quick()).unwrap();
+        let table = hit_rate_table("fig4", &points);
+        let text = table.render();
+        assert!(text.contains("g5"));
+        assert!(text.contains("lru"));
+    }
+}

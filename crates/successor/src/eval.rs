@@ -1,0 +1,134 @@
+//! The Figure 5 experiment: how often does a successor-list replacement
+//! policy evict a future successor?
+//!
+//! For every transition `prev → next` in a trace, we first ask whether
+//! `next` is currently in `prev`'s successor list (a *prediction hit*),
+//! then record the observation. The miss probability — averaged over all
+//! transitions, which weights each file by its access frequency exactly as
+//! the paper specifies — is plotted against the list capacity. The
+//! [`OracleSuccessorList`](crate::OracleSuccessorList) bounds what any
+//! online policy could achieve: it only misses successors never seen
+//! before in that context.
+
+use fgcache_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::list::SuccessorList;
+use crate::table::SuccessorTable;
+
+/// Result of a successor-list replacement evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissEvalResult {
+    /// Transitions examined (trace length − 1, for non-empty traces).
+    pub transitions: u64,
+    /// Transitions whose successor was *not* in the list at query time.
+    pub misses: u64,
+}
+
+impl MissEvalResult {
+    /// The probability of missing a future successor; 0 when no
+    /// transitions were examined.
+    pub fn miss_probability(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.transitions as f64
+        }
+    }
+}
+
+/// Replays `trace` against successor lists spawned from `prototype` and
+/// measures the probability that the upcoming successor is absent from
+/// the predecessor's list.
+///
+/// ```
+/// use fgcache_successor::eval::evaluate_replacement;
+/// use fgcache_successor::LruSuccessorList;
+/// use fgcache_trace::Trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A perfectly repetitive workload: after warm-up, never a miss.
+/// let trace = Trace::from_files([1, 2, 3].repeat(50));
+/// let result = evaluate_replacement(&trace, LruSuccessorList::new(1)?);
+/// assert!(result.miss_probability() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate_replacement<L: SuccessorList>(trace: &Trace, prototype: L) -> MissEvalResult {
+    let mut table = SuccessorTable::new(prototype);
+    let mut transitions = 0u64;
+    let mut misses = 0u64;
+    let mut prev: Option<fgcache_types::FileId> = None;
+    for file in trace.files() {
+        if let Some(p) = prev {
+            transitions += 1;
+            let predicted = table.list(p).is_some_and(|l| l.contains(file));
+            if !predicted {
+                misses += 1;
+            }
+            table.observe_transition(p, file);
+        }
+        prev = Some(file);
+    }
+    MissEvalResult {
+        transitions,
+        misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{LfuSuccessorList, LruSuccessorList, OracleSuccessorList};
+
+    #[test]
+    fn empty_and_singleton_traces() {
+        let r = evaluate_replacement(&Trace::default(), OracleSuccessorList::new());
+        assert_eq!(r.transitions, 0);
+        assert_eq!(r.miss_probability(), 0.0);
+        let r = evaluate_replacement(&Trace::from_files([1]), OracleSuccessorList::new());
+        assert_eq!(r.transitions, 0);
+    }
+
+    #[test]
+    fn first_transition_always_misses() {
+        let r = evaluate_replacement(&Trace::from_files([1, 2]), OracleSuccessorList::new());
+        assert_eq!(r.transitions, 1);
+        assert_eq!(r.misses, 1);
+    }
+
+    #[test]
+    fn oracle_only_misses_novel_successors() {
+        // 1→2 and 1→3 alternate: oracle misses each pair only once.
+        let trace = Trace::from_files([1, 2, 1, 3, 1, 2, 1, 3, 1, 2, 1, 3]);
+        let r = evaluate_replacement(&trace, OracleSuccessorList::new());
+        // Novel transitions: 1→2, 2→1, 1→3, 3→1 → 4 misses out of 11.
+        assert_eq!(r.misses, 4);
+        assert_eq!(r.transitions, 11);
+    }
+
+    #[test]
+    fn oracle_lower_bounds_bounded_policies() {
+        let trace = Trace::from_files(
+            (0..2000u64).map(|i| [1, 2, 1, 3, 1, 4, 2, 3][(i % 8) as usize]),
+        );
+        let oracle = evaluate_replacement(&trace, OracleSuccessorList::new());
+        let lru1 = evaluate_replacement(&trace, LruSuccessorList::new(1).unwrap());
+        let lru4 = evaluate_replacement(&trace, LruSuccessorList::new(4).unwrap());
+        let lfu1 = evaluate_replacement(&trace, LfuSuccessorList::new(1).unwrap());
+        assert!(oracle.misses <= lru1.misses);
+        assert!(oracle.misses <= lfu1.misses);
+        assert!(oracle.misses <= lru4.misses);
+        // More capacity never hurts LRU on this workload.
+        assert!(lru4.misses <= lru1.misses);
+    }
+
+    #[test]
+    fn capacity_large_enough_matches_oracle() {
+        let trace = Trace::from_files((0..300u64).map(|i| [5, 6, 5, 7][(i % 4) as usize]));
+        let oracle = evaluate_replacement(&trace, OracleSuccessorList::new());
+        // File 5 has 2 distinct successors; capacity 2 suffices.
+        let lru2 = evaluate_replacement(&trace, LruSuccessorList::new(2).unwrap());
+        assert_eq!(oracle.misses, lru2.misses);
+    }
+}

@@ -1,0 +1,222 @@
+//! The inter-file relationship graph (paper Figure 1).
+//!
+//! Nodes are files; a directed edge `A → B` carries the number of times
+//! `B` immediately followed `A`. The paper derives *overlapping* covering
+//! groups from this graph — explicitly **not** a disjoint partition,
+//! because popular files (shells, `make`) belong to many working sets.
+
+use std::collections::HashMap;
+
+use fgcache_types::FileId;
+
+use crate::group::Group;
+
+/// An edge-weighted directed graph of immediate-successor relationships.
+///
+/// ```
+/// use fgcache_successor::RelationshipGraph;
+/// use fgcache_types::FileId;
+///
+/// let mut g = RelationshipGraph::new();
+/// g.record_sequence([1u64, 2, 3, 1, 2].into_iter().map(FileId));
+/// assert_eq!(g.weight(FileId(1), FileId(2)), 2);
+/// assert_eq!(g.successors_ranked(FileId(1)), vec![(FileId(2), 2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RelationshipGraph {
+    edges: HashMap<FileId, HashMap<FileId, u64>>,
+    nodes: HashMap<FileId, u64>, // node → access count
+    last: Option<FileId>,
+}
+
+impl RelationshipGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        RelationshipGraph::default()
+    }
+
+    /// Records one access, adding/strengthening the edge from the
+    /// previous access.
+    pub fn record(&mut self, file: FileId) {
+        *self.nodes.entry(file).or_insert(0) += 1;
+        if let Some(prev) = self.last.replace(file) {
+            *self
+                .edges
+                .entry(prev)
+                .or_default()
+                .entry(file)
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Records a whole sequence of accesses.
+    pub fn record_sequence(&mut self, files: impl IntoIterator<Item = FileId>) {
+        for f in files {
+            self.record(f);
+        }
+    }
+
+    /// The weight of edge `from → to` (0 if absent).
+    pub fn weight(&self, from: FileId, to: FileId) -> u64 {
+        self.edges
+            .get(&from)
+            .and_then(|m| m.get(&to))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Successors of `from` with weights, strongest first (ties broken by
+    /// file id for determinism).
+    pub fn successors_ranked(&self, from: FileId) -> Vec<(FileId, u64)> {
+        let mut out: Vec<(FileId, u64)> = self
+            .edges
+            .get(&from)
+            .map(|m| m.iter().map(|(&f, &w)| (f, w)).collect())
+            .unwrap_or_default();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of distinct files seen.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|m| m.len()).sum()
+    }
+
+    /// Access count of a file.
+    pub fn access_count(&self, file: FileId) -> u64 {
+        self.nodes.get(&file).copied().unwrap_or(0)
+    }
+
+    /// The strongest `k` edges in the whole graph, by weight.
+    pub fn top_edges(&self, k: usize) -> Vec<(FileId, FileId, u64)> {
+        let mut all: Vec<(FileId, FileId, u64)> = self
+            .edges
+            .iter()
+            .flat_map(|(&from, m)| m.iter().map(move |(&to, &w)| (from, to, w)))
+            .collect();
+        all.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        all.truncate(k);
+        all
+    }
+
+    /// The §2.1 construction: a **minimal covering set** of (possibly
+    /// overlapping) groups of size `size` — one group per node that has at
+    /// least one successor, consisting of the node and its `size − 1`
+    /// strongest successors. Nodes covered by an earlier group *as
+    /// members* still get their own group only if they have successors
+    /// and are not already a requested head; this yields a covering,
+    /// not a partition.
+    pub fn covering_groups(&self, size: usize) -> Vec<Group> {
+        let mut heads: Vec<FileId> = self.edges.keys().copied().collect();
+        heads.sort_unstable();
+        let mut covered: std::collections::HashSet<FileId> = std::collections::HashSet::new();
+        let mut groups = Vec::new();
+        for head in heads {
+            if covered.contains(&head) {
+                continue;
+            }
+            let members: Vec<FileId> = self
+                .successors_ranked(head)
+                .into_iter()
+                .take(size.saturating_sub(1))
+                .map(|(f, _)| f)
+                .collect();
+            let group = Group::new(head, members);
+            for f in group.files() {
+                covered.insert(*f);
+            }
+            groups.push(group);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(seq: &[u64]) -> RelationshipGraph {
+        let mut g = RelationshipGraph::new();
+        g.record_sequence(seq.iter().map(|&i| FileId(i)));
+        g
+    }
+
+    #[test]
+    fn weights_accumulate() {
+        let g = graph(&[1, 2, 1, 2, 1, 3]);
+        assert_eq!(g.weight(FileId(1), FileId(2)), 2);
+        assert_eq!(g.weight(FileId(2), FileId(1)), 2);
+        assert_eq!(g.weight(FileId(1), FileId(3)), 1);
+        assert_eq!(g.weight(FileId(3), FileId(1)), 0);
+    }
+
+    #[test]
+    fn ranked_successors_strongest_first() {
+        let g = graph(&[1, 2, 1, 2, 1, 3]);
+        assert_eq!(
+            g.successors_ranked(FileId(1)),
+            vec![(FileId(2), 2), (FileId(3), 1)]
+        );
+        assert!(g.successors_ranked(FileId(99)).is_empty());
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = graph(&[1, 2, 3, 1]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3); // 1→2, 2→3, 3→1
+        assert_eq!(g.access_count(FileId(1)), 2);
+    }
+
+    #[test]
+    fn top_edges_ordered() {
+        let g = graph(&[1, 2, 1, 2, 3, 1]);
+        let top = g.top_edges(2);
+        assert_eq!(top[0], (FileId(1), FileId(2), 2));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn covering_groups_cover_all_heads() {
+        let g = graph(&[1, 2, 3, 1, 2, 3, 4, 5, 4, 5]);
+        let groups = g.covering_groups(3);
+        // Every file with successors appears in some group.
+        let in_some_group = |f: FileId| groups.iter().any(|gr| gr.contains(f));
+        for head in [1u64, 2, 3, 4, 5] {
+            assert!(in_some_group(FileId(head)), "f{head} uncovered");
+        }
+        // Group sizes bounded.
+        for gr in &groups {
+            assert!(gr.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn covering_groups_may_overlap() {
+        // Hub file 9 follows both 1 and 5 (a shared executable).
+        let g = graph(&[1, 9, 2, 1, 9, 2, 5, 9, 6, 5, 9, 6]);
+        let groups = g.covering_groups(2);
+        let containing_9 = groups
+            .iter()
+            .filter(|gr| gr.contains(FileId(9)))
+            .count();
+        assert!(containing_9 >= 1);
+        // Overlap allowed: total membership may exceed node count.
+        let total: usize = groups.iter().map(|gr| gr.len()).sum();
+        assert!(total >= g.node_count());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = RelationshipGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.covering_groups(3).is_empty());
+        assert!(g.top_edges(5).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Best-effort construction of file groups for retrieval.
+//!
+//! The server "will currently make a best-effort to retrieve a group of
+//! `g` files" (§3): the requested file plus up to `g − 1` predicted
+//! successors, found by chaining most-likely immediate successors
+//! (transitive successors). Groups may *overlap* across requests — the
+//! paper explicitly rejects disjoint partitioning (§2.1).
+
+use std::fmt;
+
+use fgcache_types::{FileId, ValidationError};
+
+use crate::list::SuccessorList;
+use crate::table::SuccessorTable;
+
+/// A retrieval group: the requested file first, followed by predicted
+/// members in decreasing confidence, with no duplicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Group {
+    files: Vec<FileId>,
+}
+
+impl Group {
+    /// Creates a group from the requested file and its predicted members,
+    /// de-duplicating while preserving order.
+    pub fn new(requested: FileId, members: impl IntoIterator<Item = FileId>) -> Self {
+        let mut files = vec![requested];
+        for f in members {
+            if !files.contains(&f) {
+                files.push(f);
+            }
+        }
+        Group { files }
+    }
+
+    /// All files in the group, requested file first.
+    pub fn files(&self) -> &[FileId] {
+        &self.files
+    }
+
+    /// The demand-requested file.
+    pub fn requested(&self) -> FileId {
+        self.files[0]
+    }
+
+    /// The speculative members (everything but the requested file).
+    pub fn members(&self) -> &[FileId] {
+        &self.files[1..]
+    }
+
+    /// Total group size including the requested file.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Always `false`: a group contains at least the requested file.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `file` is in the group.
+    pub fn contains(&self, file: FileId) -> bool {
+        self.files.contains(&file)
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.files[0])?;
+        for file in &self.files[1..] {
+            write!(f, " {file}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<'a> IntoIterator for &'a Group {
+    type Item = FileId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, FileId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.files.iter().copied()
+    }
+}
+
+/// Builds best-effort groups of a configured size from a successor table.
+///
+/// ```
+/// use fgcache_successor::{GroupBuilder, LruSuccessorList, SuccessorTable};
+/// use fgcache_types::FileId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut table = SuccessorTable::new(LruSuccessorList::new(2)?);
+/// for id in [10u64, 11, 12, 10, 11, 12] {
+///     table.record(FileId(id));
+/// }
+/// let group = GroupBuilder::new(3)?.build(&table, FileId(10));
+/// assert_eq!(group.len(), 3);
+/// assert_eq!(group.requested(), FileId(10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupBuilder {
+    group_size: usize,
+}
+
+impl GroupBuilder {
+    /// Creates a builder for groups of `group_size` files (including the
+    /// requested file). Size 1 degenerates to single-file fetching (plain
+    /// demand caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if `group_size` is zero.
+    pub fn new(group_size: usize) -> Result<Self, ValidationError> {
+        if group_size == 0 {
+            return Err(ValidationError::new(
+                "group_size",
+                "groups contain at least the requested file",
+            ));
+        }
+        Ok(GroupBuilder { group_size })
+    }
+
+    /// The configured group size `g`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Builds the group for a request of `start`: `start` plus up to
+    /// `g − 1` transitive successors. Best-effort — the group is smaller
+    /// when the successor chain runs out.
+    pub fn build<L: SuccessorList>(&self, table: &SuccessorTable<L>, start: FileId) -> Group {
+        let members = table.predict_chain(start, self.group_size - 1);
+        Group::new(start, members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::LruSuccessorList;
+
+    fn table_from(seq: &[u64], cap: usize) -> SuccessorTable<LruSuccessorList> {
+        let mut t = SuccessorTable::new(LruSuccessorList::new(cap).unwrap());
+        for &id in seq {
+            t.record(FileId(id));
+        }
+        t
+    }
+
+    #[test]
+    fn builder_validates_size() {
+        assert!(GroupBuilder::new(0).is_err());
+        assert_eq!(GroupBuilder::new(5).unwrap().group_size(), 5);
+    }
+
+    #[test]
+    fn group_of_one_is_just_the_request() {
+        let t = table_from(&[1, 2, 3, 1, 2, 3], 2);
+        let g = GroupBuilder::new(1).unwrap().build(&t, FileId(1));
+        assert_eq!(g.files(), &[FileId(1)]);
+        assert!(g.members().is_empty());
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn group_follows_chain() {
+        let t = table_from(&[1, 2, 3, 4, 5, 1, 2, 3, 4, 5], 2);
+        let g = GroupBuilder::new(4).unwrap().build(&t, FileId(1));
+        assert_eq!(
+            g.files(),
+            &[FileId(1), FileId(2), FileId(3), FileId(4)]
+        );
+    }
+
+    #[test]
+    fn group_is_best_effort_when_chain_short() {
+        let t = table_from(&[1, 2], 2);
+        let g = GroupBuilder::new(5).unwrap().build(&t, FileId(1));
+        assert_eq!(g.files(), &[FileId(1), FileId(2)]);
+    }
+
+    #[test]
+    fn unknown_file_gives_singleton_group() {
+        let t = table_from(&[1, 2], 2);
+        let g = GroupBuilder::new(5).unwrap().build(&t, FileId(42));
+        assert_eq!(g.files(), &[FileId(42)]);
+    }
+
+    #[test]
+    fn group_never_contains_duplicates() {
+        let t = table_from(&[1, 2, 1, 2, 1, 2], 2);
+        let g = GroupBuilder::new(5).unwrap().build(&t, FileId(1));
+        let mut sorted: Vec<FileId> = g.files().to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.len());
+    }
+
+    #[test]
+    fn group_new_dedups_members() {
+        let g = Group::new(FileId(1), [FileId(2), FileId(2), FileId(1), FileId(3)]);
+        assert_eq!(g.files(), &[FileId(1), FileId(2), FileId(3)]);
+        assert!(g.contains(FileId(3)));
+        assert!(!g.contains(FileId(9)));
+    }
+
+    #[test]
+    fn group_display_and_iter() {
+        let g = Group::new(FileId(1), [FileId(2)]);
+        assert_eq!(g.to_string(), "[f1 f2]");
+        let collected: Vec<FileId> = (&g).into_iter().collect();
+        assert_eq!(collected, vec![FileId(1), FileId(2)]);
+    }
+}

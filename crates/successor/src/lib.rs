@@ -1,0 +1,63 @@
+//! Per-file successor tracking and dynamic group construction.
+//!
+//! This crate implements the paper's metadata mechanism (§2–§3):
+//!
+//! * **Successor lists** — for each file, a short list of the files
+//!   observed to *immediately follow* it in the access sequence. The list
+//!   is bounded and managed by a replacement policy; the paper's central
+//!   empirical finding (Figure 5) is that **recency (LRU) replacement
+//!   consistently beats frequency (LFU)** for this job. Implementations:
+//!   [`LruSuccessorList`], [`LfuSuccessorList`], [`OracleSuccessorList`]
+//!   (unbounded upper bound) and [`DecayedSuccessorList`] (the paper's
+//!   future-work hybrid of recency and frequency).
+//! * **[`SuccessorTable`]** — the per-file map of successor lists, fed one
+//!   access at a time; the paper's *only* metadata ("we only track a single
+//!   event beyond each file access").
+//! * **[`GroupBuilder`]** — best-effort construction of a group of `g`
+//!   files by chaining most-likely immediate successors (the *transitive
+//!   successor* walk of §3).
+//! * **[`RelationshipGraph`]** — the edge-weighted inter-file relationship
+//!   graph of Figure 1, with overlapping (non-partitioned) covering
+//!   groups.
+//! * **[`ProbabilityGraph`]** — the Griffioen–Appleton lookahead-window
+//!   prefetcher, the related-work baseline the paper contrasts against.
+//! * [`eval`] — the Figure 5 experiment: probability that a replacement
+//!   policy fails to keep a future successor in the list.
+//!
+//! # Examples
+//!
+//! ```
+//! use fgcache_successor::{GroupBuilder, LruSuccessorList, SuccessorTable};
+//! use fgcache_types::FileId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut table = SuccessorTable::new(LruSuccessorList::new(3)?);
+//! for id in [1u64, 2, 3, 1, 2, 3] {
+//!     table.record(FileId(id));
+//! }
+//! assert_eq!(table.most_likely(FileId(1)), Some(FileId(2)));
+//!
+//! // Chain most-likely successors into a group of three.
+//! let group = GroupBuilder::new(3)?.build(&table, FileId(1));
+//! assert_eq!(group.files(), &[FileId(1), FileId(2), FileId(3)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+mod graph;
+mod group;
+mod list;
+mod probgraph;
+mod table;
+
+pub use graph::RelationshipGraph;
+pub use group::{Group, GroupBuilder};
+pub use list::{
+    DecayedSuccessorList, LfuSuccessorList, LruSuccessorList, OracleSuccessorList, SuccessorList,
+};
+pub use probgraph::ProbabilityGraph;
+pub use table::SuccessorTable;

@@ -1,0 +1,588 @@
+//! Bounded per-file successor lists with pluggable replacement.
+//!
+//! A successor list answers one question: *given that this file was just
+//! accessed, which files are likely next?* The paper keeps these lists
+//! deliberately tiny (a handful of entries) and shows that recency-managed
+//! lists dominate frequency-managed ones (Figure 5).
+//!
+//! Lists are intentionally `Vec`-backed with linear scans: capacities are
+//! single-digit in every experiment, so a linear scan beats any hashed
+//! structure and keeps entries in likelihood order for free.
+
+use fgcache_types::{FileId, ValidationError};
+
+/// A bounded list of likely immediate successors for one file.
+///
+/// Implementations are prototypes: a [`SuccessorTable`](crate::SuccessorTable)
+/// holds one instance as a template and calls [`SuccessorList::fresh`] to
+/// spawn an empty list (with identical parameters) for each newly-seen
+/// file.
+pub trait SuccessorList: Clone + std::fmt::Debug {
+    /// Records that `succ` was observed to immediately follow this list's
+    /// file, updating likelihood ranking and evicting per policy if the
+    /// list is full.
+    fn observe(&mut self, succ: FileId);
+
+    /// Returns `true` if `succ` is currently in the list (i.e. would have
+    /// been predicted).
+    fn contains(&self, succ: FileId) -> bool;
+
+    /// The single most likely successor, if any.
+    fn most_likely(&self) -> Option<FileId>;
+
+    /// Successors ranked from most to least likely.
+    fn ranked(&self) -> Vec<FileId>;
+
+    /// Number of successors currently tracked.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no successors have been observed yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity bound, or `None` for unbounded lists (the oracle).
+    fn capacity(&self) -> Option<usize>;
+
+    /// An empty list with the same configuration as `self`.
+    fn fresh(&self) -> Self;
+}
+
+/// Recency-managed successor list: most recently observed first.
+///
+/// This is the paper's choice. Eviction drops the least recently observed
+/// successor; the most likely successor is simply the most recent one.
+///
+/// ```
+/// use fgcache_successor::{LruSuccessorList, SuccessorList};
+/// use fgcache_types::FileId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut l = LruSuccessorList::new(2)?;
+/// l.observe(FileId(1));
+/// l.observe(FileId(2));
+/// l.observe(FileId(3)); // evicts 1 (least recent)
+/// assert!(!l.contains(FileId(1)));
+/// assert_eq!(l.most_likely(), Some(FileId(3)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruSuccessorList {
+    capacity: usize,
+    // Front = most recently observed = most likely.
+    items: Vec<FileId>,
+}
+
+impl LruSuccessorList {
+    /// Creates a recency-managed list of at most `capacity` successors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, ValidationError> {
+        if capacity == 0 {
+            return Err(ValidationError::new(
+                "capacity",
+                "successor list capacity must be at least 1",
+            ));
+        }
+        Ok(LruSuccessorList {
+            capacity,
+            items: Vec::with_capacity(capacity),
+        })
+    }
+}
+
+impl SuccessorList for LruSuccessorList {
+    fn observe(&mut self, succ: FileId) {
+        if let Some(pos) = self.items.iter().position(|&f| f == succ) {
+            self.items.remove(pos);
+        } else if self.items.len() == self.capacity {
+            self.items.pop();
+        }
+        self.items.insert(0, succ);
+    }
+
+    fn contains(&self, succ: FileId) -> bool {
+        self.items.contains(&succ)
+    }
+
+    fn most_likely(&self) -> Option<FileId> {
+        self.items.first().copied()
+    }
+
+    fn ranked(&self) -> Vec<FileId> {
+        self.items.clone()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity)
+    }
+
+    fn fresh(&self) -> Self {
+        LruSuccessorList {
+            capacity: self.capacity,
+            items: Vec::with_capacity(self.capacity),
+        }
+    }
+}
+
+/// Frequency-managed successor list: highest observation count first.
+///
+/// The paper's foil: plain frequency counts with least-frequent eviction
+/// (ties broken by least recent). Consistently worse than
+/// [`LruSuccessorList`] at equal capacity (Figure 5).
+#[derive(Debug, Clone)]
+pub struct LfuSuccessorList {
+    capacity: usize,
+    // (successor, count, last-observed stamp)
+    items: Vec<(FileId, u64, u64)>,
+    clock: u64,
+}
+
+impl LfuSuccessorList {
+    /// Creates a frequency-managed list of at most `capacity` successors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, ValidationError> {
+        if capacity == 0 {
+            return Err(ValidationError::new(
+                "capacity",
+                "successor list capacity must be at least 1",
+            ));
+        }
+        Ok(LfuSuccessorList {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            clock: 0,
+        })
+    }
+
+    /// The observation count for `succ`, if tracked.
+    pub fn count(&self, succ: FileId) -> Option<u64> {
+        self.items.iter().find(|(f, _, _)| *f == succ).map(|t| t.1)
+    }
+}
+
+impl SuccessorList for LfuSuccessorList {
+    fn observe(&mut self, succ: FileId) {
+        self.clock += 1;
+        if let Some(item) = self.items.iter_mut().find(|(f, _, _)| *f == succ) {
+            item.1 += 1;
+            item.2 = self.clock;
+            return;
+        }
+        if self.items.len() == self.capacity {
+            // Evict lowest count; tie-break least recently observed.
+            let victim = self
+                .items
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, count, stamp))| (*count, *stamp))
+                .map(|(i, _)| i)
+                .expect("list is full, hence non-empty");
+            self.items.remove(victim);
+        }
+        self.items.push((succ, 1, self.clock));
+    }
+
+    fn contains(&self, succ: FileId) -> bool {
+        self.items.iter().any(|(f, _, _)| *f == succ)
+    }
+
+    fn most_likely(&self) -> Option<FileId> {
+        self.items
+            .iter()
+            .max_by_key(|(_, count, stamp)| (*count, *stamp))
+            .map(|(f, _, _)| *f)
+    }
+
+    fn ranked(&self) -> Vec<FileId> {
+        let mut sorted = self.items.clone();
+        sorted.sort_by_key(|&(_, count, stamp)| std::cmp::Reverse((count, stamp)));
+        sorted.into_iter().map(|(f, _, _)| f).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity)
+    }
+
+    fn fresh(&self) -> Self {
+        LfuSuccessorList {
+            capacity: self.capacity,
+            items: Vec::with_capacity(self.capacity),
+            clock: 0,
+        }
+    }
+}
+
+/// Unbounded successor list: remembers every successor ever observed.
+///
+/// The paper's oracle (Figure 5): "an oracle that has perfect knowledge of
+/// all previously observed immediate successor events". It upper-bounds
+/// any bounded online policy — it can still miss, but only on successors
+/// never seen before.
+#[derive(Debug, Clone, Default)]
+pub struct OracleSuccessorList {
+    // Recency order, front = most recent; unbounded.
+    items: Vec<FileId>,
+}
+
+impl OracleSuccessorList {
+    /// Creates an empty oracle list.
+    pub fn new() -> Self {
+        OracleSuccessorList::default()
+    }
+}
+
+impl SuccessorList for OracleSuccessorList {
+    fn observe(&mut self, succ: FileId) {
+        if let Some(pos) = self.items.iter().position(|&f| f == succ) {
+            self.items.remove(pos);
+        }
+        self.items.insert(0, succ);
+    }
+
+    fn contains(&self, succ: FileId) -> bool {
+        self.items.contains(&succ)
+    }
+
+    fn most_likely(&self) -> Option<FileId> {
+        self.items.first().copied()
+    }
+
+    fn ranked(&self) -> Vec<FileId> {
+        self.items.clone()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn fresh(&self) -> Self {
+        OracleSuccessorList::new()
+    }
+}
+
+/// Exponentially-decayed frequency list: the paper's future-work hybrid.
+///
+/// Each successor carries a score; observing a successor adds 1 to its
+/// score after decaying all scores by `decay^Δt` (Δt in observations of
+/// this list). `decay = 1.0` degenerates to pure frequency; `decay → 0`
+/// approaches pure recency. Eviction removes the lowest score.
+///
+/// The paper concludes "the ideal likelihood estimate may well be based on
+/// a combination of recency and frequency"; this list makes that hybrid
+/// concrete and sweepable (see the ablation benches).
+#[derive(Debug, Clone)]
+pub struct DecayedSuccessorList {
+    capacity: usize,
+    decay: f64,
+    // (successor, score-at-last-update, stamp-of-last-update)
+    items: Vec<(FileId, f64, u64)>,
+    clock: u64,
+}
+
+impl DecayedSuccessorList {
+    /// Creates a decayed-frequency list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if `capacity` is zero or `decay` is
+    /// not in `(0, 1]`.
+    pub fn new(capacity: usize, decay: f64) -> Result<Self, ValidationError> {
+        if capacity == 0 {
+            return Err(ValidationError::new(
+                "capacity",
+                "successor list capacity must be at least 1",
+            ));
+        }
+        if !(decay > 0.0 && decay <= 1.0) {
+            return Err(ValidationError::new("decay", "must lie in (0, 1]"));
+        }
+        Ok(DecayedSuccessorList {
+            capacity,
+            decay,
+            items: Vec::with_capacity(capacity),
+            clock: 0,
+        })
+    }
+
+    fn score_now(&self, score: f64, stamp: u64) -> f64 {
+        score * self.decay.powi((self.clock - stamp) as i32)
+    }
+
+    /// The current (decayed) score of `succ`, if tracked.
+    pub fn score(&self, succ: FileId) -> Option<f64> {
+        self.items
+            .iter()
+            .find(|(f, _, _)| *f == succ)
+            .map(|&(_, s, t)| self.score_now(s, t))
+    }
+}
+
+impl SuccessorList for DecayedSuccessorList {
+    fn observe(&mut self, succ: FileId) {
+        self.clock += 1;
+        if let Some(i) = self.items.iter().position(|(f, _, _)| *f == succ) {
+            let (_, s, t) = self.items[i];
+            let updated = self.score_now(s, t) + 1.0;
+            self.items[i] = (succ, updated, self.clock);
+            return;
+        }
+        if self.items.len() == self.capacity {
+            let victim = self
+                .items
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let sa = self.score_now(a.1, a.2);
+                    let sb = self.score_now(b.1, b.2);
+                    sa.partial_cmp(&sb)
+                        .expect("scores are finite")
+                        .then(a.2.cmp(&b.2))
+                })
+                .map(|(i, _)| i)
+                .expect("list is full, hence non-empty");
+            self.items.remove(victim);
+        }
+        let clock = self.clock;
+        self.items.push((succ, 1.0, clock));
+    }
+
+    fn contains(&self, succ: FileId) -> bool {
+        self.items.iter().any(|(f, _, _)| *f == succ)
+    }
+
+    fn most_likely(&self) -> Option<FileId> {
+        self.items
+            .iter()
+            .max_by(|a, b| {
+                let sa = self.score_now(a.1, a.2);
+                let sb = self.score_now(b.1, b.2);
+                sa.partial_cmp(&sb)
+                    .expect("scores are finite")
+                    .then(a.2.cmp(&b.2))
+            })
+            .map(|(f, _, _)| *f)
+    }
+
+    fn ranked(&self) -> Vec<FileId> {
+        let mut scored: Vec<(FileId, f64, u64)> = self
+            .items
+            .iter()
+            .map(|&(f, s, t)| (f, self.score_now(s, t), t))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then(b.2.cmp(&a.2))
+        });
+        scored.into_iter().map(|(f, _, _)| f).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity)
+    }
+
+    fn fresh(&self) -> Self {
+        DecayedSuccessorList {
+            capacity: self.capacity,
+            decay: self.decay,
+            items: Vec::with_capacity(self.capacity),
+            clock: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conformance<L: SuccessorList>(make: impl Fn() -> L) {
+        // Fresh lists are empty.
+        let l = make();
+        assert!(l.is_empty());
+        assert_eq!(l.most_likely(), None);
+        assert!(l.ranked().is_empty());
+
+        // Observation makes a successor visible and most likely.
+        let mut l = make();
+        l.observe(FileId(5));
+        assert!(l.contains(FileId(5)));
+        assert_eq!(l.most_likely(), Some(FileId(5)));
+        assert_eq!(l.len(), 1);
+
+        // Capacity is never exceeded.
+        let mut l = make();
+        for i in 0..20 {
+            l.observe(FileId(i));
+            if let Some(cap) = l.capacity() {
+                assert!(l.len() <= cap);
+            }
+        }
+
+        // ranked() agrees with most_likely() and contains().
+        let mut l = make();
+        for i in [1u64, 2, 1, 3, 1, 2] {
+            l.observe(FileId(i));
+        }
+        let ranked = l.ranked();
+        assert_eq!(ranked.first().copied(), l.most_likely());
+        for f in &ranked {
+            assert!(l.contains(*f));
+        }
+        assert_eq!(ranked.len(), l.len());
+
+        // fresh() is empty with the same capacity.
+        let f = l.fresh();
+        assert!(f.is_empty());
+        assert_eq!(f.capacity(), l.capacity());
+    }
+
+    #[test]
+    fn lru_conformance() {
+        conformance(|| LruSuccessorList::new(3).unwrap());
+    }
+
+    #[test]
+    fn lfu_conformance() {
+        conformance(|| LfuSuccessorList::new(3).unwrap());
+    }
+
+    #[test]
+    fn oracle_conformance() {
+        conformance(OracleSuccessorList::new);
+    }
+
+    #[test]
+    fn decayed_conformance() {
+        conformance(|| DecayedSuccessorList::new(3, 0.5).unwrap());
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(LruSuccessorList::new(0).is_err());
+        assert!(LfuSuccessorList::new(0).is_err());
+        assert!(DecayedSuccessorList::new(0, 0.5).is_err());
+        assert!(DecayedSuccessorList::new(3, 0.0).is_err());
+        assert!(DecayedSuccessorList::new(3, 1.5).is_err());
+        assert!(DecayedSuccessorList::new(3, f64::NAN).is_err());
+        assert!(DecayedSuccessorList::new(3, 1.0).is_ok());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut l = LruSuccessorList::new(2).unwrap();
+        l.observe(FileId(1));
+        l.observe(FileId(2));
+        l.observe(FileId(1)); // refresh 1
+        l.observe(FileId(3)); // evicts 2
+        assert!(l.contains(FileId(1)));
+        assert!(!l.contains(FileId(2)));
+        assert_eq!(l.ranked(), vec![FileId(3), FileId(1)]);
+    }
+
+    #[test]
+    fn lfu_prefers_frequent() {
+        let mut l = LfuSuccessorList::new(2).unwrap();
+        l.observe(FileId(1));
+        l.observe(FileId(1));
+        l.observe(FileId(2));
+        l.observe(FileId(3)); // evicts 2 (count 1, older than 3? no - 2 older)
+        assert!(l.contains(FileId(1)));
+        assert!(!l.contains(FileId(2)));
+        assert_eq!(l.most_likely(), Some(FileId(1)));
+        assert_eq!(l.count(FileId(1)), Some(2));
+    }
+
+    #[test]
+    fn lfu_tie_breaks_by_recency() {
+        let mut l = LfuSuccessorList::new(2).unwrap();
+        l.observe(FileId(1));
+        l.observe(FileId(2));
+        l.observe(FileId(3)); // counts all 1 → evict 1 (oldest)
+        assert!(!l.contains(FileId(1)));
+        assert!(l.contains(FileId(2)));
+        assert!(l.contains(FileId(3)));
+    }
+
+    #[test]
+    fn oracle_never_forgets() {
+        let mut l = OracleSuccessorList::new();
+        for i in 0..1000 {
+            l.observe(FileId(i));
+        }
+        assert_eq!(l.len(), 1000);
+        assert!(l.contains(FileId(0)));
+        assert_eq!(l.capacity(), None);
+        assert_eq!(l.most_likely(), Some(FileId(999)));
+    }
+
+    #[test]
+    fn decayed_with_full_decay_is_frequency() {
+        // decay = 1.0: scores are plain counts.
+        let mut l = DecayedSuccessorList::new(3, 1.0).unwrap();
+        l.observe(FileId(1));
+        l.observe(FileId(2));
+        l.observe(FileId(2));
+        l.observe(FileId(1));
+        l.observe(FileId(1));
+        assert_eq!(l.most_likely(), Some(FileId(1)));
+        assert!((l.score(FileId(1)).unwrap() - 3.0).abs() < 1e-9);
+        assert!((l.score(FileId(2)).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decayed_with_strong_decay_tracks_recency() {
+        // Strong decay: a burst of old observations loses to one recent.
+        let mut l = DecayedSuccessorList::new(3, 0.1).unwrap();
+        for _ in 0..5 {
+            l.observe(FileId(1));
+        }
+        l.observe(FileId(2));
+        assert_eq!(l.most_likely(), Some(FileId(2)));
+    }
+
+    #[test]
+    fn decayed_eviction_removes_lowest_score() {
+        // Gentle decay: two observations of 1 (score ≈ 1.54 after decay)
+        // outweigh the single fresher observation of 2 (score 0.9).
+        let mut l = DecayedSuccessorList::new(2, 0.9).unwrap();
+        l.observe(FileId(1));
+        l.observe(FileId(1));
+        l.observe(FileId(2));
+        l.observe(FileId(3)); // lowest score is 2
+        assert!(l.contains(FileId(1)));
+        assert!(!l.contains(FileId(2)));
+        assert!(l.contains(FileId(3)));
+    }
+
+    #[test]
+    fn reobservation_does_not_grow_list() {
+        let mut l = LruSuccessorList::new(3).unwrap();
+        for _ in 0..10 {
+            l.observe(FileId(7));
+        }
+        assert_eq!(l.len(), 1);
+    }
+}

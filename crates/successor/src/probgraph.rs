@@ -1,0 +1,233 @@
+//! Griffioen–Appleton probability graphs (USENIX Summer '94).
+//!
+//! The related-work baseline the paper contrasts with (§5): within a
+//! *lookahead window* of `w` accesses, every file seen after `A` counts as
+//! related to `A`; prefetch candidates are successors whose observed
+//! probability exceeds a *minimum chance* threshold. Unlike the
+//! aggregating cache this scheme (a) is frequency-based and (b) needs the
+//! window parameter; the paper's point is that immediate-successor
+//! recency gets comparable or better behaviour with less machinery.
+
+use std::collections::{HashMap, VecDeque};
+
+use fgcache_types::{FileId, ValidationError};
+
+use crate::group::Group;
+
+/// A lookahead-window probability graph predictor.
+///
+/// ```
+/// use fgcache_successor::ProbabilityGraph;
+/// use fgcache_types::FileId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pg = ProbabilityGraph::new(2, 0.3)?;
+/// for id in [1u64, 2, 3, 1, 2, 3] {
+///     pg.record(FileId(id));
+/// }
+/// // Within a window of 2, file 1 is followed by 2 and 3.
+/// let preds = pg.predict(FileId(1));
+/// assert!(preds.contains(&FileId(2)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbabilityGraph {
+    window: usize,
+    min_chance: f64,
+    // edge counts: predecessor → (successor → count within window)
+    edges: HashMap<FileId, HashMap<FileId, u64>>,
+    // total windowed observations per predecessor (edge normaliser)
+    totals: HashMap<FileId, u64>,
+    recent: VecDeque<FileId>,
+}
+
+impl ProbabilityGraph {
+    /// Creates a probability graph with the given lookahead `window` and
+    /// `min_chance` prefetch threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if `window` is zero or `min_chance`
+    /// is outside `[0, 1]`.
+    pub fn new(window: usize, min_chance: f64) -> Result<Self, ValidationError> {
+        if window == 0 {
+            return Err(ValidationError::new("window", "must be at least 1"));
+        }
+        if !(0.0..=1.0).contains(&min_chance) || min_chance.is_nan() {
+            return Err(ValidationError::new("min_chance", "must lie in [0, 1]"));
+        }
+        Ok(ProbabilityGraph {
+            window,
+            min_chance,
+            edges: HashMap::new(),
+            totals: HashMap::new(),
+            recent: VecDeque::with_capacity(window),
+        })
+    }
+
+    /// The lookahead window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Records one access: `file` is charged as a windowed successor of
+    /// each of the previous `window` accesses.
+    pub fn record(&mut self, file: FileId) {
+        for &pred in &self.recent {
+            if pred == file {
+                continue;
+            }
+            *self.edges.entry(pred).or_default().entry(file).or_insert(0) += 1;
+            *self.totals.entry(pred).or_insert(0) += 1;
+        }
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(file);
+    }
+
+    /// Number of files with at least one windowed successor.
+    pub fn tracked_files(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of windowed edges tracked — the baseline's metadata
+    /// footprint, which is unbounded per file (contrast with the
+    /// aggregating cache's fixed-capacity successor lists).
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|m| m.len()).sum()
+    }
+
+    /// The observed probability that `to` appears within the window after
+    /// `from`.
+    pub fn probability(&self, from: FileId, to: FileId) -> f64 {
+        let total = self.totals.get(&from).copied().unwrap_or(0);
+        if total == 0 {
+            return 0.0;
+        }
+        let count = self
+            .edges
+            .get(&from)
+            .and_then(|m| m.get(&to))
+            .copied()
+            .unwrap_or(0);
+        count as f64 / total as f64
+    }
+
+    /// Files whose windowed-successor probability after `file` meets the
+    /// minimum-chance threshold, strongest first.
+    pub fn predict(&self, file: FileId) -> Vec<FileId> {
+        let Some(total) = self.totals.get(&file).copied().filter(|&t| t > 0) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(FileId, u64)> = self
+            .edges
+            .get(&file)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, &c)| c as f64 / total as f64 >= self.min_chance)
+                    .map(|(&f, &c)| (f, c))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.into_iter().map(|(f, _)| f).collect()
+    }
+
+    /// A retrieval group for `file`: the file plus up to `g − 1` of its
+    /// strongest above-threshold windowed successors. This is how the
+    /// baseline plugs into the same group-fetching machinery as the
+    /// aggregating cache.
+    pub fn group_for(&self, file: FileId, g: usize) -> Group {
+        let members = self.predict(file).into_iter().take(g.saturating_sub(1));
+        Group::new(file, members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ProbabilityGraph::new(0, 0.1).is_err());
+        assert!(ProbabilityGraph::new(3, -0.1).is_err());
+        assert!(ProbabilityGraph::new(3, 1.1).is_err());
+        assert!(ProbabilityGraph::new(3, f64::NAN).is_err());
+        assert!(ProbabilityGraph::new(3, 0.0).is_ok());
+    }
+
+    #[test]
+    fn window_counts_indirect_successors() {
+        let mut pg = ProbabilityGraph::new(3, 0.0).unwrap();
+        for id in [1u64, 2, 3, 4] {
+            pg.record(FileId(id));
+        }
+        // 4 is within window 3 of 1.
+        assert!(pg.probability(FileId(1), FileId(4)) > 0.0);
+        // ...but 1 is not a successor of 4.
+        assert_eq!(pg.probability(FileId(4), FileId(1)), 0.0);
+    }
+
+    #[test]
+    fn window_one_is_immediate_successors_only() {
+        let mut pg = ProbabilityGraph::new(1, 0.0).unwrap();
+        for id in [1u64, 2, 3] {
+            pg.record(FileId(id));
+        }
+        assert!(pg.probability(FileId(1), FileId(2)) > 0.0);
+        assert_eq!(pg.probability(FileId(1), FileId(3)), 0.0);
+    }
+
+    #[test]
+    fn threshold_filters_predictions() {
+        let mut pg = ProbabilityGraph::new(1, 0.6).unwrap();
+        // 1→2 three times, 1→3 once: P(2)=0.75, P(3)=0.25.
+        for id in [1u64, 2, 1, 2, 1, 2, 1, 3] {
+            pg.record(FileId(id));
+        }
+        let preds = pg.predict(FileId(1));
+        assert_eq!(preds, vec![FileId(2)]);
+    }
+
+    #[test]
+    fn probabilities_normalised() {
+        let mut pg = ProbabilityGraph::new(1, 0.0).unwrap();
+        for id in [1u64, 2, 1, 3] {
+            pg.record(FileId(id));
+        }
+        let p2 = pg.probability(FileId(1), FileId(2));
+        let p3 = pg.probability(FileId(1), FileId(3));
+        assert!((p2 + p3 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut pg = ProbabilityGraph::new(2, 0.0).unwrap();
+        for id in [1u64, 1, 1] {
+            pg.record(FileId(id));
+        }
+        assert_eq!(pg.probability(FileId(1), FileId(1)), 0.0);
+        assert!(pg.predict(FileId(1)).is_empty());
+    }
+
+    #[test]
+    fn group_for_contains_request_first() {
+        let mut pg = ProbabilityGraph::new(2, 0.0).unwrap();
+        for id in [1u64, 2, 3, 1, 2, 3] {
+            pg.record(FileId(id));
+        }
+        let g = pg.group_for(FileId(1), 3);
+        assert_eq!(g.requested(), FileId(1));
+        assert!(g.len() <= 3);
+        assert!(g.len() >= 2);
+    }
+
+    #[test]
+    fn unknown_file_predicts_nothing() {
+        let pg = ProbabilityGraph::new(2, 0.0).unwrap();
+        assert!(pg.predict(FileId(5)).is_empty());
+        assert_eq!(pg.group_for(FileId(5), 4).len(), 1);
+    }
+}

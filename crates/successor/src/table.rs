@@ -1,0 +1,267 @@
+//! The per-file successor table — the paper's entire metadata footprint.
+
+use std::collections::HashMap;
+
+use fgcache_types::FileId;
+
+use crate::list::SuccessorList;
+
+/// Maps every observed file to its bounded successor list.
+///
+/// Feed the table the access sequence one file at a time with
+/// [`SuccessorTable::record`]; it tracks the previous access internally
+/// and registers `(prev → current)` transitions. Alternatively, drive
+/// transitions explicitly with [`SuccessorTable::observe_transition`]
+/// (used by server-side simulations where several independent streams
+/// exist).
+///
+/// ```
+/// use fgcache_successor::{LruSuccessorList, SuccessorTable};
+/// use fgcache_types::FileId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = SuccessorTable::new(LruSuccessorList::new(2)?);
+/// t.record(FileId(1));
+/// t.record(FileId(2));
+/// t.record(FileId(1));
+/// t.record(FileId(3));
+/// // 1 was followed by 2, then by 3; recency ranks 3 first.
+/// assert_eq!(t.ranked(FileId(1)), vec![FileId(3), FileId(2)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuccessorTable<L> {
+    prototype: L,
+    lists: HashMap<FileId, L>,
+    last: Option<FileId>,
+    transitions: u64,
+}
+
+impl<L: SuccessorList> SuccessorTable<L> {
+    /// Creates a table that spawns each per-file list as a fresh copy of
+    /// `prototype` (same policy, same capacity).
+    pub fn new(prototype: L) -> Self {
+        SuccessorTable {
+            prototype,
+            lists: HashMap::new(),
+            last: None,
+            transitions: 0,
+        }
+    }
+
+    /// Records a file access, registering a transition from the previously
+    /// recorded access (if any).
+    pub fn record(&mut self, file: FileId) {
+        if let Some(prev) = self.last.replace(file) {
+            self.observe_transition(prev, file);
+        }
+    }
+
+    /// Registers an explicit `prev → next` transition.
+    pub fn observe_transition(&mut self, prev: FileId, next: FileId) {
+        self.transitions += 1;
+        self.lists
+            .entry(prev)
+            .or_insert_with(|| self.prototype.fresh())
+            .observe(next);
+    }
+
+    /// Resets the internal "previous access" without clearing any lists
+    /// (e.g. at a known discontinuity in the stream).
+    pub fn break_sequence(&mut self) {
+        self.last = None;
+    }
+
+    /// The successor list for `file`, if any transitions from it have been
+    /// observed.
+    pub fn list(&self, file: FileId) -> Option<&L> {
+        self.lists.get(&file)
+    }
+
+    /// The most likely successor of `file`.
+    pub fn most_likely(&self, file: FileId) -> Option<FileId> {
+        self.lists.get(&file).and_then(|l| l.most_likely())
+    }
+
+    /// The ranked successors of `file` (empty if untracked).
+    pub fn ranked(&self, file: FileId) -> Vec<FileId> {
+        self.lists.get(&file).map(|l| l.ranked()).unwrap_or_default()
+    }
+
+    /// The *transitive successor* chain of §3: starting from `start`,
+    /// repeatedly follow the most likely immediate successor, collecting
+    /// up to `n` **distinct** files (excluding `start`). When the most
+    /// likely successor is already collected, the walk falls back to the
+    /// next-ranked candidate; it stops when no unvisited successor exists.
+    pub fn predict_chain(&self, start: FileId, n: usize) -> Vec<FileId> {
+        let mut chain = Vec::with_capacity(n);
+        let mut current = start;
+        while chain.len() < n {
+            let Some(list) = self.lists.get(&current) else {
+                break;
+            };
+            let next = list
+                .ranked()
+                .into_iter()
+                .find(|f| *f != start && !chain.contains(f));
+            match next {
+                Some(f) => {
+                    chain.push(f);
+                    current = f;
+                }
+                None => break,
+            }
+        }
+        chain
+    }
+
+    /// An empty table with the same list policy and capacity as `self`.
+    pub fn fresh_like(&self) -> Self {
+        SuccessorTable::new(self.prototype.fresh())
+    }
+
+    /// The capacity of the per-file lists this table spawns (`None` for
+    /// unbounded lists).
+    pub fn list_capacity(&self) -> Option<usize> {
+        self.prototype.capacity()
+    }
+
+    /// Number of files with at least one tracked successor.
+    pub fn tracked_files(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total transitions observed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Total successor entries across all lists — the metadata footprint
+    /// the paper argues is small.
+    pub fn metadata_entries(&self) -> usize {
+        self.lists.values().map(|l| l.len()).sum()
+    }
+
+    /// The most recently recorded file (the current prediction context).
+    pub fn last_recorded(&self) -> Option<FileId> {
+        self.last
+    }
+
+    /// Iterates over `(file, list)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &L)> + '_ {
+        self.lists.iter().map(|(&f, l)| (f, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{LfuSuccessorList, LruSuccessorList};
+
+    fn lru_table(cap: usize) -> SuccessorTable<LruSuccessorList> {
+        SuccessorTable::new(LruSuccessorList::new(cap).unwrap())
+    }
+
+    #[test]
+    fn record_builds_transitions() {
+        let mut t = lru_table(4);
+        for id in [1u64, 2, 3] {
+            t.record(FileId(id));
+        }
+        assert_eq!(t.transitions(), 2);
+        assert_eq!(t.most_likely(FileId(1)), Some(FileId(2)));
+        assert_eq!(t.most_likely(FileId(2)), Some(FileId(3)));
+        assert_eq!(t.most_likely(FileId(3)), None);
+        assert_eq!(t.tracked_files(), 2);
+    }
+
+    #[test]
+    fn break_sequence_suppresses_transition() {
+        let mut t = lru_table(4);
+        t.record(FileId(1));
+        t.break_sequence();
+        t.record(FileId(2));
+        assert_eq!(t.transitions(), 0);
+        assert_eq!(t.most_likely(FileId(1)), None);
+        assert_eq!(t.last_recorded(), Some(FileId(2)));
+    }
+
+    #[test]
+    fn predict_chain_follows_most_likely() {
+        let mut t = lru_table(2);
+        for id in [1u64, 2, 3, 4, 1, 2, 3, 4] {
+            t.record(FileId(id));
+        }
+        assert_eq!(
+            t.predict_chain(FileId(1), 3),
+            vec![FileId(2), FileId(3), FileId(4)]
+        );
+    }
+
+    #[test]
+    fn predict_chain_stops_at_unknown() {
+        let mut t = lru_table(2);
+        t.record(FileId(1));
+        t.record(FileId(2));
+        // 2 has no successors.
+        assert_eq!(t.predict_chain(FileId(1), 5), vec![FileId(2)]);
+        assert!(t.predict_chain(FileId(99), 5).is_empty());
+    }
+
+    #[test]
+    fn predict_chain_handles_cycles_via_fallback() {
+        // Sequence 1→2→1→2... : chain from 1 must not loop forever; after
+        // collecting 2 it tries 2's successors (1 is excluded as start).
+        let mut t = lru_table(2);
+        for id in [1u64, 2, 1, 2, 1] {
+            t.record(FileId(id));
+        }
+        let chain = t.predict_chain(FileId(1), 5);
+        assert_eq!(chain, vec![FileId(2)]);
+    }
+
+    #[test]
+    fn predict_chain_fallback_to_second_ranked() {
+        // 1→2 and 2→1 / 2→3: from 1, after 2, most-likely of 2 may be 1
+        // (excluded) so the walk must fall back to 3.
+        let mut t = lru_table(2);
+        for id in [1u64, 2, 3, 2, 1, 2, 1] {
+            t.record(FileId(id));
+        }
+        // successors: 1 → {2}; 2 → {1 (recent), 3}
+        let chain = t.predict_chain(FileId(1), 3);
+        assert_eq!(chain, vec![FileId(2), FileId(3)]);
+    }
+
+    #[test]
+    fn metadata_entries_counts_all_lists() {
+        let mut t = lru_table(8);
+        for id in [1u64, 2, 1, 3, 1, 4] {
+            t.record(FileId(id));
+        }
+        // 1 → {2,3,4}? no: transitions 1→2, 2→1, 1→3, 3→1, 1→4.
+        assert_eq!(t.metadata_entries(), 5);
+    }
+
+    #[test]
+    fn works_with_lfu_lists() {
+        let mut t = SuccessorTable::new(LfuSuccessorList::new(2).unwrap());
+        for id in [1u64, 2, 1, 2, 1, 3] {
+            t.record(FileId(id));
+        }
+        // 1 followed by 2 twice, by 3 once → most likely 2.
+        assert_eq!(t.most_likely(FileId(1)), Some(FileId(2)));
+    }
+
+    #[test]
+    fn iter_visits_every_tracked_file() {
+        let mut t = lru_table(4);
+        for id in [1u64, 2, 3, 1] {
+            t.record(FileId(id));
+        }
+        let mut files: Vec<u64> = t.iter().map(|(f, _)| f.as_u64()).collect();
+        files.sort_unstable();
+        assert_eq!(files, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Descriptive statistics over traces.
+//!
+//! These are the sanity checks used throughout the paper's §4.1 workload
+//! characterisation: event volume, unique-file counts, access-kind mix,
+//! repeat behaviour and popularity skew.
+
+use std::collections::HashMap;
+
+use fgcache_types::{AccessKind, FileId};
+use serde::{Deserialize, Serialize};
+
+use crate::Trace;
+
+/// Summary statistics of a [`Trace`].
+///
+/// ```
+/// use fgcache_trace::{stats::TraceStats, Trace};
+///
+/// let t = Trace::from_files([1, 2, 1, 1]);
+/// let s = TraceStats::compute(&t);
+/// assert_eq!(s.events, 4);
+/// assert_eq!(s.unique_files, 2);
+/// assert_eq!(s.repeat_accesses, 2); // third and fourth touch known files
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of events.
+    pub events: usize,
+    /// Number of distinct files accessed.
+    pub unique_files: usize,
+    /// Number of distinct clients.
+    pub clients: usize,
+    /// Count of read events.
+    pub reads: usize,
+    /// Count of write events.
+    pub writes: usize,
+    /// Count of create events.
+    pub creates: usize,
+    /// Count of delete events.
+    pub deletes: usize,
+    /// Events whose file had already been accessed earlier in the trace.
+    pub repeat_accesses: usize,
+    /// Accesses of the single most popular file.
+    pub max_file_accesses: usize,
+    /// Fraction of all accesses going to the top 1 % most popular files
+    /// (at least one file); 0 for an empty trace.
+    pub top_percent_share: f64,
+    /// Number of files accessed exactly once.
+    pub singleton_files: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace` in a single pass.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut counts: HashMap<FileId, usize> = HashMap::new();
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut creates = 0;
+        let mut deletes = 0;
+        let mut repeat_accesses = 0;
+        for ev in trace.events() {
+            match ev.kind {
+                AccessKind::Read => reads += 1,
+                AccessKind::Write => writes += 1,
+                AccessKind::Create => creates += 1,
+                AccessKind::Delete => deletes += 1,
+            }
+            let c = counts.entry(ev.file).or_insert(0);
+            if *c > 0 {
+                repeat_accesses += 1;
+            }
+            *c += 1;
+        }
+        let unique_files = counts.len();
+        let singleton_files = counts.values().filter(|&&c| c == 1).count();
+        let max_file_accesses = counts.values().copied().max().unwrap_or(0);
+        let top_percent_share = if trace.is_empty() || unique_files == 0 {
+            0.0
+        } else {
+            let mut sorted: Vec<usize> = counts.values().copied().collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let top_k = (unique_files.div_ceil(100)).max(1);
+            let top: usize = sorted.iter().take(top_k).sum();
+            top as f64 / trace.len() as f64
+        };
+        TraceStats {
+            events: trace.len(),
+            unique_files,
+            clients: trace.clients().len(),
+            reads,
+            writes,
+            creates,
+            deletes,
+            repeat_accesses,
+            max_file_accesses,
+            top_percent_share,
+            singleton_files,
+        }
+    }
+
+    /// Fraction of events that re-access an already-seen file; 0 for an
+    /// empty trace. High repeat fractions are a precondition for *any*
+    /// caching to help.
+    pub fn repeat_fraction(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.repeat_accesses as f64 / self.events as f64
+        }
+    }
+
+    /// Fraction of events that are mutations (write/create/delete).
+    pub fn mutation_fraction(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            (self.writes + self.creates + self.deletes) as f64 / self.events as f64
+        }
+    }
+
+    /// Renders a short human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "events {} | unique files {} | clients {} | R/W/C/D {}/{}/{}/{} | \
+             repeat {:.1}% | singletons {} | top-1% share {:.1}%",
+            self.events,
+            self.unique_files,
+            self.clients,
+            self.reads,
+            self.writes,
+            self.creates,
+            self.deletes,
+            self.repeat_fraction() * 100.0,
+            self.singleton_files,
+            self.top_percent_share * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, WorkloadProfile};
+    use fgcache_types::{AccessEvent, ClientId, SeqNo};
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(&Trace::default());
+        assert_eq!(s.events, 0);
+        assert_eq!(s.unique_files, 0);
+        assert_eq!(s.repeat_fraction(), 0.0);
+        assert_eq!(s.mutation_fraction(), 0.0);
+        assert_eq!(s.top_percent_share, 0.0);
+    }
+
+    #[test]
+    fn counts_kinds() {
+        let t: Trace = vec![
+            AccessEvent::new(SeqNo(0), ClientId(0), FileId(1), AccessKind::Read),
+            AccessEvent::new(SeqNo(1), ClientId(0), FileId(2), AccessKind::Write),
+            AccessEvent::new(SeqNo(2), ClientId(1), FileId(3), AccessKind::Create),
+            AccessEvent::new(SeqNo(3), ClientId(1), FileId(3), AccessKind::Delete),
+        ]
+        .into_iter()
+        .collect();
+        let s = TraceStats::compute(&t);
+        assert_eq!((s.reads, s.writes, s.creates, s.deletes), (1, 1, 1, 1));
+        assert_eq!(s.clients, 2);
+        assert_eq!(s.repeat_accesses, 1);
+        assert_eq!(s.mutation_fraction(), 0.75);
+    }
+
+    #[test]
+    fn repeat_and_singletons() {
+        let t = Trace::from_files([5, 5, 5, 6]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.unique_files, 2);
+        assert_eq!(s.singleton_files, 1);
+        assert_eq!(s.max_file_accesses, 3);
+        assert_eq!(s.repeat_accesses, 2);
+        assert!((s.repeat_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_percent_share_bounds() {
+        let t = Trace::from_files((0..1000).map(|i| i % 37));
+        let s = TraceStats::compute(&t);
+        assert!(s.top_percent_share > 0.0 && s.top_percent_share <= 1.0);
+    }
+
+    #[test]
+    fn write_profile_has_more_mutations_than_server() {
+        let make = |p| {
+            TraceStats::compute(
+                &SynthConfig::profile(p)
+                    .events(8_000)
+                    .seed(3)
+                    .build()
+                    .unwrap()
+                    .generate(),
+            )
+        };
+        let write = make(WorkloadProfile::Write);
+        let server = make(WorkloadProfile::Server);
+        assert!(write.mutation_fraction() > server.mutation_fraction() * 2.0);
+        assert!(write.creates > server.creates);
+    }
+
+    #[test]
+    fn synthetic_workloads_repeat_heavily() {
+        for p in WorkloadProfile::ALL {
+            let t = SynthConfig::profile(p)
+                .events(10_000)
+                .seed(1)
+                .build()
+                .unwrap()
+                .generate();
+            let s = TraceStats::compute(&t);
+            assert!(
+                s.repeat_fraction() > 0.5,
+                "{p}: repeat fraction {}",
+                s.repeat_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_nonempty() {
+        let s = TraceStats::compute(&Trace::from_files([1, 2]));
+        assert!(s.report().contains("events 2"));
+    }
+}

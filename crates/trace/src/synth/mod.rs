@@ -1,0 +1,739 @@
+//! Synthetic DFSTrace-like workload generation.
+//!
+//! The paper's evaluation uses four CMU DFSTrace traces. Those traces are
+//! not redistributable, so this module synthesises workloads that preserve
+//! the structural properties the paper's results depend on:
+//!
+//! 1. **Repeating activities** — file accesses are driven by applications
+//!    (builds, script runs) that replay near-identical file sequences each
+//!    time they execute. Each [`SynthConfig`] instantiates a fixed set of
+//!    *activities* (deterministic file sequences) that are re-executed with
+//!    Zipf-skewed popularity. Activity determinism is what makes single-file
+//!    successors predictable (paper §4.5).
+//! 2. **Shared hot files** — a common pool (shells, `make`, libraries) that
+//!    appears inside many activities. This is the paper's motivation for
+//!    allowing *overlapping* groups (§2.1).
+//! 3. **Interleaving** — several concurrent streams (users/tasks) whose
+//!    events interleave; stream switches break successor chains and raise
+//!    entropy. Multi-user systems (`users`) interleave heavily.
+//! 4. **Write/new-file churn** — write-heavy workloads create fresh files
+//!    that no predictor has seen, capping achievable gains (`write`).
+//!
+//! The four [`WorkloadProfile`]s tune these knobs to mirror the paper's
+//! systems. Everything is seeded and deterministic: the same config always
+//! yields the same [`Trace`].
+//!
+//! ```
+//! use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gen = SynthConfig::profile(WorkloadProfile::Server)
+//!     .events(1_000)
+//!     .seed(3)
+//!     .build()?;
+//! let a = gen.generate();
+//! let b = gen.generate();
+//! assert_eq!(a, b); // fully deterministic
+//! # Ok(())
+//! # }
+//! ```
+
+mod zipf;
+
+pub use zipf::Zipf;
+
+use std::fmt;
+
+use fgcache_types::{AccessEvent, AccessKind, ClientId, FileId, SeqNo, ValidationError};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::Trace;
+
+/// The four workload profiles, mirroring the paper's trace systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadProfile {
+    /// `mozart` — a personal workstation: one user, a moderate activity
+    /// mix, moderate noise.
+    Workstation,
+    /// `ives` — the system with the largest number of users: many
+    /// interleaved streams, the least predictable workload.
+    Users,
+    /// `dvorak` — the system with the largest proportion of write
+    /// activity: heavy new-file churn defeats prediction.
+    Write,
+    /// `barber` — a server with the highest system-call rate:
+    /// application-driven, highly deterministic access patterns, the most
+    /// predictable workload (successor entropy < 1 bit).
+    Server,
+}
+
+impl WorkloadProfile {
+    /// All profiles in the paper's presentation order.
+    pub const ALL: [WorkloadProfile; 4] = [
+        WorkloadProfile::Workstation,
+        WorkloadProfile::Users,
+        WorkloadProfile::Write,
+        WorkloadProfile::Server,
+    ];
+
+    /// The paper's short name for the workload (`workstation`, `users`,
+    /// `write`, `server`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadProfile::Workstation => "workstation",
+            WorkloadProfile::Users => "users",
+            WorkloadProfile::Write => "write",
+            WorkloadProfile::Server => "server",
+        }
+    }
+
+    /// The underlying CMU DFSTrace system the profile imitates.
+    pub fn dfstrace_host(self) -> &'static str {
+        match self {
+            WorkloadProfile::Workstation => "mozart",
+            WorkloadProfile::Users => "ives",
+            WorkloadProfile::Write => "dvorak",
+            WorkloadProfile::Server => "barber",
+        }
+    }
+}
+
+impl fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder for a [`WorkloadGenerator`].
+///
+/// Start from [`SynthConfig::profile`] (recommended) or
+/// [`SynthConfig::new`] (neutral defaults), adjust knobs, then call
+/// [`SynthConfig::build`].
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    events: usize,
+    seed: u64,
+    streams: usize,
+    stickiness: f64,
+    noise: f64,
+    new_file_rate: f64,
+    write_rate: f64,
+    activities: usize,
+    activity_len: (usize, usize),
+    shared_rate: f64,
+    shared_pool: usize,
+    activity_zipf: f64,
+    universe_zipf: f64,
+    revisit_period: usize,
+    drift: f64,
+    repeat_rate: f64,
+}
+
+impl SynthConfig {
+    /// Creates a config with neutral defaults (the `workstation` profile's
+    /// parameters).
+    pub fn new() -> Self {
+        SynthConfig::profile(WorkloadProfile::Workstation)
+    }
+
+    /// Creates a config pre-tuned for one of the paper's four workloads.
+    pub fn profile(profile: WorkloadProfile) -> Self {
+        let base = SynthConfig {
+            events: 100_000,
+            seed: 0,
+            streams: 3,
+            stickiness: 0.90,
+            noise: 0.035,
+            new_file_rate: 0.010,
+            write_rate: 0.15,
+            activities: 80,
+            activity_len: (15, 60),
+            shared_rate: 0.15,
+            shared_pool: 30,
+            activity_zipf: 1.0,
+            universe_zipf: 0.9,
+            revisit_period: 6,
+            drift: 0.07,
+            repeat_rate: 0.40,
+        };
+        match profile {
+            WorkloadProfile::Workstation => base,
+            WorkloadProfile::Users => SynthConfig {
+                streams: 12,
+                stickiness: 0.70,
+                noise: 0.06,
+                activities: 200,
+                activity_len: (10, 50),
+                shared_rate: 0.20,
+                shared_pool: 50,
+                ..base
+            },
+            WorkloadProfile::Write => SynthConfig {
+                streams: 4,
+                stickiness: 0.85,
+                noise: 0.04,
+                new_file_rate: 0.12,
+                write_rate: 0.45,
+                activities: 60,
+                drift: 0.06,
+                repeat_rate: 0.45,
+                ..base
+            },
+            WorkloadProfile::Server => SynthConfig {
+                streams: 2,
+                stickiness: 0.99,
+                noise: 0.002,
+                new_file_rate: 0.001,
+                write_rate: 0.10,
+                activities: 40,
+                activity_len: (40, 120),
+                shared_rate: 0.06,
+                shared_pool: 20,
+                activity_zipf: 1.1,
+                drift: 0.005,
+                repeat_rate: 0.82,
+                ..base
+            },
+        }
+    }
+
+    /// Total number of events to generate.
+    pub fn events(mut self, events: usize) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// RNG seed; equal seeds give identical traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of concurrent access streams (users/tasks).
+    pub fn streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Probability that consecutive events come from the same stream.
+    pub fn stickiness(mut self, stickiness: f64) -> Self {
+        self.stickiness = stickiness;
+        self
+    }
+
+    /// Probability that an event is a uniform-noise access (Zipf over the
+    /// whole universe) instead of the stream's next activity step.
+    pub fn noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Probability that an event creates a brand-new file (write churn).
+    pub fn new_file_rate(mut self, rate: f64) -> Self {
+        self.new_file_rate = rate;
+        self
+    }
+
+    /// Fraction of non-create events that are writes (affects event kind
+    /// only, not sequencing).
+    pub fn write_rate(mut self, rate: f64) -> Self {
+        self.write_rate = rate;
+        self
+    }
+
+    /// Number of distinct activities (deterministic file sequences).
+    pub fn activities(mut self, activities: usize) -> Self {
+        self.activities = activities;
+        self
+    }
+
+    /// Range of activity sequence lengths, inclusive.
+    pub fn activity_len(mut self, min: usize, max: usize) -> Self {
+        self.activity_len = (min, max);
+        self
+    }
+
+    /// Probability that an activity step touches the shared hot pool.
+    pub fn shared_rate(mut self, rate: f64) -> Self {
+        self.shared_rate = rate;
+        self
+    }
+
+    /// Size of the shared hot-file pool.
+    pub fn shared_pool(mut self, size: usize) -> Self {
+        self.shared_pool = size;
+        self
+    }
+
+    /// Zipf exponent of activity popularity.
+    pub fn activity_zipf(mut self, s: f64) -> Self {
+        self.activity_zipf = s;
+        self
+    }
+
+    /// Zipf exponent of noise accesses over the file universe.
+    pub fn universe_zipf(mut self, s: f64) -> Self {
+        self.universe_zipf = s;
+        self
+    }
+
+    /// Every `period`-th own-file step of an activity revisits an earlier
+    /// file of the same activity (models repeated headers/config reads).
+    pub fn revisit_period(mut self, period: usize) -> Self {
+        self.revisit_period = period;
+        self
+    }
+
+    /// Per-step probability that an activity's own-file steps are
+    /// replaced by fresh files each time the activity is re-launched.
+    ///
+    /// This models workload **nonstationarity** — builds change, documents
+    /// are rewritten, working sets evolve. Drift is what makes *recency*
+    /// beat *frequency* for successor tracking (the paper's Figure 5
+    /// finding): frequency counters cling to stale, formerly-popular
+    /// successors while a recency list adapts immediately.
+    pub fn drift(mut self, drift: f64) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Probability that an event immediately re-accesses the stream's
+    /// previous file (repeated `open`s of the same file, ubiquitous in
+    /// system-call-level traces). Immediate repeats are perfectly
+    /// predictable self-successions; even a tiny intervening cache
+    /// absorbs them, which is why the paper's Figure 8 shows a 10-file
+    /// filter making the miss stream *less* predictable than the raw
+    /// workload.
+    pub fn repeat_rate(mut self, rate: f64) -> Self {
+        self.repeat_rate = rate;
+        self
+    }
+
+    /// Validates the configuration and instantiates the generator
+    /// (including its fixed activity sequences).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] naming the offending knob: zero
+    /// streams/activities, an empty length range, probabilities outside
+    /// `[0, 1]`, or a zero revisit period.
+    pub fn build(&self) -> Result<WorkloadGenerator, ValidationError> {
+        if self.streams == 0 {
+            return Err(ValidationError::new("streams", "must be at least 1"));
+        }
+        if self.activities == 0 {
+            return Err(ValidationError::new("activities", "must be at least 1"));
+        }
+        let (min, max) = self.activity_len;
+        if min == 0 || min > max {
+            return Err(ValidationError::new(
+                "activity_len",
+                "must satisfy 1 <= min <= max",
+            ));
+        }
+        for (name, p) in [
+            ("stickiness", self.stickiness),
+            ("noise", self.noise),
+            ("new_file_rate", self.new_file_rate),
+            ("write_rate", self.write_rate),
+            ("shared_rate", self.shared_rate),
+            ("drift", self.drift),
+            ("repeat_rate", self.repeat_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(ValidationError::new(name, "must lie in [0, 1]"));
+            }
+        }
+        if self.shared_rate > 0.0 && self.shared_pool == 0 {
+            return Err(ValidationError::new(
+                "shared_pool",
+                "must be at least 1 when shared_rate > 0",
+            ));
+        }
+        if self.revisit_period == 0 {
+            return Err(ValidationError::new("revisit_period", "must be at least 1"));
+        }
+        WorkloadGenerator::from_config(self.clone())
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig::new()
+    }
+}
+
+/// A fully-instantiated workload generator.
+///
+/// Construction (via [`SynthConfig::build`]) fixes the activity sequences;
+/// [`WorkloadGenerator::generate`] replays the stochastic interleaving from
+/// the seed, so repeated calls return identical traces.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    config: SynthConfig,
+    activities: Vec<Vec<FileId>>,
+    activity_dist: Zipf,
+    universe_dist: Zipf,
+    static_universe: usize,
+}
+
+impl WorkloadGenerator {
+    fn from_config(config: SynthConfig) -> Result<Self, ValidationError> {
+        // Activity construction uses its own deterministic RNG, decoupled
+        // from the event-interleaving RNG so that changing `events` never
+        // changes the activity definitions.
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let shared_pool = config.shared_pool;
+        let mut next_file = shared_pool as u64;
+        let mut activities = Vec::with_capacity(config.activities);
+        let shared_dist = if config.shared_rate > 0.0 {
+            Some(Zipf::new(shared_pool, 1.0)?)
+        } else {
+            None
+        };
+        for _ in 0..config.activities {
+            let (min, max) = config.activity_len;
+            let len = rng.random_range(min..=max);
+            let mut seq: Vec<FileId> = Vec::with_capacity(len);
+            let mut own: Vec<FileId> = Vec::new();
+            let mut own_steps = 0usize;
+            for _ in 0..len {
+                let use_shared = shared_dist.is_some() && rng.random::<f64>() < config.shared_rate;
+                let file = if use_shared {
+                    let dist = shared_dist.as_ref().expect("guarded by use_shared");
+                    FileId(dist.sample(&mut rng) as u64)
+                } else {
+                    own_steps += 1;
+                    if own_steps.is_multiple_of(config.revisit_period) && !own.is_empty() {
+                        *own.choose(&mut rng).expect("own is non-empty")
+                    } else {
+                        let id = FileId(next_file);
+                        next_file += 1;
+                        own.push(id);
+                        id
+                    }
+                };
+                seq.push(file);
+            }
+            activities.push(seq);
+        }
+        let static_universe = next_file as usize;
+        Ok(WorkloadGenerator {
+            activity_dist: Zipf::new(config.activities, config.activity_zipf)?,
+            universe_dist: Zipf::new(static_universe.max(1), config.universe_zipf)?,
+            static_universe,
+            config,
+            activities,
+        })
+    }
+
+    /// Size of the static file universe (shared pool + all activity files);
+    /// new files created during generation get ids at and above this.
+    pub fn universe_size(&self) -> usize {
+        self.static_universe
+    }
+
+    /// The configuration this generator was built from.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// The fixed activity sequences (useful for tests and inspection).
+    pub fn activities(&self) -> &[Vec<FileId>] {
+        &self.activities
+    }
+
+    /// Generates the trace. Deterministic: repeated calls yield identical
+    /// traces.
+    pub fn generate(&self) -> Trace {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut next_new_file = self.static_universe as u64;
+        // Activities evolve during generation (drift), so work on a copy.
+        let mut activities = self.activities.clone();
+        // Per-stream state: (activity index, position within it).
+        let mut streams: Vec<(usize, usize)> = (0..cfg.streams)
+            .map(|_| (self.activity_dist.sample(&mut rng), 0))
+            .collect();
+        let mut current_stream = 0usize;
+        let mut last_file: Vec<Option<FileId>> = vec![None; cfg.streams];
+        let mut events = Vec::with_capacity(cfg.events);
+        let shared_pool = cfg.shared_pool as u64;
+        for seq in 0..cfg.events {
+            if cfg.streams > 1 && rng.random::<f64>() >= cfg.stickiness {
+                current_stream = rng.random_range(0..cfg.streams);
+            }
+            let stream = current_stream;
+            if let Some(prev) = last_file[stream] {
+                if rng.random::<f64>() < cfg.repeat_rate {
+                    let kind = self.read_or_write(&mut rng);
+                    events.push(AccessEvent::new(
+                        SeqNo(seq as u64),
+                        ClientId(stream as u32),
+                        prev,
+                        kind,
+                    ));
+                    continue;
+                }
+            }
+            let roll: f64 = rng.random();
+            let (file, kind) = if roll < cfg.new_file_rate {
+                let id = FileId(next_new_file);
+                next_new_file += 1;
+                (id, AccessKind::Create)
+            } else if roll < cfg.new_file_rate + cfg.noise {
+                let id = FileId(self.universe_dist.sample(&mut rng) as u64);
+                (id, self.read_or_write(&mut rng))
+            } else {
+                let (act, pos) = &mut streams[stream];
+                if *pos >= activities[*act].len() {
+                    *act = self.activity_dist.sample(&mut rng);
+                    *pos = 0;
+                    // Nonstationarity: each re-launch may permanently
+                    // replace some of the activity's own files with fresh
+                    // ones (the working set evolves). Shared hot-pool
+                    // steps (ids below the pool bound) never drift.
+                    if cfg.drift > 0.0 {
+                        let seq_ref = &mut activities[*act];
+                        for slot in seq_ref.iter_mut() {
+                            if slot.as_u64() >= shared_pool
+                                && rng.random::<f64>() < cfg.drift
+                            {
+                                *slot = FileId(next_new_file);
+                                next_new_file += 1;
+                            }
+                        }
+                    }
+                }
+                let id = activities[*act][*pos];
+                *pos += 1;
+                (id, self.read_or_write(&mut rng))
+            };
+            last_file[stream] = Some(file);
+            events.push(AccessEvent::new(
+                SeqNo(seq as u64),
+                ClientId(stream as u32),
+                file,
+                kind,
+            ));
+        }
+        Trace::new(events).expect("generator emits strictly increasing sequence numbers")
+    }
+
+    fn read_or_write(&self, rng: &mut StdRng) -> AccessKind {
+        if rng.random::<f64>() < self.config.write_rate {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(profile: WorkloadProfile) -> Trace {
+        SynthConfig::profile(profile)
+            .events(5_000)
+            .seed(11)
+            .build()
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small(WorkloadProfile::Server);
+        let b = small(WorkloadProfile::Server);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen_a = SynthConfig::profile(WorkloadProfile::Users)
+            .events(2_000)
+            .seed(1)
+            .build()
+            .unwrap();
+        let gen_b = SynthConfig::profile(WorkloadProfile::Users)
+            .events(2_000)
+            .seed(2)
+            .build()
+            .unwrap();
+        assert_ne!(gen_a.generate(), gen_b.generate());
+    }
+
+    #[test]
+    fn event_count_honoured() {
+        for profile in WorkloadProfile::ALL {
+            assert_eq!(small(profile).len(), 5_000, "profile {profile}");
+        }
+    }
+
+    #[test]
+    fn changing_events_preserves_activities() {
+        let short = SynthConfig::profile(WorkloadProfile::Server)
+            .events(100)
+            .seed(5)
+            .build()
+            .unwrap();
+        let long = SynthConfig::profile(WorkloadProfile::Server)
+            .events(10_000)
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(short.activities(), long.activities());
+        assert_eq!(short.universe_size(), long.universe_size());
+    }
+
+    #[test]
+    fn prefix_stability() {
+        // A longer run of the same seed starts with the same events.
+        let short = SynthConfig::profile(WorkloadProfile::Write)
+            .events(500)
+            .seed(9)
+            .build()
+            .unwrap()
+            .generate();
+        let long = SynthConfig::profile(WorkloadProfile::Write)
+            .events(1_000)
+            .seed(9)
+            .build()
+            .unwrap()
+            .generate();
+        assert_eq!(short.events(), &long.events()[..500]);
+    }
+
+    #[test]
+    fn write_profile_creates_more_files() {
+        let write = small(WorkloadProfile::Write);
+        let server = small(WorkloadProfile::Server);
+        let creates = |t: &Trace| {
+            t.events()
+                .iter()
+                .filter(|e| e.kind == AccessKind::Create)
+                .count()
+        };
+        assert!(
+            creates(&write) > creates(&server) * 5,
+            "write {} vs server {}",
+            creates(&write),
+            creates(&server)
+        );
+    }
+
+    #[test]
+    fn clients_match_stream_count() {
+        let t = small(WorkloadProfile::Users);
+        assert_eq!(t.clients().len(), 12);
+        let t = small(WorkloadProfile::Server);
+        assert!(t.clients().len() <= 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(SynthConfig::new().streams(0).build().is_err());
+        assert!(SynthConfig::new().activities(0).build().is_err());
+        assert!(SynthConfig::new().activity_len(0, 5).build().is_err());
+        assert!(SynthConfig::new().activity_len(6, 5).build().is_err());
+        assert!(SynthConfig::new().noise(1.5).build().is_err());
+        assert!(SynthConfig::new().noise(-0.1).build().is_err());
+        assert!(SynthConfig::new().stickiness(2.0).build().is_err());
+        assert!(SynthConfig::new().new_file_rate(f64::NAN).build().is_err());
+        assert!(SynthConfig::new()
+            .shared_rate(0.5)
+            .shared_pool(0)
+            .build()
+            .is_err());
+        assert!(SynthConfig::new().revisit_period(0).build().is_err());
+        assert!(SynthConfig::new().drift(1.5).build().is_err());
+        assert!(SynthConfig::new().drift(-0.1).build().is_err());
+        assert!(SynthConfig::new().repeat_rate(1.5).build().is_err());
+    }
+
+    #[test]
+    fn zero_shared_rate_allows_zero_pool() {
+        let gen = SynthConfig::new()
+            .shared_rate(0.0)
+            .shared_pool(0)
+            .events(100)
+            .build()
+            .unwrap();
+        assert_eq!(gen.generate().len(), 100);
+    }
+
+    #[test]
+    fn zero_events_is_fine() {
+        let t = SynthConfig::new().events(0).build().unwrap().generate();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn activities_are_replayed_exactly() {
+        // With one stream, zero noise, zero churn, the trace must be a
+        // concatenation of activity sequences.
+        let gen = SynthConfig::new()
+            .streams(1)
+            .noise(0.0)
+            .new_file_rate(0.0)
+            .shared_rate(0.0)
+            .drift(0.0)
+            .repeat_rate(0.0)
+            .activities(3)
+            .activity_len(4, 4)
+            .events(40)
+            .seed(2)
+            .build()
+            .unwrap();
+        let t = gen.generate();
+        let acts = gen.activities();
+        let seq = t.file_sequence();
+        let mut pos = 0;
+        while pos < seq.len() {
+            let window = &seq[pos..(pos + 4).min(seq.len())];
+            let matched = acts.iter().any(|a| a.starts_with(window));
+            assert!(matched, "window at {pos} not an activity prefix: {window:?}");
+            pos += 4;
+        }
+    }
+
+    #[test]
+    fn profile_names_and_hosts() {
+        assert_eq!(WorkloadProfile::Server.name(), "server");
+        assert_eq!(WorkloadProfile::Server.dfstrace_host(), "barber");
+        assert_eq!(WorkloadProfile::Users.to_string(), "users");
+        assert_eq!(WorkloadProfile::ALL.len(), 4);
+    }
+
+    #[test]
+    fn new_file_ids_start_beyond_universe() {
+        let gen = SynthConfig::profile(WorkloadProfile::Write)
+            .events(3_000)
+            .seed(4)
+            .build()
+            .unwrap();
+        let universe = gen.universe_size() as u64;
+        let t = gen.generate();
+        for ev in t.events() {
+            if ev.kind == AccessKind::Create {
+                assert!(ev.file.as_u64() >= universe);
+            }
+        }
+        // Drift introduces fresh read/write files too, but the bulk of
+        // non-create traffic stays within the static universe.
+        let in_universe = t
+            .events()
+            .iter()
+            .filter(|e| e.kind != AccessKind::Create && e.file.as_u64() < universe)
+            .count();
+        let non_create = t
+            .events()
+            .iter()
+            .filter(|e| e.kind != AccessKind::Create)
+            .count();
+        assert!(in_universe * 2 > non_create);
+    }
+}

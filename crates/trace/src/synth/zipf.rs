@@ -1,0 +1,159 @@
+//! A small, dependency-free Zipf sampler.
+//!
+//! File system workloads exhibit severe popularity skew; the paper leans on
+//! this ("a very high skew in access frequencies"). We sample ranks from a
+//! Zipf distribution with exponent `s`: `P(rank k) ∝ 1 / k^s` for
+//! `k = 1..=n`. Sampling uses a precomputed cumulative table and binary
+//! search, which is plenty fast for the universe sizes the generator uses.
+
+use fgcache_types::ValidationError;
+use rand::Rng;
+
+/// A Zipf distribution over `0..n` (rank 0 is the most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` items with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if `n == 0`, or if `s` is negative or
+    /// not finite.
+    pub fn new(n: usize, s: f64) -> Result<Self, ValidationError> {
+        if n == 0 {
+            return Err(ValidationError::new("n", "must be greater than zero"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ValidationError::new(
+                "s",
+                "exponent must be finite and non-negative",
+            ));
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalise so the last entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { cumulative })
+    }
+
+    /// Number of items in the distribution.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` if the distribution is over zero items (never true
+    /// for a constructed `Zipf`; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(idx) => (idx + 1).min(self.cumulative.len() - 1),
+            Err(idx) => idx.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability of sampling `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.len()`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let hi = self.cumulative[rank];
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_and_bad_exponent() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let z = Zipf::new(1, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(50, 0.9).unwrap();
+        let total: f64 = (0..z.len()).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 0..4 {
+            assert!((z.probability(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lower_ranks_are_more_popular() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        for k in 1..100 {
+            assert!(z.probability(k - 1) >= z.probability(k));
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_skew_low() {
+        let z = Zipf::new(20, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 20];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 20);
+            counts[k] += 1;
+        }
+        // Rank 0 should clearly dominate rank 19 under heavy skew.
+        assert!(counts[0] > counts[19] * 4, "counts: {counts:?}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(30, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

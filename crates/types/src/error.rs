@@ -1,0 +1,88 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`crate::AccessKind::from_code`] when the character is
+/// not a recognised access-kind code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseAccessKindError {
+    /// The character that failed to parse.
+    pub found: char,
+}
+
+impl fmt::Display for ParseAccessKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unrecognised access kind code {:?}, expected one of R, W, C, D",
+            self.found
+        )
+    }
+}
+
+impl Error for ParseAccessKindError {}
+
+/// Error returned when a configuration or argument fails validation.
+///
+/// This is the common "you passed a bad parameter" error across the
+/// workspace: zero capacities, empty workloads, out-of-range probabilities
+/// and similar. The message names the offending parameter.
+///
+/// ```
+/// use fgcache_types::ValidationError;
+/// let err = ValidationError::new("capacity", "must be greater than zero");
+/// assert_eq!(err.to_string(), "invalid capacity: must be greater than zero");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    parameter: String,
+    reason: String,
+}
+
+impl ValidationError {
+    /// Creates a validation error for `parameter`, explaining `reason`.
+    pub fn new(parameter: impl Into<String>, reason: impl Into<String>) -> Self {
+        ValidationError {
+            parameter: parameter.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The name of the parameter that failed validation.
+    pub fn parameter(&self) -> &str {
+        &self.parameter
+    }
+
+    /// Why the parameter was rejected.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.parameter, self.reason)
+    }
+}
+
+impl Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_error_accessors() {
+        let err = ValidationError::new("noise", "must lie in [0, 1]");
+        assert_eq!(err.parameter(), "noise");
+        assert_eq!(err.reason(), "must lie in [0, 1]");
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ParseAccessKindError>();
+        assert_err::<ValidationError>();
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the shared identifier/event types.
+
+use fgcache_types::{AccessEvent, AccessKind, AccessOutcome, ClientId, FileId, SeqNo};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Read),
+        Just(AccessKind::Write),
+        Just(AccessKind::Create),
+        Just(AccessKind::Delete),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn file_id_conversions_roundtrip(raw in any::<u64>()) {
+        let id = FileId::from(raw);
+        prop_assert_eq!(u64::from(id), raw);
+        prop_assert_eq!(id.as_u64(), raw);
+        prop_assert_eq!(id, FileId(raw));
+    }
+
+    #[test]
+    fn file_id_order_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(FileId(a).cmp(&FileId(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn seq_no_next_is_monotone(raw in 0u64..u64::MAX) {
+        let s = SeqNo(raw);
+        prop_assert!(s.next() > s);
+        prop_assert_eq!(s.next().as_u64(), raw + 1);
+    }
+
+    #[test]
+    fn kind_code_roundtrips(kind in arb_kind()) {
+        prop_assert_eq!(AccessKind::from_code(kind.code()).unwrap(), kind);
+        // Exactly one of is_read / is_mutation holds.
+        prop_assert_ne!(kind.is_read(), kind.is_mutation());
+    }
+
+    #[test]
+    fn kind_rejects_non_codes(c in any::<char>()) {
+        prop_assume!(!matches!(c, 'R' | 'W' | 'C' | 'D'));
+        prop_assert!(AccessKind::from_code(c).is_err());
+    }
+
+    #[test]
+    fn event_serde_roundtrips(
+        seq in any::<u64>(),
+        client in any::<u32>(),
+        file in any::<u64>(),
+        kind in arb_kind(),
+    ) {
+        let ev = AccessEvent::new(SeqNo(seq), ClientId(client), FileId(file), kind);
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: AccessEvent = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn displays_are_never_empty(
+        seq in any::<u64>(),
+        client in any::<u32>(),
+        file in any::<u64>(),
+        kind in arb_kind(),
+    ) {
+        let ev = AccessEvent::new(SeqNo(seq), ClientId(client), FileId(file), kind);
+        prop_assert!(!ev.to_string().is_empty());
+        prop_assert!(!FileId(file).to_string().is_empty());
+        prop_assert!(!ClientId(client).to_string().is_empty());
+        prop_assert!(!SeqNo(seq).to_string().is_empty());
+        prop_assert!(!kind.to_string().is_empty());
+        prop_assert!(!AccessOutcome::Hit.to_string().is_empty());
+    }
+
+    #[test]
+    fn transparent_serde_for_newtypes(raw in any::<u64>()) {
+        // FileId/SeqNo serialize as bare numbers (format stability).
+        prop_assert_eq!(
+            serde_json::to_string(&FileId(raw)).unwrap(),
+            raw.to_string()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&SeqNo(raw)).unwrap(),
+            raw.to_string()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Workload predictability analysis with successor entropy (paper §4.5).
+//!
+//! Prints, for each of the four synthetic workloads: basic trace
+//! statistics, successor entropy at several successor-sequence lengths
+//! (Figure 7), and the entropy of the miss stream behind intervening LRU
+//! caches (Figure 8) — showing that moderate-to-large filters make the
+//! miss stream *more* predictable, which is why server-side grouping
+//! works.
+//!
+//! Run with: `cargo run --release --example workload_entropy`
+
+use fgcache::entropy::{filtered_entropy, successor_sequence_entropy};
+use fgcache::prelude::*;
+use fgcache::trace::stats::TraceStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for profile in WorkloadProfile::ALL {
+        let trace = SynthConfig::profile(profile)
+            .events(60_000)
+            .seed(9)
+            .build()?
+            .generate();
+        let stats = TraceStats::compute(&trace);
+        println!("== {profile} (imitating DFSTrace host `{}`)", profile.dfstrace_host());
+        println!("   {}", stats.report());
+
+        let files = trace.file_sequence();
+        print!("   successor entropy by symbol length:");
+        for k in [1usize, 2, 4, 8, 16] {
+            print!("  k={k}: {:.2}b", successor_sequence_entropy(&files, k)?);
+        }
+        println!();
+
+        print!("   filtered entropy (k=1) by client cache:");
+        for cap in [10usize, 50, 500] {
+            print!("  c={cap}: {:.2}b", filtered_entropy(&trace, cap, 1)?);
+        }
+        println!("\n");
+    }
+    println!(
+        "lower is more predictable. note how (a) single-file successors (k=1)\n\
+         are always the most predictable choice, and (b) entropy behind a\n\
+         moderate filter drops below the raw workload's — the filtered miss\n\
+         stream exposes orderly first-accesses of fresh working sets."
+    );
+    Ok(())
+}

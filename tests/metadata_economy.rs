@@ -1,0 +1,125 @@
+//! Cross-crate tests of the paper's *minimal metadata* claims (§3, §5):
+//! the aggregating cache must deliver its gains with per-file state that
+//! stays small, bounded and cheap — that is the argument for grouping
+//! over heavier prefetchers.
+
+use fgcache::cache::Cache;
+use fgcache::core::AggregatingCacheBuilder;
+use fgcache::prelude::*;
+use fgcache::successor::{LruSuccessorList, ProbabilityGraph};
+use fgcache::trace::stats::TraceStats;
+
+fn workload(profile: WorkloadProfile) -> Trace {
+    SynthConfig::profile(profile)
+        .events(40_000)
+        .seed(31)
+        .build()
+        .unwrap()
+        .generate()
+}
+
+#[test]
+fn metadata_is_linear_in_files_not_accesses() {
+    // Double the trace length; the metadata footprint must grow far more
+    // slowly than the event count (it is bounded by files × capacity).
+    let short = SynthConfig::profile(WorkloadProfile::Workstation)
+        .events(20_000)
+        .seed(31)
+        .build()
+        .unwrap()
+        .generate();
+    let long = SynthConfig::profile(WorkloadProfile::Workstation)
+        .events(40_000)
+        .seed(31)
+        .build()
+        .unwrap()
+        .generate();
+    let footprint = |t: &Trace| {
+        let mut cache = AggregatingCacheBuilder::new(300).group_size(5).build().unwrap();
+        for ev in t.events() {
+            cache.handle_access(ev.file);
+        }
+        cache.metadata_entries()
+    };
+    let short_entries = footprint(&short) as f64;
+    let long_entries = footprint(&long) as f64;
+    // Events doubled; metadata grows sub-linearly (new files only).
+    assert!(
+        long_entries < short_entries * 1.8,
+        "metadata grew {short_entries} → {long_entries} on 2× events"
+    );
+}
+
+#[test]
+fn successor_capacity_bounds_hold_on_every_profile() {
+    for profile in WorkloadProfile::ALL {
+        let trace = workload(profile);
+        let cap = 4;
+        let mut table = SuccessorTable::new(LruSuccessorList::new(cap).unwrap());
+        for ev in trace.events() {
+            table.record(ev.file);
+        }
+        let stats = TraceStats::compute(&trace);
+        assert!(table.tracked_files() <= stats.unique_files, "{profile}");
+        assert!(
+            table.metadata_entries() <= table.tracked_files() * cap,
+            "{profile}"
+        );
+        // The paper's observation: the realised mean is far below the cap.
+        let mean = table.metadata_entries() as f64 / table.tracked_files().max(1) as f64;
+        assert!(mean < cap as f64 * 0.9, "{profile}: mean {mean}");
+    }
+}
+
+#[test]
+fn aggregating_cache_metadata_is_fraction_of_probability_graph() {
+    let trace = workload(WorkloadProfile::Workstation);
+    let mut agg = AggregatingCacheBuilder::new(300).group_size(5).build().unwrap();
+    let mut pg = ProbabilityGraph::new(4, 0.05).unwrap();
+    for ev in trace.events() {
+        agg.handle_access(ev.file);
+        pg.record(ev.file);
+    }
+    assert!(
+        agg.metadata_entries() * 2 < pg.edge_count(),
+        "successor entries {} vs windowed edges {}",
+        agg.metadata_entries(),
+        pg.edge_count()
+    );
+}
+
+#[test]
+fn bandwidth_overhead_is_bounded_by_group_size() {
+    // Group fetching may move extra files, but never more than g per
+    // demand fetch — and the prefetch accuracy keeps realised overhead
+    // well below the worst case.
+    for g in [2usize, 5, 10] {
+        let trace = workload(WorkloadProfile::Server);
+        let mut cache = AggregatingCacheBuilder::new(300).group_size(g).build().unwrap();
+        for ev in trace.events() {
+            cache.handle_access(ev.file);
+        }
+        let s = cache.group_stats();
+        assert!(s.files_transferred <= s.demand_fetches * g as u64);
+        assert!(s.files_transferred >= s.demand_fetches);
+        // Useful prefetches: at least a third of speculative transfers
+        // get demand-hit on this predictable workload.
+        let stats = Cache::stats(&cache);
+        assert!(
+            stats.speculative_accuracy() > 0.33,
+            "g{g}: accuracy {}",
+            stats.speculative_accuracy()
+        );
+    }
+}
+
+#[test]
+fn groups_stay_within_configured_size_under_churn() {
+    let trace = workload(WorkloadProfile::Write);
+    let mut cache = AggregatingCacheBuilder::new(200).group_size(7).build().unwrap();
+    for ev in trace.events() {
+        cache.handle_access(ev.file);
+    }
+    let mean = cache.group_stats().mean_group_size();
+    assert!((1.0..=7.0).contains(&mean), "mean group size {mean}");
+}
