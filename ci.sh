@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# The canonical local quality gate. Every step must pass before a push;
+# the same sequence is available as `cargo run -p xtask -- ci`.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p xtask -- lint"
+cargo run -p xtask -- lint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci.sh: all steps passed"

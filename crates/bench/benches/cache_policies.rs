@@ -3,11 +3,12 @@
 //! scale. These are performance benches for the substrate; the figure
 //! *reproductions* live in `benches/figures.rs` and the `repro_*` bins.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fgcache_cache::{Cache, PolicyKind};
+use fgcache_bench::harness;
+use fgcache_cache::{Cache, LruCache, PolicyKind};
 use fgcache_core::AggregatingCacheBuilder;
 use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
 use fgcache_trace::Trace;
+use fgcache_types::FileId;
 use std::hint::black_box;
 
 const EVENTS: usize = 20_000;
@@ -22,67 +23,49 @@ fn workload() -> Trace {
         .generate()
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let trace = workload();
-    let mut group = c.benchmark_group("policy_access");
-    group.throughput(Throughput::Elements(EVENTS as u64));
+
     for kind in PolicyKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &trace, |b, t| {
-            b.iter(|| {
+        harness::run(
+            &format!("policy_access/{kind}"),
+            Some(EVENTS as u64),
+            || {
                 let mut cache = kind.build(CAPACITY);
-                for ev in t.events() {
+                for ev in trace.events() {
                     black_box(cache.access(ev.file));
                 }
                 cache.stats().hits
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_aggregating(c: &mut Criterion) {
-    let trace = workload();
-    let mut group = c.benchmark_group("aggregating_access");
-    group.throughput(Throughput::Elements(EVENTS as u64));
     for g in [1usize, 2, 5, 10] {
-        group.bench_with_input(BenchmarkId::new("group_size", g), &trace, |b, t| {
-            b.iter(|| {
+        harness::run(
+            &format!("aggregating_access/group_size_{g}"),
+            Some(EVENTS as u64),
+            || {
                 let mut cache = AggregatingCacheBuilder::new(CAPACITY)
                     .group_size(g)
                     .build()
                     .expect("valid config");
-                for ev in t.events() {
+                for ev in trace.events() {
                     black_box(cache.handle_access(ev.file));
                 }
                 cache.demand_fetches()
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_speculative_insert(c: &mut Criterion) {
-    use fgcache_cache::LruCache;
-    use fgcache_types::FileId;
     let batch: Vec<FileId> = (0..8u64).map(FileId).collect();
-    c.bench_function("lru_speculative_batch_8", |b| {
-        let mut cache = LruCache::new(CAPACITY);
-        for i in 0..CAPACITY as u64 {
-            cache.access(FileId(1000 + i));
+    let mut cache = LruCache::new(CAPACITY);
+    for i in 0..CAPACITY as u64 {
+        cache.access(FileId(1000 + i));
+    }
+    harness::run("lru_speculative_batch_8", Some(8), || {
+        cache.insert_speculative_batch(black_box(&batch));
+        for f in &batch {
+            cache.access(*f); // reset for next iteration's realism
         }
-        b.iter(|| {
-            cache.insert_speculative_batch(black_box(&batch));
-            for f in &batch {
-                cache.access(*f); // reset for next iteration's realism
-            }
-        });
     });
 }
-
-criterion_group!(
-    benches,
-    bench_policies,
-    bench_aggregating,
-    bench_speculative_insert
-);
-criterion_main!(benches);

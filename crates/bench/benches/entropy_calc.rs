@@ -1,13 +1,13 @@
 //! Throughput of the successor-entropy analyses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgcache_bench::harness;
 use fgcache_entropy::{filtered_entropy, successor_sequence_entropy};
 use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
 use std::hint::black_box;
 
 const EVENTS: usize = 20_000;
 
-fn bench_entropy(c: &mut Criterion) {
+fn main() {
     let trace = SynthConfig::profile(WorkloadProfile::Users)
         .events(EVENTS)
         .seed(3)
@@ -15,24 +15,20 @@ fn bench_entropy(c: &mut Criterion) {
         .expect("profile is valid")
         .generate();
     let files = trace.file_sequence();
-    let mut group = c.benchmark_group("successor_entropy");
-    group.throughput(Throughput::Elements(EVENTS as u64));
+
     for k in [1usize, 4, 12, 20] {
-        group.bench_with_input(BenchmarkId::new("k", k), &files, |b, files| {
-            b.iter(|| successor_sequence_entropy(black_box(files), k).unwrap());
-        });
+        harness::run(
+            &format!("successor_entropy/k_{k}"),
+            Some(EVENTS as u64),
+            || successor_sequence_entropy(black_box(&files), k).expect("valid k"),
+        );
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("filtered_entropy");
-    group.throughput(Throughput::Elements(EVENTS as u64));
     for cap in [10usize, 500] {
-        group.bench_with_input(BenchmarkId::new("filter", cap), &trace, |b, t| {
-            b.iter(|| filtered_entropy(black_box(t), cap, 1).unwrap());
-        });
+        harness::run(
+            &format!("filtered_entropy/filter_{cap}"),
+            Some(EVENTS as u64),
+            || filtered_entropy(black_box(&trace), cap, 1).expect("valid parameters"),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_entropy);
-criterion_main!(benches);

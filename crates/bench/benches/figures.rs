@@ -1,10 +1,10 @@
-//! One criterion bench per paper figure, running a scaled-down version of
-//! the exact pipeline the corresponding `repro_*` binary uses. `cargo
-//! bench` therefore exercises every table/figure reproduction end to end
-//! and tracks its wall-clock cost; for the full-scale numbers run the
+//! One bench per paper figure, running a scaled-down version of the
+//! exact pipeline the corresponding `repro_*` binary uses. `cargo bench`
+//! therefore exercises every table/figure reproduction end to end and
+//! tracks its wall-clock cost; for the full-scale numbers run the
 //! binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fgcache_bench::harness;
 use fgcache_cache::PolicyKind;
 use fgcache_sim::client::{client_sweep, ClientSweepConfig};
 use fgcache_sim::entropy_exp::{entropy_sweep, filtered_entropy_sweep};
@@ -26,19 +26,21 @@ fn trace(profile: WorkloadProfile) -> Trace {
         .generate()
 }
 
-fn fig3(c: &mut Criterion) {
+fn fig3() {
     let t = trace(WorkloadProfile::Server);
     let cfg = ClientSweepConfig {
         capacities: vec![100, 400],
         group_sizes: vec![1, 5, 10],
         successor_capacity: 8,
     };
-    c.bench_function("fig3_client_sweep", |b| {
-        b.iter(|| client_sweep(black_box(&t), &cfg).unwrap().len());
+    harness::run("fig3_client_sweep", None, || {
+        client_sweep(black_box(&t), &cfg)
+            .expect("valid sweep")
+            .len()
     });
 }
 
-fn fig4(c: &mut Criterion) {
+fn fig4() {
     let t = trace(WorkloadProfile::Workstation);
     let cfg = TwoLevelConfig {
         filter_capacities: vec![50, 300],
@@ -50,12 +52,14 @@ fn fig4(c: &mut Criterion) {
         ],
         successor_capacity: 8,
     };
-    c.bench_function("fig4_two_level_sweep", |b| {
-        b.iter(|| two_level_sweep(black_box(&t), &cfg).unwrap().len());
+    harness::run("fig4_two_level_sweep", None, || {
+        two_level_sweep(black_box(&t), &cfg)
+            .expect("valid sweep")
+            .len()
     });
 }
 
-fn fig5(c: &mut Criterion) {
+fn fig5() {
     let t = trace(WorkloadProfile::Server);
     let cfg = SuccessorEvalConfig {
         capacities: vec![1, 4, 10],
@@ -65,44 +69,54 @@ fn fig5(c: &mut Criterion) {
             ReplacementScheme::Lfu,
         ],
     };
-    c.bench_function("fig5_successor_eval", |b| {
-        b.iter(|| successor_eval(black_box(&t), &cfg).unwrap().len());
+    harness::run("fig5_successor_eval", None, || {
+        successor_eval(black_box(&t), &cfg)
+            .expect("valid sweep")
+            .len()
     });
 }
 
-fn fig7(c: &mut Criterion) {
+fn fig7() {
     let traces: Vec<(String, Trace)> = WorkloadProfile::ALL
         .iter()
         .map(|&p| (p.name().to_string(), trace(p)))
         .collect();
-    let labelled: Vec<(String, &Trace)> =
-        traces.iter().map(|(l, t)| (l.clone(), t)).collect();
+    let labelled: Vec<(String, &Trace)> = traces.iter().map(|(l, t)| (l.clone(), t)).collect();
     let ks = [1usize, 5, 10, 20];
-    c.bench_function("fig7_entropy_sweep", |b| {
-        b.iter(|| entropy_sweep(black_box(&labelled), &ks).unwrap().len());
+    harness::run("fig7_entropy_sweep", None, || {
+        entropy_sweep(black_box(&labelled), &ks)
+            .expect("valid sweep")
+            .len()
     });
 }
 
-fn fig8(c: &mut Criterion) {
+fn fig8() {
     let t = trace(WorkloadProfile::Write);
     let filters = [10usize, 100, 1000];
     let ks = [1usize, 5, 10];
-    c.bench_function("fig8_filtered_entropy_sweep", |b| {
-        b.iter(|| filtered_entropy_sweep(black_box(&t), &filters, &ks).unwrap().len());
+    harness::run("fig8_filtered_entropy_sweep", None, || {
+        filtered_entropy_sweep(black_box(&t), &filters, &ks)
+            .expect("valid sweep")
+            .len()
     });
 }
 
-fn headline(c: &mut Criterion) {
+fn headline() {
     let t = trace(WorkloadProfile::Server);
     let labelled = [("server".to_string(), &t)];
-    c.bench_function("headline_summary", |b| {
-        b.iter(|| headline_summary(black_box(&labelled)).unwrap().rows.len());
+    harness::run("headline_summary", None, || {
+        headline_summary(black_box(&labelled))
+            .expect("valid summary")
+            .rows
+            .len()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig3, fig4, fig5, fig7, fig8, headline
+fn main() {
+    fig3();
+    fig4();
+    fig5();
+    fig7();
+    fig8();
+    headline();
 }
-criterion_main!(benches);

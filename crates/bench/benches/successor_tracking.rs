@@ -1,7 +1,7 @@
 //! Throughput of the metadata path: successor-table updates, group
 //! construction and the replacement-policy evaluation loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgcache_bench::harness;
 use fgcache_successor::eval::evaluate_replacement;
 use fgcache_successor::{
     DecayedSuccessorList, GroupBuilder, LfuSuccessorList, LruSuccessorList, SuccessorTable,
@@ -21,78 +21,52 @@ fn workload() -> Trace {
         .generate()
 }
 
-fn bench_table_record(c: &mut Criterion) {
+fn main() {
     let trace = workload();
-    let mut group = c.benchmark_group("successor_record");
-    group.throughput(Throughput::Elements(EVENTS as u64));
-    group.bench_function("lru_cap8", |b| {
-        b.iter(|| {
-            let mut t = SuccessorTable::new(LruSuccessorList::new(8).unwrap());
-            for f in trace.files() {
-                t.record(black_box(f));
-            }
-            t.transitions()
-        });
-    });
-    group.bench_function("lfu_cap8", |b| {
-        b.iter(|| {
-            let mut t = SuccessorTable::new(LfuSuccessorList::new(8).unwrap());
-            for f in trace.files() {
-                t.record(black_box(f));
-            }
-            t.transitions()
-        });
-    });
-    group.bench_function("decayed_cap8", |b| {
-        b.iter(|| {
-            let mut t = SuccessorTable::new(DecayedSuccessorList::new(8, 0.9).unwrap());
-            for f in trace.files() {
-                t.record(black_box(f));
-            }
-            t.transitions()
-        });
-    });
-    group.finish();
-}
 
-fn bench_group_build(c: &mut Criterion) {
-    let trace = workload();
-    let mut table = SuccessorTable::new(LruSuccessorList::new(8).unwrap());
+    harness::run("successor_record/lru_cap8", Some(EVENTS as u64), || {
+        let mut t = SuccessorTable::new(LruSuccessorList::new(8).expect("valid capacity"));
+        for f in trace.files() {
+            t.record(black_box(f));
+        }
+        t.transitions()
+    });
+    harness::run("successor_record/lfu_cap8", Some(EVENTS as u64), || {
+        let mut t = SuccessorTable::new(LfuSuccessorList::new(8).expect("valid capacity"));
+        for f in trace.files() {
+            t.record(black_box(f));
+        }
+        t.transitions()
+    });
+    harness::run("successor_record/decayed_cap8", Some(EVENTS as u64), || {
+        let mut t = SuccessorTable::new(DecayedSuccessorList::new(8, 0.9).expect("valid capacity"));
+        for f in trace.files() {
+            t.record(black_box(f));
+        }
+        t.transitions()
+    });
+
+    let mut table = SuccessorTable::new(LruSuccessorList::new(8).expect("valid capacity"));
     for f in trace.files() {
         table.record(f);
     }
     let hot: Vec<_> = trace.file_sequence().into_iter().take(256).collect();
-    let mut group = c.benchmark_group("group_build");
     for g in [2usize, 5, 10, 20] {
-        let builder = GroupBuilder::new(g).unwrap();
-        group.throughput(Throughput::Elements(hot.len() as u64));
-        group.bench_with_input(BenchmarkId::new("g", g), &hot, |b, hot| {
-            b.iter(|| {
+        let builder = GroupBuilder::new(g).expect("valid group size");
+        harness::run(
+            &format!("group_build/g_{g}"),
+            Some(hot.len() as u64),
+            || {
                 let mut total = 0usize;
-                for &f in hot {
+                for &f in &hot {
                     total += builder.build(&table, black_box(f)).len();
                 }
                 total
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_replacement_eval(c: &mut Criterion) {
-    let trace = workload();
-    let mut group = c.benchmark_group("replacement_eval");
-    group.throughput(Throughput::Elements(EVENTS as u64));
-    group.bench_function("lru_cap4", |b| {
-        b.iter(|| evaluate_replacement(&trace, LruSuccessorList::new(4).unwrap()).misses);
+    harness::run("replacement_eval/lru_cap4", Some(EVENTS as u64), || {
+        evaluate_replacement(&trace, LruSuccessorList::new(4).expect("valid capacity")).misses
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_table_record,
-    bench_group_build,
-    bench_replacement_eval
-);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Throughput of the three trace IO formats and the workload generator.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fgcache_bench::harness;
 use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
 use fgcache_trace::{io, Trace};
 use std::hint::black_box;
@@ -16,58 +16,51 @@ fn workload() -> Trace {
         .generate()
 }
 
-fn bench_io(c: &mut Criterion) {
+fn main() {
     let trace = workload();
     let mut text = Vec::new();
-    io::write_text(&trace, &mut text).unwrap();
+    io::write_text(&trace, &mut text).expect("in-memory write");
     let mut json = Vec::new();
-    io::write_json(&trace, &mut json).unwrap();
+    io::write_json(&trace, &mut json).expect("in-memory write");
     let mut bin = Vec::new();
-    io::write_binary(&trace, &mut bin).unwrap();
+    io::write_binary(&trace, &mut bin).expect("in-memory write");
 
-    let mut group = c.benchmark_group("trace_io");
-    group.throughput(Throughput::Elements(EVENTS as u64));
-    group.bench_function("write_text", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(text.len());
-            io::write_text(black_box(&trace), &mut buf).unwrap();
-            buf.len()
-        });
+    harness::run("trace_io/write_text", Some(EVENTS as u64), || {
+        let mut buf = Vec::with_capacity(text.len());
+        io::write_text(black_box(&trace), &mut buf).expect("in-memory write");
+        buf.len()
     });
-    group.bench_function("read_text", |b| {
-        b.iter(|| io::read_text(black_box(text.as_slice())).unwrap().len());
+    harness::run("trace_io/read_text", Some(EVENTS as u64), || {
+        io::read_text(black_box(text.as_slice()))
+            .expect("round trip")
+            .len()
     });
-    group.bench_function("write_binary", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(bin.len());
-            io::write_binary(black_box(&trace), &mut buf).unwrap();
-            buf.len()
-        });
+    harness::run("trace_io/write_binary", Some(EVENTS as u64), || {
+        let mut buf = Vec::with_capacity(bin.len());
+        io::write_binary(black_box(&trace), &mut buf).expect("in-memory write");
+        buf.len()
     });
-    group.bench_function("read_binary", |b| {
-        b.iter(|| io::read_binary(black_box(bin.as_slice())).unwrap().len());
+    harness::run("trace_io/read_binary", Some(EVENTS as u64), || {
+        io::read_binary(black_box(bin.as_slice()))
+            .expect("round trip")
+            .len()
     });
-    group.bench_function("read_json", |b| {
-        b.iter(|| io::read_json(black_box(json.as_slice())).unwrap().len());
+    harness::run("trace_io/read_json", Some(EVENTS as u64), || {
+        io::read_json(black_box(json.as_slice()))
+            .expect("round trip")
+            .len()
     });
-    group.finish();
-}
 
-fn bench_generator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_generation");
-    group.throughput(Throughput::Elements(EVENTS as u64));
     for profile in WorkloadProfile::ALL {
-        group.bench_function(profile.name(), |b| {
-            let gen = SynthConfig::profile(profile)
-                .events(EVENTS)
-                .seed(9)
-                .build()
-                .expect("profile is valid");
-            b.iter(|| gen.generate().len());
-        });
+        let generator = SynthConfig::profile(profile)
+            .events(EVENTS)
+            .seed(9)
+            .build()
+            .expect("profile is valid");
+        harness::run(
+            &format!("workload_generation/{}", profile.name()),
+            Some(EVENTS as u64),
+            || generator.generate().len(),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_io, bench_generator);
-criterion_main!(benches);

@@ -89,7 +89,10 @@ fn ablate_metadata_source(trace: &Trace) -> Table {
         "ablation 3: server metadata source (filter = 200, server = 300, g = 5)",
         ["source", "server hit rate", "server requests"],
     );
-    for (label, cooperative) in [("miss stream only", false), ("piggy-backed full stream", true)] {
+    for (label, cooperative) in [
+        ("miss stream only", false),
+        ("piggy-backed full stream", true),
+    ] {
         let mut filter = LruCache::new(200);
         let mut server = AggregatingCacheBuilder::new(300)
             .group_size(5)
@@ -121,7 +124,12 @@ fn ablate_metadata_source(trace: &Trace) -> Table {
 fn ablate_large_groups(trace: &Trace) -> Table {
     let mut t = Table::new(
         "ablation 4: group sizes beyond the paper's 10 (cache = 300)",
-        ["group size", "demand fetches", "files/fetch", "prefetch accuracy"],
+        [
+            "group size",
+            "demand fetches",
+            "files/fetch",
+            "prefetch accuracy",
+        ],
     );
     for g in [1usize, 5, 10, 15, 20, 30] {
         let mut cache = AggregatingCacheBuilder::new(300)
@@ -225,8 +233,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = standard_trace(WorkloadProfile::Server);
     let workstation = standard_trace(WorkloadProfile::Workstation);
     emit("ablation1_insertion", &ablate_insertion_position(&server))?;
-    emit("ablation2_successor_capacity", &ablate_successor_capacity(&server))?;
-    emit("ablation3_metadata_source", &ablate_metadata_source(&workstation))?;
+    emit(
+        "ablation2_successor_capacity",
+        &ablate_successor_capacity(&server),
+    )?;
+    emit(
+        "ablation3_metadata_source",
+        &ablate_metadata_source(&workstation),
+    )?;
     emit("ablation4_large_groups", &ablate_large_groups(&server))?;
     emit("ablation5_decay", &ablate_decay(&workstation))?;
     emit("ablation6_predictors", &ablate_predictors(&workstation))?;

@@ -22,7 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // and the server's disk sees a filtered stream (paper §4.3).
     let mut placement = Table::new(
         "extension A: mean seek distance on the disk-request stream (client cache = 300)",
-        ["workload", "hashed", "frequency", "organ-pipe", "grouped(g=5)"],
+        [
+            "workload",
+            "hashed",
+            "frequency",
+            "organ-pipe",
+            "grouped(g=5)",
+        ],
     );
     for profile in WorkloadProfile::ALL {
         let trace = standard_trace(profile);

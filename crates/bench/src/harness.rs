@@ -1,0 +1,113 @@
+//! Minimal benchmark harness built only on `std::time`.
+//!
+//! The workspace builds hermetically with zero external crates, so the
+//! benches cannot link criterion. This module provides the small subset
+//! we need: each benchmark runs once to warm up, then `iterations()`
+//! timed runs, and reports the median and minimum wall-clock time plus
+//! throughput when an element count is supplied. Medians over a fixed
+//! iteration count keep the output stable enough for eyeball
+//! comparisons; for rigorous statistics, run a bench binary repeatedly
+//! and compare the printed minima.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of timed runs per benchmark.
+const DEFAULT_ITERS: u32 = 10;
+
+/// Number of timed runs per benchmark: `FGCACHE_BENCH_ITERS` if set to a
+/// positive integer, otherwise [`DEFAULT_ITERS`].
+pub fn iterations() -> u32 {
+    std::env::var("FGCACHE_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERS)
+}
+
+/// Times `f` and prints one aligned result line.
+///
+/// `elements` is the number of logical items one call of `f` processes
+/// (events, files, ...); when given, throughput is printed alongside the
+/// raw times.
+pub fn run<R>(name: &str, elements: Option<u64>, mut f: impl FnMut() -> R) {
+    black_box(f()); // warm-up: page in code and data, populate allocator
+    let iters = iterations();
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let throughput = match elements {
+        Some(n) if median > Duration::ZERO => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  {:>10}/s", fmt_count(per_sec))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<44} median {:>10}  min {:>10}{throughput}",
+        fmt_duration(median),
+        fmt_duration(min),
+    );
+}
+
+/// Formats a duration with an adaptive unit (ns / µs / ms / s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Formats a count with an adaptive magnitude suffix (K / M / G).
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_closure() {
+        let mut calls = 0u32;
+        run("unit_test_bench", Some(1), || calls += 1);
+        // One warm-up plus `iterations()` timed runs.
+        assert_eq!(calls, 1 + iterations());
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.00 s");
+    }
+
+    #[test]
+    fn count_formatting_picks_sane_magnitudes() {
+        assert_eq!(fmt_count(12.0), "12");
+        assert_eq!(fmt_count(1_500.0), "1.50 K");
+        assert_eq!(fmt_count(2_000_000.0), "2.00 M");
+        assert_eq!(fmt_count(3e9), "3.00 G");
+    }
+}

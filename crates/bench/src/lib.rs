@@ -16,7 +16,9 @@
 //! | `repro_all` | all of the above, in order |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+pub mod harness;
 
 use std::fs;
 use std::io::Write as _;

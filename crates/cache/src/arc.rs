@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use fgcache_types::{AccessOutcome, FileId};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 use crate::list::LruList;
 use crate::{Cache, CacheStats};
@@ -87,6 +87,33 @@ impl ArcCache {
     fn resident(&self) -> usize {
         self.t1.len() + self.t2.len()
     }
+
+    /// Case-IV directory management: frees one slot for a brand-new file
+    /// about to enter `T1`, preserving `|T1|+|B1| <= c` and the total
+    /// directory bound of `2c`.
+    fn make_room_for_new(&mut self) {
+        let c = self.capacity;
+        if self.t1.len() + self.b1.len() >= c {
+            if self.t1.len() < c {
+                self.b1.pop_back();
+                self.replace(false);
+            } else if let Some(victim) = self.t1.pop_back() {
+                // B1 empty and T1 full: plain eviction without ghost entry.
+                self.speculative.remove(&victim);
+                self.stats.record_eviction();
+            }
+        } else {
+            let total = self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len();
+            if total >= c {
+                if total == 2 * c {
+                    self.b2.pop_back();
+                }
+                if self.resident() >= c {
+                    self.replace(false);
+                }
+            }
+        }
+    }
 }
 
 impl Cache for ArcCache {
@@ -124,26 +151,7 @@ impl Cache for ArcCache {
             return AccessOutcome::Miss;
         }
         // Case IV: brand-new file.
-        if self.t1.len() + self.b1.len() == c {
-            if self.t1.len() < c {
-                self.b1.pop_back();
-                self.replace(false);
-            } else if let Some(victim) = self.t1.pop_back() {
-                // B1 empty and T1 full: plain eviction without ghost entry.
-                self.speculative.remove(&victim);
-                self.stats.record_eviction();
-            }
-        } else {
-            let total = self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len();
-            if total >= c {
-                if total == 2 * c {
-                    self.b2.pop_back();
-                }
-                if self.resident() >= c {
-                    self.replace(false);
-                }
-            }
-        }
+        self.make_room_for_new();
         self.t1.push_front(file);
         self.speculative.insert(file, false);
         AccessOutcome::Miss
@@ -153,12 +161,13 @@ impl Cache for ArcCache {
         if self.speculative.contains_key(&file) {
             return false;
         }
-        if self.resident() >= self.capacity {
-            self.replace(false);
-        }
-        // Eviction end of the recency list: lowest priority ARC offers.
+        // Leaving the ghost lists first keeps the directory bounds exact:
+        // the entry is about to become resident, and ghosts only track
+        // non-resident ids.
         self.b1.remove(file);
         self.b2.remove(file);
+        self.make_room_for_new();
+        // Eviction end of the recency list: lowest priority ARC offers.
         self.t1.push_back(file);
         self.speculative.insert(file, true);
         self.stats.record_speculative_insert();
@@ -194,6 +203,55 @@ impl Cache for ArcCache {
         self.p = 0;
         self.stats = CacheStats::new();
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("ArcCache", detail));
+        self.t1.audit("ArcCache.t1")?;
+        self.t2.audit("ArcCache.t2")?;
+        self.b1.audit("ArcCache.b1")?;
+        self.b2.audit("ArcCache.b2")?;
+        let c = self.capacity;
+        if self.resident() > c {
+            return err(format!("{} residents exceed capacity {c}", self.resident()));
+        }
+        if self.p > c {
+            return err(format!("adaptive target {} exceeds capacity {c}", self.p));
+        }
+        if self.t1.len() + self.b1.len() > c {
+            return err(format!(
+                "|T1| + |B1| = {} exceeds capacity {c}",
+                self.t1.len() + self.b1.len()
+            ));
+        }
+        let total = self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len();
+        if total > 2 * c {
+            return err(format!(
+                "|T1|+|T2|+|B1|+|B2| = {total} exceeds 2c = {}",
+                2 * c
+            ));
+        }
+        if self.speculative.len() != self.resident() {
+            return err(format!(
+                "speculative map tracks {} files, {} are resident",
+                self.speculative.len(),
+                self.resident()
+            ));
+        }
+        for &file in self.speculative.keys() {
+            let lists = [
+                self.t1.contains(file),
+                self.t2.contains(file),
+                self.b1.contains(file),
+                self.b2.contains(file),
+            ];
+            if !(lists[0] ^ lists[1]) || lists[2] || lists[3] {
+                return err(format!(
+                    "resident file {file} must live in exactly one of T1/T2 and no ghost list"
+                ));
+            }
+        }
+        self.stats.check("ArcCache")
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +262,16 @@ mod tests {
     #[test]
     fn conformance() {
         check_cache_conformance(ArcCache::new);
+    }
+
+    #[test]
+    fn corrupted_target_is_detected() {
+        let mut c = ArcCache::new(4);
+        c.access(FileId(1));
+        assert!(c.check_invariants().is_ok());
+        // The adaptive target must never exceed the capacity.
+        c.p = c.capacity + 1;
+        assert!(c.check_invariants().is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use fgcache_types::{AccessOutcome, FileId};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 use crate::{Cache, CacheStats};
 
@@ -150,6 +150,40 @@ impl Cache for ClockCache {
         self.hand = 0;
         self.stats = CacheStats::new();
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("ClockCache", detail));
+        if self.slots.len() > self.capacity {
+            return err(format!(
+                "{} slots exceed capacity {}",
+                self.slots.len(),
+                self.capacity
+            ));
+        }
+        if self.index.len() != self.slots.len() {
+            return err(format!(
+                "index has {} entries, {} slots occupied",
+                self.index.len(),
+                self.slots.len()
+            ));
+        }
+        if !self.slots.is_empty() && self.hand >= self.slots.len() {
+            return err(format!(
+                "hand {} out of range for {} slots",
+                self.hand,
+                self.slots.len()
+            ));
+        }
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if self.index.get(&slot.file) != Some(&idx) {
+                return err(format!(
+                    "index disagrees with slot {idx} for file {}",
+                    slot.file
+                ));
+            }
+        }
+        self.stats.check("ClockCache")
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +194,16 @@ mod tests {
     #[test]
     fn conformance() {
         check_cache_conformance(ClockCache::new);
+    }
+
+    #[test]
+    fn corrupted_slot_is_detected() {
+        let mut c = ClockCache::new(3);
+        c.access(FileId(1));
+        assert!(c.check_invariants().is_ok());
+        // Rewrite a slot's occupant behind the index's back.
+        c.slots[0].file = FileId(999);
+        assert!(c.check_invariants().is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use fgcache_types::{AccessOutcome, FileId};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 use crate::{Cache, CacheStats};
 
@@ -115,6 +115,34 @@ impl Cache for FifoCache {
         self.resident.clear();
         self.stats = CacheStats::new();
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("FifoCache", detail));
+        if self.resident.len() > self.capacity {
+            return err(format!(
+                "len {} exceeds capacity {}",
+                self.resident.len(),
+                self.capacity
+            ));
+        }
+        if self.queue.len() != self.resident.len() {
+            return err(format!(
+                "queue has {} entries, resident map has {}",
+                self.queue.len(),
+                self.resident.len()
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &file in &self.queue {
+            if !seen.insert(file) {
+                return err(format!("file {file} queued twice"));
+            }
+            if !self.resident.contains_key(&file) {
+                return err(format!("queued file {file} missing from resident map"));
+            }
+        }
+        self.stats.check("FifoCache")
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +153,16 @@ mod tests {
     #[test]
     fn conformance() {
         check_cache_conformance(FifoCache::new);
+    }
+
+    #[test]
+    fn corrupted_queue_is_detected() {
+        let mut c = FifoCache::new(3);
+        c.access(FileId(1));
+        assert!(c.check_invariants().is_ok());
+        // A queued id with no residency record desynchronises the pair.
+        c.queue.push_back(FileId(999));
+        assert!(c.check_invariants().is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use fgcache_types::{AccessOutcome, FileId};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 use crate::{Cache, CacheStats};
 
@@ -158,6 +158,51 @@ impl Cache for LfuCache {
         self.clock = 0;
         self.stats = CacheStats::new();
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("LfuCache", detail));
+        if self.entries.len() > self.capacity {
+            return err(format!(
+                "len {} exceeds capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        if self.order.len() != self.entries.len() {
+            return err(format!(
+                "ordered mirror has {} entries, map has {}",
+                self.order.len(),
+                self.entries.len()
+            ));
+        }
+        for &(freq, stamp, file) in &self.order {
+            let Some(entry) = self.entries.get(&file) else {
+                return err(format!("ordered mirror holds unmapped file {file}"));
+            };
+            if (entry.freq, entry.stamp) != (freq, stamp) {
+                return err(format!(
+                    "mirror ({freq}, {stamp}) disagrees with entry ({}, {}) for {file}",
+                    entry.freq, entry.stamp
+                ));
+            }
+            if stamp > self.clock {
+                return err(format!(
+                    "stamp {stamp} for {file} is ahead of clock {}",
+                    self.clock
+                ));
+            }
+            if entry.speculative && entry.freq != 0 {
+                return err(format!(
+                    "speculative entry {file} has non-zero frequency {}",
+                    entry.freq
+                ));
+            }
+            if !entry.speculative && entry.freq == 0 {
+                return err(format!("demand entry {file} has zero frequency"));
+            }
+        }
+        self.stats.check("LfuCache")
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +213,18 @@ mod tests {
     #[test]
     fn conformance() {
         check_cache_conformance(LfuCache::new);
+    }
+
+    #[test]
+    fn corrupted_mirror_is_detected() {
+        let mut c = LfuCache::new(3);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        assert!(c.check_invariants().is_ok());
+        // Drop one element from the ordered mirror, desynchronising it.
+        let first = *c.order.iter().next().unwrap();
+        c.order.remove(&first);
+        assert!(c.check_invariants().is_err());
     }
 
     #[test]

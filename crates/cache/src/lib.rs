@@ -36,7 +36,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod arc;
 mod clock;
@@ -61,7 +61,7 @@ pub use policy::{ParsePolicyError, PolicyKind};
 pub use stats::CacheStats;
 pub use twoq::TwoQCache;
 
-use fgcache_types::{AccessOutcome, FileId};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 /// A whole-file cache with a fixed capacity (in files).
 ///
@@ -120,6 +120,20 @@ pub trait Cache {
 
     /// Drops all resident files and resets statistics.
     fn clear(&mut self);
+
+    /// Audits the cache's internal redundant state (index maps vs ordered
+    /// structures, size bounds, statistics arithmetic) and reports the
+    /// first inconsistency found.
+    ///
+    /// This is a debug facility: it may walk every entry and is not meant
+    /// for hot paths. The workspace's differential fuzzer calls it after
+    /// every operation; `xtask lint` requires every policy to provide it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvariantViolation`] describing the first violated
+    /// structural invariant.
+    fn check_invariants(&self) -> Result<(), InvariantViolation>;
 }
 
 impl<C: Cache + ?Sized> Cache for Box<C> {
@@ -150,6 +164,9 @@ impl<C: Cache + ?Sized> Cache for Box<C> {
     fn clear(&mut self) {
         (**self).clear()
     }
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        (**self).check_invariants()
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +182,8 @@ pub(crate) mod test_support {
         for i in 0..10 {
             c.access(FileId(i));
             assert!(c.len() <= 3, "{}: len exceeded capacity", c.name());
+            c.check_invariants()
+                .unwrap_or_else(|v| panic!("{}: {v}", c.name()));
         }
         // Some policies (e.g. 2Q) intentionally hold fewer residents than
         // capacity under a pure sequential scan, so only bound the size.

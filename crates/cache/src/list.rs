@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use fgcache_types::FileId;
+use fgcache_types::{FileId, InvariantViolation};
 
 const NIL: usize = usize::MAX;
 
@@ -174,6 +174,75 @@ impl LruList {
         self.tail = NIL;
     }
 
+    /// Audits the list's redundant state: the doubly-linked chain must be
+    /// a single consistent walk over exactly the mapped nodes, and the
+    /// free list must account for every unmapped slab slot.
+    ///
+    /// `where_` names the owning structure and list (e.g. `"ArcCache.t1"`)
+    /// in the violation report.
+    pub(crate) fn audit(&self, where_: &str) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new(where_, detail));
+        if self.map.len() + self.free.len() != self.nodes.len() {
+            return err(format!(
+                "slab accounting: {} mapped + {} free != {} slots",
+                self.map.len(),
+                self.free.len(),
+                self.nodes.len()
+            ));
+        }
+        // Walk head→tail checking link symmetry and uniqueness.
+        let mut seen = 0usize;
+        let mut prev = NIL;
+        let mut cursor = self.head;
+        while cursor != NIL {
+            if cursor >= self.nodes.len() {
+                return err(format!("link points to out-of-slab index {cursor}"));
+            }
+            let node = &self.nodes[cursor];
+            if node.prev != prev {
+                return err(format!(
+                    "broken back-link at slot {cursor} ({} != expected {})",
+                    node.prev, prev
+                ));
+            }
+            match self.map.get(&node.file) {
+                Some(&idx) if idx == cursor => {}
+                Some(&idx) => {
+                    return err(format!(
+                        "map points {} at slot {idx}, chain has it at {cursor}",
+                        node.file
+                    ))
+                }
+                None => return err(format!("chained file {} missing from map", node.file)),
+            }
+            seen += 1;
+            if seen > self.map.len() {
+                return err("chain longer than map (cycle or stray node)".to_string());
+            }
+            prev = cursor;
+            cursor = node.next;
+        }
+        if seen != self.map.len() {
+            return err(format!(
+                "chain has {seen} nodes, map has {}",
+                self.map.len()
+            ));
+        }
+        if prev != self.tail {
+            return err(format!("tail is {}, walk ended at {prev}", self.tail));
+        }
+        // Free slots must not be mapped.
+        for &idx in &self.free {
+            if idx >= self.nodes.len() {
+                return err(format!("free list holds out-of-slab index {idx}"));
+            }
+            if self.map.get(&self.nodes[idx].file) == Some(&idx) {
+                return err(format!("slot {idx} is both free and mapped"));
+            }
+        }
+        Ok(())
+    }
+
     /// Iterates front (most recent) to back.
     #[allow(dead_code)]
     pub(crate) fn iter(&self) -> impl Iterator<Item = FileId> + '_ {
@@ -199,7 +268,10 @@ mod tests {
         assert!(l.push_front(FileId(1)));
         assert!(l.push_front(FileId(2)));
         assert!(l.push_back(FileId(3)));
-        assert_eq!(l.iter().collect::<Vec<_>>(), vec![FileId(2), FileId(1), FileId(3)]);
+        assert_eq!(
+            l.iter().collect::<Vec<_>>(),
+            vec![FileId(2), FileId(1), FileId(3)]
+        );
         assert_eq!(l.pop_back(), Some(FileId(3)));
         assert_eq!(l.pop_back(), Some(FileId(1)));
         assert_eq!(l.pop_back(), Some(FileId(2)));

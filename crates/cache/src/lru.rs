@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use fgcache_types::{AccessOutcome, FileId};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 use crate::{Cache, CacheStats};
 
@@ -267,6 +267,68 @@ impl Cache for LruCache {
         self.tail = NIL;
         self.stats = CacheStats::new();
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("LruCache", detail));
+        if self.map.len() > self.capacity {
+            return err(format!(
+                "len {} exceeds capacity {}",
+                self.map.len(),
+                self.capacity
+            ));
+        }
+        if self.map.len() + self.free.len() != self.nodes.len() {
+            return err(format!(
+                "slab accounting: {} mapped + {} free != {} slots",
+                self.map.len(),
+                self.free.len(),
+                self.nodes.len()
+            ));
+        }
+        // Walk head→tail checking link symmetry and map agreement.
+        let mut seen = 0usize;
+        let mut prev = NIL;
+        let mut cursor = self.head;
+        while cursor != NIL {
+            if cursor >= self.nodes.len() {
+                return err(format!("link points to out-of-slab index {cursor}"));
+            }
+            let node = &self.nodes[cursor];
+            if node.prev != prev {
+                return err(format!(
+                    "broken back-link at slot {cursor} ({} != expected {})",
+                    node.prev, prev
+                ));
+            }
+            if self.map.get(&node.file) != Some(&cursor) {
+                return err(format!("map disagrees with chain for {}", node.file));
+            }
+            seen += 1;
+            if seen > self.map.len() {
+                return err("chain longer than map (cycle or stray node)".to_string());
+            }
+            prev = cursor;
+            cursor = node.next;
+        }
+        if seen != self.map.len() {
+            return err(format!(
+                "chain has {seen} nodes, map has {}",
+                self.map.len()
+            ));
+        }
+        if prev != self.tail {
+            return err(format!("tail is {}, walk ended at {prev}", self.tail));
+        }
+        for &idx in &self.free {
+            if idx >= self.nodes.len() {
+                return err(format!("free list holds out-of-slab index {idx}"));
+            }
+            if self.map.get(&self.nodes[idx].file) == Some(&idx) {
+                return err(format!("slot {idx} is both free and mapped"));
+            }
+        }
+        self.stats.check("LruCache")
+    }
 }
 
 /// Iterator over resident files from MRU to LRU, produced by
@@ -302,6 +364,27 @@ mod tests {
     #[test]
     fn conformance() {
         check_cache_conformance(LruCache::new);
+    }
+
+    #[test]
+    fn corrupted_index_is_detected() {
+        let mut c = LruCache::new(3);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        assert!(c.check_invariants().is_ok());
+        // Point the index at the wrong slab slot.
+        let idx = c.map[&FileId(1)];
+        c.map.insert(FileId(1), (idx + 1) % c.nodes.len());
+        assert!(c.check_invariants().is_err());
+    }
+
+    #[test]
+    fn corrupted_stats_are_detected() {
+        let mut c = LruCache::new(3);
+        c.access(FileId(1));
+        assert!(c.check_invariants().is_ok());
+        c.stats.hits += 1;
+        assert!(c.check_invariants().is_err());
     }
 
     #[test]

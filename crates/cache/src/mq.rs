@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use fgcache_types::{AccessOutcome, FileId};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 use crate::list::LruList;
 use crate::{Cache, CacheStats};
@@ -177,6 +177,12 @@ impl Cache for MqCache {
         if self.meta.contains_key(&file) {
             return false;
         }
+        // A ghosted id that re-enters speculatively must leave the ghost
+        // buffer: Qout only tracks non-resident files. Its remembered
+        // frequency is dropped — speculative entries always start cold.
+        if self.ghost.remove(file) {
+            self.ghost_freq.remove(&file);
+        }
         // Queue 0, frequency 0: below every demand-fetched entry.
         self.insert_with_freq(file, 0, true);
         // push_front placed it at the protected end; speculative entries
@@ -217,6 +223,65 @@ impl Cache for MqCache {
         self.now = 0;
         self.stats = CacheStats::new();
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("MqCache", detail));
+        for (q, list) in self.queues.iter().enumerate() {
+            list.audit(&format!("MqCache.queues[{q}]"))?;
+        }
+        self.ghost.audit("MqCache.ghost")?;
+        if self.meta.len() > self.capacity {
+            return err(format!(
+                "len {} exceeds capacity {}",
+                self.meta.len(),
+                self.capacity
+            ));
+        }
+        let queued: usize = self.queues.iter().map(LruList::len).sum();
+        if queued != self.meta.len() {
+            return err(format!(
+                "queues hold {queued} files, meta tracks {}",
+                self.meta.len()
+            ));
+        }
+        for (&file, meta) in &self.meta {
+            if meta.queue >= NUM_QUEUES {
+                return err(format!(
+                    "file {file} claims out-of-range queue {}",
+                    meta.queue
+                ));
+            }
+            if !self.queues[meta.queue].contains(file) {
+                return err(format!(
+                    "file {file} not on its recorded queue {}",
+                    meta.queue
+                ));
+            }
+            if self.ghost.contains(file) {
+                return err(format!("resident file {file} also on the ghost list"));
+            }
+        }
+        if self.ghost.len() > self.capacity {
+            return err(format!(
+                "ghost holds {} ids, bound is capacity {}",
+                self.ghost.len(),
+                self.capacity
+            ));
+        }
+        if self.ghost.len() != self.ghost_freq.len() {
+            return err(format!(
+                "ghost list has {} ids, ghost frequencies {}",
+                self.ghost.len(),
+                self.ghost_freq.len()
+            ));
+        }
+        for &file in self.ghost_freq.keys() {
+            if !self.ghost.contains(file) {
+                return err(format!("ghost frequency for unlisted file {file}"));
+            }
+        }
+        self.stats.check("MqCache")
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +292,16 @@ mod tests {
     #[test]
     fn conformance() {
         check_cache_conformance(MqCache::new);
+    }
+
+    #[test]
+    fn corrupted_meta_is_detected() {
+        let mut c = MqCache::new(4);
+        c.access(FileId(1));
+        assert!(c.check_invariants().is_ok());
+        // Claim a queue the file is not actually on.
+        c.meta.get_mut(&FileId(1)).unwrap().queue = 5;
+        assert!(c.check_invariants().is_err());
     }
 
     #[test]

@@ -4,8 +4,6 @@ use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ArcCache, Cache, ClockCache, FifoCache, LfuCache, LruCache, MqCache, TwoQCache};
 
 /// The replacement policies available to sweeps and examples.
@@ -18,7 +16,7 @@ use crate::{ArcCache, Cache, ClockCache, FifoCache, LfuCache, LruCache, MqCache,
 /// cache.access(FileId(1));
 /// assert_eq!(cache.name(), "lru");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Least recently used.
     Lru,

@@ -2,14 +2,14 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use fgcache_types::InvariantViolation;
 
 /// Counters maintained by every [`Cache`](crate::Cache) implementation.
 ///
 /// The paper's two headline metrics derive directly from these: the number
 /// of *demand fetches* a client performs equals `misses` (Figure 3), and a
 /// server cache's *hit rate* is [`CacheStats::hit_rate`] (Figure 4).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand accesses processed.
     pub accesses: u64,
@@ -59,6 +59,39 @@ impl CacheStats {
         } else {
             self.speculative_hits as f64 / self.speculative_inserts as f64
         }
+    }
+
+    /// Audits the counters' arithmetic relations; `where_` names the
+    /// owning cache in the violation report.
+    pub fn check(&self, where_: &str) -> Result<(), InvariantViolation> {
+        if self.hits + self.misses != self.accesses {
+            return Err(InvariantViolation::new(
+                where_,
+                format!(
+                    "stats: {} hits + {} misses != {} accesses",
+                    self.hits, self.misses, self.accesses
+                ),
+            ));
+        }
+        if self.speculative_hits > self.speculative_inserts {
+            return Err(InvariantViolation::new(
+                where_,
+                format!(
+                    "stats: {} speculative hits exceed {} speculative inserts",
+                    self.speculative_hits, self.speculative_inserts
+                ),
+            ));
+        }
+        if self.speculative_hits > self.hits {
+            return Err(InvariantViolation::new(
+                where_,
+                format!(
+                    "stats: {} speculative hits exceed {} total hits",
+                    self.speculative_hits, self.hits
+                ),
+            ));
+        }
+        Ok(())
     }
 
     pub(crate) fn record_hit(&mut self, was_speculative: bool) {

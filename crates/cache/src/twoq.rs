@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use fgcache_types::{AccessOutcome, FileId};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 use crate::list::LruList;
 use crate::{Cache, CacheStats};
@@ -123,6 +123,9 @@ impl Cache for TwoQCache {
         if self.resident() >= self.capacity {
             self.reclaim();
         }
+        // A ghosted id that re-enters speculatively must leave the ghost
+        // list: A1out only tracks non-resident files.
+        self.a1out.remove(file);
         self.a1in.push_back(file);
         self.speculative.insert(file, true);
         self.stats.record_speculative_insert();
@@ -156,6 +159,47 @@ impl Cache for TwoQCache {
         self.speculative.clear();
         self.stats = CacheStats::new();
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("TwoQCache", detail));
+        self.a1in.audit("TwoQCache.a1in")?;
+        self.am.audit("TwoQCache.am")?;
+        self.a1out.audit("TwoQCache.a1out")?;
+        if self.resident() > self.capacity {
+            return err(format!(
+                "{} residents exceed capacity {}",
+                self.resident(),
+                self.capacity
+            ));
+        }
+        if self.a1out.len() > self.kout {
+            return err(format!(
+                "ghost list holds {} ids, bound is {}",
+                self.a1out.len(),
+                self.kout
+            ));
+        }
+        if self.speculative.len() != self.resident() {
+            return err(format!(
+                "speculative map tracks {} files, {} are resident",
+                self.speculative.len(),
+                self.resident()
+            ));
+        }
+        for &file in self.speculative.keys() {
+            let in_a1in = self.a1in.contains(file);
+            let in_am = self.am.contains(file);
+            if in_a1in == in_am {
+                return err(format!(
+                    "tracked file {file} must live in exactly one of A1in/Am"
+                ));
+            }
+            if self.a1out.contains(file) {
+                return err(format!("resident file {file} also on the ghost list"));
+            }
+        }
+        self.stats.check("TwoQCache")
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +210,16 @@ mod tests {
     #[test]
     fn conformance() {
         check_cache_conformance(TwoQCache::new);
+    }
+
+    #[test]
+    fn corrupted_ghost_is_detected() {
+        let mut c = TwoQCache::new(4);
+        c.access(FileId(1));
+        assert!(c.check_invariants().is_ok());
+        // A resident file must never sit on the A1out ghost list.
+        c.a1out.push_front(FileId(1));
+        assert!(c.check_invariants().is_err());
     }
 
     #[test]
@@ -195,8 +249,8 @@ mod tests {
             c.access(FileId(100 + i));
         }
         c.access(FileId(100)); // likely ghosted by now; if resident, still fine
-        // Either way, run a long scan and check Am members survive it better
-        // than the scan items themselves do.
+                               // Either way, run a long scan and check Am members survive it better
+                               // than the scan items themselves do.
         let am_before = c.am.len();
         for i in 0..50 {
             c.access(FileId(1000 + i));

@@ -9,7 +9,15 @@ use fgcache_trace::{io, Trace};
 use crate::args::Args;
 
 const FLAGS: &[&str] = &[
-    "profile", "events", "seed", "out", "format", "streams", "noise", "drift", "repeat-rate",
+    "profile",
+    "events",
+    "seed",
+    "out",
+    "format",
+    "streams",
+    "noise",
+    "drift",
+    "repeat-rate",
 ];
 
 pub(crate) fn build_trace(args: &Args) -> Result<Trace, Box<dyn Error>> {
@@ -20,10 +28,9 @@ pub(crate) fn build_trace(args: &Args) -> Result<Trace, Box<dyn Error>> {
         "write" => WorkloadProfile::Write,
         "server" => WorkloadProfile::Server,
         other => {
-            return Err(format!(
-                "unknown --profile {other:?} (workstation|users|write|server)"
+            return Err(
+                format!("unknown --profile {other:?} (workstation|users|write|server)").into(),
             )
-            .into())
         }
     };
     let mut config = SynthConfig::profile(profile)
@@ -87,9 +94,17 @@ mod tests {
 
     #[test]
     fn knob_overrides_apply() {
-        let args =
-            Args::parse(["--events", "200", "--noise", "0.0", "--drift", "0.0", "--repeat-rate", "0.0"])
-                .unwrap();
+        let args = Args::parse([
+            "--events",
+            "200",
+            "--noise",
+            "0.0",
+            "--drift",
+            "0.0",
+            "--repeat-rate",
+            "0.0",
+        ])
+        .unwrap();
         assert_eq!(build_trace(&args).unwrap().len(), 200);
         let args = Args::parse(["--noise", "nope"]).unwrap();
         assert!(build_trace(&args).is_err());

@@ -44,12 +44,11 @@ pub(crate) fn simulate(
             "prefetch accuracy {:.1}%\n",
             stats.speculative_accuracy() * 100.0
         ));
-        out.push_str(&format!(
-            "metadata entries  {}\n",
-            cache.metadata_entries()
-        ));
+        out.push_str(&format!("metadata entries  {}\n", cache.metadata_entries()));
     } else {
-        let kind: PolicyKind = policy.parse()?;
+        let kind: PolicyKind = policy
+            .parse()
+            .map_err(|e| format!("{e} (or \"agg\" for the aggregating cache)"))?;
         let mut cache = kind.build(capacity);
         for ev in trace.events() {
             cache.access(ev.file);

@@ -12,6 +12,9 @@
 //! Traces are read in the text format (`seq client kind file` per line) or
 //! JSON (`--format json`).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod args;
 mod commands;
 

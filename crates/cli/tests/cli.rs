@@ -40,9 +40,21 @@ fn unknown_command_fails_cleanly() {
 fn full_pipeline_text_format() {
     let trace = tmp("pipeline.txt");
     let out = fgcache(&[
-        "gen", "--profile", "server", "--events", "4000", "--seed", "9", "--out", &trace,
+        "gen",
+        "--profile",
+        "server",
+        "--events",
+        "4000",
+        "--seed",
+        "9",
+        "--out",
+        &trace,
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote 4000 events"));
 
     let out = fgcache(&["stats", &trace]);
@@ -62,7 +74,14 @@ fn full_pipeline_text_format() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("arc cache"));
 
     let out = fgcache(&[
-        "two-level", &trace, "--filter", "50,150", "--server", "100", "--scheme", "g5,lru",
+        "two-level",
+        &trace,
+        "--filter",
+        "50,150",
+        "--server",
+        "100",
+        "--scheme",
+        "g5,lru",
     ]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
@@ -99,7 +118,9 @@ fn bad_flags_fail_with_messages() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
 
     let trace = tmp("badflags.txt");
-    assert!(fgcache(&["gen", "--events", "100", "--out", &trace]).status.success());
+    assert!(fgcache(&["gen", "--events", "100", "--out", &trace])
+        .status
+        .success());
     let out = fgcache(&["simulate", &trace]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--capacity"));

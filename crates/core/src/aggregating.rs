@@ -4,8 +4,7 @@ use std::fmt;
 
 use fgcache_cache::{Cache, CacheStats, LruCache};
 use fgcache_successor::{GroupBuilder, LruSuccessorList, SuccessorTable};
-use fgcache_types::{AccessOutcome, FileId};
-use serde::{Deserialize, Serialize};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
 /// Where speculative group members are placed in the LRU order.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// the remaining group members was found to have little effect if the
 /// cache is several times the group size" — [`InsertionPolicy::Head`]
 /// exists to reproduce that ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InsertionPolicy {
     /// Append group members at the LRU tail (the paper's choice).
     #[default]
@@ -33,7 +32,7 @@ impl fmt::Display for InsertionPolicy {
 }
 
 /// Where the successor table gets its observations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MetadataSource {
     /// Every request handled by this cache feeds the table (client
     /// deployment on the raw stream, or an uncooperative server on the
@@ -57,7 +56,7 @@ impl fmt::Display for MetadataSource {
 
 /// Counters describing the group-fetch behaviour of an
 /// [`AggregatingCache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GroupFetchStats {
     /// Demand fetches performed (equals cache misses).
     pub demand_fetches: u64,
@@ -246,6 +245,36 @@ impl Cache for AggregatingCache {
         self.accesses = 0;
         self.group_stats = GroupFetchStats::default();
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("AggregatingCache", detail));
+        self.cache.check_invariants()?;
+        self.table.check_invariants()?;
+        let gs = &self.group_stats;
+        // Every demand fetch is an LRU miss and moves at least the
+        // requested file, at most the whole group.
+        if gs.demand_fetches != self.cache.stats().misses {
+            return err(format!(
+                "{} demand fetches but {} recorded misses",
+                gs.demand_fetches,
+                self.cache.stats().misses
+            ));
+        }
+        if gs.files_transferred < gs.demand_fetches {
+            return err(format!(
+                "{} files transferred across {} fetches (requested file must always move)",
+                gs.files_transferred, gs.demand_fetches
+            ));
+        }
+        let g = self.builder.group_size() as u64;
+        if gs.files_transferred > gs.demand_fetches.saturating_mul(g) {
+            return err(format!(
+                "{} files transferred exceeds {} fetches x group size {g}",
+                gs.files_transferred, gs.demand_fetches
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +293,9 @@ mod tests {
     fn group_size_one_equals_plain_lru() {
         let mut plain = LruCache::new(4);
         let mut a = agg(4, 1);
-        let seq: Vec<u64> = (0..200).map(|i| [1, 2, 3, 1, 4, 5, 1, 2][(i % 8) as usize]).collect();
+        let seq: Vec<u64> = (0..200)
+            .map(|i| [1, 2, 3, 1, 4, 5, 1, 2][(i % 8) as usize])
+            .collect();
         for &id in &seq {
             let expected = plain.access(FileId(id));
             let got = a.handle_access(FileId(id));

@@ -122,13 +122,22 @@ mod tests {
     #[test]
     fn validation() {
         assert!(AggregatingCacheBuilder::new(0).build().is_err());
-        assert!(AggregatingCacheBuilder::new(10).group_size(0).build().is_err());
+        assert!(AggregatingCacheBuilder::new(10)
+            .group_size(0)
+            .build()
+            .is_err());
         assert!(AggregatingCacheBuilder::new(10)
             .successor_capacity(0)
             .build()
             .is_err());
-        assert!(AggregatingCacheBuilder::new(4).group_size(5).build().is_err());
-        assert!(AggregatingCacheBuilder::new(5).group_size(5).build().is_ok());
+        assert!(AggregatingCacheBuilder::new(4)
+            .group_size(5)
+            .build()
+            .is_err());
+        assert!(AggregatingCacheBuilder::new(5)
+            .group_size(5)
+            .build()
+            .is_ok());
     }
 
     #[test]

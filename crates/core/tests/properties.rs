@@ -1,89 +1,112 @@
-//! Property-based tests for the aggregating cache.
+//! Deterministic model-based tests for the aggregating cache.
+//!
+//! Fixed seeds drive the in-repo PRNG; every failure reproduces exactly
+//! from the printed seed.
 
 use fgcache_cache::{Cache, LruCache};
 use fgcache_core::{AggregatingCacheBuilder, InsertionPolicy, MetadataSource};
-use fgcache_types::FileId;
-use proptest::prelude::*;
+use fgcache_types::rng::RandomSource;
+use fgcache_types::{FileId, SeededRng};
 
-fn workload() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..40, 0..500)
+const SEEDS: [u64; 8] = [0, 1, 2, 7, 42, 1234, 0xDEAD_BEEF, u64::MAX];
+
+/// A random workload over files `0..max`, length `0..len`.
+fn workload(rng: &mut SeededRng, max: u64, len: usize) -> Vec<u64> {
+    let n = rng.gen_index(len);
+    (0..n)
+        .map(|_| rng.gen_range_inclusive(0, max - 1))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn group_size_one_is_bit_identical_to_lru(
-        capacity in 1usize..20,
-        files in workload(),
-    ) {
-        let mut agg = AggregatingCacheBuilder::new(capacity)
-            .group_size(1)
-            .build()
-            .unwrap();
-        let mut lru = LruCache::new(capacity);
-        for &f in &files {
-            let a = agg.handle_access(FileId(f));
-            let b = lru.access(FileId(f));
-            prop_assert_eq!(a, b);
+#[test]
+fn group_size_one_is_bit_identical_to_lru() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for capacity in [1, 2, 5, 12, 19] {
+            let files = workload(&mut rng, 40, 500);
+            let mut agg = AggregatingCacheBuilder::new(capacity)
+                .group_size(1)
+                .build()
+                .unwrap();
+            let mut lru = LruCache::new(capacity);
+            for &f in &files {
+                let a = agg.handle_access(FileId(f));
+                let b = lru.access(FileId(f));
+                assert_eq!(a, b, "seed {seed} capacity {capacity}");
+            }
+            assert_eq!(agg.demand_fetches(), lru.stats().misses);
+            assert_eq!(Cache::stats(&agg).hits, lru.stats().hits);
+            assert_eq!(agg.len(), lru.len());
         }
-        prop_assert_eq!(agg.demand_fetches(), lru.stats().misses);
-        prop_assert_eq!(Cache::stats(&agg).hits, lru.stats().hits);
-        prop_assert_eq!(agg.len(), lru.len());
     }
+}
 
-    #[test]
-    fn capacity_and_accounting_invariants(
-        capacity in 2usize..30,
-        g in 1usize..6,
-        files in workload(),
-    ) {
-        prop_assume!(g <= capacity);
-        let mut agg = AggregatingCacheBuilder::new(capacity)
-            .group_size(g)
-            .build()
-            .unwrap();
-        for &f in &files {
-            agg.handle_access(FileId(f));
-            prop_assert!(agg.len() <= capacity);
-            // The just-requested file is always resident afterwards.
-            prop_assert!(agg.contains(FileId(f)));
+#[test]
+fn capacity_and_accounting_invariants() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for (capacity, g) in [(2, 1), (4, 3), (8, 2), (16, 5), (29, 4)] {
+            let files = workload(&mut rng, 40, 500);
+            let mut agg = AggregatingCacheBuilder::new(capacity)
+                .group_size(g)
+                .build()
+                .unwrap();
+            for &f in &files {
+                agg.handle_access(FileId(f));
+                assert!(agg.len() <= capacity);
+                // The just-requested file is always resident afterwards.
+                assert!(agg.contains(FileId(f)));
+            }
+            agg.check_invariants()
+                .unwrap_or_else(|v| panic!("seed {seed} capacity {capacity}: {v}"));
+            let stats = Cache::stats(&agg);
+            assert_eq!(stats.accesses, files.len() as u64);
+            assert_eq!(stats.misses, agg.demand_fetches());
+            assert_eq!(agg.accesses(), files.len() as u64);
+            // Transfers: at least one file per fetch, at most g per fetch.
+            let gs = agg.group_stats();
+            assert!(gs.files_transferred >= gs.demand_fetches);
+            assert!(gs.files_transferred <= gs.demand_fetches * g as u64);
         }
-        let stats = Cache::stats(&agg);
-        prop_assert_eq!(stats.accesses, files.len() as u64);
-        prop_assert_eq!(stats.misses, agg.demand_fetches());
-        prop_assert_eq!(agg.accesses(), files.len() as u64);
-        // Transfers: at least one file per fetch, at most g per fetch.
-        let gs = agg.group_stats();
-        prop_assert!(gs.files_transferred >= gs.demand_fetches);
-        prop_assert!(gs.files_transferred <= gs.demand_fetches * g as u64);
     }
+}
 
-    #[test]
-    fn grouping_never_increases_demand_fetches_vs_lru_beyond_slack(
-        files in prop::collection::vec(0u64..15, 0..400),
-    ) {
+#[test]
+fn grouping_never_increases_demand_fetches_vs_lru_beyond_slack() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
         // On arbitrary (even adversarial) workloads, grouping may waste
         // bandwidth but its *demand fetch* count stays within a modest
         // factor of LRU's: speculative members sit at the tail and can
         // only displace entries LRU would also have evicted soon.
+        let files = workload(&mut rng, 15, 400);
         let capacity = 12;
-        let mut lru = AggregatingCacheBuilder::new(capacity).group_size(1).build().unwrap();
-        let mut agg = AggregatingCacheBuilder::new(capacity).group_size(4).build().unwrap();
+        let mut lru = AggregatingCacheBuilder::new(capacity)
+            .group_size(1)
+            .build()
+            .unwrap();
+        let mut agg = AggregatingCacheBuilder::new(capacity)
+            .group_size(4)
+            .build()
+            .unwrap();
         for &f in &files {
             lru.handle_access(FileId(f));
             agg.handle_access(FileId(f));
         }
-        prop_assert!(
+        assert!(
             agg.demand_fetches() <= lru.demand_fetches() + files.len() as u64 / 4,
-            "agg {} vs lru {}",
+            "seed {seed}: agg {} vs lru {}",
             agg.demand_fetches(),
             lru.demand_fetches()
         );
     }
+}
 
-    #[test]
-    fn insertion_policies_agree_on_hit_miss_counts_for_disjoint_groups(
-        files in prop::collection::vec(0u64..40, 0..300),
-    ) {
+#[test]
+fn insertion_policies_agree_on_hit_miss_counts_for_disjoint_groups() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let files = workload(&mut rng, 40, 300);
         // Head vs tail placement must keep all invariants; totals may
         // differ slightly but both must stay capacity-bounded and sound.
         for policy in [InsertionPolicy::Tail, InsertionPolicy::Head] {
@@ -94,17 +117,22 @@ proptest! {
                 .unwrap();
             for &f in &files {
                 agg.handle_access(FileId(f));
-                prop_assert!(agg.len() <= 16);
+                assert!(agg.len() <= 16);
             }
+            agg.check_invariants()
+                .unwrap_or_else(|v| panic!("seed {seed} {policy:?}: {v}"));
             let s = Cache::stats(&agg);
-            prop_assert_eq!(s.hits + s.misses, s.accesses);
+            assert_eq!(s.hits + s.misses, s.accesses);
         }
     }
+}
 
-    #[test]
-    fn external_metadata_mode_never_learns_from_requests(
-        files in prop::collection::vec(0u64..20, 1..200),
-    ) {
+#[test]
+fn external_metadata_mode_never_learns_from_requests() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let mut files = workload(&mut rng, 20, 200);
+        files.push(rng.gen_range_inclusive(0, 19)); // at least one access
         let mut agg = AggregatingCacheBuilder::new(16)
             .group_size(4)
             .metadata_source(MetadataSource::External)
@@ -115,28 +143,63 @@ proptest! {
         }
         // No observe_metadata calls were made, so the table stays empty
         // and every group is a singleton.
-        prop_assert_eq!(agg.metadata_entries(), 0);
-        prop_assert_eq!(
+        assert_eq!(agg.metadata_entries(), 0);
+        assert_eq!(
             agg.group_stats().files_transferred,
             agg.group_stats().demand_fetches
         );
     }
+}
 
-    #[test]
-    fn clear_restores_pristine_state(files in prop::collection::vec(0u64..20, 1..200)) {
-        let mut agg = AggregatingCacheBuilder::new(8).group_size(3).build().unwrap();
+#[test]
+fn clear_restores_pristine_state() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let mut files = workload(&mut rng, 20, 200);
+        files.push(rng.gen_range_inclusive(0, 19)); // at least one access
+        let mut agg = AggregatingCacheBuilder::new(8)
+            .group_size(3)
+            .build()
+            .unwrap();
         for &f in &files {
             agg.handle_access(FileId(f));
         }
         agg.clear();
-        prop_assert_eq!(agg.len(), 0);
-        prop_assert_eq!(agg.demand_fetches(), 0);
-        prop_assert_eq!(agg.metadata_entries(), 0);
-        prop_assert_eq!(agg.accesses(), 0);
+        assert_eq!(agg.len(), 0);
+        assert_eq!(agg.demand_fetches(), 0);
+        assert_eq!(agg.metadata_entries(), 0);
+        assert_eq!(agg.accesses(), 0);
         // Behaves like a fresh cache afterwards.
-        let mut fresh = AggregatingCacheBuilder::new(8).group_size(3).build().unwrap();
+        let mut fresh = AggregatingCacheBuilder::new(8)
+            .group_size(3)
+            .build()
+            .unwrap();
         for &f in &files {
-            prop_assert_eq!(agg.handle_access(FileId(f)), fresh.handle_access(FileId(f)));
+            assert_eq!(
+                agg.handle_access(FileId(f)),
+                fresh.handle_access(FileId(f)),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_after_every_access() {
+    // A denser audit than the accounting test: check_invariants after
+    // every single operation across several group sizes.
+    for seed in [7u64, 0xBEEF] {
+        let mut rng = SeededRng::new(seed);
+        for g in [1usize, 2, 4, 6] {
+            let mut agg = AggregatingCacheBuilder::new(10)
+                .group_size(g)
+                .build()
+                .unwrap();
+            for step in 0..1_500 {
+                agg.handle_access(FileId(rng.gen_range_inclusive(0, 30)));
+                agg.check_invariants()
+                    .unwrap_or_else(|v| panic!("seed {seed} g {g} step {step}: {v}"));
+            }
         }
     }
 }

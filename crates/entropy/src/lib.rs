@@ -34,14 +34,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::collections::HashMap;
 
 use fgcache_cache::{filter::miss_stream, Cache, LruCache};
 use fgcache_trace::Trace;
 use fgcache_types::{FileId, ValidationError};
-use serde::{Deserialize, Serialize};
 
 /// Successor entropy with single-file successor symbols (`k = 1`), in
 /// bits. Returns 0 for sequences shorter than two accesses.
@@ -60,7 +59,7 @@ pub fn successor_sequence_entropy(files: &[FileId], k: usize) -> Result<f64, Val
 }
 
 /// Per-file detail of a successor-entropy computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FileEntropy {
     /// The file acting as the prediction context.
     pub file: FileId,
@@ -75,7 +74,7 @@ pub struct FileEntropy {
 }
 
 /// Full result of a successor-entropy analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EntropyAnalysis {
     /// The successor symbol length `k`.
     pub symbol_length: usize,

@@ -152,10 +152,7 @@ impl HoardReport {
 
 /// Scores `hoard` against the disconnected-period trace.
 pub fn evaluate(hoard: &Hoard, disconnected: &Trace) -> HoardReport {
-    let hits = disconnected
-        .files()
-        .filter(|f| hoard.contains(*f))
-        .count() as u64;
+    let hits = disconnected.files().filter(|f| hoard.contains(*f)).count() as u64;
     HoardReport {
         accesses: disconnected.len() as u64,
         hits,

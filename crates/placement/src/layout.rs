@@ -252,7 +252,10 @@ mod tests {
         let s1 = l.slot(FileId(1)).unwrap() as i64;
         let s2 = l.slot(FileId(2)).unwrap() as i64;
         let s3 = l.slot(FileId(3)).unwrap() as i64;
-        assert!((s1 - s2).abs() <= 2 && (s2 - s3).abs() <= 2, "{s1} {s2} {s3}");
+        assert!(
+            (s1 - s2).abs() <= 2 && (s2 - s3).abs() <= 2,
+            "{s1} {s2} {s3}"
+        );
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Property-based tests for layouts, seek replay and hoarding.
+//! Deterministic model-based tests for layouts, seek replay and hoarding.
+//!
+//! Fixed seeds drive the in-repo PRNG; every failure reproduces exactly
+//! from the printed seed.
 
 use fgcache_placement::hoard::{
     evaluate, frequency_hoard, group_hoard, recency_hoard, split_at_fraction, Hoard,
@@ -6,83 +9,113 @@ use fgcache_placement::hoard::{
 use fgcache_placement::layout::Layout;
 use fgcache_placement::seek;
 use fgcache_trace::Trace;
-use fgcache_types::FileId;
-use proptest::prelude::*;
+use fgcache_types::rng::RandomSource;
+use fgcache_types::{FileId, SeededRng};
 
-fn files() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..25, 0..300)
+const SEEDS: [u64; 8] = [0, 1, 2, 7, 42, 1234, 0xDEAD_BEEF, u64::MAX];
+
+/// A random file-id sequence over `0..25`, length `0..300`.
+fn files(rng: &mut SeededRng) -> Vec<u64> {
+    let n = rng.gen_index(300);
+    (0..n).map(|_| rng.gen_range_inclusive(0, 24)).collect()
 }
 
-proptest! {
-    #[test]
-    fn every_layout_is_a_dense_bijection(ids in files(), g in 1usize..6) {
-        let history = Trace::from_files(ids.clone());
-        let mut distinct: Vec<u64> = ids.clone();
-        distinct.sort_unstable();
-        distinct.dedup();
-        for layout in [
-            Layout::hashed(&history),
-            Layout::by_frequency(&history),
-            Layout::organ_pipe(&history),
-            Layout::grouped(&history, g),
-        ] {
-            prop_assert_eq!(layout.len(), distinct.len());
-            let mut slots: Vec<usize> = distinct
-                .iter()
-                .map(|&f| layout.slot(FileId(f)).expect("file placed"))
-                .collect();
-            slots.sort_unstable();
-            let expected: Vec<usize> = (0..distinct.len()).collect();
-            prop_assert_eq!(slots, expected, "slots not a dense permutation");
+#[test]
+fn every_layout_is_a_dense_bijection() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for g in 1..6 {
+            let ids = files(&mut rng);
+            let history = Trace::from_files(ids.clone());
+            let mut distinct: Vec<u64> = ids.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            for layout in [
+                Layout::hashed(&history),
+                Layout::by_frequency(&history),
+                Layout::organ_pipe(&history),
+                Layout::grouped(&history, g),
+            ] {
+                assert_eq!(layout.len(), distinct.len());
+                let mut slots: Vec<usize> = distinct
+                    .iter()
+                    .map(|&f| layout.slot(FileId(f)).expect("file placed"))
+                    .collect();
+                slots.sort_unstable();
+                let expected: Vec<usize> = (0..distinct.len()).collect();
+                assert_eq!(
+                    slots, expected,
+                    "seed {seed} g {g}: slots not a dense permutation"
+                );
+            }
         }
     }
+}
 
-    #[test]
-    fn seek_replay_accounting(ids in files(), layout_ids in files()) {
+#[test]
+fn seek_replay_accounting() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let ids = files(&mut rng);
+        let layout_ids = files(&mut rng);
         let layout = Layout::from_order(layout_ids.iter().map(|&f| FileId(f)));
         let trace = Trace::from_files(ids.clone());
         let r = seek::replay(&layout, &trace);
-        prop_assert_eq!(r.accesses as usize, ids.len());
-        prop_assert!(r.unplaced <= r.accesses);
+        assert_eq!(r.accesses as usize, ids.len());
+        assert!(r.unplaced <= r.accesses);
         // Total distance is bounded: each access moves at most one span.
-        prop_assert!(r.total_distance <= r.accesses * layout.len().max(1) as u64);
-        prop_assert!(r.mean() >= 0.0);
+        assert!(r.total_distance <= r.accesses * layout.len().max(1) as u64);
+        assert!(r.mean() >= 0.0);
     }
+}
 
-    #[test]
-    fn identical_layout_identical_cost(ids in files()) {
+#[test]
+fn identical_layout_identical_cost() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let ids = files(&mut rng);
         let history = Trace::from_files(ids.clone());
         let trace = Trace::from_files(ids);
         let a = seek::replay(&Layout::by_frequency(&history), &trace);
         let b = seek::replay(&Layout::by_frequency(&history), &trace);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn hoards_respect_budget_and_contain_only_history_files(
-        ids in files(),
-        budget in 0usize..30,
-        g in 1usize..6,
-    ) {
-        let history = Trace::from_files(ids.clone());
-        let universe: std::collections::HashSet<FileId> =
-            ids.iter().map(|&f| FileId(f)).collect();
-        for hoard in [
-            frequency_hoard(&history, budget),
-            recency_hoard(&history, budget),
-            group_hoard(&history, budget, g),
-        ] {
-            prop_assert!(hoard.len() <= budget);
-            for f in 0u64..25 {
-                if hoard.contains(FileId(f)) {
-                    prop_assert!(universe.contains(&FileId(f)), "hoarded unseen file");
+#[test]
+fn hoards_respect_budget_and_contain_only_history_files() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for g in 1..6 {
+            let ids = files(&mut rng);
+            let budget = rng.gen_index(30);
+            let history = Trace::from_files(ids.clone());
+            let universe: std::collections::HashSet<FileId> =
+                ids.iter().map(|&f| FileId(f)).collect();
+            for hoard in [
+                frequency_hoard(&history, budget),
+                recency_hoard(&history, budget),
+                group_hoard(&history, budget, g),
+            ] {
+                assert!(hoard.len() <= budget);
+                for f in 0u64..25 {
+                    if hoard.contains(FileId(f)) {
+                        assert!(
+                            universe.contains(&FileId(f)),
+                            "seed {seed}: hoarded unseen file"
+                        );
+                    }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn full_budget_hoard_catches_everything(ids in files()) {
+#[test]
+fn full_budget_hoard_catches_everything() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let ids = files(&mut rng);
         let history = Trace::from_files(ids.clone());
         let future = Trace::from_files(ids.clone());
         let distinct = {
@@ -93,28 +126,38 @@ proptest! {
         };
         let hoard = frequency_hoard(&history, distinct);
         let r = evaluate(&hoard, &future);
-        prop_assert_eq!(r.hits, r.accesses);
+        assert_eq!(r.hits, r.accesses, "seed {seed}");
     }
+}
 
-    #[test]
-    fn evaluate_bounds(ids in files(), hoard_ids in files()) {
+#[test]
+fn evaluate_bounds() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let ids = files(&mut rng);
+        let hoard_ids = files(&mut rng);
         let hoard = Hoard::new(hoard_ids.iter().map(|&f| FileId(f)));
         let future = Trace::from_files(ids);
         let r = evaluate(&hoard, &future);
-        prop_assert!(r.hits <= r.accesses);
-        prop_assert!((0.0..=1.0).contains(&r.hit_rate()));
+        assert!(r.hits <= r.accesses);
+        assert!((0.0..=1.0).contains(&r.hit_rate()));
     }
+}
 
-    #[test]
-    fn split_partitions_exactly(ids in files(), frac in 0.0f64..=1.0) {
+#[test]
+fn split_partitions_exactly() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let ids = files(&mut rng);
+        let frac = rng.next_f64();
         let trace = Trace::from_files(ids.clone());
         let (a, b) = split_at_fraction(&trace, frac);
-        prop_assert_eq!(a.len() + b.len(), ids.len());
+        assert_eq!(a.len() + b.len(), ids.len());
         let rejoined: Vec<FileId> = a
             .file_sequence()
             .into_iter()
             .chain(b.file_sequence())
             .collect();
-        prop_assert_eq!(rejoined, trace.file_sequence());
+        assert_eq!(rejoined, trace.file_sequence(), "seed {seed}");
     }
 }

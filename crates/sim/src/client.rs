@@ -7,13 +7,12 @@
 use fgcache_core::AggregatingCacheBuilder;
 use fgcache_trace::Trace;
 use fgcache_types::ValidationError;
-use serde::{Deserialize, Serialize};
 
 use crate::parallel::parallel_map;
 use crate::report::Table;
 
 /// Parameter grid for the client sweep.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientSweepConfig {
     /// Client cache capacities to test (the x-axis; paper: 100–800).
     pub capacities: Vec<usize>,
@@ -44,7 +43,7 @@ impl ClientSweepConfig {
 }
 
 /// One measured point of the client sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientSweepPoint {
     /// Client cache capacity (files).
     pub capacity: usize,

@@ -19,12 +19,11 @@
 use fgcache_core::AggregatingCacheBuilder;
 use fgcache_trace::Trace;
 use fgcache_types::ValidationError;
-use serde::{Deserialize, Serialize};
 
 use crate::report::{fmt2, Table};
 
 /// Per-operation costs, in arbitrary time units (only ratios matter).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Fixed cost of one fetch request (round-trip latency + server
     /// request handling).
@@ -83,7 +82,7 @@ impl CostModel {
 }
 
 /// Measured I/O cost of one aggregating-cache run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostPoint {
     /// Group size `g` (1 = plain LRU).
     pub group_size: usize,
@@ -114,7 +113,9 @@ pub fn cost_sweep(
     }
     let mut points = Vec::with_capacity(group_sizes.len());
     for &g in group_sizes {
-        let mut cache = AggregatingCacheBuilder::new(capacity).group_size(g).build()?;
+        let mut cache = AggregatingCacheBuilder::new(capacity)
+            .group_size(g)
+            .build()?;
         for ev in trace.events() {
             cache.handle_access(ev.file);
         }

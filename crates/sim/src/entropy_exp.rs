@@ -5,13 +5,12 @@
 use fgcache_entropy::{entropy_profile, filtered_entropy_profile};
 use fgcache_trace::Trace;
 use fgcache_types::ValidationError;
-use serde::{Deserialize, Serialize};
 
 use crate::parallel::parallel_map;
 use crate::report::{fmt2, Table};
 
 /// One labelled entropy series: `(symbol length, entropy in bits)` points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EntropySeries {
     /// Series label (workload name, or `filter=N`).
     pub label: String,
@@ -137,14 +136,7 @@ mod tests {
             &[1],
         )
         .unwrap();
-        let h = |label: &str| {
-            series
-                .iter()
-                .find(|s| s.label == label)
-                .unwrap()
-                .points[0]
-                .1
-        };
+        let h = |label: &str| series.iter().find(|s| s.label == label).unwrap().points[0].1;
         assert!(
             h("server") < h("users"),
             "server {} vs users {}",

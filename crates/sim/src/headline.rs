@@ -9,7 +9,6 @@
 
 use fgcache_trace::Trace;
 use fgcache_types::ValidationError;
-use serde::{Deserialize, Serialize};
 
 use crate::client::{client_sweep, ClientSweepConfig};
 use crate::report::{pct, Table};
@@ -17,7 +16,7 @@ use crate::server::{two_level_sweep, ServerScheme, TwoLevelConfig};
 use fgcache_cache::PolicyKind;
 
 /// Headline numbers for one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeadlineRow {
     /// Workload label.
     pub workload: String,
@@ -53,7 +52,7 @@ impl HeadlineRow {
 }
 
 /// The complete headline summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeadlineSummary {
     /// One row per workload.
     pub rows: Vec<HeadlineRow>,
@@ -115,9 +114,7 @@ impl HeadlineSummary {
 /// Returns a [`ValidationError`] if any underlying sweep rejects its
 /// parameters (never, for the built-in constants, unless a trace is
 /// pathological).
-pub fn headline_summary(
-    traces: &[(String, &Trace)],
-) -> Result<HeadlineSummary, ValidationError> {
+pub fn headline_summary(traces: &[(String, &Trace)]) -> Result<HeadlineSummary, ValidationError> {
     let client_capacity = 300;
     let small_filter = 100;
     let large_filter = 450;
@@ -201,7 +198,11 @@ mod tests {
             .generate();
         let summary = headline_summary(&[("server".into(), &trace)]).unwrap();
         let row = &summary.rows[0];
-        assert!(row.fetch_reduction > 0.3, "reduction {}", row.fetch_reduction);
+        assert!(
+            row.fetch_reduction > 0.3,
+            "reduction {}",
+            row.fetch_reduction
+        );
         assert!(
             row.small_filter_g5_hit > row.small_filter_lru_hit,
             "g5 {} vs lru {}",

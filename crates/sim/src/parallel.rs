@@ -4,10 +4,11 @@
 //! trace, so a work-stealing pool would be overkill: we shard the index
 //! space over `available_parallelism` scoped threads and write results
 //! into pre-allocated slots, preserving input order and determinism.
+//! Built entirely on `std::thread::scope` and `std::sync::Mutex` — the
+//! workspace is hermetic and links no external runtime.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item, in parallel, returning results in input
 /// order. Falls back to sequential execution for tiny inputs.
@@ -36,22 +37,27 @@ where
     }
     let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= items.len() {
                     break;
                 }
                 let value = f(&items[idx]);
-                *results[idx].lock() = Some(value);
+                *results[idx]
+                    .lock()
+                    .expect("no worker panicked holding a slot") = Some(value);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked holding a slot")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -83,5 +89,21 @@ mod tests {
         let a = parallel_map(&input, |&x| x.wrapping_mul(2654435761));
         let b = parallel_map(&input, |&x| x.wrapping_mul(2654435761));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_closure_uses_all_slots() {
+        // Results land in the right slots even when work is uneven.
+        let input: Vec<u64> = (0..97).collect();
+        let out = parallel_map(&input, |&x| {
+            let mut acc = x;
+            for _ in 0..(x % 13) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
     }
 }

@@ -1,8 +1,12 @@
-//! Plain-text and CSV tabulation of experiment results.
+//! Plain-text, CSV and JSON tabulation of experiment results.
+//!
+//! JSON output goes through the workspace's own emitter
+//! ([`fgcache_types::json`]) — no external serialisation framework is
+//! linked, keeping the build hermetic.
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use fgcache_types::json::Json;
 
 /// A simple column-aligned table, rendered as text or CSV.
 ///
@@ -15,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(text.contains("demo"));
 /// assert!(t.to_csv().starts_with("x,y\n"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     title: String,
     columns: Vec<String>,
@@ -112,15 +116,78 @@ impl Table {
         );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter()
-                    .map(|c| escape(c))
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
+    }
+
+    /// Represents the table as a JSON value:
+    /// `{"title": ..., "columns": [...], "rows": [[...], ...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::str(&self.title)),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().map(Json::str).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialises the table as a compact JSON document.
+    pub fn to_json_text(&self) -> String {
+        self.to_json().to_text()
+    }
+
+    /// Reconstructs a table from the JSON produced by
+    /// [`Table::to_json_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the text is not valid JSON
+    /// or lacks the expected shape.
+    pub fn from_json_text(text: &str) -> Result<Self, String> {
+        let value = Json::parse(text).map_err(|e| e.to_string())?;
+        let title = value
+            .get("title")
+            .and_then(Json::as_str)
+            .ok_or("missing \"title\"")?
+            .to_string();
+        let columns: Vec<String> = value
+            .get("columns")
+            .and_then(Json::as_array)
+            .ok_or("missing \"columns\"")?
+            .iter()
+            .map(|c| c.as_str().map(str::to_string).ok_or("non-string column"))
+            .collect::<Result<_, _>>()?;
+        let mut table = Table {
+            title,
+            columns,
+            rows: Vec::new(),
+        };
+        for row in value
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or("missing \"rows\"")?
+        {
+            let cells: Vec<String> = row
+                .as_array()
+                .ok_or("non-array row")?
+                .iter()
+                .map(|c| c.as_str().map(str::to_string).ok_or("non-string cell"))
+                .collect::<Result<_, _>>()?;
+            table.push_row(cells);
+        }
+        Ok(table)
     }
 }
 
@@ -188,5 +255,23 @@ mod tests {
     fn display_matches_render() {
         let t = Table::new("x", ["c"]);
         assert_eq!(t.to_string(), t.render());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("fig3", ["g", "fetches"]);
+        t.push_row(["1", "5417"]);
+        t.push_row(["4", "2204"]);
+        let text = t.to_json_text();
+        assert!(text.starts_with(r#"{"title":"fig3""#));
+        let back = Table::from_json_text(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        assert!(Table::from_json_text("not json").is_err());
+        assert!(Table::from_json_text("{}").is_err());
+        assert!(Table::from_json_text(r#"{"title":"t","columns":[1],"rows":[]}"#).is_err());
     }
 }

@@ -10,13 +10,12 @@ use fgcache_cache::{Cache, LruCache, PolicyKind};
 use fgcache_core::AggregatingCacheBuilder;
 use fgcache_trace::Trace;
 use fgcache_types::ValidationError;
-use serde::{Deserialize, Serialize};
 
 use crate::parallel::parallel_map;
 use crate::report::{pct, Table};
 
 /// A server cache scheme under test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ServerScheme {
     /// A plain replacement policy (demand fetching only).
     Policy(PolicyKind),
@@ -39,7 +38,7 @@ impl ServerScheme {
 }
 
 /// Parameter grid for the two-level sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwoLevelConfig {
     /// Intervening client (filter) capacities — the x-axis (paper:
     /// 50–500).
@@ -82,7 +81,7 @@ impl TwoLevelConfig {
 }
 
 /// One measured point of the two-level sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwoLevelPoint {
     /// Intervening client cache capacity.
     pub filter_capacity: usize,

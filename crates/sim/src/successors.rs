@@ -7,13 +7,12 @@ use fgcache_successor::{
 };
 use fgcache_trace::Trace;
 use fgcache_types::ValidationError;
-use serde::{Deserialize, Serialize};
 
 use crate::parallel::parallel_map;
 use crate::report::{fmt2, Table};
 
 /// A successor-list replacement scheme under test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReplacementScheme {
     /// Recency-managed list (the paper's choice).
     Lru,
@@ -39,7 +38,7 @@ impl ReplacementScheme {
 }
 
 /// Parameter grid for the successor-replacement evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuccessorEvalConfig {
     /// Successor-list capacities — the x-axis (paper: 1–10).
     pub capacities: Vec<usize>,
@@ -62,7 +61,7 @@ impl SuccessorEvalConfig {
 }
 
 /// One measured point of the evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuccessorEvalPoint {
     /// Successor-list capacity.
     pub capacity: usize,
@@ -271,7 +270,12 @@ mod tests {
             assert!(l <= &(f + 0.02), "capacity {}: lru {l} vs lfu {f}", i + 1);
         }
         // The advantage is decisive once stale entries can accumulate.
-        assert!(lru[9] < lfu[9], "at capacity 10: lru {} vs lfu {}", lru[9], lfu[9]);
+        assert!(
+            lru[9] < lfu[9],
+            "at capacity 10: lru {} vs lfu {}",
+            lru[9],
+            lfu[9]
+        );
     }
 
     #[test]

@@ -11,13 +11,12 @@
 //! before in that context.
 
 use fgcache_trace::Trace;
-use serde::{Deserialize, Serialize};
 
 use crate::list::SuccessorList;
 use crate::table::SuccessorTable;
 
 /// Result of a successor-list replacement evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissEvalResult {
     /// Transitions examined (trace length − 1, for non-empty traces).
     pub transitions: u64,
@@ -109,9 +108,8 @@ mod tests {
 
     #[test]
     fn oracle_lower_bounds_bounded_policies() {
-        let trace = Trace::from_files(
-            (0..2000u64).map(|i| [1, 2, 1, 3, 1, 4, 2, 3][(i % 8) as usize]),
-        );
+        let trace =
+            Trace::from_files((0..2000u64).map(|i| [1, 2, 1, 3, 1, 4, 2, 3][(i % 8) as usize]));
         let oracle = evaluate_replacement(&trace, OracleSuccessorList::new());
         let lru1 = evaluate_replacement(&trace, LruSuccessorList::new(1).unwrap());
         let lru4 = evaluate_replacement(&trace, LruSuccessorList::new(4).unwrap());

@@ -40,12 +40,7 @@ impl RelationshipGraph {
     pub fn record(&mut self, file: FileId) {
         *self.nodes.entry(file).or_insert(0) += 1;
         if let Some(prev) = self.last.replace(file) {
-            *self
-                .edges
-                .entry(prev)
-                .or_default()
-                .entry(file)
-                .or_insert(0) += 1;
+            *self.edges.entry(prev).or_default().entry(file).or_insert(0) += 1;
         }
     }
 
@@ -201,10 +196,7 @@ mod tests {
         // Hub file 9 follows both 1 and 5 (a shared executable).
         let g = graph(&[1, 9, 2, 1, 9, 2, 5, 9, 6, 5, 9, 6]);
         let groups = g.covering_groups(2);
-        let containing_9 = groups
-            .iter()
-            .filter(|gr| gr.contains(FileId(9)))
-            .count();
+        let containing_9 = groups.iter().filter(|gr| gr.contains(FileId(9))).count();
         assert!(containing_9 >= 1);
         // Overlap allowed: total membership may exceed node count.
         let total: usize = groups.iter().map(|gr| gr.len()).sum();

@@ -169,10 +169,7 @@ mod tests {
     fn group_follows_chain() {
         let t = table_from(&[1, 2, 3, 4, 5, 1, 2, 3, 4, 5], 2);
         let g = GroupBuilder::new(4).unwrap().build(&t, FileId(1));
-        assert_eq!(
-            g.files(),
-            &[FileId(1), FileId(2), FileId(3), FileId(4)]
-        );
+        assert_eq!(g.files(), &[FileId(1), FileId(2), FileId(3), FileId(4)]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use fgcache_types::FileId;
+use fgcache_types::{FileId, InvariantViolation};
 
 use crate::list::SuccessorList;
 
@@ -86,7 +86,10 @@ impl<L: SuccessorList> SuccessorTable<L> {
 
     /// The ranked successors of `file` (empty if untracked).
     pub fn ranked(&self, file: FileId) -> Vec<FileId> {
-        self.lists.get(&file).map(|l| l.ranked()).unwrap_or_default()
+        self.lists
+            .get(&file)
+            .map(|l| l.ranked())
+            .unwrap_or_default()
     }
 
     /// The *transitive successor* chain of §3: starting from `start`,
@@ -151,6 +154,75 @@ impl<L: SuccessorList> SuccessorTable<L> {
     /// Iterates over `(file, list)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (FileId, &L)> + '_ {
         self.lists.iter().map(|(&f, l)| (f, l))
+    }
+
+    /// Audits the table and every per-file list against the successor-list
+    /// contract: capacity bounds, ranking consistency and transition
+    /// accounting. Used by the workspace's differential fuzzer and by
+    /// debug assertions in experiment drivers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvariantViolation`] describing the first violated
+    /// invariant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("SuccessorTable", detail));
+        // Every list was created by a transition, so the transition count
+        // bounds the number of tracked files from above.
+        if (self.lists.len() as u64) > self.transitions {
+            return err(format!(
+                "{} tracked files but only {} transitions",
+                self.lists.len(),
+                self.transitions
+            ));
+        }
+        let cap = self.prototype.capacity();
+        for (&file, list) in &self.lists {
+            if list.len() == 0 {
+                return err(format!("empty successor list for {file}"));
+            }
+            if list.capacity() != cap {
+                return err(format!(
+                    "list for {file} has capacity {:?}, prototype says {cap:?}",
+                    list.capacity()
+                ));
+            }
+            if let Some(cap) = cap {
+                if list.len() > cap {
+                    return err(format!(
+                        "list for {file} holds {} successors, capacity {cap}",
+                        list.len()
+                    ));
+                }
+            }
+            let ranked = list.ranked();
+            if ranked.len() != list.len() {
+                return err(format!(
+                    "list for {file}: ranked() yields {} entries, len() is {}",
+                    ranked.len(),
+                    list.len()
+                ));
+            }
+            let mut sorted = ranked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != ranked.len() {
+                return err(format!("list for {file}: ranked() contains duplicates"));
+            }
+            for &s in &ranked {
+                if !list.contains(s) {
+                    return err(format!(
+                        "list for {file}: ranked successor {s} fails contains()"
+                    ));
+                }
+            }
+            if ranked.first().copied() != list.most_likely() {
+                return err(format!(
+                    "list for {file}: most_likely() disagrees with ranked()"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,4 +1,8 @@
-//! Property-based tests for successor lists, tables and groups.
+//! Deterministic model-based tests for successor lists, tables and groups.
+//!
+//! Each test sweeps a fixed set of seeds through the in-repo PRNG, so a
+//! failure reproduces exactly from the printed seed — no external
+//! property-testing framework and no shrinking needed.
 
 use fgcache_successor::eval::evaluate_replacement;
 use fgcache_successor::{
@@ -6,11 +10,16 @@ use fgcache_successor::{
     ProbabilityGraph, RelationshipGraph, SuccessorList, SuccessorTable,
 };
 use fgcache_trace::Trace;
-use fgcache_types::FileId;
-use proptest::prelude::*;
+use fgcache_types::rng::RandomSource;
+use fgcache_types::{FileId, SeededRng};
 
-fn file_seq() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..15, 0..300)
+const SEEDS: [u64; 8] = [0, 1, 2, 7, 42, 1234, 0xDEAD_BEEF, u64::MAX];
+
+/// A random access sequence over a small universe (files 0..15), length
+/// 0..300 — the same shape the old proptest strategy produced.
+fn file_seq(rng: &mut SeededRng) -> Vec<u64> {
+    let len = rng.gen_index(300);
+    (0..len).map(|_| rng.gen_range_inclusive(0, 14)).collect()
 }
 
 /// Checks the invariants shared by all list implementations.
@@ -37,142 +46,166 @@ fn check_list_invariants<L: SuccessorList>(mut list: L, observations: &[u64]) {
     }
 }
 
-proptest! {
-    #[test]
-    fn lru_list_invariants(cap in 1usize..8, obs in file_seq()) {
-        check_list_invariants(LruSuccessorList::new(cap).unwrap(), &obs);
+#[test]
+fn bounded_list_invariants() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for cap in 1..8 {
+            let obs = file_seq(&mut rng);
+            check_list_invariants(LruSuccessorList::new(cap).unwrap(), &obs);
+            check_list_invariants(LfuSuccessorList::new(cap).unwrap(), &obs);
+            let decay = 0.05 + 0.95 * rng.next_f64();
+            check_list_invariants(DecayedSuccessorList::new(cap, decay).unwrap(), &obs);
+        }
     }
+}
 
-    #[test]
-    fn lfu_list_invariants(cap in 1usize..8, obs in file_seq()) {
-        check_list_invariants(LfuSuccessorList::new(cap).unwrap(), &obs);
-    }
-
-    #[test]
-    fn oracle_list_invariants(obs in file_seq()) {
+#[test]
+fn oracle_list_invariants() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let obs = file_seq(&mut rng);
         check_list_invariants(OracleSuccessorList::new(), &obs);
     }
+}
 
-    #[test]
-    fn decayed_list_invariants(
-        cap in 1usize..8,
-        decay in 0.05f64..=1.0,
-        obs in file_seq(),
-    ) {
-        check_list_invariants(DecayedSuccessorList::new(cap, decay).unwrap(), &obs);
-    }
-
-    #[test]
-    fn oracle_remembers_everything(obs in file_seq()) {
+#[test]
+fn oracle_remembers_everything() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let obs = file_seq(&mut rng);
         let mut oracle = OracleSuccessorList::new();
         for &f in &obs {
             oracle.observe(FileId(f));
         }
         for &f in &obs {
-            prop_assert!(oracle.contains(FileId(f)));
+            assert!(oracle.contains(FileId(f)), "seed {seed}");
         }
         let mut unique: Vec<u64> = obs.clone();
         unique.sort_unstable();
         unique.dedup();
-        prop_assert_eq!(oracle.len(), unique.len());
+        assert_eq!(oracle.len(), unique.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn lru_list_is_sliding_window_of_distinct_recents(
-        cap in 1usize..6,
-        obs in file_seq(),
-    ) {
-        let mut list = LruSuccessorList::new(cap).unwrap();
-        for &f in &obs {
-            list.observe(FileId(f));
-        }
-        // Expected contents: the `cap` most recent *distinct* observations,
-        // in reverse observation order.
-        let mut expected: Vec<FileId> = Vec::new();
-        for &f in obs.iter().rev() {
-            let id = FileId(f);
-            if !expected.contains(&id) {
-                expected.push(id);
+#[test]
+fn lru_list_is_sliding_window_of_distinct_recents() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for cap in 1..6 {
+            let obs = file_seq(&mut rng);
+            let mut list = LruSuccessorList::new(cap).unwrap();
+            for &f in &obs {
+                list.observe(FileId(f));
             }
-            if expected.len() == cap {
-                break;
+            // Expected contents: the `cap` most recent *distinct*
+            // observations, in reverse observation order.
+            let mut expected: Vec<FileId> = Vec::new();
+            for &f in obs.iter().rev() {
+                let id = FileId(f);
+                if !expected.contains(&id) {
+                    expected.push(id);
+                }
+                if expected.len() == cap {
+                    break;
+                }
+            }
+            assert_eq!(list.ranked(), expected, "seed {seed} cap {cap}");
+        }
+    }
+}
+
+#[test]
+fn table_chain_has_no_duplicates_and_excludes_start() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for cap in 1..5 {
+            let obs = file_seq(&mut rng);
+            let n = rng.gen_index(12);
+            let mut table = SuccessorTable::new(LruSuccessorList::new(cap).unwrap());
+            for &f in &obs {
+                table.record(FileId(f));
+            }
+            table
+                .check_invariants()
+                .unwrap_or_else(|v| panic!("seed {seed} cap {cap}: {v}"));
+            for start in 0u64..15 {
+                let chain = table.predict_chain(FileId(start), n);
+                assert!(chain.len() <= n);
+                assert!(!chain.contains(&FileId(start)));
+                let mut sorted = chain.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), chain.len(), "duplicate in chain");
             }
         }
-        prop_assert_eq!(list.ranked(), expected);
     }
+}
 
-    #[test]
-    fn table_chain_has_no_duplicates_and_excludes_start(
-        obs in file_seq(),
-        cap in 1usize..5,
-        n in 0usize..12,
-    ) {
-        let mut table = SuccessorTable::new(LruSuccessorList::new(cap).unwrap());
-        for &f in &obs {
-            table.record(FileId(f));
-        }
-        for start in 0u64..15 {
-            let chain = table.predict_chain(FileId(start), n);
-            prop_assert!(chain.len() <= n);
-            prop_assert!(!chain.contains(&FileId(start)));
-            let mut sorted = chain.clone();
-            sorted.sort();
-            sorted.dedup();
-            prop_assert_eq!(sorted.len(), chain.len(), "duplicate in chain");
-        }
-    }
-
-    #[test]
-    fn groups_are_well_formed(
-        obs in file_seq(),
-        g in 1usize..8,
-    ) {
-        let mut table = SuccessorTable::new(LruSuccessorList::new(3).unwrap());
-        for &f in &obs {
-            table.record(FileId(f));
-        }
-        let builder = GroupBuilder::new(g).unwrap();
-        for start in 0u64..15 {
-            let group = builder.build(&table, FileId(start));
-            prop_assert!(!group.is_empty() && group.len() <= g);
-            prop_assert_eq!(group.requested(), FileId(start));
-            prop_assert!(group.contains(FileId(start)));
-            let mut sorted: Vec<FileId> = group.files().to_vec();
-            sorted.sort();
-            sorted.dedup();
-            prop_assert_eq!(sorted.len(), group.len(), "duplicate group member");
+#[test]
+fn groups_are_well_formed() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for g in 1..8 {
+            let obs = file_seq(&mut rng);
+            let mut table = SuccessorTable::new(LruSuccessorList::new(3).unwrap());
+            for &f in &obs {
+                table.record(FileId(f));
+            }
+            let builder = GroupBuilder::new(g).unwrap();
+            for start in 0u64..15 {
+                let group = builder.build(&table, FileId(start));
+                assert!(!group.is_empty() && group.len() <= g);
+                assert_eq!(group.requested(), FileId(start));
+                assert!(group.contains(FileId(start)));
+                let mut sorted: Vec<FileId> = group.files().to_vec();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), group.len(), "duplicate group member");
+            }
         }
     }
+}
 
-    #[test]
-    fn oracle_lower_bounds_every_policy(
-        obs in prop::collection::vec(0u64..10, 2..400),
-        cap in 1usize..6,
-    ) {
-        let trace = Trace::from_files(obs);
-        let oracle = evaluate_replacement(&trace, OracleSuccessorList::new());
-        let lru = evaluate_replacement(&trace, LruSuccessorList::new(cap).unwrap());
-        let lfu = evaluate_replacement(&trace, LfuSuccessorList::new(cap).unwrap());
-        let dec = evaluate_replacement(&trace, DecayedSuccessorList::new(cap, 0.5).unwrap());
-        prop_assert!(oracle.misses <= lru.misses);
-        prop_assert!(oracle.misses <= lfu.misses);
-        prop_assert!(oracle.misses <= dec.misses);
-        prop_assert_eq!(oracle.transitions, lru.transitions);
+#[test]
+fn oracle_lower_bounds_every_policy() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for cap in 1..6 {
+            let len = 2 + rng.gen_index(398);
+            let obs: Vec<u64> = (0..len).map(|_| rng.gen_range_inclusive(0, 9)).collect();
+            let trace = Trace::from_files(obs);
+            let oracle = evaluate_replacement(&trace, OracleSuccessorList::new());
+            let lru = evaluate_replacement(&trace, LruSuccessorList::new(cap).unwrap());
+            let lfu = evaluate_replacement(&trace, LfuSuccessorList::new(cap).unwrap());
+            let dec = evaluate_replacement(&trace, DecayedSuccessorList::new(cap, 0.5).unwrap());
+            assert!(oracle.misses <= lru.misses, "seed {seed} cap {cap}");
+            assert!(oracle.misses <= lfu.misses, "seed {seed} cap {cap}");
+            assert!(oracle.misses <= dec.misses, "seed {seed} cap {cap}");
+            assert_eq!(oracle.transitions, lru.transitions);
+        }
     }
+}
 
-    #[test]
-    fn evaluation_miss_probability_in_unit_range(
-        obs in prop::collection::vec(0u64..12, 0..300),
-    ) {
+#[test]
+fn evaluation_miss_probability_in_unit_range() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let len = rng.gen_index(300);
+        let obs: Vec<u64> = (0..len).map(|_| rng.gen_range_inclusive(0, 11)).collect();
         let trace = Trace::from_files(obs);
         let r = evaluate_replacement(&trace, LruSuccessorList::new(2).unwrap());
         let p = r.miss_probability();
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!(r.misses <= r.transitions);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(r.misses <= r.transitions);
     }
+}
 
-    #[test]
-    fn graph_weights_match_transition_counts(obs in file_seq()) {
+#[test]
+fn graph_weights_match_transition_counts() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let obs = file_seq(&mut rng);
         let mut graph = RelationshipGraph::new();
         graph.record_sequence(obs.iter().map(|&f| FileId(f)));
         // Total edge weight == number of transitions.
@@ -180,48 +213,79 @@ proptest! {
             .flat_map(|a| (0u64..15).map(move |b| (a, b)))
             .map(|(a, b)| graph.weight(FileId(a), FileId(b)))
             .sum();
-        prop_assert_eq!(total as usize, obs.len().saturating_sub(1));
+        assert_eq!(total as usize, obs.len().saturating_sub(1));
         // Node access counts sum to the sequence length.
         let nodes: u64 = (0u64..15).map(|f| graph.access_count(FileId(f))).sum();
-        prop_assert_eq!(nodes as usize, obs.len());
+        assert_eq!(nodes as usize, obs.len());
     }
+}
 
-    #[test]
-    fn covering_groups_cover_every_file_with_successors(
-        obs in file_seq(),
-        size in 1usize..6,
-    ) {
-        let mut graph = RelationshipGraph::new();
-        graph.record_sequence(obs.iter().map(|&f| FileId(f)));
-        let groups = graph.covering_groups(size);
-        for pair in obs.windows(2) {
-            let head = FileId(pair[0]);
-            prop_assert!(
-                groups.iter().any(|g| g.contains(head)),
-                "file with successors left uncovered"
-            );
-        }
-        for g in &groups {
-            prop_assert!(g.len() <= size.max(1));
+#[test]
+fn covering_groups_cover_every_file_with_successors() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for size in 1..6 {
+            let obs = file_seq(&mut rng);
+            let mut graph = RelationshipGraph::new();
+            graph.record_sequence(obs.iter().map(|&f| FileId(f)));
+            let groups = graph.covering_groups(size);
+            for pair in obs.windows(2) {
+                let head = FileId(pair[0]);
+                assert!(
+                    groups.iter().any(|g| g.contains(head)),
+                    "file with successors left uncovered (seed {seed})"
+                );
+            }
+            for g in &groups {
+                assert!(g.len() <= size.max(1));
+            }
         }
     }
+}
 
-    #[test]
-    fn probability_graph_distributions_normalised(
-        obs in file_seq(),
-        window in 1usize..6,
-    ) {
-        let mut pg = ProbabilityGraph::new(window, 0.0).unwrap();
-        for &f in &obs {
-            pg.record(FileId(f));
+#[test]
+fn probability_graph_distributions_normalised() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for window in 1..6 {
+            let obs = file_seq(&mut rng);
+            let mut pg = ProbabilityGraph::new(window, 0.0).unwrap();
+            for &f in &obs {
+                pg.record(FileId(f));
+            }
+            for a in 0u64..15 {
+                let total: f64 = (0u64..15)
+                    .map(|b| pg.probability(FileId(a), FileId(b)))
+                    .sum();
+                assert!(total <= 1.0 + 1e-9);
+                // Either nothing observed (0) or a full distribution (1).
+                assert!(total < 1e-9 || (total - 1.0).abs() < 1e-9);
+            }
         }
-        for a in 0u64..15 {
-            let total: f64 = (0u64..15)
-                .map(|b| pg.probability(FileId(a), FileId(b)))
-                .sum();
-            prop_assert!(total <= 1.0 + 1e-9);
-            // Either nothing observed (0) or a full distribution (1).
-            prop_assert!(total < 1e-9 || (total - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn table_audit_holds_under_random_streams() {
+    // Long randomized streams with occasional sequence breaks; the
+    // table's self-audit must hold throughout.
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        let mut table = SuccessorTable::new(LruSuccessorList::new(4).unwrap());
+        for step in 0..2_000 {
+            if rng.chance(0.01) {
+                table.break_sequence();
+            } else {
+                table.record(FileId(rng.gen_range_inclusive(0, 40)));
+            }
+            if step % 64 == 0 {
+                table
+                    .check_invariants()
+                    .unwrap_or_else(|v| panic!("seed {seed} step {step}: {v}"));
+            }
         }
+        table
+            .check_invariants()
+            .unwrap_or_else(|v| panic!("seed {seed} final: {v}"));
     }
 }

@@ -7,7 +7,8 @@
 //!   [`AccessKind::code`](fgcache_types::AccessKind::code). Lines starting
 //!   with `#` and blank lines are ignored. This format is easy to produce
 //!   from real trace data and to inspect by eye.
-//! * **JSON** — the `serde` serialization of [`Trace`], for lossless
+//! * **JSON** — `{"events":[{"seq":…,"client":…,"file":…,"kind":"Read"},…]}`
+//!   via the in-repo [`fgcache_types::json`] codec, for lossless
 //!   round-trips of tooling output.
 //! * **Binary** — fixed-width little-endian records behind a magic header
 //!   ([`write_binary`]/[`read_binary`]), for fast bulk storage.
@@ -29,6 +30,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 
+use fgcache_types::json::Json;
 use fgcache_types::{AccessEvent, AccessKind, ClientId, FileId, SeqNo, ValidationError};
 
 use crate::Trace;
@@ -48,7 +50,7 @@ pub enum TraceIoError {
     /// The parsed events violated a [`Trace`] invariant.
     Validation(ValidationError),
     /// JSON (de)serialization failed.
-    Json(serde_json::Error),
+    Json(String),
 }
 
 impl fmt::Display for TraceIoError {
@@ -69,8 +71,7 @@ impl Error for TraceIoError {
         match self {
             TraceIoError::Io(e) => Some(e),
             TraceIoError::Validation(e) => Some(e),
-            TraceIoError::Json(e) => Some(e),
-            TraceIoError::Parse { .. } => None,
+            TraceIoError::Json(_) | TraceIoError::Parse { .. } => None,
         }
     }
 }
@@ -87,9 +88,9 @@ impl From<ValidationError> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
-        TraceIoError::Json(e)
+impl From<fgcache_types::json::JsonParseError> for TraceIoError {
+    fn from(e: fgcache_types::json::JsonParseError) -> Self {
+        TraceIoError::Json(e.to_string())
     }
 }
 
@@ -179,24 +180,95 @@ fn parse_line(line: &str) -> Result<AccessEvent, String> {
     ))
 }
 
-/// Serializes `trace` as JSON.
+/// Full variant name used by the JSON format (matches the original serde
+/// derive output, so documents written by earlier versions still load).
+fn kind_name(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "Read",
+        AccessKind::Write => "Write",
+        AccessKind::Create => "Create",
+        AccessKind::Delete => "Delete",
+    }
+}
+
+fn kind_from_name(name: &str) -> Result<AccessKind, TraceIoError> {
+    match name {
+        "Read" => Ok(AccessKind::Read),
+        "Write" => Ok(AccessKind::Write),
+        "Create" => Ok(AccessKind::Create),
+        "Delete" => Ok(AccessKind::Delete),
+        other => Err(TraceIoError::Json(format!("unknown access kind {other:?}"))),
+    }
+}
+
+/// Serializes `trace` as JSON:
+/// `{"events":[{"seq":…,"client":…,"file":…,"kind":"Read"},…]}`.
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Json`] if serialization fails, or
-/// [`TraceIoError::Io`] on writer failure.
-pub fn write_json<W: Write>(trace: &Trace, w: W) -> Result<(), TraceIoError> {
-    serde_json::to_writer(w, trace)?;
+/// Returns [`TraceIoError::Io`] on writer failure.
+pub fn write_json<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    let events = trace
+        .events()
+        .iter()
+        .map(|ev| {
+            Json::Obj(vec![
+                ("seq".to_string(), Json::UInt(ev.seq.as_u64())),
+                ("client".to_string(), Json::UInt(ev.client.as_u32().into())),
+                ("file".to_string(), Json::UInt(ev.file.as_u64())),
+                (
+                    "kind".to_string(),
+                    Json::Str(kind_name(ev.kind).to_string()),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![("events".to_string(), Json::Arr(events))]);
+    w.write_all(doc.to_text().as_bytes())?;
     Ok(())
 }
 
-/// Deserializes a trace from JSON.
+/// Deserializes a trace from the JSON format written by [`write_json`].
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Json`] if the input is not a valid trace.
-pub fn read_json<R: Read>(r: R) -> Result<Trace, TraceIoError> {
-    Ok(serde_json::from_reader(r)?)
+/// Returns [`TraceIoError::Json`] if the input is not a valid trace
+/// document, [`TraceIoError::Validation`] if the events are out of order,
+/// or [`TraceIoError::Io`] on reader failure.
+pub fn read_json<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let doc = Json::parse(&text)?;
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .ok_or_else(|| TraceIoError::Json("missing \"events\" array".to_string()))?;
+    let mut out = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let field = |name: &str| -> Result<u64, TraceIoError> {
+            ev.get(name).and_then(Json::as_u64).ok_or_else(|| {
+                TraceIoError::Json(format!("event {i}: missing or non-integer {name:?}"))
+            })
+        };
+        let seq = field("seq")?;
+        let client = field("client")?;
+        let client = u32::try_from(client).map_err(|_| {
+            TraceIoError::Json(format!("event {i}: client {client} exceeds u32 range"))
+        })?;
+        let file = field("file")?;
+        let kind = ev
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| TraceIoError::Json(format!("event {i}: missing \"kind\"")))
+            .and_then(kind_from_name)?;
+        out.push(AccessEvent::new(
+            SeqNo(seq),
+            ClientId(client),
+            FileId(file),
+            kind,
+        ));
+    }
+    Ok(Trace::new(out)?)
 }
 
 /// Magic bytes opening the binary trace format.

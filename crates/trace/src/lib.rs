@@ -35,12 +35,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt;
 
 use fgcache_types::{AccessEvent, ClientId, FileId, SeqNo, ValidationError};
-use serde::{Deserialize, Serialize};
 
 pub mod io;
 pub mod stats;
@@ -54,7 +53,7 @@ pub mod synth;
 /// * the trace may be empty, but never contains duplicate sequence numbers.
 ///
 /// `Trace` is cheap to share by reference; simulators only ever read it.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     events: Vec<AccessEvent>,
 }

@@ -7,7 +7,6 @@
 use std::collections::HashMap;
 
 use fgcache_types::{AccessKind, FileId};
-use serde::{Deserialize, Serialize};
 
 use crate::Trace;
 
@@ -22,7 +21,7 @@ use crate::Trace;
 /// assert_eq!(s.unique_files, 2);
 /// assert_eq!(s.repeat_accesses, 2); // third and fourth touch known files
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Total number of events.
     pub events: usize,

@@ -44,10 +44,8 @@ pub use zipf::Zipf;
 
 use std::fmt;
 
+use fgcache_types::rng::{RandomSource, SeededRng};
 use fgcache_types::{AccessEvent, AccessKind, ClientId, FileId, SeqNo, ValidationError};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{Rng, SeedableRng};
 
 use crate::Trace;
 
@@ -384,7 +382,7 @@ impl WorkloadGenerator {
         // Activity construction uses its own deterministic RNG, decoupled
         // from the event-interleaving RNG so that changing `events` never
         // changes the activity definitions.
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = SeededRng::new(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let shared_pool = config.shared_pool;
         let mut next_file = shared_pool as u64;
         let mut activities = Vec::with_capacity(config.activities);
@@ -395,19 +393,19 @@ impl WorkloadGenerator {
         };
         for _ in 0..config.activities {
             let (min, max) = config.activity_len;
-            let len = rng.random_range(min..=max);
+            let len = rng.gen_range_inclusive(min as u64, max as u64) as usize;
             let mut seq: Vec<FileId> = Vec::with_capacity(len);
             let mut own: Vec<FileId> = Vec::new();
             let mut own_steps = 0usize;
             for _ in 0..len {
-                let use_shared = shared_dist.is_some() && rng.random::<f64>() < config.shared_rate;
+                let use_shared = shared_dist.is_some() && rng.next_f64() < config.shared_rate;
                 let file = if use_shared {
                     let dist = shared_dist.as_ref().expect("guarded by use_shared");
                     FileId(dist.sample(&mut rng) as u64)
                 } else {
                     own_steps += 1;
                     if own_steps.is_multiple_of(config.revisit_period) && !own.is_empty() {
-                        *own.choose(&mut rng).expect("own is non-empty")
+                        *rng.choose(&own).expect("own is non-empty")
                     } else {
                         let id = FileId(next_file);
                         next_file += 1;
@@ -449,7 +447,7 @@ impl WorkloadGenerator {
     /// traces.
     pub fn generate(&self) -> Trace {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = SeededRng::new(cfg.seed);
         let mut next_new_file = self.static_universe as u64;
         // Activities evolve during generation (drift), so work on a copy.
         let mut activities = self.activities.clone();
@@ -462,12 +460,12 @@ impl WorkloadGenerator {
         let mut events = Vec::with_capacity(cfg.events);
         let shared_pool = cfg.shared_pool as u64;
         for seq in 0..cfg.events {
-            if cfg.streams > 1 && rng.random::<f64>() >= cfg.stickiness {
-                current_stream = rng.random_range(0..cfg.streams);
+            if cfg.streams > 1 && rng.next_f64() >= cfg.stickiness {
+                current_stream = rng.gen_index(cfg.streams);
             }
             let stream = current_stream;
             if let Some(prev) = last_file[stream] {
-                if rng.random::<f64>() < cfg.repeat_rate {
+                if rng.next_f64() < cfg.repeat_rate {
                     let kind = self.read_or_write(&mut rng);
                     events.push(AccessEvent::new(
                         SeqNo(seq as u64),
@@ -478,7 +476,7 @@ impl WorkloadGenerator {
                     continue;
                 }
             }
-            let roll: f64 = rng.random();
+            let roll: f64 = rng.next_f64();
             let (file, kind) = if roll < cfg.new_file_rate {
                 let id = FileId(next_new_file);
                 next_new_file += 1;
@@ -498,9 +496,7 @@ impl WorkloadGenerator {
                     if cfg.drift > 0.0 {
                         let seq_ref = &mut activities[*act];
                         for slot in seq_ref.iter_mut() {
-                            if slot.as_u64() >= shared_pool
-                                && rng.random::<f64>() < cfg.drift
-                            {
+                            if slot.as_u64() >= shared_pool && rng.next_f64() < cfg.drift {
                                 *slot = FileId(next_new_file);
                                 next_new_file += 1;
                             }
@@ -522,8 +518,8 @@ impl WorkloadGenerator {
         Trace::new(events).expect("generator emits strictly increasing sequence numbers")
     }
 
-    fn read_or_write(&self, rng: &mut StdRng) -> AccessKind {
-        if rng.random::<f64>() < self.config.write_rate {
+    fn read_or_write(&self, rng: &mut SeededRng) -> AccessKind {
+        if rng.next_f64() < self.config.write_rate {
             AccessKind::Write
         } else {
             AccessKind::Read
@@ -695,7 +691,10 @@ mod tests {
         while pos < seq.len() {
             let window = &seq[pos..(pos + 4).min(seq.len())];
             let matched = acts.iter().any(|a| a.starts_with(window));
-            assert!(matched, "window at {pos} not an activity prefix: {window:?}");
+            assert!(
+                matched,
+                "window at {pos} not an activity prefix: {window:?}"
+            );
             pos += 4;
         }
     }

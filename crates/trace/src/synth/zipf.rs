@@ -6,8 +6,8 @@
 //! `k = 1..=n`. Sampling uses a precomputed cumulative table and binary
 //! search, which is plenty fast for the universe sizes the generator uses.
 
+use fgcache_types::rng::RandomSource;
 use fgcache_types::ValidationError;
-use rand::Rng;
 
 /// A Zipf distribution over `0..n` (rank 0 is the most popular).
 #[derive(Debug, Clone)]
@@ -60,8 +60,8 @@ impl Zipf {
     }
 
     /// Samples a rank in `0..n` (0 = most popular).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.random();
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.next_f64();
         match self
             .cumulative
             .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
@@ -90,8 +90,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fgcache_types::rng::SeededRng;
 
     #[test]
     fn rejects_empty_and_bad_exponent() {
@@ -104,7 +103,7 @@ mod tests {
     #[test]
     fn single_item_always_sampled() {
         let z = Zipf::new(1, 1.2).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SeededRng::new(0);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 0);
         }
@@ -136,7 +135,7 @@ mod tests {
     #[test]
     fn samples_stay_in_range_and_skew_low() {
         let z = Zipf::new(20, 1.2).unwrap();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SeededRng::new(42);
         let mut counts = vec![0usize; 20];
         for _ in 0..20_000 {
             let k = z.sample(&mut rng);
@@ -150,8 +149,8 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let z = Zipf::new(30, 1.0).unwrap();
-        let mut a = StdRng::seed_from_u64(7);
-        let mut b = StdRng::seed_from_u64(7);
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut a), z.sample(&mut b));
         }

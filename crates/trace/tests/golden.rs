@@ -1,0 +1,95 @@
+//! Golden-value tests pinning the synthetic-trace byte streams.
+//!
+//! Reproduced figures must be bit-identical across runs and machines, so
+//! these tests pin concrete outputs of the seeded generator stack: the raw
+//! PRNG stream, the Zipf sampler, and the first events of each workload
+//! profile. If any of these fail, the generator's output has changed and
+//! every figure produced from synthetic traces is invalidated — bump the
+//! figures deliberately or fix the regression.
+
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile, Zipf};
+use fgcache_types::rng::{RandomSource, SeededRng};
+
+/// First 16 file ids and access-kind codes of a profile's trace at seed 42.
+fn head(profile: WorkloadProfile) -> (Vec<u64>, String) {
+    let t = SynthConfig::profile(profile)
+        .events(16)
+        .seed(42)
+        .build()
+        .unwrap()
+        .generate();
+    (
+        t.events().iter().map(|e| e.file.as_u64()).collect(),
+        t.events().iter().map(|e| e.kind.code()).collect(),
+    )
+}
+
+#[test]
+fn seeded_rng_stream_is_pinned() {
+    let mut rng = SeededRng::new(42);
+    let raw: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        raw,
+        [
+            1546998764402558742,
+            6990951692964543102,
+            12544586762248559009,
+            17057574109182124193,
+            18295552978065317476,
+            14199186830065750584,
+            13267978908934200754,
+            15679888225317814407,
+        ]
+    );
+}
+
+#[test]
+fn zipf_sample_stream_is_pinned() {
+    let z = Zipf::new(100, 1.0).unwrap();
+    let mut rng = SeededRng::new(7);
+    let samples: Vec<usize> = (0..16).map(|_| z.sample(&mut rng)).collect();
+    assert_eq!(
+        samples,
+        [20, 1, 43, 90, 95, 51, 0, 0, 4, 0, 8, 24, 72, 53, 5, 9]
+    );
+}
+
+#[test]
+fn workstation_head_is_pinned() {
+    let (files, kinds) = head(WorkloadProfile::Workstation);
+    assert_eq!(
+        files,
+        [103, 1, 17, 104, 104, 3, 105, 17, 106, 107, 107, 108, 108, 108, 109, 30]
+    );
+    assert_eq!(kinds, "RRRRRRRRWRWRRRRR");
+}
+
+#[test]
+fn users_head_is_pinned() {
+    let (files, kinds) = head(WorkloadProfile::Users);
+    assert_eq!(
+        files,
+        [663, 664, 664, 664, 665, 666, 3, 1051, 811, 812, 812, 812, 813, 2817, 2817, 2818]
+    );
+    assert_eq!(kinds, "RRRRRRWRWRRRRRRR");
+}
+
+#[test]
+fn write_head_is_pinned() {
+    let (files, kinds) = head(WorkloadProfile::Write);
+    assert_eq!(
+        files,
+        [30, 31, 31, 69, 69, 70, 71, 72, 73, 70, 74, 75, 75, 75, 76, 1209]
+    );
+    assert_eq!(kinds, "RWRRWRWRWRWRWWRR");
+}
+
+#[test]
+fn server_head_is_pinned() {
+    let (files, kinds) = head(WorkloadProfile::Server);
+    assert_eq!(
+        files,
+        [20, 20, 20, 20, 21, 21, 21, 21, 21, 21, 21, 21, 21, 21, 21, 22]
+    );
+    assert_eq!(kinds, "RRRRRWRRRRRRRRRR");
+}

@@ -1,0 +1,79 @@
+//! Shared vocabulary for structural invariant audits.
+//!
+//! The static-analysis gate (see `crates/xtask`) requires every cache
+//! policy, the successor table and the aggregating cache to expose a
+//! `check_invariants(&self)` method that walks internal redundant state
+//! (slab lists vs index maps, ordered mirrors vs entry maps, size
+//! accumulators vs recounts) and reports the first inconsistency found.
+//! [`InvariantViolation`] is the error those audits return, defined here
+//! so every crate shares one type.
+
+use std::error::Error;
+use std::fmt;
+
+/// A detected inconsistency in a data structure's internal redundant state.
+///
+/// Returned by the `check_invariants` family of debug-audit methods. The
+/// `component` names the structure (for example `"LfuCache"` or
+/// `"SuccessorTable"`); the `detail` describes the specific violated
+/// invariant in enough detail to start debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    component: String,
+    detail: String,
+}
+
+impl InvariantViolation {
+    /// Creates a violation report for `component` with a human-readable
+    /// `detail` message.
+    pub fn new(component: impl Into<String>, detail: impl Into<String>) -> Self {
+        InvariantViolation {
+            component: component.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The structure in which the violation was detected.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Human-readable description of the violated invariant.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant violated in {}: {}",
+            self.component, self.detail
+        )
+    }
+}
+
+impl Error for InvariantViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let v = InvariantViolation::new("LruCache", "len 3 exceeds capacity 2");
+        assert_eq!(v.component(), "LruCache");
+        assert_eq!(v.detail(), "len 3 exceeds capacity 2");
+        let msg = v.to_string();
+        assert!(msg.contains("LruCache"));
+        assert!(msg.contains("capacity 2"));
+    }
+
+    #[test]
+    fn is_an_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        let v = InvariantViolation::new("x", "y");
+        takes_error(&v);
+    }
+}

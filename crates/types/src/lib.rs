@@ -19,15 +19,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
+pub mod audit;
 pub mod error;
+pub mod json;
+pub mod rng;
 
+pub use audit::InvariantViolation;
 pub use error::{ParseAccessKindError, ValidationError};
+pub use rng::SeededRng;
 
 /// Identifier of a file in the simulated file system.
 ///
@@ -44,10 +47,7 @@ pub use error::{ParseAccessKindError, ValidationError};
 /// assert_eq!(f.as_u64(), 7);
 /// assert_eq!(format!("{f}"), "f7");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FileId(pub u64);
 
 impl FileId {
@@ -86,10 +86,7 @@ impl fmt::Display for FileId {
 /// identity is carried on every event so that predictive models *may*
 /// differentiate per-client behaviour, although the paper's core model
 /// deliberately does not.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClientId(pub u32);
 
 impl ClientId {
@@ -119,10 +116,7 @@ impl fmt::Display for ClientId {
 /// predictions on the *order* of access events, never on wall-clock
 /// timestamps, because timing is perturbed by system load and by the
 /// predictive mechanism itself.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SeqNo(pub u64);
 
 impl SeqNo {
@@ -163,7 +157,7 @@ impl fmt::Display for SeqNo {
 /// The grouping model treats every kind as an access in the sequence; the
 /// distinction matters to the *workload generator* (write-heavy workloads
 /// create fresh, unpredictable files) and to trace statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessKind {
     /// A read access (`open` for reading in the paper's trace model).
     Read,
@@ -246,7 +240,7 @@ impl fmt::Display for AccessKind {
 ///
 /// Events are ordered by [`SeqNo`]; equal sequence numbers never occur
 /// within one trace (validated by `fgcache-trace`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AccessEvent {
     /// Position of this event in the access sequence.
     pub seq: SeqNo,
@@ -299,7 +293,7 @@ impl fmt::Display for AccessEvent {
 /// Used pervasively by `fgcache-cache` and `fgcache-core`; defined here so
 /// both crates (and downstream users) share one vocabulary type rather than
 /// a `bool`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessOutcome {
     /// The file was resident when requested.
     Hit,
@@ -410,18 +404,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_json_roundtrip_event() {
-        let ev = AccessEvent::new(SeqNo(8), ClientId(1), FileId(5), AccessKind::Create);
-        let json = serde_json::to_string(&ev).unwrap();
-        let back: AccessEvent = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, ev);
-    }
-
-    #[test]
-    fn serde_transparent_newtypes() {
-        assert_eq!(serde_json::to_string(&FileId(4)).unwrap(), "4");
-        assert_eq!(serde_json::from_str::<FileId>("4").unwrap(), FileId(4));
-        assert_eq!(serde_json::to_string(&SeqNo(2)).unwrap(), "2");
+    fn rng_is_reexported() {
+        use crate::rng::RandomSource;
+        let mut rng = SeededRng::new(7);
+        let a = rng.next_u64();
+        let mut again = SeededRng::new(7);
+        assert_eq!(again.next_u64(), a);
     }
 
     #[test]

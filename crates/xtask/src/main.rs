@@ -1,0 +1,427 @@
+//! `xtask` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! cargo run -p xtask -- lint    # pure static checks, no cargo subprocesses
+//! cargo run -p xtask -- ci      # fmt --check, clippy -D warnings, lint, build, test
+//! ```
+//!
+//! `lint` enforces the hermetic-build policy without compiling anything:
+//!
+//! 1. **Dependency allowlist** — every `[dependencies]`,
+//!    `[dev-dependencies]` and `[build-dependencies]` entry in every
+//!    workspace manifest must name another workspace crate. Any external
+//!    crate fails the gate; the workspace builds from `std` alone.
+//! 2. **Crate attributes** — every crate root carries
+//!    `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//! 3. **Panic-free library code** — no `.unwrap()`, `todo!()` or
+//!    `unimplemented!()` outside `#[cfg(test)]` modules in any `src/`
+//!    file (`.expect("why")` is allowed: it documents the invariant).
+//!
+//! The checks are deliberately line-based and dependency-free: the gate
+//! itself must not need anything the gate forbids.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// One gate violation: where it is and what rule it breaks.
+#[derive(Debug)]
+struct Violation {
+    file: PathBuf,
+    line: Option<usize>,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "{}:{}: {}", self.file.display(), n, self.message),
+            None => write!(f, "{}: {}", self.file.display(), self.message),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&root),
+        Some("ci") => ci(&root),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint|ci>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: the manifest dir's grandparent (`crates/xtask`).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Runs all static checks; prints violations and returns the exit code.
+fn lint(root: &Path) -> ExitCode {
+    let members = workspace_members(root);
+    let allowed: Vec<String> = members.iter().map(|m| m.name.clone()).collect();
+
+    let mut violations = Vec::new();
+    check_dependency_allowlist(root, &members, &allowed, &mut violations);
+    check_crate_attributes(&members, &mut violations);
+    check_panic_free_sources(&members, &mut violations);
+
+    if violations.is_empty() {
+        println!(
+            "xtask lint: {} crates clean (allowlist, attributes, panic-free sources)",
+            members.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("error: {v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the full local gate in order, stopping at the first failure.
+fn ci(root: &Path) -> ExitCode {
+    let steps: [(&str, &[&str]); 4] = [
+        ("cargo fmt --check", &["fmt", "--check"]),
+        (
+            "cargo clippy --workspace --all-targets -- -D warnings",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        ),
+        ("cargo build --release", &["build", "--release"]),
+        ("cargo test -q", &["test", "-q"]),
+    ];
+    // lint runs between clippy and build, in-process.
+    for (i, (label, cargo_args)) in steps.iter().enumerate() {
+        if i == 2 && lint(root) != ExitCode::SUCCESS {
+            return ExitCode::FAILURE;
+        }
+        println!("==> {label}");
+        let ok = Command::new("cargo")
+            .args(*cargo_args)
+            .current_dir(root)
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        if !ok {
+            eprintln!("xtask ci: step failed: {label}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("xtask ci: all steps passed");
+    ExitCode::SUCCESS
+}
+
+/// A workspace member crate: package name, manifest path, crate root.
+struct Member {
+    name: String,
+    manifest: PathBuf,
+    src_dir: PathBuf,
+    crate_root: PathBuf,
+}
+
+/// Enumerates workspace members: the root package plus every `crates/*`
+/// directory containing a `Cargo.toml`.
+fn workspace_members(root: &Path) -> Vec<Member> {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect()
+        })
+        .unwrap_or_default();
+    dirs.sort();
+    manifests.extend(dirs.iter().map(|d| d.join("Cargo.toml")));
+
+    manifests
+        .into_iter()
+        .filter_map(|manifest| {
+            let dir = manifest.parent()?.to_path_buf();
+            let text = fs::read_to_string(&manifest).ok()?;
+            let name = package_name(&text)?;
+            let src_dir = dir.join("src");
+            let lib = src_dir.join("lib.rs");
+            let crate_root = if lib.is_file() {
+                lib
+            } else {
+                src_dir.join("main.rs")
+            };
+            Some(Member {
+                name,
+                manifest,
+                src_dir,
+                crate_root,
+            })
+        })
+        .collect()
+}
+
+/// Extracts `name = "..."` from a manifest's `[package]` section.
+fn package_name(manifest_text: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest_text.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_package = section.trim_end_matches(']') == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Check 1: every dependency in every manifest is a workspace crate.
+fn check_dependency_allowlist(
+    root: &Path,
+    members: &[Member],
+    allowed: &[String],
+    violations: &mut Vec<Violation>,
+) {
+    for member in members {
+        let Ok(text) = fs::read_to_string(&member.manifest) else {
+            violations.push(Violation {
+                file: member.manifest.clone(),
+                line: None,
+                message: "unreadable manifest".into(),
+            });
+            continue;
+        };
+        let is_root = member.manifest == root.join("Cargo.toml");
+        let mut in_deps = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section.trim_end_matches(']');
+                // The root manifest also declares [workspace.dependencies];
+                // member manifests reference those entries by name.
+                in_deps = section.ends_with("dependencies")
+                    && (is_root || !section.starts_with("workspace"));
+                continue;
+            }
+            if !in_deps || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some(dep) = line.split('=').next().map(str::trim) else {
+                continue;
+            };
+            // `foo.workspace = true` is a dotted key: the dep is `foo`.
+            let dep = dep.split('.').next().unwrap_or(dep).trim_matches('"');
+            if dep.is_empty() {
+                continue;
+            }
+            if !allowed.iter().any(|a| a == dep) {
+                violations.push(Violation {
+                    file: member.manifest.clone(),
+                    line: Some(idx + 1),
+                    message: format!(
+                        "external dependency `{dep}` — the workspace is hermetic; \
+                         only workspace crates are allowed"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Check 2: every crate root forbids unsafe code and denies missing docs.
+fn check_crate_attributes(members: &[Member], violations: &mut Vec<Violation>) {
+    for member in members {
+        let Ok(text) = fs::read_to_string(&member.crate_root) else {
+            violations.push(Violation {
+                file: member.crate_root.clone(),
+                line: None,
+                message: "unreadable crate root".into(),
+            });
+            continue;
+        };
+        for required in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+            if !text.lines().any(|l| l.trim() == required) {
+                violations.push(Violation {
+                    file: member.crate_root.clone(),
+                    line: None,
+                    message: format!("crate root is missing `{required}`"),
+                });
+            }
+        }
+    }
+}
+
+/// Check 3: no `.unwrap()` / `todo!()` / `unimplemented!()` outside
+/// `#[cfg(test)]` in any `src/` file.
+fn check_panic_free_sources(members: &[Member], violations: &mut Vec<Violation>) {
+    for member in members {
+        for file in rust_sources(&member.src_dir) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            scan_panic_markers(&file, &text, violations);
+        }
+    }
+}
+
+/// Recursively lists `.rs` files under `dir`, sorted for stable output.
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(rd) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in rd.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Scans one source file for forbidden panic constructs, skipping
+/// comments and everything from the first `#[cfg(test)]` on (test
+/// modules sit at the end of each file in this workspace; a forbidden
+/// call *above* the test module is still caught).
+fn scan_panic_markers(file: &Path, text: &str, violations: &mut Vec<Violation>) {
+    // Escapes keep this file's own source text free of the markers it
+    // hunts for (the scanner would otherwise flag this very line).
+    const MARKERS: [&str; 3] = [".unwr\u{61}p()", "tod\u{6f}!(", "unimplement\u{65}d!("];
+    for (idx, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue; // doc comments and ordinary comments (incl. doctests)
+        }
+        let code = raw.split("//").next().unwrap_or(raw);
+        for marker in MARKERS {
+            if code.contains(marker) {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: Some(idx + 1),
+                    message: format!(
+                        "`{marker}` in library code — return an error or use \
+                         `.expect(\"reason\")` to document the invariant"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses_quoted_value() {
+        let toml = "[package]\nname = \"fgcache-cache\"\nversion = \"0.1.0\"\n";
+        assert_eq!(package_name(toml).as_deref(), Some("fgcache-cache"));
+    }
+
+    #[test]
+    fn package_name_ignores_other_sections() {
+        let toml = "[dependencies]\nname = \"nope\"\n[package]\nname = \"real\"\n";
+        assert_eq!(package_name(toml).as_deref(), Some("real"));
+    }
+
+    #[test]
+    fn panic_scan_flags_unwrap_but_not_comments_or_tests() {
+        let src = "\
+fn f() {\n\
+    let x = g().unwrap();\n\
+    // a comment mentioning .unwrap() is fine\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { h().unwrap(); }\n\
+}\n";
+        let mut v = Vec::new();
+        scan_panic_markers(Path::new("x.rs"), src, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, Some(2));
+    }
+
+    #[test]
+    fn panic_scan_flags_todo_and_unimplemented() {
+        let src = "fn a() { todo!() }\nfn b() { unimplemented!(\"later\") }\n";
+        let mut v = Vec::new();
+        scan_panic_markers(Path::new("x.rs"), src, &mut v);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lint_passes_on_this_workspace() {
+        let root = workspace_root();
+        let members = workspace_members(&root);
+        assert!(
+            members.iter().any(|m| m.name == "xtask"),
+            "xtask must lint itself"
+        );
+        let allowed: Vec<String> = members.iter().map(|m| m.name.clone()).collect();
+        let mut violations = Vec::new();
+        check_dependency_allowlist(&root, &members, &allowed, &mut violations);
+        check_crate_attributes(&members, &mut violations);
+        check_panic_free_sources(&members, &mut violations);
+        let rendered: Vec<String> = violations.iter().map(Violation::to_string).collect();
+        assert!(rendered.is_empty(), "violations: {rendered:#?}");
+    }
+
+    #[test]
+    fn allowlist_rejects_external_crates() {
+        let tmp = std::env::temp_dir().join("xtask-allowlist-test");
+        let crate_dir = tmp.join("crates").join("demo");
+        fs::create_dir_all(crate_dir.join("src")).unwrap();
+        fs::write(
+            tmp.join("Cargo.toml"),
+            "[package]\nname = \"demo-root\"\n[dependencies]\nserde = \"1\"\n",
+        )
+        .unwrap();
+        fs::write(
+            crate_dir.join("Cargo.toml"),
+            "[package]\nname = \"demo\"\n[dependencies]\ndemo-root = \"0.1\"\n",
+        )
+        .unwrap();
+        fs::write(crate_dir.join("src").join("lib.rs"), "").unwrap();
+        let members = workspace_members(&tmp);
+        let allowed: Vec<String> = members.iter().map(|m| m.name.clone()).collect();
+        let mut violations = Vec::new();
+        check_dependency_allowlist(&tmp, &members, &allowed, &mut violations);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].to_string().contains("serde"));
+        fs::remove_dir_all(&tmp).ok();
+    }
+}

@@ -28,10 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    different group sizes. Group size 1 IS plain LRU.
     let capacity = 300;
     println!("client cache capacity: {capacity} files");
-    println!("{:>6}  {:>14}  {:>9}  {:>10}", "group", "demand fetches", "hit rate", "reduction");
+    println!(
+        "{:>6}  {:>14}  {:>9}  {:>10}",
+        "group", "demand fetches", "hit rate", "reduction"
+    );
     let mut lru_fetches = None;
     for g in [1usize, 2, 3, 5, 7, 10] {
-        let mut cache = AggregatingCacheBuilder::new(capacity).group_size(g).build()?;
+        let mut cache = AggregatingCacheBuilder::new(capacity)
+            .group_size(g)
+            .build()?;
         for ev in trace.events() {
             cache.handle_access(ev.file);
         }
@@ -39,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let baseline = *lru_fetches.get_or_insert(fetches);
         println!(
             "{:>6}  {:>14}  {:>8.1}%  {:>9.1}%",
-            if g == 1 { "lru".to_string() } else { format!("g{g}") },
+            if g == 1 {
+                "lru".to_string()
+            } else {
+                format!("g{g}")
+            },
             fetches,
             cache.hit_rate() * 100.0,
             (1.0 - fetches as f64 / baseline as f64) * 100.0,
@@ -48,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Peek at the metadata that made this possible: per-file successor
     //    lists, a few entries each.
-    let mut cache = AggregatingCacheBuilder::new(capacity).group_size(5).build()?;
+    let mut cache = AggregatingCacheBuilder::new(capacity)
+        .group_size(5)
+        .build()?;
     for ev in trace.events() {
         cache.handle_access(ev.file);
     }

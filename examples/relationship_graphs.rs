@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for g in &groups {
         println!("   {g}");
     }
-    let tool_memberships = groups
-        .iter()
-        .filter(|g| g.contains(FileId(100)))
-        .count();
+    let tool_memberships = groups.iter().filter(|g| g.contains(FileId(100))).count();
     println!("   shared tool f100 appears in {tool_memberships} group(s)");
 
     // 3. The paper's successor table vs the probability-graph baseline.

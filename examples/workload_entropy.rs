@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?
             .generate();
         let stats = TraceStats::compute(&trace);
-        println!("== {profile} (imitating DFSTrace host `{}`)", profile.dfstrace_host());
+        println!(
+            "== {profile} (imitating DFSTrace host `{}`)",
+            profile.dfstrace_host()
+        );
         println!("   {}", stats.report());
 
         let files = trace.file_sequence();

@@ -59,6 +59,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use fgcache_cache as cache;
 pub use fgcache_core as core;

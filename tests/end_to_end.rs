@@ -34,7 +34,10 @@ fn persist_reload_and_simulate_identically() {
     assert_eq!(from_json, trace);
     // Simulation over the reloaded trace is identical to the original.
     let run = |t: &Trace| {
-        let mut agg = AggregatingCacheBuilder::new(200).group_size(5).build().unwrap();
+        let mut agg = AggregatingCacheBuilder::new(200)
+            .group_size(5)
+            .build()
+            .unwrap();
         for ev in t.events() {
             agg.handle_access(ev.file);
         }
@@ -49,7 +52,10 @@ fn manual_two_level_composition_matches_sweep() {
     let trace = workload();
     // Hand-rolled: LRU client filter + aggregating server.
     let mut filter = FilterCache::new(LruCache::new(150));
-    let mut server = AggregatingCacheBuilder::new(300).group_size(5).build().unwrap();
+    let mut server = AggregatingCacheBuilder::new(300)
+        .group_size(5)
+        .build()
+        .unwrap();
     for ev in trace.events() {
         if let Some(fwd) = filter.offer(ev) {
             server.handle_access(fwd.file);
@@ -124,8 +130,14 @@ fn piggybacked_metadata_beats_miss_stream_metadata_at_the_server() {
         }
         server.stats().hit_rate()
     };
-    assert!(uncooperative > plain * 1.5, "uncooperative {uncooperative} vs plain {plain}");
-    assert!(cooperative > plain * 1.5, "cooperative {cooperative} vs plain {plain}");
+    assert!(
+        uncooperative > plain * 1.5,
+        "uncooperative {uncooperative} vs plain {plain}"
+    );
+    assert!(
+        cooperative > plain * 1.5,
+        "cooperative {cooperative} vs plain {plain}"
+    );
 }
 
 #[test]
@@ -137,7 +149,10 @@ fn aggregating_cache_beats_probability_graph_baseline_on_drifting_workload() {
     let capacity = 200;
     let g = 5;
 
-    let mut agg = AggregatingCacheBuilder::new(capacity).group_size(g).build().unwrap();
+    let mut agg = AggregatingCacheBuilder::new(capacity)
+        .group_size(g)
+        .build()
+        .unwrap();
     for ev in trace.events() {
         agg.handle_access(ev.file);
     }

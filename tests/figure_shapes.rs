@@ -68,7 +68,10 @@ fn fig3_shape_grouping_cuts_fetches_with_diminishing_returns() {
         // the LRU→g5 step.
         let early_gain = lru - fetches(5);
         let late_gain = fetches(5) - fetches(10);
-        assert!(late_gain * 4 < early_gain, "no taper: {early_gain} vs {late_gain}");
+        assert!(
+            late_gain * 4 < early_gain,
+            "no taper: {early_gain} vs {late_gain}"
+        );
     }
 }
 
@@ -85,8 +88,16 @@ fn fig3_shape_write_workload_gains_least() {
             },
         )
         .unwrap();
-        let lru = points.iter().find(|p| p.group_size == 1).unwrap().demand_fetches;
-        let g5 = points.iter().find(|p| p.group_size == 5).unwrap().demand_fetches;
+        let lru = points
+            .iter()
+            .find(|p| p.group_size == 1)
+            .unwrap()
+            .demand_fetches;
+        let g5 = points
+            .iter()
+            .find(|p| p.group_size == 5)
+            .unwrap()
+            .demand_fetches;
         1.0 - g5 as f64 / lru as f64
     };
     let write = reduction(WorkloadProfile::Write);
@@ -216,17 +227,14 @@ fn fig8_shape_small_filters_hurt_large_filters_help_predictability() {
     let t = trace(WorkloadProfile::Write);
     let raw = fgcache::entropy::successor_entropy(&t.file_sequence());
     let series = filtered_entropy_sweep(&t, &[10, 50, 500, 1000], &[1]).unwrap();
-    let h = |label: &str| {
-        series
-            .iter()
-            .find(|s| s.label == label)
-            .unwrap()
-            .points[0]
-            .1
-    };
+    let h = |label: &str| series.iter().find(|s| s.label == label).unwrap().points[0].1;
     // A tiny filter strips the predictable immediate re-accesses → the
     // miss stream is LESS predictable than the raw workload.
-    assert!(h("filter=10") > raw, "filter=10 {} vs raw {raw}", h("filter=10"));
+    assert!(
+        h("filter=10") > raw,
+        "filter=10 {} vs raw {raw}",
+        h("filter=10")
+    );
     // Large filters expose the orderly first-access structure → MORE
     // predictable than raw, and monotonically so.
     assert!(h("filter=500") < raw);
@@ -260,7 +268,11 @@ fn headline_shape_all_claims_in_direction() {
         }
     }
     // The server workload gains the most from grouping on the client.
-    let server = summary.rows.iter().find(|r| r.workload == "server").unwrap();
+    let server = summary
+        .rows
+        .iter()
+        .find(|r| r.workload == "server")
+        .unwrap();
     for row in &summary.rows {
         assert!(server.fetch_reduction >= row.fetch_reduction - 1e-9);
     }

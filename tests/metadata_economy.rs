@@ -35,7 +35,10 @@ fn metadata_is_linear_in_files_not_accesses() {
         .unwrap()
         .generate();
     let footprint = |t: &Trace| {
-        let mut cache = AggregatingCacheBuilder::new(300).group_size(5).build().unwrap();
+        let mut cache = AggregatingCacheBuilder::new(300)
+            .group_size(5)
+            .build()
+            .unwrap();
         for ev in t.events() {
             cache.handle_access(ev.file);
         }
@@ -74,7 +77,10 @@ fn successor_capacity_bounds_hold_on_every_profile() {
 #[test]
 fn aggregating_cache_metadata_is_fraction_of_probability_graph() {
     let trace = workload(WorkloadProfile::Workstation);
-    let mut agg = AggregatingCacheBuilder::new(300).group_size(5).build().unwrap();
+    let mut agg = AggregatingCacheBuilder::new(300)
+        .group_size(5)
+        .build()
+        .unwrap();
     let mut pg = ProbabilityGraph::new(4, 0.05).unwrap();
     for ev in trace.events() {
         agg.handle_access(ev.file);
@@ -95,7 +101,10 @@ fn bandwidth_overhead_is_bounded_by_group_size() {
     // well below the worst case.
     for g in [2usize, 5, 10] {
         let trace = workload(WorkloadProfile::Server);
-        let mut cache = AggregatingCacheBuilder::new(300).group_size(g).build().unwrap();
+        let mut cache = AggregatingCacheBuilder::new(300)
+            .group_size(g)
+            .build()
+            .unwrap();
         for ev in trace.events() {
             cache.handle_access(ev.file);
         }
@@ -116,7 +125,10 @@ fn bandwidth_overhead_is_bounded_by_group_size() {
 #[test]
 fn groups_stay_within_configured_size_under_churn() {
     let trace = workload(WorkloadProfile::Write);
-    let mut cache = AggregatingCacheBuilder::new(200).group_size(7).build().unwrap();
+    let mut cache = AggregatingCacheBuilder::new(200)
+        .group_size(7)
+        .build()
+        .unwrap();
     for ev in trace.events() {
         cache.handle_access(ev.file);
     }
