@@ -18,4 +18,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo run -p xtask -- fuzz"
+cargo run -p xtask -- fuzz
+
 echo "ci.sh: all steps passed"

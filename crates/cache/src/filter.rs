@@ -6,7 +6,7 @@
 //! successor relationships survive. [`miss_stream`] produces the filtered
 //! workload; [`FilterCache`] is the same thing as a reusable adapter.
 
-use fgcache_types::{AccessEvent, FileId};
+use fgcache_types::{AccessEvent, FileId, InvariantViolation};
 
 use crate::{Cache, CacheStats};
 
@@ -55,12 +55,7 @@ impl<C: Cache> FilterCache<C> {
     /// Offers one event to the filter; returns `Some(event)` if it missed
     /// (i.e. would be forwarded to the server), `None` if absorbed.
     pub fn offer(&mut self, ev: &AccessEvent) -> Option<AccessEvent> {
-        if self.inner.access(ev.file).is_miss() {
-            self.forwarded += 1;
-            Some(*ev)
-        } else {
-            None
-        }
+        self.offer_file(ev.file).then_some(*ev)
     }
 
     /// Offers a bare file id; returns `true` if it missed (forwarded).
@@ -90,6 +85,28 @@ impl<C: Cache> FilterCache<C> {
     /// Consumes the adapter, returning the wrapped cache.
     pub fn into_inner(self) -> C {
         self.inner
+    }
+
+    /// Audits the adapter: the forwarded counter must equal the inner
+    /// cache's miss count (every miss is forwarded, nothing else is), and
+    /// the inner cache's own invariants must hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvariantViolation`] describing the first violated
+    /// invariant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        if self.forwarded != self.inner.stats().misses {
+            return Err(InvariantViolation::new(
+                "FilterCache",
+                format!(
+                    "{} events forwarded but inner cache recorded {} misses",
+                    self.forwarded,
+                    self.inner.stats().misses
+                ),
+            ));
+        }
+        self.inner.check_invariants()
     }
 }
 
@@ -155,5 +172,32 @@ mod tests {
         assert_eq!(filter.stats().hits, 1);
         let inner = filter.into_inner();
         assert!(inner.contains(FileId(1)));
+    }
+
+    #[test]
+    fn offer_and_offer_file_share_one_counter_path() {
+        // Interleave the two entry points; the forwarded counter must stay
+        // in lockstep with the inner miss count throughout.
+        let mut filter = FilterCache::new(LruCache::new(2));
+        let events = Trace::from_files([1, 2, 3, 1, 2, 3, 1, 1]);
+        for (i, ev) in events.events().iter().enumerate() {
+            if i % 2 == 0 {
+                filter.offer(ev);
+            } else {
+                filter.offer_file(ev.file);
+            }
+            filter.check_invariants().unwrap();
+        }
+        assert_eq!(filter.forwarded(), filter.stats().misses);
+    }
+
+    #[test]
+    fn check_invariants_reports_drift() {
+        let mut filter = FilterCache::new(LruCache::new(2));
+        filter.offer_file(FileId(1));
+        filter.check_invariants().unwrap();
+        filter.forwarded += 1; // simulate counter drift
+        let err = filter.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("forwarded"));
     }
 }

@@ -10,7 +10,7 @@
 //! Everything is seeded: a failure reproduces from the printed seed and
 //! step, never from a lost RNG state.
 
-use fgcache_cache::{Cache, PolicyKind};
+use fgcache_cache::{Cache, FilterCache, LruCache, PolicyKind};
 use fgcache_types::rng::RandomSource;
 use fgcache_types::{FileId, SeededRng};
 
@@ -683,5 +683,74 @@ fn second_seed_sweep() {
         for capacity in [3, 9] {
             fuzz_policy(kind, capacity, 1_000, 0xBADC_0FFE);
         }
+    }
+}
+
+// ------------------------------------------------- two-level system ----
+
+/// Cross-validates the filter → server two-level composition: a
+/// `FilterCache<LruCache>` client forwarding misses to an `LruCache`
+/// server, against the same composition built from reference models. The
+/// *composition* is what's under test — the client's absorption decides
+/// which accesses the server ever sees, so a single divergence cascades.
+/// `FilterCache::check_invariants` runs after every step.
+fn fuzz_two_level(client_capacity: usize, server_capacity: usize, ops: usize, seed: u64) {
+    let mut rng = SeededRng::new(seed);
+    let mut real_client = FilterCache::new(LruCache::new(client_capacity));
+    let mut real_server = LruCache::new(server_capacity);
+    let mut model_client = ModelLru {
+        capacity: client_capacity,
+        order: Vec::new(),
+    };
+    let mut model_server = ModelLru {
+        capacity: server_capacity,
+        order: Vec::new(),
+    };
+    let universe = (client_capacity.max(server_capacity) as u64) * 3 + 8;
+    for step in 0..ops {
+        let f = FileId(rng.gen_range_inclusive(0, universe));
+        let ctx = |what: &str| {
+            format!(
+                "two-level client {client_capacity} server {server_capacity} \
+                 seed {seed} step {step} file {f}: {what}"
+            )
+        };
+        let real_forwarded = real_client.offer_file(f);
+        let model_forwarded = !model_client.access(f);
+        assert_eq!(
+            model_forwarded,
+            real_forwarded,
+            "{}",
+            ctx("client absorb/forward diverged")
+        );
+        if real_forwarded {
+            let real_hit = real_server.access(f).is_hit();
+            let model_hit = model_server.access(f);
+            assert_eq!(model_hit, real_hit, "{}", ctx("server hit/miss diverged"));
+        }
+        let probe = FileId(rng.gen_range_inclusive(0, universe));
+        assert_eq!(
+            model_server.contains(probe),
+            real_server.contains(probe),
+            "{}",
+            ctx("server membership diverged")
+        );
+        real_client
+            .check_invariants()
+            .unwrap_or_else(|v| panic!("{}", ctx(&v.to_string())));
+        real_server
+            .check_invariants()
+            .unwrap_or_else(|v| panic!("{}", ctx(&v.to_string())));
+    }
+    assert_eq!(real_client.forwarded(), real_server.stats().accesses);
+}
+
+#[test]
+fn two_level_differential() {
+    // Client smaller, equal and larger than the server, plus degenerate
+    // 1-entry tiers.
+    for (client, server) in [(1, 4), (4, 16), (8, 8), (16, 4), (5, 1)] {
+        fuzz_two_level(client, server, OPS_PER_CAPACITY, SEED);
+        fuzz_two_level(client, server, 1_000, 0xBADC_0FFE);
     }
 }

@@ -1,9 +1,11 @@
-//! `fgcache simulate` — run one cache over a trace.
+//! `fgcache simulate` — run one cache over a trace, optionally as `K`
+//! clients against a sharded aggregating server.
 
 use std::error::Error;
 
 use fgcache_cache::{Cache, PolicyKind};
 use fgcache_core::AggregatingCacheBuilder;
+use fgcache_sim::multiclient::{run_multiclient, split_round_robin};
 use fgcache_trace::Trace;
 
 use crate::args::Args;
@@ -66,16 +68,79 @@ pub(crate) fn simulate(
     Ok(out)
 }
 
+/// The `--clients K` mode: the trace is split round-robin into `K`
+/// interleaved client streams, each replayed behind a private LRU filter
+/// against one shared sharded aggregating server. Replay is the
+/// deterministic round-robin interleave so the report is reproducible.
+pub(crate) fn simulate_multiclient(
+    trace: &Trace,
+    clients: usize,
+    shards: usize,
+    filter: usize,
+    capacity: usize,
+    group: usize,
+    successors: usize,
+) -> Result<String, Box<dyn Error>> {
+    if clients == 0 {
+        return Err("--clients must be greater than zero".into());
+    }
+    let streams = split_round_robin(trace, clients);
+    let point = run_multiclient(&streams, shards, filter, capacity, group, successors, false)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sharded aggregating server: capacity {capacity}, {shards} shard(s), group size {group}\n"
+    ));
+    out.push_str(&format!(
+        "clients           {} (filter capacity {filter})\n",
+        point.clients
+    ));
+    out.push_str(&format!("events            {}\n", point.events));
+    out.push_str(&format!(
+        "client hit rate   {:.1}%\n",
+        point.client_hit_rate * 100.0
+    ));
+    out.push_str(&format!("server accesses   {}\n", point.server_accesses));
+    out.push_str(&format!(
+        "server hit rate   {:.1}%\n",
+        point.server_hit_rate * 100.0
+    ));
+    out.push_str(&format!("demand fetches    {}\n", point.demand_fetches));
+    out.push_str(&format!("shard imbalance   {:.2}\n", point.imbalance));
+    Ok(out)
+}
+
 pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
     let args = Args::parse(tokens.iter().cloned())?;
-    args.check_known(&["format", "policy", "capacity", "group", "successors"])?;
+    args.check_known(&[
+        "format",
+        "policy",
+        "capacity",
+        "group",
+        "successors",
+        "clients",
+        "shards",
+        "filter",
+    ])?;
     let path = args.require_positional(0, "trace")?;
     let trace = load_trace(path, args.flag("format"))?;
     let capacity: usize = args.require_flag("capacity")?;
     let policy = args.flag("policy").unwrap_or("agg");
     let group = args.flag_or("group", 5usize)?;
     let successors = args.flag_or("successors", 8usize)?;
-    print!("{}", simulate(&trace, policy, capacity, group, successors)?);
+    if args.flag("clients").is_some() || args.flag("shards").is_some() {
+        if policy != "agg" {
+            return Err("--clients/--shards require the aggregating server (--policy agg)".into());
+        }
+        let clients = args.flag_or("clients", 1usize)?;
+        let shards = args.flag_or("shards", 1usize)?;
+        let filter = args.flag_or("filter", 100usize)?;
+        print!(
+            "{}",
+            simulate_multiclient(&trace, clients, shards, filter, capacity, group, successors)?
+        );
+    } else {
+        print!("{}", simulate(&trace, policy, capacity, group, successors)?);
+    }
     Ok(())
 }
 
@@ -110,5 +175,31 @@ mod tests {
     #[test]
     fn bad_group_rejected() {
         assert!(simulate(&trace(), "agg", 2, 5, 4).is_err());
+    }
+
+    #[test]
+    fn multiclient_report() {
+        let text = simulate_multiclient(&trace(), 4, 2, 10, 30, 3, 4).unwrap();
+        assert!(text.contains("2 shard(s)"));
+        assert!(text.contains("clients           4"));
+        assert!(text.contains("events            500"));
+        assert!(text.contains("shard imbalance"));
+    }
+
+    #[test]
+    fn multiclient_single_shard_matches_aggregate_totals() {
+        // 1 client / 1 shard / huge filter-less path sanity: the server
+        // sees exactly the client's misses.
+        let text = simulate_multiclient(&trace(), 1, 1, 1000, 30, 3, 4).unwrap();
+        // A 1000-entry filter over 17 distinct files absorbs everything
+        // after the cold misses: the server sees 17 accesses.
+        assert!(text.contains("server accesses   17"), "{text}");
+    }
+
+    #[test]
+    fn multiclient_validation() {
+        assert!(simulate_multiclient(&trace(), 0, 1, 10, 30, 3, 4).is_err());
+        // 30-file server over 16 shards: slices below group size 3.
+        assert!(simulate_multiclient(&trace(), 2, 16, 10, 30, 3, 4).is_err());
     }
 }

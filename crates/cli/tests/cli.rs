@@ -74,6 +74,56 @@ fn full_pipeline_text_format() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("arc cache"));
 
     let out = fgcache(&[
+        "simulate",
+        &trace,
+        "--capacity",
+        "200",
+        "--clients",
+        "4",
+        "--shards",
+        "2",
+        "--filter",
+        "50",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("2 shard(s)"), "{text}");
+    assert!(text.contains("shard imbalance"), "{text}");
+    // The multi-client run is deterministic: a second run reports
+    // byte-identical output.
+    let again = fgcache(&[
+        "simulate",
+        &trace,
+        "--capacity",
+        "200",
+        "--clients",
+        "4",
+        "--shards",
+        "2",
+        "--filter",
+        "50",
+    ]);
+    assert_eq!(out.stdout, again.stdout);
+
+    // Sharded mode rejects plain policies.
+    let out = fgcache(&[
+        "simulate",
+        &trace,
+        "--capacity",
+        "200",
+        "--clients",
+        "2",
+        "--policy",
+        "lru",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--policy agg"));
+
+    let out = fgcache(&[
         "two-level",
         &trace,
         "--filter",

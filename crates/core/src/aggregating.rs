@@ -153,11 +153,16 @@ impl AggregatingCache {
         match self.insertion {
             InsertionPolicy::Tail => self.cache.insert_speculative_batch(&members),
             InsertionPolicy::Head => {
-                // Place members directly below the requested file: promote
-                // least-confident first, then re-assert the requested file
-                // at the MRU head.
+                // Place members directly below the requested file. Insert
+                // the whole batch at the tail first — the batch insert
+                // evicts only tail entries and never the just-fetched
+                // requested file — then promote least-confident first and
+                // finally re-assert the requested file at the MRU head.
+                // Promoting resident entries cannot evict, so the
+                // requested file survives its own group fetch at any
+                // capacity ≥ group size.
+                self.cache.insert_speculative_batch(&members);
                 for &m in members.iter().rev() {
-                    self.cache.insert_speculative(m);
                     self.cache.promote_to_head(m);
                 }
                 self.cache.promote_to_head(file);
@@ -207,6 +212,11 @@ impl AggregatingCache {
     /// Metadata footprint: total successor entries tracked.
     pub fn metadata_entries(&self) -> usize {
         self.table.metadata_entries()
+    }
+
+    /// Resident files in MRU→LRU order (for partition audits and tests).
+    pub fn residents(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.cache.iter_mru()
     }
 }
 
@@ -392,6 +402,54 @@ mod tests {
         }
         assert!(a.len() <= 10);
         assert!(a.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn head_insertion_requested_file_survives_tiny_capacity() {
+        // Regression guard for the Head-insertion ordering hazard: at
+        // capacities barely above the group size, inserting/promoting
+        // speculative members after the requested file must never evict
+        // the file that was just demand-fetched. Exercised at capacity 2
+        // and 3 with every admissible group size and a dense cyclic
+        // workload so every miss carries a full group.
+        for capacity in [2usize, 3] {
+            for g in 2..=capacity {
+                let mut a = AggregatingCacheBuilder::new(capacity)
+                    .group_size(g)
+                    .insertion_policy(InsertionPolicy::Head)
+                    .build()
+                    .unwrap();
+                for i in 0..400u64 {
+                    let f = FileId(i % 5);
+                    a.handle_access(FileId(f.as_u64()));
+                    assert!(
+                        a.contains(f),
+                        "requested file {f} evicted by its own group fetch \
+                         (capacity {capacity}, group size {g})"
+                    );
+                    a.check_invariants().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn head_insertion_members_sit_below_requested_file() {
+        // After a cold miss with a known chain 1→2→3, Head insertion must
+        // leave the requested file at the MRU head with the members
+        // directly below it, most-confident first.
+        let mut a = AggregatingCacheBuilder::new(10)
+            .group_size(3)
+            .insertion_policy(InsertionPolicy::Head)
+            .metadata_source(MetadataSource::External)
+            .build()
+            .unwrap();
+        for id in [1u64, 2, 3, 1, 2, 3] {
+            a.observe_metadata(FileId(id));
+        }
+        a.handle_access(FileId(1));
+        let order: Vec<FileId> = a.residents().collect();
+        assert_eq!(order, vec![FileId(1), FileId(2), FileId(3)]);
     }
 
     #[test]

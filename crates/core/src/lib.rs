@@ -51,6 +51,8 @@
 
 mod aggregating;
 mod builder;
+pub mod sharded;
 
 pub use aggregating::{AggregatingCache, GroupFetchStats, InsertionPolicy, MetadataSource};
 pub use builder::{AggregatingCacheBuilder, DEFAULT_SUCCESSOR_CAPACITY};
+pub use sharded::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};

@@ -1,0 +1,546 @@
+//! Sharded multi-client aggregating cache — the server-position tier.
+//!
+//! The paper's server deployment (§4.3) funnels *many* clients' miss
+//! streams into one aggregating cache. A single-threaded
+//! [`AggregatingCache`] serializes that convergence; this module
+//! partitions both the residency directory and the successor table
+//! across `N` shards so concurrent clients contend only on the shard
+//! their requested file hashes to.
+//!
+//! # Shard layout
+//!
+//! Every [`FileId`] is assigned to exactly one shard by a fixed
+//! SplitMix64-finalizer hash ([`ShardedAggregatingCache::shard_of`]).
+//! Each shard owns a complete [`AggregatingCache`] — an LRU residency
+//! slice plus its own successor table — guarded by one
+//! [`std::sync::Mutex`]. The hash-partitioning invariant follows
+//! directly: a file's residency entry *and* its successor list live on
+//! exactly one shard, so no operation ever takes more than one lock and
+//! lock order cannot deadlock.
+//!
+//! Each shard therefore learns successor relationships from the
+//! sub-stream of requests that hash to it. With `shards == 1` the
+//! composition degenerates to a plain [`AggregatingCache`] and is
+//! bit-identical to it (same hit/miss sequence, same statistics) — the
+//! differential fuzzer in `tests/sharded_differential.rs` pins both
+//! this and the general `N`-shard equivalence to `N` independent
+//! per-partition caches.
+//!
+//! The shard boundary is where a networked fetch transport will later
+//! plug in: a shard is a self-contained server tier for its slice of
+//! the id space.
+//!
+//! # Examples
+//!
+//! ```
+//! use fgcache_core::ShardedAggregatingCacheBuilder;
+//! use fgcache_types::FileId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = ShardedAggregatingCacheBuilder::new(400)
+//!     .shards(4)
+//!     .group_size(5)
+//!     .build()?;
+//! std::thread::scope(|scope| {
+//!     for client in 0..4u64 {
+//!         let server = &server;
+//!         scope.spawn(move || {
+//!             for i in 0..100u64 {
+//!                 server.handle_access(FileId(client * 1000 + i % 10));
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(server.stats().accesses, 400);
+//! server.check_invariants()?;
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Mutex;
+
+use fgcache_cache::{Cache as _, CacheStats};
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation, ValidationError};
+
+use crate::aggregating::{AggregatingCache, GroupFetchStats, InsertionPolicy, MetadataSource};
+use crate::builder::{AggregatingCacheBuilder, DEFAULT_SUCCESSOR_CAPACITY};
+
+/// Maps a file to its shard with the SplitMix64 finalizer — deterministic
+/// across runs and platforms, and well-mixed even for sequential ids.
+fn shard_index(file: FileId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut z = file.as_u64().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+/// Splits a total capacity across `shards` slices: every shard gets
+/// `total / shards`, and the remainder goes to the first shards so the
+/// slice sizes differ by at most one file.
+pub fn partition_capacities(total: usize, shards: usize) -> Vec<usize> {
+    let base = total / shards.max(1);
+    let rem = total % shards.max(1);
+    (0..shards.max(1))
+        .map(|i| base + usize::from(i < rem))
+        .collect()
+}
+
+/// A hash-partitioned aggregating cache safe for concurrent clients.
+///
+/// Construct via [`ShardedAggregatingCacheBuilder`]. All request-path
+/// methods take `&self`; each locks exactly the one shard the file
+/// hashes to. Aggregate inspection methods ([`stats`], [`group_stats`],
+/// …) lock the shards one at a time and sum, so they are linearizable
+/// per shard but only quiescently consistent across shards — call them
+/// after the client threads have joined for exact totals.
+///
+/// [`stats`]: ShardedAggregatingCache::stats
+/// [`group_stats`]: ShardedAggregatingCache::group_stats
+#[derive(Debug)]
+pub struct ShardedAggregatingCache {
+    shards: Vec<Mutex<AggregatingCache>>,
+    capacity: usize,
+}
+
+impl ShardedAggregatingCache {
+    fn from_shards(shards: Vec<AggregatingCache>, capacity: usize) -> Self {
+        ShardedAggregatingCache {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            capacity,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total residency capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The shard `file` is assigned to.
+    pub fn shard_of(&self, file: FileId) -> usize {
+        shard_index(file, self.shards.len())
+    }
+
+    fn shard(&self, i: usize) -> std::sync::MutexGuard<'_, AggregatingCache> {
+        self.shards[i]
+            .lock()
+            .expect("a shard panicked while holding its lock")
+    }
+
+    /// Handles one demand request on the owning shard (one lock).
+    pub fn handle_access(&self, file: FileId) -> AccessOutcome {
+        self.shard(self.shard_of(file)).handle_access(file)
+    }
+
+    /// Feeds a metadata-only observation to the owning shard's successor
+    /// table without touching residency (piggy-backed client statistics).
+    pub fn observe_metadata(&self, file: FileId) {
+        self.shard(self.shard_of(file)).observe_metadata(file);
+    }
+
+    /// Runs `f` against the shard owning `file` — the escape hatch for
+    /// tests and future transports that need the full per-shard API.
+    pub fn with_shard_of<R>(&self, file: FileId, f: impl FnOnce(&AggregatingCache) -> R) -> R {
+        f(&self.shard(self.shard_of(file)))
+    }
+
+    /// Total resident files across all shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.shard(i).len()).sum()
+    }
+
+    /// Returns `true` if no shard holds any file.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `file` is resident (on its owning shard).
+    pub fn contains(&self, file: FileId) -> bool {
+        self.shard(self.shard_of(file)).contains(file)
+    }
+
+    /// Summed cache statistics across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::new();
+        for i in 0..self.shards.len() {
+            let s = *self.shard(i).stats();
+            total.accesses += s.accesses;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.speculative_inserts += s.speculative_inserts;
+            total.speculative_hits += s.speculative_hits;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// Summed group-fetch statistics across all shards.
+    pub fn group_stats(&self) -> GroupFetchStats {
+        let mut total = GroupFetchStats::default();
+        for i in 0..self.shards.len() {
+            let s = *self.shard(i).group_stats();
+            total.demand_fetches += s.demand_fetches;
+            total.files_transferred += s.files_transferred;
+            total.members_already_resident += s.members_already_resident;
+        }
+        total
+    }
+
+    /// Total demand fetches (misses) across all shards.
+    pub fn demand_fetches(&self) -> u64 {
+        self.group_stats().demand_fetches
+    }
+
+    /// Aggregate demand hit rate across all shards.
+    pub fn hit_rate(&self) -> f64 {
+        self.stats().hit_rate()
+    }
+
+    /// Total successor-table entries across all shards.
+    pub fn metadata_entries(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).metadata_entries())
+            .sum()
+    }
+
+    /// Requests handled per shard, in shard order — the load profile the
+    /// hash produced.
+    pub fn shard_accesses(&self) -> Vec<u64> {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).accesses())
+            .collect()
+    }
+
+    /// Load imbalance: the busiest shard's request count divided by the
+    /// mean per-shard count (1.0 = perfectly balanced; 0 with no
+    /// requests).
+    pub fn shard_imbalance(&self) -> f64 {
+        let loads = self.shard_accesses();
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        max / mean
+    }
+
+    /// Drops all resident files, successor metadata and statistics.
+    pub fn clear(&self) {
+        for i in 0..self.shards.len() {
+            self.shard(i).clear();
+        }
+    }
+
+    /// Audits every shard's internal invariants plus the cross-shard
+    /// partition invariants: each shard's resident files *and* tracked
+    /// successor-list keys hash to that shard, and no file is resident
+    /// on two shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvariantViolation`] describing the first violated
+    /// invariant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("ShardedAggregatingCache", detail));
+        let mut total_capacity = 0;
+        for i in 0..self.shards.len() {
+            let shard = self.shard(i);
+            shard.check_invariants()?;
+            total_capacity += shard.capacity();
+            for file in shard.residents() {
+                let owner = shard_index(file, self.shards.len());
+                if owner != i {
+                    return err(format!(
+                        "resident file {file} found on shard {i}, hashes to shard {owner}"
+                    ));
+                }
+            }
+            for (file, _) in shard.successor_table().iter() {
+                let owner = shard_index(file, self.shards.len());
+                if owner != i {
+                    return err(format!(
+                        "successor list for {file} found on shard {i}, hashes to shard {owner}"
+                    ));
+                }
+            }
+        }
+        if total_capacity != self.capacity {
+            return err(format!(
+                "shard capacities sum to {total_capacity}, configured total is {}",
+                self.capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configures and constructs a [`ShardedAggregatingCache`].
+///
+/// ```
+/// use fgcache_core::ShardedAggregatingCacheBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = ShardedAggregatingCacheBuilder::new(300)
+///     .shards(2)
+///     .group_size(5)
+///     .successor_capacity(8)
+///     .build()?;
+/// assert_eq!(server.shard_count(), 2);
+/// assert_eq!(server.capacity(), 300);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedAggregatingCacheBuilder {
+    capacity: usize,
+    shards: usize,
+    group_size: usize,
+    successor_capacity: usize,
+    insertion: InsertionPolicy,
+    metadata: MetadataSource,
+}
+
+impl ShardedAggregatingCacheBuilder {
+    /// Starts a builder for a sharded cache of `capacity` total files.
+    /// Defaults: 1 shard, group size 5, successor capacity
+    /// [`DEFAULT_SUCCESSOR_CAPACITY`], tail insertion, metadata from
+    /// requests — matching [`AggregatingCacheBuilder`].
+    pub fn new(capacity: usize) -> Self {
+        ShardedAggregatingCacheBuilder {
+            capacity,
+            shards: 1,
+            group_size: 5,
+            successor_capacity: DEFAULT_SUCCESSOR_CAPACITY,
+            insertion: InsertionPolicy::default(),
+            metadata: MetadataSource::default(),
+        }
+    }
+
+    /// Sets the shard count `N`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the group size `g` (1 = plain sharded LRU).
+    pub fn group_size(mut self, g: usize) -> Self {
+        self.group_size = g;
+        self
+    }
+
+    /// Sets the per-file successor list capacity.
+    pub fn successor_capacity(mut self, capacity: usize) -> Self {
+        self.successor_capacity = capacity;
+        self
+    }
+
+    /// Sets where speculative group members are placed.
+    pub fn insertion_policy(mut self, policy: InsertionPolicy) -> Self {
+        self.insertion = policy;
+        self
+    }
+
+    /// Sets where successor observations come from.
+    pub fn metadata_source(mut self, source: MetadataSource) -> Self {
+        self.metadata = source;
+        self
+    }
+
+    /// Validates the configuration and constructs the sharded cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if the shard count is zero, or if
+    /// any shard's capacity slice fails [`AggregatingCacheBuilder`]
+    /// validation (in particular, the *smallest* slice must still hold a
+    /// whole group: `capacity / shards >= group_size`).
+    pub fn build(&self) -> Result<ShardedAggregatingCache, ValidationError> {
+        if self.shards == 0 {
+            return Err(ValidationError::new(
+                "shards",
+                "at least one shard is required",
+            ));
+        }
+        let slices = partition_capacities(self.capacity, self.shards);
+        let mut shards = Vec::with_capacity(self.shards);
+        for slice in slices {
+            shards.push(
+                AggregatingCacheBuilder::new(slice)
+                    .group_size(self.group_size)
+                    .successor_capacity(self.successor_capacity)
+                    .insertion_policy(self.insertion)
+                    .metadata_source(self.metadata)
+                    .build()?,
+            );
+        }
+        Ok(ShardedAggregatingCache::from_shards(shards, self.capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sharded(capacity: usize, shards: usize) -> ShardedAggregatingCache {
+        ShardedAggregatingCacheBuilder::new(capacity)
+            .shards(shards)
+            .group_size(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ShardedAggregatingCacheBuilder::new(10)
+            .shards(0)
+            .build()
+            .is_err());
+        // 10 files over 4 shards → smallest slice is 2 < group size 3.
+        assert!(ShardedAggregatingCacheBuilder::new(10)
+            .shards(4)
+            .group_size(3)
+            .build()
+            .is_err());
+        assert!(ShardedAggregatingCacheBuilder::new(12)
+            .shards(4)
+            .group_size(3)
+            .build()
+            .is_ok());
+        assert!(ShardedAggregatingCacheBuilder::new(0).build().is_err());
+    }
+
+    #[test]
+    fn capacity_partition_differs_by_at_most_one() {
+        assert_eq!(partition_capacities(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(partition_capacities(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(partition_capacities(7, 1), vec![7]);
+        assert_eq!(partition_capacities(3, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        let c = sharded(40, 4);
+        for id in 0..1000u64 {
+            let s = c.shard_of(FileId(id));
+            assert!(s < 4);
+            assert_eq!(s, c.shard_of(FileId(id)), "assignment must be stable");
+        }
+        let single = sharded(40, 1);
+        assert!((0..1000u64).all(|id| single.shard_of(FileId(id)) == 0));
+    }
+
+    #[test]
+    fn hash_spreads_sequential_ids() {
+        let c = sharded(40, 4);
+        let mut counts = [0usize; 4];
+        for id in 0..4000u64 {
+            counts[c.shard_of(FileId(id))] += 1;
+        }
+        for (i, &n) in counts.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&n),
+                "shard {i} got {n} of 4000 sequential ids"
+            );
+        }
+    }
+
+    #[test]
+    fn basic_accounting_sums_across_shards() {
+        let c = sharded(40, 4);
+        for round in 0..3 {
+            for id in 0..20u64 {
+                let outcome = c.handle_access(FileId(id));
+                if round == 0 {
+                    assert!(outcome.is_miss());
+                }
+            }
+        }
+        let stats = c.stats();
+        assert_eq!(stats.accesses, 60);
+        assert_eq!(stats.hits + stats.misses, 60);
+        assert!(c.contains(FileId(0)));
+        assert!(!c.contains(FileId(999)));
+        assert_eq!(c.len(), 20);
+        assert_eq!(c.demand_fetches(), stats.misses);
+        assert!(c.hit_rate() > 0.0);
+        assert!(c.metadata_entries() > 0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shard_loads_and_imbalance() {
+        let c = sharded(40, 4);
+        assert_eq!(c.shard_imbalance(), 0.0); // no requests yet
+        for id in 0..400u64 {
+            c.handle_access(FileId(id));
+        }
+        let loads = c.shard_accesses();
+        assert_eq!(loads.iter().sum::<u64>(), 400);
+        let imb = c.shard_imbalance();
+        assert!((1.0..2.0).contains(&imb), "imbalance {imb}");
+    }
+
+    #[test]
+    fn concurrent_clients_agree_on_totals() {
+        let c = sharded(64, 4);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        c.handle_access(FileId((t * 7 + i) % 100));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().accesses, 2000);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn observe_metadata_feeds_owning_shard_only() {
+        let c = ShardedAggregatingCacheBuilder::new(40)
+            .shards(4)
+            .group_size(3)
+            .metadata_source(MetadataSource::External)
+            .build()
+            .unwrap();
+        for id in 0..50u64 {
+            c.observe_metadata(FileId(id));
+        }
+        assert_eq!(c.len(), 0); // metadata only, no residency
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let c = sharded(40, 2);
+        for id in 0..30u64 {
+            c.handle_access(FileId(id));
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.metadata_entries(), 0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn with_shard_of_reaches_per_shard_state() {
+        let c = sharded(40, 4);
+        c.handle_access(FileId(5));
+        let (resident, accesses) =
+            c.with_shard_of(FileId(5), |s| (s.contains(FileId(5)), s.accesses()));
+        assert!(resident);
+        assert_eq!(accesses, 1);
+    }
+}

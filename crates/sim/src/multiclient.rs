@@ -1,0 +1,454 @@
+//! Multi-client replay against the sharded server tier.
+//!
+//! The paper's server deployment (§4.3) aggregates *many* clients, each
+//! behind its own cache, with no client cooperation. This driver builds
+//! that topology end to end: `K` clients, each with a private
+//! [`FilterCache`] front-end, replay their traces against one shared
+//! [`ShardedAggregatingCache`] — either concurrently (one scoped thread
+//! per client, the production shape) or as a deterministic round-robin
+//! interleave (the reproducible-metrics shape). The sweep replays the
+//! same client workload against a range of shard counts and reports
+//! aggregate hit rates, demand fetches and per-shard load imbalance.
+
+use std::time::{Duration, Instant};
+
+use fgcache_cache::{FilterCache, LruCache};
+use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+use fgcache_trace::Trace;
+use fgcache_types::ValidationError;
+
+use crate::report::{fmt2, pct, Table};
+
+/// Parameter grid for the multi-client sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClientConfig {
+    /// Number of concurrent clients `K`.
+    pub clients: usize,
+    /// Shard counts to sweep (e.g. `[1, 2, 4, 8]`).
+    pub shard_counts: Vec<usize>,
+    /// Synthetic events generated per client.
+    pub events_per_client: usize,
+    /// Capacity of each client's private filter cache.
+    pub filter_capacity: usize,
+    /// Total capacity of the shared server tier (split across shards).
+    pub server_capacity: usize,
+    /// Server-side group size `g`.
+    pub group_size: usize,
+    /// Server-side successor list capacity.
+    pub successor_capacity: usize,
+    /// Base seed; client `i` generates its trace from `seed + i`.
+    pub seed: u64,
+    /// Workload profile each client draws from.
+    pub profile: WorkloadProfile,
+    /// Replay concurrently with one scoped thread per client (true), or
+    /// as a deterministic round-robin interleave (false). Aggregate
+    /// totals match either way; concurrent runs interleave the shard
+    /// streams nondeterministically.
+    pub concurrent: bool,
+}
+
+impl MultiClientConfig {
+    /// The ISSUE's sweep: 4 clients × 1/2/4/8 shards.
+    pub fn standard() -> Self {
+        MultiClientConfig {
+            clients: 4,
+            shard_counts: vec![1, 2, 4, 8],
+            events_per_client: 25_000,
+            filter_capacity: 100,
+            server_capacity: 400,
+            group_size: 5,
+            successor_capacity: 8,
+            seed: 20020702,
+            profile: WorkloadProfile::Server,
+            concurrent: true,
+        }
+    }
+
+    /// A reduced grid for quick runs and tests.
+    pub fn quick() -> Self {
+        MultiClientConfig {
+            clients: 2,
+            shard_counts: vec![1, 2],
+            events_per_client: 2_000,
+            filter_capacity: 50,
+            server_capacity: 120,
+            group_size: 3,
+            successor_capacity: 4,
+            seed: 7,
+            profile: WorkloadProfile::Server,
+            concurrent: false,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ValidationError> {
+        if self.clients == 0 {
+            return Err(ValidationError::new("clients", "at least one client"));
+        }
+        if self.events_per_client == 0 {
+            return Err(ValidationError::new(
+                "events_per_client",
+                "must be greater than zero",
+            ));
+        }
+        if self.filter_capacity == 0 {
+            return Err(ValidationError::new(
+                "filter_capacity",
+                "must be greater than zero",
+            ));
+        }
+        if self.shard_counts.is_empty() {
+            return Err(ValidationError::new("shard_counts", "must not be empty"));
+        }
+        for &shards in &self.shard_counts {
+            // Delegate slice-size validation (smallest slice must hold a
+            // whole group) to the builder.
+            self.server(shards)?;
+        }
+        Ok(())
+    }
+
+    fn server(&self, shards: usize) -> Result<ShardedAggregatingCache, ValidationError> {
+        ShardedAggregatingCacheBuilder::new(self.server_capacity)
+            .shards(shards)
+            .group_size(self.group_size)
+            .successor_capacity(self.successor_capacity)
+            .build()
+    }
+
+    /// Generates the `K` per-client synthetic traces (client `i` is
+    /// seeded with `seed + i`, so clients are independent but the whole
+    /// sweep is reproducible).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] for a zero client count or event
+    /// count.
+    pub fn client_traces(&self) -> Result<Vec<Trace>, ValidationError> {
+        if self.clients == 0 {
+            return Err(ValidationError::new("clients", "at least one client"));
+        }
+        (0..self.clients)
+            .map(|i| {
+                Ok(SynthConfig::profile(self.profile)
+                    .events(self.events_per_client)
+                    .seed(self.seed + i as u64)
+                    .build()?
+                    .generate())
+            })
+            .collect()
+    }
+}
+
+/// One measured point of the multi-client sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClientPoint {
+    /// Shard count for this point.
+    pub shards: usize,
+    /// Number of clients replayed.
+    pub clients: usize,
+    /// Total events replayed across all clients.
+    pub events: u64,
+    /// Aggregate client-side (filter) hit rate.
+    pub client_hit_rate: f64,
+    /// Server hit rate over the requests that reached it.
+    pub server_hit_rate: f64,
+    /// Requests that reached the server (sum of client misses).
+    pub server_accesses: u64,
+    /// Server demand fetches (misses) — the paper's cost metric.
+    pub demand_fetches: u64,
+    /// Per-shard load imbalance (busiest / mean; 1.0 = balanced).
+    pub imbalance: f64,
+    /// Wall-clock replay time (excludes trace generation).
+    pub elapsed: Duration,
+}
+
+/// Replays `traces` (one per client) against a fresh sharded server and
+/// measures the aggregate behaviour. Each client runs behind its own
+/// `FilterCache<LruCache>` of `filter_capacity`; misses forward to the
+/// shared server. `concurrent` selects scoped threads vs the
+/// deterministic round-robin interleave.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if `traces` is empty, the filter
+/// capacity is zero, or the server configuration is invalid for
+/// `shards`.
+pub fn run_multiclient(
+    traces: &[Trace],
+    shards: usize,
+    filter_capacity: usize,
+    server_capacity: usize,
+    group_size: usize,
+    successor_capacity: usize,
+    concurrent: bool,
+) -> Result<MultiClientPoint, ValidationError> {
+    if traces.is_empty() {
+        return Err(ValidationError::new("traces", "at least one client trace"));
+    }
+    if filter_capacity == 0 {
+        return Err(ValidationError::new(
+            "filter_capacity",
+            "must be greater than zero",
+        ));
+    }
+    let server = ShardedAggregatingCacheBuilder::new(server_capacity)
+        .shards(shards)
+        .group_size(group_size)
+        .successor_capacity(successor_capacity)
+        .build()?;
+    let start = Instant::now();
+    let (client_hits, client_accesses) = if concurrent {
+        replay_concurrent(&server, traces, filter_capacity)
+    } else {
+        replay_round_robin(&server, traces, filter_capacity)
+    };
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    debug_assert!(server.check_invariants().is_ok());
+    Ok(MultiClientPoint {
+        shards,
+        clients: traces.len(),
+        events: client_accesses,
+        client_hit_rate: if client_accesses == 0 {
+            0.0
+        } else {
+            client_hits as f64 / client_accesses as f64
+        },
+        server_hit_rate: stats.hit_rate(),
+        server_accesses: stats.accesses,
+        demand_fetches: server.demand_fetches(),
+        imbalance: server.shard_imbalance(),
+        elapsed,
+    })
+}
+
+/// One scoped thread per client — the topology the shards exist for.
+/// Returns aggregate (client hits, client accesses).
+fn replay_concurrent(
+    server: &ShardedAggregatingCache,
+    traces: &[Trace],
+    filter_capacity: usize,
+) -> (u64, u64) {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .iter()
+            .map(|trace| {
+                scope.spawn(move || {
+                    let mut filter = FilterCache::new(LruCache::new(filter_capacity));
+                    for ev in trace.events() {
+                        if filter.offer_file(ev.file) {
+                            server.handle_access(ev.file);
+                        }
+                    }
+                    let stats = *filter.stats();
+                    (stats.hits, stats.accesses)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client replay thread panicked"))
+            .fold((0, 0), |(h, a), (hh, aa)| (h + hh, a + aa))
+    })
+}
+
+/// Deterministic single-threaded interleave: clients take turns, one
+/// event per turn, until every trace is drained.
+fn replay_round_robin(
+    server: &ShardedAggregatingCache,
+    traces: &[Trace],
+    filter_capacity: usize,
+) -> (u64, u64) {
+    let mut filters: Vec<FilterCache<LruCache>> = traces
+        .iter()
+        .map(|_| FilterCache::new(LruCache::new(filter_capacity)))
+        .collect();
+    let longest = traces.iter().map(Trace::len).max().unwrap_or(0);
+    for i in 0..longest {
+        for (client, trace) in traces.iter().enumerate() {
+            if let Some(ev) = trace.events().get(i) {
+                if filters[client].offer_file(ev.file) {
+                    server.handle_access(ev.file);
+                }
+            }
+        }
+    }
+    filters.iter().fold((0, 0), |(h, a), f| {
+        (h + f.stats().hits, a + f.stats().accesses)
+    })
+}
+
+/// Runs the full sweep: the same `K` client traces replayed against every
+/// shard count in the config.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if the config grid is invalid (see
+/// [`MultiClientConfig`] field docs).
+pub fn multiclient_sweep(
+    config: &MultiClientConfig,
+) -> Result<Vec<MultiClientPoint>, ValidationError> {
+    config.validate()?;
+    let traces = config.client_traces()?;
+    config
+        .shard_counts
+        .iter()
+        .map(|&shards| {
+            run_multiclient(
+                &traces,
+                shards,
+                config.filter_capacity,
+                config.server_capacity,
+                config.group_size,
+                config.successor_capacity,
+                config.concurrent,
+            )
+        })
+        .collect()
+}
+
+/// Renders the sweep: one row per shard count.
+pub fn multiclient_table(title: &str, points: &[MultiClientPoint]) -> Table {
+    let mut table = Table::new(
+        title,
+        [
+            "shards",
+            "clients",
+            "client_hit",
+            "server_hit",
+            "fetches",
+            "imbalance",
+            "secs",
+        ],
+    );
+    for p in points {
+        table.push_row([
+            p.shards.to_string(),
+            p.clients.to_string(),
+            pct(p.client_hit_rate),
+            pct(p.server_hit_rate),
+            p.demand_fetches.to_string(),
+            fmt2(p.imbalance),
+            format!("{:.3}", p.elapsed.as_secs_f64()),
+        ]);
+    }
+    table
+}
+
+/// Splits one trace into `k` interleaved client streams (event `i` goes
+/// to client `i % k`) — how the CLI turns a single recorded trace into a
+/// multi-client workload.
+pub fn split_round_robin(trace: &Trace, k: usize) -> Vec<Trace> {
+    let k = k.max(1);
+    (0..k)
+        .map(|client| {
+            trace
+                .events()
+                .iter()
+                .skip(client)
+                .step_by(k)
+                .copied()
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let mut cfg = MultiClientConfig::quick();
+        cfg.clients = 0;
+        assert!(multiclient_sweep(&cfg).is_err());
+        let mut cfg = MultiClientConfig::quick();
+        cfg.shard_counts.clear();
+        assert!(multiclient_sweep(&cfg).is_err());
+        let mut cfg = MultiClientConfig::quick();
+        cfg.filter_capacity = 0;
+        assert!(multiclient_sweep(&cfg).is_err());
+        // 120-capacity server over 64 shards: slices smaller than g.
+        let mut cfg = MultiClientConfig::quick();
+        cfg.shard_counts = vec![64];
+        assert!(multiclient_sweep(&cfg).is_err());
+        assert!(run_multiclient(&[], 1, 10, 100, 3, 4, false).is_err());
+    }
+
+    #[test]
+    fn sweep_reports_every_shard_count() {
+        let cfg = MultiClientConfig::quick();
+        let points = multiclient_sweep(&cfg).unwrap();
+        assert_eq!(points.len(), cfg.shard_counts.len());
+        for (p, &shards) in points.iter().zip(&cfg.shard_counts) {
+            assert_eq!(p.shards, shards);
+            assert_eq!(p.clients, cfg.clients);
+            assert_eq!(p.events, (cfg.clients * cfg.events_per_client) as u64);
+            // Every client miss reaches the server, nothing else does.
+            let client_misses = p.events - (p.client_hit_rate * p.events as f64).round() as u64;
+            assert_eq!(p.server_accesses, client_misses);
+            assert!(p.demand_fetches <= p.server_accesses);
+            assert!(p.imbalance >= 1.0);
+        }
+        // The client tier never sees the shard count: its hit rate is
+        // identical at every point.
+        assert!(points
+            .windows(2)
+            .all(|w| (w[0].client_hit_rate - w[1].client_hit_rate).abs() < 1e-12));
+    }
+
+    #[test]
+    fn concurrent_and_round_robin_agree_on_client_totals() {
+        let mut cfg = MultiClientConfig::quick();
+        let traces = cfg.client_traces().unwrap();
+        let rr = run_multiclient(&traces, 2, 50, 120, 3, 4, false).unwrap();
+        cfg.concurrent = true;
+        let conc = run_multiclient(&traces, 2, 50, 120, 3, 4, true).unwrap();
+        // Client filters are private: their aggregate behaviour cannot
+        // depend on server interleaving.
+        assert_eq!(rr.events, conc.events);
+        assert!((rr.client_hit_rate - conc.client_hit_rate).abs() < 1e-12);
+        assert_eq!(rr.server_accesses, conc.server_accesses);
+    }
+
+    #[test]
+    fn single_client_single_shard_round_robin_is_deterministic() {
+        let cfg = MultiClientConfig {
+            clients: 1,
+            shard_counts: vec![1],
+            ..MultiClientConfig::quick()
+        };
+        let a = multiclient_sweep(&cfg).unwrap();
+        let b = multiclient_sweep(&cfg).unwrap();
+        assert_eq!(a[0].demand_fetches, b[0].demand_fetches);
+        assert_eq!(a[0].server_hit_rate, b[0].server_hit_rate);
+    }
+
+    #[test]
+    fn table_has_one_row_per_point() {
+        let points = multiclient_sweep(&MultiClientConfig::quick()).unwrap();
+        let table = multiclient_table("multiclient", &points);
+        assert_eq!(table.row_count(), points.len());
+        assert!(table.render().contains("imbalance"));
+    }
+
+    #[test]
+    fn split_round_robin_partitions_without_loss() {
+        let trace = Trace::from_files((0..10u64).collect::<Vec<_>>());
+        let parts = split_round_robin(&trace, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Trace::len).sum::<usize>(), trace.len());
+        assert_eq!(
+            parts[0].file_sequence(),
+            vec![0, 3, 6, 9]
+                .into_iter()
+                .map(fgcache_types::FileId)
+                .collect::<Vec<_>>()
+        );
+        // k = 0 clamps to one client holding everything.
+        let whole = split_round_robin(&trace, 0);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), trace.len());
+    }
+}

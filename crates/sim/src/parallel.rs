@@ -1,14 +1,15 @@
 //! Minimal scoped-thread parallel map for parameter sweeps.
 //!
 //! Sweep points are independent simulations over a shared read-only
-//! trace, so a work-stealing pool would be overkill: we shard the index
-//! space over `available_parallelism` scoped threads and write results
-//! into pre-allocated slots, preserving input order and determinism.
-//! Built entirely on `std::thread::scope` and `std::sync::Mutex` — the
-//! workspace is hermetic and links no external runtime.
+//! trace, so a work-stealing pool would be overkill: workers pull
+//! indices from one shared atomic counter, accumulate `(index, result)`
+//! pairs in a thread-local chunk, and the caller reassembles the chunks
+//! into input order after joining — no per-item locks, no allocation in
+//! the steady state beyond each chunk's growth. Built entirely on
+//! `std::thread::scope` — the workspace is hermetic and links no
+//! external runtime.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Applies `f` to every item, in parallel, returning results in input
 /// order. Falls back to sequential execution for tiny inputs.
@@ -21,7 +22,8 @@ use std::sync::Mutex;
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Propagates the first panic from `f` (workers are joined in spawn
+/// order and the panic payload is resumed on the caller's thread).
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -32,32 +34,53 @@ where
         .map(|n| n.get())
         .unwrap_or(1)
         .min(items.len().max(1));
+    map_with_threads(items, f, threads)
+}
+
+/// The worker-pool body with an explicit thread count, so tests exercise
+/// the parallel path regardless of the host's core count.
+fn map_with_threads<T, R, F>(items: &[T], f: F, threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
-    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut chunk = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= items.len() {
+                            break;
+                        }
+                        chunk.push((idx, f(&items[idx])));
+                    }
+                    chunk
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => {
+                    for (idx, value) in chunk {
+                        results[idx] = Some(value);
+                    }
                 }
-                let value = f(&items[idx]);
-                *results[idx]
-                    .lock()
-                    .expect("no worker panicked holding a slot") = Some(value);
-            });
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no worker panicked holding a slot")
-                .expect("every slot filled")
-        })
+        .map(|slot| slot.expect("every index was claimed by exactly one worker"))
         .collect()
 }
 
@@ -105,5 +128,51 @@ mod tests {
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(*x, i as u64);
         }
+    }
+
+    #[test]
+    fn worker_pool_preserves_order_at_every_thread_count() {
+        // Force the pooled path even on single-core hosts, at thread
+        // counts below, equal to and above the item count.
+        let input: Vec<usize> = (0..253).collect();
+        for threads in [2, 3, 8, 253, 400] {
+            let out = map_with_threads(&input, |&x| x * 3, threads);
+            assert_eq!(
+                out,
+                input.iter().map(|&x| x * 3).collect::<Vec<_>>(),
+                "order broken at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_pool_propagates_panics() {
+        let input: Vec<u32> = (0..50).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_with_threads(
+                &input,
+                |&x| {
+                    if x == 31 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                },
+                4,
+            )
+        }));
+        let payload = caught.expect_err("panic must cross the pool boundary");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(message, "boom at 31");
+    }
+
+    #[test]
+    fn panic_in_sequential_fallback_also_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            map_with_threads(&[1u32], |_| -> u32 { panic!("seq boom") }, 1)
+        });
+        assert!(caught.is_err());
     }
 }

@@ -174,10 +174,11 @@ pub fn two_level_sweep(
 }
 
 /// Renders the sweep in the paper's Figure 4 layout: one row per filter
-/// capacity, one column per scheme, cells = server hit rate.
+/// capacity, one column per scheme, cells = server hit rate. A grid point
+/// with no measurement renders as `"—"` so a sparse sweep is
+/// distinguishable from a blank measurement.
 pub fn hit_rate_table(title: &str, points: &[TwoLevelPoint]) -> Table {
     let mut schemes: Vec<String> = points.iter().map(|p| p.scheme.clone()).collect();
-    schemes.dedup();
     schemes.sort();
     schemes.dedup();
     let mut filters: Vec<usize> = points.iter().map(|p| p.filter_capacity).collect();
@@ -193,7 +194,7 @@ pub fn hit_rate_table(title: &str, points: &[TwoLevelPoint]) -> Table {
                 .iter()
                 .find(|p| p.filter_capacity == f && &p.scheme == s)
                 .map(|p| pct(p.server_hit_rate))
-                .unwrap_or_default();
+                .unwrap_or_else(|| "—".to_string());
             row.push(cell);
         }
         table.push_row(row);
@@ -308,5 +309,46 @@ mod tests {
         let text = table.render();
         assert!(text.contains("g5"));
         assert!(text.contains("lru"));
+    }
+
+    #[test]
+    fn sparse_grid_renders_missing_cells_as_dash() {
+        // A deliberately sparse point set: (50, g5) and (500, lru) only.
+        // The cross cells (50, lru) and (500, g5) were never measured and
+        // must render as "—", not as an empty string.
+        let points = vec![
+            TwoLevelPoint {
+                filter_capacity: 50,
+                scheme: "g5".to_string(),
+                server_hit_rate: 0.5,
+                server_accesses: 100,
+                client_hit_rate: 0.2,
+            },
+            TwoLevelPoint {
+                filter_capacity: 500,
+                scheme: "lru".to_string(),
+                server_hit_rate: 0.25,
+                server_accesses: 80,
+                client_hit_rate: 0.6,
+            },
+        ];
+        let table = hit_rate_table("sparse", &points);
+        let text = table.render();
+        assert_eq!(text.matches('—').count(), 2, "table:\n{text}");
+        assert!(text.contains("50.0"), "table:\n{text}");
+        assert!(text.contains("25.0"), "table:\n{text}");
+        // Scheme columns are sorted and unique even when the input
+        // interleaves them out of order.
+        let dup_points: Vec<TwoLevelPoint> =
+            points.iter().rev().chain(points.iter()).cloned().collect();
+        let table = hit_rate_table("dups", &dup_points);
+        let rendered = table.render();
+        let header: Vec<&str> = rendered
+            .lines()
+            .nth(1)
+            .unwrap_or("")
+            .split_whitespace()
+            .collect();
+        assert_eq!(header, vec!["filter", "g5", "lru"]);
     }
 }
