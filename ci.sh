@@ -12,11 +12,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo run -p xtask -- lint"
 cargo run -p xtask -- lint
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> loopback smoke: bench-net differential check (byte-exact vs in-process)"
+./target/release/fgcache bench-net --loopback true --clients 2 --events 2000 \
+    --capacity 200 --shards 2 --batch 1,8 --seed 2002
 
 echo "==> cargo run -p xtask -- fuzz"
 cargo run -p xtask -- fuzz

@@ -1,0 +1,92 @@
+//! Loopback TCP group-fetch throughput: the in-process replay baseline
+//! vs the real wire protocol, per batch size.
+//!
+//! Every run replays the identical 2-client × 10k-event workload through
+//! `run_multiclient_transport`, so the only variable is the transport:
+//! `DirectTransport` (function calls) vs `NetClient` (TCP over
+//! 127.0.0.1, one server spawned per timed run). Batch sizes 1/8/32 show
+//! what pipelining buys back of the per-round-trip syscall cost. On a
+//! single-core host the server and clients share that core, so the TCP
+//! numbers measure protocol + scheduling overhead, not parallelism.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use fgcache_bench::harness;
+use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
+use fgcache_net::{BoundServer, DirectTransport, NetClient};
+use fgcache_sim::multiclient::run_multiclient_transport;
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+use fgcache_trace::Trace;
+
+const CLIENTS: usize = 2;
+const EVENTS_PER_CLIENT: usize = 10_000;
+const FILTER: usize = 100;
+
+fn cache() -> ShardedAggregatingCache {
+    ShardedAggregatingCacheBuilder::new(400)
+        .shards(2)
+        .group_size(5)
+        .successor_capacity(8)
+        .build()
+        .expect("valid cache config")
+}
+
+fn traces() -> Vec<Trace> {
+    (0..CLIENTS)
+        .map(|i| {
+            SynthConfig::profile(WorkloadProfile::Server)
+                .events(EVENTS_PER_CLIENT)
+                .seed(20020702 + i as u64)
+                .build()
+                .expect("valid synth config")
+                .generate()
+        })
+        .collect()
+}
+
+fn main() {
+    let traces = traces();
+    let events = (CLIENTS * EVENTS_PER_CLIENT) as u64;
+    println!(
+        "# {} clients x {} events over loopback TCP, {} host cores",
+        CLIENTS,
+        EVENTS_PER_CLIENT,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    harness::run("net_loopback/direct_in_process", Some(events), || {
+        let server = cache();
+        let transports: Vec<DirectTransport<'_>> = (0..CLIENTS)
+            .map(|_| DirectTransport::new(&server))
+            .collect();
+        let (point, _) =
+            run_multiclient_transport(black_box(&traces), FILTER, transports, 1, false)
+                .expect("valid run");
+        point.transport.requests
+    });
+
+    for batch in [1usize, 8, 32] {
+        harness::run(
+            &format!("net_loopback/tcp_batch={batch}"),
+            Some(events),
+            || {
+                let handle = BoundServer::bind("127.0.0.1:0", Arc::new(cache()))
+                    .expect("loopback bind")
+                    .spawn();
+                let clients: Vec<NetClient> = (0..CLIENTS)
+                    .map(|i| {
+                        NetClient::connect(handle.addr())
+                            .expect("loopback connect")
+                            .with_id_namespace(i as u64)
+                    })
+                    .collect();
+                let (point, _) =
+                    run_multiclient_transport(black_box(&traces), FILTER, clients, batch, false)
+                        .expect("valid run");
+                handle.stop();
+                point.transport.round_trips
+            },
+        );
+    }
+}

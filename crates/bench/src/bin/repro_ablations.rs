@@ -21,7 +21,7 @@
 use fgcache_bench::{emit, standard_trace};
 use fgcache_cache::{Cache, LruCache};
 use fgcache_core::{AggregatingCacheBuilder, InsertionPolicy, MetadataSource};
-use fgcache_sim::cost::{cost_sweep, cost_table, CostModel};
+use fgcache_sim::cost::{cost_sweep_via_transport, cost_table, CostModel};
 use fgcache_sim::report::{fmt2, pct, Table};
 use fgcache_sim::successors::{successor_eval, ReplacementScheme, SuccessorEvalConfig};
 use fgcache_successor::ProbabilityGraph;
@@ -215,8 +215,11 @@ fn ablate_predictors(trace: &Trace) -> Table {
 
 fn ablate_cost(trace: &Trace) -> Result<(Table, Table), Box<dyn std::error::Error>> {
     let sizes = [1usize, 2, 5, 10, 20];
-    let remote = cost_sweep(trace, 300, &sizes, CostModel::remote())?;
-    let lan = cost_sweep(trace, 300, &sizes, CostModel::lan())?;
+    // Priced from the transport layer's own counters — the layer that
+    // moved the files — which also cross-checks them against the cache's
+    // analytic counters and errors on any divergence.
+    let remote = cost_sweep_via_transport(trace, 300, &sizes, CostModel::remote())?;
+    let lan = cost_sweep_via_transport(trace, 300, &sizes, CostModel::lan())?;
     Ok((
         cost_table(
             "ablation 7a: I/O cost, remote regime (request = 10x transfer)",

@@ -1,0 +1,309 @@
+//! `fgcache bench-net` — loopback benchmark and differential check of the
+//! TCP group-fetch path.
+//!
+//! ```text
+//! fgcache bench-net --loopback true [--clients 4] [--events 10000]
+//!                   [--capacity 400] [--shards 4] [--group 5]
+//!                   [--successors 8] [--filter 100] [--batch 1,8,32]
+//!                   [--seed 2002] [--concurrent true]
+//! ```
+//!
+//! Two phases:
+//!
+//! 1. **Differential check** (always): the same `K`-client workload is
+//!    replayed twice through the *same* replay driver — once over
+//!    in-process [`DirectTransport`]s, once over TCP [`NetClient`]s to a
+//!    live server on an ephemeral 127.0.0.1 port — both as the
+//!    deterministic round-robin interleave at batch size 1. The server's
+//!    stats, read back over the wire, must be **byte-identical** to the
+//!    in-process run's; any divergence is an error (nonzero exit).
+//! 2. **Batch sweep** (perf): the workload is replayed over TCP once per
+//!    requested batch size, reporting round trips, wall-clock and
+//!    throughput, so the pipelining win is measurable on a real socket.
+
+use std::error::Error;
+use std::sync::Arc;
+
+use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
+use fgcache_net::{BoundServer, DirectTransport, NetClient, ServerHandle, WireStats};
+use fgcache_sim::multiclient::run_multiclient_transport;
+use fgcache_sim::report::Table;
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+use fgcache_trace::Trace;
+
+use crate::args::Args;
+
+/// All knobs of one bench-net invocation.
+#[derive(Debug, Clone)]
+pub(crate) struct BenchNetConfig {
+    pub clients: usize,
+    pub events_per_client: usize,
+    pub filter_capacity: usize,
+    pub server_capacity: usize,
+    pub shards: usize,
+    pub group_size: usize,
+    pub successor_capacity: usize,
+    pub batches: Vec<usize>,
+    pub seed: u64,
+    pub concurrent: bool,
+}
+
+impl BenchNetConfig {
+    fn cache(&self) -> Result<ShardedAggregatingCache, Box<dyn Error>> {
+        Ok(ShardedAggregatingCacheBuilder::new(self.server_capacity)
+            .shards(self.shards)
+            .group_size(self.group_size)
+            .successor_capacity(self.successor_capacity)
+            .build()?)
+    }
+
+    fn traces(&self) -> Result<Vec<Trace>, Box<dyn Error>> {
+        (0..self.clients)
+            .map(|i| {
+                Ok(SynthConfig::profile(WorkloadProfile::Server)
+                    .events(self.events_per_client)
+                    .seed(self.seed + i as u64)
+                    .build()?
+                    .generate())
+            })
+            .collect()
+    }
+
+    fn spawn_server(&self) -> Result<ServerHandle, Box<dyn Error>> {
+        let bound = BoundServer::bind("127.0.0.1:0", Arc::new(self.cache()?))
+            .map_err(|e| format!("cannot bind loopback: {e}"))?;
+        Ok(bound.spawn())
+    }
+
+    fn connect_clients(&self, addr: &str) -> Result<Vec<NetClient>, Box<dyn Error>> {
+        (0..self.clients)
+            .map(|i| {
+                Ok(NetClient::connect(addr)
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?
+                    .with_id_namespace(i as u64))
+            })
+            .collect()
+    }
+}
+
+fn snapshot(cache: &ShardedAggregatingCache) -> WireStats {
+    let stats = cache.stats();
+    let group = cache.group_stats();
+    WireStats {
+        accesses: stats.accesses,
+        hits: stats.hits,
+        misses: stats.misses,
+        speculative_inserts: stats.speculative_inserts,
+        speculative_hits: stats.speculative_hits,
+        evictions: stats.evictions,
+        demand_fetches: group.demand_fetches,
+        files_transferred: group.files_transferred,
+        members_already_resident: group.members_already_resident,
+    }
+}
+
+/// Phase 1: the byte-exact differential check (see the module docs).
+/// Returns the summary lines, or an error describing the divergence.
+fn differential_check(config: &BenchNetConfig, traces: &[Trace]) -> Result<String, Box<dyn Error>> {
+    // In-process baseline: the identical replay over DirectTransports.
+    let direct_cache = config.cache()?;
+    let direct_transports: Vec<DirectTransport<'_>> = (0..config.clients)
+        .map(|_| DirectTransport::new(&direct_cache))
+        .collect();
+    run_multiclient_transport(traces, config.filter_capacity, direct_transports, 1, false)?;
+    let expected = snapshot(&direct_cache);
+
+    // The same replay, over TCP, stats read back over the wire.
+    let handle = config.spawn_server()?;
+    let clients = config.connect_clients(handle.addr())?;
+    let (point, mut clients) =
+        run_multiclient_transport(traces, config.filter_capacity, clients, 1, false)?;
+    let measured = clients
+        .first_mut()
+        .ok_or("no clients")?
+        .server_stats()
+        .map_err(|e| format!("cannot read server stats: {e}"))?;
+    handle.stop();
+
+    if measured != expected {
+        return Err(format!(
+            "differential check FAILED: loopback server stats diverge from the \
+             in-process replay\n  in-process: {expected:?}\n  loopback:   {measured:?}"
+        )
+        .into());
+    }
+    Ok(format!(
+        "differential check: PASS — {} accesses over TCP, server stats \
+         byte-identical to the in-process replay\n  {:?}\n  wall time {:.3}s\n",
+        measured.accesses,
+        measured,
+        point.elapsed.as_secs_f64()
+    ))
+}
+
+/// Phase 2: replay the workload over TCP once per batch size.
+fn batch_sweep(config: &BenchNetConfig, traces: &[Trace]) -> Result<Table, Box<dyn Error>> {
+    let mut table = Table::new(
+        "bench-net loopback batch sweep",
+        [
+            "batch",
+            "round_trips",
+            "fetches",
+            "files",
+            "secs",
+            "us/event",
+        ],
+    );
+    let events: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    for &batch in &config.batches {
+        let handle = config.spawn_server()?;
+        let clients = config.connect_clients(handle.addr())?;
+        let (point, _clients) = run_multiclient_transport(
+            traces,
+            config.filter_capacity,
+            clients,
+            batch,
+            config.concurrent,
+        )?;
+        handle.stop();
+        let secs = point.elapsed.as_secs_f64();
+        table.push_row([
+            batch.to_string(),
+            point.transport.round_trips.to_string(),
+            point.transport.requests.to_string(),
+            point.transport.files_moved.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.2}", secs * 1e6 / events.max(1) as f64),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Runs both phases and renders the report (separated from `run` for
+/// testability).
+pub(crate) fn bench_net(config: &BenchNetConfig) -> Result<String, Box<dyn Error>> {
+    if config.clients == 0 {
+        return Err("--clients must be greater than zero".into());
+    }
+    if config.batches.is_empty() {
+        return Err("--batch needs at least one batch size".into());
+    }
+    let traces = config.traces()?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench-net: {} client(s) × {} events, server capacity {} over {} shard(s), \
+         group size {}, batch sizes {:?}, {} replay\n\n",
+        config.clients,
+        config.events_per_client,
+        config.server_capacity,
+        config.shards,
+        config.group_size,
+        config.batches,
+        if config.concurrent {
+            "concurrent"
+        } else {
+            "round-robin"
+        },
+    ));
+    out.push_str(&differential_check(config, &traces)?);
+    out.push('\n');
+    out.push_str(&batch_sweep(config, &traces)?.render());
+    Ok(out)
+}
+
+fn parse_batches(raw: &str) -> Result<Vec<usize>, Box<dyn Error>> {
+    raw.split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            let n: usize = tok
+                .parse()
+                .map_err(|_| format!("invalid batch size {tok:?} in --batch"))?;
+            if n == 0 {
+                return Err(format!("batch size must be at least 1, got {tok:?}").into());
+            }
+            Ok(n)
+        })
+        .collect()
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&[
+        "loopback",
+        "clients",
+        "events",
+        "capacity",
+        "shards",
+        "group",
+        "successors",
+        "filter",
+        "batch",
+        "seed",
+        "concurrent",
+    ])?;
+    if !args.flag_or("loopback", true)? {
+        return Err("only --loopback true is supported (no remote targets yet)".into());
+    }
+    let config = BenchNetConfig {
+        clients: args.flag_or("clients", 4usize)?,
+        events_per_client: args.flag_or("events", 10_000usize)?,
+        filter_capacity: args.flag_or("filter", 100usize)?,
+        server_capacity: args.flag_or("capacity", 400usize)?,
+        shards: args.flag_or("shards", 4usize)?,
+        group_size: args.flag_or("group", 5usize)?,
+        successor_capacity: args.flag_or("successors", 8usize)?,
+        batches: parse_batches(args.flag("batch").unwrap_or("1,8,32"))?,
+        seed: args.flag_or("seed", 2002u64)?,
+        concurrent: args.flag_or("concurrent", false)?,
+    };
+    print!("{}", bench_net(&config)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BenchNetConfig {
+        BenchNetConfig {
+            clients: 2,
+            events_per_client: 500,
+            filter_capacity: 50,
+            server_capacity: 120,
+            shards: 2,
+            group_size: 3,
+            successor_capacity: 4,
+            batches: vec![1, 4],
+            seed: 7,
+            concurrent: false,
+        }
+    }
+
+    #[test]
+    fn differential_check_passes_and_sweep_reports_each_batch() {
+        let report = bench_net(&quick()).unwrap();
+        assert!(report.contains("differential check: PASS"), "{report}");
+        assert!(report.contains("us/event"));
+        // One row per batch size.
+        assert!(report.lines().any(|l| l.trim_start().starts_with("1 ")));
+        assert!(report.lines().any(|l| l.trim_start().starts_with("4 ")));
+    }
+
+    #[test]
+    fn batch_list_parsing() {
+        assert_eq!(parse_batches("1,8,32").unwrap(), vec![1, 8, 32]);
+        assert_eq!(parse_batches(" 2 , 4 ").unwrap(), vec![2, 4]);
+        assert!(parse_batches("0").is_err());
+        assert!(parse_batches("a").is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = quick();
+        cfg.clients = 0;
+        assert!(bench_net(&cfg).is_err());
+        let mut cfg = quick();
+        cfg.batches.clear();
+        assert!(bench_net(&cfg).is_err());
+    }
+}

@@ -4,9 +4,11 @@
 //! pure core function that returns its report as a `String`, so the logic
 //! is unit-testable without spawning processes.
 
+pub mod bench_net;
 pub mod entropy;
 pub mod gen;
 pub mod groups;
+pub mod serve;
 pub mod simulate;
 pub mod stats;
 pub mod two_level;

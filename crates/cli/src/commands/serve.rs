@@ -1,0 +1,81 @@
+//! `fgcache serve` — run a TCP group-fetch server over a sharded
+//! aggregating cache.
+//!
+//! ```text
+//! fgcache serve --capacity 400 [--addr 127.0.0.1:0] [--shards 4]
+//!               [--group 5] [--successors 8]
+//! ```
+//!
+//! The server prints `listening on HOST:PORT` (useful with port 0, which
+//! binds an ephemeral port) and then blocks until a client sends the
+//! wire-protocol `Shutdown` message — which `fgcache bench-net` does, and
+//! which any `NetClient::send_shutdown` call can do.
+
+use std::error::Error;
+use std::sync::Arc;
+
+use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
+use fgcache_net::BoundServer;
+
+use crate::args::Args;
+
+/// Builds the server-side cache from the parsed flags (separated from
+/// `run` so validation is unit-testable without binding sockets).
+pub(crate) fn build_cache(
+    capacity: usize,
+    shards: usize,
+    group: usize,
+    successors: usize,
+) -> Result<ShardedAggregatingCache, Box<dyn Error>> {
+    Ok(ShardedAggregatingCacheBuilder::new(capacity)
+        .shards(shards)
+        .group_size(group)
+        .successor_capacity(successors)
+        .build()?)
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&["addr", "capacity", "shards", "group", "successors"])?;
+    let capacity: usize = args.require_flag("capacity")?;
+    let shards = args.flag_or("shards", 4usize)?;
+    let group = args.flag_or("group", 5usize)?;
+    let successors = args.flag_or("successors", 8usize)?;
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+
+    let cache = Arc::new(build_cache(capacity, shards, group, successors)?);
+    let server = BoundServer::bind(addr, cache).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    server.run();
+    println!("server stopped");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_flags_are_validated() {
+        assert!(build_cache(400, 4, 5, 8).is_ok());
+        // 30-capacity server over 16 shards: slices below group size.
+        assert!(build_cache(30, 16, 5, 8).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let tokens: Vec<String> = vec![
+            "--capacity".into(),
+            "10".into(),
+            "--oops".into(),
+            "1".into(),
+        ];
+        assert!(run(&tokens).is_err());
+    }
+
+    #[test]
+    fn capacity_is_required() {
+        let tokens: Vec<String> = vec![];
+        assert!(run(&tokens).is_err());
+    }
+}

@@ -8,6 +8,8 @@
 //! fgcache simulate  trace.txt --capacity 400 --clients 4 --shards 4 [--filter 100]
 //! fgcache two-level trace.txt --filter 200 --server 300 [--scheme g5|lru|lfu|...]
 //! fgcache groups    trace.txt [--group-size 5] [--top 10]
+//! fgcache serve     --capacity 400 [--addr 127.0.0.1:0] [--shards 4]
+//! fgcache bench-net --loopback true [--clients 4] [--events 10000] [--batch 1,8,32]
 //! ```
 //!
 //! Traces are read in the text format (`seq client kind file` per line) or
@@ -34,6 +36,8 @@ COMMANDS:
     simulate   run one cache over a trace
     two-level  client filter + server cache simulation (figure 4)
     groups     show the strongest dynamic groups of a trace
+    serve      run a TCP group-fetch server over a sharded cache
+    bench-net  loopback TCP differential check + batch-pipelining sweep
     help       print this message
 
 Run `fgcache <COMMAND> --help` semantics: every command validates its
@@ -54,6 +58,8 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate::run(&rest),
         "two-level" => commands::two_level::run(&rest),
         "groups" => commands::groups::run(&rest),
+        "serve" => commands::serve::run(&rest),
+        "bench-net" => commands::bench_net::run(&rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -122,12 +122,28 @@ impl AggregatingCache {
     /// requested file enters at the MRU head and the group's speculative
     /// members are inserted per the configured [`InsertionPolicy`].
     pub fn handle_access(&mut self, file: FileId) -> AccessOutcome {
+        self.handle_access_with_fetch(file).0
+    }
+
+    /// Like [`Self::handle_access`], but additionally returns the exact
+    /// list of files a demand miss transferred (the requested file first,
+    /// then the speculative members actually brought in — already-resident
+    /// members and capacity-truncated ones excluded). `None` on a hit.
+    ///
+    /// This is the hook a fetch transport uses to carry *real* group
+    /// fetches over a wire: the returned list's length always equals the
+    /// increment to [`GroupFetchStats::files_transferred`], so transport
+    /// counters and cache counters share one source of truth.
+    pub fn handle_access_with_fetch(
+        &mut self,
+        file: FileId,
+    ) -> (AccessOutcome, Option<Vec<FileId>>) {
         self.accesses += 1;
         if self.metadata == MetadataSource::Requests {
             self.table.record(file);
         }
         if self.cache.contains(file) {
-            return self.cache.access(file);
+            return (self.cache.access(file), None);
         }
         // Demand miss → group fetch.
         self.group_stats.demand_fetches += 1;
@@ -168,7 +184,10 @@ impl AggregatingCache {
                 self.cache.promote_to_head(file);
             }
         }
-        outcome
+        let mut fetched = Vec::with_capacity(1 + members.len());
+        fetched.push(file);
+        fetched.extend(members);
+        (outcome, Some(fetched))
     }
 
     /// Feeds one access observation into the successor table without
@@ -364,6 +383,36 @@ mod tests {
         assert!(a.handle_access(FileId(2)).is_hit());
         assert_eq!(a.stats().speculative_hits, 1);
         assert_eq!(a.group_stats().files_transferred, 3);
+    }
+
+    #[test]
+    fn fetch_list_matches_transfer_counter() {
+        let mut a = AggregatingCacheBuilder::new(10)
+            .group_size(3)
+            .metadata_source(MetadataSource::External)
+            .build()
+            .unwrap();
+        for id in [1u64, 2, 3, 1, 2, 3] {
+            a.observe_metadata(FileId(id));
+        }
+        let before = a.group_stats().files_transferred;
+        let (outcome, fetch) = a.handle_access_with_fetch(FileId(1));
+        assert!(outcome.is_miss());
+        let fetched = fetch.expect("a miss always fetches");
+        // Requested file first, then the speculative members brought in;
+        // length equals the files_transferred increment exactly.
+        assert_eq!(fetched[0], FileId(1));
+        assert_eq!(
+            fetched.len() as u64,
+            a.group_stats().files_transferred - before
+        );
+        for &f in &fetched {
+            assert!(a.contains(f), "{f} was fetched but is not resident");
+        }
+        // A hit fetches nothing.
+        let (outcome, fetch) = a.handle_access_with_fetch(FileId(1));
+        assert!(outcome.is_hit());
+        assert!(fetch.is_none());
     }
 
     #[test]

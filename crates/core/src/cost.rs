@@ -1,0 +1,124 @@
+//! The first-order I/O cost model shared by the analytic sweeps and the
+//! fetch transports.
+//!
+//! The paper's motivation for grouping is latency: every remote fetch
+//! pays a per-request round trip, so fetching `g` related files in one
+//! request amortises it — at the price of transferring speculative files
+//! that may never be used. This model quantifies that trade:
+//!
+//! ```text
+//! total_time = demand_fetches × request_latency
+//!            + files_transferred × transfer_time
+//! ```
+//!
+//! which is the standard first-order model for fixed-size whole-file
+//! transfers over a network with per-request overhead. With
+//! `request_latency ≫ transfer_time` (the distributed-file-system regime
+//! the paper targets), grouping wins decisively; as transfer cost grows,
+//! large groups stop paying.
+//!
+//! The model lives in `fgcache-core` (rather than `fgcache-sim`, where
+//! the sweeps that price runs with it live) so that `fgcache-net`'s
+//! simulated transport can advance its virtual clock with *the same*
+//! latency knobs the analytic tables use — one definition, no drift.
+//! `fgcache_sim::cost` re-exports it under its historical path.
+
+use fgcache_types::ValidationError;
+
+/// Per-operation costs, in arbitrary time units (only ratios matter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost of one fetch request (round-trip latency + server
+    /// request handling).
+    pub request_latency: f64,
+    /// Cost of transferring one file's data.
+    pub transfer_time: f64,
+}
+
+impl CostModel {
+    /// A distributed-file-system-like regime: a request round trip costs
+    /// ten file transfers (small files, wide-area or congested links).
+    pub fn remote() -> Self {
+        CostModel {
+            request_latency: 10.0,
+            transfer_time: 1.0,
+        }
+    }
+
+    /// A local-area regime: round trip worth two transfers.
+    pub fn lan() -> Self {
+        CostModel {
+            request_latency: 2.0,
+            transfer_time: 1.0,
+        }
+    }
+
+    /// Validates the model (both costs finite and non-negative, not both
+    /// zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        for (name, v) in [
+            ("request_latency", self.request_latency),
+            ("transfer_time", self.transfer_time),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ValidationError::new(name, "must be finite and >= 0"));
+            }
+        }
+        if self.request_latency == 0.0 && self.transfer_time == 0.0 {
+            return Err(ValidationError::new(
+                "cost model",
+                "at least one cost must be positive",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total I/O time for a run that made `fetches` requests moving
+    /// `files` files.
+    pub fn total(&self, fetches: u64, files: u64) -> f64 {
+        fetches as f64 * self.request_latency + files as f64 * self.transfer_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_validation() {
+        assert!(CostModel::remote().validate().is_ok());
+        assert!(CostModel::lan().validate().is_ok());
+        assert!(CostModel {
+            request_latency: -1.0,
+            transfer_time: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel {
+            request_latency: f64::NAN,
+            transfer_time: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel {
+            request_latency: 0.0,
+            transfer_time: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn total_is_linear() {
+        let m = CostModel {
+            request_latency: 10.0,
+            transfer_time: 2.0,
+        };
+        assert_eq!(m.total(3, 7), 44.0);
+        assert_eq!(m.total(0, 0), 0.0);
+    }
+}

@@ -51,8 +51,10 @@
 
 mod aggregating;
 mod builder;
+pub mod cost;
 pub mod sharded;
 
 pub use aggregating::{AggregatingCache, GroupFetchStats, InsertionPolicy, MetadataSource};
 pub use builder::{AggregatingCacheBuilder, DEFAULT_SUCCESSOR_CAPACITY};
+pub use cost::CostModel;
 pub use sharded::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};

@@ -1,0 +1,125 @@
+//! Bounded reply cache: the server side of idempotency-by-request-id.
+//!
+//! A retry of a request whose *reply* was lost must not re-execute the
+//! fetch — the first execution already mutated cache residency and
+//! statistics. Servers (and the simulated transports that stand in for
+//! them) therefore remember recent replies keyed by request id and
+//! re-deliver them verbatim. The window is bounded FIFO: once a reply is
+//! older than `capacity` newer requests, a retry is assumed impossible
+//! (the client's retry policy gives up long before then) and the entry is
+//! evicted.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::transport::GroupReply;
+
+/// Default number of replies a server remembers for retry deduplication.
+pub const DEFAULT_REPLY_CACHE_CAPACITY: usize = 1024;
+
+/// A bounded FIFO cache of recent [`GroupReply`]s keyed by request id.
+#[derive(Debug)]
+pub struct ReplyCache {
+    capacity: usize,
+    replies: HashMap<u64, GroupReply>,
+    order: VecDeque<u64>,
+}
+
+impl ReplyCache {
+    /// Creates a cache remembering at most `capacity` replies. A zero
+    /// capacity disables deduplication entirely.
+    pub fn new(capacity: usize) -> Self {
+        let prealloc = capacity.min(DEFAULT_REPLY_CACHE_CAPACITY);
+        ReplyCache {
+            capacity,
+            replies: HashMap::with_capacity(prealloc),
+            order: VecDeque::with_capacity(prealloc),
+        }
+    }
+
+    /// Looks up the remembered reply for `request_id`, if still in the
+    /// window.
+    pub fn get(&self, request_id: u64) -> Option<&GroupReply> {
+        self.replies.get(&request_id)
+    }
+
+    /// Remembers `reply` under its request id, evicting the oldest entry
+    /// when the window is full. Re-inserting an id refreshes its value
+    /// but not its eviction position.
+    pub fn insert(&mut self, reply: GroupReply) {
+        if self.capacity == 0 {
+            return;
+        }
+        let id = reply.request_id;
+        if self.replies.insert(id, reply).is_some() {
+            return; // refreshed in place; FIFO position unchanged
+        }
+        if self.order.len() == self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.replies.remove(&evicted);
+            }
+        }
+        self.order.push_back(id);
+    }
+
+    /// Number of replies currently remembered.
+    pub fn len(&self) -> usize {
+        self.replies.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.replies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(id: u64) -> GroupReply {
+        GroupReply {
+            request_id: id,
+            files: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn remembers_and_returns_replies() {
+        let mut c = ReplyCache::new(4);
+        assert!(c.is_empty());
+        c.insert(reply(7));
+        assert_eq!(c.get(7).map(|r| r.request_id), Some(7));
+        assert!(c.get(8).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut c = ReplyCache::new(2);
+        c.insert(reply(1));
+        c.insert(reply(2));
+        c.insert(reply(3));
+        assert!(c.get(1).is_none(), "oldest entry must be evicted");
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let mut c = ReplyCache::new(2);
+        c.insert(reply(1));
+        c.insert(reply(1));
+        c.insert(reply(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_dedup() {
+        let mut c = ReplyCache::new(0);
+        c.insert(reply(1));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! [`FaultyTransport`]: seeded fault injection for any [`Transport`].
+//!
+//! Wraps an inner transport and, with configured probabilities, makes its
+//! replies misbehave the three ways a real network does:
+//!
+//! * **timeout** — the request is lost *before* reaching the server: the
+//!   inner transport is not invoked at all and the caller sees a
+//!   [`TransportErrorKind::Timeout`].
+//! * **dropped reply** — the server executed the fetch but the reply was
+//!   lost on the way back: the caller sees
+//!   [`TransportErrorKind::ReplyDropped`]. This is the dangerous case for
+//!   idempotency — a naïve retry would re-execute the fetch.
+//! * **duplicate reply** — a stale reply from an *earlier* request is
+//!   delivered instead of this one's, as happens when a retried request's
+//!   original reply finally arrives. The caller must notice the
+//!   mismatched request id and discard it.
+//!
+//! All rolls come from a [`SplitMix64`] stream, so a fixed seed yields a
+//! fixed fault schedule — the retry tests assert exact outcomes, not
+//! probabilities. For tests that want a specific fault at a specific
+//! call, the `force_*_next` methods queue deterministic faults that fire
+//! before any random roll.
+
+use fgcache_types::rng::{RandomSource, SplitMix64};
+use fgcache_types::{TransportError, TransportErrorKind};
+
+use crate::transport::{GroupReply, GroupRequest, Transport, TransportStats};
+
+/// Fault probabilities and the seed for the roll stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a reply is dropped after the server executed the fetch.
+    pub drop_reply: f64,
+    /// Probability a stale earlier reply is delivered instead of this one.
+    pub duplicate_reply: f64,
+    /// Probability the request is lost before reaching the server.
+    pub timeout: f64,
+    /// Seed for the fault roll stream.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all (the wrapper becomes a pass-through).
+    pub fn none() -> Self {
+        FaultConfig {
+            drop_reply: 0.0,
+            duplicate_reply: 0.0,
+            timeout: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A mildly lossy network: 5% drops, 2% duplicates, 2% timeouts.
+    pub fn lossy(seed: u64) -> Self {
+        FaultConfig {
+            drop_reply: 0.05,
+            duplicate_reply: 0.02,
+            timeout: 0.02,
+            seed,
+        }
+    }
+}
+
+/// Counters of faults actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests lost before reaching the server.
+    pub timeouts_injected: u64,
+    /// Replies dropped after server-side execution.
+    pub drops_injected: u64,
+    /// Stale replies delivered in place of the real one.
+    pub duplicates_injected: u64,
+}
+
+/// A [`Transport`] decorator that injects faults per [`FaultConfig`]. See
+/// the [module docs](self) for the fault model.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    config: FaultConfig,
+    rng: SplitMix64,
+    /// The most recent reply actually delivered — the candidate "stale
+    /// duplicate" for the duplicate-reply fault.
+    last_delivered: Option<GroupReply>,
+    force_timeouts: u32,
+    force_drops: u32,
+    force_duplicates: u32,
+    injected: FaultStats,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the fault schedule described by `config`.
+    pub fn new(inner: T, config: FaultConfig) -> Self {
+        let rng = SplitMix64::new(config.seed);
+        FaultyTransport {
+            inner,
+            config,
+            rng,
+            last_delivered: None,
+            force_timeouts: 0,
+            force_drops: 0,
+            force_duplicates: 0,
+            injected: FaultStats::default(),
+        }
+    }
+
+    /// Queues `n` deterministic timeouts: the next `n` fetches fail with
+    /// [`TransportErrorKind::Timeout`] without reaching the server.
+    pub fn force_timeout_next(&mut self, n: u32) {
+        self.force_timeouts += n;
+    }
+
+    /// Queues `n` deterministic reply drops: the next `n` fetches execute
+    /// at the server but fail with [`TransportErrorKind::ReplyDropped`].
+    pub fn force_drop_next(&mut self, n: u32) {
+        self.force_drops += n;
+    }
+
+    /// Queues `n` deterministic duplicates: the next `n` fetches deliver
+    /// the previous reply (stale request id) instead of their own.
+    pub fn force_duplicate_next(&mut self, n: u32) {
+        self.force_duplicates += n;
+    }
+
+    /// Counters of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injected
+    }
+
+    /// Consumes the wrapper, returning the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn roll_timeout(&mut self) -> bool {
+        if self.force_timeouts > 0 {
+            self.force_timeouts -= 1;
+            return true;
+        }
+        self.rng.chance(self.config.timeout)
+    }
+
+    fn roll_drop(&mut self) -> bool {
+        if self.force_drops > 0 {
+            self.force_drops -= 1;
+            return true;
+        }
+        self.rng.chance(self.config.drop_reply)
+    }
+
+    fn roll_duplicate(&mut self) -> bool {
+        if self.force_duplicates > 0 {
+            self.force_duplicates -= 1;
+            return true;
+        }
+        self.rng.chance(self.config.duplicate_reply)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn fetch_group(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        if self.roll_timeout() {
+            self.injected.timeouts_injected += 1;
+            return Err(TransportError::new(
+                TransportErrorKind::Timeout,
+                "injected fault: request lost before reaching the server",
+            )
+            .with_request_id(request.request_id));
+        }
+        let reply = self.inner.fetch_group(request)?;
+        if self.roll_drop() {
+            // The server executed the fetch; only the reply is lost. Keep
+            // it as the stale-duplicate candidate, as a real network would
+            // keep it in flight.
+            self.injected.drops_injected += 1;
+            self.last_delivered = Some(reply);
+            return Err(TransportError::new(
+                TransportErrorKind::ReplyDropped,
+                "injected fault: reply dropped after server-side execution",
+            )
+            .with_request_id(request.request_id));
+        }
+        if self.roll_duplicate() {
+            if let Some(stale) = self.last_delivered.clone() {
+                if stale.request_id != reply.request_id {
+                    // Deliver the stale reply; the real one becomes the
+                    // next duplicate candidate.
+                    self.injected.duplicates_injected += 1;
+                    self.last_delivered = Some(reply);
+                    return Ok(stale);
+                }
+            }
+            // No distinct earlier reply to duplicate — deliver normally.
+        }
+        self.last_delivered = Some(reply.clone());
+        Ok(reply)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcache_core::CostModel;
+    use fgcache_types::FileId;
+
+    use crate::sim::SimTransport;
+
+    fn req(id: u64, files: &[u64]) -> GroupRequest {
+        GroupRequest::new(id, files.iter().map(|&f| FileId(f)).collect())
+    }
+
+    fn faultless() -> FaultyTransport<SimTransport<'static>> {
+        FaultyTransport::new(
+            SimTransport::to_origin(CostModel::remote()),
+            FaultConfig::none(),
+        )
+    }
+
+    #[test]
+    fn no_faults_is_a_pass_through() {
+        let mut t = faultless();
+        for i in 0..20 {
+            let r = t.fetch_group(&req(i, &[i])).expect("no faults configured");
+            assert_eq!(r.request_id, i);
+        }
+        assert_eq!(t.fault_stats(), FaultStats::default());
+        assert_eq!(t.stats().requests, 20);
+    }
+
+    #[test]
+    fn forced_timeout_skips_the_server() {
+        let mut t = faultless();
+        t.force_timeout_next(1);
+        let err = t.fetch_group(&req(0, &[1])).expect_err("forced timeout");
+        assert_eq!(err.kind(), TransportErrorKind::Timeout);
+        assert_eq!(err.request_id(), Some(0));
+        assert!(err.is_retryable());
+        assert_eq!(t.stats().requests, 0, "server must not have executed");
+        assert_eq!(t.fault_stats().timeouts_injected, 1);
+    }
+
+    #[test]
+    fn forced_drop_executes_then_loses_the_reply() {
+        let mut t = faultless();
+        t.force_drop_next(1);
+        let err = t.fetch_group(&req(0, &[1, 2])).expect_err("forced drop");
+        assert_eq!(err.kind(), TransportErrorKind::ReplyDropped);
+        assert!(err.is_retryable());
+        let s = t.stats();
+        assert_eq!(s.requests, 1, "server executed before the reply vanished");
+        assert_eq!(s.files_moved, 2);
+        assert_eq!(t.fault_stats().drops_injected, 1);
+    }
+
+    #[test]
+    fn forced_duplicate_delivers_a_stale_request_id() {
+        let mut t = faultless();
+        t.fetch_group(&req(0, &[1])).expect("no fault yet");
+        t.force_duplicate_next(1);
+        let stale = t.fetch_group(&req(1, &[2])).expect("duplicate is Ok");
+        assert_eq!(stale.request_id, 0, "previous reply delivered");
+        assert_eq!(t.fault_stats().duplicates_injected, 1);
+        // The displaced real reply became the next duplicate candidate.
+        t.force_duplicate_next(1);
+        let stale2 = t.fetch_group(&req(2, &[3])).expect("duplicate is Ok");
+        assert_eq!(stale2.request_id, 1);
+    }
+
+    #[test]
+    fn duplicate_without_history_delivers_normally() {
+        let mut t = faultless();
+        t.force_duplicate_next(1);
+        let r = t.fetch_group(&req(5, &[1])).expect("no stale candidate");
+        assert_eq!(r.request_id, 5);
+        assert_eq!(t.fault_stats().duplicates_injected, 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut t = FaultyTransport::new(
+                SimTransport::to_origin(CostModel::remote()),
+                FaultConfig::lossy(seed),
+            );
+            let outcomes: Vec<bool> = (0..200)
+                .map(|i| t.fetch_group(&req(i, &[i])).is_ok())
+                .collect();
+            (outcomes, t.fault_stats())
+        };
+        assert_eq!(run(11), run(11), "same seed, same schedule");
+        assert_ne!(run(11).0, run(12).0, "different seed, different schedule");
+        let (_, stats) = run(11);
+        let total = stats.timeouts_injected + stats.drops_injected + stats.duplicates_injected;
+        assert!(
+            total > 0,
+            "a lossy config must inject something in 200 calls"
+        );
+    }
+}

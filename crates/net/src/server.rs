@@ -1,0 +1,323 @@
+//! A real TCP group-fetch server wrapping a [`ShardedAggregatingCache`].
+//!
+//! [`BoundServer::bind`] takes an address (use port 0 for an ephemeral
+//! loopback port) and a shared cache; [`BoundServer::run`] then accepts
+//! connections and serves the [wire protocol](crate::wire) until asked to
+//! stop. Each connection gets its own scoped thread
+//! (`std::thread::scope`), so handler lifetimes are tied to the accept
+//! loop and no connection can outlive the server.
+//!
+//! # Exactly-once fetches
+//!
+//! All connections share one [`ReplyCache`] behind a mutex, and a fetch
+//! executes *while holding it*: a retry racing its original request —
+//! possibly on a different pooled connection — either finds the
+//! remembered reply or blocks until the original finishes, never
+//! double-executing. This serialises fetch execution, which is the honest
+//! trade for a correctness-first reproduction (and costs nothing on the
+//! single-core hosts the benchmarks run on; the cache's own shard locks
+//! would serialise most of the work anyway).
+//!
+//! # Shutdown
+//!
+//! Stopping is cooperative: a client sends `Shutdown` (or the owner calls
+//! [`ServerHandle::stop`]), which sets a shared flag and pokes the
+//! listener with a throwaway connection so the blocking `accept` wakes
+//! up. Handler threads poll the flag between read attempts (connections
+//! use a short read timeout), so the whole scope drains within one poll
+//! interval.
+
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::Duration;
+
+use fgcache_core::ShardedAggregatingCache;
+
+use crate::dedup::{ReplyCache, DEFAULT_REPLY_CACHE_CAPACITY};
+use crate::transport::{FileReply, GroupReply};
+use crate::wire::{write_frame, Message, WireStats, MAX_FRAME_LEN};
+
+/// How often an idle connection re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A TCP group-fetch server bound to an address but not yet running.
+#[derive(Debug)]
+pub struct BoundServer {
+    listener: TcpListener,
+    cache: Arc<ShardedAggregatingCache>,
+    shutdown: Arc<AtomicBool>,
+    dedup_capacity: usize,
+}
+
+impl BoundServer {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback
+    /// port), serving fetches from `cache`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, cache: Arc<ShardedAggregatingCache>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(BoundServer {
+            listener,
+            cache,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            dedup_capacity: DEFAULT_REPLY_CACHE_CAPACITY,
+        })
+    }
+
+    /// Overrides the reply-cache window (see
+    /// [`ReplyCache`]); 0 disables retry deduplication.
+    #[must_use]
+    pub fn with_dedup_capacity(mut self, capacity: usize) -> Self {
+        self.dedup_capacity = capacity;
+        self
+    }
+
+    /// The bound address, as a `host:port` string clients can connect to.
+    pub fn local_addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_string())
+    }
+
+    /// The shared shutdown flag (for embedding the server under an
+    /// external signal handler).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the accept loop on the calling thread until shut down. Each
+    /// accepted connection is served on its own scoped thread.
+    pub fn run(self) {
+        let BoundServer {
+            listener,
+            cache,
+            shutdown,
+            dedup_capacity,
+        } = self;
+        let wake_addr = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        let dedup = Mutex::new(ReplyCache::new(dedup_capacity));
+        let cache = &*cache;
+        let shutdown = &*shutdown;
+        let dedup = &dedup;
+        thread::scope(|scope| {
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break; // the wake-up poke, not a real client
+                        }
+                        let wake_addr = wake_addr.clone();
+                        scope.spawn(move || {
+                            handle_connection(stream, cache, dedup, shutdown, &wake_addr);
+                        });
+                    }
+                    Err(_) if shutdown.load(Ordering::SeqCst) => break,
+                    Err(_) => continue, // transient accept failure
+                }
+            }
+        });
+    }
+
+    /// Runs the server on a background thread, returning a handle that
+    /// can stop it.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let shutdown = Arc::clone(&self.shutdown);
+        let join = thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shutdown,
+            join,
+        }
+    }
+}
+
+/// A running server on a background thread (from [`BoundServer::spawn`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    join: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The server's `host:port` address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops the server and waits for every connection handler to drain.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; an immediately-dropped connection is
+        // indistinguishable from a client that connected and went away.
+        drop(TcpStream::connect(&self.addr));
+        self.join.join().expect("server thread panicked");
+    }
+}
+
+/// Outcome of one patient read attempt.
+enum Inbound {
+    /// A complete frame arrived.
+    Frame(Message),
+    /// The peer closed, the frame was malformed, or shutdown was
+    /// requested: stop serving this connection.
+    Hangup,
+}
+
+/// Fills `buf` completely, resuming across read-timeout polls (the
+/// connection's short read timeout doubles as the shutdown-flag poll).
+/// Partial progress is kept in `buf`, so a frame split across polls is
+/// reassembled rather than desynced. Returns `false` to hang up: EOF,
+/// a hard I/O error, or shutdown requested while no bytes of `buf` have
+/// arrived yet (mid-buffer, one more poll is allowed to drain the frame).
+fn fill_patient(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> bool {
+    let mut filled = 0;
+    let mut polls_after_shutdown = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return false, // peer closed
+            Ok(n) => filled += n,
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    if filled == 0 || polls_after_shutdown > 0 {
+                        return false;
+                    }
+                    polls_after_shutdown += 1;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Reads one frame, tolerating read-timeout polls while idle and between
+/// partial reads. Returns [`Inbound::Hangup`] on EOF, on shutdown, and on
+/// malformed input (a desynced stream cannot be re-framed, so hanging up
+/// is the only safe reaction).
+fn read_frame_patient(stream: &mut TcpStream, shutdown: &AtomicBool) -> Inbound {
+    let mut header = [0u8; 4];
+    if !fill_patient(stream, &mut header, shutdown) {
+        return Inbound::Hangup;
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Inbound::Hangup;
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !fill_patient(stream, &mut payload, shutdown) {
+        return Inbound::Hangup;
+    }
+    match Message::decode(&payload) {
+        Ok(message) => Inbound::Frame(message),
+        Err(_) => Inbound::Hangup,
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    cache: &ShardedAggregatingCache,
+    dedup: &Mutex<ReplyCache>,
+    shutdown: &AtomicBool,
+    wake_addr: &str,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        let message = match read_frame_patient(&mut stream, shutdown) {
+            Inbound::Frame(m) => m,
+            Inbound::Hangup => return,
+        };
+        let reply = match message {
+            Message::Fetch { request_id, files } => {
+                let reply = serve_fetch(cache, lock_dedup(dedup), request_id, files);
+                Message::reply_for(&reply)
+            }
+            Message::StatsRequest { request_id } => Message::StatsReply {
+                request_id,
+                stats: snapshot_stats(cache),
+            },
+            Message::Shutdown { request_id } => {
+                let ack = Message::ShutdownAck { request_id };
+                let _ = write_frame(&mut stream, &ack);
+                let _ = stream.flush();
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so the scope can finish.
+                drop(TcpStream::connect(wake_addr));
+                return;
+            }
+            other => Message::Error {
+                request_id: other.request_id(),
+                message: format!("unexpected client message: {other:?}"),
+            },
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn lock_dedup(dedup: &Mutex<ReplyCache>) -> MutexGuard<'_, ReplyCache> {
+    dedup
+        .lock()
+        .expect("a connection handler panicked while holding the reply cache")
+}
+
+/// Serves one fetch with the reply cache held across execution, making it
+/// exactly-once per request id (see the [module docs](self)).
+fn serve_fetch(
+    cache: &ShardedAggregatingCache,
+    mut dedup: MutexGuard<'_, ReplyCache>,
+    request_id: u64,
+    files: Vec<fgcache_types::FileId>,
+) -> GroupReply {
+    if let Some(remembered) = dedup.get(request_id) {
+        return remembered.clone();
+    }
+    let files: Vec<FileReply> = files
+        .into_iter()
+        .map(|file| FileReply {
+            file,
+            outcome: cache.handle_access(file),
+        })
+        .collect();
+    let reply = GroupReply { request_id, files };
+    dedup.insert(reply.clone());
+    reply
+}
+
+fn snapshot_stats(cache: &ShardedAggregatingCache) -> WireStats {
+    let stats = cache.stats();
+    let group = cache.group_stats();
+    WireStats {
+        accesses: stats.accesses,
+        hits: stats.hits,
+        misses: stats.misses,
+        speculative_inserts: stats.speculative_inserts,
+        speculative_hits: stats.speculative_hits,
+        evictions: stats.evictions,
+        demand_fetches: group.demand_fetches,
+        files_transferred: group.files_transferred,
+        members_already_resident: group.members_already_resident,
+    }
+}

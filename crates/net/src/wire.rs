@@ -1,0 +1,580 @@
+//! The length-prefixed binary wire protocol for group fetches.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! [u32 payload_len] [u8 version] [u8 msg_type] [u64 request_id] [body…]
+//! └── little-endian ┴────────────── payload (payload_len bytes) ──────┘
+//! ```
+//!
+//! * `payload_len` counts everything after the 4-byte prefix and is
+//!   bounded by [`MAX_FRAME_LEN`] (a malformed or hostile peer cannot make
+//!   the reader allocate unboundedly).
+//! * `version` is [`WIRE_VERSION`]; a reader rejects frames from any other
+//!   version rather than guessing at their layout.
+//! * `request_id` appears in **every** message so replies can be matched
+//!   to requests and retries deduplicated; see the crate docs on
+//!   idempotency.
+//!
+//! Bodies by message type:
+//!
+//! | type | message        | body |
+//! |------|----------------|------|
+//! | 1    | `Fetch`        | `u32 count`, then `count × u64` file ids |
+//! | 2    | `FetchReply`   | `u32 count`, then `count × (u64 id, u8 hit=0/miss=1)` |
+//! | 3    | `StatsRequest` | empty |
+//! | 4    | `StatsReply`   | `9 × u64` counters ([`WireStats`]) |
+//! | 5    | `Shutdown`     | empty |
+//! | 6    | `ShutdownAck`  | empty |
+//! | 7    | `Error`        | `u32 len`, then `len` bytes of UTF-8 |
+//!
+//! All integers are little-endian. Encoding and decoding are pinned by
+//! round-trip and golden byte-layout tests below.
+
+use std::io::{Read, Write};
+
+use fgcache_types::{AccessOutcome, FileId, TransportError, TransportErrorKind};
+
+use crate::transport::{FileReply, GroupReply};
+
+/// Current protocol version, the first payload byte of every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload (16 MiB) — far above any real fetch,
+/// low enough to reject garbage length prefixes before allocating.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+const MSG_FETCH: u8 = 1;
+const MSG_FETCH_REPLY: u8 = 2;
+const MSG_STATS_REQUEST: u8 = 3;
+const MSG_STATS_REPLY: u8 = 4;
+const MSG_SHUTDOWN: u8 = 5;
+const MSG_SHUTDOWN_ACK: u8 = 6;
+const MSG_ERROR: u8 = 7;
+
+/// Server-side cache counters carried by a `StatsReply` — the remote
+/// analogue of reading `ShardedAggregatingCache::stats` and
+/// `group_stats` in process, which is what the differential loopback test
+/// compares byte for byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Demand accesses processed.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Files inserted speculatively.
+    pub speculative_inserts: u64,
+    /// Demand hits on still-speculative entries.
+    pub speculative_hits: u64,
+    /// Evictions.
+    pub evictions: u64,
+    /// Demand fetches (group fetches issued upstream).
+    pub demand_fetches: u64,
+    /// Files transferred by those fetches.
+    pub files_transferred: u64,
+    /// Group members skipped because already resident.
+    pub members_already_resident: u64,
+}
+
+impl WireStats {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.speculative_inserts,
+            self.speculative_hits,
+            self.evictions,
+            self.demand_fetches,
+            self.files_transferred,
+            self.members_already_resident,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(reader: &mut SliceReader<'_>) -> Result<Self, TransportError> {
+        Ok(WireStats {
+            accesses: reader.u64()?,
+            hits: reader.u64()?,
+            misses: reader.u64()?,
+            speculative_inserts: reader.u64()?,
+            speculative_hits: reader.u64()?,
+            evictions: reader.u64()?,
+            demand_fetches: reader.u64()?,
+            files_transferred: reader.u64()?,
+            members_already_resident: reader.u64()?,
+        })
+    }
+}
+
+/// A decoded protocol message. Every variant carries the frame's request
+/// id (see the [module docs](self) for bodies and framing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Client → server: fetch this group of files.
+    Fetch {
+        /// Idempotency key; retries reuse it.
+        request_id: u64,
+        /// Files to serve, in order.
+        files: Vec<FileId>,
+    },
+    /// Server → client: the group, with per-file provenance.
+    FetchReply {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// Per-file outcome, in request order.
+        files: Vec<FileReply>,
+    },
+    /// Client → server: report your cache counters.
+    StatsRequest {
+        /// Id echoed in the `StatsReply`.
+        request_id: u64,
+    },
+    /// Server → client: cache counters.
+    StatsReply {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// The counters.
+        stats: WireStats,
+    },
+    /// Client → server: finish in-flight work and stop accepting.
+    Shutdown {
+        /// Id echoed in the `ShutdownAck`.
+        request_id: u64,
+    },
+    /// Server → client: shutdown acknowledged.
+    ShutdownAck {
+        /// Echo of the request's id.
+        request_id: u64,
+    },
+    /// Either direction: the peer could not serve the request.
+    Error {
+        /// Id of the offending request (0 if unattributable).
+        request_id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Message {
+    /// The request id carried by this message.
+    pub fn request_id(&self) -> u64 {
+        match *self {
+            Message::Fetch { request_id, .. }
+            | Message::FetchReply { request_id, .. }
+            | Message::StatsRequest { request_id }
+            | Message::StatsReply { request_id, .. }
+            | Message::Shutdown { request_id }
+            | Message::ShutdownAck { request_id }
+            | Message::Error { request_id, .. } => request_id,
+        }
+    }
+
+    /// Builds the `FetchReply` for a served group.
+    pub fn reply_for(reply: &GroupReply) -> Message {
+        Message::FetchReply {
+            request_id: reply.request_id,
+            files: reply.files.clone(),
+        }
+    }
+
+    /// Encodes this message as one complete frame (length prefix
+    /// included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16);
+        payload.push(WIRE_VERSION);
+        payload.push(self.msg_type());
+        payload.extend_from_slice(&self.request_id().to_le_bytes());
+        match self {
+            Message::Fetch { files, .. } => {
+                payload.extend_from_slice(&(files.len() as u32).to_le_bytes());
+                for f in files {
+                    payload.extend_from_slice(&f.as_u64().to_le_bytes());
+                }
+            }
+            Message::FetchReply { files, .. } => {
+                payload.extend_from_slice(&(files.len() as u32).to_le_bytes());
+                for f in files {
+                    payload.extend_from_slice(&f.file.as_u64().to_le_bytes());
+                    payload.push(if f.outcome.is_hit() { 0 } else { 1 });
+                }
+            }
+            Message::StatsReply { stats, .. } => stats.encode_into(&mut payload),
+            Message::Error { message, .. } => {
+                payload.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                payload.extend_from_slice(message.as_bytes());
+            }
+            Message::StatsRequest { .. }
+            | Message::Shutdown { .. }
+            | Message::ShutdownAck { .. } => {}
+        }
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decodes one frame payload (everything after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportErrorKind::Protocol`] error for truncated
+    /// bodies, unknown versions or message types, and invalid field
+    /// values.
+    pub fn decode(payload: &[u8]) -> Result<Message, TransportError> {
+        let mut r = SliceReader::new(payload);
+        let version = r.u8()?;
+        if version != WIRE_VERSION {
+            return Err(protocol(format!(
+                "unsupported wire version {version} (expected {WIRE_VERSION})"
+            )));
+        }
+        let msg_type = r.u8()?;
+        let request_id = r.u64()?;
+        let message = match msg_type {
+            MSG_FETCH => {
+                let count = r.u32()? as usize;
+                r.check_remaining(count.checked_mul(8), "fetch file list")?;
+                let files = (0..count)
+                    .map(|_| r.u64().map(FileId))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Message::Fetch { request_id, files }
+            }
+            MSG_FETCH_REPLY => {
+                let count = r.u32()? as usize;
+                r.check_remaining(count.checked_mul(9), "fetch reply list")?;
+                let files = (0..count)
+                    .map(|_| {
+                        let file = FileId(r.u64()?);
+                        let outcome = match r.u8()? {
+                            0 => AccessOutcome::Hit,
+                            1 => AccessOutcome::Miss,
+                            other => {
+                                return Err(protocol(format!("invalid provenance byte {other}")))
+                            }
+                        };
+                        Ok(FileReply { file, outcome })
+                    })
+                    .collect::<Result<Vec<_>, TransportError>>()?;
+                Message::FetchReply { request_id, files }
+            }
+            MSG_STATS_REQUEST => Message::StatsRequest { request_id },
+            MSG_STATS_REPLY => Message::StatsReply {
+                request_id,
+                stats: WireStats::decode(&mut r)?,
+            },
+            MSG_SHUTDOWN => Message::Shutdown { request_id },
+            MSG_SHUTDOWN_ACK => Message::ShutdownAck { request_id },
+            MSG_ERROR => {
+                let len = r.u32()? as usize;
+                let bytes = r.bytes(len, "error message")?;
+                let message = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| protocol("error message is not UTF-8"))?;
+                Message::Error {
+                    request_id,
+                    message,
+                }
+            }
+            other => return Err(protocol(format!("unknown message type {other}"))),
+        };
+        if !r.is_empty() {
+            return Err(protocol("trailing bytes after message body"));
+        }
+        Ok(message)
+    }
+
+    fn msg_type(&self) -> u8 {
+        match self {
+            Message::Fetch { .. } => MSG_FETCH,
+            Message::FetchReply { .. } => MSG_FETCH_REPLY,
+            Message::StatsRequest { .. } => MSG_STATS_REQUEST,
+            Message::StatsReply { .. } => MSG_STATS_REPLY,
+            Message::Shutdown { .. } => MSG_SHUTDOWN,
+            Message::ShutdownAck { .. } => MSG_SHUTDOWN_ACK,
+            Message::Error { .. } => MSG_ERROR,
+        }
+    }
+}
+
+/// Writes one message as a frame to `w` (single `write_all` so a frame is
+/// never interleaved mid-write by the caller's own buffering).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, message: &Message) -> std::io::Result<()> {
+    w.write_all(&message.encode())
+}
+
+/// Reads one complete frame from `r` and decodes it.
+///
+/// # Errors
+///
+/// Returns a [`TransportError`]: `Protocol` for malformed frames,
+/// `ConnectionLost` for EOF mid-frame, `Timeout` if the reader's deadline
+/// expires.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Message, TransportError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf).map_err(io_to_transport)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(protocol(format!(
+            "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(io_to_transport)?;
+    Message::decode(&payload)
+}
+
+/// Maps an I/O error to the transport-error taxonomy: would-block and
+/// timed-out become retryable [`TransportErrorKind::Timeout`]s, invalid
+/// data becomes [`TransportErrorKind::Protocol`], and everything else
+/// (EOF included) is a [`TransportErrorKind::ConnectionLost`].
+pub fn io_to_transport(err: std::io::Error) -> TransportError {
+    use std::io::ErrorKind as K;
+    let kind = match err.kind() {
+        K::WouldBlock | K::TimedOut => TransportErrorKind::Timeout,
+        K::InvalidData => TransportErrorKind::Protocol,
+        _ => TransportErrorKind::ConnectionLost,
+    };
+    TransportError::new(kind, err.to_string())
+}
+
+fn protocol(detail: impl Into<String>) -> TransportError {
+    TransportError::new(TransportErrorKind::Protocol, detail)
+}
+
+/// A bounds-checked little-endian cursor over a frame payload.
+struct SliceReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        SliceReader { data, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], TransportError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| protocol(format!("truncated frame: {what}")))?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Rejects a declared element count larger than the remaining bytes
+    /// *before* any allocation sized by it.
+    fn check_remaining(&self, need: Option<usize>, what: &str) -> Result<(), TransportError> {
+        match need {
+            Some(n) if n <= self.data.len() - self.pos => Ok(()),
+            _ => Err(protocol(format!("declared size overruns frame: {what}"))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, TransportError> {
+        Ok(self.bytes(1, "u8")?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, TransportError> {
+        let b = self.bytes(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, TransportError> {
+        let b = self.bytes(8, "u64")?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let frame = m.encode();
+        let (len, payload) = frame.split_at(4);
+        assert_eq!(
+            u32::from_le_bytes([len[0], len[1], len[2], len[3]]) as usize,
+            payload.len()
+        );
+        assert_eq!(Message::decode(payload).expect("well-formed"), m);
+    }
+
+    #[test]
+    fn all_message_types_roundtrip() {
+        roundtrip(Message::Fetch {
+            request_id: 0xDEAD_BEEF,
+            files: vec![FileId(1), FileId(u64::MAX)],
+        });
+        roundtrip(Message::FetchReply {
+            request_id: 2,
+            files: vec![
+                FileReply {
+                    file: FileId(9),
+                    outcome: AccessOutcome::Hit,
+                },
+                FileReply {
+                    file: FileId(10),
+                    outcome: AccessOutcome::Miss,
+                },
+            ],
+        });
+        roundtrip(Message::StatsRequest { request_id: 3 });
+        roundtrip(Message::StatsReply {
+            request_id: 4,
+            stats: WireStats {
+                accesses: 1,
+                hits: 2,
+                misses: 3,
+                speculative_inserts: 4,
+                speculative_hits: 5,
+                evictions: 6,
+                demand_fetches: 7,
+                files_transferred: 8,
+                members_already_resident: 9,
+            },
+        });
+        roundtrip(Message::Shutdown { request_id: 5 });
+        roundtrip(Message::ShutdownAck { request_id: 6 });
+        roundtrip(Message::Error {
+            request_id: 7,
+            message: "no such thing".to_string(),
+        });
+    }
+
+    #[test]
+    fn golden_fetch_frame_layout() {
+        // Pins the wire layout: changing it is a protocol version bump.
+        let m = Message::Fetch {
+            request_id: 0x0102_0304_0506_0708,
+            files: vec![FileId(0x11), FileId(0x22)],
+        };
+        let frame = m.encode();
+        let expected: Vec<u8> = [
+            &[30, 0, 0, 0][..],               // payload length
+            &[1, 1][..],                      // version, msg type
+            &[8, 7, 6, 5, 4, 3, 2, 1][..],    // request id LE
+            &[2, 0, 0, 0][..],                // file count
+            &[0x11, 0, 0, 0, 0, 0, 0, 0][..], // file 0
+            &[0x22, 0, 0, 0, 0, 0, 0, 0][..], // file 1
+        ]
+        .concat();
+        assert_eq!(frame, expected);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_unknown_type() {
+        let mut frame = Message::StatsRequest { request_id: 1 }.encode();
+        frame[4] = 9; // version byte
+        let err = Message::decode(&frame[4..]).expect_err("bad version");
+        assert_eq!(err.kind(), TransportErrorKind::Protocol);
+        assert!(err.to_string().contains("version"));
+
+        let mut frame = Message::StatsRequest { request_id: 1 }.encode();
+        frame[5] = 200; // msg type byte
+        let err = Message::decode(&frame[4..]).expect_err("bad type");
+        assert_eq!(err.kind(), TransportErrorKind::Protocol);
+    }
+
+    #[test]
+    fn rejects_truncated_and_oversized_bodies() {
+        let frame = Message::Fetch {
+            request_id: 1,
+            files: vec![FileId(1)],
+        }
+        .encode();
+        let payload = &frame[4..];
+        assert!(Message::decode(&payload[..payload.len() - 1]).is_err());
+
+        // A declared count far beyond the actual body must fail before
+        // allocating.
+        let mut huge = payload.to_vec();
+        huge[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Message::decode(&huge).is_err());
+
+        // Trailing garbage is also a protocol error.
+        let mut trailing = payload.to_vec();
+        trailing.push(0);
+        assert!(Message::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_provenance_byte() {
+        let mut frame = Message::FetchReply {
+            request_id: 1,
+            files: vec![FileReply {
+                file: FileId(1),
+                outcome: AccessOutcome::Hit,
+            }],
+        }
+        .encode();
+        let last = frame.len() - 1;
+        frame[last] = 7;
+        assert!(Message::decode(&frame[4..]).is_err());
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let messages = [
+            Message::Fetch {
+                request_id: 1,
+                files: vec![FileId(4)],
+            },
+            Message::Shutdown { request_id: 2 },
+        ];
+        let mut buf = Vec::new();
+        for m in &messages {
+            write_frame(&mut buf, m).expect("vec write");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for m in &messages {
+            assert_eq!(&read_frame(&mut cursor).expect("well-formed"), m);
+        }
+        // EOF at a frame boundary surfaces as ConnectionLost.
+        let err = read_frame(&mut cursor).expect_err("eof");
+        assert_eq!(err.kind(), TransportErrorKind::ConnectionLost);
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_length_prefix() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(buf)).expect_err("too big");
+        assert_eq!(err.kind(), TransportErrorKind::Protocol);
+    }
+
+    #[test]
+    fn io_error_taxonomy() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            io_to_transport(Error::new(ErrorKind::TimedOut, "t")).kind(),
+            TransportErrorKind::Timeout
+        );
+        assert_eq!(
+            io_to_transport(Error::new(ErrorKind::WouldBlock, "w")).kind(),
+            TransportErrorKind::Timeout
+        );
+        assert_eq!(
+            io_to_transport(Error::new(ErrorKind::InvalidData, "d")).kind(),
+            TransportErrorKind::Protocol
+        );
+        assert_eq!(
+            io_to_transport(Error::new(ErrorKind::ConnectionReset, "r")).kind(),
+            TransportErrorKind::ConnectionLost
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Loopback TCP integration tests: a real [`BoundServer`] on an ephemeral
+//! 127.0.0.1 port, exercised by [`NetClient`] through the full wire
+//! protocol — fetches, pipelined batches, idempotent retries, stats, and
+//! cooperative shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
+use fgcache_net::{BoundServer, GroupRequest, NetClient, ServerHandle, Transport};
+use fgcache_types::{FileId, TransportErrorKind};
+
+fn server(capacity: usize, group: usize) -> (ServerHandle, Arc<ShardedAggregatingCache>) {
+    let cache = Arc::new(
+        ShardedAggregatingCacheBuilder::new(capacity)
+            .shards(2)
+            .group_size(group)
+            .build()
+            .expect("valid build"),
+    );
+    let bound = BoundServer::bind("127.0.0.1:0", Arc::clone(&cache)).expect("ephemeral bind");
+    (bound.spawn(), cache)
+}
+
+fn req(id: u64, files: &[u64]) -> GroupRequest {
+    GroupRequest::new(id, files.iter().map(|&f| FileId(f)).collect())
+}
+
+#[test]
+fn fetch_round_trip_reports_real_provenance() {
+    let (handle, cache) = server(40, 1);
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+
+    let cold = client.fetch_group(&req(0, &[5])).expect("cold fetch");
+    let warm = client.fetch_group(&req(1, &[5])).expect("warm fetch");
+    assert!(cold.files[0].outcome.is_miss());
+    assert!(warm.files[0].outcome.is_hit());
+    assert_eq!(cold.files[0].file, FileId(5));
+
+    // The server-side cache really served these accesses.
+    assert_eq!(cache.stats().accesses, 2);
+    assert_eq!(cache.stats().hits, 1);
+    handle.stop();
+}
+
+#[test]
+fn server_stats_match_in_process_reads() {
+    let (handle, cache) = server(60, 3);
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    for i in 0..50u64 {
+        client.fetch_group(&req(i, &[i % 13])).expect("fetch");
+    }
+    let wire = client.server_stats().expect("stats reply");
+    let stats = cache.stats();
+    let group = cache.group_stats();
+    assert_eq!(wire.accesses, stats.accesses);
+    assert_eq!(wire.hits, stats.hits);
+    assert_eq!(wire.misses, stats.misses);
+    assert_eq!(wire.speculative_inserts, stats.speculative_inserts);
+    assert_eq!(wire.evictions, stats.evictions);
+    assert_eq!(wire.demand_fetches, group.demand_fetches);
+    assert_eq!(wire.files_transferred, group.files_transferred);
+    handle.stop();
+}
+
+#[test]
+fn repeated_request_id_is_served_from_the_reply_cache() {
+    let (handle, cache) = server(40, 1);
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+
+    let first = client.fetch_group(&req(7, &[3, 4])).expect("first");
+    // A retry of the same request id — as RetryingTransport would issue
+    // after a lost reply — must re-deliver, not re-execute.
+    let again = client.fetch_group(&req(7, &[3, 4])).expect("retry");
+    assert_eq!(
+        first, again,
+        "byte-identical re-delivery, provenance included"
+    );
+    assert_eq!(
+        cache.stats().accesses,
+        2,
+        "two files accessed once each; the retry executed nothing"
+    );
+    handle.stop();
+}
+
+#[test]
+fn batched_fetches_pipeline_on_one_connection() {
+    let (handle, cache) = server(100, 2);
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+
+    let batch: Vec<GroupRequest> = (0..20u64).map(|i| req(i, &[i % 7])).collect();
+    let replies = client.fetch_batch(&batch);
+    assert_eq!(replies.len(), 20);
+    for (result, request) in replies.iter().zip(&batch) {
+        let reply = result.as_ref().expect("batched fetch");
+        assert_eq!(reply.request_id, request.request_id);
+        assert_eq!(reply.files.len(), request.files.len());
+    }
+    assert_eq!(cache.stats().accesses, 20);
+    assert_eq!(client.stats().round_trips, 1, "one pipelined round trip");
+    handle.stop();
+}
+
+#[test]
+fn sequential_and_batched_runs_agree_with_direct_execution() {
+    // The same access stream three ways: direct in-process, per-request
+    // TCP, and batched TCP. All three must leave identical server stats.
+    let stream: Vec<u64> = (0..120).map(|i| (i * 7 + i / 11) % 23).collect();
+
+    let run_direct = || {
+        let cache = ShardedAggregatingCacheBuilder::new(30)
+            .shards(2)
+            .group_size(3)
+            .build()
+            .expect("valid build");
+        for &f in &stream {
+            cache.handle_access(FileId(f));
+        }
+        (cache.stats(), cache.group_stats())
+    };
+    let (direct_stats, direct_group) = run_direct();
+
+    for batch_size in [1usize, 8, 120] {
+        let (handle, cache) = server(30, 3);
+        let mut client = NetClient::connect(handle.addr()).expect("connect");
+        for (chunk_idx, chunk) in stream.chunks(batch_size).enumerate() {
+            let batch: Vec<GroupRequest> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| req((chunk_idx * batch_size + i) as u64, &[f]))
+                .collect();
+            for r in client.fetch_batch(&batch) {
+                r.expect("batched fetch");
+            }
+        }
+        assert_eq!(cache.stats(), direct_stats, "batch={batch_size}");
+        assert_eq!(cache.group_stats(), direct_group, "batch={batch_size}");
+        handle.stop();
+    }
+}
+
+#[test]
+fn read_timeout_surfaces_as_retryable_timeout() {
+    // A listener that accepts and then never replies.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let silent = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        std::thread::sleep(Duration::from_millis(300));
+        drop(stream);
+    });
+
+    let mut client = NetClient::connect(&addr)
+        .expect("connect")
+        .with_timeout(Duration::from_millis(50));
+    let err = client
+        .fetch_group(&req(0, &[1]))
+        .expect_err("no reply ever");
+    assert_eq!(err.kind(), TransportErrorKind::Timeout);
+    assert!(err.is_retryable());
+    silent.join().expect("silent listener thread");
+}
+
+#[test]
+fn connect_to_nothing_is_connection_lost() {
+    // Bind and immediately drop to obtain a port that is (almost surely)
+    // closed.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").port()
+    };
+    let err = NetClient::connect(&format!("127.0.0.1:{port}")).expect_err("nothing listening");
+    assert_eq!(err.kind(), TransportErrorKind::ConnectionLost);
+}
+
+#[test]
+fn shutdown_via_client_stops_the_server() {
+    let (handle, _cache) = server(40, 1);
+    let addr = handle.addr().to_string();
+    let mut client = NetClient::connect(&addr).expect("connect");
+    client.fetch_group(&req(0, &[1])).expect("fetch");
+    client.send_shutdown().expect("acknowledged");
+    handle.stop(); // joins promptly because the flag is already set
+
+    // The port no longer accepts fetches.
+    let late = NetClient::connect(&addr);
+    assert!(late.is_err(), "server must be gone after shutdown");
+}
+
+#[test]
+fn pool_survives_many_sequential_clients() {
+    let (handle, cache) = server(500, 2);
+    for c in 0..4u64 {
+        let mut client = NetClient::connect(handle.addr())
+            .expect("connect")
+            .with_id_namespace(c)
+            .with_pool_size(1);
+        for i in 0..25u64 {
+            let request = client.next_request(vec![FileId(c * 100 + i)]);
+            client.fetch_group(&request).expect("fetch");
+        }
+    }
+    assert_eq!(cache.stats().accesses, 100);
+    handle.stop();
+}

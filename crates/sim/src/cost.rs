@@ -17,69 +17,13 @@
 //! large groups stop paying.
 
 use fgcache_core::AggregatingCacheBuilder;
+use fgcache_net::{GroupRequest, SimTransport, Transport as _};
 use fgcache_trace::Trace;
 use fgcache_types::ValidationError;
 
 use crate::report::{fmt2, Table};
 
-/// Per-operation costs, in arbitrary time units (only ratios matter).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CostModel {
-    /// Fixed cost of one fetch request (round-trip latency + server
-    /// request handling).
-    pub request_latency: f64,
-    /// Cost of transferring one file's data.
-    pub transfer_time: f64,
-}
-
-impl CostModel {
-    /// A distributed-file-system-like regime: a request round trip costs
-    /// ten file transfers (small files, wide-area or congested links).
-    pub fn remote() -> Self {
-        CostModel {
-            request_latency: 10.0,
-            transfer_time: 1.0,
-        }
-    }
-
-    /// A local-area regime: round trip worth two transfers.
-    pub fn lan() -> Self {
-        CostModel {
-            request_latency: 2.0,
-            transfer_time: 1.0,
-        }
-    }
-
-    /// Validates the model (both costs finite and non-negative, not both
-    /// zero).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ValidationError`] naming the offending field.
-    pub fn validate(&self) -> Result<(), ValidationError> {
-        for (name, v) in [
-            ("request_latency", self.request_latency),
-            ("transfer_time", self.transfer_time),
-        ] {
-            if !v.is_finite() || v < 0.0 {
-                return Err(ValidationError::new(name, "must be finite and >= 0"));
-            }
-        }
-        if self.request_latency == 0.0 && self.transfer_time == 0.0 {
-            return Err(ValidationError::new(
-                "cost model",
-                "at least one cost must be positive",
-            ));
-        }
-        Ok(())
-    }
-
-    /// Total I/O time for a run that made `fetches` requests moving
-    /// `files` files.
-    pub fn total(&self, fetches: u64, files: u64) -> f64 {
-        fetches as f64 * self.request_latency + files as f64 * self.transfer_time
-    }
-}
+pub use fgcache_core::cost::CostModel;
 
 /// Measured I/O cost of one aggregating-cache run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +36,21 @@ pub struct CostPoint {
     pub files_transferred: u64,
     /// Total time under the cost model.
     pub total_time: f64,
+}
+
+impl CostPoint {
+    /// Prices a run from its raw counters. Every cost path — the analytic
+    /// sweep and the transport-backed sweep — builds its points through
+    /// this one constructor, so the analytic and measured rows of
+    /// [`cost_table`] cannot silently diverge in how they price counters.
+    pub fn from_counters(group_size: usize, fetches: u64, files: u64, model: &CostModel) -> Self {
+        CostPoint {
+            group_size,
+            demand_fetches: fetches,
+            files_transferred: files,
+            total_time: model.total(fetches, files),
+        }
+    }
 }
 
 /// Replays `trace` through aggregating caches of each group size and
@@ -120,12 +79,81 @@ pub fn cost_sweep(
             cache.handle_access(ev.file);
         }
         let stats = cache.group_stats();
-        points.push(CostPoint {
-            group_size: g,
-            demand_fetches: stats.demand_fetches,
-            files_transferred: stats.files_transferred,
-            total_time: model.total(stats.demand_fetches, stats.files_transferred),
-        });
+        points.push(CostPoint::from_counters(
+            g,
+            stats.demand_fetches,
+            stats.files_transferred,
+            &model,
+        ));
+    }
+    Ok(points)
+}
+
+/// Replays `trace` through aggregating caches of each group size with
+/// every demand miss routed through a [`SimTransport`] fetching from the
+/// origin, and prices the runs **from the transport's own counters** —
+/// the layer that actually moved the files. When the transport is active
+/// it is the one source of truth: this function errors (rather than
+/// silently diverging) if the cache's analytic counters and the
+/// transport's measured counters ever disagree.
+///
+/// With zero jitter the returned points are identical to [`cost_sweep`]'s
+/// — pinned by a test — because both derive from the same fetch stream
+/// and price through [`CostPoint::from_counters`].
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] for invalid inputs (see [`cost_sweep`])
+/// or for a counter divergence between the cache and the transport.
+pub fn cost_sweep_via_transport(
+    trace: &Trace,
+    capacity: usize,
+    group_sizes: &[usize],
+    model: CostModel,
+) -> Result<Vec<CostPoint>, ValidationError> {
+    model.validate()?;
+    if group_sizes.is_empty() {
+        return Err(ValidationError::new("group_sizes", "must not be empty"));
+    }
+    let mut points = Vec::with_capacity(group_sizes.len());
+    for &g in group_sizes {
+        let mut cache = AggregatingCacheBuilder::new(capacity)
+            .group_size(g)
+            .build()?;
+        let mut transport = SimTransport::to_origin(model);
+        let mut next_request_id = 0u64;
+        for ev in trace.events() {
+            let (_, fetch) = cache.handle_access_with_fetch(ev.file);
+            if let Some(files) = fetch {
+                let request = GroupRequest::new(next_request_id, files);
+                next_request_id += 1;
+                transport
+                    .fetch_group(&request)
+                    .map_err(|e| ValidationError::new("transport", e.to_string()))?;
+            }
+        }
+        let measured = transport.stats();
+        let analytic = cache.group_stats();
+        if measured.requests != analytic.demand_fetches
+            || measured.files_moved != analytic.files_transferred
+        {
+            return Err(ValidationError::new(
+                "transport counters",
+                format!(
+                    "transport measured {} fetches / {} files but the cache recorded {} / {}",
+                    measured.requests,
+                    measured.files_moved,
+                    analytic.demand_fetches,
+                    analytic.files_transferred
+                ),
+            ));
+        }
+        points.push(CostPoint::from_counters(
+            g,
+            measured.requests,
+            measured.files_moved,
+            &model,
+        ));
     }
     Ok(points)
 }
@@ -176,36 +204,24 @@ mod tests {
     }
 
     #[test]
-    fn model_validation() {
-        assert!(CostModel::remote().validate().is_ok());
-        assert!(CostModel {
-            request_latency: -1.0,
-            transfer_time: 1.0
-        }
-        .validate()
-        .is_err());
-        assert!(CostModel {
-            request_latency: f64::NAN,
-            transfer_time: 1.0
-        }
-        .validate()
-        .is_err());
-        assert!(CostModel {
-            request_latency: 0.0,
-            transfer_time: 0.0
-        }
-        .validate()
-        .is_err());
+    fn model_is_reexported_from_core() {
+        // The definition moved to `fgcache_core::cost`; the historical
+        // `fgcache_sim::cost::CostModel` path must keep working.
+        let m: fgcache_core::CostModel = CostModel::remote();
+        assert!(m.validate().is_ok());
     }
 
     #[test]
-    fn total_is_linear() {
+    fn from_counters_prices_through_the_model() {
         let m = CostModel {
             request_latency: 10.0,
             transfer_time: 2.0,
         };
-        assert_eq!(m.total(3, 7), 44.0);
-        assert_eq!(m.total(0, 0), 0.0);
+        let p = CostPoint::from_counters(5, 3, 7, &m);
+        assert_eq!(p.group_size, 5);
+        assert_eq!(p.demand_fetches, 3);
+        assert_eq!(p.files_transferred, 7);
+        assert_eq!(p.total_time, 44.0);
     }
 
     #[test]
@@ -218,6 +234,19 @@ mod tests {
             transfer_time: 0.0,
         };
         assert!(cost_sweep(&t, 100, &[1], bad).is_err());
+        assert!(cost_sweep_via_transport(&t, 100, &[], CostModel::remote()).is_err());
+        assert!(cost_sweep_via_transport(&t, 4, &[9], CostModel::remote()).is_err());
+    }
+
+    #[test]
+    fn transport_sweep_matches_analytic_sweep_exactly() {
+        // One source of truth: pricing the transport's counters yields
+        // bit-identical points to pricing the cache's counters.
+        let t = trace();
+        let groups = [1usize, 3, 5];
+        let analytic = cost_sweep(&t, 300, &groups, CostModel::remote()).unwrap();
+        let measured = cost_sweep_via_transport(&t, 300, &groups, CostModel::remote()).unwrap();
+        assert_eq!(analytic, measured);
     }
 
     #[test]

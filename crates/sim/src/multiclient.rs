@@ -10,13 +10,15 @@
 //! same client workload against a range of shard counts and reports
 //! aggregate hit rates, demand fetches and per-shard load imbalance.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use fgcache_cache::{FilterCache, LruCache};
 use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
+use fgcache_net::{request_id, GroupRequest, Transport, TransportStats};
 use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
 use fgcache_trace::Trace;
-use fgcache_types::ValidationError;
+use fgcache_types::{TransportError, ValidationError};
 
 use crate::report::{fmt2, pct, Table};
 
@@ -336,6 +338,262 @@ pub fn multiclient_table(title: &str, points: &[MultiClientPoint]) -> Table {
     table
 }
 
+/// Why a transport-backed replay failed: the inputs were invalid, or the
+/// fetch path itself failed (and retries, if configured, were exhausted).
+#[derive(Debug)]
+pub enum TransportReplayError {
+    /// The replay inputs were rejected before any fetch.
+    Invalid(ValidationError),
+    /// A group fetch failed terminally.
+    Transport(TransportError),
+}
+
+impl fmt::Display for TransportReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportReplayError::Invalid(e) => write!(f, "invalid replay inputs: {e}"),
+            TransportReplayError::Transport(e) => write!(f, "transport failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportReplayError::Invalid(e) => Some(e),
+            TransportReplayError::Transport(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidationError> for TransportReplayError {
+    fn from(e: ValidationError) -> Self {
+        TransportReplayError::Invalid(e)
+    }
+}
+
+impl From<TransportError> for TransportReplayError {
+    fn from(e: TransportError) -> Self {
+        TransportReplayError::Transport(e)
+    }
+}
+
+/// The measured outcome of a transport-backed multi-client replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportReplayPoint {
+    /// Number of clients replayed.
+    pub clients: usize,
+    /// Total events replayed across all clients.
+    pub events: u64,
+    /// Aggregate client-side (filter) hit rate.
+    pub client_hit_rate: f64,
+    /// Merged traffic counters across every client's transport. When the
+    /// transport layer is active it is the one source of truth for
+    /// files-moved and fetch counts: `transport.requests` is the demand
+    /// fetch count and `transport.files_moved` the files-transferred
+    /// count that cost models should price.
+    pub transport: TransportStats,
+    /// Wall-clock replay time (excludes trace generation).
+    pub elapsed: Duration,
+}
+
+/// Replays `traces` with every filter-cache miss routed through that
+/// client's own [`Transport`] — the transport-backed twin of
+/// [`run_multiclient`]. `transports` supplies one fetch path per client
+/// (e.g. a `NetClient` each for a TCP run, or a `SimTransport` each over
+/// one shared cache for a virtual-clock run) and is returned so callers
+/// can inspect per-client stats or reuse the connections.
+///
+/// Misses accumulate into per-client batches of `batch` requests,
+/// submitted pipelined via [`Transport::fetch_batch`]; `batch == 1`
+/// submits every miss immediately. Request ids are namespaced per client
+/// with [`request_id`], so the streams stay
+/// idempotency-safe against one shared server.
+///
+/// With `concurrent = false` the interleave is the same deterministic
+/// round-robin as [`run_multiclient`]'s: at `batch == 1` a transport
+/// backed by a [`ShardedAggregatingCache`] therefore produces **byte
+/// -identical** server statistics to the in-process replay — the
+/// differential property the loopback CI test pins. Larger batches and
+/// concurrent replay reorder server arrivals, changing (only) the
+/// order-dependent statistics.
+///
+/// # Errors
+///
+/// Returns [`TransportReplayError::Invalid`] for empty/mismatched inputs
+/// and [`TransportReplayError::Transport`] on the first terminal fetch
+/// failure.
+pub fn run_multiclient_transport<T: Transport + Send>(
+    traces: &[Trace],
+    filter_capacity: usize,
+    mut transports: Vec<T>,
+    batch: usize,
+    concurrent: bool,
+) -> Result<(TransportReplayPoint, Vec<T>), TransportReplayError> {
+    if traces.is_empty() {
+        return Err(ValidationError::new("traces", "at least one client trace").into());
+    }
+    if filter_capacity == 0 {
+        return Err(ValidationError::new("filter_capacity", "must be greater than zero").into());
+    }
+    if transports.len() != traces.len() {
+        return Err(ValidationError::new(
+            "transports",
+            format!(
+                "need exactly one transport per client ({} traces, {} transports)",
+                traces.len(),
+                transports.len()
+            ),
+        )
+        .into());
+    }
+    let batch = batch.max(1);
+    let start = Instant::now();
+    let (client_hits, client_accesses) = if concurrent {
+        replay_transport_concurrent(traces, filter_capacity, &mut transports, batch)?
+    } else {
+        replay_transport_round_robin(traces, filter_capacity, &mut transports, batch)?
+    };
+    let elapsed = start.elapsed();
+    let mut merged = TransportStats::default();
+    for t in &transports {
+        merged.merge(&t.stats());
+    }
+    let point = TransportReplayPoint {
+        clients: traces.len(),
+        events: client_accesses,
+        client_hit_rate: if client_accesses == 0 {
+            0.0
+        } else {
+            client_hits as f64 / client_accesses as f64
+        },
+        transport: merged,
+        elapsed,
+    };
+    Ok((point, transports))
+}
+
+/// Per-client replay state for the transport-backed modes: the private
+/// filter, the pending batch, and the client's request-id sequence.
+struct TransportClient<'t, T> {
+    index: u64,
+    filter: FilterCache<LruCache>,
+    transport: &'t mut T,
+    pending: Vec<GroupRequest>,
+    next_seq: u64,
+}
+
+impl<'t, T: Transport> TransportClient<'t, T> {
+    fn new(index: usize, filter_capacity: usize, transport: &'t mut T) -> Self {
+        TransportClient {
+            index: index as u64,
+            filter: FilterCache::new(LruCache::new(filter_capacity)),
+            transport,
+            pending: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Offers one event to the filter; a miss joins the pending batch,
+    /// which is flushed at `batch` requests.
+    fn offer(&mut self, file: fgcache_types::FileId, batch: usize) -> Result<(), TransportError> {
+        if self.filter.offer_file(file) {
+            let id = request_id(self.index, self.next_seq);
+            self.next_seq += 1;
+            self.pending.push(GroupRequest::new(id, vec![file]));
+            if self.pending.len() >= batch {
+                self.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), TransportError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        for result in self.transport.fetch_batch(&batch) {
+            result?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(u64, u64), TransportError> {
+        self.flush()?;
+        let stats = *self.filter.stats();
+        Ok((stats.hits, stats.accesses))
+    }
+}
+
+/// Deterministic round-robin interleave over one shared fetch order —
+/// clients take turns, one event per turn (mirrors
+/// [`replay_round_robin`]).
+fn replay_transport_round_robin<T: Transport>(
+    traces: &[Trace],
+    filter_capacity: usize,
+    transports: &mut [T],
+    batch: usize,
+) -> Result<(u64, u64), TransportError> {
+    let mut clients: Vec<TransportClient<'_, T>> = transports
+        .iter_mut()
+        .enumerate()
+        .map(|(i, t)| TransportClient::new(i, filter_capacity, t))
+        .collect();
+    let longest = traces.iter().map(Trace::len).max().unwrap_or(0);
+    for i in 0..longest {
+        for (client, trace) in clients.iter_mut().zip(traces) {
+            if let Some(ev) = trace.events().get(i) {
+                client.offer(ev.file, batch)?;
+            }
+        }
+    }
+    let mut totals = (0, 0);
+    for client in clients {
+        let (hits, accesses) = client.finish()?;
+        totals.0 += hits;
+        totals.1 += accesses;
+    }
+    Ok(totals)
+}
+
+/// One scoped thread per client, each driving its own transport (mirrors
+/// [`replay_concurrent`]).
+fn replay_transport_concurrent<T: Transport + Send>(
+    traces: &[Trace],
+    filter_capacity: usize,
+    transports: &mut [T],
+    batch: usize,
+) -> Result<(u64, u64), TransportError> {
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .iter()
+            .zip(transports.iter_mut())
+            .enumerate()
+            .map(|(index, (trace, transport))| {
+                scope.spawn(move || {
+                    let mut client = TransportClient::new(index, filter_capacity, transport);
+                    for ev in trace.events() {
+                        client.offer(ev.file, batch)?;
+                    }
+                    client.finish()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client replay thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut totals = (0, 0);
+    for result in results {
+        let (hits, accesses) = result?;
+        totals.0 += hits;
+        totals.1 += accesses;
+    }
+    Ok(totals)
+}
+
 /// Splits one trace into `k` interleaved client streams (event `i` goes
 /// to client `i % k`) — how the CLI turns a single recorded trace into a
 /// multi-client workload.
@@ -431,6 +689,148 @@ mod tests {
         let table = multiclient_table("multiclient", &points);
         assert_eq!(table.row_count(), points.len());
         assert!(table.render().contains("imbalance"));
+    }
+
+    #[test]
+    fn transport_replay_validates_inputs() {
+        use fgcache_core::CostModel;
+        use fgcache_net::SimTransport;
+        let traces = MultiClientConfig::quick().client_traces().unwrap();
+        let none: Vec<SimTransport<'static>> = Vec::new();
+        assert!(matches!(
+            run_multiclient_transport(&[], 10, none, 1, false),
+            Err(TransportReplayError::Invalid(_))
+        ));
+        let one = vec![SimTransport::to_origin(CostModel::remote())];
+        assert!(matches!(
+            run_multiclient_transport(&traces, 0, one, 1, false),
+            Err(TransportReplayError::Invalid(_))
+        ));
+        let one = vec![SimTransport::to_origin(CostModel::remote())];
+        assert!(
+            matches!(
+                run_multiclient_transport(&traces, 10, one, 1, false),
+                Err(TransportReplayError::Invalid(_))
+            ),
+            "two traces need two transports"
+        );
+    }
+
+    #[test]
+    fn transport_round_robin_matches_direct_replay_byte_for_byte() {
+        use fgcache_core::CostModel;
+        use fgcache_net::SimTransport;
+        let cfg = MultiClientConfig::quick();
+        let traces = cfg.client_traces().unwrap();
+
+        // Direct in-process replay.
+        let direct_server = ShardedAggregatingCacheBuilder::new(cfg.server_capacity)
+            .shards(2)
+            .group_size(cfg.group_size)
+            .successor_capacity(cfg.successor_capacity)
+            .build()
+            .unwrap();
+        let (direct_hits, direct_accesses) =
+            replay_round_robin(&direct_server, &traces, cfg.filter_capacity);
+
+        // The same interleave, but every miss crosses a transport.
+        let transport_server = ShardedAggregatingCacheBuilder::new(cfg.server_capacity)
+            .shards(2)
+            .group_size(cfg.group_size)
+            .successor_capacity(cfg.successor_capacity)
+            .build()
+            .unwrap();
+        let transports: Vec<SimTransport<'_>> = (0..traces.len())
+            .map(|_| SimTransport::to_shared(&transport_server, CostModel::remote()))
+            .collect();
+        let (point, transports) =
+            run_multiclient_transport(&traces, cfg.filter_capacity, transports, 1, false).unwrap();
+
+        assert_eq!(point.events, direct_accesses);
+        assert_eq!(
+            point.client_hit_rate,
+            direct_hits as f64 / direct_accesses as f64
+        );
+        // Byte-exact server equivalence: same stats, same group stats.
+        assert_eq!(transport_server.stats(), direct_server.stats());
+        assert_eq!(transport_server.group_stats(), direct_server.group_stats());
+        // One source of truth: the transports' merged counters equal the
+        // server's own view of the traffic.
+        assert_eq!(point.transport.requests, transport_server.stats().accesses);
+        assert_eq!(
+            point.transport.files_moved,
+            transport_server.stats().accesses
+        );
+        assert_eq!(point.transport.hits, transport_server.stats().hits);
+        assert_eq!(transports.len(), traces.len());
+    }
+
+    #[test]
+    fn transport_batching_preserves_client_totals_and_saves_latency() {
+        use fgcache_core::CostModel;
+        use fgcache_net::SimTransport;
+        let cfg = MultiClientConfig::quick();
+        let traces = cfg.client_traces().unwrap();
+        let run = |batch: usize| {
+            let server = ShardedAggregatingCacheBuilder::new(cfg.server_capacity)
+                .shards(2)
+                .group_size(cfg.group_size)
+                .successor_capacity(cfg.successor_capacity)
+                .build()
+                .unwrap();
+            let transports: Vec<SimTransport<'_>> = (0..traces.len())
+                .map(|_| SimTransport::to_shared(&server, CostModel::remote()))
+                .collect();
+            let (point, _) =
+                run_multiclient_transport(&traces, cfg.filter_capacity, transports, batch, false)
+                    .unwrap();
+            point
+        };
+        let single = run(1);
+        let batched = run(16);
+        // The client tier is upstream of batching: identical totals.
+        assert_eq!(single.events, batched.events);
+        assert_eq!(single.client_hit_rate, batched.client_hit_rate);
+        assert_eq!(single.transport.requests, batched.transport.requests);
+        // Pipelining pays one latency per batch instead of one per
+        // request: strictly fewer round trips, strictly less virtual time.
+        assert!(batched.transport.round_trips < single.transport.round_trips);
+        assert!(batched.transport.virtual_time < single.transport.virtual_time);
+    }
+
+    #[test]
+    fn transport_concurrent_replay_agrees_on_client_totals() {
+        use fgcache_core::CostModel;
+        use fgcache_net::SimTransport;
+        let cfg = MultiClientConfig::quick();
+        let traces = cfg.client_traces().unwrap();
+        let server = ShardedAggregatingCacheBuilder::new(cfg.server_capacity)
+            .shards(2)
+            .group_size(cfg.group_size)
+            .successor_capacity(cfg.successor_capacity)
+            .build()
+            .unwrap();
+        let transports: Vec<SimTransport<'_>> = (0..traces.len())
+            .map(|_| SimTransport::to_shared(&server, CostModel::remote()))
+            .collect();
+        let (conc, _) =
+            run_multiclient_transport(&traces, cfg.filter_capacity, transports, 4, true).unwrap();
+
+        let rr = run_multiclient(
+            &traces,
+            2,
+            cfg.filter_capacity,
+            cfg.server_capacity,
+            cfg.group_size,
+            cfg.successor_capacity,
+            false,
+        )
+        .unwrap();
+        // Client filters are private: totals match the in-process replay
+        // regardless of interleaving or the transport seam.
+        assert_eq!(conc.events, rr.events);
+        assert!((conc.client_hit_rate - rr.client_hit_rate).abs() < 1e-12);
+        assert_eq!(conc.transport.requests, rr.server_accesses);
     }
 
     #[test]

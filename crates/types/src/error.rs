@@ -68,6 +68,151 @@ impl fmt::Display for ValidationError {
 
 impl Error for ValidationError {}
 
+/// Classification of a fetch-transport failure.
+///
+/// The variants mirror the failure modes a networked group-fetch path can
+/// observe; the retry layer uses [`TransportErrorKind::is_retryable`] to
+/// decide whether another attempt (with the same request id, relying on
+/// server-side idempotency) can possibly succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportErrorKind {
+    /// No reply arrived within the request timeout (the request may or may
+    /// not have executed — retries must reuse the request id).
+    Timeout,
+    /// The request executed but its reply was lost in transit.
+    ReplyDropped,
+    /// The underlying connection failed (reset, refused, EOF mid-frame).
+    ConnectionLost,
+    /// The peer spoke the protocol incorrectly (bad version, malformed
+    /// frame, unexpected message type). Never retryable: a retry would
+    /// hit the same incompatibility.
+    Protocol,
+}
+
+impl TransportErrorKind {
+    /// Whether a retry with the same request id can possibly succeed.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, TransportErrorKind::Protocol)
+    }
+}
+
+impl fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransportErrorKind::Timeout => "timeout",
+            TransportErrorKind::ReplyDropped => "reply dropped",
+            TransportErrorKind::ConnectionLost => "connection lost",
+            TransportErrorKind::Protocol => "protocol error",
+        })
+    }
+}
+
+/// Error produced by a fetch transport (`fgcache-net`).
+///
+/// Carries the failure classification plus the retry context a caller
+/// needs to reason about idempotency: which request failed and how many
+/// attempts were made.
+///
+/// ```
+/// use fgcache_types::error::{TransportError, TransportErrorKind};
+/// let err = TransportError::new(TransportErrorKind::Timeout, "no reply in 250ms")
+///     .with_request_id(7)
+///     .with_attempts(3);
+/// assert!(err.kind().is_retryable());
+/// assert_eq!(err.request_id(), Some(7));
+/// assert_eq!(err.attempts(), 3);
+/// assert_eq!(
+///     err.to_string(),
+///     "transport timeout (request 7, 3 attempts): no reply in 250ms"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    kind: TransportErrorKind,
+    request_id: Option<u64>,
+    attempts: u32,
+    detail: String,
+}
+
+impl TransportError {
+    /// Creates a transport error of `kind`, explained by `detail`
+    /// (one attempt, no request id until [`Self::with_request_id`]).
+    pub fn new(kind: TransportErrorKind, detail: impl Into<String>) -> Self {
+        TransportError {
+            kind,
+            request_id: None,
+            attempts: 1,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for a [`TransportErrorKind::Timeout`] after `attempts`
+    /// attempts at `request_id`.
+    pub fn timeout(request_id: u64, attempts: u32, detail: impl Into<String>) -> Self {
+        TransportError::new(TransportErrorKind::Timeout, detail)
+            .with_request_id(request_id)
+            .with_attempts(attempts)
+    }
+
+    /// Attaches the id of the request that failed.
+    #[must_use]
+    pub fn with_request_id(mut self, request_id: u64) -> Self {
+        self.request_id = Some(request_id);
+        self
+    }
+
+    /// Records how many attempts were made before giving up.
+    #[must_use]
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.attempts = attempts;
+        self
+    }
+
+    /// The failure classification.
+    pub fn kind(&self) -> TransportErrorKind {
+        self.kind
+    }
+
+    /// The id of the request that failed, when known.
+    pub fn request_id(&self) -> Option<u64> {
+        self.request_id
+    }
+
+    /// Number of attempts made (1 for an unretried failure).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Human-readable failure detail.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+
+    /// Whether a retry with the same request id can possibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.kind.is_retryable()
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transport {}", self.kind)?;
+        match (self.request_id, self.attempts) {
+            (Some(id), n) if n > 1 => write!(f, " (request {id}, {n} attempts)")?,
+            (Some(id), _) => write!(f, " (request {id})")?,
+            (None, n) if n > 1 => write!(f, " ({n} attempts)")?,
+            (None, _) => {}
+        }
+        if self.detail.is_empty() {
+            Ok(())
+        } else {
+            write!(f, ": {}", self.detail)
+        }
+    }
+}
+
+impl Error for TransportError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +229,48 @@ mod tests {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<ParseAccessKindError>();
         assert_err::<ValidationError>();
+        assert_err::<TransportError>();
+    }
+
+    #[test]
+    fn transport_error_context_accessors() {
+        let err = TransportError::new(TransportErrorKind::ReplyDropped, "fault injector")
+            .with_request_id(42)
+            .with_attempts(2);
+        assert_eq!(err.kind(), TransportErrorKind::ReplyDropped);
+        assert_eq!(err.request_id(), Some(42));
+        assert_eq!(err.attempts(), 2);
+        assert_eq!(err.detail(), "fault injector");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn transport_error_display_variants() {
+        let bare = TransportError::new(TransportErrorKind::ConnectionLost, "");
+        assert_eq!(bare.to_string(), "transport connection lost");
+        let with_id =
+            TransportError::new(TransportErrorKind::Protocol, "bad version").with_request_id(3);
+        assert_eq!(
+            with_id.to_string(),
+            "transport protocol error (request 3): bad version"
+        );
+        let attempts_only =
+            TransportError::new(TransportErrorKind::Timeout, "gave up").with_attempts(5);
+        assert_eq!(
+            attempts_only.to_string(),
+            "transport timeout (5 attempts): gave up"
+        );
+        assert_eq!(
+            TransportError::timeout(9, 4, "no reply").to_string(),
+            "transport timeout (request 9, 4 attempts): no reply"
+        );
+    }
+
+    #[test]
+    fn protocol_errors_are_not_retryable() {
+        assert!(!TransportErrorKind::Protocol.is_retryable());
+        assert!(TransportErrorKind::Timeout.is_retryable());
+        assert!(TransportErrorKind::ReplyDropped.is_retryable());
+        assert!(TransportErrorKind::ConnectionLost.is_retryable());
     }
 }

@@ -29,7 +29,7 @@ pub mod json;
 pub mod rng;
 
 pub use audit::InvariantViolation;
-pub use error::{ParseAccessKindError, ValidationError};
+pub use error::{ParseAccessKindError, TransportError, TransportErrorKind, ValidationError};
 pub use rng::SeededRng;
 
 /// Identifier of a file in the simulated file system.

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p xtask -- lint    # pure static checks, no cargo subprocesses
 //! cargo run -p xtask -- fuzz    # differential fuzzers over the pinned seed set
-//! cargo run -p xtask -- ci      # fmt --check, clippy -D warnings, lint, build, test, fuzz
+//! cargo run -p xtask -- ci      # fmt, clippy -D warnings, lint, build, test, smoke, fuzz
 //! ```
 //!
 //! `lint` enforces the hermetic-build policy without compiling anything:
@@ -20,6 +20,9 @@
 //! 4. **Mutex lock discipline** — no `.lock().unwrap()` chain (even
 //!    split across lines) outside `#[cfg(test)]`; a poisoned-mutex
 //!    bailout must say what was poisoned via `.expect("...")`.
+//! 5. **Socket confinement** — `std::net` appears only in `fgcache-net`.
+//!    Every other crate goes through the `Transport` trait, so simulations
+//!    stay deterministic and the wire protocol has one implementation.
 //!
 //! `fuzz` runs the differential fuzzers — the sharded-composition suite
 //! and the policy/two-level suite — over a bounded deterministic seed
@@ -88,11 +91,12 @@ fn lint(root: &Path) -> ExitCode {
     check_crate_attributes(&members, &mut violations);
     check_panic_free_sources(&members, &mut violations);
     check_lock_discipline(&members, &mut violations);
+    check_socket_confinement(&members, &mut violations);
 
     if violations.is_empty() {
         println!(
             "xtask lint: {} crates clean (allowlist, attributes, panic-free sources, \
-             lock discipline)",
+             lock discipline, socket confinement)",
             members.len()
         );
         ExitCode::SUCCESS
@@ -172,8 +176,11 @@ fn ci(root: &Path) -> ExitCode {
                 "warnings",
             ],
         ),
-        ("cargo build --release", &["build", "--release"]),
-        ("cargo test -q", &["test", "-q"]),
+        (
+            "cargo build --release --workspace",
+            &["build", "--release", "--workspace"],
+        ),
+        ("cargo test -q --workspace", &["test", "-q", "--workspace"]),
     ];
     // lint runs between clippy and build, in-process.
     for (i, (label, cargo_args)) in steps.iter().enumerate() {
@@ -191,6 +198,36 @@ fn ci(root: &Path) -> ExitCode {
             eprintln!("xtask ci: step failed: {label}");
             return ExitCode::FAILURE;
         }
+    }
+    // The loopback smoke rides on the release build from step 3: the
+    // bench-net differential check exits nonzero unless the TCP server's
+    // stats are byte-identical to the in-process replay.
+    println!("==> loopback smoke: fgcache bench-net");
+    let ok = Command::new(root.join("target/release/fgcache"))
+        .args([
+            "bench-net",
+            "--loopback",
+            "true",
+            "--clients",
+            "2",
+            "--events",
+            "2000",
+            "--capacity",
+            "200",
+            "--shards",
+            "2",
+            "--batch",
+            "1,8",
+            "--seed",
+            "2002",
+        ])
+        .current_dir(root)
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if !ok {
+        eprintln!("xtask ci: step failed: loopback smoke");
+        return ExitCode::FAILURE;
     }
     // The extended-seed fuzz pass rides on the build the test step made.
     if fuzz(root) != ExitCode::SUCCESS {
@@ -469,6 +506,50 @@ fn scan_lock_unwrap(file: &Path, text: &str, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Check 5: sockets only in `fgcache-net`. Any other crate mentioning
+/// `std::net` in library code bypasses the `Transport` abstraction (and
+/// would make a simulation nondeterministic); tests and comments are
+/// exempt, same as the panic scan.
+fn check_socket_confinement(members: &[Member], violations: &mut Vec<Violation>) {
+    for member in members {
+        if member.name == "fgcache-net" || member.name == "xtask" {
+            continue; // net owns the sockets; xtask scans for the marker
+        }
+        for file in rust_sources(&member.src_dir) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            scan_socket_use(&file, &text, violations);
+        }
+    }
+}
+
+/// Scans one source file for `std::net` outside comments and test
+/// modules, with the marker escaped so this scanner never flags itself.
+fn scan_socket_use(file: &Path, text: &str, violations: &mut Vec<Violation>) {
+    let marker: &str = "std::ne\u{74}";
+    for (idx, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = raw.split("//").next().unwrap_or(raw);
+        if code.contains(marker) {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: Some(idx + 1),
+                message: format!(
+                    "`{marker}` outside fgcache-net — go through the `Transport` \
+                     trait; only fgcache-net may open sockets"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,8 +605,38 @@ mod tests {\n\
         check_crate_attributes(&members, &mut violations);
         check_panic_free_sources(&members, &mut violations);
         check_lock_discipline(&members, &mut violations);
+        check_socket_confinement(&members, &mut violations);
         let rendered: Vec<String> = violations.iter().map(Violation::to_string).collect();
         assert!(rendered.is_empty(), "violations: {rendered:#?}");
+    }
+
+    #[test]
+    fn socket_scan_flags_use_but_not_comments_or_tests() {
+        let src = "\
+use std::net::TcpStream;\n\
+// a comment mentioning std::net is fine\n\
+fn f() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::net::TcpListener;\n\
+}\n";
+        let mut v = Vec::new();
+        scan_socket_use(Path::new("x.rs"), src, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, Some(1));
+    }
+
+    #[test]
+    fn socket_confinement_exempts_the_net_crate() {
+        let root = workspace_root();
+        let members = workspace_members(&root);
+        let net: Vec<&Member> = members.iter().filter(|m| m.name == "fgcache-net").collect();
+        assert_eq!(net.len(), 1, "fgcache-net must be a workspace member");
+        // Sanity: the net crate really does use sockets, so the exemption
+        // is load-bearing rather than vacuous.
+        let server = net[0].src_dir.join("server.rs");
+        let text = fs::read_to_string(server).unwrap();
+        assert!(text.contains(concat!("std::ne", "t")));
     }
 
     #[test]

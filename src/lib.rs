@@ -24,6 +24,8 @@
 //! * [`core`] — the aggregating cache itself: client-side and server-side
 //!   variants.
 //! * [`entropy`] — successor entropy, the paper's predictability metric.
+//! * [`net`] — pluggable fetch transports: a simulated network, fault
+//!   injection with retries, and a real TCP group-fetch server/client.
 //! * [`sim`] — experiment drivers, parameter sweeps and report formatting.
 //! * [`placement`] — the paper's future-work applications: group-based
 //!   data placement on linear storage and mobile file hoarding.
@@ -64,6 +66,7 @@
 pub use fgcache_cache as cache;
 pub use fgcache_core as core;
 pub use fgcache_entropy as entropy;
+pub use fgcache_net as net;
 pub use fgcache_placement as placement;
 pub use fgcache_sim as sim;
 pub use fgcache_successor as successor;
