@@ -22,6 +22,9 @@ echo "==> loopback smoke: bench-net differential check (byte-exact vs in-process
 ./target/release/fgcache bench-net --loopback true --clients 2 --events 2000 \
     --capacity 200 --shards 2 --batch 1,8 --seed 2002
 
+echo "==> cargo run -p xtask -- bench-smoke (run-only perf gate, no thresholds)"
+cargo run -p xtask -- bench-smoke
+
 echo "==> cargo run -p xtask -- fuzz"
 cargo run -p xtask -- fuzz
 

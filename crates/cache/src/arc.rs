@@ -6,7 +6,7 @@
 //! adaptive policy cannot recover locality that an intervening cache has
 //! filtered away, which is the gap grouping fills.
 
-use std::collections::HashMap;
+use fgcache_types::hash::FastMap;
 
 use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
@@ -34,7 +34,7 @@ pub struct ArcCache {
     t2: LruList,
     b1: LruList,
     b2: LruList,
-    speculative: HashMap<FileId, bool>,
+    speculative: FastMap<FileId, bool>,
     stats: CacheStats,
 }
 
@@ -53,7 +53,7 @@ impl ArcCache {
             t2: LruList::new(),
             b1: LruList::new(),
             b2: LruList::new(),
-            speculative: HashMap::new(),
+            speculative: FastMap::default(),
             stats: CacheStats::new(),
         }
     }

@@ -5,7 +5,7 @@
 //! entry's reference bit; the eviction hand sweeps, clearing bits, and
 //! evicts the first entry found with a cleared bit.
 
-use std::collections::HashMap;
+use fgcache_types::hash::FastMap;
 
 use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
@@ -40,7 +40,7 @@ pub struct ClockCache {
     capacity: usize,
     slots: Vec<Slot>,
     hand: usize,
-    index: HashMap<FileId, usize>,
+    index: FastMap<FileId, usize>,
     stats: CacheStats,
 }
 
@@ -56,7 +56,7 @@ impl ClockCache {
             capacity,
             slots: Vec::with_capacity(capacity.min(1 << 20)),
             hand: 0,
-            index: HashMap::new(),
+            index: FastMap::default(),
             stats: CacheStats::new(),
         }
     }

@@ -4,7 +4,8 @@
 //! hits do not refresh anything. Useful as a lower bound when studying how
 //! much recency information is worth.
 
-use std::collections::{HashMap, VecDeque};
+use fgcache_types::hash::FastMap;
+use std::collections::VecDeque;
 
 use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
@@ -32,7 +33,7 @@ pub struct FifoCache {
     capacity: usize,
     // Front = next eviction victim.
     queue: VecDeque<FileId>,
-    resident: HashMap<FileId, bool>, // value: still speculative?
+    resident: FastMap<FileId, bool>, // value: still speculative?
     stats: CacheStats,
 }
 
@@ -47,7 +48,7 @@ impl FifoCache {
         FifoCache {
             capacity,
             queue: VecDeque::with_capacity(capacity.min(1 << 20)),
-            resident: HashMap::new(),
+            resident: FastMap::default(),
             stats: CacheStats::new(),
         }
     }

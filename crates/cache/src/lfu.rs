@@ -6,7 +6,8 @@
 //! tie-break" formulation. Frequencies are not decayed; this matches the
 //! paper's use of plain frequency counts as the foil to recency.
 
-use std::collections::{BTreeSet, HashMap};
+use fgcache_types::hash::FastMap;
+use std::collections::BTreeSet;
 
 use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
@@ -39,7 +40,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct LfuCache {
     capacity: usize,
-    entries: HashMap<FileId, Entry>,
+    entries: FastMap<FileId, Entry>,
     // Ordered mirror of `entries` for O(log n) victim selection:
     // (freq, stamp, file) — the first element is the eviction victim.
     order: BTreeSet<(u64, u64, FileId)>,
@@ -57,7 +58,7 @@ impl LfuCache {
         assert!(capacity > 0, "cache capacity must be greater than zero");
         LfuCache {
             capacity,
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             order: BTreeSet::new(),
             clock: 0,
             stats: CacheStats::new(),

@@ -1,7 +1,7 @@
 //! Internal slab-backed LRU list shared by the multi-list policies
 //! (2Q, MQ, ARC). Front = most recent, back = eviction end.
 
-use std::collections::HashMap;
+use fgcache_types::hash::FastMap;
 
 use fgcache_types::{FileId, InvariantViolation};
 
@@ -18,7 +18,7 @@ struct Node {
 /// removal by id. Not a cache by itself — no capacity, no stats.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct LruList {
-    map: HashMap<FileId, usize>,
+    map: FastMap<FileId, usize>,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: usize,
@@ -28,7 +28,7 @@ pub(crate) struct LruList {
 impl LruList {
     pub(crate) fn new() -> Self {
         LruList {
-            map: HashMap::new(),
+            map: FastMap::default(),
             nodes: Vec::new(),
             free: Vec::new(),
             head: NIL,

@@ -14,7 +14,7 @@
 //! show that grouping helps *beyond* what a filter-aware replacement
 //! policy can recover.
 
-use std::collections::HashMap;
+use fgcache_types::hash::FastMap;
 
 use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
@@ -49,9 +49,9 @@ pub struct MqCache {
     capacity: usize,
     life_time: u64,
     queues: Vec<LruList>,
-    meta: HashMap<FileId, Meta>,
+    meta: FastMap<FileId, Meta>,
     ghost: LruList,
-    ghost_freq: HashMap<FileId, u64>,
+    ghost_freq: FastMap<FileId, u64>,
     now: u64,
     stats: CacheStats,
 }
@@ -71,9 +71,9 @@ impl MqCache {
             capacity,
             life_time: (capacity as u64).max(8),
             queues: (0..NUM_QUEUES).map(|_| LruList::new()).collect(),
-            meta: HashMap::new(),
+            meta: FastMap::default(),
             ghost: LruList::new(),
-            ghost_freq: HashMap::new(),
+            ghost_freq: FastMap::default(),
             now: 0,
             stats: CacheStats::new(),
         }

@@ -7,7 +7,7 @@
 //! useful contrast for the paper's server-cache study, where sequential
 //! first-touch misses dominate the filtered stream.
 
-use std::collections::HashMap;
+use fgcache_types::hash::FastMap;
 
 use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
 
@@ -37,7 +37,7 @@ pub struct TwoQCache {
     a1in: LruList,
     am: LruList,
     a1out: LruList,
-    speculative: HashMap<FileId, bool>,
+    speculative: FastMap<FileId, bool>,
     stats: CacheStats,
 }
 
@@ -56,7 +56,7 @@ impl TwoQCache {
             a1in: LruList::new(),
             am: LruList::new(),
             a1out: LruList::new(),
-            speculative: HashMap::new(),
+            speculative: FastMap::default(),
             stats: CacheStats::new(),
         }
     }

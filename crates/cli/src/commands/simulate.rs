@@ -4,8 +4,8 @@
 use std::error::Error;
 
 use fgcache_cache::{Cache, PolicyKind};
-use fgcache_core::AggregatingCacheBuilder;
-use fgcache_sim::multiclient::{run_multiclient, split_round_robin};
+use fgcache_core::{AggregatingCacheBuilder, ShardedAggregatingCacheBuilder};
+use fgcache_sim::multiclient::{run_multiclient_on, split_round_robin};
 use fgcache_trace::Trace;
 
 use crate::args::Args;
@@ -68,27 +68,52 @@ pub(crate) fn simulate(
     Ok(out)
 }
 
+/// Options for the `--clients K` multi-client mode, gathered into one
+/// struct so the flag set can grow without widening call signatures.
+pub(crate) struct MulticlientOpts {
+    pub clients: usize,
+    pub shards: usize,
+    pub filter: usize,
+    pub capacity: usize,
+    pub group: usize,
+    pub successors: usize,
+    /// `--no-fast-path true` routes every server request through the
+    /// shard mutex (results are identical; only lock traffic changes).
+    pub no_fast_path: bool,
+}
+
 /// The `--clients K` mode: the trace is split round-robin into `K`
 /// interleaved client streams, each replayed behind a private LRU filter
 /// against one shared sharded aggregating server. Replay is the
 /// deterministic round-robin interleave so the report is reproducible.
 pub(crate) fn simulate_multiclient(
     trace: &Trace,
-    clients: usize,
-    shards: usize,
-    filter: usize,
-    capacity: usize,
-    group: usize,
-    successors: usize,
+    opts: &MulticlientOpts,
 ) -> Result<String, Box<dyn Error>> {
+    let MulticlientOpts {
+        clients,
+        shards,
+        filter,
+        capacity,
+        group,
+        successors,
+        no_fast_path,
+    } = *opts;
     if clients == 0 {
         return Err("--clients must be greater than zero".into());
     }
     let streams = split_round_robin(trace, clients);
-    let point = run_multiclient(&streams, shards, filter, capacity, group, successors, false)?;
+    let server = ShardedAggregatingCacheBuilder::new(capacity)
+        .shards(shards)
+        .group_size(group)
+        .successor_capacity(successors)
+        .fast_path(!no_fast_path)
+        .build()?;
+    let point = run_multiclient_on(&server, &streams, filter, false)?;
     let mut out = String::new();
     out.push_str(&format!(
-        "sharded aggregating server: capacity {capacity}, {shards} shard(s), group size {group}\n"
+        "sharded aggregating server: capacity {capacity}, {shards} shard(s), group size {group}{}\n",
+        if no_fast_path { ", fast path disabled" } else { "" }
     ));
     out.push_str(&format!(
         "clients           {} (filter capacity {filter})\n",
@@ -120,6 +145,7 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
         "clients",
         "shards",
         "filter",
+        "no-fast-path",
     ])?;
     let path = args.require_positional(0, "trace")?;
     let trace = load_trace(path, args.flag("format"))?;
@@ -131,13 +157,16 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
         if policy != "agg" {
             return Err("--clients/--shards require the aggregating server (--policy agg)".into());
         }
-        let clients = args.flag_or("clients", 1usize)?;
-        let shards = args.flag_or("shards", 1usize)?;
-        let filter = args.flag_or("filter", 100usize)?;
-        print!(
-            "{}",
-            simulate_multiclient(&trace, clients, shards, filter, capacity, group, successors)?
-        );
+        let opts = MulticlientOpts {
+            clients: args.flag_or("clients", 1usize)?,
+            shards: args.flag_or("shards", 1usize)?,
+            filter: args.flag_or("filter", 100usize)?,
+            capacity,
+            group,
+            successors,
+            no_fast_path: args.flag_or("no-fast-path", false)?,
+        };
+        print!("{}", simulate_multiclient(&trace, &opts)?);
     } else {
         print!("{}", simulate(&trace, policy, capacity, group, successors)?);
     }
@@ -177,9 +206,21 @@ mod tests {
         assert!(simulate(&trace(), "agg", 2, 5, 4).is_err());
     }
 
+    fn opts(clients: usize, shards: usize, filter: usize, capacity: usize) -> MulticlientOpts {
+        MulticlientOpts {
+            clients,
+            shards,
+            filter,
+            capacity,
+            group: 3,
+            successors: 4,
+            no_fast_path: false,
+        }
+    }
+
     #[test]
     fn multiclient_report() {
-        let text = simulate_multiclient(&trace(), 4, 2, 10, 30, 3, 4).unwrap();
+        let text = simulate_multiclient(&trace(), &opts(4, 2, 10, 30)).unwrap();
         assert!(text.contains("2 shard(s)"));
         assert!(text.contains("clients           4"));
         assert!(text.contains("events            500"));
@@ -190,7 +231,7 @@ mod tests {
     fn multiclient_single_shard_matches_aggregate_totals() {
         // 1 client / 1 shard / huge filter-less path sanity: the server
         // sees exactly the client's misses.
-        let text = simulate_multiclient(&trace(), 1, 1, 1000, 30, 3, 4).unwrap();
+        let text = simulate_multiclient(&trace(), &opts(1, 1, 1000, 30)).unwrap();
         // A 1000-entry filter over 17 distinct files absorbs everything
         // after the cold misses: the server sees 17 accesses.
         assert!(text.contains("server accesses   17"), "{text}");
@@ -198,8 +239,27 @@ mod tests {
 
     #[test]
     fn multiclient_validation() {
-        assert!(simulate_multiclient(&trace(), 0, 1, 10, 30, 3, 4).is_err());
+        assert!(simulate_multiclient(&trace(), &opts(0, 1, 10, 30)).is_err());
         // 30-file server over 16 shards: slices below group size 3.
-        assert!(simulate_multiclient(&trace(), 2, 16, 10, 30, 3, 4).is_err());
+        assert!(simulate_multiclient(&trace(), &opts(2, 16, 10, 30)).is_err());
+    }
+
+    #[test]
+    fn no_fast_path_escape_hatch_matches_fast_path_output() {
+        let fast = simulate_multiclient(&trace(), &opts(4, 2, 10, 30)).unwrap();
+        let slow = simulate_multiclient(
+            &trace(),
+            &MulticlientOpts {
+                no_fast_path: true,
+                ..opts(4, 2, 10, 30)
+            },
+        )
+        .unwrap();
+        assert!(slow.contains("fast path disabled"));
+        assert!(!fast.contains("fast path disabled"));
+        // Everything after the header line is identical: the fast path
+        // never changes results.
+        let tail = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+        assert_eq!(tail(&fast), tail(&slow));
     }
 }

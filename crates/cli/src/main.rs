@@ -5,7 +5,7 @@
 //! fgcache stats     trace.txt
 //! fgcache entropy   trace.txt [--max-k 20] [--filter CAPACITY]
 //! fgcache simulate  trace.txt --capacity 300 [--policy lru|lfu|fifo|clock|2q|mq|arc|agg] [--group 5]
-//! fgcache simulate  trace.txt --capacity 400 --clients 4 --shards 4 [--filter 100]
+//! fgcache simulate  trace.txt --capacity 400 --clients 4 --shards 4 [--filter 100] [--no-fast-path true]
 //! fgcache two-level trace.txt --filter 200 --server 300 [--scheme g5|lru|lfu|...]
 //! fgcache groups    trace.txt [--group-size 5] [--top 10]
 //! fgcache serve     --capacity 400 [--addr 127.0.0.1:0] [--shards 4]

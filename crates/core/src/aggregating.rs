@@ -93,6 +93,12 @@ pub struct AggregatingCache {
     metadata: MetadataSource,
     accesses: u64,
     group_stats: GroupFetchStats,
+    // Scratch buffers reused across misses so steady-state group
+    // assembly performs zero heap allocation (group sizes are single
+    // digits, so these reach their high-water mark almost immediately).
+    scratch_members: Vec<FileId>,
+    scratch_ranked: Vec<FileId>,
+    fetched: Vec<FileId>,
 }
 
 impl AggregatingCache {
@@ -111,6 +117,9 @@ impl AggregatingCache {
             metadata,
             accesses: 0,
             group_stats: GroupFetchStats::default(),
+            scratch_members: Vec::new(),
+            scratch_ranked: Vec::new(),
+            fetched: Vec::new(),
         }
     }
 
@@ -134,10 +143,11 @@ impl AggregatingCache {
     /// fetches over a wire: the returned list's length always equals the
     /// increment to [`GroupFetchStats::files_transferred`], so transport
     /// counters and cache counters share one source of truth.
-    pub fn handle_access_with_fetch(
-        &mut self,
-        file: FileId,
-    ) -> (AccessOutcome, Option<Vec<FileId>>) {
+    ///
+    /// The list borrows an internal scratch buffer (overwritten by the
+    /// next miss), so the steady-state miss path allocates nothing;
+    /// callers that need to keep the list copy it out (`to_vec`).
+    pub fn handle_access_with_fetch(&mut self, file: FileId) -> (AccessOutcome, Option<&[FileId]>) {
         self.accesses += 1;
         if self.metadata == MetadataSource::Requests {
             self.table.record(file);
@@ -145,29 +155,31 @@ impl AggregatingCache {
         if self.cache.contains(file) {
             return (self.cache.access(file), None);
         }
-        // Demand miss → group fetch.
+        // Demand miss → group fetch. The buffers are taken out of self
+        // so the builder and cache can be borrowed alongside them.
         self.group_stats.demand_fetches += 1;
-        let group = self.builder.build(&self.table, file);
+        let mut members = std::mem::take(&mut self.scratch_members);
+        let mut ranked = std::mem::take(&mut self.scratch_ranked);
+        self.builder
+            .build_into(&self.table, file, &mut members, &mut ranked);
         let outcome = self.cache.access(file); // inserts requested at MRU
         self.group_stats.files_transferred += 1;
-        let mut members: Vec<FileId> = group
-            .members()
-            .iter()
-            .copied()
-            .filter(|f| {
-                let resident = self.cache.contains(*f);
-                if resident {
-                    self.group_stats.members_already_resident += 1;
-                }
-                !resident
-            })
-            .collect();
+        let mut fetched = std::mem::take(&mut self.fetched);
+        fetched.clear();
+        fetched.push(file);
         // A group never displaces its own requested file, so at most
         // capacity − 1 speculative members enter.
-        members.truncate(self.cache.capacity().saturating_sub(1));
-        self.group_stats.files_transferred += members.len() as u64;
+        let max_members = self.cache.capacity().saturating_sub(1);
+        for &m in &members {
+            if self.cache.contains(m) {
+                self.group_stats.members_already_resident += 1;
+            } else if fetched.len() - 1 < max_members {
+                fetched.push(m);
+            }
+        }
+        self.group_stats.files_transferred += (fetched.len() - 1) as u64;
         match self.insertion {
-            InsertionPolicy::Tail => self.cache.insert_speculative_batch(&members),
+            InsertionPolicy::Tail => self.cache.insert_speculative_batch(&fetched[1..]),
             InsertionPolicy::Head => {
                 // Place members directly below the requested file. Insert
                 // the whole batch at the tail first — the batch insert
@@ -177,17 +189,17 @@ impl AggregatingCache {
                 // Promoting resident entries cannot evict, so the
                 // requested file survives its own group fetch at any
                 // capacity ≥ group size.
-                self.cache.insert_speculative_batch(&members);
-                for &m in members.iter().rev() {
+                self.cache.insert_speculative_batch(&fetched[1..]);
+                for &m in fetched[1..].iter().rev() {
                     self.cache.promote_to_head(m);
                 }
                 self.cache.promote_to_head(file);
             }
         }
-        let mut fetched = Vec::with_capacity(1 + members.len());
-        fetched.push(file);
-        fetched.extend(members);
-        (outcome, Some(fetched))
+        self.scratch_members = members;
+        self.scratch_ranked = ranked;
+        self.fetched = fetched;
+        (outcome, Some(&self.fetched))
     }
 
     /// Feeds one access observation into the successor table without
@@ -195,6 +207,51 @@ impl AggregatingCache {
     /// server-deployed aggregating cache.
     pub fn observe_metadata(&mut self, file: FileId) {
         self.table.record(file);
+    }
+
+    /// Applies one deferred fast-path hit (see the sharded cache's
+    /// pending-touch ring): the access is recorded exactly as
+    /// [`handle_access`](Self::handle_access) would record a hit — the
+    /// access counter, the metadata feed and the LRU promotion all fire —
+    /// so a single-threaded interleave of fast-path hits and locked
+    /// operations is bit-identical to the plain locked execution.
+    ///
+    /// If the file was evicted between the lock-free residency check and
+    /// this drain (only possible under concurrent misses), the hit is
+    /// recorded in the statistics without resurrecting the entry.
+    pub fn apply_touch(&mut self, file: FileId) {
+        self.accesses += 1;
+        if self.metadata == MetadataSource::Requests {
+            self.table.record(file);
+        }
+        if self.cache.contains(file) {
+            self.cache.access(file);
+        } else {
+            self.cache.record_detached_hit();
+        }
+    }
+
+    /// Enables or disables the residency eviction log (see
+    /// [`LruCache::set_eviction_log`]).
+    pub fn set_eviction_log(&mut self, enabled: bool) {
+        self.cache.set_eviction_log(enabled);
+    }
+
+    /// Drains the residency eviction log (see
+    /// [`LruCache::drain_eviction_log`]): `f` is invoked once per evicted
+    /// file, oldest first, and the log is cleared.
+    pub fn drain_evictions(&mut self, f: impl FnMut(FileId)) {
+        self.cache.drain_eviction_log(f);
+    }
+
+    /// The file list transferred by the most recent demand miss (the
+    /// same slice [`Self::handle_access_with_fetch`] returned for it).
+    /// Contents are meaningful only directly after a miss — the next
+    /// miss overwrites the buffer. Lets the sharded cache's fast path
+    /// read the fetch list *after* releasing the mutable borrow that
+    /// draining the eviction log requires.
+    pub fn fetched(&self) -> &[FileId] {
+        &self.fetched
     }
 
     /// Demand fetches performed so far (the paper's Figure 3 metric;
@@ -398,7 +455,7 @@ mod tests {
         let before = a.group_stats().files_transferred;
         let (outcome, fetch) = a.handle_access_with_fetch(FileId(1));
         assert!(outcome.is_miss());
-        let fetched = fetch.expect("a miss always fetches");
+        let fetched = fetch.expect("a miss always fetches").to_vec();
         // Requested file first, then the speculative members brought in;
         // length equals the files_transferred increment exactly.
         assert_eq!(fetched[0], FileId(1));

@@ -57,13 +57,299 @@
 //! # }
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use fgcache_cache::{Cache as _, CacheStats};
+use fgcache_types::hash::mix64;
 use fgcache_types::{AccessOutcome, FileId, InvariantViolation, ValidationError};
 
 use crate::aggregating::{AggregatingCache, GroupFetchStats, InsertionPolicy, MetadataSource};
 use crate::builder::{AggregatingCacheBuilder, DEFAULT_SUCCESSOR_CAPACITY};
+
+/// Capacity of each shard's pending-touch ring. Power of two; sized so
+/// that hit bursts between locked operations (misses, metadata feeds,
+/// aggregate reads) rarely overflow — overflow is not an error, just a
+/// fall-through to the locked path, which drains the ring first.
+const TOUCH_RING_SIZE: usize = 128;
+
+/// A bounded multi-producer ring of deferred fast-path hits (file ids),
+/// drained single-consumer under the owning shard's mutex.
+///
+/// This is the classic bounded MPMC sequence-number queue (Vyukov), built
+/// from safe `AtomicU64`s only: each slot carries a sequence word that
+/// tells producers when the slot is free (`seq == pos`) and the consumer
+/// when it is full (`seq == pos + 1`). Pushes claim a position with a CAS
+/// on `head`; the pop side is only ever called while holding the shard
+/// lock, so it needs no CAS loop.
+#[derive(Debug)]
+struct TouchRing {
+    slots: Vec<RingSlot>,
+    mask: u64,
+    head: AtomicU64,
+    tail: AtomicU64,
+}
+
+#[derive(Debug)]
+struct RingSlot {
+    seq: AtomicU64,
+    value: AtomicU64,
+}
+
+impl TouchRing {
+    fn new(size: usize) -> Self {
+        debug_assert!(size.is_power_of_two());
+        TouchRing {
+            slots: (0..size)
+                .map(|i| RingSlot {
+                    seq: AtomicU64::new(i as u64),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+            mask: (size - 1) as u64,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to enqueue `value`; returns `false` if the ring is full
+    /// (the caller falls back to the locked path, which drains first).
+    fn push(&self, value: u64) -> bool {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq.wrapping_sub(pos) as i64;
+            if diff == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        slot.value.store(value, Ordering::Relaxed);
+                        // Publishes the value: the consumer's Acquire load
+                        // of seq observes this Release store.
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // The consumer has not freed this slot yet: full.
+                return false;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest pending value. Single consumer: must only be
+    /// called while holding the owning shard's mutex.
+    fn pop(&self) -> Option<u64> {
+        let pos = self.tail.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == pos.wrapping_add(1) {
+            let value = slot.value.load(Ordering::Relaxed);
+            // Free the slot for the producer one lap ahead.
+            slot.seq
+                .store(pos.wrapping_add(self.slots.len() as u64), Ordering::Release);
+            self.tail.store(pos.wrapping_add(1), Ordering::Relaxed);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Best-effort emptiness check (exact when no producer is active,
+    /// e.g. right after a drain under the lock in single-threaded tests).
+    fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Relaxed) == self.tail.load(Ordering::Relaxed)
+    }
+}
+
+/// Slot tag: no entry ever stored here (probe chains stop at these).
+const SLOT_EMPTY: u64 = 0;
+/// Tag bits (63:62) of an occupied slot.
+const TAG_OCCUPIED: u64 = 0b10 << 62;
+/// Tag bits (63:62) of a tombstone (deleted entry; probe chains continue).
+const TAG_TOMBSTONE: u64 = 0b01 << 62;
+const TAG_MASK: u64 = 0b11 << 62;
+/// Generation field: bits 61:48 (14 bits, wraps harmlessly — see
+/// DESIGN.md §10: readers compare whole words only for equality of the
+/// id + tag portion, never order generations).
+const GEN_SHIFT: u32 = 48;
+const GEN_MASK: u64 = 0x3FFF << GEN_SHIFT;
+/// Id field: bits 47:0. Files with larger ids bypass the fast path.
+const ID_MASK: u64 = (1 << GEN_SHIFT) - 1;
+
+/// Lock-free read-side residency index: one open-addressing table of
+/// `AtomicU64` slots per shard, packing `[tag:2][generation:14][id:48]`.
+///
+/// Readers ([`contains`](Self::contains)) probe linearly from the
+/// SplitMix64 hash of the id without taking any lock. Writers (insert /
+/// remove / rebuild) run **only while holding the owning shard's mutex**,
+/// so at most one writer mutates the table at a time and the index is
+/// exactly the shard's residency set at every lock release. A reader
+/// racing a writer can transiently miss a resident file (it then takes
+/// the locked path — correct, just slower) but can never observe a file
+/// that is not resident *at the moment of the load*, because slots are
+/// published with single whole-word stores.
+///
+/// Deletions leave tombstones so reader probe chains stay intact; the
+/// table is rebuilt in place (under the lock) when tombstones accumulate.
+#[derive(Debug)]
+struct ResidencyIndex {
+    slots: Vec<AtomicU64>,
+    mask: usize,
+    /// Tombstone count; mutated only under the shard lock.
+    tombstones: AtomicU64,
+}
+
+impl ResidencyIndex {
+    /// Largest id the packed slot layout can represent (48 bits). Files
+    /// with larger ids always take the locked path.
+    const MAX_INDEXABLE: u64 = ID_MASK;
+
+    fn new(capacity: usize) -> Self {
+        // ≤ 25% load factor keeps linear-probe chains short even when
+        // the shard is full; 8 bytes/slot keeps this cheap (a shard of
+        // 512 files costs 16 KiB).
+        let size = (capacity.max(1) * 4).next_power_of_two().max(16);
+        ResidencyIndex {
+            slots: (0..size).map(|_| AtomicU64::new(SLOT_EMPTY)).collect(),
+            mask: size - 1,
+            tombstones: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock-free membership probe.
+    fn contains(&self, file: FileId) -> bool {
+        let id = file.as_u64();
+        if id > Self::MAX_INDEXABLE {
+            return false;
+        }
+        let mut pos = mix64(id) as usize & self.mask;
+        for _ in 0..self.slots.len() {
+            let word = self.slots[pos].load(Ordering::Acquire);
+            if word == SLOT_EMPTY {
+                return false;
+            }
+            if word & TAG_MASK == TAG_OCCUPIED && word & ID_MASK == id {
+                return true;
+            }
+            pos = (pos + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Inserts `file` (caller holds the shard lock; `file` must not be
+    /// present). Ids beyond [`Self::MAX_INDEXABLE`] are ignored — such
+    /// files simply never take the fast path.
+    fn insert(&self, file: FileId) {
+        let id = file.as_u64();
+        if id > Self::MAX_INDEXABLE {
+            return;
+        }
+        let mut pos = mix64(id) as usize & self.mask;
+        let mut reuse = None;
+        for _ in 0..self.slots.len() {
+            let word = self.slots[pos].load(Ordering::Relaxed);
+            if word == SLOT_EMPTY {
+                break;
+            }
+            if word & TAG_MASK == TAG_TOMBSTONE && reuse.is_none() {
+                reuse = Some(pos);
+            }
+            if word & TAG_MASK == TAG_OCCUPIED && word & ID_MASK == id {
+                return; // already indexed (defensive; insert implies absence)
+            }
+            pos = (pos + 1) & self.mask;
+        }
+        let target = reuse.unwrap_or(pos);
+        let old = self.slots[target].load(Ordering::Relaxed);
+        if old & TAG_MASK == TAG_TOMBSTONE {
+            self.tombstones.fetch_sub(1, Ordering::Relaxed);
+        }
+        let generation = (old & GEN_MASK).wrapping_add(1 << GEN_SHIFT) & GEN_MASK;
+        self.slots[target].store(TAG_OCCUPIED | generation | id, Ordering::Release);
+    }
+
+    /// Removes `file` (caller holds the shard lock). Leaves a tombstone
+    /// carrying the next generation so readers keep probing past it.
+    fn remove(&self, file: FileId) {
+        let id = file.as_u64();
+        if id > Self::MAX_INDEXABLE {
+            return;
+        }
+        let mut pos = mix64(id) as usize & self.mask;
+        for _ in 0..self.slots.len() {
+            let word = self.slots[pos].load(Ordering::Relaxed);
+            if word == SLOT_EMPTY {
+                return;
+            }
+            if word & TAG_MASK == TAG_OCCUPIED && word & ID_MASK == id {
+                let generation = (word & GEN_MASK).wrapping_add(1 << GEN_SHIFT) & GEN_MASK;
+                self.slots[pos].store(TAG_TOMBSTONE | generation | id, Ordering::Release);
+                self.tombstones.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+
+    /// Whether accumulated tombstones warrant an in-place rebuild.
+    fn needs_rebuild(&self) -> bool {
+        self.tombstones.load(Ordering::Relaxed) as usize > self.slots.len() / 4
+    }
+
+    /// Rebuilds the table in place from the true resident set (caller
+    /// holds the shard lock). Concurrent readers may transiently observe
+    /// cleared slots and conclude "absent" — they then take the locked
+    /// path, which is always correct. They can never observe a spurious
+    /// "present".
+    fn rebuild(&self, residents: impl Iterator<Item = FileId>) {
+        for slot in &self.slots {
+            slot.store(SLOT_EMPTY, Ordering::Release);
+        }
+        self.tombstones.store(0, Ordering::Relaxed);
+        for file in residents {
+            self.insert(file);
+        }
+    }
+
+    /// Clears every slot (caller holds the shard lock).
+    fn clear(&self) {
+        self.rebuild(std::iter::empty());
+    }
+
+    /// All ids currently marked occupied (audit only; caller holds the
+    /// shard lock so the snapshot is exact).
+    fn occupied_ids(&self) -> Vec<FileId> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|w| w & TAG_MASK == TAG_OCCUPIED)
+            .map(|w| FileId(w & ID_MASK))
+            .collect()
+    }
+}
+
+/// One shard: the locked aggregating cache plus its lock-free read-side
+/// structures.
+#[derive(Debug)]
+struct Shard {
+    cache: Mutex<AggregatingCache>,
+    index: ResidencyIndex,
+    ring: TouchRing,
+    /// Hits served without taking the mutex (relaxed counter).
+    fast_hits: AtomicU64,
+    /// Times this shard's mutex was acquired (relaxed counter) — the
+    /// contention metric the hot-path bench reports as locks/event.
+    lock_acquisitions: AtomicU64,
+}
 
 /// Maps a file to its shard with the SplitMix64 finalizer — deterministic
 /// across runs and platforms, and well-mixed even for sequential ids.
@@ -71,11 +357,7 @@ fn shard_index(file: FileId, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
-    let mut z = file.as_u64().wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    (z % shards as u64) as usize
+    (mix64(file.as_u64()) % shards as u64) as usize
 }
 
 /// Splits a total capacity across `shards` slices: every shard gets
@@ -92,25 +374,98 @@ pub fn partition_capacities(total: usize, shards: usize) -> Vec<usize> {
 /// A hash-partitioned aggregating cache safe for concurrent clients.
 ///
 /// Construct via [`ShardedAggregatingCacheBuilder`]. All request-path
-/// methods take `&self`; each locks exactly the one shard the file
-/// hashes to. Aggregate inspection methods ([`stats`], [`group_stats`],
-/// …) lock the shards one at a time and sum, so they are linearizable
-/// per shard but only quiescently consistent across shards — call them
-/// after the client threads have joined for exact totals.
+/// methods take `&self`; each locks at most the one shard the file
+/// hashes to.
 ///
+/// # Fast path
+///
+/// With the fast path enabled (the default), a request for a file the
+/// shard's lock-free residency index reports resident
+/// is answered **without acquiring the shard mutex**: the hit is counted
+/// on a relaxed atomic and the recency move is deferred into a small
+/// per-shard pending-touch ring, drained FIFO the next time *anything*
+/// locks that shard. Misses, evictions, metadata feeds and all
+/// inspection methods still take the mutex — and always drain the ring
+/// first, so the locked state never lags the request stream at the
+/// moment a lock is held. Single-threaded, the observable statistics
+/// and final residency order are bit-identical to the fast path being
+/// disabled (pinned by `tests/sharded_differential.rs`).
+///
+/// # Consistency model
+///
+/// [`snapshot`] acquires **all** shard locks in ascending shard order
+/// (the only multi-lock operation besides itself being re-entered —
+/// ascending order on both sides, so no deadlock), drains every pending
+/// ring, and reads a single consistent cut. The aggregate accessors
+/// ([`stats`], [`group_stats`], [`len`], [`metadata_entries`],
+/// [`shard_accesses`], …) are built on that snapshot, so each call is a
+/// consistent cut on its own — but two *separate* calls are two
+/// different cuts and may disagree under concurrent traffic.
+/// The relaxed telemetry counters ([`fast_path_hits`],
+/// [`lock_acquisitions`]) are sampled with `Relaxed` loads and may be
+/// torn across shards / lag the snapshot cut; treat them as monotonic
+/// approximations, exact only after client threads have joined.
+///
+/// [`snapshot`]: ShardedAggregatingCache::snapshot
 /// [`stats`]: ShardedAggregatingCache::stats
 /// [`group_stats`]: ShardedAggregatingCache::group_stats
+/// [`len`]: ShardedAggregatingCache::len
+/// [`metadata_entries`]: ShardedAggregatingCache::metadata_entries
+/// [`shard_accesses`]: ShardedAggregatingCache::shard_accesses
+/// [`fast_path_hits`]: ShardedAggregatingCache::fast_path_hits
+/// [`lock_acquisitions`]: ShardedAggregatingCache::lock_acquisitions
 #[derive(Debug)]
 pub struct ShardedAggregatingCache {
-    shards: Vec<Mutex<AggregatingCache>>,
+    shards: Vec<Shard>,
     capacity: usize,
+    fast_path: bool,
+}
+
+/// One consistent cut of the whole sharded cache, taken with every shard
+/// locked simultaneously (see [`ShardedAggregatingCache::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    /// Summed cache statistics across all shards.
+    pub stats: CacheStats,
+    /// Summed group-fetch statistics across all shards.
+    pub group_stats: GroupFetchStats,
+    /// Total resident files across all shards.
+    pub len: usize,
+    /// Total successor-table entries across all shards.
+    pub metadata_entries: usize,
+    /// Requests handled per shard, in shard order.
+    pub shard_accesses: Vec<u64>,
+    /// Hits answered without a lock (relaxed sample — may lag the cut).
+    pub fast_path_hits: u64,
+    /// Mutex acquisitions across all shards (relaxed sample, including
+    /// the acquisitions this snapshot itself performed).
+    pub lock_acquisitions: u64,
 }
 
 impl ShardedAggregatingCache {
-    fn from_shards(shards: Vec<AggregatingCache>, capacity: usize) -> Self {
+    fn from_shards(shards: Vec<AggregatingCache>, capacity: usize, fast_path: bool) -> Self {
         ShardedAggregatingCache {
-            shards: shards.into_iter().map(Mutex::new).collect(),
+            shards: shards
+                .into_iter()
+                .map(|mut cache| {
+                    // The eviction log feeds index removals on the miss
+                    // path; it costs nothing when the fast path is off.
+                    cache.set_eviction_log(fast_path);
+                    let index = ResidencyIndex::new(cache.capacity());
+                    for file in cache.residents() {
+                        index.insert(file);
+                    }
+                    Shard {
+                        cache: Mutex::new(cache),
+                        index,
+                        ring: TouchRing::new(TOUCH_RING_SIZE),
+                        fast_hits: AtomicU64::new(0),
+                        lock_acquisitions: AtomicU64::new(0),
+                    }
+                })
+                .collect(),
             capacity,
+            fast_path,
         }
     }
 
@@ -129,15 +484,56 @@ impl ShardedAggregatingCache {
         shard_index(file, self.shards.len())
     }
 
+    /// Acquires shard `i`'s mutex (counting the acquisition) and drains
+    /// its pending-touch ring before returning the guard. Every locked
+    /// entry point routes through here, so deferred fast-path hits are
+    /// always applied — in FIFO order, exactly as the eager path would
+    /// have — before any locked work observes the shard.
     fn shard(&self, i: usize) -> std::sync::MutexGuard<'_, AggregatingCache> {
-        self.shards[i]
+        let shard = &self.shards[i];
+        shard.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let mut guard = shard
+            .cache
             .lock()
-            .expect("a shard panicked while holding its lock")
+            .expect("a shard panicked while holding its lock");
+        if self.fast_path {
+            while let Some(raw) = shard.ring.pop() {
+                guard.apply_touch(FileId(raw));
+            }
+        }
+        guard
     }
 
-    /// Handles one demand request on the owning shard (one lock).
+    /// Handles one demand request on the owning shard.
+    ///
+    /// Fast path (see the type-level docs): if the lock-free residency
+    /// index reports the file resident and its touch fits in the pending
+    /// ring, this returns [`AccessOutcome::Hit`] without locking. All
+    /// other cases — misses, unindexable ids, a full ring, or the fast
+    /// path disabled — take the shard mutex (one lock, never more).
     pub fn handle_access(&self, file: FileId) -> AccessOutcome {
-        self.shard(self.shard_of(file)).handle_access(file)
+        let i = self.shard_of(file);
+        let shard = &self.shards[i];
+        if self.fast_path && shard.index.contains(file) && shard.ring.push(file.as_u64()) {
+            shard.fast_hits.fetch_add(1, Ordering::Relaxed);
+            return AccessOutcome::Hit;
+        }
+        let mut guard = self.shard(i);
+        let outcome = guard.handle_access(file);
+        if self.fast_path && outcome.is_miss() {
+            // Order matters: a miss can evict a group member from the
+            // tail and re-fetch it in the same operation, so the evicted
+            // and fetched sets overlap. Removals first, insertions
+            // second leaves exactly the resident set indexed.
+            guard.drain_evictions(|f| shard.index.remove(f));
+            for &f in guard.fetched() {
+                shard.index.insert(f);
+            }
+            if shard.index.needs_rebuild() {
+                shard.index.rebuild(guard.residents());
+            }
+        }
+        outcome
     }
 
     /// Feeds a metadata-only observation to the owning shard's successor
@@ -152,11 +548,6 @@ impl ShardedAggregatingCache {
         f(&self.shard(self.shard_of(file)))
     }
 
-    /// Total resident files across all shards.
-    pub fn len(&self) -> usize {
-        (0..self.shards.len()).map(|i| self.shard(i).len()).sum()
-    }
-
     /// Returns `true` if no shard holds any file.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -167,31 +558,89 @@ impl ShardedAggregatingCache {
         self.shard(self.shard_of(file)).contains(file)
     }
 
-    /// Summed cache statistics across all shards.
-    pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::new();
-        for i in 0..self.shards.len() {
-            let s = *self.shard(i).stats();
-            total.accesses += s.accesses;
-            total.hits += s.hits;
-            total.misses += s.misses;
-            total.speculative_inserts += s.speculative_inserts;
-            total.speculative_hits += s.speculative_hits;
-            total.evictions += s.evictions;
-        }
-        total
+    /// Whether the lock-free hit fast path is enabled.
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast_path
     }
 
-    /// Summed group-fetch statistics across all shards.
-    pub fn group_stats(&self) -> GroupFetchStats {
-        let mut total = GroupFetchStats::default();
-        for i in 0..self.shards.len() {
-            let s = *self.shard(i).group_stats();
-            total.demand_fetches += s.demand_fetches;
-            total.files_transferred += s.files_transferred;
-            total.members_already_resident += s.members_already_resident;
+    /// Total hits answered without taking any shard mutex. Relaxed
+    /// sample — exact only once client threads have joined.
+    pub fn fast_path_hits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.fast_hits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total shard-mutex acquisitions (the contention currency the hot
+    /// path exists to save). Relaxed sample; inspection methods count
+    /// their own acquisitions too.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock_acquisitions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Takes one consistent cut of the whole cache: acquires every shard
+    /// lock in ascending shard order, drains all pending touch rings,
+    /// and reads every aggregate in a single pass while all locks are
+    /// held. This is the only operation that holds more than one lock;
+    /// the ascending order makes concurrent snapshots deadlock-free.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        let guards: Vec<_> = (0..self.shards.len()).map(|i| self.shard(i)).collect();
+        let mut stats = CacheStats::new();
+        let mut group_stats = GroupFetchStats::default();
+        let mut len = 0;
+        let mut metadata_entries = 0;
+        let mut shard_accesses = Vec::with_capacity(guards.len());
+        for guard in &guards {
+            let s = *guard.stats();
+            stats.accesses += s.accesses;
+            stats.hits += s.hits;
+            stats.misses += s.misses;
+            stats.speculative_inserts += s.speculative_inserts;
+            stats.speculative_hits += s.speculative_hits;
+            stats.evictions += s.evictions;
+            let g = *guard.group_stats();
+            group_stats.demand_fetches += g.demand_fetches;
+            group_stats.files_transferred += g.files_transferred;
+            group_stats.members_already_resident += g.members_already_resident;
+            len += guard.len();
+            metadata_entries += guard.metadata_entries();
+            shard_accesses.push(guard.accesses());
         }
-        total
+        ShardedSnapshot {
+            stats,
+            group_stats,
+            len,
+            metadata_entries,
+            shard_accesses,
+            fast_path_hits: self.fast_path_hits(),
+            lock_acquisitions: self.lock_acquisitions(),
+        }
+    }
+
+    /// Total resident files across all shards (one [`snapshot`] cut).
+    ///
+    /// [`snapshot`]: Self::snapshot
+    pub fn len(&self) -> usize {
+        self.snapshot().len
+    }
+
+    /// Summed cache statistics across all shards (one [`snapshot`] cut).
+    ///
+    /// [`snapshot`]: Self::snapshot
+    pub fn stats(&self) -> CacheStats {
+        self.snapshot().stats
+    }
+
+    /// Summed group-fetch statistics across all shards (one
+    /// [`snapshot`] cut).
+    ///
+    /// [`snapshot`]: Self::snapshot
+    pub fn group_stats(&self) -> GroupFetchStats {
+        self.snapshot().group_stats
     }
 
     /// Total demand fetches (misses) across all shards.
@@ -204,19 +653,20 @@ impl ShardedAggregatingCache {
         self.stats().hit_rate()
     }
 
-    /// Total successor-table entries across all shards.
+    /// Total successor-table entries across all shards (one
+    /// [`snapshot`] cut).
+    ///
+    /// [`snapshot`]: Self::snapshot
     pub fn metadata_entries(&self) -> usize {
-        (0..self.shards.len())
-            .map(|i| self.shard(i).metadata_entries())
-            .sum()
+        self.snapshot().metadata_entries
     }
 
     /// Requests handled per shard, in shard order — the load profile the
-    /// hash produced.
+    /// hash produced (one [`snapshot`] cut).
+    ///
+    /// [`snapshot`]: Self::snapshot
     pub fn shard_accesses(&self) -> Vec<u64> {
-        (0..self.shards.len())
-            .map(|i| self.shard(i).accesses())
-            .collect()
+        self.snapshot().shard_accesses
     }
 
     /// Load imbalance: the busiest shard's request count divided by the
@@ -233,17 +683,25 @@ impl ShardedAggregatingCache {
         max / mean
     }
 
-    /// Drops all resident files, successor metadata and statistics.
+    /// Drops all resident files, successor metadata, statistics, the
+    /// residency indexes, and the telemetry counters.
     pub fn clear(&self) {
-        for i in 0..self.shards.len() {
-            self.shard(i).clear();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut guard = self.shard(i);
+            guard.clear();
+            shard.index.clear();
+            shard.fast_hits.store(0, Ordering::Relaxed);
+            shard.lock_acquisitions.store(0, Ordering::Relaxed);
         }
     }
 
     /// Audits every shard's internal invariants plus the cross-shard
     /// partition invariants: each shard's resident files *and* tracked
     /// successor-list keys hash to that shard, and no file is resident
-    /// on two shards.
+    /// on two shards. With the fast path enabled it additionally
+    /// cross-audits the lock-free residency index against the true
+    /// resident set: every indexable resident is indexed, every indexed
+    /// id is resident, and the pending-touch ring is empty once drained.
     ///
     /// # Errors
     ///
@@ -253,10 +711,10 @@ impl ShardedAggregatingCache {
         let err = |detail: String| Err(InvariantViolation::new("ShardedAggregatingCache", detail));
         let mut total_capacity = 0;
         for i in 0..self.shards.len() {
-            let shard = self.shard(i);
-            shard.check_invariants()?;
-            total_capacity += shard.capacity();
-            for file in shard.residents() {
+            let guard = self.shard(i);
+            guard.check_invariants()?;
+            total_capacity += guard.capacity();
+            for file in guard.residents() {
                 let owner = shard_index(file, self.shards.len());
                 if owner != i {
                     return err(format!(
@@ -264,13 +722,49 @@ impl ShardedAggregatingCache {
                     ));
                 }
             }
-            for (file, _) in shard.successor_table().iter() {
+            for (file, _) in guard.successor_table().iter() {
                 let owner = shard_index(file, self.shards.len());
                 if owner != i {
                     return err(format!(
                         "successor list for {file} found on shard {i}, hashes to shard {owner}"
                     ));
                 }
+            }
+            let shard = &self.shards[i];
+            let indexed = shard.index.occupied_ids();
+            if self.fast_path {
+                if !shard.ring.is_empty() {
+                    return err(format!("shard {i} ring not empty after drain"));
+                }
+                let mut indexable = 0usize;
+                for file in guard.residents() {
+                    if file.as_u64() <= ResidencyIndex::MAX_INDEXABLE {
+                        indexable += 1;
+                        if !shard.index.contains(file) {
+                            return err(format!(
+                                "resident file {file} missing from shard {i}'s residency index"
+                            ));
+                        }
+                    }
+                }
+                if indexed.len() != indexable {
+                    return err(format!(
+                        "shard {i} index holds {} entries, residency has {indexable} indexable files",
+                        indexed.len()
+                    ));
+                }
+                for file in indexed {
+                    if !guard.contains(file) {
+                        return err(format!(
+                            "shard {i} index lists {file}, which is not resident"
+                        ));
+                    }
+                }
+            } else if !indexed.is_empty() {
+                return err(format!(
+                    "shard {i} index has {} entries with the fast path disabled",
+                    indexed.len()
+                ));
             }
         }
         if total_capacity != self.capacity {
@@ -307,6 +801,7 @@ pub struct ShardedAggregatingCacheBuilder {
     successor_capacity: usize,
     insertion: InsertionPolicy,
     metadata: MetadataSource,
+    fast_path: bool,
 }
 
 impl ShardedAggregatingCacheBuilder {
@@ -322,6 +817,7 @@ impl ShardedAggregatingCacheBuilder {
             successor_capacity: DEFAULT_SUCCESSOR_CAPACITY,
             insertion: InsertionPolicy::default(),
             metadata: MetadataSource::default(),
+            fast_path: true,
         }
     }
 
@@ -355,6 +851,14 @@ impl ShardedAggregatingCacheBuilder {
         self
     }
 
+    /// Enables or disables the lock-free hit fast path (default:
+    /// enabled). Disabling it routes every request through the shard
+    /// mutex — the escape hatch behind the CLI's `--no-fast-path`.
+    pub fn fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
+        self
+    }
+
     /// Validates the configuration and constructs the sharded cache.
     ///
     /// # Errors
@@ -382,7 +886,11 @@ impl ShardedAggregatingCacheBuilder {
                     .build()?,
             );
         }
-        Ok(ShardedAggregatingCache::from_shards(shards, self.capacity))
+        Ok(ShardedAggregatingCache::from_shards(
+            shards,
+            self.capacity,
+            self.fast_path,
+        ))
     }
 }
 
@@ -542,5 +1050,176 @@ mod tests {
             c.with_shard_of(FileId(5), |s| (s.contains(FileId(5)), s.accesses()));
         assert!(resident);
         assert_eq!(accesses, 1);
+    }
+
+    #[test]
+    fn fast_path_serves_hits_without_locking() {
+        let c = sharded(40, 1);
+        c.handle_access(FileId(1)); // miss: resident + indexed
+        let locks_before = c.lock_acquisitions();
+        for _ in 0..50 {
+            assert_eq!(c.handle_access(FileId(1)), AccessOutcome::Hit);
+        }
+        assert_eq!(
+            c.lock_acquisitions(),
+            locks_before,
+            "repeat hits must not take the shard mutex"
+        );
+        assert_eq!(c.fast_path_hits(), 50);
+        // Draining (via stats) surfaces the deferred touches.
+        assert_eq!(c.stats().hits, 50);
+        assert_eq!(c.stats().accesses, 51);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fast_path_off_disables_index_and_counters() {
+        let c = ShardedAggregatingCacheBuilder::new(40)
+            .shards(2)
+            .group_size(3)
+            .fast_path(false)
+            .build()
+            .unwrap();
+        assert!(!c.fast_path_enabled());
+        for _ in 0..3 {
+            for id in 0..10u64 {
+                c.handle_access(FileId(id));
+            }
+        }
+        assert_eq!(c.fast_path_hits(), 0);
+        assert!(c.lock_acquisitions() > 0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fast_path_matches_slow_path_exactly() {
+        // Single-threaded bit-identity, including residency (MRU) order.
+        let fast = sharded(30, 3);
+        let slow = ShardedAggregatingCacheBuilder::new(30)
+            .shards(3)
+            .group_size(3)
+            .fast_path(false)
+            .build()
+            .unwrap();
+        assert!(fast.fast_path_enabled());
+        let mut state = 9u64;
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let file = FileId((state >> 33) % 60);
+            assert_eq!(fast.handle_access(file), slow.handle_access(file));
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.group_stats(), slow.group_stats());
+        for i in 0..3 {
+            let order_fast: Vec<FileId> = fast.shard(i).residents().collect();
+            let order_slow: Vec<FileId> = slow.shard(i).residents().collect();
+            assert_eq!(order_fast, order_slow, "shard {i} residency order diverged");
+        }
+        fast.check_invariants().unwrap();
+        slow.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ring_overflow_falls_back_to_locked_path() {
+        let c = sharded(40, 1);
+        c.handle_access(FileId(1));
+        // Push far more hits than the ring holds without any intervening
+        // locked operation: overflow must fall through, drain, and stay
+        // exact.
+        for _ in 0..(TOUCH_RING_SIZE * 3) {
+            assert_eq!(c.handle_access(FileId(1)), AccessOutcome::Hit);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.accesses as usize, TOUCH_RING_SIZE * 3 + 1);
+        assert_eq!(stats.hits as usize, TOUCH_RING_SIZE * 3);
+        assert_eq!(stats.hits + stats.misses, stats.accesses);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unindexable_ids_bypass_the_fast_path() {
+        let c = sharded(40, 1);
+        let huge = FileId(u64::MAX - 3); // above MAX_INDEXABLE
+        c.handle_access(huge);
+        let locks_before = c.lock_acquisitions();
+        for _ in 0..5 {
+            assert_eq!(c.handle_access(huge), AccessOutcome::Hit);
+        }
+        assert!(c.lock_acquisitions() > locks_before);
+        assert_eq!(c.fast_path_hits(), 0);
+        assert_eq!(c.stats().hits, 5);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn index_survives_eviction_churn_and_rebuilds() {
+        // Working set far larger than capacity: every miss evicts, so
+        // tombstones accumulate and force in-place rebuilds.
+        let c = sharded(12, 2);
+        let mut state = 77u64;
+        for _ in 0..4000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            c.handle_access(FileId((state >> 33) % 300));
+        }
+        assert!(c.stats().evictions > 1000);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_is_one_consistent_cut() {
+        let c = sharded(40, 4);
+        for id in 0..100u64 {
+            c.handle_access(FileId(id % 30));
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.stats.accesses, 100);
+        assert_eq!(snap.stats, c.stats());
+        assert_eq!(snap.group_stats, c.group_stats());
+        assert_eq!(snap.len, c.len());
+        assert_eq!(snap.metadata_entries, c.metadata_entries());
+        assert_eq!(snap.shard_accesses.iter().sum::<u64>(), 100);
+        assert!(snap.lock_acquisitions > 0);
+    }
+
+    #[test]
+    fn clear_resets_fast_path_state() {
+        let c = sharded(40, 2);
+        for id in 0..30u64 {
+            c.handle_access(FileId(id % 10));
+        }
+        assert!(c.fast_path_hits() > 0);
+        c.clear();
+        assert_eq!(c.fast_path_hits(), 0);
+        assert!(c.is_empty());
+        c.check_invariants().unwrap();
+        // ...and the fast path still works after a clear.
+        c.handle_access(FileId(3));
+        assert_eq!(c.handle_access(FileId(3)), AccessOutcome::Hit);
+        assert_eq!(c.fast_path_hits(), 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_fast_path_keeps_counters_coherent() {
+        let c = sharded(64, 4);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..2000u64 {
+                        c.handle_access(FileId((t * 13 + i) % 50));
+                    }
+                });
+            }
+        });
+        let stats = c.stats();
+        assert_eq!(stats.accesses, 8000);
+        assert_eq!(stats.hits + stats.misses, 8000);
+        assert!(c.fast_path_hits() > 0);
+        c.check_invariants().unwrap();
     }
 }

@@ -19,7 +19,7 @@
 use fgcache_core::AggregatingCacheBuilder;
 use fgcache_net::{GroupRequest, SimTransport, Transport as _};
 use fgcache_trace::Trace;
-use fgcache_types::ValidationError;
+use fgcache_types::{FileId, ValidationError};
 
 use crate::report::{fmt2, Table};
 
@@ -124,6 +124,10 @@ pub fn cost_sweep_via_transport(
         let mut next_request_id = 0u64;
         for ev in trace.events() {
             let (_, fetch) = cache.handle_access_with_fetch(ev.file);
+            // Copy out of the cache's scratch buffer: the wire request
+            // owns its file list (and this is the priced path, not the
+            // steady-state simulation loop).
+            let fetch = fetch.map(<[FileId]>::to_vec);
             if let Some(files) = fetch {
                 let request = GroupRequest::new(next_request_id, files);
                 next_request_id += 1;

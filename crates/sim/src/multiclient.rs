@@ -48,6 +48,11 @@ pub struct MultiClientConfig {
     /// totals match either way; concurrent runs interleave the shard
     /// streams nondeterministically.
     pub concurrent: bool,
+    /// Whether the server uses the lock-light hit fast path (true, the
+    /// default) or routes every request through the shard mutex (the
+    /// `--no-fast-path` escape hatch). Aggregate results are identical
+    /// either way — only contention changes.
+    pub fast_path: bool,
 }
 
 impl MultiClientConfig {
@@ -64,6 +69,7 @@ impl MultiClientConfig {
             seed: 20020702,
             profile: WorkloadProfile::Server,
             concurrent: true,
+            fast_path: true,
         }
     }
 
@@ -80,6 +86,7 @@ impl MultiClientConfig {
             seed: 7,
             profile: WorkloadProfile::Server,
             concurrent: false,
+            fast_path: true,
         }
     }
 
@@ -115,6 +122,7 @@ impl MultiClientConfig {
             .shards(shards)
             .group_size(self.group_size)
             .successor_capacity(self.successor_capacity)
+            .fast_path(self.fast_path)
             .build()
     }
 
@@ -185,6 +193,30 @@ pub fn run_multiclient(
     successor_capacity: usize,
     concurrent: bool,
 ) -> Result<MultiClientPoint, ValidationError> {
+    let server = ShardedAggregatingCacheBuilder::new(server_capacity)
+        .shards(shards)
+        .group_size(group_size)
+        .successor_capacity(successor_capacity)
+        .build()?;
+    run_multiclient_on(&server, traces, filter_capacity, concurrent)
+}
+
+/// Like [`run_multiclient`] but replays against a caller-built `server` —
+/// the hook for non-default server configurations (e.g. the fast path
+/// disabled via [`ShardedAggregatingCacheBuilder::fast_path`]). The
+/// server should be freshly built; its statistics are read after the
+/// replay.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if `traces` is empty or the filter
+/// capacity is zero.
+pub fn run_multiclient_on(
+    server: &ShardedAggregatingCache,
+    traces: &[Trace],
+    filter_capacity: usize,
+    concurrent: bool,
+) -> Result<MultiClientPoint, ValidationError> {
     if traces.is_empty() {
         return Err(ValidationError::new("traces", "at least one client trace"));
     }
@@ -194,16 +226,12 @@ pub fn run_multiclient(
             "must be greater than zero",
         ));
     }
-    let server = ShardedAggregatingCacheBuilder::new(server_capacity)
-        .shards(shards)
-        .group_size(group_size)
-        .successor_capacity(successor_capacity)
-        .build()?;
+    let shards = server.shard_count();
     let start = Instant::now();
     let (client_hits, client_accesses) = if concurrent {
-        replay_concurrent(&server, traces, filter_capacity)
+        replay_concurrent(server, traces, filter_capacity)
     } else {
-        replay_round_robin(&server, traces, filter_capacity)
+        replay_round_robin(server, traces, filter_capacity)
     };
     let elapsed = start.elapsed();
     let stats = server.stats();
@@ -297,15 +325,8 @@ pub fn multiclient_sweep(
         .shard_counts
         .iter()
         .map(|&shards| {
-            run_multiclient(
-                &traces,
-                shards,
-                config.filter_capacity,
-                config.server_capacity,
-                config.group_size,
-                config.successor_capacity,
-                config.concurrent,
-            )
+            let server = config.server(shards)?;
+            run_multiclient_on(&server, &traces, config.filter_capacity, config.concurrent)
         })
         .collect()
 }
@@ -668,6 +689,27 @@ mod tests {
         assert_eq!(rr.events, conc.events);
         assert!((rr.client_hit_rate - conc.client_hit_rate).abs() < 1e-12);
         assert_eq!(rr.server_accesses, conc.server_accesses);
+    }
+
+    #[test]
+    fn fast_path_toggle_does_not_change_results() {
+        // quick() replays round-robin (deterministic), so the fast path
+        // must be observably invisible down to exact equality.
+        let on = MultiClientConfig::quick();
+        let off = MultiClientConfig {
+            fast_path: false,
+            ..MultiClientConfig::quick()
+        };
+        let a = multiclient_sweep(&on).unwrap();
+        let b = multiclient_sweep(&off).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.demand_fetches, pb.demand_fetches);
+            assert_eq!(pa.server_hit_rate, pb.server_hit_rate);
+            assert_eq!(pa.server_accesses, pb.server_accesses);
+            assert_eq!(pa.imbalance, pb.imbalance);
+            assert_eq!(pa.client_hit_rate, pb.client_hit_rate);
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! groups from this graph — explicitly **not** a disjoint partition,
 //! because popular files (shells, `make`) belong to many working sets.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
 
+use fgcache_types::hash::FastMap;
 use fgcache_types::FileId;
 
 use crate::group::Group;
@@ -24,9 +25,40 @@ use crate::group::Group;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RelationshipGraph {
-    edges: HashMap<FileId, HashMap<FileId, u64>>,
-    nodes: HashMap<FileId, u64>, // node → access count
+    edges: FastMap<FileId, FastMap<FileId, u64>>,
+    nodes: FastMap<FileId, u64>, // node → access count
     last: Option<FileId>,
+}
+
+/// Total order used for edge ranking: weight descending, then
+/// destination id ascending. Never returns `Equal` for two distinct
+/// successors of the same node, so any selection algorithm yields the
+/// same final ordering as a full sort.
+fn cmp_successors(a: &(FileId, u64), b: &(FileId, u64)) -> Ordering {
+    b.1.cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Total order for whole-graph edges: weight descending, then
+/// `(from, to)` ascending. Distinct edges never compare `Equal`.
+fn cmp_edges(a: &(FileId, FileId, u64), b: &(FileId, FileId, u64)) -> Ordering {
+    b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1)))
+}
+
+/// Keeps the `k` smallest elements under `cmp` (i.e. the top-k of the
+/// ranking) in positions `0..k`, then sorts only that prefix. With a
+/// strict total order this is output-identical to sorting the whole
+/// vector and truncating, but costs O(n + k log k) instead of
+/// O(n log n).
+fn partial_top_k<T>(items: &mut Vec<T>, k: usize, cmp: impl Fn(&T, &T) -> Ordering) {
+    if k == 0 {
+        items.clear();
+        return;
+    }
+    if k < items.len() {
+        items.select_nth_unstable_by(k - 1, &cmp);
+        items.truncate(k);
+    }
+    items.sort_unstable_by(&cmp);
 }
 
 impl RelationshipGraph {
@@ -63,13 +95,25 @@ impl RelationshipGraph {
     /// Successors of `from` with weights, strongest first (ties broken by
     /// file id for determinism).
     pub fn successors_ranked(&self, from: FileId) -> Vec<(FileId, u64)> {
-        let mut out: Vec<(FileId, u64)> = self
-            .edges
-            .get(&from)
-            .map(|m| m.iter().map(|(&f, &w)| (f, w)).collect())
-            .unwrap_or_default();
-        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut out = Vec::new();
+        self.successors_ranked_into(from, usize::MAX, &mut out);
         out
+    }
+
+    /// Fills `out` with the top `k` successors of `from`, strongest
+    /// first, using the same deterministic tie-break as
+    /// [`successors_ranked`](Self::successors_ranked) (weight descending,
+    /// then file id ascending — a strict total order, so the result is
+    /// output-identical to a full sort truncated to `k`). Selection runs
+    /// via `select_nth_unstable_by`, so only the `k` prefix pays a sort.
+    /// `out` is cleared first; a reused scratch buffer makes the call
+    /// allocation-free at steady state.
+    pub fn successors_ranked_into(&self, from: FileId, k: usize, out: &mut Vec<(FileId, u64)>) {
+        out.clear();
+        if let Some(m) = self.edges.get(&from) {
+            out.extend(m.iter().map(|(&f, &w)| (f, w)));
+        }
+        partial_top_k(out, k, cmp_successors);
     }
 
     /// Number of distinct files seen.
@@ -87,15 +131,17 @@ impl RelationshipGraph {
         self.nodes.get(&file).copied().unwrap_or(0)
     }
 
-    /// The strongest `k` edges in the whole graph, by weight.
+    /// The strongest `k` edges in the whole graph, by weight (ties broken
+    /// by `(from, to)` id order). Selects the top `k` with
+    /// `select_nth_unstable_by` and sorts only that prefix; the strict
+    /// total order makes the output identical to a full sort + truncate.
     pub fn top_edges(&self, k: usize) -> Vec<(FileId, FileId, u64)> {
         let mut all: Vec<(FileId, FileId, u64)> = self
             .edges
             .iter()
             .flat_map(|(&from, m)| m.iter().map(move |(&to, &w)| (from, to, w)))
             .collect();
-        all.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
-        all.truncate(k);
+        partial_top_k(&mut all, k, cmp_edges);
         all
     }
 
@@ -111,16 +157,13 @@ impl RelationshipGraph {
         heads.sort_unstable();
         let mut covered: std::collections::HashSet<FileId> = std::collections::HashSet::new();
         let mut groups = Vec::new();
+        let mut ranked = Vec::new();
         for head in heads {
             if covered.contains(&head) {
                 continue;
             }
-            let members: Vec<FileId> = self
-                .successors_ranked(head)
-                .into_iter()
-                .take(size.saturating_sub(1))
-                .map(|(f, _)| f)
-                .collect();
+            self.successors_ranked_into(head, size.saturating_sub(1), &mut ranked);
+            let members: Vec<FileId> = ranked.iter().map(|&(f, _)| f).collect();
             let group = Group::new(head, members);
             for f in group.files() {
                 covered.insert(*f);
@@ -201,6 +244,50 @@ mod tests {
         // Overlap allowed: total membership may exceed node count.
         let total: usize = groups.iter().map(|gr| gr.len()).sum();
         assert!(total >= g.node_count());
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort_reference() {
+        // Regression pin for the select_nth_unstable_by rewrite: for a
+        // graph dense in weight ties, every k must reproduce the full
+        // sort + truncate output byte-for-byte (ties broken by id order).
+        use fgcache_types::rng::{RandomSource, SeededRng};
+        let mut rng = SeededRng::new(0x70FE_D6E5);
+        let mut g = RelationshipGraph::new();
+        for _ in 0..4000 {
+            // Small universe + tiny weight range → many exact ties.
+            g.record(FileId(rng.gen_index(40) as u64));
+        }
+
+        let mut edges_ref: Vec<(FileId, FileId, u64)> = g
+            .edges
+            .iter()
+            .flat_map(|(&from, m)| m.iter().map(move |(&to, &w)| (from, to, w)))
+            .collect();
+        edges_ref.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        for k in [0, 1, 2, 7, 50, edges_ref.len(), edges_ref.len() + 10] {
+            let mut expected = edges_ref.clone();
+            expected.truncate(k);
+            assert_eq!(g.top_edges(k), expected, "top_edges diverges at k={k}");
+        }
+
+        for from in 0..40u64 {
+            let from = FileId(from);
+            let mut full: Vec<(FileId, u64)> = g
+                .edges
+                .get(&from)
+                .map(|m| m.iter().map(|(&f, &w)| (f, w)).collect())
+                .unwrap_or_default();
+            full.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            assert_eq!(g.successors_ranked(from), full);
+            let mut out = vec![(FileId(0), 0)];
+            for k in [0usize, 1, 3, 100] {
+                g.successors_ranked_into(from, k, &mut out);
+                let mut expected = full.clone();
+                expected.truncate(k);
+                assert_eq!(out, expected, "successors_ranked_into diverges at k={k}");
+            }
+        }
     }
 
     #[test]

@@ -135,6 +135,23 @@ impl GroupBuilder {
         let members = table.predict_chain(start, self.group_size - 1);
         Group::new(start, members)
     }
+
+    /// Allocation-free [`build`](Self::build): fills `members` with the
+    /// group's speculative members (the requested file is *not*
+    /// included — it is implicitly first), using `scratch` as a reusable
+    /// ranking buffer. The chain walk already yields distinct files
+    /// excluding `start`, so `members` needs no further deduplication.
+    /// Both buffers are cleared first; at steady-state capacity the call
+    /// performs zero heap allocation.
+    pub fn build_into<L: SuccessorList>(
+        &self,
+        table: &SuccessorTable<L>,
+        start: FileId,
+        members: &mut Vec<FileId>,
+        scratch: &mut Vec<FileId>,
+    ) {
+        table.predict_chain_into(start, self.group_size - 1, members, scratch);
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +211,24 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), g.len());
+    }
+
+    #[test]
+    fn build_into_matches_build() {
+        let t = table_from(&[1, 2, 3, 4, 5, 1, 2, 3, 4, 5, 2, 1], 3);
+        let mut members = vec![FileId(9)];
+        let mut scratch = vec![FileId(9)];
+        for g in 1..6 {
+            let builder = GroupBuilder::new(g).unwrap();
+            for start in [1u64, 2, 5, 42] {
+                builder.build_into(&t, FileId(start), &mut members, &mut scratch);
+                assert_eq!(
+                    members.as_slice(),
+                    builder.build(&t, FileId(start)).members(),
+                    "build_into diverges at g={g} start={start}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub trait SuccessorList: Clone + std::fmt::Debug {
     /// Successors ranked from most to least likely.
     fn ranked(&self) -> Vec<FileId>;
 
+    /// Appends the ranked successors to `out` without clearing it.
+    ///
+    /// Semantically identical to `out.extend(self.ranked())`; hot-path
+    /// callers pass a reused scratch buffer so steady-state prediction
+    /// allocates nothing. Implementations with a cheap borrowed view
+    /// (e.g. recency lists already stored in rank order) override the
+    /// default to skip the intermediate `Vec`.
+    fn ranked_into(&self, out: &mut Vec<FileId>) {
+        out.extend(self.ranked());
+    }
+
     /// Number of successors currently tracked.
     fn len(&self) -> usize;
 
@@ -114,6 +125,10 @@ impl SuccessorList for LruSuccessorList {
 
     fn ranked(&self) -> Vec<FileId> {
         self.items.clone()
+    }
+
+    fn ranked_into(&self, out: &mut Vec<FileId>) {
+        out.extend_from_slice(&self.items);
     }
 
     fn len(&self) -> usize {
@@ -264,6 +279,10 @@ impl SuccessorList for OracleSuccessorList {
 
     fn ranked(&self) -> Vec<FileId> {
         self.items.clone()
+    }
+
+    fn ranked_into(&self, out: &mut Vec<FileId>) {
+        out.extend_from_slice(&self.items);
     }
 
     fn len(&self) -> usize {
@@ -452,6 +471,12 @@ mod tests {
             assert!(l.contains(*f));
         }
         assert_eq!(ranked.len(), l.len());
+
+        // ranked_into() appends exactly ranked().
+        let mut scratch = vec![FileId(999)];
+        l.ranked_into(&mut scratch);
+        assert_eq!(scratch[0], FileId(999));
+        assert_eq!(&scratch[1..], ranked.as_slice());
 
         // fresh() is empty with the same capacity.
         let f = l.fresh();

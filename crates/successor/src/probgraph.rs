@@ -8,8 +8,9 @@
 //! window parameter; the paper's point is that immediate-successor
 //! recency gets comparable or better behaviour with less machinery.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use fgcache_types::hash::FastMap;
 use fgcache_types::{FileId, ValidationError};
 
 use crate::group::Group;
@@ -36,9 +37,9 @@ pub struct ProbabilityGraph {
     window: usize,
     min_chance: f64,
     // edge counts: predecessor → (successor → count within window)
-    edges: HashMap<FileId, HashMap<FileId, u64>>,
+    edges: FastMap<FileId, FastMap<FileId, u64>>,
     // total windowed observations per predecessor (edge normaliser)
-    totals: HashMap<FileId, u64>,
+    totals: FastMap<FileId, u64>,
     recent: VecDeque<FileId>,
 }
 
@@ -60,8 +61,8 @@ impl ProbabilityGraph {
         Ok(ProbabilityGraph {
             window,
             min_chance,
-            edges: HashMap::new(),
-            totals: HashMap::new(),
+            edges: FastMap::default(),
+            totals: FastMap::default(),
             recent: VecDeque::with_capacity(window),
         })
     }

@@ -1,7 +1,6 @@
 //! The per-file successor table — the paper's entire metadata footprint.
 
-use std::collections::HashMap;
-
+use fgcache_types::hash::FastMap;
 use fgcache_types::{FileId, InvariantViolation};
 
 use crate::list::SuccessorList;
@@ -33,7 +32,7 @@ use crate::list::SuccessorList;
 #[derive(Debug, Clone)]
 pub struct SuccessorTable<L> {
     prototype: L,
-    lists: HashMap<FileId, L>,
+    lists: FastMap<FileId, L>,
     last: Option<FileId>,
     transitions: u64,
 }
@@ -44,7 +43,7 @@ impl<L: SuccessorList> SuccessorTable<L> {
     pub fn new(prototype: L) -> Self {
         SuccessorTable {
             prototype,
-            lists: HashMap::new(),
+            lists: FastMap::default(),
             last: None,
             transitions: 0,
         }
@@ -99,14 +98,34 @@ impl<L: SuccessorList> SuccessorTable<L> {
     /// next-ranked candidate; it stops when no unvisited successor exists.
     pub fn predict_chain(&self, start: FileId, n: usize) -> Vec<FileId> {
         let mut chain = Vec::with_capacity(n);
+        let mut scratch = Vec::new();
+        self.predict_chain_into(start, n, &mut chain, &mut scratch);
+        chain
+    }
+
+    /// Allocation-free [`predict_chain`](Self::predict_chain): fills
+    /// `chain` with the transitive successor chain, using `scratch` as a
+    /// reusable ranking buffer. Both buffers are cleared first; passing
+    /// buffers that have reached steady-state capacity makes the walk
+    /// perform zero heap allocation.
+    pub fn predict_chain_into(
+        &self,
+        start: FileId,
+        n: usize,
+        chain: &mut Vec<FileId>,
+        scratch: &mut Vec<FileId>,
+    ) {
+        chain.clear();
         let mut current = start;
         while chain.len() < n {
             let Some(list) = self.lists.get(&current) else {
                 break;
             };
-            let next = list
-                .ranked()
-                .into_iter()
+            scratch.clear();
+            list.ranked_into(scratch);
+            let next = scratch
+                .iter()
+                .copied()
                 .find(|f| *f != start && !chain.contains(f));
             match next {
                 Some(f) => {
@@ -116,7 +135,6 @@ impl<L: SuccessorList> SuccessorTable<L> {
                 None => break,
             }
         }
-        chain
     }
 
     /// An empty table with the same list policy and capacity as `self`.
@@ -304,6 +322,22 @@ mod tests {
         // successors: 1 → {2}; 2 → {1 (recent), 3}
         let chain = t.predict_chain(FileId(1), 3);
         assert_eq!(chain, vec![FileId(2), FileId(3)]);
+    }
+
+    #[test]
+    fn predict_chain_into_matches_predict_chain() {
+        let mut t = lru_table(3);
+        for id in [1u64, 2, 3, 4, 2, 5, 1, 2, 3, 1] {
+            t.record(FileId(id));
+        }
+        let mut chain = vec![FileId(77)];
+        let mut scratch = vec![FileId(88)];
+        for start in [1u64, 2, 3, 99] {
+            for n in 0..5 {
+                t.predict_chain_into(FileId(start), n, &mut chain, &mut scratch);
+                assert_eq!(chain, t.predict_chain(FileId(start), n));
+            }
+        }
     }
 
     #[test]

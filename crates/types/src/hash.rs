@@ -1,0 +1,150 @@
+//! A fast, deterministic `BuildHasher` for the workspace's hot maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, whose
+//! HashDoS resistance costs ~2× per probe on small integer keys. Every
+//! hot map in this workspace is keyed by [`FileId`](crate::FileId) —
+//! trusted 64-bit identifiers from traces we generate ourselves — so
+//! the defence buys nothing on the cache hit path. [`SplitMix64Hasher`]
+//! instead runs the SplitMix64 finalizer (Steele, Lea & Flood,
+//! OOPSLA 2014): a xor-shift-multiply chain with full avalanche, the
+//! same mixer `rng::SplitMix64` and the shard router already use.
+//!
+//! The hasher is deterministic (no per-process random seed), which the
+//! differential fuzzers rely on: two maps fed the same operations hash
+//! identically in every run. Nothing in the workspace observes map
+//! iteration order, so determinism here cannot leak into results.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Applies the SplitMix64 finalizer: a bijective mix of one `u64` with
+/// full avalanche (every input bit flips each output bit with p≈0.5).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`Hasher`] that folds input words through [`mix64`].
+///
+/// Integer keys take the one-shot path: `write_u64`/`write_usize` mix
+/// the value directly, so hashing a `FileId` is a handful of ALU ops.
+/// Byte-slice input is folded 8 bytes at a time through the same mixer.
+#[derive(Debug, Default, Clone)]
+pub struct SplitMix64Hasher {
+    state: u64,
+}
+
+impl Hasher for SplitMix64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" hash differently.
+            self.write_u64(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = mix64(self.state ^ n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+/// The deterministic `BuildHasher` for SplitMix64-hashed collections.
+pub type BuildSplitMix64 = BuildHasherDefault<SplitMix64Hasher>;
+
+/// A `HashMap` using [`SplitMix64Hasher`] — the workspace's hot-map type.
+pub type FastMap<K, V> = HashMap<K, V, BuildSplitMix64>;
+
+/// A `HashSet` using [`SplitMix64Hasher`].
+pub type FastSet<T> = HashSet<T, BuildSplitMix64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileId;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        BuildSplitMix64::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        for id in [0u64, 1, 42, u64::MAX, 1 << 48] {
+            assert_eq!(hash_of(&FileId(id)), hash_of(&FileId(id)));
+        }
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..4096u64 {
+            assert!(seen.insert(hash_of(&id)), "collision at {id}");
+        }
+    }
+
+    #[test]
+    fn byte_slices_respect_length() {
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 3, 0][..]));
+    }
+
+    #[test]
+    fn fast_map_round_trips() {
+        let mut map: FastMap<FileId, u64> = FastMap::default();
+        for id in 0..1000u64 {
+            map.insert(FileId(id), id * 3);
+        }
+        for id in 0..1000u64 {
+            assert_eq!(map.get(&FileId(id)), Some(&(id * 3)));
+        }
+    }
+
+    #[test]
+    fn mix64_matches_rng_stream_step() {
+        // mix64(x) must equal one SplitMix64 draw seeded at x, so the
+        // hasher, the rng bootstrap, and the shard router agree on the
+        // same mixer.
+        use crate::rng::{RandomSource, SplitMix64};
+        for seed in [0u64, 7, 0xDEAD_BEEF, u64::MAX - 3] {
+            assert_eq!(mix64(seed), SplitMix64::new(seed).next_u64());
+        }
+    }
+}

@@ -25,11 +25,13 @@ use std::fmt;
 
 pub mod audit;
 pub mod error;
+pub mod hash;
 pub mod json;
 pub mod rng;
 
 pub use audit::InvariantViolation;
 pub use error::{ParseAccessKindError, TransportError, TransportErrorKind, ValidationError};
+pub use hash::{BuildSplitMix64, FastMap, FastSet};
 pub use rng::SeededRng;
 
 /// Identifier of a file in the simulated file system.

@@ -1,9 +1,10 @@
 //! `xtask` — the workspace's static-analysis gate.
 //!
 //! ```text
-//! cargo run -p xtask -- lint    # pure static checks, no cargo subprocesses
-//! cargo run -p xtask -- fuzz    # differential fuzzers over the pinned seed set
-//! cargo run -p xtask -- ci      # fmt, clippy -D warnings, lint, build, test, smoke, fuzz
+//! cargo run -p xtask -- lint        # pure static checks, no cargo subprocesses
+//! cargo run -p xtask -- fuzz        # differential fuzzers over the pinned seed set
+//! cargo run -p xtask -- bench-smoke # hot-path bench, small event count → BENCH_hot_path.json
+//! cargo run -p xtask -- ci          # fmt, clippy, lint, build, test, smoke, bench-smoke, fuzz
 //! ```
 //!
 //! `lint` enforces the hermetic-build policy without compiling anything:
@@ -28,6 +29,13 @@
 //! and the policy/two-level suite — over a bounded deterministic seed
 //! set (exported as `FGCACHE_FUZZ_SEEDS`), so CI exercises more seeds
 //! than the in-repo defaults without ever becoming flaky.
+//!
+//! `bench-smoke` runs the hot-path microbenchmark for a fixed small event
+//! count and writes `BENCH_hot_path.json` (events/sec, allocs/event,
+//! locks/event per scenario) at the workspace root. It is a run-only
+//! gate: the numbers are recorded so the perf trajectory accumulates,
+//! but no thresholds are enforced — the CI host is a single core, where
+//! wall-clock cannot show contention wins (locks/event can).
 //!
 //! The lint checks are deliberately line-based and dependency-free: the
 //! gate itself must not need anything the gate forbids.
@@ -63,9 +71,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&root),
         Some("fuzz") => fuzz(&root),
+        Some("bench-smoke") => bench_smoke(&root),
         Some("ci") => ci(&root),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|fuzz|ci>");
+            eprintln!("usage: cargo run -p xtask -- <lint|fuzz|bench-smoke|ci>");
             ExitCode::FAILURE
         }
     }
@@ -161,6 +170,39 @@ fn fuzz(root: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the hot-path microbenchmark in smoke mode (small fixed event
+/// count) and writes `BENCH_hot_path.json` at the workspace root. Run-only
+/// gate: it fails only if the bench itself fails, never on the numbers —
+/// thresholds would be noise on a shared single-core host.
+fn bench_smoke(root: &Path) -> ExitCode {
+    println!("==> bench-smoke: hot_path (--smoke) -> BENCH_hot_path.json");
+    // The bench binary's working directory is the package root, so the
+    // JSON path is made absolute to land at the workspace root.
+    let json = root.join("BENCH_hot_path.json");
+    let ok = Command::new("cargo")
+        .args([
+            "bench",
+            "-p",
+            "fgcache-bench",
+            "--bench",
+            "hot_path",
+            "--",
+            "--smoke",
+            "--json",
+        ])
+        .arg(&json)
+        .current_dir(root)
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask bench-smoke: hot_path bench failed");
+        ExitCode::FAILURE
+    }
+}
+
 /// Runs the full local gate in order, stopping at the first failure.
 fn ci(root: &Path) -> ExitCode {
     let steps: [(&str, &[&str]); 4] = [
@@ -227,6 +269,10 @@ fn ci(root: &Path) -> ExitCode {
         .unwrap_or(false);
     if !ok {
         eprintln!("xtask ci: step failed: loopback smoke");
+        return ExitCode::FAILURE;
+    }
+    // Run-only perf gate: records BENCH_hot_path.json, enforces nothing.
+    if bench_smoke(root) != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
     // The extended-seed fuzz pass rides on the build the test step made.
