@@ -1,0 +1,214 @@
+//! Streaming-ingestion benchmark: events/sec and peak memory for the
+//! streaming trace readers versus the materialized (`Vec`-collecting)
+//! path, across all three on-disk formats.
+//!
+//! Each scenario writes a synthetic trace to a temp file, then consumes
+//! it twice with a byte-tracking global allocator (this bench binary
+//! only — the library crates stay `forbid(unsafe_code)`):
+//!
+//!   * `materialized` — `collect_trace` into a `Trace`, then
+//!     `TraceStats::compute` (the pre-streaming shape: memory grows with
+//!     the trace);
+//!   * `streaming` — `TraceReader` feeding `TraceStatsBuilder` event by
+//!     event (memory bounded by the distinct-file table).
+//!
+//! The two paths must produce identical statistics — the bench asserts
+//! it on every run, so the perf numbers double as a differential check.
+//!
+//! Flags (after `--`): `--smoke` shrinks the event count for CI,
+//! `--events N` overrides it (the 10M acceptance run), `--out PATH`
+//! appends the report to a file as well as stdout.
+
+use fgcache_trace::io;
+use fgcache_trace::stats::{TraceStats, TraceStatsBuilder};
+use fgcache_trace::stream::{collect_trace, TraceReader};
+use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
+use fgcache_trace::Trace;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fs::File;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Tracks live and peak heap bytes routed through the global allocator.
+struct PeakAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        on_alloc(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+const FULL_EVENTS: usize = 2_000_000;
+const SMOKE_EVENTS: usize = 100_000;
+
+struct Scenario {
+    format: &'static str,
+    mode: &'static str,
+    events_per_sec: f64,
+    peak_mib: f64,
+}
+
+/// Runs `pass` with the peak counter rebased to the current live bytes;
+/// returns (seconds, peak-above-baseline bytes, result).
+fn measured<R>(pass: impl FnOnce() -> R) -> (f64, u64, R) {
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let start = Instant::now();
+    let result = black_box(pass());
+    let secs = start.elapsed().as_secs_f64();
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+    (secs, peak, result)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "fgcache-streaming-ingest-{}-{name}",
+        std::process::id()
+    ));
+    p
+}
+
+fn open_reader(format: &str, path: &PathBuf) -> TraceReader<File> {
+    let file = File::open(path).expect("reopen trace file");
+    match format {
+        "text" => TraceReader::text(file),
+        "json" => TraceReader::json(file),
+        "binary" => {
+            let len = file.metadata().expect("metadata").len();
+            TraceReader::binary_with_len(file, len)
+        }
+        other => unreachable!("unknown format {other}"),
+    }
+}
+
+fn bench_format(format: &'static str, trace: &Trace, out: &mut Vec<Scenario>) {
+    let path = temp_path(format);
+    let file = File::create(&path).expect("create trace file");
+    let mut writer = std::io::BufWriter::new(file);
+    match format {
+        "text" => io::write_text(trace, &mut writer).expect("write text"),
+        "json" => io::write_json(trace, &mut writer).expect("write json"),
+        "binary" => io::write_binary(trace, &mut writer).expect("write binary"),
+        other => unreachable!("unknown format {other}"),
+    }
+    drop(writer);
+    let events = trace.len() as f64;
+
+    let (secs, peak, materialized) = measured(|| {
+        let full = collect_trace(open_reader(format, &path)).expect("materialized read");
+        TraceStats::compute(&full)
+    });
+    out.push(Scenario {
+        format,
+        mode: "materialized",
+        events_per_sec: events / secs,
+        peak_mib: peak as f64 / (1024.0 * 1024.0),
+    });
+
+    let (secs, peak, streamed) = measured(|| {
+        let mut builder = TraceStatsBuilder::new();
+        for ev in open_reader(format, &path) {
+            builder.push(&ev.expect("streaming read"));
+        }
+        builder.finish()
+    });
+    out.push(Scenario {
+        format,
+        mode: "streaming",
+        events_per_sec: events / secs,
+        peak_mib: peak as f64 / (1024.0 * 1024.0),
+    });
+
+    // Differential: the perf numbers only count if both paths computed
+    // the same thing.
+    assert_eq!(
+        streamed, materialized,
+        "{format}: streaming and materialized statistics diverged"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut events = if args.iter().any(|a| a == "--smoke") {
+        SMOKE_EVENTS
+    } else {
+        FULL_EVENTS
+    };
+    let mut out_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--events" => {
+                events = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--events N");
+            }
+            "--out" => {
+                out_path = Some(iter.next().expect("--out PATH").clone());
+            }
+            _ => {}
+        }
+    }
+
+    let trace = SynthConfig::profile(WorkloadProfile::Workstation)
+        .events(events)
+        .seed(20020702)
+        .build()
+        .expect("valid synth config")
+        .generate();
+
+    let mut scenarios = Vec::new();
+    for format in ["text", "json", "binary"] {
+        bench_format(format, &trace, &mut scenarios);
+    }
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "streaming_ingest: {events} events, workstation profile, seed 20020702\n"
+    ));
+    report.push_str(&format!(
+        "{:<8} {:<13} {:>14} {:>10}\n",
+        "format", "mode", "events/sec", "peak MiB"
+    ));
+    for s in &scenarios {
+        report.push_str(&format!(
+            "{:<8} {:<13} {:>14.0} {:>10.2}\n",
+            s.format, s.mode, s.events_per_sec, s.peak_mib
+        ));
+    }
+    report.push_str("differential: streaming stats == materialized stats for every format\n");
+    print!("{report}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &report).expect("write report");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,149 @@
+//! `fgcache convert` — translate foreign trace logs into fgcache traces.
+//!
+//! Supports two source dialects:
+//!
+//! * `--from dfstrace` — DFSTrace-style text (`timestamp client op path`
+//!   per line), the format of the paper's CMU traces;
+//! * `--from strace` — `strace -f` output (`[pid N] syscall("path", …) = r`),
+//!   for turning a live system call log into a workload.
+//!
+//! Conversion is fully streaming: events flow from the source reader
+//! through the [`Remapper`](fgcache_trace::convert::Remapper) into a
+//! [`TraceSink`], so arbitrarily large logs convert in O(1) memory. File
+//! paths and client tokens are renumbered densely in first-seen order and
+//! sequence numbers are assigned consecutively from zero, so the output
+//! always satisfies the trace invariant.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, Write};
+
+use fgcache_trace::convert::{ConvertReport, DfstraceEvents, StraceEvents};
+use fgcache_trace::io::TraceIoError;
+use fgcache_trace::stream::TraceSink;
+
+use crate::args::Args;
+use crate::commands::{detect_format, TraceFormat};
+
+/// Streams every event from `events` into `sink`, flushing the buffered
+/// writer so sink errors surface instead of being swallowed on drop.
+fn pump<I, W>(events: &mut I, mut sink: TraceSink<BufWriter<W>>) -> Result<(), TraceIoError>
+where
+    I: Iterator<Item = Result<fgcache_types::AccessEvent, TraceIoError>>,
+    W: Write + Seek,
+{
+    for ev in events {
+        sink.push(&ev?)?;
+    }
+    sink.finish()?.flush()?;
+    Ok(())
+}
+
+/// Converts `input` (in dialect `from`) to an fgcache trace at `out_path`
+/// in `out_fmt`, returning the human-readable summary.
+pub(crate) fn convert<R: Read>(
+    input: R,
+    from: &str,
+    out: File,
+    out_fmt: TraceFormat,
+) -> Result<String, Box<dyn Error>> {
+    let reader = BufReader::new(input);
+    let writer = BufWriter::new(out);
+    let sink = match out_fmt {
+        TraceFormat::Text => TraceSink::text(writer)?,
+        TraceFormat::Json => TraceSink::json(writer)?,
+        TraceFormat::Binary => TraceSink::binary(writer)?,
+    };
+    let report: ConvertReport = match from {
+        "dfstrace" => {
+            let mut src = DfstraceEvents::new(reader);
+            pump(&mut src, sink)?;
+            src.report()
+        }
+        "strace" => {
+            let mut src = StraceEvents::new(reader);
+            pump(&mut src, sink)?;
+            src.report()
+        }
+        other => return Err(format!("unknown --from {other:?} (dfstrace|strace)").into()),
+    };
+    Ok(format!("{}\n", report.summary()))
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&["from", "out", "to"])?;
+    let input_path = args.require_positional(0, "input")?;
+    let from: String = args.require_flag("from")?;
+    let out_path: String = args.require_flag("out")?;
+    let out_fmt = detect_format(&out_path, args.flag("to"))?;
+    let input = File::open(input_path).map_err(|e| format!("cannot open {input_path}: {e}"))?;
+    let out = File::create(&out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    print!("{}", convert(input, &from, out, out_fmt)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::load_trace;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fgcache-convert-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn dfstrace_to_text_roundtrips_through_load() {
+        let log = "0.1 alice open /a\n0.2 bob read /b\n0.3 alice write /a\n";
+        let out_path = tmp("d.txt");
+        let out = File::create(&out_path).unwrap();
+        let summary = convert(log.as_bytes(), "dfstrace", out, TraceFormat::Text).unwrap();
+        assert!(summary.contains("3 events"), "{summary}");
+        let trace = load_trace(out_path.to_str().unwrap(), None).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.clients().len(), 2);
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn strace_to_binary_roundtrips_through_load() {
+        let log = "\
+[pid 10] openat(AT_FDCWD, \"/etc/passwd\", O_RDONLY) = 3\n\
+[pid 10] openat(AT_FDCWD, \"/tmp/x\", O_WRONLY|O_CREAT, 0644) = 4\n\
+[pid 11] unlink(\"/tmp/x\") = 0\n";
+        let out_path = tmp("s.bin");
+        let out = File::create(&out_path).unwrap();
+        let summary = convert(log.as_bytes(), "strace", out, TraceFormat::Binary).unwrap();
+        assert!(summary.contains("3 events"), "{summary}");
+        let trace = load_trace(out_path.to_str().unwrap(), None).unwrap();
+        assert_eq!(trace.len(), 3);
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn unknown_dialect_is_rejected() {
+        let out_path = tmp("u.txt");
+        let out = File::create(&out_path).unwrap();
+        let err = convert(&b"x"[..], "ltrace", out, TraceFormat::Text).unwrap_err();
+        assert!(err.to_string().contains("dfstrace|strace"));
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn malformed_dfstrace_reports_line_number() {
+        let log = "0.1 alice open /a\nnot a line\n";
+        let out_path = tmp("m.txt");
+        let out = File::create(&out_path).unwrap();
+        let err = convert(log.as_bytes(), "dfstrace", out, TraceFormat::Text).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        assert!(run(&["in.log".into()]).is_err());
+        assert!(run(&["in.log".into(), "--from".into(), "strace".into()]).is_err());
+    }
+}

@@ -5,6 +5,7 @@
 //! is unit-testable without spawning processes.
 
 pub mod bench_net;
+pub mod convert;
 pub mod entropy;
 pub mod gen;
 pub mod groups;
@@ -17,7 +18,8 @@ use std::error::Error;
 use std::fs::File;
 use std::path::Path;
 
-use fgcache_trace::{io, Trace};
+use fgcache_trace::stream::{collect_trace, TraceReader};
+use fgcache_trace::Trace;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum TraceFormat {
@@ -26,12 +28,14 @@ pub(crate) enum TraceFormat {
     Binary,
 }
 
-/// Loads a trace from `path`, auto-detecting the format by extension
-/// (`.json`, `.bin`, else text) unless `format` overrides it (`"text"`,
-/// `"json"` or `"bin"`).
-pub(crate) fn load_trace(path: &str, format: Option<&str>) -> Result<Trace, Box<dyn Error>> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let fmt = match format {
+/// Resolves the trace format from an explicit `--format` value (`"text"`,
+/// `"json"` or `"bin"`), falling back to the path's extension (`.json`,
+/// `.bin`, else text).
+pub(crate) fn detect_format(
+    path: &str,
+    format: Option<&str>,
+) -> Result<TraceFormat, Box<dyn Error>> {
+    Ok(match format {
         Some("json") => TraceFormat::Json,
         Some("text") => TraceFormat::Text,
         Some("bin" | "binary") => TraceFormat::Binary,
@@ -44,11 +48,35 @@ pub(crate) fn load_trace(path: &str, format: Option<&str>) -> Result<Trace, Box<
                 _ => TraceFormat::Text,
             }
         }
-    };
-    let trace = match fmt {
-        TraceFormat::Json => io::read_json(file)?,
-        TraceFormat::Text => io::read_text(file)?,
-        TraceFormat::Binary => io::read_binary(file)?,
-    };
-    Ok(trace)
+    })
+}
+
+/// Opens `path` as a streaming event reader — the O(1)-memory entry point
+/// every replay command uses. Binary inputs get the file length so the
+/// header's record count is validated against the actual size before any
+/// record is read.
+pub(crate) fn open_trace_events(
+    path: &str,
+    format: Option<&str>,
+) -> Result<TraceReader<File>, Box<dyn Error>> {
+    let fmt = detect_format(path, format)?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(match fmt {
+        TraceFormat::Json => TraceReader::json(file),
+        TraceFormat::Text => TraceReader::text(file),
+        TraceFormat::Binary => {
+            let len = file.metadata().map(|m| m.len()).ok();
+            match len {
+                Some(len) => TraceReader::binary_with_len(file, len),
+                None => TraceReader::binary(file),
+            }
+        }
+    })
+}
+
+/// Loads a whole trace into memory — for commands whose analyses need
+/// random access (e.g. `groups`, `two-level`). Streaming commands use
+/// [`open_trace_events`] instead.
+pub(crate) fn load_trace(path: &str, format: Option<&str>) -> Result<Trace, Box<dyn Error>> {
+    Ok(collect_trace(open_trace_events(path, format)?)?)
 }

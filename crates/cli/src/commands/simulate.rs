@@ -1,16 +1,35 @@
 //! `fgcache simulate` — run one cache over a trace, optionally as `K`
 //! clients against a sharded aggregating server.
+//!
+//! Both modes replay the event stream in a single pass (the multi-client
+//! mode via [`run_multiclient_stream`], which attributes event `i` to
+//! client `i % K`), so simulation memory is bounded by the caches being
+//! simulated — never by the trace length.
 
 use std::error::Error;
 
 use fgcache_cache::{Cache, PolicyKind};
 use fgcache_core::{AggregatingCacheBuilder, ShardedAggregatingCacheBuilder};
-use fgcache_sim::multiclient::{run_multiclient_on, split_round_robin};
+use fgcache_sim::multiclient::run_multiclient_stream;
+use fgcache_trace::io::TraceIoError;
+#[cfg(test)]
 use fgcache_trace::Trace;
+use fgcache_types::AccessEvent;
 
 use crate::args::Args;
-use crate::commands::load_trace;
+use crate::commands::open_trace_events;
 
+/// Adapts an in-memory trace to the streaming cores (used by the
+/// `&Trace` wrappers the unit tests drive).
+#[cfg(test)]
+fn ok_events(trace: &Trace) -> impl Iterator<Item = Result<AccessEvent, TraceIoError>> + '_ {
+    trace
+        .events()
+        .iter()
+        .map(|ev| Ok::<AccessEvent, TraceIoError>(*ev))
+}
+
+#[cfg(test)] // the materialized twin survives as the differential-test oracle
 pub(crate) fn simulate(
     trace: &Trace,
     policy: &str,
@@ -18,14 +37,28 @@ pub(crate) fn simulate(
     group: usize,
     successors: usize,
 ) -> Result<String, Box<dyn Error>> {
+    simulate_events(ok_events(trace), policy, capacity, group, successors)
+}
+
+/// Streaming single-cache replay: consumes the events once.
+pub(crate) fn simulate_events<I>(
+    events: I,
+    policy: &str,
+    capacity: usize,
+    group: usize,
+    successors: usize,
+) -> Result<String, Box<dyn Error>>
+where
+    I: IntoIterator<Item = Result<AccessEvent, TraceIoError>>,
+{
     let mut out = String::new();
     if policy == "agg" {
         let mut cache = AggregatingCacheBuilder::new(capacity)
             .group_size(group)
             .successor_capacity(successors)
             .build()?;
-        for ev in trace.events() {
-            cache.handle_access(ev.file);
+        for ev in events {
+            cache.handle_access(ev?.file);
         }
         let stats = Cache::stats(&cache);
         out.push_str(&format!(
@@ -52,8 +85,8 @@ pub(crate) fn simulate(
             .parse()
             .map_err(|e| format!("{e} (or \"agg\" for the aggregating cache)"))?;
         let mut cache = kind.build(capacity);
-        for ev in trace.events() {
-            cache.access(ev.file);
+        for ev in events {
+            cache.access(ev?.file);
         }
         let stats = cache.stats();
         out.push_str(&format!("{kind} cache: capacity {capacity}\n"));
@@ -82,14 +115,27 @@ pub(crate) struct MulticlientOpts {
     pub no_fast_path: bool,
 }
 
-/// The `--clients K` mode: the trace is split round-robin into `K`
-/// interleaved client streams, each replayed behind a private LRU filter
-/// against one shared sharded aggregating server. Replay is the
-/// deterministic round-robin interleave so the report is reproducible.
+/// The `--clients K` mode: event `i` of the stream belongs to client
+/// `i % K`; each client sits behind a private LRU filter in front of one
+/// shared sharded aggregating server. The single-pass streaming replay
+/// produces the same counters as splitting the trace round-robin and
+/// replaying the deterministic interleave, so the report is reproducible.
+#[cfg(test)] // the materialized twin survives as the differential-test oracle
 pub(crate) fn simulate_multiclient(
     trace: &Trace,
     opts: &MulticlientOpts,
 ) -> Result<String, Box<dyn Error>> {
+    simulate_multiclient_events(ok_events(trace), opts)
+}
+
+/// Streaming core of the `--clients K` mode.
+pub(crate) fn simulate_multiclient_events<I>(
+    events: I,
+    opts: &MulticlientOpts,
+) -> Result<String, Box<dyn Error>>
+where
+    I: IntoIterator<Item = Result<AccessEvent, TraceIoError>>,
+{
     let MulticlientOpts {
         clients,
         shards,
@@ -102,14 +148,13 @@ pub(crate) fn simulate_multiclient(
     if clients == 0 {
         return Err("--clients must be greater than zero".into());
     }
-    let streams = split_round_robin(trace, clients);
     let server = ShardedAggregatingCacheBuilder::new(capacity)
         .shards(shards)
         .group_size(group)
         .successor_capacity(successors)
         .fast_path(!no_fast_path)
         .build()?;
-    let point = run_multiclient_on(&server, &streams, filter, false)?;
+    let point = run_multiclient_stream(&server, events, clients, filter)?;
     let mut out = String::new();
     out.push_str(&format!(
         "sharded aggregating server: capacity {capacity}, {shards} shard(s), group size {group}{}\n",
@@ -148,11 +193,11 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
         "no-fast-path",
     ])?;
     let path = args.require_positional(0, "trace")?;
-    let trace = load_trace(path, args.flag("format"))?;
     let capacity: usize = args.require_flag("capacity")?;
     let policy = args.flag("policy").unwrap_or("agg");
     let group = args.flag_or("group", 5usize)?;
     let successors = args.flag_or("successors", 8usize)?;
+    let events = open_trace_events(path, args.flag("format"))?;
     if args.flag("clients").is_some() || args.flag("shards").is_some() {
         if policy != "agg" {
             return Err("--clients/--shards require the aggregating server (--policy agg)".into());
@@ -166,9 +211,12 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
             successors,
             no_fast_path: args.flag_or("no-fast-path", false)?,
         };
-        print!("{}", simulate_multiclient(&trace, &opts)?);
+        print!("{}", simulate_multiclient_events(events, &opts)?);
     } else {
-        print!("{}", simulate(&trace, policy, capacity, group, successors)?);
+        print!(
+            "{}",
+            simulate_events(events, policy, capacity, group, successors)?
+        );
     }
     Ok(())
 }

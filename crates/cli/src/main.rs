@@ -10,10 +10,13 @@
 //! fgcache groups    trace.txt [--group-size 5] [--top 10]
 //! fgcache serve     --capacity 400 [--addr 127.0.0.1:0] [--shards 4]
 //! fgcache bench-net --loopback true [--clients 4] [--events 10000] [--batch 1,8,32]
+//! fgcache convert   access.log --from strace --out trace.bin [--to text|json|bin]
 //! ```
 //!
-//! Traces are read in the text format (`seq client kind file` per line) or
-//! JSON (`--format json`).
+//! Traces are read in the text format (`seq client kind file` per line),
+//! JSON (`--format json`) or binary (`--format bin`); `stats`, `entropy`
+//! and `simulate` stream events from disk, so traces far larger than
+//! memory replay fine.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -38,6 +41,7 @@ COMMANDS:
     groups     show the strongest dynamic groups of a trace
     serve      run a TCP group-fetch server over a sharded cache
     bench-net  loopback TCP differential check + batch-pipelining sweep
+    convert    translate DFSTrace/strace logs into fgcache traces
     help       print this message
 
 Run `fgcache <COMMAND> --help` semantics: every command validates its
@@ -60,6 +64,7 @@ fn main() -> ExitCode {
         "groups" => commands::groups::run(&rest),
         "serve" => commands::serve::run(&rest),
         "bench-net" => commands::bench_net::run(&rest),
+        "convert" => commands::convert::run(&rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -36,7 +36,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use fgcache_cache::{filter::miss_stream, Cache, LruCache};
 use fgcache_trace::Trace;
@@ -121,11 +121,25 @@ pub fn analyze(files: &[FileId], k: usize) -> Result<EntropyAnalysis, Validation
                 .or_insert(0) += 1;
         }
     }
+    Ok(finish_analysis(k, n, &occurrences, &successors))
+}
+
+/// Scores accumulated occurrence and successor-symbol counts into an
+/// [`EntropyAnalysis`] (Equation 2). Shared by the materialized
+/// [`analyze`] and the streaming [`EntropyAccumulator`]; generic over the
+/// symbol key so borrowed (`&[FileId]`) and owned (`Box<[FileId]>`) count
+/// maps score identically.
+fn finish_analysis<S>(
+    k: usize,
+    n: usize,
+    occurrences: &HashMap<FileId, u64>,
+    successors: &HashMap<FileId, HashMap<S, u64>>,
+) -> EntropyAnalysis {
     let mut per_file = Vec::new();
     let mut total = 0.0;
     let singleton_files = occurrences.values().filter(|&&c| c == 1).count();
     let repeating_files = occurrences.len() - singleton_files;
-    for (&file, &count) in &occurrences {
+    for (&file, &count) in occurrences {
         if count <= 1 {
             continue;
         }
@@ -158,14 +172,138 @@ pub fn analyze(files: &[FileId], k: usize) -> Result<EntropyAnalysis, Validation
             .expect("entropy contributions are finite")
             .then(a.file.cmp(&b.file))
     });
-    Ok(EntropyAnalysis {
+    EntropyAnalysis {
         symbol_length: k,
         entropy: total,
         events: n,
         repeating_files,
         singleton_files,
         per_file,
-    })
+    }
+}
+
+/// Successor-symbol counts per predecessor file, keyed by owned symbol.
+type SymbolCounts = HashMap<FileId, HashMap<Box<[FileId]>, u64>>;
+
+/// Incremental successor-entropy computation over a file stream.
+///
+/// The streaming twin of [`analyze`]/[`entropy_profile`] for traces too
+/// large to materialize: feed files one at a time with
+/// [`push`](EntropyAccumulator::push) and score at the end with
+/// [`analyses`](EntropyAccumulator::analyses) or
+/// [`profile`](EntropyAccumulator::profile). All requested symbol lengths
+/// are tracked in a single pass over a rolling window of the last
+/// `max(ks) + 1` files; memory is bounded by the number of distinct
+/// (predecessor, symbol) pairs, never by the stream length.
+///
+/// The resulting analyses match [`analyze`] on the materialized sequence
+/// except for float summation order (the per-symbol counts live in hash
+/// maps keyed by owned rather than borrowed slices, so iteration order —
+/// and thus the order of the `Σ p·log2 p` accumulation — may differ by a
+/// few ulps).
+///
+/// ```
+/// use fgcache_entropy::{analyze, EntropyAccumulator};
+/// use fgcache_types::FileId;
+///
+/// let files: Vec<FileId> = [1u64, 2, 1, 3].repeat(50).into_iter().map(FileId).collect();
+/// let mut acc = EntropyAccumulator::new(&[1, 2]).expect("valid ks");
+/// for &f in &files {
+///     acc.push(f);
+/// }
+/// let streamed = acc.profile();
+/// let direct = analyze(&files, 1).expect("valid k").entropy;
+/// assert!((streamed[0].1 - direct).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct EntropyAccumulator {
+    ks: Vec<usize>,
+    max_k: usize,
+    occurrences: HashMap<FileId, u64>,
+    /// Successor-symbol counts per predecessor, parallel to `ks`.
+    successors: Vec<SymbolCounts>,
+    window: VecDeque<FileId>,
+    scratch: Vec<FileId>,
+    events: usize,
+}
+
+impl EntropyAccumulator {
+    /// Creates an accumulator tracking every symbol length in `ks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if any `k` is zero.
+    pub fn new(ks: &[usize]) -> Result<Self, ValidationError> {
+        if ks.contains(&0) {
+            return Err(ValidationError::new(
+                "k",
+                "successor symbol length must be at least 1",
+            ));
+        }
+        let max_k = ks.iter().copied().max().unwrap_or(0);
+        Ok(EntropyAccumulator {
+            ks: ks.to_vec(),
+            max_k,
+            occurrences: HashMap::new(),
+            successors: vec![HashMap::new(); ks.len()],
+            window: VecDeque::with_capacity(max_k + 1),
+            scratch: Vec::with_capacity(max_k),
+            events: 0,
+        })
+    }
+
+    /// Number of files pushed so far.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Accumulates one file access.
+    pub fn push(&mut self, file: FileId) {
+        self.events += 1;
+        *self.occurrences.entry(file).or_insert(0) += 1;
+        self.window.push_back(file);
+        if self.window.len() > self.max_k + 1 {
+            self.window.pop_front();
+        }
+        let len = self.window.len();
+        for (i, &k) in self.ks.iter().enumerate() {
+            // The arriving file completes one length-k symbol: the k files
+            // ending at it, predicted by the file k positions back.
+            if len < k + 1 {
+                continue;
+            }
+            let pred = self.window[len - 1 - k];
+            self.scratch.clear();
+            self.scratch.extend(self.window.iter().skip(len - k));
+            let symbols = self.successors[i].entry(pred).or_default();
+            // Look up by slice first so repeat symbols never allocate.
+            if let Some(c) = symbols.get_mut(self.scratch.as_slice()) {
+                *c += 1;
+            } else {
+                symbols.insert(self.scratch.clone().into_boxed_slice(), 1);
+            }
+        }
+    }
+
+    /// Scores the accumulated counts: one [`EntropyAnalysis`] per
+    /// requested symbol length, in the order given to
+    /// [`new`](EntropyAccumulator::new).
+    pub fn analyses(&self) -> Vec<EntropyAnalysis> {
+        self.ks
+            .iter()
+            .zip(&self.successors)
+            .map(|(&k, succ)| finish_analysis(k, self.events, &self.occurrences, succ))
+            .collect()
+    }
+
+    /// The `(k, entropy)` profile — the streaming counterpart of
+    /// [`entropy_profile`].
+    pub fn profile(&self) -> Vec<(usize, f64)> {
+        self.analyses()
+            .into_iter()
+            .map(|a| (a.symbol_length, a.entropy))
+            .collect()
+    }
 }
 
 /// Successor entropy of a file sequence at each symbol length in `ks` —
@@ -370,6 +508,72 @@ mod tests {
         // 1 and 2 repeat (weights 2/6 + 2/6); 3 and 9 are singletons.
         assert!(weight_sum <= 1.0);
         assert!((weight_sum - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_rejects_zero_k() {
+        assert!(EntropyAccumulator::new(&[1, 0, 2]).is_err());
+    }
+
+    #[test]
+    fn empty_accumulator_profiles_to_zero() {
+        let acc = EntropyAccumulator::new(&[1, 2, 3]).unwrap();
+        assert_eq!(acc.events(), 0);
+        for (_, h) in acc.profile() {
+            assert_eq!(h, 0.0);
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_analyze_on_noisy_sequence() {
+        let s: Vec<FileId> = seq(&[1, 2, 3, 1, 2, 4, 1, 3, 2, 1, 4, 3, 9, 9, 2]).repeat(30);
+        let ks = [1usize, 2, 3, 4, 6];
+        let mut acc = EntropyAccumulator::new(&ks).unwrap();
+        for &f in &s {
+            acc.push(f);
+        }
+        assert_eq!(acc.events(), s.len());
+        let analyses = acc.analyses();
+        for (i, &k) in ks.iter().enumerate() {
+            let direct = analyze(&s, k).unwrap();
+            let streamed = &analyses[i];
+            assert_eq!(streamed.symbol_length, direct.symbol_length);
+            assert_eq!(streamed.events, direct.events);
+            assert_eq!(streamed.repeating_files, direct.repeating_files);
+            assert_eq!(streamed.singleton_files, direct.singleton_files);
+            assert!(
+                (streamed.entropy - direct.entropy).abs() < 1e-9,
+                "k={k}: streamed {} vs direct {}",
+                streamed.entropy,
+                direct.entropy
+            );
+            assert_eq!(streamed.per_file.len(), direct.per_file.len());
+            for (se, de) in streamed.per_file.iter().zip(&direct.per_file) {
+                assert_eq!(se.file, de.file);
+                assert_eq!(se.distinct_successors, de.distinct_successors);
+                assert_eq!(se.transitions, de.transitions);
+                assert!((se.conditional_entropy - de.conditional_entropy).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_entropy_profile_on_short_sequences() {
+        // Sequences shorter than k exercise the "no complete symbol yet"
+        // paths on both sides.
+        for len in 0..6usize {
+            let s: Vec<FileId> = seq(&[7, 8, 7, 9, 7][..len.min(5)]);
+            let ks = [1usize, 2, 3];
+            let mut acc = EntropyAccumulator::new(&ks).unwrap();
+            for &f in &s {
+                acc.push(f);
+            }
+            let direct = entropy_profile(&s, &ks).unwrap();
+            for ((k1, h1), (k2, h2)) in acc.profile().into_iter().zip(direct) {
+                assert_eq!(k1, k2);
+                assert!((h1 - h2).abs() < 1e-9, "len={len} k={k1}: {h1} vs {h2}");
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
 use fgcache_net::{request_id, GroupRequest, Transport, TransportStats};
 use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
 use fgcache_trace::Trace;
-use fgcache_types::{TransportError, ValidationError};
+use fgcache_types::{AccessEvent, TransportError, ValidationError};
 
 use crate::report::{fmt2, pct, Table};
 
@@ -615,6 +615,107 @@ fn replay_transport_concurrent<T: Transport + Send>(
     Ok(totals)
 }
 
+/// Why a streaming multi-client replay stopped: the inputs were invalid,
+/// or the event source itself failed mid-stream.
+#[derive(Debug)]
+pub enum StreamReplayError<E> {
+    /// The replay inputs were rejected before any event was consumed.
+    Invalid(ValidationError),
+    /// The event source failed; the replay stops at the first error.
+    Source(E),
+}
+
+impl<E: fmt::Display> fmt::Display for StreamReplayError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamReplayError::Invalid(e) => write!(f, "invalid replay inputs: {e}"),
+            StreamReplayError::Source(e) => write!(f, "event source failure: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for StreamReplayError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamReplayError::Invalid(e) => Some(e),
+            StreamReplayError::Source(e) => Some(e),
+        }
+    }
+}
+
+impl<E> From<ValidationError> for StreamReplayError<E> {
+    fn from(e: ValidationError) -> Self {
+        StreamReplayError::Invalid(e)
+    }
+}
+
+/// Single-pass streaming twin of
+/// [`split_round_robin`] + [`run_multiclient_on`] (round-robin mode):
+/// event `i` of the stream is attributed to client `i % clients`, whose
+/// private filter decides whether it reaches the shared server.
+///
+/// The round-robin interleave replays split traces in exactly original
+/// stream order (turn `t` plays events `t·k .. t·k + k` in client order),
+/// so this produces **identical** [`MultiClientPoint`] counters without
+/// ever materializing the trace — the replay path for event streams too
+/// large to hold in memory. Memory is bounded by the `clients` filter
+/// caches; the stream is consumed once.
+///
+/// # Errors
+///
+/// Returns [`StreamReplayError::Invalid`] for a zero client count or
+/// filter capacity, and [`StreamReplayError::Source`] with the source's
+/// error if the stream yields one (the replay stops at that point).
+pub fn run_multiclient_stream<I, E>(
+    server: &ShardedAggregatingCache,
+    events: I,
+    clients: usize,
+    filter_capacity: usize,
+) -> Result<MultiClientPoint, StreamReplayError<E>>
+where
+    I: IntoIterator<Item = Result<AccessEvent, E>>,
+{
+    if clients == 0 {
+        return Err(ValidationError::new("clients", "at least one client").into());
+    }
+    if filter_capacity == 0 {
+        return Err(ValidationError::new("filter_capacity", "must be greater than zero").into());
+    }
+    let shards = server.shard_count();
+    let start = Instant::now();
+    let mut filters: Vec<FilterCache<LruCache>> = (0..clients)
+        .map(|_| FilterCache::new(LruCache::new(filter_capacity)))
+        .collect();
+    for (index, ev) in (0_u64..).zip(events) {
+        let ev = ev.map_err(StreamReplayError::Source)?;
+        let client = (index % clients as u64) as usize;
+        if filters[client].offer_file(ev.file) {
+            server.handle_access(ev.file);
+        }
+    }
+    let elapsed = start.elapsed();
+    let (client_hits, client_accesses) = filters.iter().fold((0, 0), |(h, a), f| {
+        (h + f.stats().hits, a + f.stats().accesses)
+    });
+    let stats = server.stats();
+    debug_assert!(server.check_invariants().is_ok());
+    Ok(MultiClientPoint {
+        shards,
+        clients,
+        events: client_accesses,
+        client_hit_rate: if client_accesses == 0 {
+            0.0
+        } else {
+            client_hits as f64 / client_accesses as f64
+        },
+        server_hit_rate: stats.hit_rate(),
+        server_accesses: stats.accesses,
+        demand_fetches: server.demand_fetches(),
+        imbalance: server.shard_imbalance(),
+        elapsed,
+    })
+}
+
 /// Splits one trace into `k` interleaved client streams (event `i` goes
 /// to client `i % k`) — how the CLI turns a single recorded trace into a
 /// multi-client workload.
@@ -873,6 +974,68 @@ mod tests {
         assert_eq!(conc.events, rr.events);
         assert!((conc.client_hit_rate - rr.client_hit_rate).abs() < 1e-12);
         assert_eq!(conc.transport.requests, rr.server_accesses);
+    }
+
+    #[test]
+    fn stream_replay_matches_split_round_robin_byte_for_byte() {
+        let cfg = MultiClientConfig::quick();
+        let trace = SynthConfig::profile(cfg.profile)
+            .events(4_001) // not a multiple of k: exercises the ragged tail
+            .seed(cfg.seed)
+            .build()
+            .unwrap()
+            .generate();
+        for k in [1usize, 2, 3] {
+            let split_server = cfg.server(2).unwrap();
+            let split = run_multiclient_on(
+                &split_server,
+                &split_round_robin(&trace, k),
+                cfg.filter_capacity,
+                false,
+            )
+            .unwrap();
+
+            let stream_server = cfg.server(2).unwrap();
+            let events = trace
+                .events()
+                .iter()
+                .map(|ev| Ok::<AccessEvent, std::convert::Infallible>(*ev));
+            let streamed =
+                run_multiclient_stream(&stream_server, events, k, cfg.filter_capacity).unwrap();
+
+            assert_eq!(streamed.shards, split.shards, "k={k}");
+            assert_eq!(streamed.clients, split.clients, "k={k}");
+            assert_eq!(streamed.events, split.events, "k={k}");
+            assert_eq!(streamed.client_hit_rate, split.client_hit_rate, "k={k}");
+            assert_eq!(streamed.server_hit_rate, split.server_hit_rate, "k={k}");
+            assert_eq!(streamed.server_accesses, split.server_accesses, "k={k}");
+            assert_eq!(streamed.demand_fetches, split.demand_fetches, "k={k}");
+            assert_eq!(streamed.imbalance, split.imbalance, "k={k}");
+            assert_eq!(stream_server.stats(), split_server.stats());
+            assert_eq!(stream_server.group_stats(), split_server.group_stats());
+        }
+    }
+
+    #[test]
+    fn stream_replay_validates_inputs_and_propagates_source_errors() {
+        let cfg = MultiClientConfig::quick();
+        let server = cfg.server(1).unwrap();
+        let ok = |n: u64| {
+            (0..n)
+                .map(|i| Ok::<AccessEvent, std::io::Error>(fgcache_types::AccessEvent::read(i, i)))
+        };
+        assert!(matches!(
+            run_multiclient_stream(&server, ok(4), 0, 10),
+            Err(StreamReplayError::Invalid(_))
+        ));
+        assert!(matches!(
+            run_multiclient_stream(&server, ok(4), 2, 0),
+            Err(StreamReplayError::Invalid(_))
+        ));
+        let failing = ok(2).chain(std::iter::once(Err(std::io::Error::other("boom"))));
+        let err = run_multiclient_stream(&server, failing, 2, 10).unwrap_err();
+        assert!(matches!(err, StreamReplayError::Source(_)));
+        assert!(err.to_string().contains("boom"));
     }
 
     #[test]

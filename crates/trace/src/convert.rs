@@ -1,0 +1,563 @@
+//! Converters from foreign trace formats into fgcache traces.
+//!
+//! The paper's evaluation uses CMU DFSTrace recordings; real-world
+//! validation data also commonly arrives as `strace` logs. Both are
+//! path-and-process shaped rather than id-shaped, so conversion is a
+//! *remapping pass*: paths become dense [`FileId`]s and client/process
+//! tokens become dense [`ClientId`]s in first-seen order, while events
+//! are renumbered consecutively from zero ([`Remapper`]). The converters
+//! are streaming iterators — memory is bounded by the id maps (one entry
+//! per distinct path/client), never by the trace length — and compose
+//! directly with the sinks in [`crate::stream`], which is exactly what
+//! `fgcache convert` does.
+//!
+//! * [`DfstraceEvents`] parses DFSTrace-style text
+//!   (`<timestamp> <client> <op> <path>` per line) **strictly**: a
+//!   malformed line is an error, but a structurally valid line with an
+//!   *unknown operation* is skipped and counted, since real recordings
+//!   contain many operation types outside our four access kinds.
+//! * [`StraceEvents`] parses `strace -f` output **leniently**: syscalls
+//!   without a path, failed calls, signal/exit notices and unfinished
+//!   lines are skipped and counted, because strace logs are noisy by
+//!   nature and per-line errors would make every real log unusable.
+//!
+//! ```
+//! use fgcache_trace::convert::DfstraceEvents;
+//! use fgcache_trace::stream::collect_trace;
+//!
+//! let log = "100.5 mozart open /usr/bin/cc\n100.9 ives write /tmp/a.o\n";
+//! let mut reader = DfstraceEvents::new(log.as_bytes());
+//! let trace = collect_trace(reader.by_ref()).unwrap();
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(reader.report().events, 2);
+//! ```
+
+use std::io::BufRead;
+
+use fgcache_types::hash::FastMap;
+use fgcache_types::{AccessEvent, AccessKind, ClientId, FileId, SeqNo};
+
+use crate::io::TraceIoError;
+
+/// Dense-id remapping state shared by all converters.
+///
+/// Paths map to [`FileId`]s and client tokens to [`ClientId`]s in
+/// first-seen order; sequence numbers are handed out consecutively from
+/// zero, so any converter output satisfies the [`crate::Trace`] invariant
+/// by construction.
+#[derive(Debug, Default)]
+pub struct Remapper {
+    files: FastMap<String, FileId>,
+    clients: FastMap<String, ClientId>,
+    next_seq: u64,
+}
+
+impl Remapper {
+    /// An empty remapper.
+    pub fn new() -> Self {
+        Remapper::default()
+    }
+
+    /// Maps one foreign access into an [`AccessEvent`] with dense ids and
+    /// the next sequence number.
+    pub fn map(&mut self, client_token: &str, path: &str, kind: AccessKind) -> AccessEvent {
+        let file = match self.files.get(path) {
+            Some(&f) => f,
+            None => {
+                let f = FileId(self.files.len() as u64);
+                self.files.insert(path.to_string(), f);
+                f
+            }
+        };
+        let client = match self.clients.get(client_token) {
+            Some(&c) => c,
+            None => {
+                let c = ClientId(self.clients.len() as u32);
+                self.clients.insert(client_token.to_string(), c);
+                c
+            }
+        };
+        let seq = SeqNo(self.next_seq);
+        self.next_seq += 1;
+        AccessEvent::new(seq, client, file, kind)
+    }
+
+    /// Number of distinct paths seen so far.
+    pub fn unique_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of distinct client tokens seen so far.
+    pub fn unique_clients(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+/// Counters describing a conversion run, read after the converter has
+/// been drained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvertReport {
+    /// Physical input lines read (including comments and blanks).
+    pub lines: u64,
+    /// Events emitted.
+    pub events: u64,
+    /// Structurally valid lines skipped (unknown operations, failed
+    /// syscalls, pathless calls, signal/exit notices).
+    pub skipped: u64,
+    /// Distinct paths mapped to file ids.
+    pub unique_files: usize,
+    /// Distinct client tokens mapped to client ids.
+    pub unique_clients: usize,
+}
+
+impl ConvertReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} lines -> {} events ({} skipped) | {} files, {} clients",
+            self.lines, self.events, self.skipped, self.unique_files, self.unique_clients
+        )
+    }
+}
+
+/// Maps a DFSTrace-style operation name to an access kind; `None` for
+/// operations outside our model (those lines are skipped and counted).
+fn dfstrace_kind(op: &str) -> Option<AccessKind> {
+    // Compare case-insensitively without allocating.
+    let matches = |name: &str| op.eq_ignore_ascii_case(name);
+    if [
+        "open", "read", "close", "lookup", "stat", "getattr", "access", "readlink",
+    ]
+    .iter()
+    .any(|n| matches(n))
+    {
+        Some(AccessKind::Read)
+    } else if ["write", "store", "truncate", "setattr", "chmod", "chown"]
+        .iter()
+        .any(|n| matches(n))
+    {
+        Some(AccessKind::Write)
+    } else if ["create", "creat", "mkdir", "mknod", "symlink", "link"]
+        .iter()
+        .any(|n| matches(n))
+    {
+        Some(AccessKind::Create)
+    } else if ["unlink", "remove", "rmdir"].iter().any(|n| matches(n)) {
+        Some(AccessKind::Delete)
+    } else {
+        None
+    }
+}
+
+/// Streaming converter for DFSTrace-style text logs.
+///
+/// Input lines are `<timestamp> <client> <op> <path>`; `#` comments and
+/// blank lines are ignored. The timestamp must parse as a number and the
+/// path must be a single whitespace-free token — anything else is a
+/// [`TraceIoError::Parse`] with the physical 1-based line number. Lines
+/// whose `<op>` is not one of the recognised operations (see
+/// [`crate::convert`] module docs) are skipped and counted in
+/// [`ConvertReport::skipped`].
+#[derive(Debug)]
+pub struct DfstraceEvents<R> {
+    reader: R,
+    line: String,
+    remap: Remapper,
+    report: ConvertReport,
+    done: bool,
+}
+
+impl<R: BufRead> DfstraceEvents<R> {
+    /// Wraps a buffered reader over the log text.
+    pub fn new(reader: R) -> Self {
+        DfstraceEvents {
+            reader,
+            line: String::new(),
+            remap: Remapper::new(),
+            report: ConvertReport::default(),
+            done: false,
+        }
+    }
+
+    /// Conversion counters; complete once the iterator has been drained.
+    pub fn report(&self) -> ConvertReport {
+        ConvertReport {
+            unique_files: self.remap.unique_files(),
+            unique_clients: self.remap.unique_clients(),
+            ..self.report
+        }
+    }
+
+    fn parse(&mut self) -> Result<Option<AccessEvent>, String> {
+        let trimmed = self.line.trim();
+        let mut parts = trimmed.split_whitespace();
+        let ts = parts.next().ok_or("missing timestamp field")?;
+        ts.parse::<f64>()
+            .map_err(|_| format!("bad timestamp {ts:?}: not a number"))?;
+        let client = parts.next().ok_or("missing client field")?.to_string();
+        let op = parts.next().ok_or("missing op field")?.to_string();
+        let path = parts.next().ok_or("missing path field")?;
+        if parts.next().is_some() {
+            return Err("trailing fields after path".to_string());
+        }
+        match dfstrace_kind(&op) {
+            Some(kind) => Ok(Some(self.remap.map(&client, path, kind))),
+            None => Ok(None),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for DfstraceEvents<R> {
+    type Item = Result<AccessEvent, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(TraceIoError::Io(e)));
+                }
+            }
+            self.report.lines += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let lineno = self.report.lines as usize;
+            // `parse` borrows self.line internally via trim; split the
+            // borrow by taking the line first.
+            match self.parse() {
+                Ok(Some(ev)) => {
+                    self.report.events += 1;
+                    return Some(Ok(ev));
+                }
+                Ok(None) => {
+                    self.report.skipped += 1;
+                    continue;
+                }
+                Err(message) => {
+                    self.done = true;
+                    return Some(Err(TraceIoError::Parse {
+                        line: lineno,
+                        message,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// Maps an strace syscall name (plus its flag text) to an access kind;
+/// `None` for syscalls we do not model.
+fn strace_kind(syscall: &str, args: &str) -> Option<AccessKind> {
+    match syscall {
+        "open" | "openat" | "openat2" => {
+            if args.contains("O_CREAT") {
+                Some(AccessKind::Create)
+            } else if args.contains("O_WRONLY") || args.contains("O_RDWR") {
+                Some(AccessKind::Write)
+            } else {
+                Some(AccessKind::Read)
+            }
+        }
+        "creat" | "mkdir" | "mkdirat" | "mknod" | "symlink" | "symlinkat" | "link" | "linkat" => {
+            Some(AccessKind::Create)
+        }
+        "stat" | "lstat" | "statx" | "access" | "faccessat" | "readlink" | "readlinkat"
+        | "execve" | "getxattr" | "lgetxattr" => Some(AccessKind::Read),
+        "truncate" | "chmod" | "fchmodat" | "chown" | "lchown" | "utime" | "utimensat"
+        | "setxattr" => Some(AccessKind::Write),
+        "unlink" | "unlinkat" | "rmdir" => Some(AccessKind::Delete),
+        _ => None,
+    }
+}
+
+/// Streaming converter for `strace`/`strace -f` logs.
+///
+/// Recognises the common line shapes: an optional `[pid N]` or leading
+/// bare-pid prefix (used as the client token; `0` when absent), a syscall
+/// name before `(`, the first double-quoted argument as the path, and the
+/// return value after the final `=`. Lines that carry no usable access —
+/// pathless syscalls, failed calls (negative return), `--- SIG… ---` and
+/// `+++ exited +++` notices, `<unfinished …>`/`resumed` fragments, or
+/// syscalls outside our model — are skipped and counted rather than
+/// treated as errors, because real strace output is noisy by design.
+#[derive(Debug)]
+pub struct StraceEvents<R> {
+    reader: R,
+    line: String,
+    remap: Remapper,
+    report: ConvertReport,
+    done: bool,
+}
+
+impl<R: BufRead> StraceEvents<R> {
+    /// Wraps a buffered reader over the log text.
+    pub fn new(reader: R) -> Self {
+        StraceEvents {
+            reader,
+            line: String::new(),
+            remap: Remapper::new(),
+            report: ConvertReport::default(),
+            done: false,
+        }
+    }
+
+    /// Conversion counters; complete once the iterator has been drained.
+    pub fn report(&self) -> ConvertReport {
+        ConvertReport {
+            unique_files: self.remap.unique_files(),
+            unique_clients: self.remap.unique_clients(),
+            ..self.report
+        }
+    }
+
+    /// Attempts to extract one access from the current line; `None` means
+    /// the line is noise (counted by the caller).
+    fn parse(&mut self) -> Option<AccessEvent> {
+        let mut rest = self.line.trim();
+        if rest.starts_with("---") || rest.starts_with("+++") {
+            return None;
+        }
+        // Client token: "[pid 1234] ..." or "1234  ..." prefixes.
+        let mut client = "0";
+        if let Some(tail) = rest.strip_prefix("[pid") {
+            let (pid, tail) = tail.split_once(']')?;
+            client = pid.trim();
+            rest = tail.trim_start();
+        } else if rest.starts_with(|c: char| c.is_ascii_digit()) {
+            let split = rest.find(|c: char| c.is_whitespace())?;
+            let (pid, tail) = rest.split_at(split);
+            if pid.chars().all(|c| c.is_ascii_digit()) {
+                client = pid;
+                rest = tail.trim_start();
+            }
+        }
+        if rest.starts_with("<...") {
+            return None; // "<... open resumed> ..." fragment
+        }
+        // Syscall name runs up to the opening parenthesis.
+        let paren = rest.find('(')?;
+        let syscall = &rest[..paren];
+        if !syscall
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            || syscall.is_empty()
+        {
+            return None;
+        }
+        let args = &rest[paren + 1..];
+        if args.contains("<unfinished") {
+            return None;
+        }
+        // Failed or missing return value → no access happened.
+        let ret = args.rsplit_once('=').map(|(_, r)| r.trim())?;
+        if ret.is_empty() || ret.starts_with('-') || ret.starts_with('?') {
+            return None;
+        }
+        let kind = strace_kind(syscall, args)?;
+        // First double-quoted argument is the path (strace escapes quotes
+        // inside paths with a backslash).
+        let path = {
+            let open = args.find('"')?;
+            let body = &args[open + 1..];
+            let mut end = None;
+            let bytes = body.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            &body[..end?]
+        };
+        let client = client.to_string();
+        Some(self.remap.map(&client, path, kind))
+    }
+}
+
+impl<R: BufRead> Iterator for StraceEvents<R> {
+    type Item = Result<AccessEvent, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(TraceIoError::Io(e)));
+                }
+            }
+            self.report.lines += 1;
+            if self.line.trim().is_empty() {
+                continue;
+            }
+            match self.parse() {
+                Some(ev) => {
+                    self.report.events += 1;
+                    return Some(Ok(ev));
+                }
+                None => {
+                    self.report.skipped += 1;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::collect_trace;
+
+    #[test]
+    fn remapper_assigns_dense_first_seen_ids() {
+        let mut r = Remapper::new();
+        let a = r.map("c1", "/x", AccessKind::Read);
+        let b = r.map("c2", "/y", AccessKind::Read);
+        let c = r.map("c1", "/x", AccessKind::Write);
+        assert_eq!(a.file, FileId(0));
+        assert_eq!(b.file, FileId(1));
+        assert_eq!(c.file, FileId(0));
+        assert_eq!(a.client, ClientId(0));
+        assert_eq!(b.client, ClientId(1));
+        assert_eq!(c.client, ClientId(0));
+        assert_eq!(
+            (a.seq, b.seq, c.seq),
+            (SeqNo(0), SeqNo(1), SeqNo(2)),
+            "consecutive renumbering"
+        );
+        assert_eq!(r.unique_files(), 2);
+        assert_eq!(r.unique_clients(), 2);
+    }
+
+    #[test]
+    fn dfstrace_basic_conversion() {
+        let log = "\
+# DFSTrace excerpt
+773917882.1 mozart open /usr/lib/libc.so
+773917882.2 mozart read /usr/lib/libc.so
+773917883.0 ives write /tmp/out
+773917883.5 mozart ioctl /dev/tty
+773917884.0 ives unlink /tmp/out
+";
+        let mut r = DfstraceEvents::new(log.as_bytes());
+        let trace = collect_trace(r.by_ref()).unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.events()[0].kind, AccessKind::Read);
+        assert_eq!(trace.events()[2].kind, AccessKind::Write);
+        assert_eq!(trace.events()[3].kind, AccessKind::Delete);
+        // Same path → same file id across clients and kinds.
+        assert_eq!(trace.events()[0].file, trace.events()[1].file);
+        let report = r.report();
+        assert_eq!(report.lines, 6);
+        assert_eq!(report.events, 4);
+        assert_eq!(report.skipped, 1, "ioctl is outside the model");
+        // Skipped lines never reach the remapper: /dev/tty gets no id.
+        assert_eq!(report.unique_files, 2);
+        assert_eq!(report.unique_clients, 2);
+    }
+
+    #[test]
+    fn dfstrace_rejects_malformed_lines_with_line_numbers() {
+        let cases = [
+            ("notatime mozart open /x", "timestamp"),
+            ("1.0 mozart open", "path"),
+            ("1.0 mozart", "op"),
+            ("1.0", "client"),
+            ("1.0 mozart open /x junk", "trailing"),
+        ];
+        for (line, expect) in cases {
+            let log = format!("# header\n1.0 c open /ok\n{line}\n");
+            let err = collect_trace(DfstraceEvents::new(log.as_bytes())).unwrap_err();
+            match err {
+                TraceIoError::Parse { line, ref message } => {
+                    assert_eq!(line, 3, "physical line number for {message:?}");
+                    assert!(message.contains(expect), "{message:?} vs {expect}");
+                }
+                other => panic!("expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strace_basic_conversion() {
+        let log = r#"openat(AT_FDCWD, "/etc/ld.so.cache", O_RDONLY|O_CLOEXEC) = 3
+close(3) = 0
+[pid 204] open("/tmp/build.log", O_WRONLY|O_CREAT|O_APPEND, 0644) = 4
+204   write(4, "x", 1) = 1
+open("/missing", O_RDONLY) = -1 ENOENT (No such file or directory)
+--- SIGCHLD {si_signo=SIGCHLD} ---
++++ exited with 0 +++
+unlink("/tmp/build.log") = 0
+open("/late", O_RDONLY <unfinished ...>
+<... open resumed> ) = 5
+stat("/etc/passwd", {st_mode=S_IFREG|0644}) = 0
+"#;
+        let mut r = StraceEvents::new(log.as_bytes());
+        let trace = collect_trace(r.by_ref()).unwrap();
+        // openat(read), open O_CREAT(create), unlink(delete), stat(read).
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.events()[0].kind, AccessKind::Read);
+        assert_eq!(trace.events()[1].kind, AccessKind::Create);
+        assert_eq!(trace.events()[2].kind, AccessKind::Delete);
+        assert_eq!(trace.events()[3].kind, AccessKind::Read);
+        // [pid 204] is a distinct client from the unprefixed "0".
+        assert_ne!(trace.events()[0].client, trace.events()[1].client);
+        let report = r.report();
+        assert_eq!(report.events, 4);
+        assert_eq!(report.lines, 11);
+        assert_eq!(report.skipped, 7);
+        assert_eq!(report.unique_clients, 2);
+    }
+
+    #[test]
+    fn strace_write_flags_map_to_write() {
+        let log = "open(\"/f\", O_RDWR) = 3\nopen(\"/f\", O_WRONLY) = 3\n";
+        let trace = collect_trace(StraceEvents::new(log.as_bytes())).unwrap();
+        assert!(trace.events().iter().all(|e| e.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn strace_escaped_quote_in_path() {
+        let log = r#"open("/tmp/we\"ird", O_RDONLY) = 3"#;
+        let trace = collect_trace(StraceEvents::new(log.as_bytes())).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn converter_output_always_satisfies_trace_invariant() {
+        // Interleaved clients and repeated paths: the output must always
+        // collect into a valid Trace (strictly increasing seq).
+        let mut log = String::new();
+        for i in 0..500 {
+            log.push_str(&format!("{}.0 c{} open /f{}\n", i, i % 7, i % 23));
+        }
+        let trace = collect_trace(DfstraceEvents::new(log.as_bytes())).unwrap();
+        assert_eq!(trace.len(), 500);
+        assert_eq!(trace.clients().len(), 7);
+    }
+}

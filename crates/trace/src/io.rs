@@ -28,7 +28,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
 use fgcache_types::json::Json;
 use fgcache_types::{AccessEvent, AccessKind, ClientId, FileId, SeqNo, ValidationError};
@@ -51,6 +51,13 @@ pub enum TraceIoError {
     Validation(ValidationError),
     /// JSON (de)serialization failed.
     Json(String),
+    /// The binary format was structurally invalid at a byte offset.
+    Corrupt {
+        /// Byte offset of the malformed construct.
+        offset: u64,
+        /// Explanation of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -62,6 +69,9 @@ impl fmt::Display for TraceIoError {
             }
             TraceIoError::Validation(e) => write!(f, "trace validation failed: {e}"),
             TraceIoError::Json(e) => write!(f, "trace json error: {e}"),
+            TraceIoError::Corrupt { offset, message } => {
+                write!(f, "trace corrupt at byte {offset}: {message}")
+            }
         }
     }
 }
@@ -71,7 +81,9 @@ impl Error for TraceIoError {
         match self {
             TraceIoError::Io(e) => Some(e),
             TraceIoError::Validation(e) => Some(e),
-            TraceIoError::Json(_) | TraceIoError::Parse { .. } => None,
+            TraceIoError::Json(_) | TraceIoError::Parse { .. } | TraceIoError::Corrupt { .. } => {
+                None
+            }
         }
     }
 }
@@ -122,30 +134,20 @@ pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError>
 /// A `&mut` reader can be passed as well, since `Read` is implemented for
 /// mutable references.
 ///
+/// This is a collect-adapter over the streaming
+/// [`TextEvents`](crate::stream::TextEvents) reader — see
+/// [`crate::stream`] for the bounded-memory path.
+///
 /// # Errors
 ///
 /// Returns [`TraceIoError::Parse`] on a malformed line,
 /// [`TraceIoError::Validation`] if the events are out of order, or
 /// [`TraceIoError::Io`] on reader failure.
 pub fn read_text<R: Read>(r: R) -> Result<Trace, TraceIoError> {
-    let reader = BufReader::new(r);
-    let mut events = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        events.push(parse_line(trimmed).map_err(|message| TraceIoError::Parse {
-            line: lineno,
-            message,
-        })?);
-    }
-    Ok(Trace::new(events)?)
+    crate::stream::collect_trace(crate::stream::TraceReader::text(r))
 }
 
-fn parse_line(line: &str) -> Result<AccessEvent, String> {
+pub(crate) fn parse_line(line: &str) -> Result<AccessEvent, String> {
     let mut parts = line.split_ascii_whitespace();
     let seq: u64 = parts
         .next()
@@ -208,71 +210,85 @@ fn kind_from_name(name: &str) -> Result<AccessKind, TraceIoError> {
 ///
 /// Returns [`TraceIoError::Io`] on writer failure.
 pub fn write_json<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
-    let events = trace
-        .events()
-        .iter()
-        .map(|ev| {
-            Json::Obj(vec![
-                ("seq".to_string(), Json::UInt(ev.seq.as_u64())),
-                ("client".to_string(), Json::UInt(ev.client.as_u32().into())),
-                ("file".to_string(), Json::UInt(ev.file.as_u64())),
-                (
-                    "kind".to_string(),
-                    Json::Str(kind_name(ev.kind).to_string()),
-                ),
-            ])
-        })
-        .collect();
+    let events = trace.events().iter().map(event_to_json).collect();
     let doc = Json::Obj(vec![("events".to_string(), Json::Arr(events))]);
     w.write_all(doc.to_text().as_bytes())?;
     Ok(())
 }
 
+/// The JSON object form of one event — shared by [`write_json`] and the
+/// streaming [`JsonSink`](crate::stream::JsonSink) so their output cannot
+/// diverge.
+pub(crate) fn event_to_json(ev: &AccessEvent) -> Json {
+    Json::Obj(vec![
+        ("seq".to_string(), Json::UInt(ev.seq.as_u64())),
+        ("client".to_string(), Json::UInt(ev.client.as_u32().into())),
+        ("file".to_string(), Json::UInt(ev.file.as_u64())),
+        (
+            "kind".to_string(),
+            Json::Str(kind_name(ev.kind).to_string()),
+        ),
+    ])
+}
+
+/// Decodes one event from its JSON object form (`i` is the 0-based event
+/// index, used only in error messages) — shared by the materialized and
+/// streaming JSON readers.
+pub(crate) fn event_from_json(i: usize, ev: &Json) -> Result<AccessEvent, TraceIoError> {
+    let field = |name: &str| -> Result<u64, TraceIoError> {
+        ev.get(name).and_then(Json::as_u64).ok_or_else(|| {
+            TraceIoError::Json(format!("event {i}: missing or non-integer {name:?}"))
+        })
+    };
+    let seq = field("seq")?;
+    let client = field("client")?;
+    let client = u32::try_from(client)
+        .map_err(|_| TraceIoError::Json(format!("event {i}: client {client} exceeds u32 range")))?;
+    let file = field("file")?;
+    let kind = ev
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| TraceIoError::Json(format!("event {i}: missing \"kind\"")))
+        .and_then(kind_from_name)?;
+    Ok(AccessEvent::new(
+        SeqNo(seq),
+        ClientId(client),
+        FileId(file),
+        kind,
+    ))
+}
+
 /// Deserializes a trace from the JSON format written by [`write_json`].
+///
+/// This is a collect-adapter over the streaming
+/// [`JsonEvents`](crate::stream::JsonEvents) reader — see
+/// [`crate::stream`] for the bounded-memory path.
 ///
 /// # Errors
 ///
 /// Returns [`TraceIoError::Json`] if the input is not a valid trace
 /// document, [`TraceIoError::Validation`] if the events are out of order,
 /// or [`TraceIoError::Io`] on reader failure.
-pub fn read_json<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
-    let mut text = String::new();
-    r.read_to_string(&mut text)?;
-    let doc = Json::parse(&text)?;
-    let events = doc
-        .get("events")
-        .and_then(Json::as_array)
-        .ok_or_else(|| TraceIoError::Json("missing \"events\" array".to_string()))?;
-    let mut out = Vec::with_capacity(events.len());
-    for (i, ev) in events.iter().enumerate() {
-        let field = |name: &str| -> Result<u64, TraceIoError> {
-            ev.get(name).and_then(Json::as_u64).ok_or_else(|| {
-                TraceIoError::Json(format!("event {i}: missing or non-integer {name:?}"))
-            })
-        };
-        let seq = field("seq")?;
-        let client = field("client")?;
-        let client = u32::try_from(client).map_err(|_| {
-            TraceIoError::Json(format!("event {i}: client {client} exceeds u32 range"))
-        })?;
-        let file = field("file")?;
-        let kind = ev
-            .get("kind")
-            .and_then(Json::as_str)
-            .ok_or_else(|| TraceIoError::Json(format!("event {i}: missing \"kind\"")))
-            .and_then(kind_from_name)?;
-        out.push(AccessEvent::new(
-            SeqNo(seq),
-            ClientId(client),
-            FileId(file),
-            kind,
-        ));
-    }
-    Ok(Trace::new(out)?)
+pub fn read_json<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    crate::stream::collect_trace(crate::stream::TraceReader::json(r))
 }
 
 /// Magic bytes opening the binary trace format.
-const BINARY_MAGIC: &[u8; 8] = b"FGTRACE1";
+pub(crate) const BINARY_MAGIC: &[u8; 8] = b"FGTRACE1";
+
+/// Writes the fixed-width little-endian record of one event — shared by
+/// [`write_binary`] and the streaming
+/// [`BinarySink`](crate::stream::BinarySink).
+pub(crate) fn write_binary_record<W: Write>(
+    w: &mut W,
+    ev: &AccessEvent,
+) -> Result<(), TraceIoError> {
+    w.write_all(&ev.seq.as_u64().to_le_bytes())?;
+    w.write_all(&ev.client.as_u32().to_le_bytes())?;
+    w.write_all(&[ev.kind.code() as u8])?;
+    w.write_all(&ev.file.as_u64().to_le_bytes())?;
+    Ok(())
+}
 
 /// Writes `trace` in the compact binary format: an 8-byte magic, a u64
 /// event count, then fixed-width little-endian records of
@@ -287,55 +303,27 @@ pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoErro
     w.write_all(BINARY_MAGIC)?;
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
     for ev in trace.events() {
-        w.write_all(&ev.seq.as_u64().to_le_bytes())?;
-        w.write_all(&ev.client.as_u32().to_le_bytes())?;
-        w.write_all(&[ev.kind.code() as u8])?;
-        w.write_all(&ev.file.as_u64().to_le_bytes())?;
+        write_binary_record(&mut w, ev)?;
     }
     Ok(())
 }
 
 /// Reads a trace in the binary format produced by [`write_binary`].
 ///
+/// This is a collect-adapter over the streaming
+/// [`BinaryEvents`](crate::stream::BinaryEvents) reader — see
+/// [`crate::stream`] for the bounded-memory path. Records arrive one at a
+/// time, so a corrupt header's record count can never drive a huge
+/// allocation; truncation and trailing garbage are rejected with the
+/// exact byte offset.
+///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Parse`] if the magic or any record is
-/// malformed, [`TraceIoError::Validation`] if the events are out of
+/// Returns [`TraceIoError::Corrupt`] if the magic, header or any record
+/// is malformed, [`TraceIoError::Validation`] if the events are out of
 /// order, or [`TraceIoError::Io`] on reader failure.
-pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
-    fn bad(message: impl Into<String>) -> TraceIoError {
-        TraceIoError::Parse {
-            line: 0,
-            message: message.into(),
-        }
-    }
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
-        return Err(bad("bad magic: not an fgcache binary trace"));
-    }
-    let mut count_buf = [0u8; 8];
-    r.read_exact(&mut count_buf)?;
-    let count = u64::from_le_bytes(count_buf);
-    // Guard against absurd allocations from a corrupt header.
-    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
-    let mut record = [0u8; 21];
-    for i in 0..count {
-        r.read_exact(&mut record)
-            .map_err(|e| bad(format!("truncated record {i}: {e}")))?;
-        let seq = u64::from_le_bytes(record[0..8].try_into().expect("slice is 8 bytes"));
-        let client = u32::from_le_bytes(record[8..12].try_into().expect("slice is 4 bytes"));
-        let kind = AccessKind::from_code(record[12] as char)
-            .map_err(|e| bad(format!("record {i}: {e}")))?;
-        let file = u64::from_le_bytes(record[13..21].try_into().expect("slice is 8 bytes"));
-        events.push(AccessEvent::new(
-            SeqNo(seq),
-            ClientId(client),
-            FileId(file),
-            kind,
-        ));
-    }
-    Ok(Trace::new(events)?)
+pub fn read_binary<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    crate::stream::collect_trace(crate::stream::TraceReader::binary(r))
 }
 
 #[cfg(test)]

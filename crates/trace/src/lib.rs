@@ -41,8 +41,10 @@ use std::fmt;
 
 use fgcache_types::{AccessEvent, ClientId, FileId, SeqNo, ValidationError};
 
+pub mod convert;
 pub mod io;
 pub mod stats;
+pub mod stream;
 pub mod synth;
 
 /// A validated, in-memory access trace.

@@ -4,9 +4,9 @@
 //! characterisation: event volume, unique-file counts, access-kind mix,
 //! repeat behaviour and popularity skew.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use fgcache_types::{AccessKind, FileId};
+use fgcache_types::{AccessEvent, AccessKind, ClientId, FileId};
 
 use crate::Trace;
 
@@ -49,52 +49,14 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
-    /// Computes statistics for `trace` in a single pass.
+    /// Computes statistics for `trace` in a single pass (a
+    /// [`TraceStatsBuilder`] fed from the in-memory events).
     pub fn compute(trace: &Trace) -> Self {
-        let mut counts: HashMap<FileId, usize> = HashMap::new();
-        let mut reads = 0;
-        let mut writes = 0;
-        let mut creates = 0;
-        let mut deletes = 0;
-        let mut repeat_accesses = 0;
+        let mut builder = TraceStatsBuilder::new();
         for ev in trace.events() {
-            match ev.kind {
-                AccessKind::Read => reads += 1,
-                AccessKind::Write => writes += 1,
-                AccessKind::Create => creates += 1,
-                AccessKind::Delete => deletes += 1,
-            }
-            let c = counts.entry(ev.file).or_insert(0);
-            if *c > 0 {
-                repeat_accesses += 1;
-            }
-            *c += 1;
+            builder.push(ev);
         }
-        let unique_files = counts.len();
-        let singleton_files = counts.values().filter(|&&c| c == 1).count();
-        let max_file_accesses = counts.values().copied().max().unwrap_or(0);
-        let top_percent_share = if trace.is_empty() || unique_files == 0 {
-            0.0
-        } else {
-            let mut sorted: Vec<usize> = counts.values().copied().collect();
-            sorted.sort_unstable_by(|a, b| b.cmp(a));
-            let top_k = (unique_files.div_ceil(100)).max(1);
-            let top: usize = sorted.iter().take(top_k).sum();
-            top as f64 / trace.len() as f64
-        };
-        TraceStats {
-            events: trace.len(),
-            unique_files,
-            clients: trace.clients().len(),
-            reads,
-            writes,
-            creates,
-            deletes,
-            repeat_accesses,
-            max_file_accesses,
-            top_percent_share,
-            singleton_files,
-        }
+        builder.finish()
     }
 
     /// Fraction of events that re-access an already-seen file; 0 for an
@@ -136,11 +98,102 @@ impl TraceStats {
     }
 }
 
+/// Incremental computation of [`TraceStats`] from an event stream.
+///
+/// The streaming twin of [`TraceStats::compute`] for traces too large to
+/// hold in memory: feed events one at a time with
+/// [`push`](TraceStatsBuilder::push), then call
+/// [`finish`](TraceStatsBuilder::finish). Memory is bounded by the number
+/// of *distinct* files and clients, never by the trace length, and the
+/// resulting statistics are identical to the materialized computation.
+///
+/// ```
+/// use fgcache_trace::stats::{TraceStats, TraceStatsBuilder};
+/// use fgcache_trace::Trace;
+///
+/// let t = Trace::from_files([1, 2, 1, 1]);
+/// let mut b = TraceStatsBuilder::new();
+/// for ev in t.events() {
+///     b.push(ev);
+/// }
+/// assert_eq!(b.finish(), TraceStats::compute(&t));
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceStatsBuilder {
+    counts: HashMap<FileId, usize>,
+    clients: HashSet<ClientId>,
+    events: usize,
+    reads: usize,
+    writes: usize,
+    creates: usize,
+    deletes: usize,
+    repeat_accesses: usize,
+}
+
+impl TraceStatsBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TraceStatsBuilder::default()
+    }
+
+    /// Number of events pushed so far.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Accumulates one event.
+    pub fn push(&mut self, ev: &AccessEvent) {
+        self.events += 1;
+        match ev.kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+            AccessKind::Create => self.creates += 1,
+            AccessKind::Delete => self.deletes += 1,
+        }
+        self.clients.insert(ev.client);
+        let c = self.counts.entry(ev.file).or_insert(0);
+        if *c > 0 {
+            self.repeat_accesses += 1;
+        }
+        *c += 1;
+    }
+
+    /// Finalises the popularity-ranking statistics and returns the
+    /// summary.
+    pub fn finish(self) -> TraceStats {
+        let unique_files = self.counts.len();
+        let singleton_files = self.counts.values().filter(|&&c| c == 1).count();
+        let max_file_accesses = self.counts.values().copied().max().unwrap_or(0);
+        let top_percent_share = if self.events == 0 || unique_files == 0 {
+            0.0
+        } else {
+            let mut sorted: Vec<usize> = self.counts.values().copied().collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let top_k = (unique_files.div_ceil(100)).max(1);
+            let top: usize = sorted.iter().take(top_k).sum();
+            top as f64 / self.events as f64
+        };
+        TraceStats {
+            events: self.events,
+            unique_files,
+            clients: self.clients.len(),
+            reads: self.reads,
+            writes: self.writes,
+            creates: self.creates,
+            deletes: self.deletes,
+            repeat_accesses: self.repeat_accesses,
+            max_file_accesses,
+            top_percent_share,
+            singleton_files,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::synth::{SynthConfig, WorkloadProfile};
-    use fgcache_types::{AccessEvent, ClientId, SeqNo};
+    use fgcache_types::SeqNo;
 
     #[test]
     fn empty_trace() {
@@ -227,5 +280,31 @@ mod tests {
     fn report_is_nonempty() {
         let s = TraceStats::compute(&Trace::from_files([1, 2]));
         assert!(s.report().contains("events 2"));
+    }
+
+    #[test]
+    fn builder_matches_compute_on_synthetic_workloads() {
+        for p in WorkloadProfile::ALL {
+            let t = SynthConfig::profile(p)
+                .events(5_000)
+                .seed(9)
+                .build()
+                .unwrap()
+                .generate();
+            let mut b = TraceStatsBuilder::new();
+            for ev in t.events() {
+                b.push(ev);
+            }
+            assert_eq!(b.events(), 5_000);
+            assert_eq!(b.finish(), TraceStats::compute(&t));
+        }
+    }
+
+    #[test]
+    fn empty_builder_matches_empty_compute() {
+        assert_eq!(
+            TraceStatsBuilder::new().finish(),
+            TraceStats::compute(&Trace::default())
+        );
     }
 }

@@ -5,6 +5,7 @@
 //! randomized inputs from the in-repo [`SeededRng`] with fixed seeds: every
 //! run explores exactly the same inputs, and a failure reproduces by seed.
 
+use fgcache_trace::stream::{collect_trace, TraceReader, TraceSink};
 use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
 use fgcache_trace::{io, stats::TraceStats, Trace};
 use fgcache_types::rng::RandomSource;
@@ -71,6 +72,70 @@ fn json_io_roundtrips() {
             io::write_json(&trace, &mut buf).unwrap();
             let back = io::read_json(buf.as_slice()).unwrap();
             assert_eq!(back, trace, "json roundtrip failed for seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn streaming_readers_match_materialized_readers() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for _ in 0..16 {
+            let trace = Trace::new(random_events(&mut rng)).unwrap();
+
+            let mut text = Vec::new();
+            io::write_text(&trace, &mut text).unwrap();
+            let streamed: Vec<AccessEvent> = TraceReader::text(text.as_slice())
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(streamed, trace.events(), "text stream, seed {seed}");
+
+            let mut json = Vec::new();
+            io::write_json(&trace, &mut json).unwrap();
+            let streamed: Vec<AccessEvent> = TraceReader::json(json.as_slice())
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(streamed, trace.events(), "json stream, seed {seed}");
+
+            let mut bin = Vec::new();
+            io::write_binary(&trace, &mut bin).unwrap();
+            let streamed: Vec<AccessEvent> =
+                TraceReader::binary_with_len(bin.as_slice(), bin.len() as u64)
+                    .map(|r| r.unwrap())
+                    .collect();
+            assert_eq!(streamed, trace.events(), "binary stream, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn streaming_sinks_roundtrip_through_streaming_readers() {
+    for seed in SEEDS {
+        let mut rng = SeededRng::new(seed);
+        for _ in 0..8 {
+            let trace = Trace::new(random_events(&mut rng)).unwrap();
+            let make = |mut sink: TraceSink<std::io::Cursor<Vec<u8>>>| {
+                for ev in trace.events() {
+                    sink.push(ev).unwrap();
+                }
+                sink.finish().unwrap().into_inner()
+            };
+
+            let text = make(TraceSink::text(std::io::Cursor::new(Vec::new())).unwrap());
+            let back = collect_trace(TraceReader::text(text.as_slice())).unwrap();
+            assert_eq!(back, trace, "text sink roundtrip, seed {seed}");
+
+            let json = make(TraceSink::json(std::io::Cursor::new(Vec::new())).unwrap());
+            let back = collect_trace(TraceReader::json(json.as_slice())).unwrap();
+            assert_eq!(back, trace, "json sink roundtrip, seed {seed}");
+
+            let bin = make(TraceSink::binary(std::io::Cursor::new(Vec::new())).unwrap());
+            let back = collect_trace(TraceReader::binary_with_len(
+                bin.as_slice(),
+                bin.len() as u64,
+            ))
+            .unwrap();
+            assert_eq!(back, trace, "binary sink roundtrip, seed {seed}");
         }
     }
 }

@@ -48,6 +48,15 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Maximum container nesting depth [`Json::parse`] accepts.
+///
+/// The parser recurses one Rust stack frame per container level, so a
+/// hostile document — ten thousand opening brackets — would otherwise
+/// chew through the real stack before failing. The depth counter turns
+/// that into a clean [`JsonParseError`] after 128 levels, far beyond
+/// anything the workspace's formats nest (trace documents use 3).
+pub const MAX_DEPTH: usize = 128;
+
 /// Error produced when [`Json::parse`] rejects malformed input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonParseError {
@@ -177,6 +186,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.parse_value()?;
@@ -227,6 +237,7 @@ fn write_escaped(s: &str, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -279,12 +290,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the container depth, rejecting documents nested deeper than
+    /// [`MAX_DEPTH`]. Callers pair it with a decrement on their success
+    /// paths; an error aborts the whole parse, so unwinding is moot.
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn parse_object(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -300,6 +324,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.error("expected ',' or '}' in object")),
@@ -309,10 +334,12 @@ impl<'a> Parser<'a> {
 
     fn parse_array(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -323,6 +350,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.error("expected ',' or ']' in array")),
@@ -565,6 +593,37 @@ mod tests {
         let err = Json::parse("[1, x]").unwrap_err();
         assert_eq!(err.offset, 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn nesting_depth_is_limited() {
+        // Hostile inputs: huge bracket runs must fail cleanly, not blow
+        // the stack. Both pure arrays and alternating object nesting.
+        let deep_arrays = "[".repeat(100_000);
+        let err = Json::parse(&deep_arrays).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // The offending '[' sits at byte index MAX_DEPTH and is consumed
+        // before the depth check fires, so the error points just past it.
+        assert_eq!(err.offset, MAX_DEPTH + 1, "fails at the first too-deep '['");
+        let deep_mixed: String = "{\"k\":[".repeat(50_000);
+        assert!(Json::parse(&deep_mixed).is_err());
+    }
+
+    #[test]
+    fn depth_at_the_limit_is_accepted() {
+        // Exactly MAX_DEPTH nested arrays parse; one more does not.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn depth_resets_between_siblings() {
+        // Depth counts nesting, not total containers: many shallow
+        // siblings stay parseable.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

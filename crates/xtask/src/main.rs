@@ -125,10 +125,11 @@ fn lint(root: &Path) -> ExitCode {
 const FUZZ_SEEDS: &str = "0xfeedface,0xbadc0ffe,1,42,20020702";
 
 /// Runs the differential fuzzers over [`FUZZ_SEEDS`]: the sharded
-/// aggregating-cache composition suite (which reads `FGCACHE_FUZZ_SEEDS`)
-/// and the policy + two-level suite (fixed internal seeds).
+/// aggregating-cache composition suite and the trace malformed-input
+/// suite (both read `FGCACHE_FUZZ_SEEDS`), plus the policy + two-level
+/// suite (fixed internal seeds).
 fn fuzz(root: &Path) -> ExitCode {
-    let suites: [(&str, &[&str]); 2] = [
+    let suites: [(&str, &[&str]); 3] = [
         (
             "sharded composition fuzzer",
             &[
@@ -150,6 +151,10 @@ fn fuzz(root: &Path) -> ExitCode {
                 "--test",
                 "differential",
             ],
+        ),
+        (
+            "trace malformed-input fuzzer",
+            &["test", "-q", "-p", "fgcache-trace", "--test", "malformed"],
         ),
     ];
     for (label, cargo_args) in suites {
