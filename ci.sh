@@ -1,7 +1,19 @@
 #!/usr/bin/env sh
 # The canonical local quality gate. Every step must pass before a push;
 # the same sequence is available as `cargo run -p xtask -- ci`.
+#
+# Flags:
+#   --miri   also run the nightly Miri job (visibly skipped when the
+#            nightly Miri toolchain is not installed on this host).
 set -eu
+
+run_miri=0
+for arg in "$@"; do
+    case "$arg" in
+        --miri) run_miri=1 ;;
+        *) echo "ci.sh: unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -12,11 +24,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo run -p xtask -- lint"
 cargo run -p xtask -- lint
 
+echo "==> cargo run -p xtask -- analyze (atomics / lock-discipline gate)"
+cargo run -p xtask -- analyze
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> model checker: cargo test -q -p fgcache-types --features fgcache_model"
+cargo test -q -p fgcache-types --features fgcache_model
+
+echo "==> model checker: cargo test -q -p fgcache-core --features fgcache_model --lib"
+cargo test -q -p fgcache-core --features fgcache_model --lib
 
 echo "==> loopback smoke: bench-net differential check (byte-exact vs in-process)"
 ./target/release/fgcache bench-net --loopback true --clients 2 --events 2000 \
@@ -27,5 +48,15 @@ cargo run -p xtask -- bench-smoke
 
 echo "==> cargo run -p xtask -- fuzz"
 cargo run -p xtask -- fuzz
+
+if [ "$run_miri" -eq 1 ]; then
+    if cargo +nightly miri --version >/dev/null 2>&1; then
+        echo "==> miri: cargo +nightly miri test -q -p fgcache-types --lib"
+        cargo +nightly miri test -q -p fgcache-types --lib
+    else
+        echo "==> miri: SKIPPED — nightly Miri is not installed on this host"
+        echo "    (install with: rustup toolchain install nightly --component miri)"
+    fi
+fi
 
 echo "ci.sh: all steps passed"

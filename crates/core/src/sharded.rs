@@ -57,8 +57,9 @@
 //! # }
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use fgcache_types::sync::{AtomicU64, Ordering};
 
 use fgcache_cache::{Cache as _, CacheStats};
 use fgcache_types::hash::mix64;
@@ -128,7 +129,7 @@ impl TouchRing {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        slot.value.store(value, Ordering::Relaxed);
+                        slot.value.store(value, Ordering::Release);
                         // Publishes the value: the consumer's Acquire load
                         // of seq observes this Release store.
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
@@ -152,7 +153,7 @@ impl TouchRing {
         let slot = &self.slots[(pos & self.mask) as usize];
         let seq = slot.seq.load(Ordering::Acquire);
         if seq == pos.wrapping_add(1) {
-            let value = slot.value.load(Ordering::Relaxed);
+            let value = slot.value.load(Ordering::Acquire);
             // Free the slot for the producer one lap ahead.
             slot.seq
                 .store(pos.wrapping_add(self.slots.len() as u64), Ordering::Release);
@@ -209,10 +210,6 @@ struct ResidencyIndex {
 }
 
 impl ResidencyIndex {
-    /// Largest id the packed slot layout can represent (48 bits). Files
-    /// with larger ids always take the locked path.
-    const MAX_INDEXABLE: u64 = ID_MASK;
-
     fn new(capacity: usize) -> Self {
         // ≤ 25% load factor keeps linear-probe chains short even when
         // the shard is full; 8 bytes/slot keeps this cheap (a shard of
@@ -227,10 +224,9 @@ impl ResidencyIndex {
 
     /// Lock-free membership probe.
     fn contains(&self, file: FileId) -> bool {
-        let id = file.as_u64();
-        if id > Self::MAX_INDEXABLE {
+        let Some(id) = file.packed48() else {
             return false;
-        }
+        };
         let mut pos = mix64(id) as usize & self.mask;
         for _ in 0..self.slots.len() {
             let word = self.slots[pos].load(Ordering::Acquire);
@@ -246,17 +242,16 @@ impl ResidencyIndex {
     }
 
     /// Inserts `file` (caller holds the shard lock; `file` must not be
-    /// present). Ids beyond [`Self::MAX_INDEXABLE`] are ignored — such
+    /// present). Ids beyond [`FileId::MAX_PACKED48`] are ignored — such
     /// files simply never take the fast path.
     fn insert(&self, file: FileId) {
-        let id = file.as_u64();
-        if id > Self::MAX_INDEXABLE {
+        let Some(id) = file.packed48() else {
             return;
-        }
+        };
         let mut pos = mix64(id) as usize & self.mask;
         let mut reuse = None;
         for _ in 0..self.slots.len() {
-            let word = self.slots[pos].load(Ordering::Relaxed);
+            let word = self.slots[pos].load(Ordering::Acquire);
             if word == SLOT_EMPTY {
                 break;
             }
@@ -269,7 +264,7 @@ impl ResidencyIndex {
             pos = (pos + 1) & self.mask;
         }
         let target = reuse.unwrap_or(pos);
-        let old = self.slots[target].load(Ordering::Relaxed);
+        let old = self.slots[target].load(Ordering::Acquire);
         if old & TAG_MASK == TAG_TOMBSTONE {
             self.tombstones.fetch_sub(1, Ordering::Relaxed);
         }
@@ -280,13 +275,12 @@ impl ResidencyIndex {
     /// Removes `file` (caller holds the shard lock). Leaves a tombstone
     /// carrying the next generation so readers keep probing past it.
     fn remove(&self, file: FileId) {
-        let id = file.as_u64();
-        if id > Self::MAX_INDEXABLE {
+        let Some(id) = file.packed48() else {
             return;
-        }
+        };
         let mut pos = mix64(id) as usize & self.mask;
         for _ in 0..self.slots.len() {
-            let word = self.slots[pos].load(Ordering::Relaxed);
+            let word = self.slots[pos].load(Ordering::Acquire);
             if word == SLOT_EMPTY {
                 return;
             }
@@ -330,7 +324,7 @@ impl ResidencyIndex {
     fn occupied_ids(&self) -> Vec<FileId> {
         self.slots
             .iter()
-            .map(|s| s.load(Ordering::Relaxed))
+            .map(|s| s.load(Ordering::Acquire))
             .filter(|w| w & TAG_MASK == TAG_OCCUPIED)
             .map(|w| FileId(w & ID_MASK))
             .collect()
@@ -369,6 +363,87 @@ pub fn partition_capacities(total: usize, shards: usize) -> Vec<usize> {
     (0..shards.max(1))
         .map(|i| base + usize::from(i < rem))
         .collect()
+}
+
+/// Debug-build witness for the shard-lock ordering discipline: a thread
+/// holding several shard locks of one cache must have acquired them in
+/// ascending shard order (deadlock freedom for [`ShardedAggregatingCache::snapshot`]
+/// and any future multi-shard operation). Every acquisition routes
+/// through [`ShardGuard`], which records the `(cache, shard)` pair in a
+/// thread-local stack and `debug_assert`s the ordering before blocking
+/// on the mutex. Release builds compile all of this away.
+#[cfg(debug_assertions)]
+mod lock_witness {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// `(cache identity, shard index)` pairs this thread holds.
+        static HELD: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records acquiring shard `idx` of the cache identified by `cache`;
+    /// panics if this thread already holds a shard of the same cache
+    /// whose index is not strictly below `idx`.
+    pub(super) fn acquire(cache: usize, idx: usize) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            let worst = held
+                .iter()
+                .filter(|&&(c, _)| c == cache)
+                .map(|&(_, i)| i)
+                .max();
+            if let Some(worst) = worst {
+                debug_assert!(
+                    worst < idx,
+                    "lock-order violation: acquiring shard {idx} while holding shard {worst} \
+                     (shard locks must be taken in ascending order)"
+                );
+            }
+            held.push((cache, idx));
+        });
+    }
+
+    /// Records releasing shard `idx` of cache `cache`.
+    pub(super) fn release(cache: usize, idx: usize) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            let pos = held
+                .iter()
+                .rposition(|&e| e == (cache, idx))
+                .expect("releasing a shard lock the witness never saw acquired");
+            held.remove(pos);
+        });
+    }
+}
+
+/// RAII guard over one shard's cache mutex. Dereferences to the locked
+/// [`AggregatingCache`] and keeps the debug-build lock-order witness in
+/// sync with the guard's lifetime.
+struct ShardGuard<'a> {
+    guard: std::sync::MutexGuard<'a, AggregatingCache>,
+    #[cfg(debug_assertions)]
+    witness: (usize, usize),
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = AggregatingCache;
+
+    fn deref(&self) -> &AggregatingCache {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut AggregatingCache {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        lock_witness::release(self.witness.0, self.witness.1);
+    }
 }
 
 /// A hash-partitioned aggregating cache safe for concurrent clients.
@@ -489,13 +564,22 @@ impl ShardedAggregatingCache {
     /// entry point routes through here, so deferred fast-path hits are
     /// always applied — in FIFO order, exactly as the eager path would
     /// have — before any locked work observes the shard.
-    fn shard(&self, i: usize) -> std::sync::MutexGuard<'_, AggregatingCache> {
+    fn shard(&self, i: usize) -> ShardGuard<'_> {
         let shard = &self.shards[i];
         shard.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
-        let mut guard = shard
-            .cache
-            .lock()
-            .expect("a shard panicked while holding its lock");
+        // Witness before blocking: an out-of-order acquisition is
+        // reported as the discipline violation it is, not as the
+        // deadlock it may eventually cause.
+        #[cfg(debug_assertions)]
+        lock_witness::acquire(self.shards.as_ptr() as usize, i);
+        let mut guard = ShardGuard {
+            guard: shard
+                .cache
+                .lock()
+                .expect("a shard panicked while holding its lock"),
+            #[cfg(debug_assertions)]
+            witness: (self.shards.as_ptr() as usize, i),
+        };
         if self.fast_path {
             while let Some(raw) = shard.ring.pop() {
                 guard.apply_touch(FileId(raw));
@@ -738,7 +822,7 @@ impl ShardedAggregatingCache {
                 }
                 let mut indexable = 0usize;
                 for file in guard.residents() {
-                    if file.as_u64() <= ResidencyIndex::MAX_INDEXABLE {
+                    if file.packed48().is_some() {
                         indexable += 1;
                         if !shard.index.contains(file) {
                             return err(format!(
@@ -904,6 +988,53 @@ mod tests {
             .group_size(3)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn snapshot_and_invariants_respect_lock_order() {
+        let c = sharded(64, 4);
+        for i in 0..200 {
+            c.handle_access(FileId(i));
+        }
+        // snapshot() holds all four shard locks at once (ascending);
+        // check_invariants() takes them one at a time. Both leave the
+        // witness stack empty, so back-to-back passes keep working.
+        let snap = c.snapshot();
+        assert_eq!(snap.len, c.len());
+        c.check_invariants().unwrap();
+        let _ = c.snapshot();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_snapshots_are_deadlock_free() {
+        let c = std::sync::Arc::new(sharded(64, 4));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    c.handle_access(FileId(t * 1000 + i));
+                    if i % 50 == 0 {
+                        let _ = c.snapshot();
+                        c.check_invariants().unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order violation")]
+    fn descending_shard_acquisition_is_caught() {
+        let c = sharded(64, 4);
+        let _held = c.shard(1);
+        let _violation = c.shard(0); // descending: the witness must fire
     }
 
     #[test]
@@ -1141,7 +1272,7 @@ mod tests {
     #[test]
     fn unindexable_ids_bypass_the_fast_path() {
         let c = sharded(40, 1);
-        let huge = FileId(u64::MAX - 3); // above MAX_INDEXABLE
+        let huge = FileId(u64::MAX - 3); // above FileId::MAX_PACKED48
         c.handle_access(huge);
         let locks_before = c.lock_acquisitions();
         for _ in 0..5 {
@@ -1221,5 +1352,312 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, 8000);
         assert!(c.fast_path_hits() > 0);
         c.check_invariants().unwrap();
+    }
+}
+
+/// Deterministic interleaving scenarios for the lock-free fast path,
+/// explored under the `fgcache_model` shadow-memory runtime (see
+/// `fgcache_types::sync::model` and DESIGN.md §14). Each test rebuilds
+/// the structures inside the scenario closure so every explored
+/// schedule starts from identical state.
+#[cfg(all(test, feature = "fgcache_model"))]
+mod model_tests {
+    use super::*;
+    use fgcache_types::sync::model::{explore, ModelMutex, ModelOptions, Scope};
+    use std::sync::Mutex as LogMutex;
+
+    fn opts() -> ModelOptions {
+        ModelOptions::default()
+    }
+
+    /// Three distinct ids whose SplitMix64 hashes land in the same
+    /// bucket of a 16-slot table, so probe chains cross each other.
+    fn colliding_triple(mask: usize) -> (u64, u64, u64) {
+        let mut buckets: std::collections::HashMap<usize, Vec<u64>> = Default::default();
+        for id in 1..4096u64 {
+            let b = buckets.entry(mix64(id) as usize & mask).or_default();
+            b.push(id);
+            if b.len() == 3 {
+                return (b[0], b[1], b[2]);
+            }
+        }
+        unreachable!("4096 ids over {} buckets must collide", mask + 1)
+    }
+
+    /// Scenario (a): a fast-path reader racing a locked eviction of the
+    /// same id. The reader may transiently false-miss (it would then
+    /// take the locked path), but every touch it does enqueue is drained
+    /// exactly once — by the evictor or by the post-join sweep — and the
+    /// eviction is visible once the lock is released.
+    #[test]
+    fn model_fast_hit_races_locked_eviction() {
+        let report = explore(&opts(), |scope: &Scope| {
+            let index = ResidencyIndex::new(1);
+            let ring = TouchRing::new(2);
+            index.insert(FileId(7));
+            let residents = ModelMutex::new(vec![7u64]);
+            let pushed = LogMutex::new(Vec::new());
+            let drained = LogMutex::new(Vec::new());
+            let reader = || {
+                if index.contains(FileId(7)) && ring.push(7) {
+                    pushed.lock().expect("push log").push(7u64);
+                }
+            };
+            let evictor = || {
+                let mut resident = residents.lock();
+                while let Some(v) = ring.pop() {
+                    drained.lock().expect("drain log").push(v);
+                }
+                resident.retain(|&v| v != 7);
+                index.remove(FileId(7));
+            };
+            scope.threads(&[&reader, &evictor]);
+            assert!(
+                !index.contains(FileId(7)),
+                "eviction must be visible after the lock is released"
+            );
+            assert!(residents.lock().is_empty());
+            let mut all_drained = drained.lock().expect("drain log").clone();
+            while let Some(v) = ring.pop() {
+                all_drained.push(v); // detached touch left for the next drain
+            }
+            let pushed = pushed.lock().expect("push log").clone();
+            assert_eq!(
+                pushed, all_drained,
+                "every enqueued touch is drained exactly once, none lost"
+            );
+        });
+        assert!(report.schedules > 1, "scenario must actually interleave");
+    }
+
+    /// Scenario (b): the ring-full fallback racing the drain. A producer
+    /// hitting a full ring takes the locked path (drain, then apply
+    /// directly) while another thread drains under the same lock; every
+    /// touch is applied exactly once regardless of interleaving.
+    #[test]
+    fn model_ring_full_fallback_races_drain() {
+        explore(&opts(), |scope: &Scope| {
+            let ring = TouchRing::new(2);
+            assert!(ring.push(1) && ring.push(2), "setup fills the ring");
+            let applied = ModelMutex::new(Vec::<u64>::new());
+            let producer = || {
+                if !ring.push(3) {
+                    // Full: locked fallback drains first, then applies
+                    // the touch directly (mirrors handle_access).
+                    let mut log = applied.lock();
+                    while let Some(v) = ring.pop() {
+                        log.push(v);
+                    }
+                    log.push(3);
+                }
+            };
+            let drainer = || {
+                let mut log = applied.lock();
+                while let Some(v) = ring.pop() {
+                    log.push(v);
+                }
+            };
+            scope.threads(&[&producer, &drainer]);
+            let mut log = applied.lock().clone();
+            while let Some(v) = ring.pop() {
+                log.push(v); // push(3) won the race; still enqueued
+            }
+            log.sort_unstable();
+            assert_eq!(log, vec![1, 2, 3], "no touch lost or duplicated");
+        });
+    }
+
+    /// Scenario (c): generation-tag reuse across a tombstone rebuild. A
+    /// reader probes for an id that was never inserted while its bucket
+    /// neighbours go occupied → tombstone → reused-with-bumped-generation
+    /// → rebuilt. The reader must keep probing past tombstones and can
+    /// never false-hit the reused slot.
+    #[test]
+    fn model_generation_reuse_across_tombstone_rebuild() {
+        let opts = ModelOptions {
+            max_schedules: 500_000,
+            ..ModelOptions::default()
+        };
+        let index_for_mask = ResidencyIndex::new(1);
+        let (x, y, z) = colliding_triple(index_for_mask.mask);
+        explore(&opts, |scope: &Scope| {
+            let index = ResidencyIndex::new(1);
+            index.insert(FileId(x));
+            let lock = ModelMutex::new(());
+            let reader = || {
+                assert!(
+                    !index.contains(FileId(z)),
+                    "never-inserted id must never false-hit"
+                );
+                // Stale true and fresh false are both legal here.
+                let _ = index.contains(FileId(x));
+                assert!(!index.contains(FileId(z)));
+            };
+            let writer = || {
+                let _guard = lock.lock();
+                index.remove(FileId(x)); // tombstone, generation bumped
+                index.insert(FileId(y)); // reuses the tombstone slot
+                index.rebuild(std::iter::once(FileId(y)));
+            };
+            scope.threads(&[&reader, &writer]);
+            assert!(!index.contains(FileId(x)));
+            assert!(index.contains(FileId(y)));
+            assert!(!index.contains(FileId(z)));
+            assert_eq!(index.tombstones.load(Ordering::Relaxed), 0);
+        });
+    }
+
+    /// Scenario (d): the miss path applies removals (evicted set) before
+    /// insertions (fetched set), so an id in both sets — evicted and
+    /// immediately refetched — stays resident, and a reader never
+    /// false-misses an id that was untouched the whole time.
+    #[test]
+    fn model_removals_before_insertions_on_overlap() {
+        explore(&opts(), |scope: &Scope| {
+            let index = ResidencyIndex::new(1);
+            index.insert(FileId(1)); // untouched resident
+            index.insert(FileId(2)); // evicted and refetched (overlap)
+            let lock = ModelMutex::new(());
+            let miss_path = || {
+                let _guard = lock.lock();
+                index.remove(FileId(2));
+                index.insert(FileId(2));
+                index.insert(FileId(3));
+            };
+            let reader = || {
+                assert!(
+                    index.contains(FileId(1)),
+                    "id outside both sets never false-misses"
+                );
+                // Overlap id and freshly fetched id: transient misses
+                // are legal, false-hits of absent state are not.
+                let _ = index.contains(FileId(2));
+                let _ = index.contains(FileId(3));
+            };
+            scope.threads(&[&miss_path, &reader]);
+            assert!(index.contains(FileId(1)));
+            assert!(
+                index.contains(FileId(2)),
+                "overlapping evict+fetch must stay resident"
+            );
+            assert!(index.contains(FileId(3)));
+        });
+    }
+
+    /// `TouchRing::push` with the seeded ordering bug this PR's checker
+    /// must catch: the publication store of `seq` demoted from Release
+    /// to Relaxed. Everything else is a faithful copy of the real ring.
+    struct BuggyTouchRing {
+        slots: Vec<RingSlot>,
+        mask: u64,
+        head: AtomicU64,
+        tail: AtomicU64,
+    }
+
+    impl BuggyTouchRing {
+        fn new(size: usize) -> Self {
+            BuggyTouchRing {
+                slots: (0..size)
+                    .map(|i| RingSlot {
+                        seq: AtomicU64::new(i as u64),
+                        value: AtomicU64::new(0),
+                    })
+                    .collect(),
+                mask: (size - 1) as u64,
+                head: AtomicU64::new(0),
+                tail: AtomicU64::new(0),
+            }
+        }
+
+        fn push(&self, value: u64) -> bool {
+            let mut pos = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[(pos & self.mask) as usize];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let diff = seq.wrapping_sub(pos) as i64;
+                if diff == 0 {
+                    match self.head.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            slot.value.store(value, Ordering::Release);
+                            // SEEDED BUG: Release demoted to Relaxed, so
+                            // the consumer's Acquire load of seq gets no
+                            // happens-before edge to the value store.
+                            slot.seq.store(pos.wrapping_add(1), Ordering::Relaxed);
+                            return true;
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                } else if diff < 0 {
+                    return false;
+                } else {
+                    pos = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        fn pop(&self) -> Option<u64> {
+            let pos = self.tail.load(Ordering::Relaxed);
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos.wrapping_add(1) {
+                let value = slot.value.load(Ordering::Acquire);
+                slot.seq
+                    .store(pos.wrapping_add(self.slots.len() as u64), Ordering::Release);
+                self.tail.store(pos.wrapping_add(1), Ordering::Relaxed);
+                Some(value)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Mutation M1: the explorer must find the schedule where the
+    /// consumer observes the Relaxed seq publication but reads the stale
+    /// slot value — i.e. the demotion is a real bug, not a style nit.
+    #[test]
+    #[should_panic(expected = "stale value read through a Relaxed publication")]
+    fn model_mutation_relaxed_publication_is_caught() {
+        explore(&opts(), |scope: &Scope| {
+            let ring = BuggyTouchRing::new(2);
+            let producer = || {
+                assert!(ring.push(42));
+            };
+            let consumer = || {
+                if let Some(v) = ring.pop() {
+                    assert_eq!(v, 42, "stale value read through a Relaxed publication");
+                }
+            };
+            scope.threads(&[&producer, &consumer]);
+        });
+    }
+
+    /// Mutation M2: flipping the miss path to insertions-before-removals
+    /// silently evicts an id that was both evicted and refetched — the
+    /// explorer (in fact even the sequential schedule) must catch it.
+    #[test]
+    #[should_panic(expected = "overlapping evict+fetch must stay resident")]
+    fn model_mutation_insertions_before_removals_is_caught() {
+        explore(&opts(), |scope: &Scope| {
+            let index = ResidencyIndex::new(1);
+            index.insert(FileId(2));
+            let lock = ModelMutex::new(());
+            let buggy_miss_path = || {
+                let _guard = lock.lock();
+                // SEEDED BUG: order flipped. insert() sees the id already
+                // present and returns, then remove() tombstones it.
+                index.insert(FileId(2));
+                index.remove(FileId(2));
+            };
+            scope.threads(&[&buggy_miss_path]);
+            assert!(
+                index.contains(FileId(2)),
+                "overlapping evict+fetch must stay resident"
+            );
+        });
     }
 }

@@ -110,12 +110,12 @@ impl BoundServer {
         let dedup = &dedup;
         thread::scope(|scope| {
             loop {
-                if shutdown.load(Ordering::SeqCst) {
+                if shutdown.load(Ordering::Acquire) {
                     break;
                 }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        if shutdown.load(Ordering::SeqCst) {
+                        if shutdown.load(Ordering::Acquire) {
                             break; // the wake-up poke, not a real client
                         }
                         let wake_addr = wake_addr.clone();
@@ -123,7 +123,7 @@ impl BoundServer {
                             handle_connection(stream, cache, dedup, shutdown, &wake_addr);
                         });
                     }
-                    Err(_) if shutdown.load(Ordering::SeqCst) => break,
+                    Err(_) if shutdown.load(Ordering::Acquire) => break,
                     Err(_) => continue, // transient accept failure
                 }
             }
@@ -160,7 +160,7 @@ impl ServerHandle {
 
     /// Stops the server and waits for every connection handler to drain.
     pub fn stop(self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::Release);
         // Wake the blocking accept; an immediately-dropped connection is
         // indistinguishable from a client that connected and went away.
         drop(TcpStream::connect(&self.addr));
@@ -198,7 +198,7 @@ fn fill_patient(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -
                         | std::io::ErrorKind::Interrupted
                 ) =>
             {
-                if shutdown.load(Ordering::SeqCst) {
+                if shutdown.load(Ordering::Acquire) {
                     if filled == 0 || polls_after_shutdown > 0 {
                         return false;
                     }
@@ -261,7 +261,7 @@ fn handle_connection(
                 let ack = Message::ShutdownAck { request_id };
                 let _ = write_frame(&mut stream, &ack);
                 let _ = stream.flush();
-                shutdown.store(true, Ordering::SeqCst);
+                shutdown.store(true, Ordering::Release);
                 // Wake the accept loop so the scope can finish.
                 drop(TcpStream::connect(wake_addr));
                 return;

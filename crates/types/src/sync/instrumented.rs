@@ -1,0 +1,124 @@
+//! Model side of the atomics facade: an `AtomicU64` that routes every
+//! operation through [`super::model`]'s shadow memory.
+//!
+//! The atomic is identified to the model by its address; the model
+//! registers it as a shadow location on first touch, *inside* the same
+//! scheduled operation (holding no extra lock, so a parked registration
+//! can never block another virtual thread — each access is exactly one
+//! scheduling point).
+//!
+//! Outside a model execution (ordinary tests compiled with the
+//! `fgcache_model` feature, or code running before/after a scenario)
+//! every method falls back to the embedded real atomic, so enabling
+//! the feature never changes the behaviour of non-model tests. An
+//! atomic must not be used both inside and outside a model execution —
+//! the shadow history and the real cell are not kept in sync.
+
+use std::sync::atomic::Ordering;
+
+use super::model;
+
+/// A 64-bit atomic integer routed through the fgcache atomics facade
+/// (instrumented variant; see the `real` module docs for the
+/// production variant this replaces under `fgcache_model`).
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    real: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicU64 {
+    /// Creates a new atomic initialized to `value`.
+    pub const fn new(value: u64) -> Self {
+        AtomicU64 {
+            real: std::sync::atomic::AtomicU64::new(value),
+        }
+    }
+
+    /// `(identity, current value)` pair handed to the model: the
+    /// address keys first-touch registration, the value seeds the
+    /// shadow history.
+    fn key(&self) -> (usize, u64) {
+        (
+            self as *const Self as usize,
+            self.real.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Loads the current value.
+    pub fn load(&self, order: Ordering) -> u64 {
+        let (addr, initial) = self.key();
+        if let Some(v) = model::atomic_load(addr, initial, order) {
+            return v;
+        }
+        self.real.load(order)
+    }
+
+    /// Stores `value`.
+    pub fn store(&self, value: u64, order: Ordering) {
+        let (addr, initial) = self.key();
+        if model::atomic_store(addr, initial, value, order).is_some() {
+            return;
+        }
+        self.real.store(value, order)
+    }
+
+    /// Adds `value`, returning the previous value.
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        let (addr, initial) = self.key();
+        if let Some(old) = model::atomic_rmw(addr, initial, order, |v| v.wrapping_add(value)) {
+            return old;
+        }
+        self.real.fetch_add(value, order)
+    }
+
+    /// Subtracts `value`, returning the previous value.
+    pub fn fetch_sub(&self, value: u64, order: Ordering) -> u64 {
+        let (addr, initial) = self.key();
+        if let Some(old) = model::atomic_rmw(addr, initial, order, |v| v.wrapping_sub(value)) {
+            return old;
+        }
+        self.real.fetch_sub(value, order)
+    }
+
+    /// Swaps in `value`, returning the previous value.
+    pub fn swap(&self, value: u64, order: Ordering) -> u64 {
+        let (addr, initial) = self.key();
+        if let Some(old) = model::atomic_rmw(addr, initial, order, |_| value) {
+            return old;
+        }
+        self.real.swap(value, order)
+    }
+
+    /// Compare-and-exchange; see [`std::sync::atomic::AtomicU64::compare_exchange`].
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let (addr, initial) = self.key();
+        if let Some(r) = model::atomic_cas(addr, initial, current, new, success, failure) {
+            return r;
+        }
+        self.real.compare_exchange(current, new, success, failure)
+    }
+
+    /// Weak compare-and-exchange. Under the model this has strong
+    /// semantics (never spuriously fails); see the module docs of
+    /// [`super::model`] for the modeled-restriction list.
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let (addr, initial) = self.key();
+        if let Some(r) = model::atomic_cas(addr, initial, current, new, success, failure) {
+            return r;
+        }
+        self.real
+            .compare_exchange_weak(current, new, success, failure)
+    }
+}

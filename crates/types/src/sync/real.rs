@@ -1,0 +1,77 @@
+//! Production side of the atomics facade: a zero-cost transparent
+//! wrapper over `std::sync::atomic::AtomicU64`.
+
+use std::sync::atomic::Ordering;
+
+/// A 64-bit atomic integer routed through the fgcache atomics facade.
+///
+/// In this (default) configuration every method is an `#[inline]`
+/// delegation to [`std::sync::atomic::AtomicU64`]; the wrapper exists
+/// only so a `fgcache_model` build can substitute the instrumented
+/// variant without touching call sites.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+impl AtomicU64 {
+    /// Creates a new atomic initialized to `value`.
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        AtomicU64(std::sync::atomic::AtomicU64::new(value))
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+
+    /// Stores `value`.
+    #[inline]
+    pub fn store(&self, value: u64, order: Ordering) {
+        self.0.store(value, order)
+    }
+
+    /// Adds `value`, returning the previous value.
+    #[inline]
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        self.0.fetch_add(value, order)
+    }
+
+    /// Subtracts `value`, returning the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, value: u64, order: Ordering) -> u64 {
+        self.0.fetch_sub(value, order)
+    }
+
+    /// Swaps in `value`, returning the previous value.
+    #[inline]
+    pub fn swap(&self, value: u64, order: Ordering) -> u64 {
+        self.0.swap(value, order)
+    }
+
+    /// Compare-and-exchange; see [`std::sync::atomic::AtomicU64::compare_exchange`].
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.0.compare_exchange(current, new, success, failure)
+    }
+
+    /// Weak compare-and-exchange (may spuriously fail); see
+    /// [`std::sync::atomic::AtomicU64::compare_exchange_weak`].
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.0.compare_exchange_weak(current, new, success, failure)
+    }
+}

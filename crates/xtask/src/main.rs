@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint        # pure static checks, no cargo subprocesses
+//! cargo run -p xtask -- analyze     # atomics / lock-discipline passes (token-based)
 //! cargo run -p xtask -- fuzz        # differential fuzzers over the pinned seed set
+//! cargo run -p xtask -- fuzz --minutes N   # soak: fresh derived seeds until N minutes pass
 //! cargo run -p xtask -- bench-smoke # hot-path bench, small event count → BENCH_hot_path.json
-//! cargo run -p xtask -- ci          # fmt, clippy, lint, build, test, smoke, bench-smoke, fuzz
+//! cargo run -p xtask -- ci [--miri] # fmt, clippy, lint, analyze, build, test, model suites, …
 //! ```
 //!
 //! `lint` enforces the hermetic-build policy without compiling anything:
@@ -37,11 +39,37 @@
 //! but no thresholds are enforced — the CI host is a single core, where
 //! wall-clock cannot show contention wins (locks/event can).
 //!
-//! The lint checks are deliberately line-based and dependency-free: the
-//! gate itself must not need anything the gate forbids.
+//! `analyze` is the concurrency-discipline gate, companion to the
+//! deterministic interleaving explorer in `fgcache_types::sync::model`
+//! (run under `--features fgcache_model`). It lexes every source file
+//! with the small tokenizer in [`lexer`] — so comments, strings and
+//! test-gated items are structurally excluded — and enforces:
+//!
+//! 1. **`SeqCst` ban** — `Ordering::SeqCst` never appears in library
+//!    code, workspace-wide. Every ordering must say what it publishes
+//!    or acquires; a total order is never needed here and the model
+//!    runtime does not provide one.
+//! 2. **Atomics discipline** — in files that import the
+//!    `fgcache_types::sync` facade: atomic stores are `Release`, loads
+//!    are `Acquire`, and `Relaxed` is allowed only on the allowlisted
+//!    diagnostic/position counters (`head`, `tail`, `tombstones`,
+//!    `fast_hits`, `lock_acquisitions`).
+//! 3. **Ascending lock loops** — a loop that acquires shard locks must
+//!    not iterate in reverse (`.rev()`); the lock-order witness enforces
+//!    the same discipline at runtime in debug builds.
+//! 4. **Checked id narrowing** — no truncating `as` cast on u64 file
+//!    ids; 48-bit packing goes through `FileId::packed48()`, the one
+//!    checked helper.
+//!
+//! The lint and analyze checks are dependency-free (lexer included):
+//! the gate itself must not need anything the gate forbids.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+mod lexer;
+
+use lexer::{match_backward, match_forward, strip_test_code, tokenize, Token, TokenKind};
 
 use std::fmt;
 use std::fs;
@@ -70,13 +98,34 @@ fn main() -> ExitCode {
     let root = workspace_root();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&root),
-        Some("fuzz") => fuzz(&root),
+        Some("analyze") => analyze(&root),
+        Some("fuzz") => match parse_minutes(&args[1..]) {
+            Ok(None) => fuzz(&root),
+            Ok(Some(minutes)) => fuzz_soak(&root, minutes),
+            Err(e) => {
+                eprintln!("xtask fuzz: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("bench-smoke") => bench_smoke(&root),
-        Some("ci") => ci(&root),
+        Some("ci") => ci(&root, args[1..].iter().any(|a| a == "--miri")),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|fuzz|bench-smoke|ci>");
+            eprintln!("usage: cargo run -p xtask -- <lint|analyze|fuzz [--minutes N]|bench-smoke|ci [--miri]>");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Parses `--minutes N` out of a `fuzz` argument list.
+fn parse_minutes(args: &[String]) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == "--minutes") {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| "--minutes needs a value".to_string())?
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| "--minutes value must be a whole number of minutes".to_string()),
     }
 }
 
@@ -129,6 +178,11 @@ const FUZZ_SEEDS: &str = "0xfeedface,0xbadc0ffe,1,42,20020702";
 /// suite (both read `FGCACHE_FUZZ_SEEDS`), plus the policy + two-level
 /// suite (fixed internal seeds).
 fn fuzz(root: &Path) -> ExitCode {
+    fuzz_with_seeds(root, FUZZ_SEEDS)
+}
+
+/// One pass of all fuzz suites under an explicit seed list.
+fn fuzz_with_seeds(root: &Path, seeds: &str) -> ExitCode {
     let suites: [(&str, &[&str]); 3] = [
         (
             "sharded composition fuzzer",
@@ -158,10 +212,10 @@ fn fuzz(root: &Path) -> ExitCode {
         ),
     ];
     for (label, cargo_args) in suites {
-        println!("==> fuzz: {label} (FGCACHE_FUZZ_SEEDS={FUZZ_SEEDS})");
+        println!("==> fuzz: {label} (FGCACHE_FUZZ_SEEDS={seeds})");
         let ok = Command::new("cargo")
             .args(cargo_args)
-            .env("FGCACHE_FUZZ_SEEDS", FUZZ_SEEDS)
+            .env("FGCACHE_FUZZ_SEEDS", seeds)
             .current_dir(root)
             .status()
             .map(|s| s.success())
@@ -209,8 +263,10 @@ fn bench_smoke(root: &Path) -> ExitCode {
 }
 
 /// Runs the full local gate in order, stopping at the first failure.
-fn ci(root: &Path) -> ExitCode {
-    let steps: [(&str, &[&str]); 4] = [
+/// With `miri` true, adds the interpreter job (visibly skipped when the
+/// nightly Miri toolchain is not installed).
+fn ci(root: &Path, miri: bool) -> ExitCode {
+    let steps: [(&str, &[&str]); 6] = [
         ("cargo fmt --check", &["fmt", "--check"]),
         (
             "cargo clippy --workspace --all-targets -- -D warnings",
@@ -228,10 +284,33 @@ fn ci(root: &Path) -> ExitCode {
             &["build", "--release", "--workspace"],
         ),
         ("cargo test -q --workspace", &["test", "-q", "--workspace"]),
+        (
+            "cargo test -q -p fgcache-types --features fgcache_model (interleaving explorer)",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "fgcache-types",
+                "--features",
+                "fgcache_model",
+            ],
+        ),
+        (
+            "cargo test -q -p fgcache-core --features fgcache_model --lib (model scenarios)",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "fgcache-core",
+                "--features",
+                "fgcache_model",
+                "--lib",
+            ],
+        ),
     ];
-    // lint runs between clippy and build, in-process.
+    // lint + analyze run between clippy and build, in-process.
     for (i, (label, cargo_args)) in steps.iter().enumerate() {
-        if i == 2 && lint(root) != ExitCode::SUCCESS {
+        if i == 2 && (lint(root) != ExitCode::SUCCESS || analyze(root) != ExitCode::SUCCESS) {
             return ExitCode::FAILURE;
         }
         println!("==> {label}");
@@ -284,7 +363,90 @@ fn ci(root: &Path) -> ExitCode {
     if fuzz(root) != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
+    if miri && miri_job(root) != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
     println!("xtask ci: all steps passed");
+    ExitCode::SUCCESS
+}
+
+/// The optional Miri job: runs the fgcache-types unit tests under the
+/// nightly Miri interpreter when it is installed; otherwise prints a
+/// visible skip notice and succeeds, so `--miri` is safe to pass on
+/// hosts without the nightly toolchain.
+fn miri_job(root: &Path) -> ExitCode {
+    let probe = Command::new("cargo")
+        .args(["+nightly", "miri", "--version"])
+        .current_dir(root)
+        .output();
+    let available = probe.map(|o| o.status.success()).unwrap_or(false);
+    if !available {
+        println!(
+            "==> miri: SKIPPED — nightly Miri is not installed on this host \
+             (install with `rustup toolchain install nightly --component miri`)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("==> miri: cargo +nightly miri test -q -p fgcache-types --lib");
+    let ok = Command::new("cargo")
+        .args([
+            "+nightly",
+            "miri",
+            "test",
+            "-q",
+            "-p",
+            "fgcache-types",
+            "--lib",
+        ])
+        .current_dir(root)
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask ci: step failed: miri");
+        ExitCode::FAILURE
+    }
+}
+
+/// SplitMix64 — the same mixer the workspace uses, reimplemented here
+/// so the soak seed schedule is deterministic without a dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Soak mode: reruns the differential fuzz suites with a fresh derived
+/// seed set each round until `minutes` have elapsed (at least one round
+/// always runs). Round 0 uses the pinned [`FUZZ_SEEDS`]; round `r`
+/// derives five seeds from `splitmix64(r)`, so any failure names a
+/// round whose exact seed list is reproducible offline.
+fn fuzz_soak(root: &Path, minutes: u64) -> ExitCode {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(minutes * 60);
+    let mut round: u64 = 0;
+    loop {
+        let seeds = if round == 0 {
+            FUZZ_SEEDS.to_string()
+        } else {
+            (0..5)
+                .map(|i| format!("{:#x}", splitmix64(round.wrapping_mul(8) + i)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!("==> fuzz soak: round {round} (seeds {seeds})");
+        if fuzz_with_seeds(root, &seeds) != ExitCode::SUCCESS {
+            eprintln!("xtask fuzz: soak round {round} failed (seeds {seeds})");
+            return ExitCode::FAILURE;
+        }
+        round += 1;
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+    }
+    println!("xtask fuzz: soak finished after {round} round(s) / {minutes} minute(s)");
     ExitCode::SUCCESS
 }
 
@@ -499,10 +661,11 @@ fn scan_panic_markers(file: &Path, text: &str, violations: &mut Vec<Violation>) 
 }
 
 /// Check 4: no `.lock().unwrap()` chain in any `src/` file outside
-/// `#[cfg(test)]`, even when the chain spans lines or whitespace. The
-/// line-based check 3 already catches the marker on a single line; this
-/// pass catches formatted chains like `.lock()\n    .unwrap()` that slip
-/// through a per-line scan.
+/// test-gated items, however the chain is formatted. Token-based: the
+/// chain is matched as a token sequence, so line breaks, interleaved
+/// comments and string literals containing the chain are all handled
+/// correctly — and code *after* a mid-file test module is still
+/// scanned, which the old truncate-at-`#[cfg(test)]` line scan missed.
 fn check_lock_discipline(members: &[Member], violations: &mut Vec<Violation>) {
     for member in members {
         for file in rust_sources(&member.src_dir) {
@@ -514,42 +677,34 @@ fn check_lock_discipline(members: &[Member], violations: &mut Vec<Violation>) {
     }
 }
 
+/// Library-code tokens of one source file: lexed, comments dropped,
+/// test-gated items structurally removed.
+fn code_tokens(text: &str) -> Vec<Token> {
+    strip_test_code(&tokenize(text))
+}
+
+/// `true` if `tokens[i..]` is exactly `.name()` — a no-argument method
+/// call of `name`.
+fn is_nullary_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct('.'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_ident(name))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+}
+
 /// Scans one source file for `.lock()` whose next chained call is the
-/// forbidden unwrap, ignoring whitespace between the two calls. Stops at
-/// the first `#[cfg(test)]` like the panic scan; skips comment lines.
+/// forbidden unwrap.
 fn scan_lock_unwrap(file: &Path, text: &str, violations: &mut Vec<Violation>) {
     // Escaped so this file's own source never contains the hunted chain.
-    let unwrap_marker: &str = ".unwr\u{61}p()";
-    let mut code = String::new();
-    let mut line_of_offset: Vec<usize> = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let trimmed = raw.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            break;
-        }
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        let line_code = raw.split("//").next().unwrap_or(raw);
-        for b in line_code.chars() {
-            code.push(b);
-            line_of_offset.push(idx + 1);
-        }
-        code.push('\n');
-        line_of_offset.push(idx + 1);
-    }
-    let mut search_from = 0;
-    while let Some(pos) = code[search_from..].find(".lock()") {
-        let lock_at = search_from + pos;
-        let after = lock_at + ".lock()".len();
-        search_from = after;
-        let rest = code[after..].trim_start();
-        if rest.starts_with(unwrap_marker) {
+    let unwrap_name: String = "unwr\u{61}p".to_string();
+    let tokens = code_tokens(text);
+    for i in 0..tokens.len() {
+        if is_nullary_call(&tokens, i, "lock") && is_nullary_call(&tokens, i + 4, &unwrap_name) {
             violations.push(Violation {
                 file: file.to_path_buf(),
-                line: line_of_offset.get(lock_at).copied(),
+                line: Some(tokens[i + 1].line),
                 message: format!(
-                    "`.lock(){unwrap_marker}` in library code — the workspace standard \
+                    "`.lock().{unwrap_name}()` in library code — the workspace standard \
                      is `.lock().expect(\"what was poisoned\")`"
                 ),
             });
@@ -575,26 +730,356 @@ fn check_socket_confinement(members: &[Member], violations: &mut Vec<Violation>)
     }
 }
 
-/// Scans one source file for `std::net` outside comments and test
-/// modules, with the marker escaped so this scanner never flags itself.
+/// Scans one source file for the `std::net` path outside comments,
+/// string literals and test-gated items. Token-based, so a mention in a
+/// doc string is no longer a false positive and code after a mid-file
+/// test module is still scanned.
 fn scan_socket_use(file: &Path, text: &str, violations: &mut Vec<Violation>) {
-    let marker: &str = "std::ne\u{74}";
-    for (idx, raw) in text.lines().enumerate() {
-        let trimmed = raw.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            break;
-        }
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        let code = raw.split("//").next().unwrap_or(raw);
-        if code.contains(marker) {
+    let net_name: String = "ne\u{74}".to_string(); // escaped: never self-flags
+    let tokens = code_tokens(text);
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("std")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident(&net_name))
+        {
             violations.push(Violation {
                 file: file.to_path_buf(),
-                line: Some(idx + 1),
+                line: Some(tokens[i].line),
                 message: format!(
-                    "`{marker}` outside fgcache-net — go through the `Transport` \
+                    "`std::{net_name}` outside fgcache-net — go through the `Transport` \
                      trait; only fgcache-net may open sockets"
+                ),
+            });
+        }
+    }
+}
+
+/// Runs the concurrency-discipline passes; prints violations and
+/// returns the exit code. See the crate docs for the rule list.
+fn analyze(root: &Path) -> ExitCode {
+    let members = workspace_members(root);
+    let mut violations = Vec::new();
+    check_seqcst_ban(&members, &mut violations);
+    check_atomics_discipline(&members, &mut violations);
+    check_lock_loop_order(&members, &mut violations);
+    check_id_narrowing(&members, &mut violations);
+    if violations.is_empty() {
+        println!(
+            "xtask analyze: {} crates clean (SeqCst ban, atomics discipline, \
+             ascending lock loops, checked id narrowing)",
+            members.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("error: {v}");
+        }
+        eprintln!("xtask analyze: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Diagnostic counters and ring position words where `Relaxed` is the
+/// documented, intended ordering (single-consumer positions are proven
+/// by the interleaving explorer; the counters are monotonic statistics
+/// read only after threads join).
+const RELAXED_ALLOWLIST: [&str; 5] = [
+    "head",
+    "tail",
+    "tombstones",
+    "fast_hits",
+    "lock_acquisitions",
+];
+
+/// Memory-ordering method names whose call sites the discipline pass
+/// inspects.
+const ATOMIC_METHODS: [&str; 6] = [
+    "load",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "swap",
+    "compare_exchange",
+];
+
+/// Analyze check 1: the `SeqCst` ordering never appears in library
+/// code, in any crate. (The token text is assembled at runtime so the
+/// ban does not flag its own implementation.)
+fn check_seqcst_ban(members: &[Member], violations: &mut Vec<Violation>) {
+    let banned: String = "Seq\u{43}st".to_string();
+    for member in members {
+        for file in rust_sources(&member.src_dir) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            for t in code_tokens(&text) {
+                if t.kind == TokenKind::Ident && t.text == banned {
+                    violations.push(Violation {
+                        file: file.clone(),
+                        line: Some(t.line),
+                        message: format!(
+                            "`Ordering::{banned}` is banned workspace-wide — say what the \
+                             access publishes (Release) or acquires (Acquire); no code here \
+                             needs a single total order"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The receiver identifier of a method call whose `.` sits at token
+/// index `dot`: `self.head.load(..)` → `head`; `self.slots[pos].load(..)`
+/// → `slots` (the indexed collection). `None` when the receiver is not
+/// a simple field/identifier chain.
+fn receiver_name(tokens: &[Token], dot: usize) -> Option<String> {
+    let prev = dot.checked_sub(1)?;
+    let t = &tokens[prev];
+    if t.kind == TokenKind::Ident {
+        return Some(t.text.clone());
+    }
+    if t.is_punct(']') {
+        let open = match_backward(tokens, prev, '[', ']')?;
+        let before = tokens.get(open.checked_sub(1)?)?;
+        if before.kind == TokenKind::Ident {
+            return Some(before.text.clone());
+        }
+    }
+    if t.is_punct(')') {
+        let open = match_backward(tokens, prev, '(', ')')?;
+        let before = tokens.get(open.checked_sub(1)?)?;
+        if before.kind == TokenKind::Ident {
+            return Some(before.text.clone());
+        }
+    }
+    None
+}
+
+/// All `Ordering::X` variant names appearing between `open` and its
+/// matching close paren.
+fn orderings_in_call(tokens: &[Token], open: usize) -> Option<(Vec<String>, usize)> {
+    let close = match_forward(tokens, open, '(', ')')?;
+    let mut orderings = Vec::new();
+    let mut i = open + 1;
+    while i + 3 <= close {
+        if tokens[i].is_ident("Ordering")
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+            && tokens[i + 3].kind == TokenKind::Ident
+        {
+            orderings.push(tokens[i + 3].text.clone());
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    Some((orderings, close))
+}
+
+/// Analyze check 2: atomics discipline in files importing the
+/// `fgcache_types::sync` facade — stores publish with `Release`, loads
+/// synchronize with `Acquire`, and `Relaxed` appears only on receivers
+/// in [`RELAXED_ALLOWLIST`].
+fn check_atomics_discipline(members: &[Member], violations: &mut Vec<Violation>) {
+    for member in members {
+        for file in rust_sources(&member.src_dir) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let tokens = code_tokens(&text);
+            let imports_facade = tokens.windows(4).any(|w| {
+                w[0].is_ident("fgcache_types")
+                    && w[1].is_punct(':')
+                    && w[2].is_punct(':')
+                    && w[3].is_ident("sync")
+            });
+            if !imports_facade {
+                continue;
+            }
+            scan_atomic_orderings(&file, &tokens, violations);
+        }
+    }
+}
+
+/// The ordering rules for one file's tokens (split out for fixtures).
+fn scan_atomic_orderings(file: &Path, tokens: &[Token], violations: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        if !tokens[i].is_punct('.') {
+            continue;
+        }
+        let Some(method) = tokens.get(i + 1) else {
+            continue;
+        };
+        if method.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = method.text.trim_end_matches("_weak");
+        if !ATOMIC_METHODS.contains(&name) {
+            continue;
+        }
+        if !tokens.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let Some((orderings, _)) = orderings_in_call(tokens, i + 2) else {
+            continue;
+        };
+        if orderings.is_empty() {
+            continue; // not an atomic call (e.g. Vec::swap)
+        }
+        let receiver = receiver_name(tokens, i);
+        let allowlisted = receiver
+            .as_deref()
+            .is_some_and(|r| RELAXED_ALLOWLIST.contains(&r));
+        let receiver_label = receiver.as_deref().unwrap_or("<expr>").to_string();
+        for ordering in &orderings {
+            let ok = match (name, ordering.as_str()) {
+                ("load", "Acquire") => true,
+                ("store", "Release") => true,
+                // RMWs that both read and publish.
+                ("fetch_add" | "fetch_sub" | "swap" | "compare_exchange", "Acquire")
+                | ("fetch_add" | "fetch_sub" | "swap" | "compare_exchange", "Release")
+                | ("fetch_add" | "fetch_sub" | "swap" | "compare_exchange", "AcqRel") => true,
+                (_, "Relaxed") => allowlisted,
+                _ => false,
+            };
+            if !ok {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: Some(method.line),
+                    message: format!(
+                        "`{receiver_label}.{}(… Ordering::{ordering} …)` breaks the atomics \
+                         discipline: stores publish with Release, loads synchronize with \
+                         Acquire; Relaxed is reserved for the allowlisted counters \
+                         ({})",
+                        method.text,
+                        RELAXED_ALLOWLIST.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Analyze check 3: a loop body that acquires shard locks must not
+/// iterate in reverse. Ascending acquisition order is the deadlock-
+/// freedom discipline the runtime witness asserts in debug builds; a
+/// `.rev()` in the loop header with a `shard(...)` call in the body is
+/// a violation even if today only one such loop exists.
+fn check_lock_loop_order(members: &[Member], violations: &mut Vec<Violation>) {
+    for member in members {
+        for file in rust_sources(&member.src_dir) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            scan_lock_loops(&file, &code_tokens(&text), violations);
+        }
+    }
+}
+
+/// The reverse-shard-loop rule for one file's tokens.
+fn scan_lock_loops(file: &Path, tokens: &[Token], violations: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("for") {
+            continue;
+        }
+        // Loop header: tokens up to the body `{` (struct literals are
+        // not valid in a `for` iterator expression without parens).
+        let Some(body_open) = (i + 1..tokens.len()).find(|&j| tokens[j].is_punct('{')) else {
+            continue;
+        };
+        let header = &tokens[i + 1..body_open];
+        let reversed = header.iter().any(|t| t.is_ident("rev"));
+        if !reversed {
+            continue;
+        }
+        let Some(body_close) = match_forward(tokens, body_open, '{', '}') else {
+            continue;
+        };
+        let body = &tokens[body_open..body_close];
+        let acquires_shard = body
+            .windows(2)
+            .any(|w| w[0].kind == TokenKind::Ident && w[0].text == "shard" && w[1].is_punct('('));
+        if acquires_shard {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: Some(tokens[i].line),
+                message: "loop acquires shard locks while iterating in reverse — shard \
+                          locks must be taken in ascending shard order (the debug-build \
+                          lock witness enforces the same rule at runtime)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Integer types narrower than the 64-bit file-id space.
+const NARROWING_TARGETS: [&str; 9] = [
+    "u8", "u16", "u32", "usize", "i8", "i16", "i32", "i64", "isize",
+];
+
+/// Identifier names the id-narrowing rule treats as file ids.
+const ID_NAMES: [&str; 4] = ["id", "file", "fid", "file_id"];
+
+/// Analyze check 4: no truncating `as` cast on u64 file ids — flags
+/// `….as_u64() as <narrow>`, `<id>.0 as <narrow>` and `<id> as
+/// <narrow>`. The one sanctioned narrowing is `FileId::packed48()`,
+/// which checks the 48-bit bound and returns `Option`.
+fn check_id_narrowing(members: &[Member], violations: &mut Vec<Violation>) {
+    for member in members {
+        for file in rust_sources(&member.src_dir) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            scan_id_narrowing(&file, &code_tokens(&text), violations);
+        }
+    }
+}
+
+/// The id-narrowing rule for one file's tokens.
+fn scan_id_narrowing(file: &Path, tokens: &[Token], violations: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokenKind::Ident || !NARROWING_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        let Some(prev) = i.checked_sub(1) else {
+            continue;
+        };
+        let source = &tokens[prev];
+        let flagged = if source.is_punct(')') {
+            // `expr.as_u64() as u32` — the call being cast is as_u64.
+            match_backward(tokens, prev, '(', ')')
+                .and_then(|open| open.checked_sub(1))
+                .and_then(|j| tokens.get(j))
+                .is_some_and(|t| t.is_ident("as_u64"))
+        } else if source.kind == TokenKind::Number && source.text == "0" {
+            // `file.0 as usize` — raw tuple access on an id binding.
+            prev.checked_sub(2)
+                .map(|j| {
+                    tokens[j + 1].is_punct('.')
+                        && tokens[j].kind == TokenKind::Ident
+                        && ID_NAMES.contains(&tokens[j].text.as_str())
+                })
+                .unwrap_or(false)
+        } else {
+            // `id as u32` — a bare id binding cast narrower.
+            source.kind == TokenKind::Ident && ID_NAMES.contains(&source.text.as_str())
+        };
+        if flagged {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: Some(target.line),
+                message: format!(
+                    "truncating `as {}` cast on a u64 file id — ids are 64-bit; 48-bit \
+                     packing must go through the checked `FileId::packed48()` helper",
+                    target.text
                 ),
             });
         }
@@ -731,6 +1216,229 @@ mod tests {\n\
         let mut v = Vec::new();
         scan_lock_unwrap(Path::new("x.rs"), src, &mut v);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_scan_catches_violation_after_mid_file_test_module() {
+        // Regression: the old line scan truncated at the first
+        // `#[cfg(test)]` and never saw library code below it.
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t(m: &std::sync::Mutex<u32>) { m.lock().unwrap(); }\n\
+}\n\
+fn f(m: &std::sync::Mutex<u32>) {\n\
+    let _ = m.lock().unwrap();\n\
+}\n";
+        let mut v = Vec::new();
+        scan_lock_unwrap(Path::new("x.rs"), src, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, Some(6));
+    }
+
+    #[test]
+    fn lock_scan_ignores_chain_inside_string_literal() {
+        let src = "fn f() -> &'static str { \"call .lock().unwrap() they said\" }\n";
+        let mut v = Vec::new();
+        scan_lock_unwrap(Path::new("x.rs"), src, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_scan_survives_comment_between_calls() {
+        let src = "\
+fn f(m: &std::sync::Mutex<u32>) {\n\
+    let _ = m\n\
+        .lock()\n\
+        // why would anyone write this\n\
+        .unwrap();\n\
+}\n";
+        let mut v = Vec::new();
+        scan_lock_unwrap(Path::new("x.rs"), src, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, Some(3));
+    }
+
+    #[test]
+    fn socket_scan_ignores_string_and_sees_past_test_module() {
+        let src = "\
+fn f() -> &'static str { \"std::net is mentioned here\" }\n\
+#[cfg(test)]\n\
+mod tests {}\n\
+use std::net::TcpStream;\n";
+        let mut v = Vec::new();
+        scan_socket_use(Path::new("x.rs"), src, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, Some(4));
+    }
+
+    /// Runs one tokenizer-based scanner over fixture source text.
+    fn scan_fixture(
+        src: &str,
+        scan: impl Fn(&Path, &[Token], &mut Vec<Violation>),
+    ) -> Vec<Violation> {
+        let mut v = Vec::new();
+        scan(Path::new("fixture.rs"), &code_tokens(src), &mut v);
+        v
+    }
+
+    #[test]
+    fn seqcst_ban_flags_code_not_comments_or_tests() {
+        // Assembled at runtime so this test file never contains the
+        // banned token itself.
+        let banned = "Seq\u{43}st";
+        let src = format!(
+            "// Ordering::{banned} in a comment is fine\n\
+             fn f(a: &std::sync::atomic::AtomicU64) {{\n\
+                 a.store(1, Ordering::{banned});\n\
+             }}\n\
+             #[cfg(test)]\n\
+             mod tests {{\n\
+                 fn t(a: &std::sync::atomic::AtomicU64) {{ a.load(Ordering::{banned}); }}\n\
+             }}\n"
+        );
+        let mut v = Vec::new();
+        for t in code_tokens(&src) {
+            if t.kind == TokenKind::Ident && t.text == banned {
+                v.push(t.line);
+            }
+        }
+        assert_eq!(v, vec![3]);
+    }
+
+    #[test]
+    fn atomics_discipline_accepts_the_documented_patterns() {
+        let src = "\
+use fgcache_types::sync::{AtomicU64, Ordering};\n\
+fn f(s: &Shard) {\n\
+    let _ = s.slots[0].load(Ordering::Acquire);\n\
+    s.slots[0].store(1, Ordering::Release);\n\
+    let _ = s.head.load(Ordering::Relaxed);\n\
+    s.tail.store(2, Ordering::Relaxed);\n\
+    s.fast_hits.fetch_add(1, Ordering::Relaxed);\n\
+    let _ = s.head.compare_exchange_weak(0, 1, Ordering::Relaxed, Ordering::Relaxed);\n\
+}\n";
+        let v = scan_fixture(src, scan_atomic_orderings);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn atomics_discipline_flags_relaxed_outside_the_allowlist() {
+        let src = "\
+use fgcache_types::sync::{AtomicU64, Ordering};\n\
+fn f(s: &Shard) {\n\
+    let _ = s.slots[0].load(Ordering::Relaxed);\n\
+    s.value.store(1, Ordering::Relaxed);\n\
+}\n";
+        let v = scan_fixture(src, scan_atomic_orderings);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, Some(3));
+        assert_eq!(v[1].line, Some(4));
+        assert!(v[0].to_string().contains("atomics discipline"));
+    }
+
+    #[test]
+    fn atomics_discipline_is_scoped_to_facade_importers() {
+        // Same violations, but the file does not import the facade:
+        // the discipline pass must not fire (check_atomics_discipline
+        // applies the scope test before scanning).
+        let src = "\
+use std::sync::atomic::{AtomicU64, Ordering};\n\
+fn f(s: &Shard) { let _ = s.value.load(Ordering::Relaxed); }\n";
+        let tokens = code_tokens(src);
+        let imports_facade = tokens.windows(4).any(|w| {
+            w[0].is_ident("fgcache_types")
+                && w[1].is_punct(':')
+                && w[2].is_punct(':')
+                && w[3].is_ident("sync")
+        });
+        assert!(!imports_facade);
+    }
+
+    #[test]
+    fn lock_loop_order_flags_reverse_iteration() {
+        let src = "\
+fn snapshot(&self) {\n\
+    for i in (0..self.shards.len()).rev() {\n\
+        let _guard = self.shard(i);\n\
+    }\n\
+}\n";
+        let v = scan_fixture(src, scan_lock_loops);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, Some(2));
+        assert!(v[0].to_string().contains("ascending"));
+    }
+
+    #[test]
+    fn lock_loop_order_accepts_ascending_and_unrelated_rev() {
+        let src = "\
+fn ok(&self) {\n\
+    for i in 0..self.shards.len() {\n\
+        let _guard = self.shard(i);\n\
+    }\n\
+    for x in self.names.iter().rev() {\n\
+        println!(\"{x}\");\n\
+    }\n\
+}\n";
+        let v = scan_fixture(src, scan_lock_loops);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn id_narrowing_flags_each_truncating_pattern() {
+        let src = "\
+fn f(file: FileId, id: u64) {\n\
+    let a = file.as_u64() as u32;\n\
+    let b = file.0 as usize;\n\
+    let c = id as u16;\n\
+}\n";
+        let v = scan_fixture(src, scan_id_narrowing);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v[0].to_string().contains("packed48"));
+    }
+
+    #[test]
+    fn id_narrowing_accepts_hashes_and_checked_helper() {
+        let src = "\
+fn f(file: FileId, id: u64) -> Option<u64> {\n\
+    let pos = mix64(id) as usize;\n\
+    let n = values.len() as u32;\n\
+    let d = seq.wrapping_sub(pos) as i64;\n\
+    file.packed48()\n\
+}\n";
+        let v = scan_fixture(src, scan_id_narrowing);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn analyze_passes_on_this_workspace() {
+        let root = workspace_root();
+        let members = workspace_members(&root);
+        let mut violations = Vec::new();
+        check_seqcst_ban(&members, &mut violations);
+        check_atomics_discipline(&members, &mut violations);
+        check_lock_loop_order(&members, &mut violations);
+        check_id_narrowing(&members, &mut violations);
+        let rendered: Vec<String> = violations.iter().map(Violation::to_string).collect();
+        assert!(rendered.is_empty(), "violations: {rendered:#?}");
+    }
+
+    #[test]
+    fn soak_seed_schedule_is_deterministic_and_distinct() {
+        let r1: Vec<u64> = (0..5).map(|i| splitmix64(8 + i)).collect();
+        let r1_again: Vec<u64> = (0..5).map(|i| splitmix64(8 + i)).collect();
+        let r2: Vec<u64> = (0..5).map(|i| splitmix64(16 + i)).collect();
+        assert_eq!(r1, r1_again);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn parse_minutes_accepts_and_rejects() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_minutes(&args(&[])), Ok(None));
+        assert_eq!(parse_minutes(&args(&["--minutes", "3"])), Ok(Some(3)));
+        assert!(parse_minutes(&args(&["--minutes"])).is_err());
+        assert!(parse_minutes(&args(&["--minutes", "soon"])).is_err());
     }
 
     #[test]
