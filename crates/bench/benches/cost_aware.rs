@@ -1,0 +1,191 @@
+//! Cost-aware caching microbenchmark: the fixed-cost LRU baseline vs
+//! Landlord and the unit-accounted aggregating cache, under a fixed
+//! seed, on a Zipf-ish hot/cold workload over Pareto-sized files.
+//!
+//! Two things are measured per scenario:
+//!
+//!   * throughput (events/sec) — how much the size/cost bookkeeping
+//!     costs on the hot path;
+//!   * hit rate and units moved — whether the cost-aware policies earn
+//!     that bookkeeping back in retrieval work saved.
+//!
+//! The `landlord/uniform` scenario doubles as a live bit-identity check:
+//! with uniform sizes Landlord must reproduce the LRU hit rate exactly
+//! (the differential fuzzers prove the stronger per-operation claim;
+//! this bench asserts the end-to-end count on every run).
+//!
+//! Flags (after `--`): `--smoke` shrinks the event count for CI,
+//! `--json PATH` writes a machine-readable summary.
+
+use fgcache_bench::{harness, ratio};
+use fgcache_cache::{Cache, LandlordCache, LruCache};
+use fgcache_core::AggregatingCacheBuilder;
+use fgcache_types::rng::{RandomSource, SeededRng};
+use fgcache_types::sizing::{SizeCostAssigner, SizeDistribution};
+use fgcache_types::FileId;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Unit capacity for every cache (files for the count-based baseline).
+const CAPACITY: usize = 2048;
+const WORKING_SET: usize = 280; // ~7 units/file mean → ~2000 units hot
+const COLD_UNIVERSE: usize = 100_000;
+const GROUP_SIZE: usize = 5;
+const FULL_EVENTS: usize = 400_000;
+const SMOKE_EVENTS: usize = 20_000;
+const SEED: u64 = 0xC057_0DE1;
+
+struct Scenario {
+    name: String,
+    events_per_sec: f64,
+    hit_rate: f64,
+    units_moved: u64,
+}
+
+fn workload(events: usize, seed: u64) -> Vec<FileId> {
+    let mut rng = SeededRng::new(seed);
+    let mut out = Vec::with_capacity(events);
+    for _ in 0..events {
+        let id = if rng.chance(0.02) {
+            WORKING_SET as u64 + rng.gen_index(COLD_UNIVERSE) as u64
+        } else {
+            rng.gen_index(WORKING_SET) as u64
+        };
+        out.push(FileId(id));
+    }
+    out
+}
+
+/// Times repeated passes of `access` over `trace` against a warmed
+/// cache; returns the best-of-N events/sec.
+fn best_events_per_sec(trace: &[FileId], mut access: impl FnMut(FileId)) -> f64 {
+    for &f in trace {
+        access(f); // warm
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..harness::iterations() {
+        let start = Instant::now();
+        for &f in trace {
+            access(black_box(f));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+    }
+    trace.len() as f64 / best
+}
+
+fn bench_cache(
+    name: &str,
+    trace: &[FileId],
+    mut cache: impl Cache,
+    sizes: SizeCostAssigner,
+) -> Scenario {
+    let mut units_moved = 0u64;
+    let events_per_sec = best_events_per_sec(trace, |f| {
+        if cache.access(f).is_miss() {
+            units_moved += u64::from(sizes.size_of(f));
+        }
+    });
+    let stats = cache.stats();
+    Scenario {
+        name: name.to_string(),
+        events_per_sec,
+        hit_rate: ratio(stats.hits, stats.accesses),
+        units_moved,
+    }
+}
+
+fn bench_agg(name: &str, trace: &[FileId], sizes: SizeCostAssigner, bundle: bool) -> Scenario {
+    let mut cache = AggregatingCacheBuilder::new(CAPACITY)
+        .group_size(GROUP_SIZE)
+        .sizes(sizes)
+        .bundle_eviction(bundle)
+        .build()
+        .expect("valid cost-aware config");
+    let events_per_sec = best_events_per_sec(trace, |f| {
+        cache.handle_access(f);
+    });
+    let stats = Cache::stats(&cache);
+    Scenario {
+        name: name.to_string(),
+        events_per_sec,
+        hit_rate: ratio(stats.hits, stats.accesses),
+        units_moved: cache.group_stats().size_units_transferred,
+    }
+}
+
+fn write_json(path: &str, events: usize, scenarios: &[Scenario]) {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"events\": {events},\n"));
+    body.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events_per_sec\": {:.0}, \"hit_rate\": {:.4}, \"units_moved\": {}}}{}\n",
+            s.name,
+            s.events_per_sec,
+            s.hit_rate,
+            s.units_moved,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).expect("write json summary");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let events = if smoke { SMOKE_EVENTS } else { FULL_EVENTS };
+    let trace = workload(events, SEED);
+    let pareto = SizeCostAssigner::new(SizeDistribution::Pareto, 42);
+    let uniform = SizeCostAssigner::uniform();
+
+    println!(
+        "# cost_aware: {} events, {} units capacity, working set {} files",
+        events, CAPACITY, WORKING_SET
+    );
+
+    let scenarios = vec![
+        bench_cache("lru/uniform", &trace, LruCache::new(CAPACITY), uniform),
+        bench_cache(
+            "landlord/uniform",
+            &trace,
+            LandlordCache::with_assigner(CAPACITY, uniform),
+            uniform,
+        ),
+        bench_cache(
+            "landlord/pareto",
+            &trace,
+            LandlordCache::with_assigner(CAPACITY, pareto),
+            pareto,
+        ),
+        bench_agg("agg/pareto", &trace, pareto, false),
+        bench_agg("agg/pareto/bundle", &trace, pareto, true),
+    ];
+
+    // Live uniform-degeneracy check: Landlord at size = cost = 1 must be
+    // bit-identical to LRU, so the end-to-end hit rates must agree.
+    assert_eq!(
+        scenarios[0].hit_rate, scenarios[1].hit_rate,
+        "landlord/uniform diverged from lru/uniform"
+    );
+
+    for s in &scenarios {
+        println!(
+            "{:<24} {:>12.0} events/s  hit_rate {:.4}  units_moved {}",
+            s.name, s.events_per_sec, s.hit_rate, s.units_moved
+        );
+    }
+
+    if let Some(path) = json_path {
+        write_json(&path, events, &scenarios);
+        println!("# wrote {path}");
+    }
+}

@@ -22,7 +22,7 @@
 //! Flags (after `--`): `--smoke` shrinks the event count for CI,
 //! `--json PATH` writes a machine-readable summary.
 
-use fgcache_bench::harness;
+use fgcache_bench::{harness, ratio};
 use fgcache_cache::Cache;
 use fgcache_core::{AggregatingCacheBuilder, ShardedAggregatingCacheBuilder};
 use fgcache_types::rng::{RandomSource, SeededRng};
@@ -130,7 +130,7 @@ fn bench_monolith(trace: &[FileId]) -> Scenario {
         events_per_sec: trace.len() as f64 / best_secs,
         allocs_per_event: allocs as f64 / trace.len() as f64,
         locks_per_event: 0.0,
-        hit_rate: stats.hits as f64 / stats.accesses as f64,
+        hit_rate: ratio(stats.hits, stats.accesses),
     }
 }
 
@@ -168,7 +168,7 @@ fn bench_sharded(trace: &[FileId], shards: usize, fast_path: bool) -> Scenario {
         events_per_sec: trace.len() as f64 / best_secs,
         allocs_per_event: allocs as f64 / trace.len() as f64,
         locks_per_event: locks as f64 / trace.len() as f64,
-        hit_rate: stats.hits as f64 / stats.accesses as f64,
+        hit_rate: ratio(stats.hits, stats.accesses),
     }
 }
 

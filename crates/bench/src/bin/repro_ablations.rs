@@ -17,9 +17,12 @@
 //! 7. **I/O cost model** — latency-vs-bandwidth pricing of group
 //!    fetching under remote and LAN regimes (the §1 motivation and the
 //!    §6 note that practical group sizes depend on the medium).
+//! 8. **Cost/size-aware caching** — the paper's fixed-cost model vs
+//!    Landlord (Young) and unit-accounted group fetching with and
+//!    without whole-group (bundle) eviction, under seeded Pareto sizes.
 
 use fgcache_bench::{emit, standard_trace};
-use fgcache_cache::{Cache, LruCache};
+use fgcache_cache::{Cache, LandlordCache, LruCache};
 use fgcache_core::{AggregatingCacheBuilder, InsertionPolicy, MetadataSource};
 use fgcache_sim::cost::{cost_sweep_via_transport, cost_table, CostModel};
 use fgcache_sim::report::{fmt2, pct, Table};
@@ -27,6 +30,7 @@ use fgcache_sim::successors::{successor_eval, ReplacementScheme, SuccessorEvalCo
 use fgcache_successor::ProbabilityGraph;
 use fgcache_trace::synth::WorkloadProfile;
 use fgcache_trace::Trace;
+use fgcache_types::sizing::{SizeCostAssigner, SizeDistribution};
 use fgcache_types::FileId;
 
 fn run_client(trace: &Trace, capacity: usize, g: usize, policy: InsertionPolicy) -> u64 {
@@ -41,6 +45,17 @@ fn run_client(trace: &Trace, capacity: usize, g: usize, policy: InsertionPolicy)
     cache.demand_fetches()
 }
 
+/// Relative change of `head` vs `tail`, or an em-dash when the
+/// baseline is zero (a `0/0` here would print `NaN%` and poison the
+/// published CSV).
+fn fmt_delta(head: u64, tail: u64) -> String {
+    if tail == 0 {
+        return "\u{2014}".to_string();
+    }
+    let delta = (head as f64 - tail as f64) / tail as f64;
+    format!("{:+.1}%", delta * 100.0)
+}
+
 fn ablate_insertion_position(trace: &Trace) -> Table {
     let mut t = Table::new(
         "ablation 1: group-member insertion position (g = 5, server workload)",
@@ -49,13 +64,12 @@ fn ablate_insertion_position(trace: &Trace) -> Table {
     for capacity in [5usize, 10, 25, 50, 150, 400] {
         let tail = run_client(trace, capacity, 5, InsertionPolicy::Tail);
         let head = run_client(trace, capacity, 5, InsertionPolicy::Head);
-        let delta = (head as f64 - tail as f64) / tail as f64;
         t.push_row([
             capacity.to_string(),
             format!("{}x", capacity / 5),
             tail.to_string(),
             head.to_string(),
-            format!("{:+.1}%", delta * 100.0),
+            fmt_delta(head, tail),
         ]);
     }
     t
@@ -232,6 +246,82 @@ fn ablate_cost(trace: &Trace) -> Result<(Table, Table), Box<dyn std::error::Erro
     ))
 }
 
+fn ablate_cost_aware(trace: &Trace) -> Result<Table, Box<dyn std::error::Error>> {
+    // Seeded Pareto sizes (mean ≈ 7 units/file), so the legacy 300-file
+    // baseline and the 2048-unit size-aware caches hold roughly the same
+    // byte budget. Everything is priced under the sized remote regime.
+    let assigner = SizeCostAssigner::new(SizeDistribution::Pareto, 42);
+    let units = 2048usize;
+    let model = CostModel::remote_sized();
+    let mut t = Table::new(
+        "ablation 8: cost/size-aware caching (pareto sizes, seed 42, ~2048-unit budget)",
+        [
+            "config",
+            "fetches",
+            "files moved",
+            "units moved",
+            "time (remote)",
+        ],
+    );
+    let mut row = |label: &str, fetches: u64, files: u64, moved: u64| {
+        t.push_row([
+            label.to_string(),
+            fetches.to_string(),
+            files.to_string(),
+            moved.to_string(),
+            fmt2(model.total_sized(fetches, files, moved)),
+        ]);
+    };
+    // The paper's fixed-cost model: a count-based LRU that cannot see
+    // sizes. Its misses still move real bytes, priced honestly here.
+    let mut lru = LruCache::new(300);
+    let mut fetches = 0u64;
+    let mut moved = 0u64;
+    for ev in trace.events() {
+        if lru.access(ev.file).is_miss() {
+            fetches += 1;
+            moved += u64::from(assigner.size_of(ev.file));
+        }
+    }
+    row("lru 300 files (size-blind)", fetches, fetches, moved);
+    // Landlord: cost/size-aware replacement over the same byte budget.
+    let mut landlord = LandlordCache::with_assigner(units, assigner);
+    let mut fetches = 0u64;
+    let mut moved = 0u64;
+    for ev in trace.events() {
+        if landlord.access(ev.file).is_miss() {
+            fetches += 1;
+            moved += u64::from(assigner.size_of(ev.file));
+        }
+    }
+    row("landlord 2048 units", fetches, fetches, moved);
+    // Unit-accounted group fetching: g = 1 isolates the size accounting
+    // (an LRU over units), g = 5 adds grouping, and the bundle variant
+    // additionally evicts previously fetched groups as a unit.
+    for (label, g, bundle) in [
+        ("sized lru (agg g=1) 2048 units", 1usize, false),
+        ("agg g=5 sized 2048 units", 5, false),
+        ("agg g=5 sized + bundle eviction", 5, true),
+    ] {
+        let mut cache = AggregatingCacheBuilder::new(units)
+            .group_size(g)
+            .sizes(assigner)
+            .bundle_eviction(bundle)
+            .build()?;
+        for ev in trace.events() {
+            cache.handle_access(ev.file);
+        }
+        let gs = cache.group_stats();
+        row(
+            label,
+            gs.demand_fetches,
+            gs.files_transferred,
+            gs.size_units_transferred,
+        );
+    }
+    Ok(t)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = standard_trace(WorkloadProfile::Server);
     let workstation = standard_trace(WorkloadProfile::Workstation);
@@ -250,5 +340,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (remote, lan) = ablate_cost(&workstation)?;
     emit("ablation7a_cost_remote", &remote)?;
     emit("ablation7b_cost_lan", &lan)?;
+    emit("ablation8_cost_aware", &ablate_cost_aware(&workstation)?)?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_renders_dash_instead_of_nan_on_zero_baseline() {
+        assert_eq!(fmt_delta(5, 0), "\u{2014}");
+        assert_eq!(fmt_delta(0, 0), "\u{2014}");
+        assert_eq!(fmt_delta(11, 10), "+10.0%");
+        assert_eq!(fmt_delta(9, 10), "-10.0%");
+    }
 }

@@ -63,6 +63,20 @@ pub fn small_trace(profile: WorkloadProfile) -> Trace {
         .generate()
 }
 
+/// `num / den` as a float, or `0.0` when the denominator is zero.
+///
+/// Benchmark summaries divide by event/access counts that can be zero in
+/// smoke or degenerate configurations; `0/0` would put `NaN` into the
+/// printed tables and the JSON summaries (which have no way to represent
+/// it), so reporting code must divide through this guard.
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 /// Prints a table to stdout and writes its CSV under `results/<name>.csv`
 /// (directory created on demand). Returns the CSV path.
 ///
@@ -88,6 +102,14 @@ mod tests {
     fn standard_traces_have_standard_length() {
         let t = small_trace(WorkloadProfile::Server);
         assert_eq!(t.len(), 20_000);
+    }
+
+    #[test]
+    fn ratio_is_zero_not_nan_on_zero_denominator() {
+        assert_eq!(ratio(0, 0), 0.0);
+        assert_eq!(ratio(5, 0), 0.0);
+        assert!((ratio(1, 4) - 0.25).abs() < 1e-12);
+        assert!(ratio(0, 0).is_finite(), "must never leak NaN into JSON");
     }
 
     #[test]

@@ -1,0 +1,682 @@
+//! Landlord: size- and cost-aware caching (Young, *On-Line File
+//! Caching*, SODA 1998).
+//!
+//! Every file carries a **size** (capacity units it occupies) and a
+//! **retrieval cost** (what fetching it is worth); both come from a
+//! deterministic [`SizeCostAssigner`]. Each resident holds a *credit* in
+//! `[0, cost]`. On a fetch the file is admitted with full credit; when
+//! room is needed, every resident's credit is taxed proportionally to
+//! its size (`credit -= δ·size`, with `δ` the smallest credit density
+//! `credit/size` present) and a zero-credit file is evicted. A hit
+//! renews the credit to the full cost. Landlord is `k`-competitive — the
+//! generalisation of LRU the ROADMAP's cost/size item calls for.
+//!
+//! With the uniform assigner (size = cost = 1) the algorithm degenerates
+//! **exactly** to LRU: all credit densities tie, the tie-break is LRU
+//! order, and one tax round zeroes every credit uniformly. The
+//! [`lru_equivalence`](#method.new) differential tests pin this
+//! bit-for-bit, residency order included — which is what lets the
+//! policy slot into fixed-cost experiments without perturbing them.
+//!
+//! Implementation notes: residency uses the same slab + intrusive-list
+//! shape as [`LruCache`](crate::LruCache) (O(1) recency moves), but
+//! victim selection scans all residents for the minimum credit density —
+//! O(n) per eviction. That is the textbook trade: Landlord is a
+//! simulation policy here, not the hot path, and the scan keeps the
+//! arithmetic exactly reproducible by the naive reference model the
+//! differential fuzzer checks against. Ties in credit density are broken
+//! toward the least-recently-used entry, deterministically.
+
+use fgcache_types::hash::FastMap;
+use fgcache_types::sizing::SizeCostAssigner;
+use fgcache_types::{AccessOutcome, FileId, InvariantViolation};
+
+use crate::{Cache, CacheStats};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    file: FileId,
+    prev: usize,
+    next: usize,
+    speculative: bool,
+    size: u32,
+    cost: u32,
+    credit: f64,
+}
+
+/// A cost/size-aware cache running Young's Landlord algorithm.
+///
+/// `capacity` is a budget in *size units*, not files; with the uniform
+/// assigner every file has size 1 and the two coincide.
+///
+/// ```
+/// use fgcache_cache::{Cache, LandlordCache};
+/// use fgcache_types::FileId;
+///
+/// let mut c = LandlordCache::new(2);
+/// c.access(FileId(1));
+/// c.access(FileId(2));
+/// c.access(FileId(1));
+/// c.access(FileId(3)); // evicts 2 — uniform Landlord is exactly LRU
+/// assert!(!c.contains(FileId(2)));
+/// assert!(c.contains(FileId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LandlordCache {
+    capacity: usize,
+    assigner: SizeCostAssigner,
+    map: FastMap<FileId, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    used: u64,
+    stats: CacheStats,
+    batch_scratch: Vec<FileId>,
+}
+
+impl LandlordCache {
+    /// Creates a Landlord cache with the uniform assigner (size = cost
+    /// = 1 for every file), under which it behaves exactly like LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_assigner(capacity, SizeCostAssigner::uniform())
+    }
+
+    /// Creates a Landlord cache holding at most `capacity` size units,
+    /// with sizes and costs drawn from `assigner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_assigner(capacity: usize, assigner: SizeCostAssigner) -> Self {
+        assert!(capacity > 0, "cache capacity must be greater than zero");
+        LandlordCache {
+            capacity,
+            assigner,
+            map: FastMap::with_capacity_and_hasher(capacity.min(1 << 20), Default::default()),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            used: 0,
+            stats: CacheStats::new(),
+            batch_scratch: Vec::new(),
+        }
+    }
+
+    /// The configured size/cost assigner.
+    pub fn assigner(&self) -> SizeCostAssigner {
+        self.assigner
+    }
+
+    /// Size units currently occupied (≤ [`Cache::capacity`]).
+    pub fn used_units(&self) -> u64 {
+        self.used
+    }
+
+    /// Returns the resident files from most- to least-recently used.
+    pub fn residents(&self) -> impl Iterator<Item = FileId> + '_ {
+        let mut cursor = self.head;
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                return None;
+            }
+            let node = &self.nodes[cursor];
+            cursor = node.next;
+            Some(node.file)
+        })
+    }
+
+    fn alloc(&mut self, file: FileId, speculative: bool, credit: f64) -> usize {
+        let node = Node {
+            file,
+            prev: NIL,
+            next: NIL,
+            speculative,
+            size: self.assigner.size_of(file),
+            cost: self.assigner.cost_of(file),
+            credit,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_head(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn push_tail(&mut self, idx: usize) {
+        self.nodes[idx].next = NIL;
+        self.nodes[idx].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail].next = idx;
+        }
+        self.tail = idx;
+        if self.head == NIL {
+            self.head = idx;
+        }
+    }
+
+    /// The eviction victim: the resident with the minimum credit
+    /// density `credit/size`, ties broken toward the LRU tail. Scanning
+    /// tail→head with a strict `<` makes the first minimum seen (the
+    /// most tail-ward) win, which is what keeps uniform Landlord
+    /// bit-identical to LRU.
+    fn victim(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut cursor = self.tail;
+        while cursor != NIL {
+            let node = &self.nodes[cursor];
+            let density = node.credit / f64::from(node.size);
+            if best.is_none_or(|(_, d)| density < d) {
+                best = Some((cursor, density));
+            }
+            cursor = node.prev;
+        }
+        best.map(|(idx, _)| idx)
+    }
+
+    fn evict(&mut self, idx: usize) {
+        let file = self.nodes[idx].file;
+        self.used -= u64::from(self.nodes[idx].size);
+        self.detach(idx);
+        self.map.remove(&file);
+        self.free.push(idx);
+        self.stats.record_eviction();
+    }
+
+    /// Frees space until `need` more units fit. Callers guarantee
+    /// `need <= capacity`, so the loop always terminates.
+    fn make_room(&mut self, need: u64) {
+        debug_assert!(need <= self.capacity as u64);
+        while self.used + need > self.capacity as u64 {
+            let Some(victim) = self.victim() else {
+                break; // unreachable under the caller guarantee
+            };
+            let v = &self.nodes[victim];
+            let delta = v.credit / f64::from(v.size);
+            if delta > 0.0 {
+                // Tax every resident in proportion to its size. Each
+                // entry's update depends only on its own state and δ,
+                // so iteration order cannot affect the outcome.
+                for &idx in self.map.values() {
+                    let node = &mut self.nodes[idx];
+                    node.credit = (node.credit - delta * f64::from(node.size)).max(0.0);
+                }
+            }
+            self.evict(victim);
+        }
+    }
+}
+
+impl Cache for LandlordCache {
+    fn access(&mut self, file: FileId) -> AccessOutcome {
+        if let Some(&idx) = self.map.get(&file) {
+            let node = &mut self.nodes[idx];
+            let was_speculative = std::mem::replace(&mut node.speculative, false);
+            // Landlord permits renewing to anything up to the full
+            // cost; renew fully (the LRU-generalising choice).
+            node.credit = f64::from(node.cost);
+            self.detach(idx);
+            self.push_head(idx);
+            self.stats.record_hit(was_speculative);
+            return AccessOutcome::Hit;
+        }
+        self.stats.record_miss();
+        let size = u64::from(self.assigner.size_of(file));
+        if size > self.capacity as u64 {
+            // The file cannot fit even in an empty cache: serve the
+            // miss without admitting (evicting the entire cache for an
+            // uncacheable file would be strictly worse).
+            return AccessOutcome::Miss;
+        }
+        self.make_room(size);
+        let cost = f64::from(self.assigner.cost_of(file));
+        let idx = self.alloc(file, false, cost);
+        self.push_head(idx);
+        self.map.insert(file, idx);
+        self.used += size;
+        AccessOutcome::Miss
+    }
+
+    fn insert_speculative(&mut self, file: FileId) -> bool {
+        if self.map.contains_key(&file) {
+            return false;
+        }
+        let size = u64::from(self.assigner.size_of(file));
+        if size > self.capacity as u64 {
+            return false;
+        }
+        self.make_room(size);
+        // Zero credit: speculative entries are the first taxed away,
+        // exactly as LRU-tail insertion makes them the first evicted.
+        let idx = self.alloc(file, true, 0.0);
+        self.push_tail(idx);
+        self.map.insert(file, idx);
+        self.used += size;
+        self.stats.record_speculative_insert();
+        true
+    }
+
+    /// Appends the batch at the LRU tail in `files` order, making room
+    /// for the whole batch up front so members never evict each other
+    /// (mirrors [`LruCache`](crate::LruCache)'s batch semantics; at
+    /// uniform sizes the two are bit-identical).
+    fn insert_speculative_batch(&mut self, files: &[FileId]) {
+        let mut fresh = std::mem::take(&mut self.batch_scratch);
+        fresh.clear();
+        let mut batch_units = 0u64;
+        for &file in files {
+            let size = u64::from(self.assigner.size_of(file));
+            if batch_units + size > self.capacity as u64 {
+                break;
+            }
+            if !self.map.contains_key(&file) && !fresh.contains(&file) {
+                fresh.push(file);
+                batch_units += size;
+            }
+        }
+        self.make_room(batch_units);
+        for &file in &fresh {
+            let idx = self.alloc(file, true, 0.0);
+            self.push_tail(idx);
+            self.map.insert(file, idx);
+            self.used += u64::from(self.nodes[idx].size);
+            self.stats.record_speculative_insert();
+        }
+        self.batch_scratch = fresh;
+    }
+
+    fn contains(&self, file: FileId) -> bool {
+        self.map.contains_key(&file)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "landlord"
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.used = 0;
+        self.stats = CacheStats::new();
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("LandlordCache", detail));
+        if self.used > self.capacity as u64 {
+            return err(format!(
+                "{} units used exceeds capacity {}",
+                self.used, self.capacity
+            ));
+        }
+        if self.map.len() + self.free.len() != self.nodes.len() {
+            return err(format!(
+                "slab accounting: {} mapped + {} free != {} slots",
+                self.map.len(),
+                self.free.len(),
+                self.nodes.len()
+            ));
+        }
+        // Walk head→tail checking links, map agreement, credit bounds
+        // and the size/cost assignment, summing occupancy as we go.
+        let mut seen = 0usize;
+        let mut units = 0u64;
+        let mut prev = NIL;
+        let mut cursor = self.head;
+        while cursor != NIL {
+            if cursor >= self.nodes.len() {
+                return err(format!("link points to out-of-slab index {cursor}"));
+            }
+            let node = &self.nodes[cursor];
+            if node.prev != prev {
+                return err(format!(
+                    "broken back-link at slot {cursor} ({} != expected {})",
+                    node.prev, prev
+                ));
+            }
+            if self.map.get(&node.file) != Some(&cursor) {
+                return err(format!("map disagrees with chain for {}", node.file));
+            }
+            if node.size != self.assigner.size_of(node.file)
+                || node.cost != self.assigner.cost_of(node.file)
+            {
+                return err(format!(
+                    "{} carries size {} cost {} but the assigner says {} / {}",
+                    node.file,
+                    node.size,
+                    node.cost,
+                    self.assigner.size_of(node.file),
+                    self.assigner.cost_of(node.file)
+                ));
+            }
+            if !(0.0..=f64::from(node.cost)).contains(&node.credit) {
+                return err(format!(
+                    "{} credit {} outside [0, cost {}]",
+                    node.file, node.credit, node.cost
+                ));
+            }
+            units += u64::from(node.size);
+            seen += 1;
+            if seen > self.map.len() {
+                return err("chain longer than map (cycle or stray node)".to_string());
+            }
+            prev = cursor;
+            cursor = node.next;
+        }
+        if seen != self.map.len() {
+            return err(format!(
+                "chain has {seen} nodes, map has {}",
+                self.map.len()
+            ));
+        }
+        if prev != self.tail {
+            return err(format!("tail is {}, walk ended at {prev}", self.tail));
+        }
+        if units != self.used {
+            return err(format!(
+                "occupancy counter {} != {} summed over residents",
+                self.used, units
+            ));
+        }
+        for &idx in &self.free {
+            if idx >= self.nodes.len() {
+                return err(format!("free list holds out-of-slab index {idx}"));
+            }
+            if self.map.get(&self.nodes[idx].file) == Some(&idx) {
+                return err(format!("slot {idx} is both free and mapped"));
+            }
+        }
+        self.stats.check("LandlordCache")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::check_cache_conformance;
+    use crate::LruCache;
+    use fgcache_types::rng::RandomSource;
+    use fgcache_types::sizing::SizeDistribution;
+    use fgcache_types::SeededRng;
+
+    fn sized(capacity: usize, dist: SizeDistribution, seed: u64) -> LandlordCache {
+        LandlordCache::with_assigner(capacity, SizeCostAssigner::new(dist, seed))
+    }
+
+    #[test]
+    fn conformance() {
+        check_cache_conformance(LandlordCache::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be greater than zero")]
+    fn zero_capacity_panics() {
+        let _ = LandlordCache::new(0);
+    }
+
+    #[test]
+    fn uniform_is_bit_identical_to_lru() {
+        // Same outcomes, same statistics, same residency order, for a
+        // long randomized demand/speculative mix at several capacities.
+        for capacity in [1usize, 2, 5, 16, 64] {
+            let mut rng = SeededRng::new(0xFEED_FACE ^ capacity as u64);
+            let mut lru = LruCache::new(capacity);
+            let mut ll = LandlordCache::new(capacity);
+            let universe = (capacity as u64) * 3 + 8;
+            for step in 0..4_000 {
+                let f = FileId(rng.gen_range_inclusive(0, universe));
+                if rng.chance(0.75) {
+                    let a = lru.access(f);
+                    let b = ll.access(f);
+                    assert_eq!(a, b, "capacity {capacity} step {step}: outcome diverged");
+                } else {
+                    assert_eq!(
+                        lru.insert_speculative(f),
+                        ll.insert_speculative(f),
+                        "capacity {capacity} step {step}: speculative diverged"
+                    );
+                }
+                if step % 7 == 0 {
+                    let batch: Vec<FileId> = (0..3)
+                        .map(|_| FileId(rng.gen_range_inclusive(0, universe)))
+                        .collect();
+                    lru.insert_speculative_batch(&batch);
+                    ll.insert_speculative_batch(&batch);
+                }
+                let lru_order: Vec<FileId> = lru.iter_mru().collect();
+                let ll_order: Vec<FileId> = ll.residents().collect();
+                assert_eq!(
+                    lru_order, ll_order,
+                    "capacity {capacity} step {step}: residency order diverged"
+                );
+                ll.check_invariants().unwrap();
+            }
+            assert_eq!(lru.stats(), ll.stats());
+        }
+    }
+
+    #[test]
+    fn sized_files_occupy_their_size() {
+        let mut c = sized(100, SizeDistribution::Bimodal, 1);
+        let a = c.assigner();
+        // Find one large (size 64) and several small files.
+        let large = (0..10_000u64)
+            .map(FileId)
+            .find(|&f| a.size_of(f) == 64)
+            .expect("bimodal population has large files");
+        c.access(large);
+        assert_eq!(c.used_units(), 64);
+        let mut small = (0..10_000u64)
+            .map(FileId)
+            .filter(|&f| f != large && a.size_of(f) == 1);
+        for _ in 0..36 {
+            c.access(small.next().unwrap());
+        }
+        assert_eq!(c.used_units(), 100);
+        c.check_invariants().unwrap();
+        // One more unit must displace something.
+        c.access(small.next().unwrap());
+        assert!(c.used_units() <= 100);
+        assert!(c.stats().evictions >= 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn oversized_file_is_served_but_not_admitted() {
+        let mut c = sized(8, SizeDistribution::Bimodal, 1);
+        let a = c.assigner();
+        let large = (0..10_000u64)
+            .map(FileId)
+            .find(|&f| a.size_of(f) == 64)
+            .unwrap();
+        let small = (0..10_000u64)
+            .map(FileId)
+            .find(|&f| a.size_of(f) == 1)
+            .unwrap();
+        c.access(small);
+        assert!(c.access(large).is_miss());
+        assert!(!c.contains(large), "a 64-unit file cannot fit 8 units");
+        assert!(c.contains(small), "resident files must survive");
+        assert!(!c.insert_speculative(large));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn low_density_files_are_evicted_first_unlike_lru() {
+        // Cost-awareness in one scenario LRU gets wrong: a large file
+        // has cost 8 + 64 = 72 spread over 64 units — credit density
+        // ~1.1 — while a small file's cost 9 sits on one unit (density
+        // 9). Under pressure Landlord evicts the cheap-per-unit large
+        // file even when it is the MOST recently used resident, where
+        // LRU would instead kill the oldest small file.
+        let mut c = sized(256, SizeDistribution::Bimodal, 1);
+        let a = c.assigner();
+        let large = (0..10_000u64)
+            .map(FileId)
+            .find(|&f| a.size_of(f) == 64)
+            .unwrap();
+        let smalls: Vec<FileId> = (0..10_000u64)
+            .map(FileId)
+            .filter(|&f| f != large && a.size_of(f) == 1)
+            .take(193)
+            .collect();
+        for &f in &smalls[..192] {
+            c.access(f);
+        }
+        c.access(large); // fills to exactly 256 units, large is MRU
+        assert_eq!(c.used_units(), 256);
+        c.access(smalls[192]); // needs 1 unit -> someone must go
+        assert!(
+            !c.contains(large),
+            "the cheap-per-unit large file must be the victim"
+        );
+        for &f in &smalls {
+            assert!(c.contains(f), "{f} should have outlived the large file");
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_members_do_not_evict_each_other() {
+        let mut c = LandlordCache::new(4);
+        for i in 1..=4 {
+            c.access(FileId(i));
+        }
+        c.insert_speculative_batch(&[FileId(10), FileId(11), FileId(12)]);
+        assert_eq!(c.len(), 4);
+        for f in [4, 10, 11, 12] {
+            assert!(c.contains(FileId(f)));
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_trims_to_byte_budget() {
+        let mut c = sized(70, SizeDistribution::Bimodal, 1);
+        let a = c.assigner();
+        let large: Vec<FileId> = (0..10_000u64)
+            .map(FileId)
+            .filter(|&f| a.size_of(f) == 64)
+            .take(2)
+            .collect();
+        // Two 64-unit files cannot both fit in 70 units: the batch is
+        // trimmed at the budget, keeping the prefix.
+        c.insert_speculative_batch(&large);
+        assert!(c.contains(large[0]));
+        assert!(!c.contains(large[1]));
+        assert_eq!(c.used_units(), 64);
+        c.check_invariants().unwrap();
+    }
+
+    // ------------------------------------------------ mutation tests ----
+    // The PR-1 auditor pattern: corrupt each piece of redundant state
+    // and prove check_invariants reports it.
+
+    #[test]
+    fn corrupted_occupancy_counter_is_detected() {
+        let mut c = sized(100, SizeDistribution::Pareto, 5);
+        for i in 0..10 {
+            c.access(FileId(i));
+        }
+        assert!(c.check_invariants().is_ok());
+        c.used += 1;
+        assert!(c.check_invariants().is_err());
+    }
+
+    #[test]
+    fn credit_above_cost_is_detected() {
+        let mut c = sized(100, SizeDistribution::Pareto, 5);
+        c.access(FileId(1));
+        assert!(c.check_invariants().is_ok());
+        let idx = c.map[&FileId(1)];
+        c.nodes[idx].credit = f64::from(c.nodes[idx].cost) + 1.0;
+        assert!(c.check_invariants().is_err());
+    }
+
+    #[test]
+    fn negative_credit_is_detected() {
+        let mut c = LandlordCache::new(4);
+        c.access(FileId(1));
+        let idx = c.map[&FileId(1)];
+        c.nodes[idx].credit = -0.5;
+        assert!(c.check_invariants().is_err());
+    }
+
+    #[test]
+    fn corrupted_size_is_detected() {
+        let mut c = sized(100, SizeDistribution::Pareto, 5);
+        c.access(FileId(1));
+        let idx = c.map[&FileId(1)];
+        c.nodes[idx].size += 1;
+        assert!(c.check_invariants().is_err());
+    }
+
+    #[test]
+    fn corrupted_index_is_detected() {
+        let mut c = LandlordCache::new(3);
+        c.access(FileId(1));
+        c.access(FileId(2));
+        let idx = c.map[&FileId(1)];
+        c.map.insert(FileId(1), (idx + 1) % c.nodes.len());
+        assert!(c.check_invariants().is_err());
+    }
+
+    #[test]
+    fn corrupted_stats_are_detected() {
+        let mut c = LandlordCache::new(3);
+        c.access(FileId(1));
+        c.stats.hits += 1;
+        assert!(c.check_invariants().is_err());
+    }
+}

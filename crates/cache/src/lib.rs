@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates whole-file caches driven by access traces. This
 //! crate provides the [`Cache`] trait those simulations are written
-//! against, plus seven replacement policies:
+//! against, plus eight replacement policies:
 //!
 //! * [`LruCache`] — least-recently-used; the paper's client cache and the
 //!   base of the aggregating cache.
@@ -11,6 +11,8 @@
 //! * [`TwoQCache`] (2Q), [`MqCache`] (Multi-Queue, Zhou et al. 2001 — cited
 //!   by the paper for second-level caches), [`ArcCache`] (ARC) — stronger
 //!   baselines showing grouping is orthogonal to replacement policy.
+//! * [`LandlordCache`] — Young's size/cost-aware Landlord algorithm;
+//!   with uniform sizes and costs it is bit-identical to LRU.
 //!
 //! All policies support **speculative insertion** — placing a file at the
 //! lowest retention priority without counting a demand access — which is
@@ -42,6 +44,7 @@ mod arc;
 mod clock;
 mod fifo;
 pub mod filter;
+mod landlord;
 mod lfu;
 mod list;
 mod lru;
@@ -54,6 +57,7 @@ pub use arc::ArcCache;
 pub use clock::ClockCache;
 pub use fifo::FifoCache;
 pub use filter::FilterCache;
+pub use landlord::LandlordCache;
 pub use lfu::LfuCache;
 pub use lru::LruCache;
 pub use mq::MqCache;

@@ -207,6 +207,50 @@ impl LruCache {
         }
     }
 
+    /// Evicts the LRU tail entry (recording the eviction in statistics
+    /// and, when enabled, the eviction log), returning its file.
+    ///
+    /// This is the hook a size-aware wrapper uses to reclaim capacity in
+    /// *units* rather than files: it pre-evicts tail entries until the
+    /// incoming footprint fits, so this cache's own count-based eviction
+    /// never fires and both layers agree on the victim sequence.
+    pub fn evict_lru(&mut self) -> Option<FileId> {
+        self.evict_tail()
+    }
+
+    /// Evicts `file` regardless of its recency position, recording the
+    /// eviction exactly as a tail eviction would. Returns whether the
+    /// file was resident.
+    ///
+    /// Backs whole-group (bundle) eviction, where reclaiming the LRU
+    /// victim also reclaims its still-resident co-fetched group members,
+    /// wherever they sit in the recency order.
+    pub fn evict_file(&mut self, file: FileId) -> bool {
+        match self.map.remove(&file) {
+            Some(idx) => {
+                self.detach(idx);
+                self.free.push(idx);
+                self.stats.record_eviction();
+                if self.log_evictions {
+                    self.eviction_log.push(file);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records a miss in the statistics **without** admitting the file —
+    /// the demand was served but nothing entered the cache.
+    ///
+    /// Used by size-aware wrappers for files larger than the entire
+    /// cache: the fetch happens (and is charged), but admission is
+    /// impossible. The count-based model has no such case, so plain LRU
+    /// never calls this.
+    pub fn record_bypass_miss(&mut self) {
+        self.stats.record_miss();
+    }
+
     /// Evicts the LRU tail entry, returning its file.
     fn evict_tail(&mut self) -> Option<FileId> {
         if self.tail == NIL {

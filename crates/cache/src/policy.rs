@@ -4,7 +4,9 @@ use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
 
-use crate::{ArcCache, Cache, ClockCache, FifoCache, LfuCache, LruCache, MqCache, TwoQCache};
+use crate::{
+    ArcCache, Cache, ClockCache, FifoCache, LandlordCache, LfuCache, LruCache, MqCache, TwoQCache,
+};
 
 /// The replacement policies available to sweeps and examples.
 ///
@@ -32,11 +34,15 @@ pub enum PolicyKind {
     Mq,
     /// Adaptive Replacement Cache (Megiddo & Modha).
     Arc,
+    /// Landlord (Young) — size/cost-aware; uniform sizes degenerate to
+    /// LRU. Built here with the uniform assigner; use
+    /// [`LandlordCache::with_assigner`] for sized populations.
+    Landlord,
 }
 
 impl PolicyKind {
     /// All policies, in a stable presentation order.
-    pub const ALL: [PolicyKind; 7] = [
+    pub const ALL: [PolicyKind; 8] = [
         PolicyKind::Lru,
         PolicyKind::Lfu,
         PolicyKind::Fifo,
@@ -44,6 +50,7 @@ impl PolicyKind {
         PolicyKind::TwoQ,
         PolicyKind::Mq,
         PolicyKind::Arc,
+        PolicyKind::Landlord,
     ];
 
     /// Constructs a boxed cache of this policy with the given capacity.
@@ -60,6 +67,7 @@ impl PolicyKind {
             PolicyKind::TwoQ => Box::new(TwoQCache::new(capacity)),
             PolicyKind::Mq => Box::new(MqCache::new(capacity)),
             PolicyKind::Arc => Box::new(ArcCache::new(capacity)),
+            PolicyKind::Landlord => Box::new(LandlordCache::new(capacity)),
         }
     }
 
@@ -74,6 +82,7 @@ impl PolicyKind {
             PolicyKind::TwoQ => "2q",
             PolicyKind::Mq => "mq",
             PolicyKind::Arc => "arc",
+            PolicyKind::Landlord => "landlord",
         }
     }
 }
@@ -95,7 +104,7 @@ impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unrecognised policy {:?}, expected one of lru, lfu, fifo, clock, 2q, mq, arc",
+            "unrecognised policy {:?}, expected one of lru, lfu, fifo, clock, 2q, mq, arc, landlord",
             self.found
         )
     }
@@ -115,6 +124,7 @@ impl FromStr for PolicyKind {
             "2q" | "twoq" => Ok(PolicyKind::TwoQ),
             "mq" => Ok(PolicyKind::Mq),
             "arc" => Ok(PolicyKind::Arc),
+            "landlord" => Ok(PolicyKind::Landlord),
             other => Err(ParsePolicyError {
                 found: other.to_string(),
             }),

@@ -10,8 +10,9 @@
 //! Everything is seeded: a failure reproduces from the printed seed and
 //! step, never from a lost RNG state.
 
-use fgcache_cache::{Cache, FilterCache, LruCache, PolicyKind};
+use fgcache_cache::{Cache, FilterCache, LandlordCache, LruCache, PolicyKind};
 use fgcache_types::rng::RandomSource;
+use fgcache_types::sizing::{SizeCostAssigner, SizeDistribution};
 use fgcache_types::{FileId, SeededRng};
 
 const CAPACITIES: [usize; 5] = [1, 2, 5, 16, 64];
@@ -444,6 +445,99 @@ impl Model for ModelMq {
     }
 }
 
+// ----------------------------------------------------------- Landlord ----
+
+/// Naive Landlord (Young): a plain `Vec` in MRU→LRU order carrying
+/// `(file, credit)`, with sizes and costs re-derived from the assigner
+/// on every step. Victim selection and the credit tax are spelled out
+/// exactly as in the paper; the real implementation must reproduce the
+/// arithmetic bit-for-bit (same f64 operations per entry), so outcomes,
+/// membership AND residency order must all agree.
+struct ModelLandlord {
+    capacity: u64,
+    assigner: SizeCostAssigner,
+    /// MRU at index 0; `(file, credit)`.
+    entries: Vec<(FileId, f64)>,
+}
+
+impl ModelLandlord {
+    fn new(capacity: usize, assigner: SizeCostAssigner) -> Self {
+        ModelLandlord {
+            capacity: capacity as u64,
+            assigner,
+            entries: Vec::new(),
+        }
+    }
+
+    fn used(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|&(f, _)| u64::from(self.assigner.size_of(f)))
+            .sum()
+    }
+
+    fn make_room(&mut self, need: u64) {
+        while self.used() + need > self.capacity {
+            // Victim: minimum credit density, ties to the LRU end
+            // (scan back-to-front, strict <).
+            let mut best: Option<(usize, f64)> = None;
+            for i in (0..self.entries.len()).rev() {
+                let (f, credit) = self.entries[i];
+                let density = credit / f64::from(self.assigner.size_of(f));
+                if best.is_none_or(|(_, d)| density < d) {
+                    best = Some((i, density));
+                }
+            }
+            let Some((victim, delta)) = best else { break };
+            if delta > 0.0 {
+                for (f, credit) in self.entries.iter_mut() {
+                    *credit = (*credit - delta * f64::from(self.assigner.size_of(*f))).max(0.0);
+                }
+            }
+            self.entries.remove(victim);
+        }
+    }
+}
+
+impl Model for ModelLandlord {
+    fn access(&mut self, f: FileId) -> bool {
+        if let Some(i) = self.entries.iter().position(|&(x, _)| x == f) {
+            self.entries.remove(i);
+            self.entries
+                .insert(0, (f, f64::from(self.assigner.cost_of(f))));
+            true
+        } else {
+            let size = u64::from(self.assigner.size_of(f));
+            if size <= self.capacity {
+                self.make_room(size);
+                self.entries
+                    .insert(0, (f, f64::from(self.assigner.cost_of(f))));
+            }
+            false
+        }
+    }
+
+    fn insert_speculative(&mut self, f: FileId) {
+        if self.entries.iter().any(|&(x, _)| x == f) {
+            return;
+        }
+        let size = u64::from(self.assigner.size_of(f));
+        if size > self.capacity {
+            return;
+        }
+        self.make_room(size);
+        self.entries.push((f, 0.0));
+    }
+
+    fn contains(&self, f: FileId) -> bool {
+        self.entries.iter().any(|&(x, _)| x == f)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 // ---------------------------------------------------------------- ARC ----
 
 /// Four plain-`Vec` lists (front = most recent) following Megiddo &
@@ -587,6 +681,7 @@ fn model_for(kind: PolicyKind, capacity: usize) -> Box<dyn Model> {
         PolicyKind::TwoQ => Box::new(ModelTwoQ::new(capacity)),
         PolicyKind::Mq => Box::new(ModelMq::new(capacity)),
         PolicyKind::Arc => Box::new(ModelArc::new(capacity)),
+        PolicyKind::Landlord => Box::new(ModelLandlord::new(capacity, SizeCostAssigner::uniform())),
     }
 }
 
@@ -673,6 +768,92 @@ fn mq_differential() {
 fn arc_differential() {
     for capacity in CAPACITIES {
         fuzz_policy(PolicyKind::Arc, capacity, OPS_PER_CAPACITY, SEED);
+    }
+}
+
+#[test]
+fn landlord_differential() {
+    for capacity in CAPACITIES {
+        fuzz_policy(PolicyKind::Landlord, capacity, OPS_PER_CAPACITY, SEED);
+    }
+}
+
+/// The seed set for the sized-Landlord fuzzer: `FGCACHE_FUZZ_SEEDS`
+/// (comma-separated u64s, decimal or `0x`-prefixed hex) when set — the
+/// hook `xtask fuzz` and its soak mode use to widen coverage — or a
+/// built-in pair otherwise.
+fn fuzz_seeds() -> Vec<u64> {
+    match std::env::var("FGCACHE_FUZZ_SEEDS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| s.trim())
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.strip_prefix("0x")
+                    .map(|hex| u64::from_str_radix(hex, 16))
+                    .unwrap_or_else(|| s.parse())
+                    .unwrap_or_else(|e| panic!("FGCACHE_FUZZ_SEEDS entry {s:?}: {e}"))
+            })
+            .collect(),
+        Err(_) => vec![SEED, 0xBADC_0FFE],
+    }
+}
+
+/// Landlord under seeded size/cost distributions: the real slab/list
+/// implementation against the naive Vec reference, checking outcome,
+/// length, membership, occupancy AND full residency order every step,
+/// with `check_invariants` (credit bounds, byte accounting) after each.
+fn fuzz_landlord_sized(dist: SizeDistribution, capacity: usize, ops: usize, seed: u64) {
+    let assigner = SizeCostAssigner::new(dist, seed ^ 0x5EED);
+    let mut rng = SeededRng::new(seed);
+    let mut real = LandlordCache::with_assigner(capacity, assigner);
+    let mut model = ModelLandlord::new(capacity, assigner);
+    let universe = (capacity as u64) / 2 + 32;
+    for step in 0..ops {
+        let f = FileId(rng.gen_range_inclusive(0, universe));
+        let ctx = |what: &str| {
+            format!("landlord {dist} capacity {capacity} seed {seed} step {step} file {f}: {what}")
+        };
+        if rng.chance(0.8) {
+            let real_hit = real.access(f).is_hit();
+            let model_hit = model.access(f);
+            assert_eq!(real_hit, model_hit, "{}", ctx("hit/miss diverged"));
+        } else {
+            real.insert_speculative(f);
+            model.insert_speculative(f);
+        }
+        assert_eq!(real.len(), model.len(), "{}", ctx("len diverged"));
+        assert_eq!(
+            real.used_units(),
+            model.used(),
+            "{}",
+            ctx("occupancy diverged")
+        );
+        let real_order: Vec<FileId> = real.residents().collect();
+        let model_order: Vec<FileId> = model.entries.iter().map(|&(f, _)| f).collect();
+        assert_eq!(
+            real_order,
+            model_order,
+            "{}",
+            ctx("residency order diverged")
+        );
+        real.check_invariants()
+            .unwrap_or_else(|v| panic!("{}", ctx(&v.to_string())));
+    }
+}
+
+#[test]
+fn landlord_sized_differential() {
+    for seed in fuzz_seeds() {
+        for dist in [
+            SizeDistribution::Uniform,
+            SizeDistribution::Pareto,
+            SizeDistribution::Bimodal,
+        ] {
+            for capacity in [8usize, 64, 300, 4096] {
+                fuzz_landlord_sized(dist, capacity, 1_500, seed);
+            }
+        }
     }
 }
 

@@ -290,6 +290,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_event_replay_reports_finite_us_per_event() {
+        // A replay with no events must not put NaN/Inf into the us/event
+        // column (0/0); the guard renders it as 0.00.
+        let mut cfg = quick();
+        cfg.clients = 1;
+        cfg.batches = vec![1];
+        let table = batch_sweep(&cfg, &[Trace::from_files(Vec::<u64>::new())]).unwrap();
+        let rendered = table.render();
+        assert!(
+            !rendered.contains("NaN") && !rendered.contains("inf"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("0.00"), "{rendered}");
+    }
+
+    #[test]
     fn batch_list_parsing() {
         assert_eq!(parse_batches("1,8,32").unwrap(), vec![1, 8, 32]);
         assert_eq!(parse_batches(" 2 , 4 ").unwrap(), vec![2, 4]);

@@ -58,8 +58,13 @@ mod tests {
     #[test]
     fn cache_flags_are_validated() {
         assert!(build_cache(400, 4, 5, 8).is_ok());
-        // 30-capacity server over 16 shards: slices below group size.
-        assert!(build_cache(30, 16, 5, 8).is_err());
+        // Slices below the group size are fine (each shard clamps its
+        // group size to what it can hold); only configs where the total
+        // capacity cannot fit a group, or a shard cannot hold one file,
+        // are rejected.
+        assert!(build_cache(30, 16, 5, 8).is_ok());
+        assert!(build_cache(30, 16, 31, 8).is_err());
+        assert!(build_cache(8, 16, 5, 8).is_err());
     }
 
     #[test]

@@ -8,13 +8,47 @@
 
 use std::error::Error;
 
-use fgcache_cache::{Cache, PolicyKind};
+use fgcache_cache::{Cache, LandlordCache, PolicyKind};
 use fgcache_core::{AggregatingCacheBuilder, ShardedAggregatingCacheBuilder};
 use fgcache_sim::multiclient::run_multiclient_stream;
 use fgcache_trace::io::TraceIoError;
 #[cfg(test)]
 use fgcache_trace::Trace;
+use fgcache_types::sizing::{SizeCostAssigner, SizeDistribution};
 use fgcache_types::AccessEvent;
+
+/// Size/cost options shared by the single-cache and multi-client modes.
+///
+/// `--sizes <uniform|pareto|bimodal>` gives every file a deterministic
+/// seeded size and retrieval cost; it applies to `--policy landlord`
+/// (cost-aware replacement) and `--policy agg` (unit-accounted residency
+/// with bundle-aware group admission; add `--bundle true` for whole-group
+/// eviction). Other policies are count-based, so `--sizes` is rejected.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct SizingOpts {
+    pub assigner: Option<SizeCostAssigner>,
+    pub bundle: bool,
+}
+
+impl SizingOpts {
+    fn parse(args: &crate::args::Args) -> Result<Self, Box<dyn Error>> {
+        let assigner = match args.flag("sizes") {
+            Some(raw) => {
+                let dist: SizeDistribution = raw.parse()?;
+                Some(SizeCostAssigner::new(
+                    dist,
+                    args.flag_or("size-seed", 42u64)?,
+                ))
+            }
+            None => None,
+        };
+        let bundle = args.flag_or("bundle", false)?;
+        if bundle && assigner.is_none() {
+            return Err("--bundle requires --sizes".into());
+        }
+        Ok(SizingOpts { assigner, bundle })
+    }
+}
 
 use crate::args::Args;
 use crate::commands::open_trace_events;
@@ -37,7 +71,25 @@ pub(crate) fn simulate(
     group: usize,
     successors: usize,
 ) -> Result<String, Box<dyn Error>> {
-    simulate_events(ok_events(trace), policy, capacity, group, successors)
+    simulate_events(
+        ok_events(trace),
+        policy,
+        capacity,
+        group,
+        successors,
+        SizingOpts::default(),
+    )
+}
+
+#[cfg(test)]
+pub(crate) fn simulate_sized(
+    trace: &Trace,
+    policy: &str,
+    capacity: usize,
+    group: usize,
+    sizing: SizingOpts,
+) -> Result<String, Box<dyn Error>> {
+    simulate_events(ok_events(trace), policy, capacity, group, 8, sizing)
 }
 
 /// Streaming single-cache replay: consumes the events once.
@@ -47,16 +99,21 @@ pub(crate) fn simulate_events<I>(
     capacity: usize,
     group: usize,
     successors: usize,
+    sizing: SizingOpts,
 ) -> Result<String, Box<dyn Error>>
 where
     I: IntoIterator<Item = Result<AccessEvent, TraceIoError>>,
 {
     let mut out = String::new();
     if policy == "agg" {
-        let mut cache = AggregatingCacheBuilder::new(capacity)
+        let mut builder = AggregatingCacheBuilder::new(capacity)
             .group_size(group)
             .successor_capacity(successors)
-            .build()?;
+            .bundle_eviction(sizing.bundle);
+        if let Some(assigner) = sizing.assigner {
+            builder = builder.sizes(assigner);
+        }
+        let mut cache = builder.build()?;
         for ev in events {
             cache.handle_access(ev?.file);
         }
@@ -64,6 +121,17 @@ where
         out.push_str(&format!(
             "aggregating cache: capacity {capacity}, group size {group}, successors {successors}\n"
         ));
+        if let Some(assigner) = sizing.assigner {
+            out.push_str(&format!(
+                "size model        {} (seed-assigned){}\n",
+                assigner.distribution(),
+                if sizing.bundle {
+                    ", whole-group eviction"
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str(&format!("accesses          {}\n", stats.accesses));
         out.push_str(&format!("demand fetches    {}\n", cache.demand_fetches()));
         out.push_str(&format!(
@@ -80,16 +148,41 @@ where
             stats.speculative_accuracy() * 100.0
         ));
         out.push_str(&format!("metadata entries  {}\n", cache.metadata_entries()));
+        if sizing.assigner.is_some() {
+            out.push_str(&format!(
+                "units transferred {}\n",
+                cache.group_stats().size_units_transferred
+            ));
+            out.push_str(&format!(
+                "units resident    {}/{}\n",
+                cache.units_used(),
+                capacity
+            ));
+        }
     } else {
         let kind: PolicyKind = policy
             .parse()
             .map_err(|e| format!("{e} (or \"agg\" for the aggregating cache)"))?;
-        let mut cache = kind.build(capacity);
+        if sizing.assigner.is_some() && kind != PolicyKind::Landlord {
+            return Err(
+                "--sizes applies to cost-aware caches only (--policy landlord or agg)".into(),
+            );
+        }
+        let mut cache: Box<dyn Cache> = match sizing.assigner {
+            Some(assigner) => Box::new(LandlordCache::with_assigner(capacity, assigner)),
+            None => kind.build(capacity),
+        };
         for ev in events {
             cache.access(ev?.file);
         }
         let stats = cache.stats();
         out.push_str(&format!("{kind} cache: capacity {capacity}\n"));
+        if let Some(assigner) = sizing.assigner {
+            out.push_str(&format!(
+                "size model     {} (seed-assigned)\n",
+                assigner.distribution()
+            ));
+        }
         out.push_str(&format!("accesses       {}\n", stats.accesses));
         out.push_str(&format!("misses         {}\n", stats.misses));
         out.push_str(&format!(
@@ -113,6 +206,8 @@ pub(crate) struct MulticlientOpts {
     /// `--no-fast-path true` routes every server request through the
     /// shard mutex (results are identical; only lock traffic changes).
     pub no_fast_path: bool,
+    /// Size/cost model for the sharded server (`--sizes`, `--bundle`).
+    pub sizing: SizingOpts,
 }
 
 /// The `--clients K` mode: event `i` of the stream belongs to client
@@ -144,16 +239,21 @@ where
         group,
         successors,
         no_fast_path,
+        sizing: _,
     } = *opts;
     if clients == 0 {
         return Err("--clients must be greater than zero".into());
     }
-    let server = ShardedAggregatingCacheBuilder::new(capacity)
+    let mut builder = ShardedAggregatingCacheBuilder::new(capacity)
         .shards(shards)
         .group_size(group)
         .successor_capacity(successors)
         .fast_path(!no_fast_path)
-        .build()?;
+        .bundle_eviction(opts.sizing.bundle);
+    if let Some(assigner) = opts.sizing.assigner {
+        builder = builder.sizes(assigner);
+    }
+    let server = builder.build()?;
     let point = run_multiclient_stream(&server, events, clients, filter)?;
     let mut out = String::new();
     out.push_str(&format!(
@@ -191,12 +291,16 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
         "shards",
         "filter",
         "no-fast-path",
+        "sizes",
+        "size-seed",
+        "bundle",
     ])?;
     let path = args.require_positional(0, "trace")?;
     let capacity: usize = args.require_flag("capacity")?;
     let policy = args.flag("policy").unwrap_or("agg");
     let group = args.flag_or("group", 5usize)?;
     let successors = args.flag_or("successors", 8usize)?;
+    let sizing = SizingOpts::parse(&args)?;
     let events = open_trace_events(path, args.flag("format"))?;
     if args.flag("clients").is_some() || args.flag("shards").is_some() {
         if policy != "agg" {
@@ -210,12 +314,13 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
             group,
             successors,
             no_fast_path: args.flag_or("no-fast-path", false)?,
+            sizing,
         };
         print!("{}", simulate_multiclient_events(events, &opts)?);
     } else {
         print!(
             "{}",
-            simulate_events(events, policy, capacity, group, successors)?
+            simulate_events(events, policy, capacity, group, successors, sizing)?
         );
     }
     Ok(())
@@ -263,7 +368,84 @@ mod tests {
             group: 3,
             successors: 4,
             no_fast_path: false,
+            sizing: SizingOpts::default(),
         }
+    }
+
+    fn sized(dist: SizeDistribution, bundle: bool) -> SizingOpts {
+        SizingOpts {
+            assigner: Some(SizeCostAssigner::new(dist, 42)),
+            bundle,
+        }
+    }
+
+    #[test]
+    fn landlord_policy_report() {
+        let text = simulate(&trace(), "landlord", 10, 5, 8).unwrap();
+        assert!(text.contains("landlord cache: capacity 10"));
+    }
+
+    #[test]
+    fn landlord_sized_report() {
+        let text = simulate_sized(
+            &trace(),
+            "landlord",
+            10,
+            5,
+            sized(SizeDistribution::Pareto, false),
+        )
+        .unwrap();
+        assert!(text.contains("size model     pareto"), "{text}");
+        assert!(text.contains("accesses       500"));
+    }
+
+    #[test]
+    fn sized_landlord_uniform_matches_plain_lru_numbers() {
+        let lru = simulate(&trace(), "lru", 10, 5, 8).unwrap();
+        let sizedrun = simulate_sized(
+            &trace(),
+            "landlord",
+            10,
+            5,
+            sized(SizeDistribution::Uniform, false),
+        )
+        .unwrap();
+        // Same misses/hit-rate/evictions lines (skip the differing headers).
+        let tail = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("cache:") && !l.contains("size model"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tail(&lru), tail(&sizedrun));
+    }
+
+    #[test]
+    fn aggregating_sized_report() {
+        let text = simulate_sized(
+            &trace(),
+            "agg",
+            20,
+            3,
+            sized(SizeDistribution::Bimodal, true),
+        )
+        .unwrap();
+        assert!(text.contains("size model        bimodal"), "{text}");
+        assert!(text.contains("whole-group eviction"));
+        assert!(text.contains("units transferred"));
+        assert!(text.contains("units resident"));
+    }
+
+    #[test]
+    fn sizes_rejected_for_count_based_policies() {
+        assert!(simulate_sized(
+            &trace(),
+            "arc",
+            10,
+            5,
+            sized(SizeDistribution::Pareto, false)
+        )
+        .is_err());
     }
 
     #[test]
@@ -288,8 +470,18 @@ mod tests {
     #[test]
     fn multiclient_validation() {
         assert!(simulate_multiclient(&trace(), &opts(0, 1, 10, 30)).is_err());
-        // 30-file server over 16 shards: slices below group size 3.
-        assert!(simulate_multiclient(&trace(), &opts(2, 16, 10, 30)).is_err());
+        // A 30-file server over 16 shards has slices below group size 3,
+        // which now builds (shards clamp); a group larger than the whole
+        // server does not.
+        assert!(simulate_multiclient(&trace(), &opts(2, 16, 10, 30)).is_ok());
+        assert!(simulate_multiclient(
+            &trace(),
+            &MulticlientOpts {
+                group: 31,
+                ..opts(2, 16, 10, 30)
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use fgcache_cache::LruCache;
 use fgcache_successor::{GroupBuilder, LruSuccessorList, SuccessorTable};
+use fgcache_types::sizing::SizeCostAssigner;
 use fgcache_types::ValidationError;
 
 use crate::aggregating::{AggregatingCache, InsertionPolicy, MetadataSource};
@@ -34,6 +35,8 @@ pub struct AggregatingCacheBuilder {
     successor_capacity: usize,
     insertion: InsertionPolicy,
     metadata: MetadataSource,
+    sizes: Option<SizeCostAssigner>,
+    bundle_eviction: bool,
 }
 
 impl AggregatingCacheBuilder {
@@ -48,7 +51,28 @@ impl AggregatingCacheBuilder {
             successor_capacity: DEFAULT_SUCCESSOR_CAPACITY,
             insertion: InsertionPolicy::default(),
             metadata: MetadataSource::default(),
+            sizes: None,
+            bundle_eviction: false,
         }
+    }
+
+    /// Gives files sizes and retrieval costs: residency is accounted in
+    /// size units (the capacity doubles as the unit budget) and group
+    /// admission trims members that do not fit. With a uniform assigner
+    /// the cache behaves bit-identically to the default fixed-cost
+    /// configuration.
+    pub fn sizes(mut self, assigner: SizeCostAssigner) -> Self {
+        self.sizes = Some(assigner);
+        self
+    }
+
+    /// Enables whole-group (bundle) eviction: reclaiming an LRU victim
+    /// also reclaims its still-attached co-fetched group members.
+    /// Requires [`Self::sizes`] (bundle accounting rides on the sized
+    /// path); [`Self::build`] rejects the combination otherwise.
+    pub fn bundle_eviction(mut self, enabled: bool) -> Self {
+        self.bundle_eviction = enabled;
+        self
     }
 
     /// Sets the group size `g` (1 = plain LRU).
@@ -80,8 +104,9 @@ impl AggregatingCacheBuilder {
     /// # Errors
     ///
     /// Returns a [`ValidationError`] if the cache capacity or group size
-    /// is zero, the successor capacity is zero, or the group size exceeds
-    /// the cache capacity (a group must fit in the cache).
+    /// is zero, the successor capacity is zero, the group size exceeds
+    /// the cache capacity (a group must fit in the cache), or bundle
+    /// eviction is requested without a size assigner.
     pub fn build(&self) -> Result<AggregatingCache, ValidationError> {
         if self.capacity == 0 {
             return Err(ValidationError::new(
@@ -95,6 +120,12 @@ impl AggregatingCacheBuilder {
                 "a whole group must fit in the cache (group_size <= capacity)",
             ));
         }
+        if self.bundle_eviction && self.sizes.is_none() {
+            return Err(ValidationError::new(
+                "bundle_eviction",
+                "bundle eviction requires a size assigner (use .sizes())",
+            ));
+        }
         let builder = GroupBuilder::new(self.group_size)?;
         let table = SuccessorTable::new(LruSuccessorList::new(self.successor_capacity)?);
         let cache = LruCache::new(self.capacity);
@@ -104,6 +135,8 @@ impl AggregatingCacheBuilder {
             builder,
             self.insertion,
             self.metadata,
+            self.sizes,
+            self.bundle_eviction,
         ))
     }
 }

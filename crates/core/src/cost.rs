@@ -9,10 +9,14 @@
 //! ```text
 //! total_time = demand_fetches × request_latency
 //!            + files_transferred × transfer_time
+//!            + size_units_transferred × transfer_per_unit
 //! ```
 //!
-//! which is the standard first-order model for fixed-size whole-file
-//! transfers over a network with per-request overhead. With
+//! which is the standard first-order model for whole-file transfers over
+//! a network with per-request overhead. The first two terms are the
+//! paper's fixed-size model; the third prices the *bytes* actually moved
+//! once files carry sizes (see `fgcache_types::sizing`), and is zero in
+//! the stock regimes so every fixed-cost number is unchanged. With
 //! `request_latency ≫ transfer_time` (the distributed-file-system regime
 //! the paper targets), grouping wins decisively; as transfer cost grows,
 //! large groups stop paying.
@@ -31,8 +35,15 @@ pub struct CostModel {
     /// Fixed cost of one fetch request (round-trip latency + server
     /// request handling).
     pub request_latency: f64,
-    /// Cost of transferring one file's data.
+    /// Cost of transferring one file's data (per-file overhead:
+    /// headers, metadata, per-file server work).
     pub transfer_time: f64,
+    /// Cost of transferring one *size unit* of file data. Zero in the
+    /// fixed-size regimes ([`CostModel::remote`], [`CostModel::lan`]),
+    /// where per-file cost already covers the uniform payload; positive
+    /// in sized regimes ([`CostModel::remote_sized`]) so large files
+    /// cost proportionally more to move.
+    pub transfer_per_unit: f64,
 }
 
 impl CostModel {
@@ -42,6 +53,19 @@ impl CostModel {
         CostModel {
             request_latency: 10.0,
             transfer_time: 1.0,
+            transfer_per_unit: 0.0,
+        }
+    }
+
+    /// The remote regime with byte pricing: the same 10:1 round trip,
+    /// plus one time unit per size unit moved. With every file at size 1
+    /// this prices each transfer at 2.0 (per-file overhead + payload);
+    /// a 64-unit file costs 65.0 to move.
+    pub fn remote_sized() -> Self {
+        CostModel {
+            request_latency: 10.0,
+            transfer_time: 1.0,
+            transfer_per_unit: 1.0,
         }
     }
 
@@ -50,6 +74,7 @@ impl CostModel {
         CostModel {
             request_latency: 2.0,
             transfer_time: 1.0,
+            transfer_per_unit: 0.0,
         }
     }
 
@@ -63,12 +88,14 @@ impl CostModel {
         for (name, v) in [
             ("request_latency", self.request_latency),
             ("transfer_time", self.transfer_time),
+            ("transfer_per_unit", self.transfer_per_unit),
         ] {
             if !v.is_finite() || v < 0.0 {
                 return Err(ValidationError::new(name, "must be finite and >= 0"));
             }
         }
-        if self.request_latency == 0.0 && self.transfer_time == 0.0 {
+        if self.request_latency == 0.0 && self.transfer_time == 0.0 && self.transfer_per_unit == 0.0
+        {
             return Err(ValidationError::new(
                 "cost model",
                 "at least one cost must be positive",
@@ -78,9 +105,17 @@ impl CostModel {
     }
 
     /// Total I/O time for a run that made `fetches` requests moving
-    /// `files` files.
+    /// `files` files, ignoring payload sizes (every fixed-cost caller).
     pub fn total(&self, fetches: u64, files: u64) -> f64 {
-        fetches as f64 * self.request_latency + files as f64 * self.transfer_time
+        self.total_sized(fetches, files, 0)
+    }
+
+    /// Total I/O time for a run that made `fetches` requests moving
+    /// `files` files totalling `size_units` of data.
+    pub fn total_sized(&self, fetches: u64, files: u64, size_units: u64) -> f64 {
+        fetches as f64 * self.request_latency
+            + files as f64 * self.transfer_time
+            + size_units as f64 * self.transfer_per_unit
     }
 }
 
@@ -92,21 +127,32 @@ mod tests {
     fn model_validation() {
         assert!(CostModel::remote().validate().is_ok());
         assert!(CostModel::lan().validate().is_ok());
+        assert!(CostModel::remote_sized().validate().is_ok());
         assert!(CostModel {
             request_latency: -1.0,
-            transfer_time: 1.0
+            transfer_time: 1.0,
+            transfer_per_unit: 0.0
         }
         .validate()
         .is_err());
         assert!(CostModel {
             request_latency: f64::NAN,
-            transfer_time: 1.0
+            transfer_time: 1.0,
+            transfer_per_unit: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel {
+            request_latency: 1.0,
+            transfer_time: 1.0,
+            transfer_per_unit: f64::INFINITY
         }
         .validate()
         .is_err());
         assert!(CostModel {
             request_latency: 0.0,
-            transfer_time: 0.0
+            transfer_time: 0.0,
+            transfer_per_unit: 0.0
         }
         .validate()
         .is_err());
@@ -117,8 +163,22 @@ mod tests {
         let m = CostModel {
             request_latency: 10.0,
             transfer_time: 2.0,
+            transfer_per_unit: 0.5,
         };
-        assert_eq!(m.total(3, 7), 44.0);
+        assert_eq!(m.total(3, 7), 44.0); // size-blind: payload term unused
+        assert_eq!(m.total_sized(3, 7, 10), 49.0);
         assert_eq!(m.total(0, 0), 0.0);
+        assert_eq!(m.total_sized(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn stock_regimes_price_bytes_at_zero() {
+        // Backwards compatibility: the regimes every existing sweep uses
+        // must produce identical totals whether or not sizes are known.
+        for m in [CostModel::remote(), CostModel::lan()] {
+            assert_eq!(m.total(5, 12), m.total_sized(5, 12, 9999));
+        }
+        let s = CostModel::remote_sized();
+        assert_eq!(s.total_sized(1, 1, 64), 75.0);
     }
 }

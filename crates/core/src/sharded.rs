@@ -63,6 +63,7 @@ use fgcache_types::sync::{AtomicU64, Ordering};
 
 use fgcache_cache::{Cache as _, CacheStats};
 use fgcache_types::hash::mix64;
+use fgcache_types::sizing::SizeCostAssigner;
 use fgcache_types::{AccessOutcome, FileId, InvariantViolation, ValidationError};
 
 use crate::aggregating::{AggregatingCache, GroupFetchStats, InsertionPolicy, MetadataSource};
@@ -690,6 +691,7 @@ impl ShardedAggregatingCache {
             group_stats.demand_fetches += g.demand_fetches;
             group_stats.files_transferred += g.files_transferred;
             group_stats.members_already_resident += g.members_already_resident;
+            group_stats.size_units_transferred += g.size_units_transferred;
             len += guard.len();
             metadata_entries += guard.metadata_entries();
             shard_accesses.push(guard.accesses());
@@ -886,6 +888,8 @@ pub struct ShardedAggregatingCacheBuilder {
     insertion: InsertionPolicy,
     metadata: MetadataSource,
     fast_path: bool,
+    sizes: Option<SizeCostAssigner>,
+    bundle_eviction: bool,
 }
 
 impl ShardedAggregatingCacheBuilder {
@@ -902,7 +906,25 @@ impl ShardedAggregatingCacheBuilder {
             insertion: InsertionPolicy::default(),
             metadata: MetadataSource::default(),
             fast_path: true,
+            sizes: None,
+            bundle_eviction: false,
         }
+    }
+
+    /// Gives files sizes and retrieval costs (see
+    /// [`AggregatingCacheBuilder::sizes`]). Each shard accounts its own
+    /// capacity slice in size units.
+    pub fn sizes(mut self, assigner: SizeCostAssigner) -> Self {
+        self.sizes = Some(assigner);
+        self
+    }
+
+    /// Enables whole-group (bundle) eviction on every shard (see
+    /// [`AggregatingCacheBuilder::bundle_eviction`]); requires
+    /// [`Self::sizes`].
+    pub fn bundle_eviction(mut self, enabled: bool) -> Self {
+        self.bundle_eviction = enabled;
+        self
     }
 
     /// Sets the shard count `N`.
@@ -945,12 +967,21 @@ impl ShardedAggregatingCacheBuilder {
 
     /// Validates the configuration and constructs the sharded cache.
     ///
+    /// Feasibility is judged against the **total** capacity: a group
+    /// must fit in the cache as a whole (`group_size <= capacity`), not
+    /// in every shard's slice. Shards whose slice is smaller than the
+    /// group size get their per-shard group size clamped to the slice —
+    /// exactly the members such a shard could retain anyway (the
+    /// aggregating cache never admits more than `slice - 1` speculative
+    /// members alongside the requested file).
+    ///
     /// # Errors
     ///
-    /// Returns a [`ValidationError`] if the shard count is zero, or if
-    /// any shard's capacity slice fails [`AggregatingCacheBuilder`]
-    /// validation (in particular, the *smallest* slice must still hold a
-    /// whole group: `capacity / shards >= group_size`).
+    /// Returns a [`ValidationError`] if the shard count is zero, the
+    /// capacity cannot give every shard at least one file
+    /// (`capacity < shards`), the group size exceeds the **total**
+    /// capacity, or any shard's configuration fails
+    /// [`AggregatingCacheBuilder`] validation.
     pub fn build(&self) -> Result<ShardedAggregatingCache, ValidationError> {
         if self.shards == 0 {
             return Err(ValidationError::new(
@@ -958,17 +989,34 @@ impl ShardedAggregatingCacheBuilder {
                 "at least one shard is required",
             ));
         }
+        if self.capacity < self.shards {
+            return Err(ValidationError::new(
+                "capacity",
+                format!(
+                    "capacity {} cannot give each of {} shards at least one file",
+                    self.capacity, self.shards
+                ),
+            ));
+        }
+        if self.group_size > self.capacity {
+            return Err(ValidationError::new(
+                "group_size",
+                "a whole group must fit in the cache (group_size <= total capacity)",
+            ));
+        }
         let slices = partition_capacities(self.capacity, self.shards);
         let mut shards = Vec::with_capacity(self.shards);
         for slice in slices {
-            shards.push(
-                AggregatingCacheBuilder::new(slice)
-                    .group_size(self.group_size)
-                    .successor_capacity(self.successor_capacity)
-                    .insertion_policy(self.insertion)
-                    .metadata_source(self.metadata)
-                    .build()?,
-            );
+            let mut builder = AggregatingCacheBuilder::new(slice)
+                .group_size(self.group_size.min(slice))
+                .successor_capacity(self.successor_capacity)
+                .insertion_policy(self.insertion)
+                .metadata_source(self.metadata)
+                .bundle_eviction(self.bundle_eviction);
+            if let Some(assigner) = self.sizes {
+                builder = builder.sizes(assigner);
+            }
+            shards.push(builder.build()?);
         }
         Ok(ShardedAggregatingCache::from_shards(
             shards,
@@ -1043,18 +1091,58 @@ mod tests {
             .shards(0)
             .build()
             .is_err());
-        // 10 files over 4 shards → smallest slice is 2 < group size 3.
+        // 10 files over 4 shards slices to [3, 3, 2, 2]: slices below
+        // the group size are fine as long as the *total* holds a group
+        // (the per-shard group size is clamped to the slice).
         assert!(ShardedAggregatingCacheBuilder::new(10)
             .shards(4)
             .group_size(3)
             .build()
-            .is_err());
+            .is_ok());
         assert!(ShardedAggregatingCacheBuilder::new(12)
             .shards(4)
             .group_size(3)
             .build()
             .is_ok());
+        // The total capacity is still a hard bound for the group...
+        let err = ShardedAggregatingCacheBuilder::new(10)
+            .shards(4)
+            .group_size(11)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.parameter(), "group_size");
+        // ...and every shard still needs at least one file.
+        let err = ShardedAggregatingCacheBuilder::new(3)
+            .shards(4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.parameter(), "capacity");
         assert!(ShardedAggregatingCacheBuilder::new(0).build().is_err());
+    }
+
+    #[test]
+    fn valid_configs_with_small_slices_build() {
+        // Regression: capacity 10 over 4 shards slices to [3, 3, 2, 2];
+        // with group size 5 every slice is below g even though the total
+        // capacity holds two whole groups. The builder used to hand each
+        // shard its raw slice and fail the per-shard `group_size <=
+        // capacity` check, rejecting a perfectly valid configuration.
+        let c = ShardedAggregatingCacheBuilder::new(10)
+            .shards(4)
+            .group_size(5)
+            .build()
+            .expect("total capacity 10 holds a group of 5");
+        assert_eq!(c.capacity(), 10);
+        assert_eq!(c.shard_count(), 4);
+        for i in 0..200u64 {
+            c.handle_access(FileId(i % 20));
+        }
+        c.check_invariants().unwrap();
+        assert!(c.len() <= 10);
+        // Per-shard group size is clamped to the slice, so no shard can
+        // transfer more than its slice per fetch.
+        let g = c.group_stats();
+        assert!(g.files_transferred <= g.demand_fetches * 3);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use fgcache_core::{
     ShardedAggregatingCacheBuilder,
 };
 use fgcache_types::rng::RandomSource;
+use fgcache_types::sizing::SizeCostAssigner;
 use fgcache_types::{FileId, SeededRng};
 
 const BUILTIN_SEEDS: [u64; 2] = [0xFEED_FACE, 0xBADC_0FFE];
@@ -244,6 +245,87 @@ fn single_shard_is_bit_identical_to_monolith() {
                     mono.group_stats(),
                     &sharded.group_stats(),
                     "group stats diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The uniform size/cost assigner is observably invisible: a sharded
+/// cache built with `.sizes(SizeCostAssigner::uniform())` — the
+/// Landlord-capable sized code path, where admission, eviction and the
+/// transfer ledger all run in size units — replays bit-identically to
+/// the fixed-cost path on every config: same per-access outcomes, same
+/// statistics, same per-shard MRU→LRU residency order after every step.
+#[test]
+fn uniform_sized_path_is_bit_identical_to_fixed_cost_path() {
+    for seed in seeds() {
+        for cfg in &CONFIGS {
+            for fast_path in [false, true] {
+                let legacy = ShardedAggregatingCacheBuilder::new(cfg.capacity)
+                    .shards(cfg.shards)
+                    .group_size(cfg.group_size)
+                    .insertion_policy(cfg.insertion)
+                    .fast_path(fast_path)
+                    .build()
+                    .expect("fuzz config must be valid");
+                let sized = ShardedAggregatingCacheBuilder::new(cfg.capacity)
+                    .shards(cfg.shards)
+                    .group_size(cfg.group_size)
+                    .insertion_policy(cfg.insertion)
+                    .fast_path(fast_path)
+                    .sizes(SizeCostAssigner::uniform())
+                    .build()
+                    .expect("fuzz config must be valid");
+                let mut rng = SeededRng::new(seed);
+                let universe = (cfg.capacity as u64) * 3 + 8;
+                for step in 0..OPS {
+                    let f = FileId(rng.gen_range_inclusive(0, universe));
+                    let ctx = |what: &str| {
+                        format!(
+                            "capacity {} shards {} g {} fast_path {fast_path} seed {seed} \
+                             step {step} file {f}: {what}",
+                            cfg.capacity, cfg.shards, cfg.group_size
+                        )
+                    };
+                    if rng.chance(0.9) {
+                        assert_eq!(
+                            legacy.handle_access(f),
+                            sized.handle_access(f),
+                            "{}",
+                            ctx("hit/miss outcome diverged")
+                        );
+                    } else {
+                        legacy.observe_metadata(f);
+                        sized.observe_metadata(f);
+                    }
+                    let order_legacy: Vec<FileId> =
+                        legacy.with_shard_of(f, |s| s.residents().collect());
+                    let order_sized: Vec<FileId> =
+                        sized.with_shard_of(f, |s| s.residents().collect());
+                    assert_eq!(
+                        order_legacy,
+                        order_sized,
+                        "{}",
+                        ctx("residency order diverged")
+                    );
+                    sized
+                        .check_invariants()
+                        .unwrap_or_else(|v| panic!("{}", ctx(&v.to_string())));
+                }
+                assert_eq!(
+                    legacy.stats(),
+                    sized.stats(),
+                    "stats diverged (seed {seed})"
+                );
+                let lg = legacy.group_stats();
+                let sg = sized.group_stats();
+                assert_eq!(lg.demand_fetches, sg.demand_fetches);
+                assert_eq!(lg.files_transferred, sg.files_transferred);
+                assert_eq!(lg.members_already_resident, sg.members_already_resident);
+                assert_eq!(
+                    sg.size_units_transferred, sg.files_transferred,
+                    "uniform files are one unit each"
                 );
             }
         }

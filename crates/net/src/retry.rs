@@ -268,6 +268,44 @@ mod tests {
     }
 
     #[test]
+    fn full_backoff_schedule_is_pinned_and_capped_after_jitter() {
+        // Regression pin for the suspicion that the max-backoff cap is
+        // applied before jitter (letting a jittered delay exceed the
+        // cap). It cannot: jitter draws from [raw/2, raw] and raw is
+        // already capped, so jittered <= raw <= max_delay_us always.
+        // Pinning the whole schedule keeps that arithmetic frozen.
+        let mut t = stack(9);
+        t.inner_mut().force_timeout_next(8);
+        t.fetch_group(&req(0, &[1])).expect("ninth attempt wins");
+        let p = RetryPolicy::virtual_time(9, 7);
+        assert_eq!(t.delays_us().len(), 8);
+        for &d in t.delays_us() {
+            assert!(d <= p.max_delay_us, "delay {d} exceeds the cap");
+        }
+        // Attempts 7 and 8 are at the cap pre-jitter; their jittered
+        // values must still sit inside [cap/2, cap].
+        assert_eq!(
+            t.delays_us(),
+            [779, 1451, 3515, 7131, 10770, 21812, 32336, 45768]
+        );
+    }
+
+    #[test]
+    fn shift_saturation_beyond_attempt_64_stays_at_cap() {
+        let p = RetryPolicy::virtual_time(8, 0);
+        for attempt in [64u32, 65, 100, u32::MAX] {
+            assert_eq!(p.raw_delay_us(attempt), p.max_delay_us);
+        }
+        // Even with an enormous base the shift clamp (min 63) prevents
+        // `1u64 << shift` overflow; saturating_mul + cap do the rest.
+        let huge = RetryPolicy {
+            base_delay_us: u64::MAX,
+            ..RetryPolicy::virtual_time(8, 0)
+        };
+        assert_eq!(huge.raw_delay_us(u32::MAX), huge.max_delay_us);
+    }
+
+    #[test]
     fn jittered_delays_stay_in_half_open_band() {
         let mut t = stack(8);
         t.inner_mut().force_timeout_next(6);

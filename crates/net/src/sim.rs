@@ -191,6 +191,7 @@ mod tests {
         let model = CostModel {
             request_latency: 10.0,
             transfer_time: 2.0,
+            transfer_per_unit: 0.0,
         };
         let mut t = SimTransport::to_origin(model);
         t.fetch_group(&req(0, &[1, 2, 3])).expect("sim cannot fail");
@@ -209,6 +210,7 @@ mod tests {
         let model = CostModel {
             request_latency: 10.0,
             transfer_time: 1.0,
+            transfer_per_unit: 0.0,
         };
         let requests = [req(0, &[1]), req(1, &[2]), req(2, &[3])];
 
@@ -274,6 +276,7 @@ mod tests {
         let model = CostModel {
             request_latency: 100.0,
             transfer_time: 0.0,
+            transfer_per_unit: 0.0,
         };
         let run = |seed: u64| {
             let mut t = SimTransport::to_origin(model).with_jitter(0.25, seed);

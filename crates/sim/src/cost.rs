@@ -220,6 +220,7 @@ mod tests {
         let m = CostModel {
             request_latency: 10.0,
             transfer_time: 2.0,
+            transfer_per_unit: 0.0,
         };
         let p = CostPoint::from_counters(5, 3, 7, &m);
         assert_eq!(p.group_size, 5);
@@ -236,6 +237,7 @@ mod tests {
         let bad = CostModel {
             request_latency: -1.0,
             transfer_time: 0.0,
+            transfer_per_unit: 0.0,
         };
         assert!(cost_sweep(&t, 100, &[1], bad).is_err());
         assert!(cost_sweep_via_transport(&t, 100, &[], CostModel::remote()).is_err());
@@ -277,6 +279,7 @@ mod tests {
         let model = CostModel {
             request_latency: 0.0,
             transfer_time: 1.0,
+            transfer_per_unit: 0.0,
         };
         let points = cost_sweep(&t, 300, &[1, 10], model).unwrap();
         let lru = points.iter().find(|p| p.group_size == 1).unwrap();

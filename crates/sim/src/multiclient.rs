@@ -749,9 +749,14 @@ mod tests {
         let mut cfg = MultiClientConfig::quick();
         cfg.filter_capacity = 0;
         assert!(multiclient_sweep(&cfg).is_err());
-        // 120-capacity server over 64 shards: slices smaller than g.
+        // 120-capacity server over 64 shards has slices smaller than g,
+        // which builds (shards clamp their group size); more shards than
+        // capacity does not.
         let mut cfg = MultiClientConfig::quick();
         cfg.shard_counts = vec![64];
+        assert!(multiclient_sweep(&cfg).is_ok());
+        let mut cfg = MultiClientConfig::quick();
+        cfg.shard_counts = vec![128];
         assert!(multiclient_sweep(&cfg).is_err());
         assert!(run_multiclient(&[], 1, 10, 100, 3, 4, false).is_err());
     }

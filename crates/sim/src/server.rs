@@ -237,6 +237,28 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_sweep_reports_finite_zero_rates() {
+        // Zero requests must render as 0.0%, never as NaN (the CSV/JSON
+        // writers downstream cannot represent NaN).
+        let t = Trace::from_files(Vec::<u64>::new());
+        let cfg = TwoLevelConfig {
+            filter_capacities: vec![10],
+            server_capacity: 10,
+            schemes: vec![ServerScheme::Policy(PolicyKind::Lru)],
+            successor_capacity: 4,
+        };
+        let points = two_level_sweep(&t, &cfg).unwrap();
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.server_accesses, 0);
+        assert!(p.server_hit_rate.is_finite() && p.server_hit_rate == 0.0);
+        assert!(p.client_hit_rate.is_finite() && p.client_hit_rate == 0.0);
+        let rendered = hit_rate_table("empty", &points).render();
+        assert!(rendered.contains("0.0%"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+    }
+
+    #[test]
     fn scheme_labels() {
         assert_eq!(ServerScheme::Policy(PolicyKind::Lru).label(), "lru");
         assert_eq!(ServerScheme::Aggregating { group_size: 5 }.label(), "g5");

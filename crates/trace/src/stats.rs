@@ -192,6 +192,16 @@ impl TraceStatsBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_event_builder_reports_zero_rates_not_nan() {
+        let stats = TraceStatsBuilder::default().finish();
+        assert_eq!(stats.events, 0);
+        assert!(stats.repeat_fraction().is_finite());
+        assert_eq!(stats.repeat_fraction(), 0.0);
+        assert!(stats.mutation_fraction().is_finite());
+        assert_eq!(stats.mutation_fraction(), 0.0);
+    }
     use crate::synth::{SynthConfig, WorkloadProfile};
     use fgcache_types::SeqNo;
 

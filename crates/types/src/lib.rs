@@ -28,12 +28,14 @@ pub mod error;
 pub mod hash;
 pub mod json;
 pub mod rng;
+pub mod sizing;
 pub mod sync;
 
 pub use audit::InvariantViolation;
 pub use error::{ParseAccessKindError, TransportError, TransportErrorKind, ValidationError};
 pub use hash::{BuildSplitMix64, FastMap, FastSet};
 pub use rng::SeededRng;
+pub use sizing::{SizeCostAssigner, SizeDistribution};
 
 /// Identifier of a file in the simulated file system.
 ///

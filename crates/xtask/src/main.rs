@@ -234,32 +234,36 @@ fn fuzz_with_seeds(root: &Path, seeds: &str) -> ExitCode {
 /// gate: it fails only if the bench itself fails, never on the numbers —
 /// thresholds would be noise on a shared single-core host.
 fn bench_smoke(root: &Path) -> ExitCode {
-    println!("==> bench-smoke: hot_path (--smoke) -> BENCH_hot_path.json");
-    // The bench binary's working directory is the package root, so the
-    // JSON path is made absolute to land at the workspace root.
-    let json = root.join("BENCH_hot_path.json");
-    let ok = Command::new("cargo")
-        .args([
-            "bench",
-            "-p",
-            "fgcache-bench",
-            "--bench",
-            "hot_path",
-            "--",
-            "--smoke",
-            "--json",
-        ])
-        .arg(&json)
-        .current_dir(root)
-        .status()
-        .map(|s| s.success())
-        .unwrap_or(false);
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("xtask bench-smoke: hot_path bench failed");
-        ExitCode::FAILURE
+    // The bench binaries' working directory is the package root, so the
+    // JSON paths are made absolute to land at the workspace root.
+    for (bench, json_name) in [
+        ("hot_path", "BENCH_hot_path.json"),
+        ("cost_aware", "BENCH_cost.json"),
+    ] {
+        println!("==> bench-smoke: {bench} (--smoke) -> {json_name}");
+        let json = root.join(json_name);
+        let ok = Command::new("cargo")
+            .args([
+                "bench",
+                "-p",
+                "fgcache-bench",
+                "--bench",
+                bench,
+                "--",
+                "--smoke",
+                "--json",
+            ])
+            .arg(&json)
+            .current_dir(root)
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        if !ok {
+            eprintln!("xtask bench-smoke: {bench} bench failed");
+            return ExitCode::FAILURE;
+        }
     }
+    ExitCode::SUCCESS
 }
 
 /// Runs the full local gate in order, stopping at the first failure.
