@@ -1,0 +1,148 @@
+//! Virtual-cluster replay throughput: N rendezvous-hashed cluster nodes
+//! over in-process transports, fed a streamed Zipf workload with
+//! mid-replay membership churn.
+//!
+//! Each scenario measures events/sec through the full routing path
+//! (entry node → ring lookup → proxy or local serve) and reports the
+//! proxied fraction and load imbalance. Every run doubles as a live
+//! correctness check: the fleet's per-node cache stats must be
+//! byte-identical to the single-process routing oracle.
+//!
+//! Flags (after `--`): `--smoke` shrinks the event count for CI,
+//! `--json PATH` writes a machine-readable summary.
+
+use fgcache_bench::harness;
+use fgcache_sim::{
+    oracle_replay, zipf_stream, MembershipChange, MembershipEvent, VirtualCluster,
+    VirtualClusterConfig,
+};
+use std::time::Instant;
+
+const UNIVERSE: usize = 4_000;
+const ZIPF_EXPONENT: f64 = 0.85;
+const SEED: u64 = 2002;
+const FULL_EVENTS: u64 = 400_000;
+const SMOKE_EVENTS: u64 = 24_000;
+
+struct Scenario {
+    name: String,
+    events_per_sec: f64,
+    proxied_fraction: f64,
+    imbalance: f64,
+}
+
+/// Leave/rejoin churn at 40% and 70% of the replay — the same shape the
+/// CLI smoke uses, so the bench exercises epoch application too.
+fn churn(nodes: usize, events: u64) -> Vec<MembershipEvent> {
+    if nodes < 2 || events < 10 {
+        return Vec::new();
+    }
+    let id = nodes as u64 - 1;
+    vec![
+        MembershipEvent {
+            at_event: events * 2 / 5,
+            change: MembershipChange::Leave(id),
+        },
+        MembershipEvent {
+            at_event: events * 7 / 10,
+            change: MembershipChange::Join(id),
+        },
+    ]
+}
+
+fn bench_fleet(nodes: usize, events: u64) -> Scenario {
+    let config = VirtualClusterConfig {
+        nodes,
+        node_capacity: 120,
+        shards: 2,
+        group_size: 4,
+        successor_capacity: 4,
+    };
+    let schedule = churn(nodes, events);
+    let stream = || zipf_stream(UNIVERSE, ZIPF_EXPONENT, SEED, events).expect("valid zipf");
+
+    // Replay mutates fleet state, so every timed pass gets a fresh
+    // fleet; only the replay itself is on the clock.
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..harness::iterations() + 1 {
+        let mut cluster = VirtualCluster::build(&config).expect("valid config");
+        let start = Instant::now();
+        let report = cluster.replay(stream(), &schedule);
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        last = Some(report);
+    }
+    let report = last.expect("at least one pass ran");
+
+    // Live byte-identity check against the single-process oracle.
+    let oracle = oracle_replay(&config, stream(), &schedule).expect("valid config");
+    assert_eq!(
+        report.per_node, oracle,
+        "{nodes}-node fleet diverged from the routing oracle"
+    );
+    let proxied: u64 = report.node_stats.iter().map(|s| s.proxied).sum();
+    let failures: u64 = report.node_stats.iter().map(|s| s.proxy_failures).sum();
+    assert_eq!(failures, 0, "virtual transports cannot fail");
+
+    Scenario {
+        name: format!("fleet/{nodes}nodes"),
+        events_per_sec: events as f64 / best,
+        proxied_fraction: proxied as f64 / events as f64,
+        imbalance: report.imbalance,
+    }
+}
+
+fn write_json(path: &str, events: u64, scenarios: &[Scenario]) {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"events\": {events},\n"));
+    body.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events_per_sec\": {:.0}, \"proxied_fraction\": {:.4}, \"imbalance\": {:.3}}}{}\n",
+            s.name,
+            s.events_per_sec,
+            s.proxied_fraction,
+            s.imbalance,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).expect("write json summary");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let events = if smoke { SMOKE_EVENTS } else { FULL_EVENTS };
+
+    println!(
+        "# cluster: {} events, zipf({}, {}) universe, mid-replay churn",
+        events, UNIVERSE, ZIPF_EXPONENT
+    );
+
+    let scenarios = vec![
+        bench_fleet(4, events),
+        bench_fleet(16, events),
+        bench_fleet(64, events),
+    ];
+
+    for s in &scenarios {
+        println!(
+            "{:<16} {:>12.0} events/s  proxied {:.4}  imbalance {:.3}",
+            s.name, s.events_per_sec, s.proxied_fraction, s.imbalance
+        );
+    }
+
+    if let Some(path) = json_path {
+        write_json(&path, events, &scenarios);
+        println!("# wrote {path}");
+    }
+}

@@ -25,7 +25,7 @@ use std::error::Error;
 use std::sync::Arc;
 
 use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
-use fgcache_net::{BoundServer, DirectTransport, NetClient, ServerHandle, WireStats};
+use fgcache_net::{BoundServer, DirectTransport, NetClient, ServeBackend, ServerHandle, WireStats};
 use fgcache_sim::multiclient::run_multiclient_transport;
 use fgcache_sim::report::Table;
 use fgcache_trace::synth::{SynthConfig, WorkloadProfile};
@@ -87,19 +87,9 @@ impl BenchNetConfig {
 }
 
 fn snapshot(cache: &ShardedAggregatingCache) -> WireStats {
-    let stats = cache.stats();
-    let group = cache.group_stats();
-    WireStats {
-        accesses: stats.accesses,
-        hits: stats.hits,
-        misses: stats.misses,
-        speculative_inserts: stats.speculative_inserts,
-        speculative_hits: stats.speculative_hits,
-        evictions: stats.evictions,
-        demand_fetches: group.demand_fetches,
-        files_transferred: group.files_transferred,
-        members_already_resident: group.members_already_resident,
-    }
+    // The in-process replay performs no retries, so the expected
+    // server-side reply-cache hit count is zero.
+    cache.wire_stats()
 }
 
 /// Phase 1: the byte-exact differential check (see the module docs).

@@ -4,6 +4,7 @@
 //! pure core function that returns its report as a `String`, so the logic
 //! is unit-testable without spawning processes.
 
+pub mod bench_cluster;
 pub mod bench_net;
 pub mod convert;
 pub mod entropy;

@@ -1,21 +1,31 @@
 //! `fgcache serve` — run a TCP group-fetch server over a sharded
-//! aggregating cache.
+//! aggregating cache, standalone or as one cluster node.
 //!
 //! ```text
 //! fgcache serve --capacity 400 [--addr 127.0.0.1:0] [--shards 4]
-//!               [--group 5] [--successors 8]
+//!               [--group 5] [--successors 8] [--dedup 1024]
+//!               [--node-id 1 [--peers 1=HOST:PORT,2=HOST:PORT,...]]
 //! ```
 //!
 //! The server prints `listening on HOST:PORT` (useful with port 0, which
 //! binds an ephemeral port) and then blocks until a client sends the
 //! wire-protocol `Shutdown` message — which `fgcache bench-net` does, and
 //! which any `NetClient::send_shutdown` call can do.
+//!
+//! With `--node-id` the server becomes a cluster node: fetches for
+//! groups another node owns (by the rendezvous ring over the current
+//! membership view) are proxied to that owner over TCP as depth-bounded
+//! owned fetches. `--peers` seeds the membership view at epoch 1;
+//! without it the node starts alone at epoch 0 and waits for a
+//! `ClusterUpdate` push (this is how `bench-cluster` starts nodes, since
+//! ephemeral ports are unknowable before bind).
 
 use std::error::Error;
 use std::sync::Arc;
 
+use fgcache_cluster::{ClusterNode, ClusterView, NodeId};
 use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
-use fgcache_net::BoundServer;
+use fgcache_net::{BoundServer, NetClient, Transport};
 
 use crate::args::Args;
 
@@ -34,17 +44,87 @@ pub(crate) fn build_cache(
         .build()?)
 }
 
+/// Parses `--peers` (`"1=host:port,2=host:port"`) into view members.
+pub(crate) fn parse_peers(raw: &str) -> Result<Vec<(NodeId, String)>, Box<dyn Error>> {
+    raw.split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            let (id, addr) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("invalid peer {tok:?} in --peers (want ID=HOST:PORT)"))?;
+            let id: u64 = id
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid peer id {id:?} in --peers"))?;
+            let addr = addr.trim();
+            if addr.is_empty() {
+                return Err(format!("empty address for peer {id} in --peers").into());
+            }
+            Ok((NodeId(id), addr.to_string()))
+        })
+        .collect()
+}
+
+/// Builds the cluster node for `--node-id` mode: peers are dialled
+/// lazily over TCP on first proxy.
+pub(crate) fn build_cluster_node(
+    node_id: u64,
+    cache: Arc<ShardedAggregatingCache>,
+    peers: Option<Vec<(NodeId, String)>>,
+) -> ClusterNode {
+    let node = ClusterNode::new(
+        NodeId(node_id),
+        cache,
+        Box::new(
+            |_peer, addr| Ok(Box::new(NetClient::connect(addr)?) as Box<dyn Transport + Send>),
+        ),
+    );
+    if let Some(members) = peers {
+        node.apply_view(ClusterView::new(1, members));
+    }
+    node
+}
+
 pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
     let args = Args::parse(tokens.iter().cloned())?;
-    args.check_known(&["addr", "capacity", "shards", "group", "successors"])?;
+    args.check_known(&[
+        "addr",
+        "capacity",
+        "shards",
+        "group",
+        "successors",
+        "dedup",
+        "node-id",
+        "peers",
+    ])?;
     let capacity: usize = args.require_flag("capacity")?;
     let shards = args.flag_or("shards", 4usize)?;
     let group = args.flag_or("group", 5usize)?;
     let successors = args.flag_or("successors", 8usize)?;
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+    let dedup = args.flag_or("dedup", fgcache_net::DEFAULT_REPLY_CACHE_CAPACITY)?;
+    let node_id: Option<u64> = match args.flag("node-id") {
+        Some(_) => Some(args.require_flag("node-id")?),
+        None => None,
+    };
+    let peers = match args.flag("peers") {
+        Some(raw) => Some(parse_peers(raw)?),
+        None => None,
+    };
+    if peers.is_some() && node_id.is_none() {
+        return Err("--peers requires --node-id (cluster mode)".into());
+    }
 
     let cache = Arc::new(build_cache(capacity, shards, group, successors)?);
-    let server = BoundServer::bind(addr, cache).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let server = match node_id {
+        Some(id) => {
+            let node = Arc::new(build_cluster_node(id, cache, peers));
+            BoundServer::bind_backend(addr, node)
+        }
+        None => BoundServer::bind(addr, cache),
+    }
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?
+    .with_dedup_capacity(dedup);
     println!("listening on {}", server.local_addr());
     server.run();
     println!("server stopped");
@@ -82,5 +162,51 @@ mod tests {
     fn capacity_is_required() {
         let tokens: Vec<String> = vec![];
         assert!(run(&tokens).is_err());
+    }
+
+    #[test]
+    fn peers_parse_and_validate() {
+        let peers = parse_peers("1=127.0.0.1:7001, 2 = 127.0.0.1:7002").unwrap();
+        assert_eq!(
+            peers,
+            vec![
+                (NodeId(1), "127.0.0.1:7001".to_string()),
+                (NodeId(2), "127.0.0.1:7002".to_string()),
+            ]
+        );
+        assert!(parse_peers("1").is_err());
+        assert!(parse_peers("x=127.0.0.1:1").is_err());
+        assert!(parse_peers("3=").is_err());
+    }
+
+    #[test]
+    fn peers_without_node_id_rejected() {
+        let tokens: Vec<String> = vec![
+            "--capacity".into(),
+            "100".into(),
+            "--peers".into(),
+            "1=127.0.0.1:7001".into(),
+        ];
+        let err = run(&tokens).expect_err("peers without node-id");
+        assert!(err.to_string().contains("--node-id"), "{err}");
+    }
+
+    #[test]
+    fn cluster_node_seeds_the_view_from_peers() {
+        let cache = Arc::new(build_cache(100, 2, 3, 4).unwrap());
+        let node = build_cluster_node(
+            1,
+            cache,
+            Some(vec![
+                (NodeId(1), "a:1".to_string()),
+                (NodeId(2), "b:2".to_string()),
+            ]),
+        );
+        let view = node.view();
+        assert_eq!(view.epoch(), 1);
+        assert_eq!(view.addr_of(NodeId(2)), Some("b:2"));
+        // Without peers: self-only at epoch 0, so any push applies.
+        let cache = Arc::new(build_cache(100, 2, 3, 4).unwrap());
+        assert_eq!(build_cluster_node(7, cache, None).view().epoch(), 0);
     }
 }

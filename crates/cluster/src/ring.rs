@@ -1,0 +1,296 @@
+//! Rendezvous-hash ownership: which node owns which file.
+//!
+//! The ring is a plain sorted member list; ownership of a file is decided
+//! by *highest random weight* (Thaler & Ravishankar, 1998): every node
+//! computes `weight(node, file) = mix64(mix64(node) ^ file)` and the
+//! node with the largest weight owns the file. Because each (node, file)
+//! weight is independent of every other node, membership changes move the
+//! minimum possible keys:
+//!
+//! * **leave** — exactly the departed node's keys move (everyone else
+//!   still holds the maximum weight they held before);
+//! * **join** — only keys for which the new node now holds the maximum
+//!   weight move, an expected `1/(n+1)` fraction.
+//!
+//! No tokens, no ring positions, no replication factor — for the paper's
+//! whole-group caches a deterministic pure function of (members, file) is
+//! the entire routing table, and it is trivially identical on every node
+//! that holds the same member list. [`ClusterView`] pairs that member
+//! list with an epoch and the peer addresses, which is what the
+//! `ClusterUpdate` wire frame carries.
+
+use fgcache_types::hash::mix64;
+use fgcache_types::FileId;
+
+/// A cluster node's identity: an opaque 64-bit id, stable across
+/// restarts. Ids are chosen by the operator (or the test harness) and
+/// carried verbatim on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The raw 64-bit id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The rendezvous weight of `node` for `file`: two rounds of the
+/// SplitMix64 finalizer, so node and file bits are fully mixed before
+/// comparison. Public so tests (and the oracle replay) can pin the exact
+/// assignment function.
+pub fn ownership_weight(node: NodeId, file: FileId) -> u64 {
+    mix64(mix64(node.0) ^ file.as_u64())
+}
+
+/// An immutable rendezvous-hash ownership ring over a set of nodes.
+///
+/// Construction sorts and deduplicates the member list, so two rings
+/// built from the same members in any order are identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnershipRing {
+    nodes: Vec<NodeId>,
+}
+
+impl OwnershipRing {
+    /// Builds a ring over `nodes` (order-insensitive; duplicates are
+    /// collapsed). An empty ring is allowed and owns nothing.
+    pub fn new(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut nodes: Vec<NodeId> = nodes.into_iter().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        OwnershipRing { nodes }
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members (then [`owner`](Self::owner)
+    /// always returns `None`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The sorted member list.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+
+    /// The owner of `file`: the member with the highest rendezvous
+    /// weight (ties — astronomically unlikely with distinct ids — go to
+    /// the larger id, so the choice is still total). `None` iff the ring
+    /// is empty.
+    pub fn owner(&self, file: FileId) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .max_by_key(|&n| (ownership_weight(n, file), n))
+    }
+}
+
+/// An epoch'd membership view: the member list plus each member's
+/// transport address, exactly what a `ClusterUpdate` frame carries.
+///
+/// Epochs are totally ordered; a node applies a view only if its epoch
+/// exceeds the one it holds, which makes update delivery idempotent and
+/// commutative per epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterView {
+    epoch: u64,
+    /// Sorted by node id; one address per member.
+    members: Vec<(NodeId, String)>,
+}
+
+impl ClusterView {
+    /// Builds a view at `epoch` over `members` (order-insensitive; a
+    /// duplicated id keeps the last address given).
+    pub fn new(epoch: u64, members: impl IntoIterator<Item = (NodeId, String)>) -> Self {
+        let mut members: Vec<(NodeId, String)> = members.into_iter().collect();
+        members.sort_by_key(|(id, _)| *id);
+        // Keep the *last* address for a duplicated id.
+        members.reverse();
+        members.dedup_by_key(|(id, _)| *id);
+        members.reverse();
+        ClusterView { epoch, members }
+    }
+
+    /// A view from the wire representation (raw u64 ids).
+    pub fn from_wire(epoch: u64, members: &[(u64, String)]) -> Self {
+        Self::new(
+            epoch,
+            members.iter().map(|(id, addr)| (NodeId(*id), addr.clone())),
+        )
+    }
+
+    /// The wire representation (raw u64 ids), for `ClusterUpdate`.
+    pub fn to_wire(&self) -> Vec<(u64, String)> {
+        self.members
+            .iter()
+            .map(|(id, addr)| (id.0, addr.clone()))
+            .collect()
+    }
+
+    /// This view's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The members, sorted by id.
+    pub fn members(&self) -> &[(NodeId, String)] {
+        &self.members
+    }
+
+    /// The transport address of `node`, if it is a member.
+    pub fn addr_of(&self, node: NodeId) -> Option<&str> {
+        self.members
+            .binary_search_by_key(&node, |(id, _)| *id)
+            .ok()
+            .map(|i| self.members[i].1.as_str())
+    }
+
+    /// The ownership ring over this view's members.
+    pub fn ring(&self) -> OwnershipRing {
+        OwnershipRing::new(self.members.iter().map(|(id, _)| *id))
+    }
+
+    /// The next view after `node` joins (or changes address): epoch + 1,
+    /// member added or replaced.
+    #[must_use]
+    pub fn with_member(&self, node: NodeId, addr: &str) -> ClusterView {
+        ClusterView::new(
+            self.epoch + 1,
+            self.members
+                .iter()
+                .filter(|(id, _)| *id != node)
+                .cloned()
+                .chain(std::iter::once((node, addr.to_string()))),
+        )
+    }
+
+    /// The next view after `node` leaves: epoch + 1, member removed
+    /// (removing a non-member still bumps the epoch — the caller asked
+    /// for a new view).
+    #[must_use]
+    pub fn without_member(&self, node: NodeId) -> ClusterView {
+        ClusterView::new(
+            self.epoch + 1,
+            self.members.iter().filter(|(id, _)| *id != node).cloned(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(ids: &[u64]) -> OwnershipRing {
+        OwnershipRing::new(ids.iter().map(|&i| NodeId(i)))
+    }
+
+    #[test]
+    fn ring_is_order_insensitive_and_dedups() {
+        assert_eq!(ring(&[3, 1, 2]), ring(&[1, 2, 3, 2]));
+        assert_eq!(ring(&[3, 1, 2]).nodes(), &[NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let r = ring(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.owner(FileId(7)), None);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let r = ring(&[42]);
+        for f in 0..100u64 {
+            assert_eq!(r.owner(FileId(f)), Some(NodeId(42)));
+        }
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_a_member() {
+        let r = ring(&[1, 2, 3, 4, 5]);
+        for f in 0..1000u64 {
+            let o = r.owner(FileId(f)).expect("non-empty ring");
+            assert!(r.contains(o));
+            assert_eq!(r.owner(FileId(f)), Some(o), "owner must be stable");
+        }
+    }
+
+    #[test]
+    fn ownership_spreads_across_members() {
+        let r = ring(&[1, 2, 3, 4]);
+        let mut counts = [0u64; 5];
+        for f in 0..4000u64 {
+            counts[r.owner(FileId(f)).expect("non-empty").0 as usize] += 1;
+        }
+        for (node, &owned) in counts.iter().enumerate().skip(1) {
+            // Expected 1000 ± a few σ; a uniform rendezvous hash cannot
+            // plausibly starve a node to under half its fair share.
+            assert!(
+                owned > 500 && owned < 1500,
+                "node {node} owns {owned} of 4000"
+            );
+        }
+    }
+
+    #[test]
+    fn view_addresses_and_ring_agree() {
+        let v = ClusterView::new(
+            3,
+            [
+                (NodeId(2), "b:2".to_string()),
+                (NodeId(1), "a:1".to_string()),
+            ],
+        );
+        assert_eq!(v.epoch(), 3);
+        assert_eq!(v.addr_of(NodeId(1)), Some("a:1"));
+        assert_eq!(v.addr_of(NodeId(2)), Some("b:2"));
+        assert_eq!(v.addr_of(NodeId(9)), None);
+        assert_eq!(v.ring(), ring(&[1, 2]));
+    }
+
+    #[test]
+    fn view_join_and_leave_bump_epochs() {
+        let v = ClusterView::new(1, [(NodeId(1), "a".to_string())]);
+        let joined = v.with_member(NodeId(2), "b");
+        assert_eq!(joined.epoch(), 2);
+        assert_eq!(joined.ring().len(), 2);
+        let left = joined.without_member(NodeId(1));
+        assert_eq!(left.epoch(), 3);
+        assert_eq!(left.ring().nodes(), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn with_member_replaces_the_address() {
+        let v = ClusterView::new(1, [(NodeId(1), "old".to_string())]);
+        let moved = v.with_member(NodeId(1), "new");
+        assert_eq!(moved.addr_of(NodeId(1)), Some("new"));
+        assert_eq!(moved.members().len(), 1);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let v = ClusterView::new(
+            7,
+            [(NodeId(4), "d".to_string()), (NodeId(2), "b".to_string())],
+        );
+        let wire = v.to_wire();
+        assert_eq!(wire, vec![(2, "b".to_string()), (4, "d".to_string())]);
+        assert_eq!(ClusterView::from_wire(7, &wire), v);
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-group single-flight: concurrent misses for the same group
+//! collapse into one upstream fetch.
+//!
+//! When several requests for the same non-owned group race through a
+//! node, only the first (the *leader*) actually fetches from the owner;
+//! the rest (*waiters*) block on a condvar and receive a clone of the
+//! leader's reply. This is the other half of the paper's aggregation
+//! story at cluster scale: the cache aggregates files into groups, and
+//! single-flight aggregates concurrent fetchers of a group into one wire
+//! round trip. (Retries of the *same* request id are already collapsed by
+//! the owner's idempotent reply cache; single-flight collapses *distinct*
+//! requests for the same group.)
+//!
+//! Flights are keyed by a 64-bit fold of (owner, files). A hash collision
+//! would make a waiter receive the wrong group's reply, so the flight
+//! stores its file list and a joiner whose files differ executes its own
+//! fetch instead of waiting — correctness never depends on the hash.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use fgcache_net::GroupReply;
+use fgcache_types::hash::{mix64, FastMap};
+use fgcache_types::{FileId, TransportError};
+
+use crate::ring::NodeId;
+
+/// The flight key: a mix64 fold over the owner and the group's files, so
+/// the same group proxied to the same owner lands in the same flight.
+pub fn flight_key(owner: NodeId, files: &[FileId]) -> u64 {
+    let mut key = mix64(owner.0);
+    for &file in files {
+        key = mix64(key ^ file.as_u64());
+    }
+    key
+}
+
+/// One in-progress upstream fetch and the result slot its waiters watch.
+struct Flight {
+    /// The group being fetched, to detect flight-key collisions.
+    files: Vec<FileId>,
+    /// `None` while the leader is fetching; the result once done.
+    result: Mutex<Option<Result<GroupReply, TransportError>>>,
+    done: Condvar,
+}
+
+/// The map guard's view: live flights plus a waiter gauge for tests.
+struct Flights {
+    by_key: FastMap<u64, Arc<Flight>>,
+    waiting: usize,
+}
+
+/// A single-flight group for upstream fetches. See the [module
+/// docs](self).
+pub struct SingleFlight {
+    flights: Mutex<Flights>,
+}
+
+impl std::fmt::Debug for SingleFlight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let guard = self.lock();
+        f.debug_struct("SingleFlight")
+            .field("in_flight", &guard.by_key.len())
+            .field("waiting", &guard.waiting)
+            .finish()
+    }
+}
+
+impl Default for SingleFlight {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What `join` decided for a caller.
+enum Role {
+    /// First in: execute the fetch and publish the result.
+    Leader(Arc<Flight>),
+    /// A flight for this key+files exists: wait for its result.
+    Waiter(Arc<Flight>),
+    /// Key collision with a different group: execute independently.
+    Collision,
+}
+
+impl SingleFlight {
+    /// An empty single-flight group.
+    pub fn new() -> Self {
+        SingleFlight {
+            flights: Mutex::new(Flights {
+                by_key: FastMap::default(),
+                waiting: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Flights> {
+        self.flights
+            .lock()
+            .expect("a single-flight participant panicked while holding the flight map")
+    }
+
+    /// Number of callers currently blocked waiting on another caller's
+    /// flight (a test hook: lets a harness park threads deterministically
+    /// before releasing the leader).
+    pub fn waiting(&self) -> usize {
+        self.lock().waiting
+    }
+
+    /// Runs `fetch` once per concurrent group: the leader executes it,
+    /// concurrent callers with the same `key` and `files` receive a clone
+    /// of the leader's result. Returns `(result, collapsed)`; `collapsed`
+    /// is true iff this caller was served from another caller's flight.
+    pub fn run(
+        &self,
+        key: u64,
+        files: &[FileId],
+        fetch: impl FnOnce() -> Result<GroupReply, TransportError>,
+    ) -> (Result<GroupReply, TransportError>, bool) {
+        let role = {
+            let mut guard = self.lock();
+            match guard.by_key.get(&key).map(Arc::clone) {
+                Some(flight) if flight.files == files => {
+                    guard.waiting += 1;
+                    Role::Waiter(flight)
+                }
+                Some(_) => Role::Collision,
+                None => {
+                    let flight = Arc::new(Flight {
+                        files: files.to_vec(),
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    guard.by_key.insert(key, Arc::clone(&flight));
+                    Role::Leader(flight)
+                }
+            }
+        };
+        match role {
+            Role::Leader(flight) => {
+                let result = fetch();
+                {
+                    let mut slot = flight
+                        .result
+                        .lock()
+                        .expect("a flight waiter panicked while holding the result slot");
+                    *slot = Some(clone_result(&result));
+                }
+                flight.done.notify_all();
+                // Retire the flight: later callers start a fresh fetch
+                // (the group may have been evicted again by then).
+                self.lock().by_key.remove(&key);
+                (result, false)
+            }
+            Role::Waiter(flight) => {
+                let mut slot = flight
+                    .result
+                    .lock()
+                    .expect("a flight leader panicked while holding the result slot");
+                while slot.is_none() {
+                    slot = flight
+                        .done
+                        .wait(slot)
+                        .expect("a flight leader panicked while holding the result slot");
+                }
+                let result = clone_result(slot.as_ref().expect("loop exits only when filled"));
+                drop(slot);
+                self.lock().waiting -= 1;
+                (result, true)
+            }
+            Role::Collision => (fetch(), false),
+        }
+    }
+}
+
+fn clone_result(result: &Result<GroupReply, TransportError>) -> Result<GroupReply, TransportError> {
+    match result {
+        Ok(reply) => Ok(reply.clone()),
+        Err(err) => Err(err.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn files(ids: &[u64]) -> Vec<FileId> {
+        ids.iter().map(|&i| FileId(i)).collect()
+    }
+
+    fn reply(id: u64) -> GroupReply {
+        GroupReply {
+            request_id: id,
+            files: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sole_caller_leads_and_flight_retires() {
+        let sf = SingleFlight::new();
+        let fs = files(&[1, 2]);
+        let key = flight_key(NodeId(1), &fs);
+        let (result, collapsed) = sf.run(key, &fs, || Ok(reply(7)));
+        assert_eq!(result.expect("leader result").request_id, 7);
+        assert!(!collapsed);
+        // The flight is gone: a second run executes again.
+        let (result, collapsed) = sf.run(key, &fs, || Ok(reply(8)));
+        assert_eq!(result.expect("fresh flight").request_id, 8);
+        assert!(!collapsed);
+    }
+
+    #[test]
+    fn concurrent_callers_collapse_into_one_fetch() {
+        let sf = Arc::new(SingleFlight::new());
+        let executed = Arc::new(AtomicUsize::new(0));
+        let fs = files(&[1, 2, 3]);
+        let key = flight_key(NodeId(9), &fs);
+        // Gate the leader so every other thread reliably joins as a
+        // waiter before the fetch completes.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let sf = Arc::clone(&sf);
+            let executed = Arc::clone(&executed);
+            let gate = Arc::clone(&gate);
+            let fs = fs.clone();
+            handles.push(std::thread::spawn(move || {
+                sf.run(key, &fs, move || {
+                    let (open, cv) = &*gate;
+                    let mut open = open.lock().expect("gate");
+                    while !*open {
+                        open = cv.wait(open).expect("gate");
+                    }
+                    executed.fetch_add(1, Ordering::AcqRel);
+                    Ok(reply(1))
+                })
+            }));
+        }
+        // Park until all 7 non-leaders are waiting, then open the gate.
+        while sf.waiting() < 7 {
+            std::thread::yield_now();
+        }
+        {
+            let (open, cv) = &*gate;
+            *open.lock().expect("gate") = true;
+            cv.notify_all();
+        }
+        let results: Vec<(Result<GroupReply, TransportError>, bool)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
+        assert_eq!(executed.load(Ordering::Acquire), 1, "one upstream fetch");
+        assert_eq!(results.iter().filter(|(_, c)| *c).count(), 7);
+        for (r, _) in &results {
+            assert_eq!(r.as_ref().expect("all succeed").request_id, 1);
+        }
+    }
+
+    #[test]
+    fn key_collision_with_different_files_executes_independently() {
+        let sf = SingleFlight::new();
+        let a = files(&[1]);
+        let b = files(&[2]);
+        let key = 42; // force both groups onto the same key
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sf = Arc::new(sf);
+        let leader = {
+            let sf = Arc::clone(&sf);
+            let a = a.clone();
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                sf.run(key, &a, move || {
+                    let (open, cv) = &*gate;
+                    let mut open = open.lock().expect("gate");
+                    while !*open {
+                        open = cv.wait(open).expect("gate");
+                    }
+                    Ok(reply(1))
+                })
+            })
+        };
+        // Wait for the leader's flight to appear, then run group `b`
+        // against the colliding key: it must execute its own fetch, not
+        // block on group `a`'s flight.
+        while sf.lock().by_key.is_empty() {
+            std::thread::yield_now();
+        }
+        let (result, collapsed) = sf.run(key, &b, || Ok(reply(2)));
+        assert_eq!(result.expect("own fetch").request_id, 2);
+        assert!(!collapsed);
+        {
+            let (open, cv) = &*gate;
+            *open.lock().expect("gate") = true;
+            cv.notify_all();
+        }
+        let (result, collapsed) = leader.join().expect("join");
+        assert_eq!(result.expect("leader").request_id, 1);
+        assert!(!collapsed);
+    }
+
+    #[test]
+    fn flight_keys_differ_by_owner_and_files() {
+        let fs = files(&[1, 2, 3]);
+        assert_ne!(flight_key(NodeId(1), &fs), flight_key(NodeId(2), &fs));
+        assert_ne!(
+            flight_key(NodeId(1), &files(&[1, 2])),
+            flight_key(NodeId(1), &files(&[2, 1])),
+            "file order is part of the group identity"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Single-flight collapse through a whole [`ClusterNode`], asserted via
+//! [`TransportStats`]: N threads missing on the same non-owned group
+//! must cost exactly one upstream fetch.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use fgcache_cluster::{ClusterNode, ClusterView, NodeId};
+use fgcache_core::{CostModel, ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
+use fgcache_net::{GroupReply, GroupRequest, SimTransport, Transport, TransportStats};
+use fgcache_types::{FileId, TransportError};
+
+/// A gate shared between the test driver and the in-flight leader: the
+/// leader blocks inside its upstream fetch until the driver opens it.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock().expect("gate");
+        while !*open {
+            open = self.cv.wait(open).expect("gate");
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().expect("gate") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Wraps the peer transport so the leader's fetch parks on the gate,
+/// guaranteeing every other thread joins the flight as a waiter.
+struct GatedTransport {
+    inner: SimTransport<'static>,
+    gate: Arc<Gate>,
+}
+
+impl Transport for GatedTransport {
+    fn fetch_group(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        self.gate.wait();
+        self.inner.fetch_group(request)
+    }
+
+    fn fetch_owned(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        self.gate.wait();
+        self.inner.fetch_owned(request)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+fn cache() -> Arc<ShardedAggregatingCache> {
+    Arc::new(
+        ShardedAggregatingCacheBuilder::new(64)
+            .shards(2)
+            .group_size(3)
+            .build()
+            .expect("valid config"),
+    )
+}
+
+#[test]
+fn concurrent_misses_for_one_group_cost_one_upstream_fetch() {
+    const THREADS: usize = 8;
+    let gate = Arc::new(Gate::default());
+    let remote = cache();
+    let node = Arc::new(ClusterNode::new(NodeId(1), cache(), {
+        let gate = Arc::clone(&gate);
+        let remote = Arc::clone(&remote);
+        Box::new(move |_peer, _addr| {
+            Ok(Box::new(GatedTransport {
+                inner: SimTransport::to_shared_arc(Arc::clone(&remote), CostModel::remote()),
+                gate: Arc::clone(&gate),
+            }))
+        })
+    }));
+    node.apply_view(ClusterView::new(
+        1,
+        [
+            (NodeId(1), "sim://1".to_string()),
+            (NodeId(2), "sim://2".to_string()),
+        ],
+    ));
+    // A group owned by the peer, so every serve must proxy.
+    let view = node.view();
+    let ring = view.ring();
+    let file = (0..)
+        .map(FileId)
+        .find(|&f| ring.owner(f) == Some(NodeId(2)))
+        .expect("rendezvous spreads ownership");
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let node = Arc::clone(&node);
+            std::thread::spawn(move || node.serve(i as u64, &[file]))
+        })
+        .collect();
+    // Park until all non-leader threads are waiting on the flight, then
+    // let the leader's upstream fetch proceed. This makes the collapse
+    // deterministic rather than a race the test usually wins.
+    while node.flight_waiters() < THREADS - 1 {
+        std::thread::yield_now();
+    }
+    gate.release();
+    for handle in handles {
+        let reply = handle.join().expect("serve thread");
+        assert_eq!(reply.files.len(), 1);
+    }
+
+    // The acceptance assertion: one executed upstream request for eight
+    // concurrent misses, visible in TransportStats.
+    let upstream = node.transport_stats();
+    assert_eq!(upstream.requests, 1, "collapsed into one upstream fetch");
+    assert_eq!(upstream.round_trips, 1);
+    let stats = node.stats();
+    assert_eq!(stats.proxied, 1, "one leader");
+    assert_eq!(stats.collapsed as usize, THREADS - 1, "the rest collapsed");
+    assert_eq!(stats.local_serves, 0);
+    assert_eq!(remote.stats().accesses, 1, "the owner executed once");
+}

@@ -1,0 +1,150 @@
+//! Ownership-math coverage (satellite S3): pinned golden assignments for
+//! the rendezvous hash, the bounded-key-movement guarantees, and the
+//! composition of owner-routing with the cache's own shard-routing.
+
+use fgcache_cluster::{ownership_weight, NodeId, OwnershipRing};
+use fgcache_core::ShardedAggregatingCacheBuilder;
+use fgcache_types::hash::mix64;
+use fgcache_types::FileId;
+
+fn ring(ids: &[u64]) -> OwnershipRing {
+    OwnershipRing::new(ids.iter().map(|&i| NodeId(i)))
+}
+
+/// The assignment function is part of the cluster's wire contract: every
+/// node must compute identical owners from identical member lists, across
+/// versions. Pin exact values so an accidental change to the weight
+/// function (or to `mix64`) cannot slip in silently.
+#[test]
+fn golden_weights_are_pinned() {
+    assert_eq!(mix64(0), 0xE220_A839_7B1D_CDAF, "mix64 itself is pinned");
+    assert_eq!(
+        ownership_weight(NodeId(0), FileId(0)),
+        mix64(mix64(0)),
+        "weight is the documented two-round mix"
+    );
+    assert_eq!(ownership_weight(NodeId(1), FileId(2)), mix64(mix64(1) ^ 2));
+    // Concrete values, computed once and frozen.
+    assert_eq!(
+        ownership_weight(NodeId(1), FileId(2)),
+        0xBCD9_DBB4_9673_066B
+    );
+    assert_eq!(
+        ownership_weight(NodeId(7), FileId(42)),
+        0x6EAB_8625_DF26_8FBC
+    );
+}
+
+#[test]
+fn golden_assignments_are_pinned() {
+    let r = ring(&[1, 2, 3, 4, 5]);
+    let owners: Vec<u64> = (0..16u64)
+        .map(|f| r.owner(FileId(f)).expect("non-empty").as_u64())
+        .collect();
+    assert_eq!(owners, GOLDEN_OWNERS_5NODES);
+}
+
+/// Frozen owner-per-file table for files 0..16 over nodes {1..5}.
+const GOLDEN_OWNERS_5NODES: [u64; 16] = [5, 3, 1, 3, 5, 4, 2, 3, 2, 4, 2, 4, 4, 1, 2, 1];
+
+/// Removing one node moves exactly that node's keys: every file the
+/// departed node did not own keeps its owner. This is the rendezvous
+/// hash's defining property, checked exhaustively over a large key space
+/// and every possible departure.
+#[test]
+fn leave_moves_exactly_the_departed_nodes_keys() {
+    let members: Vec<u64> = (1..=10).collect();
+    let full = ring(&members);
+    for &departing in &members {
+        let reduced = OwnershipRing::new(
+            members
+                .iter()
+                .filter(|&&m| m != departing)
+                .map(|&m| NodeId(m)),
+        );
+        let mut moved = 0u64;
+        for f in 0..20_000u64 {
+            let before = full.owner(FileId(f)).expect("non-empty");
+            let after = reduced.owner(FileId(f)).expect("non-empty");
+            if before == after {
+                continue;
+            }
+            moved += 1;
+            assert_eq!(
+                before,
+                NodeId(departing),
+                "file {f} moved although node {departing} still holds its max weight"
+            );
+        }
+        // The departed node owned ~1/10th of the keys; all of them (and
+        // only them) moved.
+        assert!(moved > 0, "node {departing} owned nothing out of 20k keys");
+    }
+}
+
+/// A join moves an expected 1/(n+1) of the keys — the new node claims
+/// exactly the keys it now holds the maximum weight for. Bound the moved
+/// fraction well away from the 1/n-per-node reshuffle a naive hash-mod
+/// scheme would cause.
+#[test]
+fn join_moves_a_bounded_fraction() {
+    let keys = 50_000u64;
+    let before = ring(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    let after = ring(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    let mut moved = 0u64;
+    for f in 0..keys {
+        let old = before.owner(FileId(f)).expect("non-empty");
+        let new = after.owner(FileId(f)).expect("non-empty");
+        if old != new {
+            // Every moved key must have moved TO the joiner.
+            assert_eq!(new, NodeId(10), "file {f} moved between old members");
+            moved += 1;
+        }
+    }
+    let fraction = moved as f64 / keys as f64;
+    // Expected 1/10 = 0.1; allow generous sampling noise but stay far
+    // from a full reshuffle.
+    assert!(
+        (0.05..0.2).contains(&fraction),
+        "join moved fraction {fraction}, expected ≈0.1"
+    );
+}
+
+/// Owner-routing and shard-routing compose independently: the shard a
+/// file lands in inside the owner's cache depends only on the file and
+/// the shard count, never on cluster membership. So membership changes
+/// can't silently re-shard a node's cache, and a fetch routed
+/// entry → owner → shard is reproducible from (view, file) alone.
+#[test]
+fn owner_route_and_shard_route_compose_independently() {
+    let cache = ShardedAggregatingCacheBuilder::new(400)
+        .shards(8)
+        .build()
+        .expect("valid config");
+    let small = ring(&[1, 2, 3]);
+    let large = ring(&[1, 2, 3, 4, 5, 6, 7]);
+    for f in 0..2_000u64 {
+        let file = FileId(f);
+        let shard_under_small = cache.shard_of(file);
+        // Membership is invisible to shard routing...
+        let _ = small.owner(file);
+        let _ = large.owner(file);
+        assert_eq!(cache.shard_of(file), shard_under_small);
+        // ...and shard routing is a pure function of the file.
+        assert_eq!(cache.shard_of(file), cache.shard_of(file));
+        // Ownership may differ between the rings, but each ring's choice
+        // is a member of that ring.
+        assert!(small.contains(small.owner(file).expect("non-empty")));
+        assert!(large.contains(large.owner(file).expect("non-empty")));
+    }
+}
+
+/// Ties in the weight comparison resolve to the larger node id, making
+/// ownership total even for pathological id sets.
+#[test]
+fn ownership_is_total_and_tie_stable() {
+    // Duplicated ids collapse; a singleton ring after dedup.
+    let r = ring(&[5, 5, 5]);
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.owner(FileId(123)), Some(NodeId(5)));
+}

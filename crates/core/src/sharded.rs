@@ -643,6 +643,20 @@ impl ShardedAggregatingCache {
         self.shard(self.shard_of(file)).contains(file)
     }
 
+    /// Every resident file, in ascending shard order (each shard's own
+    /// residency order within). Takes one shard lock at a time, so the
+    /// result is per-shard consistent rather than a global cut — enough
+    /// for the cluster rebalance report, which counts residents that a
+    /// new membership view assigns to a different owner.
+    pub fn resident_files(&self) -> Vec<FileId> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            let guard = self.shard(i);
+            out.extend(guard.residents());
+        }
+        out
+    }
+
     /// Whether the lock-free hit fast path is enabled.
     pub fn fast_path_enabled(&self) -> bool {
         self.fast_path

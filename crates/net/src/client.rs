@@ -120,6 +120,36 @@ impl NetClient {
         }
     }
 
+    /// Pushes a membership view to the server (a cluster node), waiting
+    /// for the acknowledgement. Returns the epoch the node now holds —
+    /// its current one if `epoch` was stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] on connection or protocol failure,
+    /// including the server rejecting the update (not a cluster node).
+    pub fn send_cluster_update(
+        &mut self,
+        epoch: u64,
+        members: &[(u64, String)],
+    ) -> Result<u64, TransportError> {
+        let request = self.next_request(Vec::new());
+        let reply = self.round_trip(&Message::ClusterUpdate {
+            request_id: request.request_id,
+            epoch,
+            members: members.to_vec(),
+        })?;
+        match reply {
+            Message::ClusterUpdateAck { epoch, .. } => Ok(epoch),
+            Message::Error { message, .. } => Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!("cluster update rejected: {message}"),
+            )
+            .with_request_id(request.request_id)),
+            other => Err(unexpected(&other).with_request_id(request.request_id)),
+        }
+    }
+
     /// Asks the server to shut down, waiting for the acknowledgement.
     ///
     /// # Errors
@@ -219,6 +249,16 @@ fn unexpected(reply: &Message) -> TransportError {
 impl Transport for NetClient {
     fn fetch_group(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
         let reply = self.round_trip(&Message::Fetch {
+            request_id: request.request_id,
+            files: request.files.clone(),
+        })?;
+        self.accept_fetch_reply(request, reply)
+    }
+
+    /// Sends the v2 `FetchOwned` frame, telling the receiving node to
+    /// serve the group itself rather than proxy it onward.
+    fn fetch_owned(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        let reply = self.round_trip(&Message::FetchOwned {
             request_id: request.request_id,
             files: request.files.clone(),
         })?;

@@ -22,6 +22,7 @@ pub struct ReplyCache {
     capacity: usize,
     replies: HashMap<u64, GroupReply>,
     order: VecDeque<u64>,
+    hits: u64,
 }
 
 impl ReplyCache {
@@ -33,13 +34,25 @@ impl ReplyCache {
             capacity,
             replies: HashMap::with_capacity(prealloc),
             order: VecDeque::with_capacity(prealloc),
+            hits: 0,
         }
     }
 
     /// Looks up the remembered reply for `request_id`, if still in the
-    /// window.
-    pub fn get(&self, request_id: u64) -> Option<&GroupReply> {
-        self.replies.get(&request_id)
+    /// window, counting the hit (see [`ReplyCache::hits`]).
+    pub fn get(&mut self, request_id: u64) -> Option<&GroupReply> {
+        let found = self.replies.get(&request_id);
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Number of lookups answered from the window so far — the
+    /// server-side reply-cache hit counter exported as
+    /// [`WireStats::reply_cache_hits`](crate::WireStats::reply_cache_hits).
+    pub fn hits(&self) -> u64 {
+        self.hits
     }
 
     /// Remembers `reply` under its request id, evicting the oldest entry
@@ -91,6 +104,7 @@ mod tests {
         assert_eq!(c.get(7).map(|r| r.request_id), Some(7));
         assert!(c.get(8).is_none());
         assert_eq!(c.len(), 1);
+        assert_eq!(c.hits(), 1, "only the answered lookup counts as a hit");
     }
 
     #[test]

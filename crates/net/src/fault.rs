@@ -157,8 +157,14 @@ impl<T: Transport> FaultyTransport<T> {
     }
 }
 
-impl<T: Transport> Transport for FaultyTransport<T> {
-    fn fetch_group(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+impl<T: Transport> FaultyTransport<T> {
+    /// The shared fault pipeline; `owned` selects the depth-bounded
+    /// [`Transport::fetch_owned`] call on the wrapped transport.
+    fn fetch_faulty(
+        &mut self,
+        request: &GroupRequest,
+        owned: bool,
+    ) -> Result<GroupReply, TransportError> {
         if self.roll_timeout() {
             self.injected.timeouts_injected += 1;
             return Err(TransportError::new(
@@ -167,7 +173,11 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             )
             .with_request_id(request.request_id));
         }
-        let reply = self.inner.fetch_group(request)?;
+        let reply = if owned {
+            self.inner.fetch_owned(request)?
+        } else {
+            self.inner.fetch_group(request)?
+        };
         if self.roll_drop() {
             // The server executed the fetch; only the reply is lost. Keep
             // it as the stale-duplicate candidate, as a real network would
@@ -194,6 +204,18 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         }
         self.last_delivered = Some(reply.clone());
         Ok(reply)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn fetch_group(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        self.fetch_faulty(request, false)
+    }
+
+    /// Faults apply identically, but the owned-fetch semantics are
+    /// forwarded to the wrapped transport rather than downgraded.
+    fn fetch_owned(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        self.fetch_faulty(request, true)
     }
 
     fn stats(&self) -> TransportStats {

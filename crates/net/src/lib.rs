@@ -75,9 +75,9 @@ pub use client::NetClient;
 pub use dedup::{ReplyCache, DEFAULT_REPLY_CACHE_CAPACITY};
 pub use fault::{FaultConfig, FaultStats, FaultyTransport};
 pub use retry::{RetryPolicy, RetryingTransport};
-pub use server::{BoundServer, ServerHandle};
+pub use server::{BoundServer, ServeBackend, ServerHandle};
 pub use sim::{SimBackend, SimTransport};
 pub use transport::{
     request_id, DirectTransport, FileReply, GroupReply, GroupRequest, Transport, TransportStats,
 };
-pub use wire::{Message, WireStats, MAX_FRAME_LEN, WIRE_VERSION};
+pub use wire::{Message, WireStats, MAX_FRAME_LEN, MAX_MEMBER_ADDR_LEN, WIRE_VERSION};

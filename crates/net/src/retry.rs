@@ -133,8 +133,14 @@ impl<T: Transport> RetryingTransport<T> {
     }
 }
 
-impl<T: Transport> Transport for RetryingTransport<T> {
-    fn fetch_group(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+impl<T: Transport> RetryingTransport<T> {
+    /// The shared retry loop; `owned` selects the depth-bounded
+    /// [`Transport::fetch_owned`] call on the wrapped transport.
+    fn fetch_with_retries(
+        &mut self,
+        request: &GroupRequest,
+        owned: bool,
+    ) -> Result<GroupReply, TransportError> {
         let max_attempts = self.policy.max_attempts.max(1);
         let mut last_error: Option<TransportError> = None;
         for attempt in 1..=max_attempts {
@@ -142,7 +148,12 @@ impl<T: Transport> Transport for RetryingTransport<T> {
                 self.back_off(attempt - 1);
                 self.retries += 1;
             }
-            match self.inner.fetch_group(request) {
+            let outcome = if owned {
+                self.inner.fetch_owned(request)
+            } else {
+                self.inner.fetch_group(request)
+            };
+            match outcome {
                 Ok(reply) if reply.request_id == request.request_id => return Ok(reply),
                 Ok(_stale) => {
                     // A duplicate of some earlier reply: discard and ask
@@ -177,6 +188,19 @@ impl<T: Transport> Transport for RetryingTransport<T> {
             max_attempts,
             detail,
         ))
+    }
+}
+
+impl<T: Transport> Transport for RetryingTransport<T> {
+    fn fetch_group(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        self.fetch_with_retries(request, false)
+    }
+
+    /// Retries forward the owned-fetch semantics to the wrapped
+    /// transport (the default would silently downgrade to a proxyable
+    /// fetch).
+    fn fetch_owned(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        self.fetch_with_retries(request, true)
     }
 
     fn stats(&self) -> TransportStats {

@@ -1,11 +1,13 @@
-//! A real TCP group-fetch server wrapping a [`ShardedAggregatingCache`].
+//! A real TCP group-fetch server over any [`ServeBackend`].
 //!
 //! [`BoundServer::bind`] takes an address (use port 0 for an ephemeral
-//! loopback port) and a shared cache; [`BoundServer::run`] then accepts
-//! connections and serves the [wire protocol](crate::wire) until asked to
-//! stop. Each connection gets its own scoped thread
-//! (`std::thread::scope`), so handler lifetimes are tied to the accept
-//! loop and no connection can outlive the server.
+//! loopback port) and a shared [`ShardedAggregatingCache`];
+//! [`BoundServer::bind_backend`] accepts any [`ServeBackend`] (a cluster
+//! node, for instance). [`BoundServer::run`] then accepts connections and
+//! serves the [wire protocol](crate::wire) until asked to stop. Each
+//! connection gets its own scoped thread (`std::thread::scope`), so
+//! handler lifetimes are tied to the accept loop and no connection can
+//! outlive the server.
 //!
 //! # Exactly-once fetches
 //!
@@ -35,6 +37,7 @@ use std::thread;
 use std::time::Duration;
 
 use fgcache_core::ShardedAggregatingCache;
+use fgcache_types::FileId;
 
 use crate::dedup::{ReplyCache, DEFAULT_REPLY_CACHE_CAPACITY};
 use crate::transport::{FileReply, GroupReply};
@@ -43,13 +46,94 @@ use crate::wire::{write_frame, Message, WireStats, MAX_FRAME_LEN};
 /// How often an idle connection re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// What a [`BoundServer`] serves fetches from: a plain cache or anything
+/// cache-shaped (a cluster node that routes to peers, say). The server
+/// owns framing, connection handling, retry deduplication and shutdown;
+/// the backend owns what a fetch *means*.
+pub trait ServeBackend: Send + Sync {
+    /// Serves one group fetch, returning per-file provenance.
+    fn serve_group(&self, request_id: u64, files: &[FileId]) -> GroupReply;
+
+    /// Serves one *owned* group fetch — the depth-bounded cluster proxy
+    /// frame, which the backend must answer locally and never forward
+    /// onward. The default treats it like any other fetch, which is
+    /// correct for backends with no notion of ownership.
+    fn serve_owned(&self, request_id: u64, files: &[FileId]) -> GroupReply {
+        self.serve_group(request_id, files)
+    }
+
+    /// This backend's cache counters, for `StatsReply` (the server adds
+    /// its own reply-cache hits on top).
+    fn wire_stats(&self) -> WireStats;
+
+    /// Applies a pushed membership view, returning the epoch the backend
+    /// now holds (its current one if `epoch` was stale).
+    ///
+    /// # Errors
+    ///
+    /// The default rejects the update: a plain cache has no membership.
+    fn apply_cluster_update(&self, epoch: u64, members: &[(u64, String)]) -> Result<u64, String> {
+        let _ = (epoch, members);
+        Err("this server is not a cluster node".to_string())
+    }
+
+    /// Whether the server must hold its reply cache across execution to
+    /// make fetches exactly-once (the default). Backends that deduplicate
+    /// internally — a cluster node, whose fetches may block on a *peer's*
+    /// server — return `false`, so a fetch executes outside the
+    /// server-wide lock: two nodes proxying to each other would otherwise
+    /// deadlock, each holding its own reply cache while waiting on the
+    /// other's.
+    fn serializes_execution(&self) -> bool {
+        true
+    }
+}
+
+impl ServeBackend for ShardedAggregatingCache {
+    fn serve_group(&self, request_id: u64, files: &[FileId]) -> GroupReply {
+        let files: Vec<FileReply> = files
+            .iter()
+            .map(|&file| FileReply {
+                file,
+                outcome: self.handle_access(file),
+            })
+            .collect();
+        GroupReply { request_id, files }
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        let stats = self.stats();
+        let group = self.group_stats();
+        WireStats {
+            accesses: stats.accesses,
+            hits: stats.hits,
+            misses: stats.misses,
+            speculative_inserts: stats.speculative_inserts,
+            speculative_hits: stats.speculative_hits,
+            evictions: stats.evictions,
+            demand_fetches: group.demand_fetches,
+            files_transferred: group.files_transferred,
+            members_already_resident: group.members_already_resident,
+            reply_cache_hits: 0,
+        }
+    }
+}
+
 /// A TCP group-fetch server bound to an address but not yet running.
-#[derive(Debug)]
 pub struct BoundServer {
     listener: TcpListener,
-    cache: Arc<ShardedAggregatingCache>,
+    backend: Arc<dyn ServeBackend>,
     shutdown: Arc<AtomicBool>,
     dedup_capacity: usize,
+}
+
+impl std::fmt::Debug for BoundServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundServer")
+            .field("addr", &self.local_addr())
+            .field("dedup_capacity", &self.dedup_capacity)
+            .finish_non_exhaustive()
+    }
 }
 
 impl BoundServer {
@@ -60,10 +144,23 @@ impl BoundServer {
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: &str, cache: Arc<ShardedAggregatingCache>) -> std::io::Result<Self> {
+        Self::bind_backend(addr, cache)
+    }
+
+    /// Binds to `addr`, serving fetches from an arbitrary
+    /// [`ServeBackend`] (e.g. a cluster node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_backend(
+        addr: &str,
+        backend: Arc<impl ServeBackend + 'static>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(BoundServer {
             listener,
-            cache,
+            backend,
             shutdown: Arc::new(AtomicBool::new(false)),
             dedup_capacity: DEFAULT_REPLY_CACHE_CAPACITY,
         })
@@ -96,7 +193,7 @@ impl BoundServer {
     pub fn run(self) {
         let BoundServer {
             listener,
-            cache,
+            backend,
             shutdown,
             dedup_capacity,
         } = self;
@@ -105,7 +202,7 @@ impl BoundServer {
             .map(|a| a.to_string())
             .unwrap_or_default();
         let dedup = Mutex::new(ReplyCache::new(dedup_capacity));
-        let cache = &*cache;
+        let backend = &*backend;
         let shutdown = &*shutdown;
         let dedup = &dedup;
         thread::scope(|scope| {
@@ -120,7 +217,7 @@ impl BoundServer {
                         }
                         let wake_addr = wake_addr.clone();
                         scope.spawn(move || {
-                            handle_connection(stream, cache, dedup, shutdown, &wake_addr);
+                            handle_connection(stream, backend, dedup, shutdown, &wake_addr);
                         });
                     }
                     Err(_) if shutdown.load(Ordering::Acquire) => break,
@@ -236,7 +333,7 @@ fn read_frame_patient(stream: &mut TcpStream, shutdown: &AtomicBool) -> Inbound 
 
 fn handle_connection(
     mut stream: TcpStream,
-    cache: &ShardedAggregatingCache,
+    backend: &dyn ServeBackend,
     dedup: &Mutex<ReplyCache>,
     shutdown: &AtomicBool,
     wake_addr: &str,
@@ -250,12 +347,31 @@ fn handle_connection(
         };
         let reply = match message {
             Message::Fetch { request_id, files } => {
-                let reply = serve_fetch(cache, lock_dedup(dedup), request_id, files);
+                let reply = serve_fetch(backend, dedup, request_id, files, false);
                 Message::reply_for(&reply)
             }
-            Message::StatsRequest { request_id } => Message::StatsReply {
+            Message::FetchOwned { request_id, files } => {
+                let reply = serve_fetch(backend, dedup, request_id, files, true);
+                Message::reply_for(&reply)
+            }
+            Message::StatsRequest { request_id } => {
+                let mut stats = backend.wire_stats();
+                stats.reply_cache_hits += lock_dedup(dedup).hits();
+                Message::StatsReply { request_id, stats }
+            }
+            Message::ClusterUpdate {
                 request_id,
-                stats: snapshot_stats(cache),
+                epoch,
+                members,
+            } => match backend.apply_cluster_update(epoch, &members) {
+                Ok(held) => Message::ClusterUpdateAck {
+                    request_id,
+                    epoch: held,
+                },
+                Err(reason) => Message::Error {
+                    request_id,
+                    message: reason,
+                },
             },
             Message::Shutdown { request_id } => {
                 let ack = Message::ShutdownAck { request_id };
@@ -283,41 +399,48 @@ fn lock_dedup(dedup: &Mutex<ReplyCache>) -> MutexGuard<'_, ReplyCache> {
         .expect("a connection handler panicked while holding the reply cache")
 }
 
-/// Serves one fetch with the reply cache held across execution, making it
-/// exactly-once per request id (see the [module docs](self)).
+/// Serves one fetch, exactly-once per request id (see the [module
+/// docs](self)). `owned` selects the depth-bounded
+/// [`ServeBackend::serve_owned`] path.
+///
+/// For backends that [serialise](ServeBackend::serializes_execution), the
+/// reply cache is held across execution, so a racing retry blocks rather
+/// than double-executing. Backends that deduplicate internally execute
+/// outside the lock (the get/insert around execution is then merely a
+/// fast path; the backend's own dedup supplies exactly-once).
 fn serve_fetch(
-    cache: &ShardedAggregatingCache,
-    mut dedup: MutexGuard<'_, ReplyCache>,
+    backend: &dyn ServeBackend,
+    dedup: &Mutex<ReplyCache>,
     request_id: u64,
-    files: Vec<fgcache_types::FileId>,
+    files: Vec<FileId>,
+    owned: bool,
 ) -> GroupReply {
-    if let Some(remembered) = dedup.get(request_id) {
-        return remembered.clone();
+    let files = &files[..];
+    {
+        let mut guard = lock_dedup(dedup);
+        if let Some(remembered) = guard.get(request_id) {
+            return remembered.clone();
+        }
+        if backend.serializes_execution() {
+            let reply = execute(backend, request_id, files, owned);
+            guard.insert(reply.clone());
+            return reply;
+        }
     }
-    let files: Vec<FileReply> = files
-        .into_iter()
-        .map(|file| FileReply {
-            file,
-            outcome: cache.handle_access(file),
-        })
-        .collect();
-    let reply = GroupReply { request_id, files };
-    dedup.insert(reply.clone());
+    let reply = execute(backend, request_id, files, owned);
+    lock_dedup(dedup).insert(reply.clone());
     reply
 }
 
-fn snapshot_stats(cache: &ShardedAggregatingCache) -> WireStats {
-    let stats = cache.stats();
-    let group = cache.group_stats();
-    WireStats {
-        accesses: stats.accesses,
-        hits: stats.hits,
-        misses: stats.misses,
-        speculative_inserts: stats.speculative_inserts,
-        speculative_hits: stats.speculative_hits,
-        evictions: stats.evictions,
-        demand_fetches: group.demand_fetches,
-        files_transferred: group.files_transferred,
-        members_already_resident: group.members_already_resident,
+fn execute(
+    backend: &dyn ServeBackend,
+    request_id: u64,
+    files: &[FileId],
+    owned: bool,
+) -> GroupReply {
+    if owned {
+        backend.serve_owned(request_id, files)
+    } else {
+        backend.serve_group(request_id, files)
     }
 }

@@ -19,6 +19,8 @@
 //! [`RetryingTransport`](crate::RetryingTransport) without double-counting
 //! executed fetches.
 
+use std::sync::Arc;
+
 use fgcache_core::{CostModel, ShardedAggregatingCache};
 use fgcache_types::rng::{RandomSource, SplitMix64};
 use fgcache_types::{AccessOutcome, TransportError};
@@ -36,6 +38,11 @@ pub enum SimBackend<'a> {
     /// [`ShardedAggregatingCache::handle_access`] call and the reply
     /// carries the cache's real hit/miss provenance.
     Shared(&'a ShardedAggregatingCache),
+    /// Like [`SimBackend::Shared`] but owning the cache through an
+    /// [`Arc`], so the transport is `'static` — what a virtual cluster
+    /// needs to hand hundreds of peer transports around without
+    /// borrowing from each node.
+    SharedOwned(Arc<ShardedAggregatingCache>),
 }
 
 /// A simulated transport: virtual clock + seeded jitter + pluggable
@@ -68,6 +75,22 @@ impl<'a> SimTransport<'a> {
     pub fn to_shared(cache: &'a ShardedAggregatingCache, model: CostModel) -> SimTransport<'a> {
         SimTransport {
             backend: SimBackend::Shared(cache),
+            model,
+            jitter_frac: 0.0,
+            jitter: SplitMix64::new(0),
+            dedup: ReplyCache::new(DEFAULT_REPLY_CACHE_CAPACITY),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// A `'static` transport fetching through a shared, `Arc`-owned
+    /// server cache, with zero jitter (the virtual-cluster peer wiring).
+    pub fn to_shared_arc(
+        cache: Arc<ShardedAggregatingCache>,
+        model: CostModel,
+    ) -> SimTransport<'static> {
+        SimTransport {
+            backend: SimBackend::SharedOwned(cache),
             model,
             jitter_frac: 0.0,
             jitter: SplitMix64::new(0),
@@ -116,6 +139,7 @@ impl<'a> SimTransport<'a> {
                 let outcome = match self.backend {
                     SimBackend::Origin => AccessOutcome::Miss,
                     SimBackend::Shared(cache) => cache.handle_access(file),
+                    SimBackend::SharedOwned(ref cache) => cache.handle_access(file),
                 };
                 FileReply { file, outcome }
             })
@@ -140,6 +164,7 @@ impl<'a> SimTransport<'a> {
             // but leave executed-fetch counters untouched.
             let reply = cached.clone();
             self.stats.dedup_hits += 1;
+            self.stats.reply_cache_hits += 1;
             self.stats.virtual_time += self.model.transfer_time * reply.files.len() as f64;
             return reply;
         }
@@ -251,8 +276,32 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.requests, 1, "retry must not re-execute");
         assert_eq!(s.dedup_hits, 1);
+        assert_eq!(s.reply_cache_hits, 1, "the embedded reply cache hit once");
         assert_eq!(s.round_trips, 2);
         assert_eq!(cache.stats().accesses, 2, "cache saw the files once");
+    }
+
+    #[test]
+    fn arc_owned_backend_matches_borrowed_shared_backend() {
+        let build = || {
+            ShardedAggregatingCacheBuilder::new(40)
+                .shards(2)
+                .group_size(3)
+                .build()
+                .expect("valid build")
+        };
+        let borrowed_cache = build();
+        let mut borrowed = SimTransport::to_shared(&borrowed_cache, CostModel::remote());
+        let owned_cache = Arc::new(build());
+        let mut owned = SimTransport::to_shared_arc(Arc::clone(&owned_cache), CostModel::remote());
+        for i in 0..50u64 {
+            let r = req(i, &[i % 7, (i + 1) % 7]);
+            let a = borrowed.fetch_group(&r).expect("sim cannot fail");
+            let b = owned.fetch_group(&r).expect("sim cannot fail");
+            assert_eq!(a, b, "backends must be indistinguishable");
+        }
+        assert_eq!(borrowed.stats(), owned.stats());
+        assert_eq!(borrowed_cache.stats(), owned_cache.stats());
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub struct TransportStats {
     /// Requests answered from the server-side reply cache (idempotent
     /// retries).
     pub dedup_hits: u64,
+    /// Hits in a reply cache *owned by this transport stack* — the
+    /// server-side view of `dedup_hits`, populated by transports that
+    /// embed a reply cache (e.g. `SimTransport`) and by cluster nodes;
+    /// real servers export theirs via
+    /// [`WireStats::reply_cache_hits`](crate::WireStats::reply_cache_hits).
+    pub reply_cache_hits: u64,
     /// Retry attempts made by a retrying decorator.
     pub retries: u64,
     /// Attempts that ended in a timeout or dropped reply.
@@ -123,6 +129,7 @@ impl TransportStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.dedup_hits += other.dedup_hits;
+        self.reply_cache_hits += other.reply_cache_hits;
         self.retries += other.retries;
         self.timeouts += other.timeouts;
         self.duplicates_discarded += other.duplicates_discarded;
@@ -151,6 +158,21 @@ pub trait Transport {
     /// the batch sequentially (no pipelining win).
     fn fetch_batch(&mut self, batch: &[GroupRequest]) -> Vec<Result<GroupReply, TransportError>> {
         batch.iter().map(|r| self.fetch_group(r)).collect()
+    }
+
+    /// Executes one group fetch that the *receiving node must serve
+    /// itself* — the depth-bounded cluster proxy call. A cluster node
+    /// answering this never forwards it onward, which caps proxy chains
+    /// at depth 1 even when membership views disagree. For transports
+    /// with no notion of ownership the default is identical to
+    /// [`Transport::fetch_group`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] classifying the failure; retryable
+    /// kinds may be re-attempted with the *same* request id.
+    fn fetch_owned(&mut self, request: &GroupRequest) -> Result<GroupReply, TransportError> {
+        self.fetch_group(request)
     }
 
     /// This transport's traffic counters.
@@ -293,6 +315,7 @@ mod tests {
             hits: 1,
             misses: 2,
             dedup_hits: 1,
+            reply_cache_hits: 1,
             retries: 1,
             timeouts: 1,
             duplicates_discarded: 1,
@@ -303,6 +326,7 @@ mod tests {
         assert_eq!(a.requests, 2);
         assert_eq!(a.round_trips, 4);
         assert_eq!(a.files_moved, 6);
+        assert_eq!(a.reply_cache_hits, 2);
         assert_eq!(a.virtual_time, 3.0);
     }
 }

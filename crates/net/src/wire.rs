@@ -23,13 +23,26 @@
 //! | 1    | `Fetch`        | `u32 count`, then `count × u64` file ids |
 //! | 2    | `FetchReply`   | `u32 count`, then `count × (u64 id, u8 hit=0/miss=1)` |
 //! | 3    | `StatsRequest` | empty |
-//! | 4    | `StatsReply`   | `9 × u64` counters ([`WireStats`]) |
+//! | 4    | `StatsReply`   | `10 × u64` counters ([`WireStats`]) |
 //! | 5    | `Shutdown`     | empty |
 //! | 6    | `ShutdownAck`  | empty |
 //! | 7    | `Error`        | `u32 len`, then `len` bytes of UTF-8 |
+//! | 8    | `ClusterUpdate` | `u64 epoch`, `u32 count`, then `count × (u64 node, u16 len, len bytes)` |
+//! | 9    | `ClusterUpdateAck` | `u64 epoch` |
+//! | 10   | `FetchOwned`   | `u32 count`, then `count × u64` file ids |
 //!
 //! All integers are little-endian. Encoding and decoding are pinned by
 //! round-trip and golden byte-layout tests below.
+//!
+//! # Version history
+//!
+//! * **v1** — messages 1–7, `StatsReply` carried 9 counters.
+//! * **v2** — `StatsReply` gained `reply_cache_hits` (10th counter) and
+//!   the cluster messages arrived: `ClusterUpdate`/`ClusterUpdateAck`
+//!   (epoch'd membership pushes) and `FetchOwned`, the depth-bounded
+//!   cluster proxy frame (the receiver must serve it locally and never
+//!   re-forward, which is what keeps proxy chains at depth 1 even under
+//!   inconsistent membership views).
 
 use std::io::{Read, Write};
 
@@ -38,7 +51,9 @@ use fgcache_types::{AccessOutcome, FileId, TransportError, TransportErrorKind};
 use crate::transport::{FileReply, GroupReply};
 
 /// Current protocol version, the first payload byte of every frame.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added the cluster messages and the `reply_cache_hits`
+/// counter (see the module docs' version history).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame payload (16 MiB) — far above any real fetch,
 /// low enough to reject garbage length prefixes before allocating.
@@ -51,6 +66,13 @@ const MSG_STATS_REPLY: u8 = 4;
 const MSG_SHUTDOWN: u8 = 5;
 const MSG_SHUTDOWN_ACK: u8 = 6;
 const MSG_ERROR: u8 = 7;
+const MSG_CLUSTER_UPDATE: u8 = 8;
+const MSG_CLUSTER_UPDATE_ACK: u8 = 9;
+const MSG_FETCH_OWNED: u8 = 10;
+
+/// Longest member address accepted in a `ClusterUpdate` (u16 length
+/// prefix on the wire).
+pub const MAX_MEMBER_ADDR_LEN: usize = u16::MAX as usize;
 
 /// Server-side cache counters carried by a `StatsReply` — the remote
 /// analogue of reading `ShardedAggregatingCache::stats` and
@@ -76,6 +98,9 @@ pub struct WireStats {
     pub files_transferred: u64,
     /// Group members skipped because already resident.
     pub members_already_resident: u64,
+    /// Requests answered from the server's reply cache (idempotent
+    /// retries re-served without re-execution). Added in wire v2.
+    pub reply_cache_hits: u64,
 }
 
 impl WireStats {
@@ -90,6 +115,7 @@ impl WireStats {
             self.demand_fetches,
             self.files_transferred,
             self.members_already_resident,
+            self.reply_cache_hits,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -106,6 +132,7 @@ impl WireStats {
             demand_fetches: reader.u64()?,
             files_transferred: reader.u64()?,
             members_already_resident: reader.u64()?,
+            reply_cache_hits: reader.u64()?,
         })
     }
 }
@@ -157,6 +184,34 @@ pub enum Message {
         /// Human-readable reason.
         message: String,
     },
+    /// Admin → node: replace your membership view (wire v2). Stale
+    /// epochs must be ignored by the receiver.
+    ClusterUpdate {
+        /// Id echoed in the `ClusterUpdateAck`.
+        request_id: u64,
+        /// Monotonic view epoch; the receiver keeps the highest seen.
+        epoch: u64,
+        /// The full member list: `(node id, host:port)` per node.
+        members: Vec<(u64, String)>,
+    },
+    /// Node → admin: membership view acknowledged (wire v2).
+    ClusterUpdateAck {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// The epoch the node now holds (its current view if the update
+        /// was stale).
+        epoch: u64,
+    },
+    /// Peer → owner: fetch this group and serve it **locally** — the
+    /// depth-bounded cluster proxy frame (wire v2). The receiver must
+    /// never re-forward it, even if its own view disagrees about
+    /// ownership.
+    FetchOwned {
+        /// Idempotency key; retries reuse it.
+        request_id: u64,
+        /// Files to serve, in order.
+        files: Vec<FileId>,
+    },
 }
 
 impl Message {
@@ -169,7 +224,10 @@ impl Message {
             | Message::StatsReply { request_id, .. }
             | Message::Shutdown { request_id }
             | Message::ShutdownAck { request_id }
-            | Message::Error { request_id, .. } => request_id,
+            | Message::Error { request_id, .. }
+            | Message::ClusterUpdate { request_id, .. }
+            | Message::ClusterUpdateAck { request_id, .. }
+            | Message::FetchOwned { request_id, .. } => request_id,
         }
     }
 
@@ -189,7 +247,7 @@ impl Message {
         payload.push(self.msg_type());
         payload.extend_from_slice(&self.request_id().to_le_bytes());
         match self {
-            Message::Fetch { files, .. } => {
+            Message::Fetch { files, .. } | Message::FetchOwned { files, .. } => {
                 payload.extend_from_slice(&(files.len() as u32).to_le_bytes());
                 for f in files {
                     payload.extend_from_slice(&f.as_u64().to_le_bytes());
@@ -206,6 +264,19 @@ impl Message {
             Message::Error { message, .. } => {
                 payload.extend_from_slice(&(message.len() as u32).to_le_bytes());
                 payload.extend_from_slice(message.as_bytes());
+            }
+            Message::ClusterUpdate { epoch, members, .. } => {
+                payload.extend_from_slice(&epoch.to_le_bytes());
+                payload.extend_from_slice(&(members.len() as u32).to_le_bytes());
+                for (node, addr) in members {
+                    payload.extend_from_slice(&node.to_le_bytes());
+                    let len = addr.len().min(MAX_MEMBER_ADDR_LEN) as u16;
+                    payload.extend_from_slice(&len.to_le_bytes());
+                    payload.extend_from_slice(&addr.as_bytes()[..len as usize]);
+                }
+            }
+            Message::ClusterUpdateAck { epoch, .. } => {
+                payload.extend_from_slice(&epoch.to_le_bytes());
             }
             Message::StatsRequest { .. }
             | Message::Shutdown { .. }
@@ -235,13 +306,17 @@ impl Message {
         let msg_type = r.u8()?;
         let request_id = r.u64()?;
         let message = match msg_type {
-            MSG_FETCH => {
+            MSG_FETCH | MSG_FETCH_OWNED => {
                 let count = r.u32()? as usize;
                 r.check_remaining(count.checked_mul(8), "fetch file list")?;
                 let files = (0..count)
                     .map(|_| r.u64().map(FileId))
                     .collect::<Result<Vec<_>, _>>()?;
-                Message::Fetch { request_id, files }
+                if msg_type == MSG_FETCH_OWNED {
+                    Message::FetchOwned { request_id, files }
+                } else {
+                    Message::Fetch { request_id, files }
+                }
             }
             MSG_FETCH_REPLY => {
                 let count = r.u32()? as usize;
@@ -278,6 +353,31 @@ impl Message {
                     message,
                 }
             }
+            MSG_CLUSTER_UPDATE => {
+                let epoch = r.u64()?;
+                let count = r.u32()? as usize;
+                // Each member needs at least 10 bytes (u64 id + u16 len).
+                r.check_remaining(count.checked_mul(10), "cluster member list")?;
+                let members = (0..count)
+                    .map(|_| {
+                        let node = r.u64()?;
+                        let len = u16::from_le_bytes([r.u8()?, r.u8()?]) as usize;
+                        let bytes = r.bytes(len, "member address")?;
+                        let addr = String::from_utf8(bytes.to_vec())
+                            .map_err(|_| protocol("member address is not UTF-8"))?;
+                        Ok((node, addr))
+                    })
+                    .collect::<Result<Vec<_>, TransportError>>()?;
+                Message::ClusterUpdate {
+                    request_id,
+                    epoch,
+                    members,
+                }
+            }
+            MSG_CLUSTER_UPDATE_ACK => Message::ClusterUpdateAck {
+                request_id,
+                epoch: r.u64()?,
+            },
             other => return Err(protocol(format!("unknown message type {other}"))),
         };
         if !r.is_empty() {
@@ -295,6 +395,9 @@ impl Message {
             Message::Shutdown { .. } => MSG_SHUTDOWN,
             Message::ShutdownAck { .. } => MSG_SHUTDOWN_ACK,
             Message::Error { .. } => MSG_ERROR,
+            Message::ClusterUpdate { .. } => MSG_CLUSTER_UPDATE,
+            Message::ClusterUpdateAck { .. } => MSG_CLUSTER_UPDATE_ACK,
+            Message::FetchOwned { .. } => MSG_FETCH_OWNED,
         }
     }
 }
@@ -446,6 +549,7 @@ mod tests {
                 demand_fetches: 7,
                 files_transferred: 8,
                 members_already_resident: 9,
+                reply_cache_hits: 10,
             },
         });
         roundtrip(Message::Shutdown { request_id: 5 });
@@ -453,6 +557,27 @@ mod tests {
         roundtrip(Message::Error {
             request_id: 7,
             message: "no such thing".to_string(),
+        });
+        roundtrip(Message::ClusterUpdate {
+            request_id: 8,
+            epoch: 3,
+            members: vec![
+                (1, "127.0.0.1:7001".to_string()),
+                (2, "127.0.0.1:7002".to_string()),
+            ],
+        });
+        roundtrip(Message::ClusterUpdate {
+            request_id: 9,
+            epoch: 0,
+            members: Vec::new(),
+        });
+        roundtrip(Message::ClusterUpdateAck {
+            request_id: 10,
+            epoch: 3,
+        });
+        roundtrip(Message::FetchOwned {
+            request_id: 11,
+            files: vec![FileId(42)],
         });
     }
 
@@ -466,11 +591,34 @@ mod tests {
         let frame = m.encode();
         let expected: Vec<u8> = [
             &[30, 0, 0, 0][..],               // payload length
-            &[1, 1][..],                      // version, msg type
+            &[2, 1][..],                      // version, msg type
             &[8, 7, 6, 5, 4, 3, 2, 1][..],    // request id LE
             &[2, 0, 0, 0][..],                // file count
             &[0x11, 0, 0, 0, 0, 0, 0, 0][..], // file 0
             &[0x22, 0, 0, 0, 0, 0, 0, 0][..], // file 1
+        ]
+        .concat();
+        assert_eq!(frame, expected);
+    }
+
+    #[test]
+    fn golden_cluster_update_frame_layout() {
+        // Pins the v2 membership frame: changing it is a version bump.
+        let m = Message::ClusterUpdate {
+            request_id: 1,
+            epoch: 2,
+            members: vec![(7, "a:1".to_string())],
+        };
+        let frame = m.encode();
+        let expected: Vec<u8> = [
+            &[35, 0, 0, 0][..],            // payload length
+            &[2, 8][..],                   // version, msg type
+            &[1, 0, 0, 0, 0, 0, 0, 0][..], // request id LE
+            &[2, 0, 0, 0, 0, 0, 0, 0][..], // epoch LE
+            &[1, 0, 0, 0][..],             // member count
+            &[7, 0, 0, 0, 0, 0, 0, 0][..], // node id LE
+            &[3, 0][..],                   // addr length
+            b"a:1",                        // addr bytes
         ]
         .concat();
         assert_eq!(frame, expected);
@@ -510,6 +658,18 @@ mod tests {
         let mut trailing = payload.to_vec();
         trailing.push(0);
         assert!(Message::decode(&trailing).is_err());
+
+        // A cluster update declaring far more members than the body
+        // holds must fail before allocating.
+        let frame = Message::ClusterUpdate {
+            request_id: 1,
+            epoch: 1,
+            members: vec![(1, "x:1".to_string())],
+        }
+        .encode();
+        let mut huge = frame[4..].to_vec();
+        huge[18..22].copy_from_slice(&u32::MAX.to_le_bytes()); // member count
+        assert!(Message::decode(&huge).is_err());
     }
 
     #[test]

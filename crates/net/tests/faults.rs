@@ -82,6 +82,50 @@ fn duplicate_reply_is_discarded_by_request_id() {
 }
 
 #[test]
+fn stale_reply_after_a_later_success_is_discarded_not_resurrected() {
+    // The full interleaving the issue pins: request N's reply is dropped
+    // (server executed), the retry is answered from the server's reply
+    // cache; N+1 then succeeds cleanly; finally the network delivers a
+    // stale duplicate (N+1's reply) in place of N+2's. The client must
+    // discard the stale reply by request id, retry, and get N+2's real
+    // reply — without any request ever executing twice.
+    let cache = ShardedAggregatingCacheBuilder::new(40)
+        .shards(2)
+        .group_size(3)
+        .build()
+        .expect("valid build");
+    let mut t = rig(SimTransport::to_shared(&cache, CostModel::remote()), 4);
+
+    t.inner_mut().force_drop_next(1);
+    let n = t.fetch_group(&req(10, &[1])).expect("retry after drop");
+    assert_eq!(n.request_id, 10);
+
+    let n1 = t.fetch_group(&req(11, &[2])).expect("clean fetch");
+    assert_eq!(n1.request_id, 11);
+
+    t.inner_mut().force_duplicate_next(1);
+    let n2 = t
+        .fetch_group(&req(12, &[3]))
+        .expect("retry after stale reply");
+    assert_eq!(n2.request_id, 12, "the stale reply must not leak through");
+    assert_eq!(n2.files[0].file, FileId(3));
+
+    let s = t.stats();
+    assert_eq!(s.duplicates_discarded, 1, "exactly one stale reply seen");
+    assert_eq!(s.retries, 2, "one for the drop, one for the duplicate");
+    // Both retries were answered from the server's reply cache: the
+    // dropped reply, and N+2's real reply (the server executed it before
+    // the network substituted the stale one).
+    assert_eq!(s.dedup_hits, 2);
+    assert_eq!(s.requests, 3, "three requests, each executed exactly once");
+    assert_eq!(
+        cache.stats().accesses,
+        3,
+        "files 1, 2, 3 once each — nothing re-executed"
+    );
+}
+
+#[test]
 fn retries_are_bounded_and_surface_as_timeout() {
     let max_attempts = 3;
     let mut t = rig(SimTransport::to_origin(CostModel::remote()), max_attempts);

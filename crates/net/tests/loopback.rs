@@ -85,6 +85,44 @@ fn repeated_request_id_is_served_from_the_reply_cache() {
 }
 
 #[test]
+fn reply_cache_hits_are_counted_and_capacity_zero_disables_dedup() {
+    // Default window: a same-id retry is answered from the reply cache
+    // and shows up in the wire-stats hit counter.
+    let (handle, cache) = server(40, 1);
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    let first = client.fetch_group(&req(7, &[3])).expect("first");
+    let again = client.fetch_group(&req(7, &[3])).expect("retry");
+    assert_eq!(first, again);
+    let wire = client.server_stats().expect("stats reply");
+    assert_eq!(wire.reply_cache_hits, 1, "the retry hit the reply cache");
+    assert_eq!(cache.stats().accesses, 1, "the retry executed nothing");
+    handle.stop();
+
+    // Capacity 0 through the builder knob: dedup is off, the retry
+    // re-executes and no hit is ever counted.
+    let cache = Arc::new(
+        ShardedAggregatingCacheBuilder::new(40)
+            .shards(2)
+            .group_size(1)
+            .build()
+            .expect("valid build"),
+    );
+    let handle = BoundServer::bind("127.0.0.1:0", Arc::clone(&cache))
+        .expect("ephemeral bind")
+        .with_dedup_capacity(0)
+        .spawn();
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    client.fetch_group(&req(7, &[3])).expect("first");
+    client
+        .fetch_group(&req(7, &[3]))
+        .expect("retry re-executes");
+    let wire = client.server_stats().expect("stats reply");
+    assert_eq!(wire.reply_cache_hits, 0, "no window, no hits");
+    assert_eq!(cache.stats().accesses, 2, "no dedup: both fetches executed");
+    handle.stop();
+}
+
+#[test]
 fn batched_fetches_pipeline_on_one_connection() {
     let (handle, cache) = server(100, 2);
     let mut client = NetClient::connect(handle.addr()).expect("connect");

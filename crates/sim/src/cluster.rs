@@ -1,0 +1,426 @@
+//! A virtual cluster: N [`ClusterNode`]s over in-process simulated
+//! transports, replayed against a streamed event source and
+//! byte-compared to a single-process oracle.
+//!
+//! Every node gets its own [`ShardedAggregatingCache`]; peers reach each
+//! other through [`SimTransport`]s to shared `Arc` caches, so the whole
+//! fleet — 100+ nodes — runs in one process with zero sockets. The
+//! replay driver feeds events round-robin into the fleet (event *i*
+//! enters at node *i mod N*), applies a membership schedule at exact
+//! event indices, and reports per-node load plus merged upstream
+//! traffic.
+//!
+//! The oracle ([`oracle_replay`]) is the routing math *without* the
+//! cluster machinery: one loop that sends each event straight to
+//! `ring.owner(file)`'s plain cache. A sequential replay through the
+//! real cluster must produce byte-identical per-node [`WireStats`] —
+//! any divergence means routing, proxying, single-flight or membership
+//! handling changed observable behaviour.
+
+use std::sync::Arc;
+
+use fgcache_cluster::{ClusterNode, ClusterNodeStats, ClusterView, NodeId, OwnershipRing};
+use fgcache_core::{CostModel, ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
+use fgcache_net::{ServeBackend, SimTransport, TransportStats, WireStats};
+use fgcache_trace::synth::Zipf;
+use fgcache_types::hash::FastMap;
+use fgcache_types::rng::SplitMix64;
+use fgcache_types::{FileId, ValidationError};
+
+/// Shape of every node's cache in a [`VirtualCluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node cache capacity, in files.
+    pub node_capacity: usize,
+    /// Shards per node cache.
+    pub shards: usize,
+    /// Group size for aggregated fetches.
+    pub group_size: usize,
+    /// Successor-list capacity per file.
+    pub successor_capacity: usize,
+}
+
+impl VirtualClusterConfig {
+    /// A reasonable default shape for `nodes` nodes.
+    pub fn standard(nodes: usize) -> Self {
+        VirtualClusterConfig {
+            nodes,
+            node_capacity: 400,
+            shards: 4,
+            group_size: 5,
+            successor_capacity: 8,
+        }
+    }
+
+    fn cache(&self) -> Result<ShardedAggregatingCache, ValidationError> {
+        ShardedAggregatingCacheBuilder::new(self.node_capacity)
+            .shards(self.shards)
+            .group_size(self.group_size)
+            .successor_capacity(self.successor_capacity)
+            .build()
+    }
+
+    fn initial_view(&self) -> ClusterView {
+        ClusterView::new(
+            1,
+            (0..self.nodes as u64).map(|id| (NodeId(id), sim_addr(id))),
+        )
+    }
+}
+
+fn sim_addr(id: u64) -> String {
+    format!("sim://{id}")
+}
+
+/// One membership change at an exact event index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// The node leaves the ring (its process keeps serving and proxying).
+    Leave(u64),
+    /// The node (re)joins the ring.
+    Join(u64),
+}
+
+/// A scheduled membership change: applied *before* event `at_event` is
+/// served. The schedule must be sorted by `at_event`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// Event index the change precedes.
+    pub at_event: u64,
+    /// What happens.
+    pub change: MembershipChange,
+}
+
+/// N cluster nodes over in-process transports. Build with
+/// [`VirtualCluster::build`], drive with [`VirtualCluster::replay`].
+pub struct VirtualCluster {
+    nodes: Vec<Arc<ClusterNode>>,
+    view: ClusterView,
+}
+
+impl std::fmt::Debug for VirtualCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualCluster")
+            .field("nodes", &self.nodes.len())
+            .field("epoch", &self.view.epoch())
+            .finish()
+    }
+}
+
+impl VirtualCluster {
+    /// Builds the fleet: one cache per node, connectors wired to the
+    /// peers' shared caches, everyone holding the full initial view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-configuration validation.
+    pub fn build(config: &VirtualClusterConfig) -> Result<Self, ValidationError> {
+        if config.nodes == 0 {
+            return Err(ValidationError::new("nodes", "must be greater than zero"));
+        }
+        let mut caches: FastMap<u64, Arc<ShardedAggregatingCache>> = FastMap::default();
+        for id in 0..config.nodes as u64 {
+            caches.insert(id, Arc::new(config.cache()?));
+        }
+        let caches = Arc::new(caches);
+        let view = config.initial_view();
+        let nodes = (0..config.nodes as u64)
+            .map(|id| {
+                let caches = Arc::clone(&caches);
+                let cache = Arc::clone(
+                    caches
+                        .get(&id)
+                        .expect("cache built for every node id above"),
+                );
+                let node = ClusterNode::new(
+                    NodeId(id),
+                    cache,
+                    Box::new(move |peer, _addr| {
+                        let target = caches.get(&peer.as_u64()).ok_or_else(|| {
+                            fgcache_types::TransportError::new(
+                                fgcache_types::TransportErrorKind::ConnectionLost,
+                                format!("no virtual node {peer}"),
+                            )
+                        })?;
+                        Ok(Box::new(SimTransport::to_shared_arc(
+                            Arc::clone(target),
+                            CostModel::remote(),
+                        ))
+                            as Box<dyn fgcache_net::Transport + Send>)
+                    }),
+                );
+                node.apply_view(view.clone());
+                Arc::new(node)
+            })
+            .collect();
+        Ok(VirtualCluster { nodes, view })
+    }
+
+    /// The fleet, in node-id order.
+    pub fn nodes(&self) -> &[Arc<ClusterNode>] {
+        &self.nodes
+    }
+
+    /// The driver-side membership view.
+    pub fn view(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// Applies one membership change fleet-wide (every process hears
+    /// about it, including nodes outside the ring — they keep serving).
+    pub fn apply_change(&mut self, change: MembershipChange) {
+        self.view = match change {
+            MembershipChange::Leave(id) => self.view.without_member(NodeId(id)),
+            MembershipChange::Join(id) => self.view.with_member(NodeId(id), &sim_addr(id)),
+        };
+        for node in &self.nodes {
+            node.apply_view(self.view.clone());
+        }
+    }
+
+    /// Replays `events` round-robin through the fleet, applying
+    /// `schedule` (sorted by `at_event`) at exact indices. Sequential
+    /// and deterministic: the same events and schedule always produce
+    /// the same report.
+    pub fn replay(
+        &mut self,
+        events: impl IntoIterator<Item = FileId>,
+        schedule: &[MembershipEvent],
+    ) -> ClusterReplayReport {
+        let mut pending = schedule.iter();
+        let mut next_change = pending.next();
+        let mut count = 0u64;
+        for (i, file) in events.into_iter().enumerate() {
+            let i = i as u64;
+            while let Some(event) = next_change {
+                if event.at_event > i {
+                    break;
+                }
+                self.apply_change(event.change);
+                next_change = pending.next();
+            }
+            let entry = &self.nodes[(i % self.nodes.len() as u64) as usize];
+            entry.serve(i, &[file]);
+            count += 1;
+        }
+        self.report(count)
+    }
+
+    /// Snapshot the fleet's stats into a report.
+    fn report(&self, events: u64) -> ClusterReplayReport {
+        let per_node: Vec<WireStats> = self.nodes.iter().map(|n| n.wire_stats()).collect();
+        let node_stats = self.nodes.iter().map(|n| n.stats()).collect();
+        let mut upstream = TransportStats::default();
+        for node in &self.nodes {
+            upstream.merge(&node.transport_stats());
+        }
+        let load: Vec<u64> = per_node.iter().map(|s| s.accesses).collect();
+        let mean = load.iter().sum::<u64>() as f64 / load.len().max(1) as f64;
+        let max = load.iter().copied().max().unwrap_or(0);
+        let imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+        ClusterReplayReport {
+            events,
+            per_node,
+            node_stats,
+            upstream,
+            load,
+            imbalance,
+        }
+    }
+}
+
+/// What a [`VirtualCluster::replay`] observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReplayReport {
+    /// Events replayed.
+    pub events: u64,
+    /// Per-node cache statistics (node-id order) — the byte-compare
+    /// surface against [`oracle_replay`].
+    pub per_node: Vec<WireStats>,
+    /// Per-node routing counters.
+    pub node_stats: Vec<ClusterNodeStats>,
+    /// Merged upstream (proxy) traffic across the fleet.
+    pub upstream: TransportStats,
+    /// Per-node access counts (the load distribution).
+    pub load: Vec<u64>,
+    /// Max/mean of the load distribution (1.0 = perfectly even).
+    pub imbalance: f64,
+}
+
+/// The single-process oracle: the same events, the same membership
+/// schedule, but each event goes *directly* to its owner's plain cache —
+/// no transports, no proxying, no single-flight. A correct cluster
+/// replay is byte-identical per node.
+///
+/// An event whose owner is undefined (empty ring) is served by its
+/// round-robin entry node, mirroring the cluster's local-serve fallback.
+///
+/// # Errors
+///
+/// Propagates cache-configuration validation.
+pub fn oracle_replay(
+    config: &VirtualClusterConfig,
+    events: impl IntoIterator<Item = FileId>,
+    schedule: &[MembershipEvent],
+) -> Result<Vec<WireStats>, ValidationError> {
+    if config.nodes == 0 {
+        return Err(ValidationError::new("nodes", "must be greater than zero"));
+    }
+    let caches: Vec<ShardedAggregatingCache> = (0..config.nodes)
+        .map(|_| config.cache())
+        .collect::<Result<_, _>>()?;
+    let mut view = config.initial_view();
+    let mut ring: OwnershipRing = view.ring();
+    let mut pending = schedule.iter();
+    let mut next_change = pending.next();
+    for (i, file) in events.into_iter().enumerate() {
+        let i = i as u64;
+        while let Some(event) = next_change {
+            if event.at_event > i {
+                break;
+            }
+            view = match event.change {
+                MembershipChange::Leave(id) => view.without_member(NodeId(id)),
+                MembershipChange::Join(id) => view.with_member(NodeId(id), &sim_addr(id)),
+            };
+            ring = view.ring();
+            next_change = pending.next();
+        }
+        let entry = i % config.nodes as u64;
+        let target = ring.owner(file).map(NodeId::as_u64).unwrap_or(entry);
+        caches[target as usize].handle_access(file);
+    }
+    Ok(caches.iter().map(|c| c.wire_stats()).collect())
+}
+
+/// A streamed Zipf event source: `events` draws over a `universe` of
+/// files, most-popular-first, from a seeded deterministic generator.
+/// O(1) memory regardless of length — this is what lets the virtual
+/// cluster replay multi-million-event traces without materialising them.
+///
+/// # Errors
+///
+/// Propagates [`Zipf::new`] validation (`universe == 0`, bad exponent).
+pub fn zipf_stream(
+    universe: usize,
+    exponent: f64,
+    seed: u64,
+    events: u64,
+) -> Result<impl Iterator<Item = FileId>, ValidationError> {
+    let zipf = Zipf::new(universe, exponent)?;
+    let mut rng = SplitMix64::new(seed);
+    Ok((0..events).map(move |_| FileId(zipf.sample(&mut rng) as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(nodes: usize) -> VirtualClusterConfig {
+        VirtualClusterConfig {
+            nodes,
+            node_capacity: 60,
+            shards: 2,
+            group_size: 3,
+            successor_capacity: 4,
+        }
+    }
+
+    fn mid_replay_schedule(events: u64) -> Vec<MembershipEvent> {
+        vec![
+            MembershipEvent {
+                at_event: events * 2 / 5,
+                change: MembershipChange::Leave(1),
+            },
+            MembershipEvent {
+                at_event: events / 2,
+                change: MembershipChange::Leave(3),
+            },
+            MembershipEvent {
+                at_event: events * 7 / 10,
+                change: MembershipChange::Join(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn single_node_cluster_matches_a_plain_cache() {
+        let config = quick_config(1);
+        let events = || zipf_stream(200, 0.9, 7, 3_000).expect("valid zipf");
+        let mut cluster = VirtualCluster::build(&config).expect("valid config");
+        let report = cluster.replay(events(), &[]);
+        let oracle = oracle_replay(&config, events(), &[]).expect("valid config");
+        assert_eq!(report.per_node, oracle);
+        assert_eq!(report.upstream.requests, 0, "nothing to proxy");
+        assert_eq!(report.node_stats[0].local_serves, 3_000);
+    }
+
+    #[test]
+    fn fleet_replay_is_byte_identical_to_the_oracle() {
+        let config = quick_config(8);
+        let total = 20_000u64;
+        let schedule = mid_replay_schedule(total);
+        let events = || zipf_stream(500, 0.8, 42, total).expect("valid zipf");
+        let mut cluster = VirtualCluster::build(&config).expect("valid config");
+        let report = cluster.replay(events(), &schedule);
+        let oracle = oracle_replay(&config, events(), &schedule).expect("valid config");
+        assert_eq!(report.per_node, oracle, "cluster must match the oracle");
+        assert_eq!(report.events, total);
+        // Every event lands on exactly one cache.
+        assert_eq!(report.load.iter().sum::<u64>(), total);
+        // Proxying really happened (entry ≠ owner most of the time).
+        assert!(report.upstream.requests > 0);
+        let proxied: u64 = report.node_stats.iter().map(|s| s.proxied).sum();
+        assert_eq!(report.upstream.requests, proxied);
+        assert_eq!(
+            report
+                .node_stats
+                .iter()
+                .map(|s| s.proxy_failures)
+                .sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let config = quick_config(5);
+        let schedule = mid_replay_schedule(5_000);
+        let run = || {
+            let mut cluster = VirtualCluster::build(&config).expect("valid config");
+            cluster.replay(
+                zipf_stream(300, 0.9, 11, 5_000).expect("valid zipf"),
+                &schedule,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn imbalance_is_reported_and_sane() {
+        let config = quick_config(4);
+        let mut cluster = VirtualCluster::build(&config).expect("valid config");
+        let report = cluster.replay(zipf_stream(400, 0.7, 3, 8_000).expect("valid zipf"), &[]);
+        assert!(report.imbalance >= 1.0, "max/mean is at least 1");
+        assert!(
+            report.imbalance < 3.0,
+            "rendezvous hashing cannot plausibly triple-load one of 4 nodes, got {}",
+            report.imbalance
+        );
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_bounded() {
+        let a: Vec<FileId> = zipf_stream(100, 1.0, 9, 1_000)
+            .expect("valid zipf")
+            .collect();
+        let b: Vec<FileId> = zipf_stream(100, 1.0, 9, 1_000)
+            .expect("valid zipf")
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|f| f.as_u64() < 100));
+        assert!(zipf_stream(0, 1.0, 9, 10).is_err());
+    }
+}

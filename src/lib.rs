@@ -64,6 +64,7 @@
 #![deny(missing_docs)]
 
 pub use fgcache_cache as cache;
+pub use fgcache_cluster as cluster;
 pub use fgcache_core as core;
 pub use fgcache_entropy as entropy;
 pub use fgcache_net as net;
