@@ -46,7 +46,8 @@ echo "==> loopback smoke: bench-net differential check (byte-exact vs in-process
 echo "==> cluster smoke: 3-process TCP fleet with mid-replay join/leave (byte-exact vs oracle)"
 ./target/release/fgcache bench-cluster --nodes 3 --events 6000 --seed 2002
 
-echo "==> cargo run -p xtask -- bench-smoke (run-only perf gate, no thresholds)"
+echo "==> cargo run -p xtask -- bench-smoke (perf record + 256-connection event-server smoke:"
+echo "    byte-identity vs oracle and bounded RSS are enforced; wall-clock is record-only)"
 cargo run -p xtask -- bench-smoke
 
 echo "==> cargo run -p xtask -- fuzz"

@@ -4,6 +4,7 @@
 //! ```text
 //! fgcache serve --capacity 400 [--addr 127.0.0.1:0] [--shards 4]
 //!               [--group 5] [--successors 8] [--dedup 1024]
+//!               [--max-conns 1024] [--workers 4]
 //!               [--node-id 1 [--peers 1=HOST:PORT,2=HOST:PORT,...]]
 //! ```
 //!
@@ -28,6 +29,21 @@ use fgcache_core::{ShardedAggregatingCache, ShardedAggregatingCacheBuilder};
 use fgcache_net::{BoundServer, NetClient, Transport};
 
 use crate::args::Args;
+
+/// Validates the event-loop sizing flags: both are hard bounds the
+/// server relies on, so zero is a configuration error, not a "no limit".
+pub(crate) fn validate_serving_limits(
+    max_conns: usize,
+    workers: usize,
+) -> Result<(), Box<dyn Error>> {
+    if max_conns == 0 {
+        return Err("--max-conns must be at least 1".into());
+    }
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(())
+}
 
 /// Builds the server-side cache from the parsed flags (separated from
 /// `run` so validation is unit-testable without binding sockets).
@@ -94,6 +110,8 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
         "group",
         "successors",
         "dedup",
+        "max-conns",
+        "workers",
         "node-id",
         "peers",
     ])?;
@@ -103,6 +121,9 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
     let successors = args.flag_or("successors", 8usize)?;
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
     let dedup = args.flag_or("dedup", fgcache_net::DEFAULT_REPLY_CACHE_CAPACITY)?;
+    let max_conns = args.flag_or("max-conns", fgcache_net::DEFAULT_MAX_CONNS)?;
+    let workers = args.flag_or("workers", fgcache_net::DEFAULT_WORKERS)?;
+    validate_serving_limits(max_conns, workers)?;
     let node_id: Option<u64> = match args.flag("node-id") {
         Some(_) => Some(args.require_flag("node-id")?),
         None => None,
@@ -124,7 +145,9 @@ pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
         None => BoundServer::bind(addr, cache),
     }
     .map_err(|e| format!("cannot bind {addr}: {e}"))?
-    .with_dedup_capacity(dedup);
+    .with_dedup_capacity(dedup)
+    .with_max_conns(max_conns)
+    .with_workers(workers);
     println!("listening on {}", server.local_addr());
     server.run();
     println!("server stopped");
@@ -145,6 +168,35 @@ mod tests {
         assert!(build_cache(30, 16, 5, 8).is_ok());
         assert!(build_cache(30, 16, 31, 8).is_err());
         assert!(build_cache(8, 16, 5, 8).is_err());
+    }
+
+    #[test]
+    fn serving_limits_reject_zero() {
+        assert!(validate_serving_limits(1024, 4).is_ok());
+        assert!(validate_serving_limits(1, 1).is_ok());
+        let err = validate_serving_limits(0, 4).expect_err("zero max-conns");
+        assert!(err.to_string().contains("--max-conns"), "{err}");
+        let err = validate_serving_limits(1024, 0).expect_err("zero workers");
+        assert!(err.to_string().contains("--workers"), "{err}");
+
+        // Through the full flag path, without binding a socket: the
+        // validation error must win over any bind attempt.
+        let tokens: Vec<String> = vec![
+            "--capacity".into(),
+            "100".into(),
+            "--max-conns".into(),
+            "0".into(),
+        ];
+        let err = run(&tokens).expect_err("zero max-conns via flags");
+        assert!(err.to_string().contains("--max-conns"), "{err}");
+        let tokens: Vec<String> = vec![
+            "--capacity".into(),
+            "100".into(),
+            "--workers".into(),
+            "0".into(),
+        ];
+        let err = run(&tokens).expect_err("zero workers via flags");
+        assert!(err.to_string().contains("--workers"), "{err}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! fgcache simulate  trace.txt --capacity 400 --clients 4 --shards 4 [--filter 100] [--no-fast-path true]
 //! fgcache two-level trace.txt --filter 200 --server 300 [--scheme g5|lru|lfu|...]
 //! fgcache groups    trace.txt [--group-size 5] [--top 10]
-//! fgcache serve     --capacity 400 [--addr 127.0.0.1:0] [--shards 4] [--node-id 1 [--peers 1=HOST:PORT,...]]
+//! fgcache serve     --capacity 400 [--addr 127.0.0.1:0] [--shards 4] [--max-conns 1024] [--workers 4] [--node-id 1 [--peers 1=HOST:PORT,...]]
 //! fgcache bench-net --loopback true [--clients 4] [--events 10000] [--batch 1,8,32]
 //! fgcache bench-cluster [--nodes 3] [--events 6000] [--virtual true]
 //! fgcache convert   access.log --from strace --out trace.bin [--to text|json|bin]
@@ -40,8 +40,9 @@ COMMANDS:
     simulate   run one cache over a trace
     two-level  client filter + server cache simulation (figure 4)
     groups     show the strongest dynamic groups of a trace
-    serve      run a TCP group-fetch server over a sharded cache
-               (--node-id/--peers turn it into one cluster node)
+    serve      run an event-driven TCP group-fetch server over a sharded
+               cache (--max-conns/--workers size the event loop;
+               --node-id/--peers turn it into one cluster node)
     bench-net  loopback TCP differential check + batch-pipelining sweep
     bench-cluster  multi-process TCP cluster smoke vs a single-process
                oracle (--virtual true: 100-node in-process fleet)

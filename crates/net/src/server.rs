@@ -1,50 +1,119 @@
-//! A real TCP group-fetch server over any [`ServeBackend`].
+//! An event-driven TCP group-fetch server over any [`ServeBackend`].
 //!
 //! [`BoundServer::bind`] takes an address (use port 0 for an ephemeral
 //! loopback port) and a shared [`ShardedAggregatingCache`];
 //! [`BoundServer::bind_backend`] accepts any [`ServeBackend`] (a cluster
-//! node, for instance). [`BoundServer::run`] then accepts connections and
-//! serves the [wire protocol](crate::wire) until asked to stop. Each
-//! connection gets its own scoped thread (`std::thread::scope`), so
-//! handler lifetimes are tied to the accept loop and no connection can
-//! outlive the server.
+//! node, for instance). [`BoundServer::run`] then serves the
+//! [wire protocol](crate::wire) until asked to stop.
+//!
+//! # Architecture
+//!
+//! One **readiness loop** owns every socket. The listener and all
+//! connections are nonblocking; each loop iteration accepts new
+//! connections (up to [`DEFAULT_MAX_CONNS`] or the
+//! [`BoundServer::with_max_conns`] override), collects finished work,
+//! flushes partially-written replies, and reads whatever bytes have
+//! arrived, reassembling frames with a per-connection partial-read state
+//! machine. Connection count is no longer bounded by thread count and an
+//! idle connection costs a few hundred bytes, not a stack.
+//!
+//! Decoded requests are handed to a **bounded worker pool** (a
+//! `Mutex<VecDeque>` + `Condvar` job queue; [`DEFAULT_WORKERS`] threads
+//! by default) so group fetches execute off the I/O loop. Workers may
+//! finish out of order, so every inbound frame gets a per-connection
+//! sequence number and completions sit in a small reorder buffer until
+//! they can be released *in request order* — the pipelined client matches
+//! replies to requests positionally, and that contract survives the
+//! worker pool.
+//!
+//! # Backpressure
+//!
+//! Per connection, two bounds gate *reading* (never writing): at most
+//! [`DEFAULT_MAX_PENDING`] requests may be in flight, and at most
+//! [`DEFAULT_MAX_OUTBOUND_BYTES`] reply bytes may sit unwritten. A slow
+//! reader's connection simply stops being read — its bytes stay in kernel
+//! buffers and the peer's send window closes — while every other
+//! connection proceeds untouched. Queued replies are always released and
+//! flushed, so total buffered output per connection is bounded by the
+//! outbound cap plus the replies to the (capped) in-flight requests.
 //!
 //! # Exactly-once fetches
 //!
-//! All connections share one [`ReplyCache`] behind a mutex, and a fetch
-//! executes *while holding it*: a retry racing its original request —
-//! possibly on a different pooled connection — either finds the
+//! Unchanged from the thread-per-connection server: all connections share
+//! one [`ReplyCache`] behind a mutex, and for backends that
+//! [serialise](ServeBackend::serializes_execution) a fetch executes
+//! *while holding it* — a retry racing its original request, possibly on
+//! a different pooled connection or a different worker, either finds the
 //! remembered reply or blocks until the original finishes, never
-//! double-executing. This serialises fetch execution, which is the honest
-//! trade for a correctness-first reproduction (and costs nothing on the
-//! single-core hosts the benchmarks run on; the cache's own shard locks
-//! would serialise most of the work anyway).
+//! double-executing. Backends that deduplicate internally (a cluster
+//! node, whose fetches may block on a *peer's* server) execute outside
+//! the lock, exactly as before.
 //!
 //! # Shutdown
 //!
 //! Stopping is cooperative: a client sends `Shutdown` (or the owner calls
-//! [`ServerHandle::stop`]), which sets a shared flag and pokes the
-//! listener with a throwaway connection so the blocking `accept` wakes
-//! up. Handler threads poll the flag between read attempts (connections
-//! use a short read timeout), so the whole scope drains within one poll
-//! interval.
+//! [`ServerHandle::stop`], or sets the [`BoundServer::shutdown_flag`]).
+//! The loop then stops accepting and stops reading, drains in-flight jobs
+//! and flushes every queued reply (bounded by a two-second drain
+//! deadline), closes the job queue so the workers exit, and returns. The
+//! `ShutdownAck` is sequenced like any reply, so it is delivered after
+//! every reply the same connection pipelined ahead of it.
 
-use std::io::{Read as _, Write as _};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fgcache_core::ShardedAggregatingCache;
 use fgcache_types::FileId;
 
 use crate::dedup::{ReplyCache, DEFAULT_REPLY_CACHE_CAPACITY};
 use crate::transport::{FileReply, GroupReply};
-use crate::wire::{write_frame, Message, WireStats, MAX_FRAME_LEN};
+use crate::wire::{decode_fetch_into, Message, WireStats, MAX_FRAME_LEN};
 
-/// How often an idle connection re-checks the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Default hard cap on concurrently-held connections; accepts beyond it
+/// are deferred to the kernel backlog until a slot frees.
+pub const DEFAULT_MAX_CONNS: usize = 1024;
+
+/// Default worker-pool size (threads executing fetches off the I/O loop).
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Default per-connection bound on requests in flight (dispatched but not
+/// yet released to the write buffer). Reading stops at the bound.
+pub const DEFAULT_MAX_PENDING: usize = 128;
+
+/// Default per-connection bound on unwritten reply bytes. Reading stops
+/// at the bound; see the [module docs](self) for the true total bound.
+pub const DEFAULT_MAX_OUTBOUND_BYTES: usize = 256 * 1024;
+
+/// How long the loop sleeps per iteration once fully idle (after a few
+/// plain yields); bounds added latency for the first frame after a lull.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Idle iterations spent on `yield_now` before sleeping — on a busy or
+/// single-core host this hands the CPU straight to the workers.
+const YIELD_SPINS: u32 = 4;
+
+/// A connection with no recent activity is scanned for readable bytes
+/// only every this-many iterations, so hundreds of idle connections cost
+/// a handful of read syscalls per iteration instead of one each.
+const COLD_SCAN_PERIOD: u64 = 32;
+
+/// Iterations of "hot" status granted by any progress on a connection.
+const HOT_ITERS: u64 = 64;
+
+/// Upper bound on the shutdown drain (in-flight jobs + queued replies).
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cap on pooled scratch buffers retained for reuse.
+const POOL_CAP: usize = 256;
+
+/// Compact the write buffer once this many flushed bytes accumulate at
+/// its front.
+const COMPACT_THRESHOLD: usize = 32 * 1024;
 
 /// What a [`BoundServer`] serves fetches from: a plain cache or anything
 /// cache-shaped (a cluster node that routes to peers, say). The server
@@ -125,6 +194,10 @@ pub struct BoundServer {
     backend: Arc<dyn ServeBackend>,
     shutdown: Arc<AtomicBool>,
     dedup_capacity: usize,
+    max_conns: usize,
+    workers: usize,
+    max_pending: usize,
+    max_outbound: usize,
 }
 
 impl std::fmt::Debug for BoundServer {
@@ -132,6 +205,8 @@ impl std::fmt::Debug for BoundServer {
         f.debug_struct("BoundServer")
             .field("addr", &self.local_addr())
             .field("dedup_capacity", &self.dedup_capacity)
+            .field("max_conns", &self.max_conns)
+            .field("workers", &self.workers)
             .finish_non_exhaustive()
     }
 }
@@ -163,6 +238,10 @@ impl BoundServer {
             backend,
             shutdown: Arc::new(AtomicBool::new(false)),
             dedup_capacity: DEFAULT_REPLY_CACHE_CAPACITY,
+            max_conns: DEFAULT_MAX_CONNS,
+            workers: DEFAULT_WORKERS,
+            max_pending: DEFAULT_MAX_PENDING,
+            max_outbound: DEFAULT_MAX_OUTBOUND_BYTES,
         })
     }
 
@@ -171,6 +250,30 @@ impl BoundServer {
     #[must_use]
     pub fn with_dedup_capacity(mut self, capacity: usize) -> Self {
         self.dedup_capacity = capacity;
+        self
+    }
+
+    /// Overrides the connection cap (clamped to at least 1). Accepts
+    /// beyond the cap wait in the kernel backlog until a slot frees.
+    #[must_use]
+    pub fn with_max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = max_conns.max(1);
+        self
+    }
+
+    /// Overrides the worker-pool size (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the per-connection backpressure bounds (each clamped to
+    /// at least 1): requests in flight, and unwritten reply bytes.
+    #[must_use]
+    pub fn with_queue_limits(mut self, max_pending: usize, max_outbound_bytes: usize) -> Self {
+        self.max_pending = max_pending.max(1);
+        self.max_outbound = max_outbound_bytes.max(1);
         self
     }
 
@@ -188,42 +291,47 @@ impl BoundServer {
         Arc::clone(&self.shutdown)
     }
 
-    /// Runs the accept loop on the calling thread until shut down. Each
-    /// accepted connection is served on its own scoped thread.
+    /// Runs the readiness loop on the calling thread until shut down,
+    /// with the worker pool on scoped threads beside it.
     pub fn run(self) {
         let BoundServer {
             listener,
             backend,
             shutdown,
             dedup_capacity,
+            max_conns,
+            workers,
+            max_pending,
+            max_outbound,
         } = self;
-        let wake_addr = listener
-            .local_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_default();
+        if listener.set_nonblocking(true).is_err() {
+            return; // cannot serve readiness-style without it
+        }
         let dedup = Mutex::new(ReplyCache::new(dedup_capacity));
+        let shared = Shared::new();
         let backend = &*backend;
         let shutdown = &*shutdown;
         let dedup = &dedup;
+        let shared = &shared;
         thread::scope(|scope| {
-            loop {
-                if shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        if shutdown.load(Ordering::Acquire) {
-                            break; // the wake-up poke, not a real client
-                        }
-                        let wake_addr = wake_addr.clone();
-                        scope.spawn(move || {
-                            handle_connection(stream, backend, dedup, shutdown, &wake_addr);
-                        });
-                    }
-                    Err(_) if shutdown.load(Ordering::Acquire) => break,
-                    Err(_) => continue, // transient accept failure
-                }
+            for _ in 0..workers.max(1) {
+                scope.spawn(move || worker_loop(shared, backend, dedup));
             }
+            let mut event_loop = EventLoop {
+                listener,
+                slots: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                iter: 0,
+                max_conns: max_conns.max(1),
+                max_pending: max_pending.max(1),
+                max_outbound: max_outbound.max(1),
+            };
+            event_loop.run(shared, shutdown);
+            // Unblock the workers so the scope can join them. Jobs still
+            // queued (only possible past the drain deadline) are executed
+            // and their completions dropped.
+            shared.close();
         });
     }
 
@@ -255,111 +363,187 @@ impl ServerHandle {
         &self.addr
     }
 
-    /// Stops the server and waits for every connection handler to drain.
+    /// Stops the server: sets the flag, waits for the loop to drain
+    /// in-flight replies and the workers to exit.
     pub fn stop(self) {
         self.shutdown.store(true, Ordering::Release);
-        // Wake the blocking accept; an immediately-dropped connection is
-        // indistinguishable from a client that connected and went away.
-        drop(TcpStream::connect(&self.addr));
         self.join.join().expect("server thread panicked");
     }
 }
 
-/// Outcome of one patient read attempt.
-enum Inbound {
-    /// A complete frame arrived.
-    Frame(Message),
-    /// The peer closed, the frame was malformed, or shutdown was
-    /// requested: stop serving this connection.
-    Hangup,
+/// One unit of backend work, tagged with enough to route its completion:
+/// connection slot, that slot's generation (stale completions for a
+/// reused slot are discarded), and the per-connection sequence number
+/// that fixes the reply's position in the outbound order.
+struct Job {
+    slot: usize,
+    generation: u64,
+    seq: u64,
+    kind: JobKind,
 }
 
-/// Fills `buf` completely, resuming across read-timeout polls (the
-/// connection's short read timeout doubles as the shutdown-flag poll).
-/// Partial progress is kept in `buf`, so a frame split across polls is
-/// reassembled rather than desynced. Returns `false` to hang up: EOF,
-/// a hard I/O error, or shutdown requested while no bytes of `buf` have
-/// arrived yet (mid-buffer, one more poll is allowed to drain the frame).
-fn fill_patient(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> bool {
-    let mut filled = 0;
-    let mut polls_after_shutdown = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return false, // peer closed
-            Ok(n) => filled += n,
-            Err(err)
-                if matches!(
-                    err.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                if shutdown.load(Ordering::Acquire) {
-                    if filled == 0 || polls_after_shutdown > 0 {
-                        return false;
-                    }
-                    polls_after_shutdown += 1;
-                }
-            }
-            Err(_) => return false,
+enum JobKind {
+    Fetch {
+        request_id: u64,
+        files: Vec<FileId>,
+        owned: bool,
+    },
+    Stats {
+        request_id: u64,
+    },
+    ClusterUpdate {
+        request_id: u64,
+        epoch: u64,
+        members: Vec<(u64, String)>,
+    },
+}
+
+/// A finished job: the encoded reply frame, routed by slot + generation.
+struct Done {
+    slot: usize,
+    generation: u64,
+    seq: u64,
+    frame: Vec<u8>,
+}
+
+struct JobQueue {
+    queue: VecDeque<Job>,
+    closed: bool,
+}
+
+/// State shared between the readiness loop and the worker pool: the job
+/// queue, the completion queue, and scratch-buffer pools that keep the
+/// per-frame steady state allocation-free.
+struct Shared {
+    jobs: Mutex<JobQueue>,
+    jobs_ready: Condvar,
+    done: Mutex<Vec<Done>>,
+    frame_bufs: Mutex<Vec<Vec<u8>>>,
+    file_bufs: Mutex<Vec<Vec<FileId>>>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            jobs: Mutex::new(JobQueue {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            jobs_ready: Condvar::new(),
+            done: Mutex::new(Vec::new()),
+            frame_bufs: Mutex::new(Vec::new()),
+            file_bufs: Mutex::new(Vec::new()),
         }
     }
-    true
+
+    fn push_job(&self, job: Job) {
+        self.lock_jobs().queue.push_back(job);
+        self.jobs_ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// empty (remaining jobs are still drained after close).
+    fn next_job(&self) -> Option<Job> {
+        let mut guard = self.lock_jobs();
+        loop {
+            if let Some(job) = guard.queue.pop_front() {
+                return Some(job);
+            }
+            if guard.closed {
+                return None;
+            }
+            guard = self
+                .jobs_ready
+                .wait(guard)
+                .expect("a worker panicked while holding the job queue");
+        }
+    }
+
+    fn close(&self) {
+        self.lock_jobs().closed = true;
+        self.jobs_ready.notify_all();
+    }
+
+    fn lock_jobs(&self) -> MutexGuard<'_, JobQueue> {
+        self.jobs
+            .lock()
+            .expect("a worker panicked while holding the job queue")
+    }
+
+    fn push_done(&self, done: Done) {
+        self.done
+            .lock()
+            .expect("the server loop panicked while holding the completion queue")
+            .push(done);
+    }
+
+    /// Swaps the completion queue into `into` (reusing its storage).
+    fn drain_done(&self, into: &mut Vec<Done>) {
+        into.clear();
+        let mut guard = self
+            .done
+            .lock()
+            .expect("a worker panicked while holding the completion queue");
+        std::mem::swap(&mut *guard, into);
+    }
+
+    fn take_frame_buf(&self) -> Vec<u8> {
+        self.frame_bufs
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn recycle_frame_buf(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut pool = self.frame_bufs.lock().expect("scratch pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
+
+    fn take_file_buf(&self) -> Vec<FileId> {
+        self.file_bufs
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn recycle_file_buf(&self, mut buf: Vec<FileId>) {
+        buf.clear();
+        let mut pool = self.file_bufs.lock().expect("scratch pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
 }
 
-/// Reads one frame, tolerating read-timeout polls while idle and between
-/// partial reads. Returns [`Inbound::Hangup`] on EOF, on shutdown, and on
-/// malformed input (a desynced stream cannot be re-framed, so hanging up
-/// is the only safe reaction).
-fn read_frame_patient(stream: &mut TcpStream, shutdown: &AtomicBool) -> Inbound {
-    let mut header = [0u8; 4];
-    if !fill_patient(stream, &mut header, shutdown) {
-        return Inbound::Hangup;
-    }
-    let len = u32::from_le_bytes(header);
-    if len > MAX_FRAME_LEN {
-        return Inbound::Hangup;
-    }
-    let mut payload = vec![0u8; len as usize];
-    if !fill_patient(stream, &mut payload, shutdown) {
-        return Inbound::Hangup;
-    }
-    match Message::decode(&payload) {
-        Ok(message) => Inbound::Frame(message),
-        Err(_) => Inbound::Hangup,
-    }
-}
-
-fn handle_connection(
-    mut stream: TcpStream,
-    backend: &dyn ServeBackend,
-    dedup: &Mutex<ReplyCache>,
-    shutdown: &AtomicBool,
-    wake_addr: &str,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    loop {
-        let message = match read_frame_patient(&mut stream, shutdown) {
-            Inbound::Frame(m) => m,
-            Inbound::Hangup => return,
-        };
-        let reply = match message {
-            Message::Fetch { request_id, files } => {
-                let reply = serve_fetch(backend, dedup, request_id, files, false);
-                Message::reply_for(&reply)
+/// One worker: pops jobs, executes them against the backend (with the
+/// same exactly-once discipline as ever — see [`serve_fetch`]), encodes
+/// the reply into a pooled buffer, and posts the completion.
+fn worker_loop(shared: &Shared, backend: &dyn ServeBackend, dedup: &Mutex<ReplyCache>) {
+    while let Some(job) = shared.next_job() {
+        let reply = match job.kind {
+            JobKind::Fetch {
+                request_id,
+                files,
+                owned,
+            } => {
+                let reply = serve_fetch(backend, dedup, request_id, &files, owned);
+                shared.recycle_file_buf(files);
+                Message::FetchReply {
+                    request_id: reply.request_id,
+                    files: reply.files,
+                }
             }
-            Message::FetchOwned { request_id, files } => {
-                let reply = serve_fetch(backend, dedup, request_id, files, true);
-                Message::reply_for(&reply)
-            }
-            Message::StatsRequest { request_id } => {
+            JobKind::Stats { request_id } => {
                 let mut stats = backend.wire_stats();
                 stats.reply_cache_hits += lock_dedup(dedup).hits();
                 Message::StatsReply { request_id, stats }
             }
-            Message::ClusterUpdate {
+            JobKind::ClusterUpdate {
                 request_id,
                 epoch,
                 members,
@@ -373,30 +557,501 @@ fn handle_connection(
                     message: reason,
                 },
             },
-            Message::Shutdown { request_id } => {
-                let ack = Message::ShutdownAck { request_id };
-                let _ = write_frame(&mut stream, &ack);
-                let _ = stream.flush();
-                shutdown.store(true, Ordering::Release);
-                // Wake the accept loop so the scope can finish.
-                drop(TcpStream::connect(wake_addr));
-                return;
-            }
-            other => Message::Error {
-                request_id: other.request_id(),
-                message: format!("unexpected client message: {other:?}"),
-            },
         };
-        if write_frame(&mut stream, &reply).is_err() {
-            return;
+        let mut frame = shared.take_frame_buf();
+        reply.encode_into(&mut frame);
+        shared.push_done(Done {
+            slot: job.slot,
+            generation: job.generation,
+            seq: job.seq,
+            frame,
+        });
+    }
+}
+
+/// Partial-read state: a frame header or body may arrive split across
+/// any number of reads (down to one byte each) and is reassembled here.
+enum ReadPhase {
+    /// Collecting the 4-byte length prefix.
+    Header { filled: usize },
+    /// Collecting `len` payload bytes.
+    Payload { filled: usize, len: usize },
+}
+
+/// Per-connection state owned by the readiness loop.
+struct Conn {
+    stream: TcpStream,
+    phase: ReadPhase,
+    header: [u8; 4],
+    /// Reused payload scratch; capacity persists across frames.
+    payload: Vec<u8>,
+    /// Sequence number assigned to the next inbound frame.
+    next_seq: u64,
+    /// Sequence number of the next reply to release into `outbound`.
+    next_release: u64,
+    /// Frames dispatched (or completed inline) but not yet released.
+    pending: usize,
+    /// Out-of-order completions waiting for their turn, `(seq, frame)`.
+    completed: Vec<(u64, Vec<u8>)>,
+    /// Released-but-unwritten reply bytes; `write_pos` marks progress.
+    outbound: Vec<u8>,
+    write_pos: usize,
+    /// Iteration until which this connection is scanned every pass.
+    hot_until: u64,
+    read_eof: bool,
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, hot_until: u64) -> Self {
+        Conn {
+            stream,
+            phase: ReadPhase::Header { filled: 0 },
+            header: [0; 4],
+            payload: Vec::new(),
+            next_seq: 0,
+            next_release: 0,
+            pending: 0,
+            completed: Vec::new(),
+            outbound: Vec::new(),
+            write_pos: 0,
+            hot_until,
+            read_eof: false,
+            close_after_flush: false,
+            dead: false,
         }
     }
+
+    /// Unwritten reply bytes currently queued.
+    fn backlog(&self) -> usize {
+        self.outbound.len() - self.write_pos
+    }
+}
+
+/// Whether the loop may read more frames from a connection: both
+/// backpressure bounds must have room. Reading — never writing — is what
+/// stops, so a slow reader throttles itself without unbounded buffering.
+fn may_read(pending: usize, backlog_bytes: usize, max_pending: usize, max_outbound: usize) -> bool {
+    pending < max_pending && backlog_bytes < max_outbound
+}
+
+/// A connection slot; `generation` increments on reuse so completions
+/// for a previous occupant are recognised and dropped.
+struct Slot {
+    generation: u64,
+    conn: Option<Conn>,
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    live: usize,
+    iter: u64,
+    max_conns: usize,
+    max_pending: usize,
+    max_outbound: usize,
+}
+
+impl EventLoop {
+    fn run(&mut self, shared: &Shared, shutdown: &AtomicBool) {
+        let mut done_batch: Vec<Done> = Vec::new();
+        let mut drain_deadline: Option<Instant> = None;
+        let mut idle_spins: u32 = 0;
+        loop {
+            self.iter += 1;
+            let draining = shutdown.load(Ordering::Acquire);
+            if draining && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_TIMEOUT);
+            }
+            let mut progress = false;
+            if !draining {
+                progress |= self.accept_ready(shared);
+            }
+            progress |= self.route_completions(shared, &mut done_batch);
+            progress |= self.pump_connections(shared, shutdown, draining);
+            self.reap_dead(shared);
+            if draining
+                && (self.fully_drained() || drain_deadline.is_some_and(|d| Instant::now() >= d))
+            {
+                break;
+            }
+            if progress {
+                idle_spins = 0;
+            } else {
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins <= YIELD_SPINS {
+                    thread::yield_now();
+                } else {
+                    thread::sleep(IDLE_SLEEP);
+                }
+            }
+        }
+    }
+
+    /// Accepts until the listener would block or the cap is reached.
+    /// At the cap, accepting simply stops: pending connections wait in
+    /// the kernel backlog (deferred, not refused) until a slot frees.
+    fn accept_ready(&mut self, _shared: &Shared) -> bool {
+        let mut progress = false;
+        while self.live < self.max_conns {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // cannot serve it; drop cleanly
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn = Conn::new(stream, self.iter + HOT_ITERS);
+                    match self.free.pop() {
+                        Some(slot) => self.slots[slot].conn = Some(conn),
+                        None => self.slots.push(Slot {
+                            generation: 0,
+                            conn: Some(conn),
+                        }),
+                    }
+                    self.live += 1;
+                    progress = true;
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient (e.g. EMFILE); retry next pass
+            }
+        }
+        progress
+    }
+
+    /// Drains worker completions into their connections' reorder
+    /// buffers, dropping any whose slot generation no longer matches.
+    fn route_completions(&mut self, shared: &Shared, batch: &mut Vec<Done>) -> bool {
+        shared.drain_done(batch);
+        let mut progress = !batch.is_empty();
+        for done in batch.drain(..) {
+            let slot = &mut self.slots[done.slot];
+            match slot.conn.as_mut() {
+                Some(conn) if slot.generation == done.generation && !conn.dead => {
+                    conn.completed.push((done.seq, done.frame));
+                    conn.hot_until = self.iter + HOT_ITERS;
+                }
+                _ => {
+                    shared.recycle_frame_buf(done.frame);
+                    progress = true;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Per connection: release in-order completions, flush writes, then
+    /// read and dispatch new frames (unless draining or backpressured).
+    fn pump_connections(&mut self, shared: &Shared, shutdown: &AtomicBool, draining: bool) -> bool {
+        let mut progress = false;
+        for slot_idx in 0..self.slots.len() {
+            let Slot { generation, conn } = &mut self.slots[slot_idx];
+            let Some(conn) = conn.as_mut() else { continue };
+            let generation = *generation;
+            progress |= release_ready(conn, shared);
+            progress |= write_ready(conn);
+            if !draining && !conn.dead && !conn.read_eof && !conn.close_after_flush {
+                let hot = self.iter < conn.hot_until;
+                if hot || self.iter.is_multiple_of(COLD_SCAN_PERIOD) {
+                    let read = read_ready(
+                        conn,
+                        slot_idx,
+                        generation,
+                        shared,
+                        shutdown,
+                        self.max_pending,
+                        self.max_outbound,
+                    );
+                    if read {
+                        conn.hot_until = self.iter + HOT_ITERS;
+                    }
+                    progress |= read;
+                }
+            }
+            // A peer that closed its write side is parted with once every
+            // reply it is owed has been flushed.
+            if conn.read_eof && conn.pending == 0 && conn.backlog() == 0 {
+                conn.dead = true;
+            }
+        }
+        progress
+    }
+
+    fn reap_dead(&mut self, shared: &Shared) {
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            let Some(conn) = slot.conn.as_ref() else {
+                continue;
+            };
+            if !conn.dead {
+                continue;
+            }
+            let Some(conn) = slot.conn.take() else {
+                continue;
+            };
+            for (_, frame) in conn.completed {
+                shared.recycle_frame_buf(frame);
+            }
+            slot.generation += 1;
+            self.free.push(idx);
+            self.live -= 1;
+        }
+    }
+
+    /// Everything owed has been delivered: no in-flight requests and no
+    /// unwritten bytes on any live connection.
+    fn fully_drained(&self) -> bool {
+        self.slots.iter().all(|slot| match &slot.conn {
+            Some(conn) => conn.pending == 0 && conn.backlog() == 0,
+            None => true,
+        })
+    }
+}
+
+/// Appends completions to the write buffer strictly in sequence order,
+/// so replies leave in the order their requests arrived even when
+/// workers finish out of order.
+fn release_ready(conn: &mut Conn, shared: &Shared) -> bool {
+    let mut progress = false;
+    loop {
+        let next = conn.next_release;
+        let Some(idx) = conn.completed.iter().position(|&(seq, _)| seq == next) else {
+            break;
+        };
+        let (_, frame) = conn.completed.swap_remove(idx);
+        conn.outbound.extend_from_slice(&frame);
+        shared.recycle_frame_buf(frame);
+        conn.next_release += 1;
+        conn.pending -= 1;
+        progress = true;
+    }
+    progress
+}
+
+/// Writes as much of the outbound buffer as the socket will take,
+/// resuming mid-frame across calls. Compacts the buffer when fully
+/// flushed (or once enough dead bytes accumulate), so capacity is reused
+/// rather than regrown.
+fn write_ready(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    loop {
+        if conn.backlog() == 0 {
+            conn.outbound.clear();
+            conn.write_pos = 0;
+            if conn.close_after_flush && conn.pending == 0 {
+                conn.dead = true;
+            }
+            break;
+        }
+        match conn.stream.write(&conn.outbound[conn.write_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.write_pos += n;
+                progress = true;
+            }
+            Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.write_pos >= COMPACT_THRESHOLD && conn.backlog() > 0 {
+        conn.outbound.drain(..conn.write_pos);
+        conn.write_pos = 0;
+    }
+    progress
+}
+
+/// Reads every byte the socket has ready (respecting the backpressure
+/// bounds), reassembling frames and dispatching each complete one.
+fn read_ready(
+    conn: &mut Conn,
+    slot: usize,
+    generation: u64,
+    shared: &Shared,
+    shutdown: &AtomicBool,
+    max_pending: usize,
+    max_outbound: usize,
+) -> bool {
+    let mut progress = false;
+    while !conn.dead
+        && !conn.close_after_flush
+        && may_read(conn.pending, conn.backlog(), max_pending, max_outbound)
+    {
+        match conn.phase {
+            ReadPhase::Header { filled } => {
+                match conn.stream.read(&mut conn.header[filled..]) {
+                    Ok(0) => {
+                        conn.read_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        let filled = filled + n;
+                        if filled < 4 {
+                            conn.phase = ReadPhase::Header { filled };
+                            continue;
+                        }
+                        let len = u32::from_le_bytes(conn.header);
+                        if len > MAX_FRAME_LEN {
+                            conn.dead = true; // unframeable garbage
+                            break;
+                        }
+                        let len = len as usize;
+                        conn.payload.clear();
+                        conn.payload.resize(len, 0);
+                        conn.phase = ReadPhase::Payload { filled: 0, len };
+                        if len == 0 {
+                            // An empty payload can never decode; the
+                            // stream is desynced beyond recovery.
+                            conn.dead = true;
+                            break;
+                        }
+                    }
+                    Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            ReadPhase::Payload { filled, len } => {
+                match conn.stream.read(&mut conn.payload[filled..len]) {
+                    Ok(0) => {
+                        conn.read_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        let filled = filled + n;
+                        if filled < len {
+                            conn.phase = ReadPhase::Payload { filled, len };
+                            continue;
+                        }
+                        conn.phase = ReadPhase::Header { filled: 0 };
+                        dispatch_frame(conn, slot, generation, shared, shutdown);
+                    }
+                    Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    progress
+}
+
+/// Routes one complete frame: fetches, stats and cluster updates become
+/// worker jobs; shutdown and protocol errors are answered inline. Every
+/// frame consumes one sequence number so replies release in order.
+fn dispatch_frame(
+    conn: &mut Conn,
+    slot: usize,
+    generation: u64,
+    shared: &Shared,
+    shutdown: &AtomicBool,
+) {
+    let seq = conn.next_seq;
+    let mut files = shared.take_file_buf();
+    // The allocation-free fast path: fetch frames decode straight into a
+    // pooled buffer; everything else takes the cold full decode.
+    match decode_fetch_into(&conn.payload, &mut files) {
+        Ok(Some(header)) => {
+            conn.next_seq += 1;
+            conn.pending += 1;
+            shared.push_job(Job {
+                slot,
+                generation,
+                seq,
+                kind: JobKind::Fetch {
+                    request_id: header.request_id,
+                    files,
+                    owned: header.owned,
+                },
+            });
+        }
+        Ok(None) => {
+            shared.recycle_file_buf(files);
+            match Message::decode(&conn.payload) {
+                Ok(Message::StatsRequest { request_id }) => {
+                    conn.next_seq += 1;
+                    conn.pending += 1;
+                    shared.push_job(Job {
+                        slot,
+                        generation,
+                        seq,
+                        kind: JobKind::Stats { request_id },
+                    });
+                }
+                Ok(Message::ClusterUpdate {
+                    request_id,
+                    epoch,
+                    members,
+                }) => {
+                    conn.next_seq += 1;
+                    conn.pending += 1;
+                    shared.push_job(Job {
+                        slot,
+                        generation,
+                        seq,
+                        kind: JobKind::ClusterUpdate {
+                            request_id,
+                            epoch,
+                            members,
+                        },
+                    });
+                }
+                Ok(Message::Shutdown { request_id }) => {
+                    conn.next_seq += 1;
+                    conn.pending += 1;
+                    complete_inline(conn, seq, &Message::ShutdownAck { request_id }, shared);
+                    conn.close_after_flush = true;
+                    shutdown.store(true, Ordering::Release);
+                }
+                Ok(other) => {
+                    conn.next_seq += 1;
+                    conn.pending += 1;
+                    let reply = Message::Error {
+                        request_id: other.request_id(),
+                        message: format!("unexpected client message: {other:?}"),
+                    };
+                    complete_inline(conn, seq, &reply, shared);
+                }
+                Err(_) => {
+                    // A desynced stream cannot be re-framed; hang up.
+                    conn.dead = true;
+                }
+            }
+        }
+        Err(_) => {
+            shared.recycle_file_buf(files);
+            conn.dead = true;
+        }
+    }
+}
+
+/// Completes a frame on the I/O loop itself (no worker round trip),
+/// still sequenced like any other reply.
+fn complete_inline(conn: &mut Conn, seq: u64, reply: &Message, shared: &Shared) {
+    let mut frame = shared.take_frame_buf();
+    reply.encode_into(&mut frame);
+    conn.completed.push((seq, frame));
 }
 
 fn lock_dedup(dedup: &Mutex<ReplyCache>) -> MutexGuard<'_, ReplyCache> {
     dedup
         .lock()
-        .expect("a connection handler panicked while holding the reply cache")
+        .expect("a worker panicked while holding the reply cache")
 }
 
 /// Serves one fetch, exactly-once per request id (see the [module
@@ -412,10 +1067,9 @@ fn serve_fetch(
     backend: &dyn ServeBackend,
     dedup: &Mutex<ReplyCache>,
     request_id: u64,
-    files: Vec<FileId>,
+    files: &[FileId],
     owned: bool,
 ) -> GroupReply {
-    let files = &files[..];
     {
         let mut guard = lock_dedup(dedup);
         if let Some(remembered) = guard.get(request_id) {
@@ -442,5 +1096,41 @@ fn execute(
         backend.serve_owned(request_id, files)
     } else {
         backend.serve_group(request_id, files)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn may_read_gates_on_both_bounds() {
+        // Room on both bounds: read.
+        assert!(may_read(0, 0, 8, 1024));
+        assert!(may_read(7, 1023, 8, 1024));
+        // Pending at the cap: stop, regardless of outbound room.
+        assert!(!may_read(8, 0, 8, 1024));
+        // Outbound at the cap: stop, regardless of pending room.
+        assert!(!may_read(0, 1024, 8, 1024));
+        // Both saturated.
+        assert!(!may_read(8, 1024, 8, 1024));
+    }
+
+    #[test]
+    fn builder_knobs_clamp_zero_to_one() {
+        let cache = Arc::new(
+            fgcache_core::ShardedAggregatingCacheBuilder::new(20)
+                .build()
+                .expect("valid build"),
+        );
+        let server = BoundServer::bind("127.0.0.1:0", cache)
+            .expect("ephemeral bind")
+            .with_max_conns(0)
+            .with_workers(0)
+            .with_queue_limits(0, 0);
+        assert_eq!(server.max_conns, 1);
+        assert_eq!(server.workers, 1);
+        assert_eq!(server.max_pending, 1);
+        assert_eq!(server.max_outbound, 1);
     }
 }

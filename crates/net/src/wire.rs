@@ -242,50 +242,62 @@ impl Message {
     /// Encodes this message as one complete frame (length prefix
     /// included).
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(16);
-        payload.push(WIRE_VERSION);
-        payload.push(self.msg_type());
-        payload.extend_from_slice(&self.request_id().to_le_bytes());
+        let mut frame = Vec::with_capacity(32);
+        self.encode_into(&mut frame);
+        frame
+    }
+
+    /// Encodes this message as one complete frame into a reused buffer.
+    ///
+    /// The buffer is cleared first, so repeated calls with the same
+    /// buffer are allocation-free once its capacity has warmed up — the
+    /// event-driven server leans on this for its per-frame steady state.
+    /// Byte-for-byte identical to [`Message::encode`] (pinned by a test).
+    pub fn encode_into(&self, frame: &mut Vec<u8>) {
+        frame.clear();
+        // Length prefix placeholder, patched once the payload is known.
+        frame.extend_from_slice(&[0u8; 4]);
+        frame.push(WIRE_VERSION);
+        frame.push(self.msg_type());
+        frame.extend_from_slice(&self.request_id().to_le_bytes());
         match self {
             Message::Fetch { files, .. } | Message::FetchOwned { files, .. } => {
-                payload.extend_from_slice(&(files.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&(files.len() as u32).to_le_bytes());
                 for f in files {
-                    payload.extend_from_slice(&f.as_u64().to_le_bytes());
+                    frame.extend_from_slice(&f.as_u64().to_le_bytes());
                 }
             }
             Message::FetchReply { files, .. } => {
-                payload.extend_from_slice(&(files.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&(files.len() as u32).to_le_bytes());
                 for f in files {
-                    payload.extend_from_slice(&f.file.as_u64().to_le_bytes());
-                    payload.push(if f.outcome.is_hit() { 0 } else { 1 });
+                    frame.extend_from_slice(&f.file.as_u64().to_le_bytes());
+                    frame.push(if f.outcome.is_hit() { 0 } else { 1 });
                 }
             }
-            Message::StatsReply { stats, .. } => stats.encode_into(&mut payload),
+            Message::StatsReply { stats, .. } => stats.encode_into(frame),
             Message::Error { message, .. } => {
-                payload.extend_from_slice(&(message.len() as u32).to_le_bytes());
-                payload.extend_from_slice(message.as_bytes());
+                frame.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                frame.extend_from_slice(message.as_bytes());
             }
             Message::ClusterUpdate { epoch, members, .. } => {
-                payload.extend_from_slice(&epoch.to_le_bytes());
-                payload.extend_from_slice(&(members.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&epoch.to_le_bytes());
+                frame.extend_from_slice(&(members.len() as u32).to_le_bytes());
                 for (node, addr) in members {
-                    payload.extend_from_slice(&node.to_le_bytes());
+                    frame.extend_from_slice(&node.to_le_bytes());
                     let len = addr.len().min(MAX_MEMBER_ADDR_LEN) as u16;
-                    payload.extend_from_slice(&len.to_le_bytes());
-                    payload.extend_from_slice(&addr.as_bytes()[..len as usize]);
+                    frame.extend_from_slice(&len.to_le_bytes());
+                    frame.extend_from_slice(&addr.as_bytes()[..len as usize]);
                 }
             }
             Message::ClusterUpdateAck { epoch, .. } => {
-                payload.extend_from_slice(&epoch.to_le_bytes());
+                frame.extend_from_slice(&epoch.to_le_bytes());
             }
             Message::StatsRequest { .. }
             | Message::Shutdown { .. }
             | Message::ShutdownAck { .. } => {}
         }
-        let mut frame = Vec::with_capacity(4 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        frame
+        let payload_len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&payload_len.to_le_bytes());
     }
 
     /// Decodes one frame payload (everything after the length prefix).
@@ -400,6 +412,62 @@ impl Message {
             Message::FetchOwned { .. } => MSG_FETCH_OWNED,
         }
     }
+}
+
+/// Header of a fetch frame decoded by [`decode_fetch_into`]: everything
+/// but the file list, which lands in the caller's reused buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchFrame {
+    /// Idempotency key carried by the frame.
+    pub request_id: u64,
+    /// `true` for the depth-bounded `FetchOwned` proxy frame.
+    pub owned: bool,
+}
+
+/// Decodes a `Fetch`/`FetchOwned` payload into a reused file buffer —
+/// the event-driven server's allocation-free hot path for inbound
+/// frames. `files` is cleared and refilled; once its capacity covers the
+/// largest group seen, repeated calls allocate nothing.
+///
+/// Returns `Ok(None)` (with `files` left cleared) when the payload is a
+/// well-framed message of any *other* type, so callers can fall back to
+/// [`Message::decode`] for the cold paths.
+///
+/// # Errors
+///
+/// Returns a [`TransportErrorKind::Protocol`] error on the same inputs
+/// [`Message::decode`] rejects: wrong version, truncated body, a
+/// declared count overrunning the frame, or trailing bytes.
+pub fn decode_fetch_into(
+    payload: &[u8],
+    files: &mut Vec<FileId>,
+) -> Result<Option<FetchFrame>, TransportError> {
+    files.clear();
+    let mut r = SliceReader::new(payload);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(protocol(format!(
+            "unsupported wire version {version} (expected {WIRE_VERSION})"
+        )));
+    }
+    let msg_type = r.u8()?;
+    if msg_type != MSG_FETCH && msg_type != MSG_FETCH_OWNED {
+        return Ok(None);
+    }
+    let request_id = r.u64()?;
+    let count = r.u32()? as usize;
+    r.check_remaining(count.checked_mul(8), "fetch file list")?;
+    files.reserve(count);
+    for _ in 0..count {
+        files.push(FileId(r.u64()?));
+    }
+    if !r.is_empty() {
+        return Err(protocol("trailing bytes after message body"));
+    }
+    Ok(Some(FetchFrame {
+        request_id,
+        owned: msg_type == MSG_FETCH_OWNED,
+    }))
 }
 
 /// Writes one message as a frame to `w` (single `write_all` so a frame is
@@ -715,6 +783,136 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
         let err = read_frame(&mut std::io::Cursor::new(buf)).expect_err("too big");
         assert_eq!(err.kind(), TransportErrorKind::Protocol);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_every_message_type() {
+        let samples = [
+            Message::Fetch {
+                request_id: 1,
+                files: vec![FileId(1), FileId(2)],
+            },
+            Message::FetchOwned {
+                request_id: 2,
+                files: vec![FileId(3)],
+            },
+            Message::FetchReply {
+                request_id: 3,
+                files: vec![FileReply {
+                    file: FileId(4),
+                    outcome: AccessOutcome::Miss,
+                }],
+            },
+            Message::StatsRequest { request_id: 4 },
+            Message::StatsReply {
+                request_id: 5,
+                stats: WireStats::default(),
+            },
+            Message::Shutdown { request_id: 6 },
+            Message::ShutdownAck { request_id: 7 },
+            Message::Error {
+                request_id: 8,
+                message: "nope".to_string(),
+            },
+            Message::ClusterUpdate {
+                request_id: 9,
+                epoch: 2,
+                members: vec![(1, "a:1".to_string())],
+            },
+            Message::ClusterUpdateAck {
+                request_id: 10,
+                epoch: 2,
+            },
+        ];
+        // One reused buffer across all messages: encode_into must clear
+        // stale contents and produce bytes identical to encode().
+        let mut scratch = Vec::new();
+        for m in &samples {
+            m.encode_into(&mut scratch);
+            assert_eq!(scratch, m.encode(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn decode_fetch_into_agrees_with_full_decode() {
+        let mut files = Vec::new();
+        for m in [
+            Message::Fetch {
+                request_id: 7,
+                files: vec![FileId(1), FileId(99)],
+            },
+            Message::FetchOwned {
+                request_id: 8,
+                files: vec![FileId(5)],
+            },
+            Message::Fetch {
+                request_id: 9,
+                files: Vec::new(),
+            },
+        ] {
+            let frame = m.encode();
+            let header = decode_fetch_into(&frame[4..], &mut files)
+                .expect("well-formed")
+                .expect("a fetch frame");
+            match Message::decode(&frame[4..]).expect("well-formed") {
+                Message::Fetch {
+                    request_id,
+                    files: want,
+                } => {
+                    assert_eq!(
+                        header,
+                        FetchFrame {
+                            request_id,
+                            owned: false
+                        }
+                    );
+                    assert_eq!(files, want);
+                }
+                Message::FetchOwned {
+                    request_id,
+                    files: want,
+                } => {
+                    assert_eq!(
+                        header,
+                        FetchFrame {
+                            request_id,
+                            owned: true
+                        }
+                    );
+                    assert_eq!(files, want);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_fetch_into_passes_on_other_types_and_rejects_garbage() {
+        let mut files = vec![FileId(123)];
+        let frame = Message::StatsRequest { request_id: 1 }.encode();
+        assert_eq!(
+            decode_fetch_into(&frame[4..], &mut files).expect("well-formed"),
+            None
+        );
+        assert!(files.is_empty(), "scratch cleared even on a pass");
+
+        // Same malformed inputs Message::decode rejects.
+        let frame = Message::Fetch {
+            request_id: 1,
+            files: vec![FileId(1)],
+        }
+        .encode();
+        let payload = &frame[4..];
+        assert!(decode_fetch_into(&payload[..payload.len() - 1], &mut files).is_err());
+        let mut huge = payload.to_vec();
+        huge[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_fetch_into(&huge, &mut files).is_err());
+        let mut wrong_version = payload.to_vec();
+        wrong_version[0] = 9;
+        assert!(decode_fetch_into(&wrong_version, &mut files).is_err());
+        let mut trailing = payload.to_vec();
+        trailing.push(0);
+        assert!(decode_fetch_into(&trailing, &mut files).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! cargo run -p xtask -- analyze     # atomics / lock-discipline passes (token-based)
 //! cargo run -p xtask -- fuzz        # differential fuzzers over the pinned seed set
 //! cargo run -p xtask -- fuzz --minutes N   # soak: fresh derived seeds until N minutes pass
-//! cargo run -p xtask -- bench-smoke # hot-path bench, small event count → BENCH_hot_path.json
+//! cargo run -p xtask -- bench-smoke [--threads N] # smoke benches → BENCH_*.json
 //! cargo run -p xtask -- ci [--miri] # fmt, clippy, lint, analyze, build, test, model suites, …
 //! ```
 //!
@@ -34,12 +34,20 @@
 //! set (exported as `FGCACHE_FUZZ_SEEDS`), so CI exercises more seeds
 //! than the in-repo defaults without ever becoming flaky.
 //!
-//! `bench-smoke` runs the hot-path microbenchmark for a fixed small event
-//! count and writes `BENCH_hot_path.json` (events/sec, allocs/event,
-//! locks/event per scenario) at the workspace root. It is a run-only
-//! gate: the numbers are recorded so the perf trajectory accumulates,
-//! but no thresholds are enforced — the CI host is a single core, where
-//! wall-clock cannot show contention wins (locks/event can).
+//! `bench-smoke` runs the smoke benchmarks for fixed small event counts
+//! and writes `BENCH_hot_path.json`, `BENCH_cost.json`,
+//! `BENCH_cluster.json` and `BENCH_server.json` at the workspace root.
+//! The server bench is also the high-connection smoke: it holds 256+
+//! idle connections on the event-driven server, replays an active
+//! workload, and exits nonzero unless the served stats are
+//! byte-identical to the in-process oracle and RSS growth stays
+//! bounded. `--threads N` is forwarded to the hot-path bench's
+//! multi-threaded sharding scenarios (the multi-core scaling
+//! measurement; defaults to the host's available parallelism). It is a
+//! run-only gate otherwise: the numbers are recorded so the perf
+//! trajectory accumulates, but no wall-clock thresholds are enforced —
+//! the CI host is a single core, where wall-clock cannot show
+//! contention wins (locks/event can).
 //!
 //! `analyze` is the concurrency-discipline gate, companion to the
 //! deterministic interleaving explorer in `fgcache_types::sync::model`
@@ -109,10 +117,19 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Some("bench-smoke") => bench_smoke(&root),
+        Some("bench-smoke") => match parse_threads(&args[1..]) {
+            Ok(threads) => bench_smoke(&root, threads),
+            Err(e) => {
+                eprintln!("xtask bench-smoke: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("ci") => ci(&root, args[1..].iter().any(|a| a == "--miri")),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|analyze|fuzz [--minutes N]|bench-smoke|ci [--miri]>");
+            eprintln!(
+                "usage: cargo run -p xtask -- \
+                 <lint|analyze|fuzz [--minutes N]|bench-smoke [--threads N]|ci [--miri]>"
+            );
             ExitCode::FAILURE
         }
     }
@@ -128,6 +145,26 @@ fn parse_minutes(args: &[String]) -> Result<Option<u64>, String> {
             .parse::<u64>()
             .map(Some)
             .map_err(|_| "--minutes value must be a whole number of minutes".to_string()),
+    }
+}
+
+/// Parses `--threads N` out of a `bench-smoke` argument list (`None`
+/// leaves the hot-path bench at its default: the host's available
+/// parallelism).
+fn parse_threads(args: &[String]) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == "--threads") {
+        None => Ok(None),
+        Some(i) => {
+            let n = args
+                .get(i + 1)
+                .ok_or_else(|| "--threads needs a value".to_string())?
+                .parse::<u64>()
+                .map_err(|_| "--threads value must be a whole number of threads".to_string())?;
+            if n == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+            Ok(Some(n))
+        }
     }
 }
 
@@ -231,32 +268,43 @@ fn fuzz_with_seeds(root: &Path, seeds: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Runs the hot-path microbenchmark in smoke mode (small fixed event
-/// count) and writes `BENCH_hot_path.json` at the workspace root. Run-only
-/// gate: it fails only if the bench itself fails, never on the numbers —
-/// thresholds would be noise on a shared single-core host.
-fn bench_smoke(root: &Path) -> ExitCode {
+/// Runs the smoke benchmarks (small fixed event counts) and writes the
+/// `BENCH_*.json` artifacts at the workspace root. The `event_server`
+/// bench doubles as the high-connection smoke: it panics (nonzero exit)
+/// if 256+ concurrent connections stop being byte-identical with the
+/// in-process oracle or RSS growth exceeds its bound — that part IS
+/// enforced. Wall-clock numbers are run-only: thresholds would be noise
+/// on a shared single-core host. `threads` forwards `--threads N` to
+/// the hot-path bench's multi-core scaling scenarios.
+fn bench_smoke(root: &Path, threads: Option<u64>) -> ExitCode {
     // The bench binaries' working directory is the package root, so the
     // JSON paths are made absolute to land at the workspace root.
     for (bench, json_name) in [
         ("hot_path", "BENCH_hot_path.json"),
         ("cost_aware", "BENCH_cost.json"),
         ("cluster", "BENCH_cluster.json"),
+        ("event_server", "BENCH_server.json"),
     ] {
         println!("==> bench-smoke: {bench} (--smoke) -> {json_name}");
         let json = root.join(json_name);
-        let ok = Command::new("cargo")
-            .args([
-                "bench",
-                "-p",
-                "fgcache-bench",
-                "--bench",
-                bench,
-                "--",
-                "--smoke",
-                "--json",
-            ])
-            .arg(&json)
+        let mut cmd = Command::new("cargo");
+        cmd.args([
+            "bench",
+            "-p",
+            "fgcache-bench",
+            "--bench",
+            bench,
+            "--",
+            "--smoke",
+            "--json",
+        ])
+        .arg(&json);
+        if bench == "hot_path" {
+            if let Some(n) = threads {
+                cmd.args(["--threads", &n.to_string()]);
+            }
+        }
+        let ok = cmd
             .current_dir(root)
             .status()
             .map(|s| s.success())
@@ -385,8 +433,11 @@ fn ci(root: &Path, miri: bool) -> ExitCode {
         eprintln!("xtask ci: step failed: cluster smoke");
         return ExitCode::FAILURE;
     }
-    // Run-only perf gate: records BENCH_hot_path.json, enforces nothing.
-    if bench_smoke(root) != ExitCode::SUCCESS {
+    // Smoke benches: record the BENCH_*.json artifacts. The
+    // event_server bench inside is also the 256-connection smoke —
+    // byte-identity with the oracle and the RSS bound are enforced
+    // (panic → nonzero exit); wall-clock numbers are record-only.
+    if bench_smoke(root, None) != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
     // The extended-seed fuzz pass rides on the build the test step made.
@@ -1495,6 +1546,16 @@ fn f(file: FileId, id: u64) -> Option<u64> {\n\
         assert_eq!(parse_minutes(&args(&["--minutes", "3"])), Ok(Some(3)));
         assert!(parse_minutes(&args(&["--minutes"])).is_err());
         assert!(parse_minutes(&args(&["--minutes", "soon"])).is_err());
+    }
+
+    #[test]
+    fn parse_threads_accepts_and_rejects() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_threads(&args(&[])), Ok(None));
+        assert_eq!(parse_threads(&args(&["--threads", "4"])), Ok(Some(4)));
+        assert!(parse_threads(&args(&["--threads"])).is_err());
+        assert!(parse_threads(&args(&["--threads", "0"])).is_err());
+        assert!(parse_threads(&args(&["--threads", "many"])).is_err());
     }
 
     #[test]
