@@ -46,6 +46,9 @@ echo "==> loopback smoke: bench-net differential check (byte-exact vs in-process
 echo "==> cluster smoke: 3-process TCP fleet with mid-replay join/leave (byte-exact vs oracle)"
 ./target/release/fgcache bench-cluster --nodes 3 --events 6000 --seed 2002
 
+echo "==> planner validation: Che prediction vs streamed LRU simulator (2pp tolerance gate)"
+./target/release/fgcache plan --validate true --events 10000000 --seed 2002
+
 echo "==> cargo run -p xtask -- bench-smoke (perf record + 256-connection event-server smoke:"
 echo "    byte-identity vs oracle and bounded RSS are enforced; wall-clock is record-only)"
 cargo run -p xtask -- bench-smoke

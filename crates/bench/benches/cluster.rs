@@ -28,7 +28,7 @@ struct Scenario {
     name: String,
     events_per_sec: f64,
     proxied_fraction: f64,
-    imbalance: f64,
+    imbalance: Option<f64>,
 }
 
 /// Leave/rejoin churn at 40% and 70% of the replay — the same shape the
@@ -101,11 +101,14 @@ fn write_json(path: &str, events: u64, scenarios: &[Scenario]) {
     body.push_str("  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
         body.push_str(&format!(
-            "    {{\"name\": \"{}\", \"events_per_sec\": {:.0}, \"proxied_fraction\": {:.4}, \"imbalance\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"events_per_sec\": {:.0}, \"proxied_fraction\": {:.4}, \"imbalance\": {}}}{}\n",
             s.name,
             s.events_per_sec,
             s.proxied_fraction,
-            s.imbalance,
+            // JSON null when the replay ended with no live members.
+            s.imbalance
+                .map(|i| format!("{i:.3}"))
+                .unwrap_or_else(|| "null".to_string()),
             if i + 1 == scenarios.len() { "" } else { "," }
         ));
     }
@@ -136,8 +139,13 @@ fn main() {
 
     for s in &scenarios {
         println!(
-            "{:<16} {:>12.0} events/s  proxied {:.4}  imbalance {:.3}",
-            s.name, s.events_per_sec, s.proxied_fraction, s.imbalance
+            "{:<16} {:>12.0} events/s  proxied {:.4}  imbalance {}",
+            s.name,
+            s.events_per_sec,
+            s.proxied_fraction,
+            s.imbalance
+                .map(|i| format!("{i:.3}"))
+                .unwrap_or_else(|| "\u{2014}".to_string())
         );
     }
 

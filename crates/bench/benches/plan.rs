@@ -1,0 +1,171 @@
+//! Analytic-planner throughput: Che fixed-point solves, inverse
+//! capacity queries and the full two-level grid plan, plus one
+//! planner-vs-simulator validation point.
+//!
+//! Each scenario reports solves/sec (or events/sec for the validation
+//! replay). Every run doubles as a live correctness check: the
+//! two-level plan must clear its target hit rate and the validation
+//! point must sit inside the pinned planner tolerance — a silent
+//! regression in the solver turns into a nonzero exit here, not a
+//! quietly wrong capacity table.
+//!
+//! Flags (after `--`): `--smoke` shrinks the problem sizes for CI,
+//! `--json PATH` writes a machine-readable summary.
+
+use fgcache_bench::harness;
+use fgcache_plan::{
+    capacity_for_hit_rate, characteristic_time, hit_rate_at_time, plan, zipf_popularities,
+    PlanRequest,
+};
+use fgcache_sim::plan_validation::{validate_lru, LruValidationCase, PLAN_TOLERANCE};
+use std::time::Instant;
+
+const ALPHA: f64 = 0.9;
+const FULL_UNIVERSE: usize = 200_000;
+const SMOKE_UNIVERSE: usize = 50_000;
+const FULL_EVENTS: u64 = 2_000_000;
+const SMOKE_EVENTS: u64 = 200_000;
+const SEED: u64 = 2002;
+
+struct Scenario {
+    name: String,
+    per_sec: f64,
+    unit: &'static str,
+}
+
+/// Times `work` over the harness iteration count, keeping the best run.
+fn best_of<T>(mut work: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..harness::iterations() + 1 {
+        let start = Instant::now();
+        let out = work();
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        last = Some(out);
+    }
+    (best, last.expect("at least one pass ran"))
+}
+
+fn bench_characteristic_time(probs: &[f64]) -> Scenario {
+    let capacity = probs.len() as f64 / 20.0;
+    let (best, t) = best_of(|| characteristic_time(probs, capacity).expect("valid inputs"));
+    // Live check: the solved T reproduces the requested occupancy.
+    let hit = hit_rate_at_time(probs, t);
+    assert!(
+        (0.0..1.0).contains(&hit),
+        "hit rate at solved T out of range: {hit}"
+    );
+    Scenario {
+        name: "che/characteristic_time".into(),
+        per_sec: 1.0 / best,
+        unit: "solves/s",
+    }
+}
+
+fn bench_inverse_capacity(probs: &[f64]) -> Scenario {
+    let (best, capacity) = best_of(|| capacity_for_hit_rate(probs, 0.7).expect("valid inputs"));
+    assert!(
+        capacity > 0.0 && capacity < probs.len() as f64,
+        "inverse capacity out of range: {capacity}"
+    );
+    Scenario {
+        name: "che/inverse_capacity".into(),
+        per_sec: 1.0 / best,
+        unit: "solves/s",
+    }
+}
+
+fn bench_two_level_plan(universe: usize) -> Scenario {
+    let request = PlanRequest {
+        alpha: ALPHA,
+        universe,
+        clients: 16,
+        target_hit_rate: 0.8,
+        sizes: None,
+    };
+    let (best, report) = best_of(|| plan(&request).expect("valid request"));
+    // Live check: the recommended capacities actually clear the target.
+    assert!(
+        report.combined_hit_rate >= request.target_hit_rate - 1e-9,
+        "plan misses its target: {} < {}",
+        report.combined_hit_rate,
+        request.target_hit_rate
+    );
+    Scenario {
+        name: "plan/two_level_grid".into(),
+        per_sec: 1.0 / best,
+        unit: "plans/s",
+    }
+}
+
+fn bench_validation_point(events: u64) -> Scenario {
+    let case = LruValidationCase {
+        alpha: ALPHA,
+        universe: 20_000,
+        capacity: 2_000,
+    };
+    let (best, point) = best_of(|| validate_lru(case, events, SEED).expect("valid case"));
+    // Live check: the streamed replay agrees with the Che prediction.
+    assert!(
+        point.delta < PLAN_TOLERANCE,
+        "validation point diverged: delta {} ≥ tolerance {PLAN_TOLERANCE}",
+        point.delta
+    );
+    Scenario {
+        name: "validate/lru_point".into(),
+        per_sec: events as f64 / best,
+        unit: "events/s",
+    }
+}
+
+fn write_json(path: &str, universe: usize, events: u64, scenarios: &[Scenario]) {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"universe\": {universe},\n"));
+    body.push_str(&format!("  \"events\": {events},\n"));
+    body.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"per_sec\": {:.0}, \"unit\": \"{}\"}}{}\n",
+            s.name,
+            s.per_sec,
+            s.unit,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).expect("write json summary");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let universe = if smoke { SMOKE_UNIVERSE } else { FULL_UNIVERSE };
+    let events = if smoke { SMOKE_EVENTS } else { FULL_EVENTS };
+
+    println!("# plan: zipf({ALPHA}) over {universe} files, {events}-event validation replay");
+
+    let probs = zipf_popularities(universe, ALPHA).expect("valid popularity vector");
+    let scenarios = vec![
+        bench_characteristic_time(&probs),
+        bench_inverse_capacity(&probs),
+        bench_two_level_plan(universe),
+        bench_validation_point(events),
+    ];
+
+    for s in &scenarios {
+        println!("{:<24} {:>14.0} {}", s.name, s.per_sec, s.unit);
+    }
+
+    if let Some(path) = json_path {
+        write_json(&path, universe, events, &scenarios);
+        println!("# wrote {path}");
+    }
+}

@@ -114,13 +114,16 @@ pub(crate) fn bench_virtual(config: &BenchClusterConfig) -> Result<String, Box<d
     let mut out = format!(
         "virtual cluster check: PASS — {} nodes, {} events, {} membership change(s), \
          per-node stats byte-identical to the oracle\n  {} proxied, {} proxy failures, \
-         imbalance (max/mean load) {:.3}, wall time {:.3}s ({:.0} events/s)\n",
+         imbalance (max/mean load) {}, wall time {:.3}s ({:.0} events/s)\n",
         config.nodes,
         report.events,
         schedule.len(),
         proxied,
         failures,
-        report.imbalance,
+        report
+            .imbalance
+            .map(|i| format!("{i:.3}"))
+            .unwrap_or_else(|| "\u{2014}".to_string()),
         elapsed,
         report.events as f64 / elapsed.max(1e-9),
     );

@@ -10,6 +10,7 @@ pub mod convert;
 pub mod entropy;
 pub mod gen;
 pub mod groups;
+pub mod plan;
 pub mod serve;
 pub mod simulate;
 pub mod stats;

@@ -1,0 +1,316 @@
+//! `fgcache plan` — the analytic capacity planner.
+//!
+//! Three modes sharing one entry point:
+//!
+//! * **plan** (default): solve the two-level Che composition for a
+//!   workload shape and a target hit rate, print the recommended
+//!   filter/server/shard sizes as a table (`--json PATH` additionally
+//!   writes the machine-readable report).
+//! * **`--validate true`**: replay seeded Zipf traces through the
+//!   streamed LRU simulator across the (α, capacity) validation grid and
+//!   assert the Che prediction agrees within the pinned tolerance —
+//!   non-zero exit on any violation. This is the CI gate.
+//! * **`--compare-grouping true`**: replay the same seeded run-structured
+//!   trace through a plain LRU and the aggregating cache, with the IRM
+//!   analytic bound beside them — the measured value of group-based
+//!   management over anything a single-file model can promise.
+
+use std::error::Error;
+
+use fgcache_plan::planner::{plan, PlanReport, PlanRequest};
+use fgcache_sim::plan_validation::{
+    compare_grouping, default_validation_cases, validate_lru_sweep, GroupingCompareConfig,
+    PLAN_TOLERANCE,
+};
+use fgcache_sim::Table;
+use fgcache_types::sizing::{SizeCostAssigner, SizeDistribution};
+
+use crate::args::Args;
+
+/// Renders the planner recommendation as an aligned two-column table.
+pub(crate) fn plan_report_text(report: &PlanReport) -> String {
+    let mut t = Table::new(
+        format!(
+            "capacity plan — zipf(α={}) over {} files, {} clients, target hit {:.1}%",
+            report.alpha,
+            report.universe,
+            report.clients,
+            report.target_hit_rate * 100.0
+        ),
+        ["quantity", "value"],
+    );
+    let mut row = |k: &str, v: String| t.push_row([k.to_string(), v]);
+    row(
+        "filter capacity / client",
+        format!("{} files", report.filter_capacity),
+    );
+    row(
+        "server capacity (total)",
+        format!("{} files", report.server_capacity),
+    );
+    row("shards", report.shards.to_string());
+    row(
+        "per-shard capacity",
+        format!("{} files", report.per_shard_capacity),
+    );
+    row(
+        "predicted filter hit rate",
+        format!("{:.2}%", report.filter_hit_rate * 100.0),
+    );
+    row(
+        "predicted server hit rate (miss stream)",
+        format!("{:.2}%", report.server_hit_rate * 100.0),
+    );
+    row(
+        "predicted combined hit rate",
+        format!("{:.2}%", report.combined_hit_rate * 100.0),
+    );
+    row("total provisioned files", report.total_files.to_string());
+    row(
+        "single shared LRU for same target",
+        format!("{} files", report.single_tier_capacity),
+    );
+    if let Some(u) = &report.units {
+        row(
+            &format!("filter capacity ({} units)", u.distribution),
+            u.filter_units.to_string(),
+        );
+        row(
+            &format!("server capacity ({} units)", u.distribution),
+            u.server_units.to_string(),
+        );
+        row(
+            "mean resident file size (filter/server)",
+            format!(
+                "{:.2} / {:.2} units",
+                u.filter_mean_file_size, u.server_mean_file_size
+            ),
+        );
+    }
+    t.render()
+}
+
+/// Runs the validation grid and renders it; `Err` on tolerance breach.
+pub(crate) fn validation_report(events: u64, seed: u64) -> Result<String, Box<dyn Error>> {
+    let cases = default_validation_cases();
+    let points = validate_lru_sweep(&cases, events, seed)?;
+    let mut t = Table::new(
+        format!(
+            "planner validation — Che vs streamed LRU, {events} events/point, tolerance {:.0}pp",
+            PLAN_TOLERANCE * 100.0
+        ),
+        [
+            "alpha",
+            "universe",
+            "capacity",
+            "analytic",
+            "simulated",
+            "delta",
+        ],
+    );
+    let mut worst = 0.0f64;
+    for p in &points {
+        worst = worst.max(p.delta);
+        t.push_row([
+            format!("{:.1}", p.case.alpha),
+            p.case.universe.to_string(),
+            p.case.capacity.to_string(),
+            format!("{:.4}", p.analytic_hit_rate),
+            format!("{:.4}", p.simulated_hit_rate),
+            format!("{:.4}", p.delta),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "worst |analytic − simulated| = {:.4} ({} grid points)\n",
+        worst,
+        points.len()
+    ));
+    if let Some(bad) = points.iter().find(|p| p.delta >= PLAN_TOLERANCE) {
+        return Err(format!(
+            "{out}planner validation FAILED: α={} capacity={} diverged by {:.4} \
+             (tolerance {:.4})",
+            bad.case.alpha, bad.case.capacity, bad.delta, PLAN_TOLERANCE
+        )
+        .into());
+    }
+    out.push_str("planner validation: PASS\n");
+    Ok(out)
+}
+
+/// Runs the grouping comparison and renders it.
+pub(crate) fn grouping_report(config: &GroupingCompareConfig) -> Result<String, Box<dyn Error>> {
+    let points = compare_grouping(config)?;
+    let mut t = Table::new(
+        format!(
+            "grouping vs the IRM bound — zipf(α={}) runs of {}, {} events, group size {}",
+            config.alpha, config.run_length, config.events, config.group_size
+        ),
+        [
+            "capacity",
+            "analytic LRU",
+            "simulated LRU",
+            "grouped",
+            "gain",
+        ],
+    );
+    for p in &points {
+        t.push_row([
+            p.capacity.to_string(),
+            format!("{:.4}", p.analytic_lru_hit_rate),
+            format!("{:.4}", p.simulated_lru_hit_rate),
+            format!("{:.4}", p.grouped_hit_rate),
+            format!("{:+.4}", p.grouping_gain),
+        ]);
+    }
+    let mut out = t.render();
+    let beats = points.iter().filter(|p| p.grouping_gain > 0.0).count();
+    out.push_str(&format!(
+        "grouping beats the analytic LRU bound at {beats}/{} capacities \
+         (gain = grouped − analytic; IRM models cannot see the runs)\n",
+        points.len()
+    ));
+    Ok(out)
+}
+
+pub fn run(tokens: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    args.check_known(&[
+        "alpha",
+        "universe",
+        "clients",
+        "target-hit-rate",
+        "sizes",
+        "size-seed",
+        "json",
+        "validate",
+        "events",
+        "seed",
+        "compare-grouping",
+        "run-length",
+        "group",
+        "capacities",
+    ])?;
+
+    if args.flag_or("validate", false)? {
+        // CI-sized by default: 10M events per grid point in release.
+        let events: u64 = args.flag_or("events", 10_000_000u64)?;
+        let seed: u64 = args.flag_or("seed", 2002u64)?;
+        print!("{}", validation_report(events, seed)?);
+        return Ok(());
+    }
+
+    if args.flag_or("compare-grouping", false)? {
+        let mut config = GroupingCompareConfig::standard();
+        config.alpha = args.flag_or("alpha", config.alpha)?;
+        config.universe = args.flag_or("universe", config.universe)?;
+        config.run_length = args.flag_or("run-length", config.run_length)?;
+        config.group_size = args.flag_or("group", config.group_size)?;
+        config.events = args.flag_or("events", config.events)?;
+        config.seed = args.flag_or("seed", config.seed)?;
+        if let Some(raw) = args.flag("capacities") {
+            config.capacities = raw
+                .split(',')
+                .map(|p| p.trim().parse::<usize>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| "invalid --capacities (comma-separated file counts)")?;
+        }
+        print!("{}", grouping_report(&config)?);
+        return Ok(());
+    }
+
+    let request = PlanRequest {
+        alpha: args.require_flag("alpha")?,
+        universe: args.flag_or("universe", 100_000usize)?,
+        clients: args.require_flag("clients")?,
+        target_hit_rate: args.require_flag("target-hit-rate")?,
+        sizes: match args.flag("sizes") {
+            None => None,
+            Some(raw) => {
+                let dist: SizeDistribution = raw.parse()?;
+                let seed: u64 = args.flag_or("size-seed", 42u64)?;
+                Some(SizeCostAssigner::new(dist, seed))
+            }
+        },
+    };
+    let report = plan(&request)?;
+    print!("{}", plan_report_text(&report));
+    if let Some(path) = args.flag("json") {
+        std::fs::write(path, report.to_json().to_text() + "\n")?;
+        println!("json report written to {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plan_mode_renders_a_table() {
+        let report = plan(&PlanRequest {
+            alpha: 1.0,
+            universe: 10_000,
+            clients: 8,
+            target_hit_rate: 0.7,
+            sizes: None,
+        })
+        .unwrap();
+        let text = plan_report_text(&report);
+        assert!(text.contains("filter capacity / client"));
+        assert!(text.contains("shards"));
+        assert!(text.contains("single shared LRU"));
+        assert!(!text.contains("units"), "no size model, no unit rows");
+    }
+
+    #[test]
+    fn sized_plan_renders_unit_rows() {
+        let report = plan(&PlanRequest {
+            alpha: 1.0,
+            universe: 10_000,
+            clients: 8,
+            target_hit_rate: 0.7,
+            sizes: Some(SizeCostAssigner::new(SizeDistribution::Pareto, 42)),
+        })
+        .unwrap();
+        let text = plan_report_text(&report);
+        assert!(text.contains("pareto units"));
+        assert!(text.contains("mean resident file size"));
+    }
+
+    #[test]
+    fn validation_mode_passes_at_test_scale() {
+        // A fast pass of the real gate (CI runs it at 10M events).
+        let out = validation_report(200_000, 2002).expect("grid inside tolerance");
+        assert!(out.contains("planner validation: PASS"));
+        assert!(out.contains("worst |analytic − simulated|"));
+    }
+
+    #[test]
+    fn grouping_mode_reports_gain() {
+        let mut config = GroupingCompareConfig::standard();
+        config.events = 120_000;
+        config.capacities = vec![400];
+        let out = grouping_report(&config).expect("comparison runs");
+        assert!(out.contains("grouping beats the analytic LRU bound"));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        assert!(run(&tokens(&[
+            "--alpha",
+            "1.0",
+            "--clients",
+            "8",
+            "--bogus",
+            "1"
+        ]))
+        .is_err());
+        // Required flags enforced in plan mode.
+        assert!(run(&tokens(&["--alpha", "1.0"])).is_err());
+    }
+}

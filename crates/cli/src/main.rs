@@ -8,6 +8,9 @@
 //! fgcache simulate  trace.txt --capacity 400 --clients 4 --shards 4 [--filter 100] [--no-fast-path true]
 //! fgcache two-level trace.txt --filter 200 --server 300 [--scheme g5|lru|lfu|...]
 //! fgcache groups    trace.txt [--group-size 5] [--top 10]
+//! fgcache plan      --alpha 0.9 --clients 16 --target-hit-rate 0.8 [--universe 100000] [--sizes pareto] [--json plan.json]
+//! fgcache plan      --validate true [--events 10000000]   # CI gate: Che vs simulator
+//! fgcache plan      --compare-grouping true [--run-length 4] [--capacities 200,800]
 //! fgcache serve     --capacity 400 [--addr 127.0.0.1:0] [--shards 4] [--max-conns 1024] [--workers 4] [--node-id 1 [--peers 1=HOST:PORT,...]]
 //! fgcache bench-net --loopback true [--clients 4] [--events 10000] [--batch 1,8,32]
 //! fgcache bench-cluster [--nodes 3] [--events 6000] [--virtual true]
@@ -40,6 +43,11 @@ COMMANDS:
     simulate   run one cache over a trace
     two-level  client filter + server cache simulation (figure 4)
     groups     show the strongest dynamic groups of a trace
+    plan       analytic capacity planner (Che/Fagin characteristic time):
+               recommend filter/server/shard sizes for a target hit rate;
+               --validate true replays the planner against the streamed
+               simulator (CI gate), --compare-grouping true measures
+               where group fetching beats the analytic LRU bound
     serve      run an event-driven TCP group-fetch server over a sharded
                cache (--max-conns/--workers size the event loop;
                --node-id/--peers turn it into one cluster node)
@@ -67,6 +75,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate::run(&rest),
         "two-level" => commands::two_level::run(&rest),
         "groups" => commands::groups::run(&rest),
+        "plan" => commands::plan::run(&rest),
         "serve" => commands::serve::run(&rest),
         "bench-net" => commands::bench_net::run(&rest),
         "bench-cluster" => commands::bench_cluster::run(&rest),

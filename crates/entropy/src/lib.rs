@@ -139,6 +139,20 @@ fn finish_analysis<S>(
     let mut total = 0.0;
     let singleton_files = occurrences.values().filter(|&&c| c == 1).count();
     let repeating_files = occurrences.len() - singleton_files;
+    // 0/0 guard: with no events every `count / n` weight below would be
+    // NaN, and a NaN weight would poison the total *and* panic the
+    // contribution sort (`partial_cmp` on NaN). No events means nothing
+    // repeats, so the entropy is zero by definition.
+    if n == 0 {
+        return EntropyAnalysis {
+            symbol_length: k,
+            entropy: 0.0,
+            events: 0,
+            repeating_files,
+            singleton_files,
+            per_file,
+        };
+    }
     for (&file, &count) in occurrences {
         if count <= 1 {
             continue;
@@ -396,6 +410,41 @@ mod tests {
         assert_eq!(successor_entropy(&[]), 0.0);
         assert_eq!(successor_entropy(&seq(&[1])), 0.0);
         assert_eq!(successor_entropy(&seq(&[1, 2])), 0.0);
+    }
+
+    #[test]
+    fn empty_accumulator_scores_zero_not_nan() {
+        // Regression: scoring with zero pushed events used to be able to
+        // reach the `count / n` weight with n == 0; any path that does
+        // produces NaN weights and a panicking contribution sort. An
+        // untouched accumulator must score cleanly instead.
+        let acc = EntropyAccumulator::new(&[1, 3]).unwrap();
+        let analyses = acc.analyses();
+        assert_eq!(analyses.len(), 2);
+        for a in &analyses {
+            assert_eq!(a.events, 0);
+            assert_eq!(a.entropy, 0.0);
+            assert!(a.entropy.is_finite());
+            assert!(a.per_file.is_empty());
+            assert_eq!(a.repeating_files + a.singleton_files, 0);
+        }
+        assert_eq!(acc.profile(), vec![(1, 0.0), (3, 0.0)]);
+    }
+
+    #[test]
+    fn window_shorter_than_symbol_scores_zero() {
+        // k = 4 with only 3 pushes: no symbol ever completes, so the
+        // successor maps stay empty while occurrences do not — the
+        // zero-transition guard (not the weight math) must carry this.
+        let mut acc = EntropyAccumulator::new(&[4]).unwrap();
+        for f in seq(&[1, 1, 1]) {
+            acc.push(f);
+        }
+        let a = &acc.analyses()[0];
+        assert_eq!(a.events, 3);
+        assert_eq!(a.entropy, 0.0);
+        assert!(a.per_file.is_empty());
+        assert_eq!(a.repeating_files, 1); // file 1 repeats, predicts nothing
     }
 
     #[test]

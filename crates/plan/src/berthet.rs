@@ -1,0 +1,153 @@
+//! Berthet's closed-form power-law specialization of the Che fixed point.
+//!
+//! For Zipf(α) popularities `pᵢ = i^{−α}/H_{N,α}` with α > 1, the
+//! occupancy sum in the Che fixed point is well approximated by the
+//! integral `∫₀^∞ (1 − e^{−T·x^{−α}/H}) dx = (T/H)^{1/α}·Γ(1 − 1/α)`,
+//! which makes the characteristic time **explicit**:
+//!
+//! ```text
+//!     T ≈ H_{N,α} · (C / Γ(1 − 1/α))^α
+//! ```
+//!
+//! and collapses the miss rate `Σᵢ pᵢ·e^{−pᵢT}` (by the same
+//! substitution) to
+//!
+//! ```text
+//!     MR ≈ Γ(1 − 1/α)^α · C^{1−α} / (α · H_{N,α})
+//! ```
+//!
+//! — the closed form of Berthet (arXiv:1705.10738), building on Fagin's
+//! 1977 asymptotics; the same expression appears as the α > 1 asymptotic
+//! of Fricker, Robert & Roberts. Its validity window is `α > 1` and
+//! `1 ≪ C ≪ N`: the continuous relaxation overweights the head of the
+//! distribution at single-digit capacities and ignores the finite-universe
+//! truncation as `C → N`. Inside the window it tracks the fixed-point
+//! solution (crate [`che`](crate::che)) to a few parts in a thousand,
+//! for the cost of two `Γ` evaluations — see the cross-check tests below
+//! and the tolerances pinned in `fgcache-sim::plan_validation`.
+
+use fgcache_types::math::{gamma, generalized_harmonic};
+use fgcache_types::ValidationError;
+
+fn validate(universe: usize, alpha: f64, capacity: f64) -> Result<(), ValidationError> {
+    if universe == 0 {
+        return Err(ValidationError::new(
+            "universe",
+            "must be greater than zero",
+        ));
+    }
+    if !alpha.is_finite() || alpha <= 1.0 {
+        return Err(ValidationError::new(
+            "alpha",
+            "the closed form requires a finite exponent greater than 1 \
+             (use the fixed-point solver below the power-law regime)",
+        ));
+    }
+    if !capacity.is_finite() || capacity <= 0.0 {
+        return Err(ValidationError::new(
+            "capacity",
+            "must be positive and finite",
+        ));
+    }
+    if capacity > universe as f64 {
+        return Err(ValidationError::new(
+            "capacity",
+            "must not exceed the universe",
+        ));
+    }
+    Ok(())
+}
+
+/// Closed-form characteristic time `T ≈ H_{N,α}·(C/Γ(1−1/α))^α` for
+/// Zipf(α) over `universe` files, valid for `α > 1`.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if `α ≤ 1` (or non-finite), the
+/// universe is empty, or `capacity` is outside `(0, universe]`.
+pub fn closed_form_characteristic_time(
+    universe: usize,
+    alpha: f64,
+    capacity: f64,
+) -> Result<f64, ValidationError> {
+    validate(universe, alpha, capacity)?;
+    let h = generalized_harmonic(universe, alpha)?;
+    let g = gamma(1.0 - 1.0 / alpha);
+    Ok(h * (capacity / g).powf(alpha))
+}
+
+/// Closed-form LRU miss rate `MR ≈ Γ(1−1/α)^α·C^{1−α}/(α·H_{N,α})` for
+/// Zipf(α) over `universe` files, clamped into `[0, 1]` (the continuous
+/// relaxation can exceed 1 at capacities below its validity window).
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] under the same conditions as
+/// [`closed_form_characteristic_time`].
+pub fn closed_form_miss_rate(
+    universe: usize,
+    alpha: f64,
+    capacity: f64,
+) -> Result<f64, ValidationError> {
+    validate(universe, alpha, capacity)?;
+    let h = generalized_harmonic(universe, alpha)?;
+    let g = gamma(1.0 - 1.0 / alpha);
+    let mr = g.powf(alpha) * capacity.powf(1.0 - alpha) / (alpha * h);
+    Ok(mr.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::che;
+    use crate::popularity::zipf_popularities;
+
+    #[test]
+    fn rejects_out_of_regime_inputs() {
+        assert!(closed_form_miss_rate(0, 1.5, 10.0).is_err());
+        assert!(closed_form_miss_rate(100, 1.0, 10.0).is_err()); // α ≤ 1
+        assert!(closed_form_miss_rate(100, 0.8, 10.0).is_err());
+        assert!(closed_form_miss_rate(100, f64::NAN, 10.0).is_err());
+        assert!(closed_form_miss_rate(100, 1.5, 0.0).is_err());
+        assert!(closed_form_miss_rate(100, 1.5, 101.0).is_err());
+    }
+
+    #[test]
+    fn miss_rate_decreases_with_capacity_and_skew() {
+        let m1 = closed_form_miss_rate(100_000, 1.3, 100.0).unwrap();
+        let m2 = closed_form_miss_rate(100_000, 1.3, 1000.0).unwrap();
+        let m3 = closed_form_miss_rate(100_000, 1.8, 1000.0).unwrap();
+        assert!(m1 > m2, "more cache must miss less: {m1} vs {m2}");
+        assert!(m2 > m3, "more skew must miss less: {m2} vs {m3}");
+        assert!(m3 > 0.0 && m1 < 1.0);
+    }
+
+    #[test]
+    fn tracks_the_fixed_point_inside_the_validity_window() {
+        // α > 1, 1 ≪ C ≪ N: closed form vs fixed-point solver, with the
+        // tolerance widening as α → 1⁺ (the integral relaxation converges
+        // like the harmonic tail there — measured, not assumed).
+        for &(alpha, universe, capacity, tol) in &[
+            (1.5, 20_000, 200.0, 0.02),
+            (1.3, 50_000, 500.0, 0.05),
+            (2.0, 20_000, 100.0, 0.01),
+        ] {
+            let p = zipf_popularities(universe, alpha).unwrap();
+            let exact = che::solve(&p, capacity).unwrap();
+            let mr = closed_form_miss_rate(universe, alpha, capacity).unwrap();
+            let delta = ((1.0 - mr) - exact.hit_rate).abs();
+            assert!(
+                delta < tol,
+                "α={alpha} N={universe} C={capacity}: closed-form hit {} vs fixed point {} (Δ={delta})",
+                1.0 - mr,
+                exact.hit_rate
+            );
+            let t_cf = closed_form_characteristic_time(universe, alpha, capacity).unwrap();
+            let ratio = t_cf / exact.characteristic_time;
+            assert!(
+                (0.5..1.5).contains(&ratio),
+                "α={alpha}: T ratio {ratio} out of band"
+            );
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The Fagin/Che characteristic-time approximation for LRU.
+//!
+//! Under the independent reference model a file with request probability
+//! `pᵢ` is in an LRU cache of capacity `C` (in steady state) with
+//! probability `hᵢ = 1 − e^{−pᵢT}`, where the **characteristic time**
+//! `T` is the unique solution of the occupancy fixed point
+//!
+//! ```text
+//!     Σᵢ (1 − e^{−pᵢT}) = C
+//! ```
+//!
+//! (Che, Tung & Wang 2002; the "window size" of Fagin 1977). Both the
+//! occupancy and the hit rate `Σᵢ pᵢ·hᵢ` are strictly increasing in
+//! `T`, so the forward problem (hit rate at a capacity) and the inverse
+//! problem (capacity for a target hit rate) are single bracketed
+//! root-finds — no nesting, no derivatives.
+
+use fgcache_types::math::bisect_increasing;
+use fgcache_types::ValidationError;
+
+/// How many interval halvings the solvers spend. 80 halvings shrink the
+/// initial bracket by 2⁸⁰ — far below f64 spacing for every bracket the
+/// doubling phase can produce — so the fixed point is solved to machine
+/// precision at O(80·N) exp evaluations.
+const BISECT_ITERS: u32 = 80;
+
+/// Validates a popularity vector: non-empty, finite, non-negative and
+/// normalized to within 1e-6 (callers normalize derived distributions —
+/// e.g. the filter-miss stream — before solving).
+fn validate_probs(probs: &[f64]) -> Result<(), ValidationError> {
+    if probs.is_empty() {
+        return Err(ValidationError::new("probs", "must not be empty"));
+    }
+    let mut total = 0.0;
+    for &p in probs {
+        if !p.is_finite() || p < 0.0 {
+            return Err(ValidationError::new(
+                "probs",
+                "probabilities must be finite and non-negative",
+            ));
+        }
+        total += p;
+    }
+    if (total - 1.0).abs() > 1e-6 {
+        return Err(ValidationError::new(
+            "probs",
+            format!("probabilities must sum to 1 (got {total})"),
+        ));
+    }
+    Ok(())
+}
+
+/// Expected steady-state occupancy `Σᵢ (1 − e^{−pᵢt})` at time `t`.
+///
+/// Uses `exp_m1` so tiny `pᵢt` (the long Zipf tail) keeps full
+/// precision instead of cancelling in `1 − (≈1)`.
+pub fn occupancy_at_time(probs: &[f64], t: f64) -> f64 {
+    probs.iter().map(|&p| -(-p * t).exp_m1()).sum()
+}
+
+/// Hit rate `Σᵢ pᵢ·(1 − e^{−pᵢt})` at time `t`.
+pub fn hit_rate_at_time(probs: &[f64], t: f64) -> f64 {
+    probs.iter().map(|&p| p * -(-p * t).exp_m1()).sum()
+}
+
+/// Per-file steady-state hit (= residency) probability at time `t`.
+pub fn per_file_hit(p: f64, t: f64) -> f64 {
+    if t.is_infinite() && p > 0.0 {
+        1.0
+    } else {
+        -(-p * t).exp_m1()
+    }
+}
+
+/// A solved Che fixed point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheSolution {
+    /// The characteristic time `T` (infinite when every requested file
+    /// fits: `capacity ≥` the number of files with `pᵢ > 0`).
+    pub characteristic_time: f64,
+    /// Steady-state hit rate `Σᵢ pᵢ·(1 − e^{−pᵢT})`.
+    pub hit_rate: f64,
+}
+
+/// Grows `hi` by doubling from 1.0 until `f(hi) ≥ 0`, returning the
+/// bracket top (`f` is non-decreasing and reaches ≥ 0 for the inputs the
+/// solvers construct; 1100 doublings overflow any finite crossing).
+fn double_until_nonnegative(mut f: impl FnMut(f64) -> f64) -> f64 {
+    let mut hi = 1.0_f64;
+    for _ in 0..1100 {
+        if f(hi) >= 0.0 {
+            break;
+        }
+        hi *= 2.0;
+    }
+    hi
+}
+
+/// Solves the characteristic-time fixed point `occupancy(T) = capacity`.
+///
+/// Returns `T = ∞` when `capacity` is at least the number of files with
+/// positive probability (everything requested fits — the hit rate is the
+/// total requested mass).
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] for an invalid popularity vector (see
+/// module docs) or a non-positive/non-finite `capacity`.
+pub fn characteristic_time(probs: &[f64], capacity: f64) -> Result<f64, ValidationError> {
+    validate_probs(probs)?;
+    if !capacity.is_finite() || capacity <= 0.0 {
+        return Err(ValidationError::new(
+            "capacity",
+            "must be positive and finite",
+        ));
+    }
+    let reachable = probs.iter().filter(|&&p| p > 0.0).count() as f64;
+    if capacity >= reachable {
+        return Ok(f64::INFINITY);
+    }
+    let hi = double_until_nonnegative(|t| occupancy_at_time(probs, t) - capacity);
+    Ok(bisect_increasing(
+        |t| occupancy_at_time(probs, t) - capacity,
+        0.0,
+        hi,
+        BISECT_ITERS,
+    ))
+}
+
+/// Solves the fixed point and evaluates the hit rate — the forward
+/// planner query ("what does a cache of this size achieve?").
+///
+/// # Errors
+///
+/// Propagates [`characteristic_time`] validation.
+pub fn solve(probs: &[f64], capacity: f64) -> Result<CheSolution, ValidationError> {
+    let t = characteristic_time(probs, capacity)?;
+    let hit_rate = if t.is_infinite() {
+        probs.iter().sum()
+    } else {
+        hit_rate_at_time(probs, t)
+    };
+    Ok(CheSolution {
+        characteristic_time: t,
+        hit_rate,
+    })
+}
+
+/// The inverse planner query: the (fractional) LRU capacity achieving
+/// `target` hit rate, via one bracketed root-find on `T` (the hit rate
+/// is increasing in `T`, and the capacity is read off the occupancy at
+/// the solved `T`). Callers round up to whole files.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] for an invalid popularity vector or a
+/// target outside `(0, 1)` — a hit rate of 1.0 is only approached
+/// asymptotically, so it is rejected rather than answered with the whole
+/// universe.
+pub fn capacity_for_hit_rate(probs: &[f64], target: f64) -> Result<f64, ValidationError> {
+    validate_probs(probs)?;
+    if !target.is_finite() || target <= 0.0 || target >= 1.0 {
+        return Err(ValidationError::new(
+            "target_hit_rate",
+            "must lie strictly between 0 and 1",
+        ));
+    }
+    let hi = double_until_nonnegative(|t| hit_rate_at_time(probs, t) - target);
+    let t = bisect_increasing(
+        |t| hit_rate_at_time(probs, t) - target,
+        0.0,
+        hi,
+        BISECT_ITERS,
+    );
+    Ok(occupancy_at_time(probs, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::zipf_popularities;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(characteristic_time(&[], 1.0).is_err());
+        assert!(characteristic_time(&[0.5, 0.6], 1.0).is_err()); // Σ ≠ 1
+        assert!(characteristic_time(&[1.5, -0.5], 1.0).is_err());
+        assert!(characteristic_time(&[f64::NAN, 1.0], 1.0).is_err());
+        let p = zipf_popularities(10, 0.8).unwrap();
+        assert!(characteristic_time(&p, 0.0).is_err());
+        assert!(characteristic_time(&p, f64::INFINITY).is_err());
+        assert!(capacity_for_hit_rate(&p, 0.0).is_err());
+        assert!(capacity_for_hit_rate(&p, 1.0).is_err());
+    }
+
+    #[test]
+    fn occupancy_fixed_point_holds() {
+        let p = zipf_popularities(1000, 0.9).unwrap();
+        for capacity in [10.0, 100.0, 500.0] {
+            let t = characteristic_time(&p, capacity).unwrap();
+            let occ = occupancy_at_time(&p, t);
+            assert!(
+                (occ - capacity).abs() < 1e-9,
+                "C={capacity}: occupancy at T is {occ}"
+            );
+        }
+    }
+
+    #[test]
+    fn everything_fits_is_a_sure_hit() {
+        let p = zipf_popularities(50, 1.1).unwrap();
+        let s = solve(&p, 50.0).unwrap();
+        assert!(s.characteristic_time.is_infinite());
+        assert!((s.hit_rate - 1.0).abs() < 1e-9);
+        assert_eq!(per_file_hit(p[0], f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_increases_with_capacity() {
+        let p = zipf_popularities(2000, 0.8).unwrap();
+        let hits: Vec<f64> = [20.0, 80.0, 320.0, 1280.0]
+            .iter()
+            .map(|&c| solve(&p, c).unwrap().hit_rate)
+            .collect();
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "{hits:?}");
+        // A cache holding 64% of a mildly skewed universe does well.
+        assert!(hits[3] > 0.64 && hits[3] < 1.0);
+    }
+
+    #[test]
+    fn uniform_popularity_hit_rate_is_fill_fraction() {
+        // α = 0: every file equally likely. The Che prediction must
+        // reduce to hit ≈ C/N (residency is uniform too).
+        let p = zipf_popularities(400, 0.0).unwrap();
+        let s = solve(&p, 100.0).unwrap();
+        assert!(
+            (s.hit_rate - 0.25).abs() < 1e-6,
+            "uniform hit {}",
+            s.hit_rate
+        );
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        let p = zipf_popularities(5000, 1.0).unwrap();
+        for target in [0.3, 0.6, 0.9] {
+            let c = capacity_for_hit_rate(&p, target).unwrap();
+            let achieved = solve(&p, c).unwrap().hit_rate;
+            assert!(
+                (achieved - target).abs() < 1e-9,
+                "target {target}: capacity {c} achieves {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probability_files_are_ignored() {
+        // Two dead files: reachable universe is 3, so capacity 3 fits all.
+        let p = [0.5, 0.3, 0.2, 0.0, 0.0];
+        let s = solve(&p, 3.0).unwrap();
+        assert!(s.characteristic_time.is_infinite());
+        assert!((s.hit_rate - 1.0).abs() < 1e-12);
+    }
+}

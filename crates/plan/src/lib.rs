@@ -1,0 +1,54 @@
+//! Analytic capacity planning for group-based file caches.
+//!
+//! Replaying traces answers "how did this configuration behave?"; at
+//! production scale the question is the inverse — "how big must the
+//! fleet be for a target hit rate?" — and replaying 10M-event traces per
+//! candidate size does not scale. This crate answers the inverse
+//! question in closed(ish) form, for the independent-reference-model
+//! (IRM) workloads the rest of the workspace can generate and replay:
+//!
+//! * [`che`] — the Fagin/Che **characteristic-time approximation** for
+//!   LRU: solve `Σᵢ (1 − e^{−pᵢT}) = C` for the characteristic time `T`,
+//!   read per-file hit probabilities `1 − e^{−pᵢT}` off the solution,
+//!   and invert it (capacity for a target hit rate) by the same
+//!   monotonicity. Accurate to well under a percentage point against
+//!   simulation for cache sizes in the tens and up.
+//! * [`berthet`] — the **closed-form power-law specialization**
+//!   (Berthet, arXiv:1705.10738, building on Fagin 1977): for Zipf(α)
+//!   popularities with α > 1 the fixed point admits the explicit
+//!   solution `T = H_{N,α}·(C / Γ(1−1/α))^α`, giving miss rate
+//!   `MR ≈ Γ(1−1/α)^α · C^{1−α} / (α·H_{N,α})` with no solver at all.
+//! * [`kesidis`] — the **LRU-MRU stationary model** (Kesidis,
+//!   arXiv:1704.04849): an exact stationary distribution for a
+//!   generalized list cache in which each item is LRU-typed (hits and
+//!   fills go to the protected front) or MRU-typed (hits and fills go
+//!   to the eviction end), computed by power iteration over the ordered
+//!   cache states, with the classical Hendricks/King product form as an
+//!   independent cross-check for the pure-LRU case — plus the matching
+//!   reference simulator the validation harness replays traces through.
+//! * [`planner`] — the **two-level planner** behind `fgcache plan`:
+//!   compose Che across the client-filter and server tiers (the server
+//!   sees the filters' miss stream, whose popularity is the Che-thinned
+//!   `pᵢ·(1 − hᵢ)`), search the filter-size grid for the cheapest
+//!   (total files) configuration hitting the target, and recommend
+//!   shard/filter/server sizes.
+//!
+//! Everything here is deterministic, `std`-only and validated against
+//! the streamed simulator in `fgcache-sim::plan_validation` — the CI
+//! gate asserts analytic-vs-simulated hit rates agree within 2
+//! percentage points across an (α, capacity) sweep.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod berthet;
+pub mod che;
+pub mod kesidis;
+pub mod planner;
+pub mod popularity;
+
+pub use berthet::{closed_form_characteristic_time, closed_form_miss_rate};
+pub use che::{capacity_for_hit_rate, characteristic_time, hit_rate_at_time, solve, CheSolution};
+pub use kesidis::{LruMruCacheSim, LruMruModel};
+pub use planner::{plan, PlanReport, PlanRequest};
+pub use popularity::zipf_popularities;

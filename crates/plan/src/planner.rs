@@ -1,0 +1,442 @@
+//! The two-level capacity planner behind `fgcache plan`.
+//!
+//! The deployment the paper describes has two cache tiers: a small
+//! **filter cache** at each of `K` clients, and a shared, sharded
+//! **server cache** behind them. The planner composes the Che
+//! approximation ([`crate::che`]) across the tiers:
+//!
+//! 1. A filter of capacity `F` over Zipf(α) popularities `pᵢ` absorbs
+//!    per-file hit mass `hᵢ = 1 − e^{−pᵢT_f}` — filter hit rate
+//!    `h_f = Σ pᵢhᵢ`.
+//! 2. The server sees the **thinned miss stream**: under IRM its
+//!    popularity vector is `qᵢ ∝ pᵢ·(1 − hᵢ)` (each client's filter is
+//!    statistically identical, so the union of the `K` miss streams has
+//!    the same marginal law). A server cache of capacity `C_s` then adds
+//!    `(1 − h_f)·h_s` where `h_s` is the Che hit rate on `q`.
+//! 3. The combined hit rate is `H = h_f + (1 − h_f)·h_s`; for a target
+//!    `H*`, the server must clear `h_s ≥ (H* − h_f)/(1 − h_f)`.
+//!
+//! The planner walks a power-of-two grid of filter capacities, solves
+//! the server capacity for each by the inverse Che query, and keeps the
+//! configuration minimizing the **total provisioned files**
+//! `K·F + C_s` — the knob the operator actually pays for. Shard count
+//! is a deterministic function of the fleet size (power of two, capped),
+//! matching the rendezvous-hash sharding in `fgcache-core`.
+//!
+//! The thinning step is where the approximation leans hardest on IRM:
+//! real filter states are correlated with their own request streams, and
+//! grouped server caches prefetch whole groups, which IRM cannot see.
+//! Both effects are measured, not assumed: the validation harness in
+//! `fgcache-sim::plan_validation` replays the same seeded traces through
+//! the real two-tier stack (`--compare-grouping`) and reports where
+//! grouping beats this analytic LRU bound.
+
+use fgcache_types::json::Json;
+use fgcache_types::sizing::SizeCostAssigner;
+use fgcache_types::{FileId, ValidationError};
+
+use crate::che;
+use crate::popularity::zipf_popularities;
+
+/// Largest shard fleet the planner recommends, mirroring the default
+/// sharding ceiling used by the simulator's multi-client harness.
+const MAX_SHARDS: usize = 16;
+
+/// Smallest filter capacity on the search grid. Below a handful of
+/// files the Che approximation is weakest and a filter buys nothing.
+const MIN_FILTER: u64 = 4;
+
+/// What the operator asks for: a workload shape and a target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanRequest {
+    /// Zipf skew of the file popularity distribution.
+    pub alpha: f64,
+    /// Number of distinct files in the working universe.
+    pub universe: usize,
+    /// Number of client filter caches in the fleet.
+    pub clients: usize,
+    /// Combined (filter + server) hit rate to provision for, in (0, 1).
+    pub target_hit_rate: f64,
+    /// Optional per-file size model; when set, capacities are also
+    /// reported in capacity units via residency-weighted expected sizes.
+    pub sizes: Option<SizeCostAssigner>,
+}
+
+/// Capacity recommendations in size units (only when a size
+/// distribution was requested).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanUnits {
+    /// Name of the size distribution the units were derived from.
+    pub distribution: String,
+    /// Per-client filter capacity in size units.
+    pub filter_units: u64,
+    /// Total server capacity in size units.
+    pub server_units: u64,
+    /// Residency-weighted expected size of a filter-resident file.
+    pub filter_mean_file_size: f64,
+    /// Residency-weighted expected size of a server-resident file.
+    pub server_mean_file_size: f64,
+}
+
+/// The planner's recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Echo of the request (without the size assigner).
+    pub alpha: f64,
+    /// Echo of the request.
+    pub universe: usize,
+    /// Echo of the request.
+    pub clients: usize,
+    /// Echo of the request.
+    pub target_hit_rate: f64,
+    /// Recommended per-client filter capacity, in files.
+    pub filter_capacity: u64,
+    /// Recommended total server capacity, in files.
+    pub server_capacity: u64,
+    /// Recommended shard count (power of two, ≤ 16).
+    pub shards: usize,
+    /// Server capacity per shard (`ceil(server / shards)`), in files.
+    pub per_shard_capacity: u64,
+    /// Predicted filter-tier hit rate at the recommended sizes.
+    pub filter_hit_rate: f64,
+    /// Predicted server hit rate *on the filter-miss stream*.
+    pub server_hit_rate: f64,
+    /// Predicted combined hit rate `h_f + (1 − h_f)·h_s`.
+    pub combined_hit_rate: f64,
+    /// Total provisioned files `clients·filter + server` — the cost the
+    /// grid search minimized.
+    pub total_files: u64,
+    /// Files a *single shared LRU* would need for the same target — the
+    /// no-filter baseline the two-tier split is judged against.
+    pub single_tier_capacity: u64,
+    /// Unit-denominated capacities when a size model was requested.
+    pub units: Option<PlanUnits>,
+}
+
+impl PlanReport {
+    /// The report as a JSON object (stable key order, exact integers).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("alpha".to_string(), Json::Num(self.alpha)),
+            ("universe".to_string(), Json::UInt(self.universe as u64)),
+            ("clients".to_string(), Json::UInt(self.clients as u64)),
+            (
+                "target_hit_rate".to_string(),
+                Json::Num(self.target_hit_rate),
+            ),
+            (
+                "filter_capacity".to_string(),
+                Json::UInt(self.filter_capacity),
+            ),
+            (
+                "server_capacity".to_string(),
+                Json::UInt(self.server_capacity),
+            ),
+            ("shards".to_string(), Json::UInt(self.shards as u64)),
+            (
+                "per_shard_capacity".to_string(),
+                Json::UInt(self.per_shard_capacity),
+            ),
+            (
+                "filter_hit_rate".to_string(),
+                Json::Num(self.filter_hit_rate),
+            ),
+            (
+                "server_hit_rate".to_string(),
+                Json::Num(self.server_hit_rate),
+            ),
+            (
+                "combined_hit_rate".to_string(),
+                Json::Num(self.combined_hit_rate),
+            ),
+            ("total_files".to_string(), Json::UInt(self.total_files)),
+            (
+                "single_tier_capacity".to_string(),
+                Json::UInt(self.single_tier_capacity),
+            ),
+        ];
+        match &self.units {
+            Some(u) => fields.push((
+                "units".to_string(),
+                Json::Obj(vec![
+                    ("distribution".to_string(), Json::str(&u.distribution)),
+                    ("filter_units".to_string(), Json::UInt(u.filter_units)),
+                    ("server_units".to_string(), Json::UInt(u.server_units)),
+                    (
+                        "filter_mean_file_size".to_string(),
+                        Json::Num(u.filter_mean_file_size),
+                    ),
+                    (
+                        "server_mean_file_size".to_string(),
+                        Json::Num(u.server_mean_file_size),
+                    ),
+                ]),
+            )),
+            None => fields.push(("units".to_string(), Json::Null)),
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// One evaluated point on the filter grid.
+struct Candidate {
+    filter: u64,
+    server: u64,
+    filter_hit: f64,
+    server_hit: f64,
+    combined: f64,
+    total: u64,
+    /// Server-tier popularity (the thinned miss stream), kept for unit
+    /// sizing of the winning candidate.
+    miss_stream: Vec<f64>,
+    server_time: f64,
+    filter_time: f64,
+}
+
+/// Residency-weighted expected file size `Σ hᵢ·sᵢ / Σ hᵢ` — the mean
+/// size of what the cache actually holds, which for heavy-tailed sizes
+/// differs materially from the population mean.
+fn mean_resident_size(probs: &[f64], t: f64, sizes: SizeCostAssigner) -> f64 {
+    let mut mass = 0.0;
+    let mut weighted = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        let h = che::per_file_hit(p, t);
+        mass += h;
+        weighted += h * f64::from(sizes.size_of(FileId(i as u64)));
+    }
+    if mass > 0.0 {
+        weighted / mass
+    } else {
+        1.0
+    }
+}
+
+fn validate(req: &PlanRequest) -> Result<(), ValidationError> {
+    if req.universe < 8 {
+        return Err(ValidationError::new(
+            "universe",
+            "planning needs at least 8 files (smaller universes don't cache, they memoize)",
+        ));
+    }
+    if req.clients == 0 {
+        return Err(ValidationError::new("clients", "must be greater than zero"));
+    }
+    if !req.target_hit_rate.is_finite() || req.target_hit_rate <= 0.0 || req.target_hit_rate >= 1.0
+    {
+        return Err(ValidationError::new(
+            "target_hit_rate",
+            "must lie strictly between 0 and 1",
+        ));
+    }
+    Ok(())
+}
+
+/// Deterministic shard recommendation: the smallest power of two
+/// covering the fleet, capped at [`MAX_SHARDS`].
+fn recommend_shards(clients: usize) -> usize {
+    clients.next_power_of_two().min(MAX_SHARDS)
+}
+
+/// Solves the plan: walks the filter grid, sizes the server tier for
+/// each filter by the inverse Che query, and returns the cheapest
+/// configuration (total files) that clears the target.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] for an out-of-range request (see field
+/// docs) or an `alpha` rejected by [`zipf_popularities`].
+pub fn plan(req: &PlanRequest) -> Result<PlanReport, ValidationError> {
+    validate(req)?;
+    let probs = zipf_popularities(req.universe, req.alpha)?;
+    let shards = recommend_shards(req.clients);
+    let target = req.target_hit_rate;
+
+    let single_tier = che::capacity_for_hit_rate(&probs, target)?.ceil() as u64;
+
+    let mut best: Option<Candidate> = None;
+    let mut filter = MIN_FILTER;
+    while filter <= (req.universe as u64) / 2 {
+        let t_f = che::characteristic_time(&probs, filter as f64)?;
+        let filter_hit = che::hit_rate_at_time(&probs, t_f);
+
+        // Thinned miss stream the server tier sees.
+        let mut miss_stream: Vec<f64> = probs
+            .iter()
+            .map(|&p| p * (1.0 - che::per_file_hit(p, t_f)))
+            .collect();
+        let miss_mass: f64 = miss_stream.iter().sum();
+        for q in miss_stream.iter_mut() {
+            *q /= miss_mass;
+        }
+
+        // Residual hit rate the server must supply, and its capacity.
+        let residual = (target - filter_hit) / (1.0 - filter_hit);
+        let server = if residual <= 0.0 {
+            // The filters alone clear the target; keep a floor of one
+            // file per shard so demand misses still have a home.
+            shards as u64
+        } else {
+            (che::capacity_for_hit_rate(&miss_stream, residual)?.ceil() as u64).max(shards as u64)
+        };
+
+        let server_solution = che::solve(&miss_stream, server as f64)?;
+        let combined = filter_hit + (1.0 - filter_hit) * server_solution.hit_rate;
+        let total = (req.clients as u64)
+            .saturating_mul(filter)
+            .saturating_add(server);
+        let candidate = Candidate {
+            filter,
+            server,
+            filter_hit,
+            server_hit: server_solution.hit_rate,
+            combined,
+            total,
+            miss_stream,
+            server_time: server_solution.characteristic_time,
+            filter_time: t_f,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => candidate.total < b.total,
+        };
+        if better {
+            best = Some(candidate);
+        }
+        filter *= 2;
+    }
+    let best = best.expect("grid is non-empty for universe ≥ 8");
+
+    let units = req.sizes.filter(|s| !s.is_uniform()).map(|sizes| {
+        let filter_mean = mean_resident_size(&probs, best.filter_time, sizes);
+        let server_mean = mean_resident_size(&best.miss_stream, best.server_time, sizes);
+        PlanUnits {
+            distribution: sizes.distribution().name().to_string(),
+            filter_units: (best.filter as f64 * filter_mean).ceil() as u64,
+            server_units: (best.server as f64 * server_mean).ceil() as u64,
+            filter_mean_file_size: filter_mean,
+            server_mean_file_size: server_mean,
+        }
+    });
+
+    Ok(PlanReport {
+        alpha: req.alpha,
+        universe: req.universe,
+        clients: req.clients,
+        target_hit_rate: target,
+        filter_capacity: best.filter,
+        server_capacity: best.server,
+        shards,
+        per_shard_capacity: best.server.div_ceil(shards as u64),
+        filter_hit_rate: best.filter_hit,
+        server_hit_rate: best.server_hit,
+        combined_hit_rate: best.combined,
+        total_files: best.total,
+        single_tier_capacity: single_tier,
+        units,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcache_types::sizing::SizeDistribution;
+
+    fn req(alpha: f64, universe: usize, clients: usize, target: f64) -> PlanRequest {
+        PlanRequest {
+            alpha,
+            universe,
+            clients,
+            target_hit_rate: target,
+            sizes: None,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(plan(&req(0.9, 4, 8, 0.7)).is_err());
+        assert!(plan(&req(0.9, 1000, 0, 0.7)).is_err());
+        assert!(plan(&req(0.9, 1000, 8, 0.0)).is_err());
+        assert!(plan(&req(0.9, 1000, 8, 1.0)).is_err());
+        assert!(plan(&req(-1.0, 1000, 8, 0.7)).is_err());
+    }
+
+    #[test]
+    fn plan_clears_the_target() {
+        for &(alpha, target) in &[(0.8, 0.5), (1.0, 0.7), (1.2, 0.9)] {
+            let r = plan(&req(alpha, 20_000, 8, target)).unwrap();
+            assert!(
+                r.combined_hit_rate >= target - 1e-9,
+                "α={alpha} H*={target}: predicted {}",
+                r.combined_hit_rate
+            );
+            assert!(r.filter_capacity >= MIN_FILTER);
+            assert!(r.server_capacity >= r.shards as u64);
+            assert_eq!(r.total_files, 8 * r.filter_capacity + r.server_capacity);
+            assert_eq!(
+                r.per_shard_capacity,
+                r.server_capacity.div_ceil(r.shards as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn shard_recommendation_is_a_capped_power_of_two() {
+        assert_eq!(recommend_shards(1), 1);
+        assert_eq!(recommend_shards(3), 4);
+        assert_eq!(recommend_shards(8), 8);
+        assert_eq!(recommend_shards(100), MAX_SHARDS);
+    }
+
+    #[test]
+    fn filters_pay_for_themselves_on_skewed_workloads() {
+        // On a skewed workload, K small filters + a modest server beat
+        // provisioning the single-tier capacity at every client — the
+        // whole argument for the two-tier split.
+        let r = plan(&req(1.1, 50_000, 16, 0.8)).unwrap();
+        let naive_everywhere = 16 * r.single_tier_capacity;
+        assert!(
+            r.total_files < naive_everywhere,
+            "two-tier {} vs per-client single-tier {naive_everywhere}",
+            r.total_files
+        );
+    }
+
+    #[test]
+    fn more_clients_never_shrink_the_recommended_server() {
+        // The miss-stream law is client-count invariant under IRM, but
+        // the optimizer shifts work off filters as they get pricier.
+        let small = plan(&req(0.9, 10_000, 2, 0.75)).unwrap();
+        let large = plan(&req(0.9, 10_000, 64, 0.75)).unwrap();
+        assert!(large.filter_capacity <= small.filter_capacity);
+        assert!(large.server_capacity >= small.server_capacity);
+    }
+
+    #[test]
+    fn sized_plans_report_units() {
+        let mut r = req(1.0, 10_000, 8, 0.7);
+        r.sizes = Some(SizeCostAssigner::new(SizeDistribution::Pareto, 42));
+        let sized = plan(&r).unwrap();
+        let units = sized.units.expect("sized plan must report units");
+        assert_eq!(units.distribution, "pareto");
+        // Unit capacity = files × mean resident size ⇒ strictly more
+        // units than files for any distribution with sizes > 1.
+        assert!(units.filter_units >= sized.filter_capacity);
+        assert!(units.server_units >= sized.server_capacity);
+        assert!(units.filter_mean_file_size >= 1.0);
+        // Uniform sizing degenerates to no units block.
+        r.sizes = Some(SizeCostAssigner::uniform());
+        assert!(plan(&r).unwrap().units.is_none());
+    }
+
+    #[test]
+    fn json_report_is_stable_and_parseable() {
+        let r = plan(&req(1.0, 10_000, 8, 0.7)).unwrap();
+        let text = r.to_json().to_text();
+        let parsed = Json::parse(&text).expect("planner JSON must parse");
+        assert_eq!(
+            parsed.get("filter_capacity").and_then(Json::as_u64),
+            Some(r.filter_capacity)
+        );
+        assert_eq!(parsed.get("units"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,67 @@
+//! Zipf popularity vectors — the planner's input distribution.
+
+use fgcache_types::math::generalized_harmonic;
+use fgcache_types::ValidationError;
+
+/// The Zipf(α) popularity vector over `universe` files: rank `i`
+/// (0-based, most popular first) has probability
+/// `p_i = (i+1)^{-α} / H_{N,α}`.
+///
+/// This is exactly the distribution `fgcache_trace::synth::Zipf` samples
+/// from (its cumulative table is built from the same `1/k^α` weights), so
+/// analytic predictions computed from this vector are directly
+/// comparable to replays of `zipf_stream` traces.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if `universe == 0`, or if `alpha` is
+/// negative or not finite.
+pub fn zipf_popularities(universe: usize, alpha: f64) -> Result<Vec<f64>, ValidationError> {
+    if !alpha.is_finite() || alpha < 0.0 {
+        return Err(ValidationError::new(
+            "alpha",
+            "exponent must be finite and non-negative",
+        ));
+    }
+    let h = generalized_harmonic(universe, alpha)?;
+    Ok((1..=universe)
+        .map(|k| (k as f64).powf(-alpha) / h)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(zipf_popularities(0, 1.0).is_err());
+        assert!(zipf_popularities(10, -0.5).is_err());
+        assert!(zipf_popularities(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sums_to_one_and_decreases() {
+        for alpha in [0.0, 0.6, 1.0, 1.4] {
+            let p = zipf_popularities(500, alpha).unwrap();
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "α={alpha}: Σp = {total}");
+            assert!(p.windows(2).all(|w| w[0] >= w[1]), "α={alpha} not sorted");
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let p = zipf_popularities(8, 0.0).unwrap();
+        for &pi in &p {
+            assert!((pi - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alpha_one_is_harmonic() {
+        // p_1/p_2 = 2 exactly under the harmonic special case.
+        let p = zipf_popularities(100, 1.0).unwrap();
+        assert!((p[0] / p[1] - 2.0).abs() < 1e-12);
+    }
+}

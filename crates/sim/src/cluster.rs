@@ -217,9 +217,28 @@ impl VirtualCluster {
             upstream.merge(&node.transport_stats());
         }
         let load: Vec<u64> = per_node.iter().map(|s| s.accesses).collect();
-        let mean = load.iter().sum::<u64>() as f64 / load.len().max(1) as f64;
-        let max = load.iter().copied().max().unwrap_or(0);
-        let imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+        // Imbalance is a property of the *live* fleet: averaging over
+        // departed members dilutes the mean and overstates how unevenly
+        // the survivors are loaded (a 4-node fleet that lost 2 nodes is
+        // not "2× imbalanced" just because the dead entries read zero...
+        // and a departed node's historical load is not current load
+        // either). `None` means undefined: no live members, or no events
+        // reached them.
+        let live_load: Vec<u64> = self
+            .view
+            .members()
+            .iter()
+            .filter_map(|(id, _)| usize::try_from(id.as_u64()).ok())
+            .filter_map(|slot| load.get(slot).copied())
+            .collect();
+        let live_total: u64 = live_load.iter().sum();
+        let imbalance = if live_load.is_empty() || live_total == 0 {
+            None
+        } else {
+            let mean = live_total as f64 / live_load.len() as f64;
+            let max = live_load.iter().copied().max().unwrap_or(0);
+            Some(max as f64 / mean)
+        };
         ClusterReplayReport {
             events,
             per_node,
@@ -243,10 +262,14 @@ pub struct ClusterReplayReport {
     pub node_stats: Vec<ClusterNodeStats>,
     /// Merged upstream (proxy) traffic across the fleet.
     pub upstream: TransportStats,
-    /// Per-node access counts (the load distribution).
+    /// Per-node access counts (the load distribution), in node-id order
+    /// and covering every node ever built — including departed members.
     pub load: Vec<u64>,
-    /// Max/mean of the load distribution (1.0 = perfectly even).
-    pub imbalance: f64,
+    /// Max/mean of the load distribution **over live members at the end
+    /// of the replay** (1.0 = perfectly even). `None` when undefined:
+    /// the fleet has no live members, or no events reached them —
+    /// renderers print "—" rather than a made-up number.
+    pub imbalance: Option<f64>,
 }
 
 /// The single-process oracle: the same events, the same membership
@@ -311,7 +334,59 @@ pub fn zipf_stream(
 ) -> Result<impl Iterator<Item = FileId>, ValidationError> {
     let zipf = Zipf::new(universe, exponent)?;
     let mut rng = SplitMix64::new(seed);
+    // `Zipf::sample` returns a rank in `0..universe`; `usize → u64` is
+    // value-preserving on every supported platform (usize ≤ 64 bits), so
+    // the cast below never narrows. The explicit check documents the
+    // invariant instead of relying on it silently.
+    u64::try_from(universe)
+        .map_err(|_| ValidationError::new("universe", "must fit in a u64 file id"))?;
     Ok((0..events).map(move |_| FileId(zipf.sample(&mut rng) as u64)))
+}
+
+/// A streamed Zipf **run** source: like [`zipf_stream`], but each Zipf
+/// draw emits a *run* of `run_length` sequentially numbered files
+/// starting at the drawn rank (wrapping at the universe edge), so the
+/// trace carries deterministic successor structure on top of the Zipf
+/// marginal. `events` counts emitted accesses, not draws — a run is
+/// truncated mid-way if the budget ends inside it.
+///
+/// This is the workload the planner's `--compare-grouping` mode replays:
+/// an IRM model sees only the (near-Zipf) per-file marginal and is blind
+/// to the runs, while the aggregating cache's successor tracking learns
+/// them — the measured gap is exactly the value of group-based
+/// management that no single-file analytic bound can predict.
+///
+/// # Errors
+///
+/// Propagates [`Zipf::new`] validation, and rejects a zero `run_length`.
+pub fn zipf_run_stream(
+    universe: usize,
+    exponent: f64,
+    run_length: usize,
+    seed: u64,
+    events: u64,
+) -> Result<impl Iterator<Item = FileId>, ValidationError> {
+    if run_length == 0 {
+        return Err(ValidationError::new(
+            "run_length",
+            "must be greater than zero",
+        ));
+    }
+    let zipf = Zipf::new(universe, exponent)?;
+    u64::try_from(universe)
+        .map_err(|_| ValidationError::new("universe", "must fit in a u64 file id"))?;
+    let mut rng = SplitMix64::new(seed);
+    let mut head = 0usize;
+    let mut offset = run_length; // force a fresh draw on the first event
+    Ok((0..events).map(move |_| {
+        if offset >= run_length {
+            head = zipf.sample(&mut rng);
+            offset = 0;
+        }
+        let rank = (head + offset) % universe;
+        offset += 1;
+        FileId(rank as u64)
+    }))
 }
 
 #[cfg(test)]
@@ -403,12 +478,75 @@ mod tests {
         let config = quick_config(4);
         let mut cluster = VirtualCluster::build(&config).expect("valid config");
         let report = cluster.replay(zipf_stream(400, 0.7, 3, 8_000).expect("valid zipf"), &[]);
-        assert!(report.imbalance >= 1.0, "max/mean is at least 1");
+        let imbalance = report.imbalance.expect("full live fleet with traffic");
+        assert!(imbalance >= 1.0, "max/mean is at least 1");
         assert!(
-            report.imbalance < 3.0,
-            "rendezvous hashing cannot plausibly triple-load one of 4 nodes, got {}",
-            report.imbalance
+            imbalance < 3.0,
+            "rendezvous hashing cannot plausibly triple-load one of 4 nodes, got {imbalance}"
         );
+    }
+
+    #[test]
+    fn imbalance_covers_live_members_only() {
+        // Regression: the mean used to be taken over `load.len()` — every
+        // node ever built — so a mid-replay leave permanently diluted the
+        // denominator and overstated the imbalance of the survivors.
+        let config = quick_config(4);
+        let events = 8_000u64;
+        let schedule = vec![MembershipEvent {
+            at_event: events / 2,
+            change: MembershipChange::Leave(1),
+        }];
+        let mut cluster = VirtualCluster::build(&config).expect("valid config");
+        let report = cluster.replay(
+            zipf_stream(400, 0.7, 3, events).expect("valid zipf"),
+            &schedule,
+        );
+        // Round-robin entry still hands node 1 its share of raw accesses,
+        // so the departed node's load is nonzero — exactly the entry the
+        // live-member mean must exclude.
+        assert!(report.load[1] > 0);
+        let live: Vec<u64> = [0usize, 2, 3].iter().map(|&i| report.load[i]).collect();
+        let mean = live.iter().sum::<u64>() as f64 / live.len() as f64;
+        let expected = *live.iter().max().expect("non-empty") as f64 / mean;
+        let got = report.imbalance.expect("live members with traffic");
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "imbalance {got} should be computed over live members ({expected})"
+        );
+        // The old all-nodes formula gives a different (wrong) number on
+        // this schedule; make sure we are not still computing it.
+        let all_mean = report.load.iter().sum::<u64>() as f64 / report.load.len() as f64;
+        let all_imbalance = report.load.iter().copied().max().unwrap() as f64 / all_mean;
+        assert!(
+            (got - all_imbalance).abs() > 1e-9,
+            "live-member imbalance should differ from the all-nodes formula here"
+        );
+    }
+
+    #[test]
+    fn imbalance_is_undefined_for_an_empty_fleet() {
+        // Every member leaves before any event: load lands on departed
+        // nodes via the local-serve fallback, and max/mean over zero live
+        // members must be reported as undefined, not 0.0 or a NaN.
+        let config = quick_config(2);
+        let schedule = vec![
+            MembershipEvent {
+                at_event: 0,
+                change: MembershipChange::Leave(0),
+            },
+            MembershipEvent {
+                at_event: 0,
+                change: MembershipChange::Leave(1),
+            },
+        ];
+        let mut cluster = VirtualCluster::build(&config).expect("valid config");
+        let report = cluster.replay(
+            zipf_stream(100, 0.8, 5, 1_000).expect("valid zipf"),
+            &schedule,
+        );
+        assert_eq!(report.events, 1_000);
+        assert_eq!(report.imbalance, None);
     }
 
     #[test]
@@ -422,5 +560,41 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|f| f.as_u64() < 100));
         assert!(zipf_stream(0, 1.0, 9, 10).is_err());
+    }
+
+    #[test]
+    fn zipf_run_stream_emits_wrapped_sequential_runs() {
+        let events: Vec<FileId> = zipf_run_stream(50, 0.9, 4, 7, 1_000)
+            .expect("valid run stream")
+            .collect();
+        assert_eq!(events.len(), 1_000);
+        assert!(events.iter().all(|f| f.as_u64() < 50));
+        // Every run is sequential mod the universe: within each aligned
+        // window of 4, successors follow their predecessor by exactly 1.
+        for run in events.chunks(4) {
+            for pair in run.windows(2) {
+                assert_eq!(
+                    (pair[0].as_u64() + 1) % 50,
+                    pair[1].as_u64(),
+                    "run broken at {pair:?}"
+                );
+            }
+        }
+        // Deterministic under the seed, like every stream in the crate.
+        let again: Vec<FileId> = zipf_run_stream(50, 0.9, 4, 7, 1_000)
+            .expect("valid run stream")
+            .collect();
+        assert_eq!(events, again);
+        assert!(zipf_run_stream(50, 0.9, 0, 7, 10).is_err());
+        assert!(zipf_run_stream(0, 0.9, 4, 7, 10).is_err());
+    }
+
+    #[test]
+    fn zipf_run_stream_with_unit_runs_is_zipf_stream() {
+        let runs: Vec<FileId> = zipf_run_stream(80, 1.1, 1, 13, 500)
+            .expect("valid")
+            .collect();
+        let plain: Vec<FileId> = zipf_stream(80, 1.1, 13, 500).expect("valid").collect();
+        assert_eq!(runs, plain);
     }
 }

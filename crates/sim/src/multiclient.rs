@@ -159,7 +159,14 @@ pub struct MultiClientPoint {
     pub clients: usize,
     /// Total events replayed across all clients.
     pub events: u64,
-    /// Aggregate client-side (filter) hit rate.
+    /// Exact aggregate client-side (filter) hits.
+    pub client_hits: u64,
+    /// Exact aggregate client-side misses (`events − client_hits`) —
+    /// kept as a counter so consumers never have to reconstruct it from
+    /// the hit rate (a lossy float round-trip at large event counts).
+    pub client_misses: u64,
+    /// Aggregate client-side (filter) hit rate, derived from the exact
+    /// counters.
     pub client_hit_rate: f64,
     /// Server hit rate over the requests that reached it.
     pub server_hit_rate: f64,
@@ -240,6 +247,8 @@ pub fn run_multiclient_on(
         shards,
         clients: traces.len(),
         events: client_accesses,
+        client_hits,
+        client_misses: client_accesses - client_hits,
         client_hit_rate: if client_accesses == 0 {
             0.0
         } else {
@@ -406,7 +415,12 @@ pub struct TransportReplayPoint {
     pub clients: usize,
     /// Total events replayed across all clients.
     pub events: u64,
-    /// Aggregate client-side (filter) hit rate.
+    /// Exact aggregate client-side (filter) hits.
+    pub client_hits: u64,
+    /// Exact aggregate client-side misses (`events − client_hits`).
+    pub client_misses: u64,
+    /// Aggregate client-side (filter) hit rate, derived from the exact
+    /// counters.
     pub client_hit_rate: f64,
     /// Merged traffic counters across every client's transport. When the
     /// transport layer is active it is the one source of truth for
@@ -483,6 +497,8 @@ pub fn run_multiclient_transport<T: Transport + Send>(
     let point = TransportReplayPoint {
         clients: traces.len(),
         events: client_accesses,
+        client_hits,
+        client_misses: client_accesses - client_hits,
         client_hit_rate: if client_accesses == 0 {
             0.0
         } else {
@@ -703,6 +719,8 @@ where
         shards,
         clients,
         events: client_accesses,
+        client_hits,
+        client_misses: client_accesses - client_hits,
         client_hit_rate: if client_accesses == 0 {
             0.0
         } else {
@@ -770,9 +788,12 @@ mod tests {
             assert_eq!(p.shards, shards);
             assert_eq!(p.clients, cfg.clients);
             assert_eq!(p.events, (cfg.clients * cfg.events_per_client) as u64);
-            // Every client miss reaches the server, nothing else does.
-            let client_misses = p.events - (p.client_hit_rate * p.events as f64).round() as u64;
-            assert_eq!(p.server_accesses, client_misses);
+            // Every client miss reaches the server, nothing else does —
+            // checked against the exact miss counter, not a float
+            // reconstruction from the hit rate (see
+            // `hit_rate_round_trip_is_lossy_at_scale`).
+            assert_eq!(p.server_accesses, p.client_misses);
+            assert_eq!(p.client_hits + p.client_misses, p.events);
             assert!(p.demand_fetches <= p.server_accesses);
             assert!(p.imbalance >= 1.0);
         }
@@ -781,6 +802,37 @@ mod tests {
         assert!(points
             .windows(2)
             .all(|w| (w[0].client_hit_rate - w[1].client_hit_rate).abs() < 1e-12));
+    }
+
+    #[test]
+    fn hit_rate_round_trip_is_lossy_at_scale() {
+        // Regression for the reconstruction this suite used to do:
+        // `events − round(client_hit_rate · events)`. Above 2^53 the
+        // counters stop being representable in f64, the rate quantizes
+        // to 1.0, and the round trip silently erases real misses — at
+        // this pinned pair it reports 0 where the truth is 1. The exact
+        // counters carried on the point are immune by construction.
+        let events: u64 = 10_000_000_000_000_000; // 10^16 > 2^53
+        let hits: u64 = events - 1;
+        let misses = events - hits;
+        let hit_rate = hits as f64 / events as f64;
+        let reconstructed = events - (hit_rate * events as f64).round() as u64;
+        assert_eq!(misses, 1);
+        assert_ne!(
+            reconstructed, misses,
+            "the float round trip should diverge here — if this starts \
+             passing, f64 grew mantissa bits"
+        );
+    }
+
+    #[test]
+    fn exact_counters_match_the_rate_and_the_server() {
+        let cfg = MultiClientConfig::quick();
+        let traces = cfg.client_traces().unwrap();
+        let p = run_multiclient(&traces, 2, 50, 120, 3, 4, false).unwrap();
+        assert_eq!(p.client_hits + p.client_misses, p.events);
+        assert_eq!(p.server_accesses, p.client_misses);
+        assert!((p.client_hit_rate - p.client_hits as f64 / p.events as f64).abs() < 1e-15);
     }
 
     #[test]

@@ -52,11 +52,8 @@ fn hundred_node_cluster_matches_the_oracle_under_churn() {
     // concentrate on their owners), not a hash defect — so the bound is
     // loose. What matters: the metric is sane and no node is starved of
     // ownership entirely.
-    assert!(
-        report.imbalance >= 1.0 && report.imbalance < 15.0,
-        "imbalance {}",
-        report.imbalance
-    );
+    let imbalance = report.imbalance.expect("live fleet with traffic");
+    assert!((1.0..15.0).contains(&imbalance), "imbalance {imbalance}");
     assert!(
         report.load.iter().all(|&l| l > 0),
         "every node should serve something over 60k events"

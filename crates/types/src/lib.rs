@@ -27,6 +27,7 @@ pub mod audit;
 pub mod error;
 pub mod hash;
 pub mod json;
+pub mod math;
 pub mod rng;
 pub mod sizing;
 pub mod sync;

@@ -1,0 +1,171 @@
+//! Scalar math helpers for the analytic capacity planner.
+//!
+//! The planner (`fgcache-plan`) needs three pieces of special-function
+//! machinery that `std` does not provide: the log-gamma function (for the
+//! Berthet/Che closed-form miss rate under power-law popularity), the
+//! generalized harmonic number (the Zipf normalizing constant), and a
+//! robust scalar root bracketer/bisector (for the characteristic-time
+//! fixed point). They live here, dependency-free, so every crate shares
+//! one implementation and one set of golden tests.
+
+use crate::ValidationError;
+
+/// Lanczos coefficients (g = 7, n = 9) for [`ln_gamma`]. The classic
+/// parameterization from Numerical Recipes / Godfrey; accurate to ~1e-13
+/// relative error over the positive reals, far tighter than the planner's
+/// validation tolerances need.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEFFS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0` (Lanczos approximation).
+///
+/// The planner only ever evaluates `Γ` at positive arguments
+/// (`Γ(1 - 1/α)` for `α > 1`), so the reflection-formula branch for
+/// non-positive arguments is deliberately not implemented: non-positive
+/// or non-finite input returns `f64::NAN`, which every caller treats as
+/// "model out of its validity range".
+pub fn ln_gamma(x: f64) -> f64 {
+    if !x.is_finite() || x <= 0.0 {
+        return f64::NAN;
+    }
+    // Lanczos is evaluated at x - 1 (the "Γ(z+1)" form).
+    let z = x - 1.0;
+    let mut acc = LANCZOS_COEFFS[0];
+    for (i, &c) in LANCZOS_COEFFS.iter().enumerate().skip(1) {
+        acc += c / (z + i as f64);
+    }
+    let t = z + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The gamma function `Γ(x)` for `x > 0`; `NAN` outside that range.
+pub fn gamma(x: f64) -> f64 {
+    ln_gamma(x).exp()
+}
+
+/// The generalized harmonic number `H_{n,s} = Σ_{k=1..n} k^{-s}` — the
+/// Zipf(s) normalizing constant over a universe of `n` files.
+///
+/// Summed smallest-terms-first so the many tiny tail terms are not
+/// swallowed by the head of the series.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] if `n == 0` or `s` is not finite.
+pub fn generalized_harmonic(n: usize, s: f64) -> Result<f64, ValidationError> {
+    if n == 0 {
+        return Err(ValidationError::new("n", "must be greater than zero"));
+    }
+    if !s.is_finite() {
+        return Err(ValidationError::new("s", "exponent must be finite"));
+    }
+    let mut total = 0.0;
+    for k in (1..=n).rev() {
+        total += (k as f64).powf(-s);
+    }
+    Ok(total)
+}
+
+/// Finds the root of a continuous **non-decreasing** `f` on `[lo, hi]` by
+/// bisection: the returned `x` satisfies `|f(x)| ≤` whatever `width`-
+/// limited bisection can achieve after `max_iter` halvings (the interval
+/// shrinks to `(hi - lo) / 2^max_iter`).
+///
+/// The bracket is taken on faith in release code but checked in debug:
+/// `f(lo) ≤ 0 ≤ f(hi)`. With an inverted bracket the result is clamped
+/// into `[lo, hi]` and meaningless — callers construct their brackets
+/// from monotonicity arguments (see `fgcache-plan::che`).
+pub fn bisect_increasing(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, max_iter: u32) -> f64 {
+    debug_assert!(lo <= hi, "bisection bracket inverted: [{lo}, {hi}]");
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break; // interval narrower than f64 spacing
+        }
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_matches_factorials() {
+        // Γ(n) = (n-1)! for integer n.
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            let g = gamma(i as f64 + 1.0);
+            assert!((g - f).abs() / f < 1e-12, "Γ({}) = {g}, want {f}", i + 1);
+        }
+    }
+
+    #[test]
+    fn gamma_half_integer_golden() {
+        // Γ(1/2) = √π; Γ(3/2) = √π/2.
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        assert!((gamma(0.5) - sqrt_pi).abs() < 1e-12);
+        assert!((gamma(1.5) - sqrt_pi / 2.0).abs() < 1e-12);
+        // The planner's workhorse: Γ(1 - 1/α) at α = 2 is Γ(1/2).
+        assert!((gamma(1.0 - 1.0 / 2.0) - sqrt_pi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_rejects_nonpositive() {
+        assert!(gamma(0.0).is_nan());
+        assert!(gamma(-1.5).is_nan());
+        assert!(gamma(f64::NAN).is_nan());
+        assert!(ln_gamma(f64::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn harmonic_golden_values() {
+        // H_{4,1} = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+        let h = generalized_harmonic(4, 1.0).unwrap();
+        assert!((h - 25.0 / 12.0).abs() < 1e-12);
+        // s = 0 degenerates to a plain count.
+        assert!((generalized_harmonic(10, 0.0).unwrap() - 10.0).abs() < 1e-12);
+        // ζ(2) = π²/6; H_{n,2} converges towards it from below.
+        let h2 = generalized_harmonic(1_000_000, 2.0).unwrap();
+        let zeta2 = std::f64::consts::PI.powi(2) / 6.0;
+        assert!(h2 < zeta2 && zeta2 - h2 < 1.1e-6, "H = {h2}");
+    }
+
+    #[test]
+    fn harmonic_rejects_bad_inputs() {
+        assert!(generalized_harmonic(0, 1.0).is_err());
+        assert!(generalized_harmonic(5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn bisection_finds_known_roots() {
+        // x² - 2 on [0, 2] is increasing: root √2.
+        let r = bisect_increasing(|x| x * x - 2.0, 0.0, 2.0, 80);
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+        // ln x on [0.1, 10]: root 1.
+        let r = bisect_increasing(|x| x.ln(), 0.1, 10.0, 80);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisection_handles_degenerate_bracket() {
+        let r = bisect_increasing(|x| x, 3.0, 3.0, 10);
+        assert!((r - 3.0).abs() < 1e-12);
+    }
+}

@@ -36,7 +36,8 @@
 //!
 //! `bench-smoke` runs the smoke benchmarks for fixed small event counts
 //! and writes `BENCH_hot_path.json`, `BENCH_cost.json`,
-//! `BENCH_cluster.json` and `BENCH_server.json` at the workspace root.
+//! `BENCH_cluster.json`, `BENCH_server.json` and `BENCH_plan.json` at
+//! the workspace root.
 //! The server bench is also the high-connection smoke: it holds 256+
 //! idle connections on the event-driven server, replays an active
 //! workload, and exits nonzero unless the served stats are
@@ -284,6 +285,7 @@ fn bench_smoke(root: &Path, threads: Option<u64>) -> ExitCode {
         ("cost_aware", "BENCH_cost.json"),
         ("cluster", "BENCH_cluster.json"),
         ("event_server", "BENCH_server.json"),
+        ("plan", "BENCH_plan.json"),
     ] {
         println!("==> bench-smoke: {bench} (--smoke) -> {json_name}");
         let json = root.join(json_name);
@@ -408,6 +410,30 @@ fn ci(root: &Path, miri: bool) -> ExitCode {
         .unwrap_or(false);
     if !ok {
         eprintln!("xtask ci: step failed: loopback smoke");
+        return ExitCode::FAILURE;
+    }
+    // The planner validation gate replays seeded Zipf traces through
+    // the streamed LRU simulator across the (α, capacity) grid and
+    // exits nonzero if the Che prediction drifts past the pinned 2pp
+    // tolerance. CI-sized events: big enough that simulator noise sits
+    // well under the tolerance, small enough to stay quick in release.
+    println!("==> planner validation: fgcache plan --validate");
+    let ok = Command::new(root.join("target/release/fgcache"))
+        .args([
+            "plan",
+            "--validate",
+            "true",
+            "--events",
+            "10000000",
+            "--seed",
+            "2002",
+        ])
+        .current_dir(root)
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if !ok {
+        eprintln!("xtask ci: step failed: planner validation");
         return ExitCode::FAILURE;
     }
     // The cluster smoke spawns three real `fgcache serve` processes,

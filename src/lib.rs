@@ -29,6 +29,8 @@
 //! * [`sim`] — experiment drivers, parameter sweeps and report formatting.
 //! * [`placement`] — the paper's future-work applications: group-based
 //!   data placement on linear storage and mobile file hoarding.
+//! * [`plan`] — the analytic capacity planner: Che/Fagin characteristic
+//!   times, the Berthet closed form and the Kesidis LRU-MRU model.
 //!
 //! # Quickstart
 //!
@@ -69,6 +71,7 @@ pub use fgcache_core as core;
 pub use fgcache_entropy as entropy;
 pub use fgcache_net as net;
 pub use fgcache_placement as placement;
+pub use fgcache_plan as plan;
 pub use fgcache_sim as sim;
 pub use fgcache_successor as successor;
 pub use fgcache_trace as trace;
